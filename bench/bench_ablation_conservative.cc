@@ -1,0 +1,68 @@
+// E13 (ablation): conservative update [EV02] vs standard Count-Min.
+//
+// Design choice called out in DESIGN.md: conservative update strictly
+// tightens over-estimation on insert-only streams, at the cost of
+// linearity (no deletions, no merging). This table quantifies the
+// accuracy gain across skews and widths.
+
+#include <cmath>
+#include <cstdint>
+
+#include "bench/bench_util.h"
+#include "sketch/count_min.h"
+#include "stream/frequency_oracle.h"
+#include "stream/generators.h"
+
+namespace sketch {
+namespace {
+
+void Run() {
+  const uint64_t universe = 1 << 18;
+  const uint64_t stream_len = 1 << 19;
+  const uint64_t depth = 4;
+
+  bench::PrintHeader(
+      "E13 (ablation): standard vs conservative Count-Min update",
+      "conservative update only raises the counters that must rise, "
+      "reducing over-estimation by a constant factor on skewed streams — "
+      "but forfeits deletions and mergeability",
+      "Zipf streams, n=2^18, N=2^19, depth 4; mean overestimate per item");
+
+  bench::Row("%6s %8s %16s %16s %12s", "alpha", "width", "standard",
+             "conservative", "improvement");
+  for (double alpha : {0.8, 1.2}) {
+    const auto updates = MakeZipfStream(
+        universe, alpha, stream_len, static_cast<uint64_t>(10 * alpha));
+    FrequencyOracle oracle;
+    oracle.UpdateAll(updates);
+    for (uint64_t width : {1u << 10, 1u << 12, 1u << 14}) {
+      CountMinSketch standard(width, depth, width);
+      CountMinSketch conservative(width, depth, width);
+      for (const StreamUpdate& u : updates) {
+        standard.Update(u);
+        conservative.UpdateConservative(u.item, u.delta);
+      }
+      double std_err = 0.0, cons_err = 0.0;
+      for (const auto& [item, count] : oracle.counts()) {
+        std_err += static_cast<double>(standard.Estimate(item) - count);
+        cons_err += static_cast<double>(conservative.Estimate(item) - count);
+      }
+      const double n_items = static_cast<double>(oracle.DistinctCount());
+      bench::Row("%6.1f %8llu %16.3f %16.3f %11.1fx", alpha,
+                 static_cast<unsigned long long>(width), std_err / n_items,
+                 cons_err / n_items,
+                 std_err / std::max(cons_err, 1e-9));
+    }
+  }
+  bench::Row("");
+  bench::Row("Expected shape: conservative update cuts the mean overestimate");
+  bench::Row("by 1.5-10x, with larger gains at higher skew and tighter width.");
+}
+
+}  // namespace
+}  // namespace sketch
+
+int main() {
+  sketch::Run();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// E14 (ablation): hash-family design space — speed vs independence.
+//
+// Every sketch in the library is parameterized by a hash family. This
+// table measures raw throughput and bucket balance for the three families
+// implemented: k-wise polynomial over 2^61-1 (provable independence),
+// simple tabulation (3-wise but "behaves fully random"), and
+// multiply-shift (universal, one multiply).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "hash/kwise_hash.h"
+#include "hash/multiply_shift.h"
+#include "hash/tabulation_hash.h"
+
+namespace sketch {
+namespace {
+
+constexpr uint64_t kKeys = 1 << 22;
+constexpr uint64_t kBuckets = 1 << 12;
+
+/// Max relative deviation of bucket loads from uniform, over kBuckets
+/// buckets after hashing kKeys sequential keys.
+template <typename Fn>
+double BucketImbalance(const Fn& bucket_of) {
+  std::vector<uint32_t> loads(kBuckets, 0);
+  for (uint64_t x = 0; x < kKeys; ++x) ++loads[bucket_of(x)];
+  const double expected = static_cast<double>(kKeys) / kBuckets;
+  double worst = 0.0;
+  for (uint32_t load : loads) {
+    worst = std::max(worst, std::abs(load - expected) / expected);
+  }
+  return worst;
+}
+
+template <typename Fn>
+double MillionOpsPerSecond(const Fn& hash) {
+  // Chain each key through the previous result: the dependency serializes
+  // the loop so the compiler can neither vectorize nor constant-fold it —
+  // this measures per-hash *latency*, the quantity that gates a sketch
+  // update path.
+  uint64_t sink = 0;
+  Timer timer;
+  for (uint64_t x = 0; x < kKeys; ++x) {
+    sink = hash(x ^ (sink & 0xffff));
+    asm volatile("" : "+r"(sink));
+  }
+  const double seconds = timer.ElapsedSeconds();
+  return kKeys / seconds / 1e6;
+}
+
+void Run() {
+  bench::PrintHeader(
+      "E14 (ablation): hash family throughput and bucket balance",
+      "multiply-shift is the fastest universal family; polynomial k-wise "
+      "buys provable independence (needed by AMS) at ~2-4x the cost; "
+      "tabulation trades table memory for strong behavior",
+      "2^22 sequential keys hashed into 2^12 buckets");
+
+  const KWiseHash two_wise(2, 1);
+  const KWiseHash four_wise(4, 2);
+  const TabulationHash tabulation(3);
+  const MultiplyShiftHash multiply_shift(12, 4);
+
+  bench::Row("%20s %14s %18s", "family", "Mhash/s", "max load deviation");
+  bench::Row("%20s %14.1f %18.4f", "2-wise polynomial",
+             MillionOpsPerSecond([&](uint64_t x) { return two_wise.Hash(x); }),
+             BucketImbalance(
+                 [&](uint64_t x) { return two_wise.Bucket(x, kBuckets); }));
+  bench::Row("%20s %14.1f %18.4f", "4-wise polynomial",
+             MillionOpsPerSecond(
+                 [&](uint64_t x) { return four_wise.Hash(x); }),
+             BucketImbalance(
+                 [&](uint64_t x) { return four_wise.Bucket(x, kBuckets); }));
+  bench::Row("%20s %14.1f %18.4f", "tabulation",
+             MillionOpsPerSecond(
+                 [&](uint64_t x) { return tabulation.Hash(x); }),
+             BucketImbalance(
+                 [&](uint64_t x) { return tabulation.Bucket(x, kBuckets); }));
+  bench::Row("%20s %14.1f %18.4f", "multiply-shift",
+             MillionOpsPerSecond(
+                 [&](uint64_t x) { return multiply_shift.Hash(x); }),
+             BucketImbalance(
+                 [&](uint64_t x) { return multiply_shift.Hash(x); }));
+  bench::Row("");
+  bench::Row("Expected shape: multiply-shift fastest, 4-wise ~2x slower than");
+  bench::Row("2-wise (longer Horner chain). Load deviation: the affine-like");
+  bench::Row("families (2-wise, multiply-shift) spread *sequential* keys");
+  bench::Row("almost perfectly; the random-behaving families show the");
+  bench::Row("binomial ~4/sqrt(keys/bucket) ~ 12%% worst-bucket deviation a");
+  bench::Row("truly random function would.");
+}
+
+}  // namespace
+}  // namespace sketch
+
+int main() {
+  sketch::Run();
+  return 0;
+}

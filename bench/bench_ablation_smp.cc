@@ -1,0 +1,106 @@
+// E15 (ablation): SMP vs SSMP vs IHT on the same sparse binary ensemble.
+//
+// DESIGN.md design choice: SSMP's one-coordinate-at-a-time updates vs
+// SMP's batch updates [BGI+08 vs BIR08] vs generic IHT through the
+// LinearOperator interface. Same matrix, same signals — isolates the
+// recovery strategy.
+
+#include <cstdint>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/metrics.h"
+#include "common/timer.h"
+#include "cs/ensembles.h"
+#include "cs/iht.h"
+#include "cs/signals.h"
+#include "cs/smp.h"
+#include "cs/ssmp.h"
+
+namespace sketch {
+namespace {
+
+constexpr uint64_t kN = 2048;
+constexpr int kTrials = 8;
+
+struct Cell {
+  double success = 0.0;
+  double mean_ms = 0.0;
+};
+
+template <typename Recover>
+Cell Measure(uint64_t k, uint64_t m, const Recover& recover) {
+  Cell cell;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const uint64_t seed = 100 * k + m + trial;
+    const CsrMatrix a = MakeSparseBinaryMatrix(m, kN, 8, seed);
+    const SparseVector x =
+        MakeSparseSignal(kN, k, SignalValueDistribution::kGaussian, seed);
+    const std::vector<double> y = a.Multiply(x.ToDense());
+    Timer timer;
+    const SparseVector estimate = recover(a, y, k);
+    cell.mean_ms += timer.ElapsedMillis();
+    cell.success += (L2Distance(estimate.ToDense(), x.ToDense()) <
+                     1e-4 * (1.0 + L2Norm(x.ToDense())));
+  }
+  cell.success /= kTrials;
+  cell.mean_ms /= kTrials;
+  return cell;
+}
+
+void Run() {
+  bench::PrintHeader(
+      "E15 (ablation): recovery strategy on the same sparse binary matrix",
+      "sequential (SSMP) vs batch (SMP) matching pursuit vs generic IHT — "
+      "same ensemble, same signals; success rate and decode time",
+      "n=2048, d=8 ones/column, Gaussian k-sparse signals, 8 trials");
+
+  bench::Row("%4s %6s %10s %10s %10s %12s %12s %12s", "k", "m",
+             "SSMP ok", "SMP ok", "IHT ok", "SSMP ms", "SMP ms", "IHT ms");
+  for (uint64_t k : {5u, 15u}) {
+    for (uint64_t mult : {8u, 16u, 32u}) {
+      const uint64_t m = mult * k;
+      const Cell ssmp = Measure(k, m, [](const CsrMatrix& a,
+                                         const std::vector<double>& y,
+                                         uint64_t kk) {
+        SsmpOptions opt;
+        opt.sparsity = kk;
+        return SsmpRecover(a, y, opt).estimate;
+      });
+      const Cell smp = Measure(k, m, [](const CsrMatrix& a,
+                                        const std::vector<double>& y,
+                                        uint64_t kk) {
+        SmpOptions opt;
+        opt.sparsity = kk;
+        return SmpRecover(a, y, opt).estimate;
+      });
+      const Cell iht = Measure(k, m, [](const CsrMatrix& a,
+                                        const std::vector<double>& y,
+                                        uint64_t kk) {
+        auto shared = std::make_shared<CsrMatrix>(a);
+        IhtOptions opt;
+        opt.sparsity = kk;
+        opt.max_iterations = 300;
+        return IhtRecover(LinearOperator::FromCsr(shared), y, opt).estimate;
+      });
+      bench::Row("%4llu %6llu %10.2f %10.2f %10.2f %12.2f %12.2f %12.2f",
+                 static_cast<unsigned long long>(k),
+                 static_cast<unsigned long long>(m), ssmp.success,
+                 smp.success, iht.success, ssmp.mean_ms, smp.mean_ms,
+                 iht.mean_ms);
+    }
+  }
+  bench::Row("");
+  bench::Row("Expected shape: SMP converges in the fewest, cheapest");
+  bench::Row("iterations at ample m; SSMP is the most reliable near the");
+  bench::Row("measurement threshold; IHT needs more m on 0/1 matrices");
+  bench::Row("(unnormalized columns violate its RIP-style assumptions).");
+}
+
+}  // namespace
+}  // namespace sketch
+
+int main() {
+  sketch::Run();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// E16 (extension): Counter Braids space vs exact-decode success [LMP+08].
+//
+// The per-flow measurement claim: braided shallow counters + message-
+// passing decoding recover every flow count exactly using far fewer bits
+// than one deep counter per flow, with a sharp decoding threshold as the
+// braid shrinks.
+
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sketch/counter_braids.h"
+#include "stream/frequency_oracle.h"
+#include "stream/generators.h"
+
+namespace sketch {
+namespace {
+
+void Run() {
+  const uint64_t universe = 1 << 18;
+  const uint64_t stream_len = 40000;
+
+  bench::PrintHeader(
+      "E16 (extension): Counter Braids — bits per flow vs exact decode",
+      "[LMP+08] braided counters + message passing count every flow "
+      "exactly in ~half the bits of per-flow counters, with a sharp "
+      "threshold below which decoding fails",
+      "Zipf(1.2) stream, N=4e4 packets; layer-1 8-bit counters, layer-2 "
+      "64-bit; exact = all flows recovered");
+
+  const auto updates = MakeZipfStream(universe, 1.2, stream_len, 1);
+  FrequencyOracle oracle;
+  for (const StreamUpdate& u : updates) oracle.Update(u);
+  std::vector<uint64_t> flows;
+  for (const auto& [flow, count] : oracle.counts()) flows.push_back(flow);
+  const double num_flows = static_cast<double>(flows.size());
+
+  bench::Row("flows: %zu, exact per-flow counting would need %.1f bits/flow",
+             flows.size(), 64.0);
+  bench::Row("%10s %10s %12s %10s %12s", "m1", "m2", "bits/flow", "exact",
+             "max |err|");
+  for (double ratio : {0.6, 0.8, 1.0, 1.4, 2.0}) {
+    CounterBraids::Options options;
+    options.layer1_counters = static_cast<uint64_t>(ratio * num_flows);
+    options.layer1_bits = 8;
+    options.layer2_counters =
+        static_cast<uint64_t>(0.15 * ratio * num_flows);
+    options.seed = 7;
+    CounterBraids braids(options);
+    for (const StreamUpdate& u : updates) {
+      braids.Update(u.item, static_cast<uint64_t>(u.delta));
+    }
+    const CounterBraids::DecodeResult decoded = braids.Decode(flows);
+    uint64_t max_err = 0;
+    for (const auto& [flow, count] : oracle.counts()) {
+      const uint64_t est = decoded.counts.at(flow);
+      const auto truth = static_cast<uint64_t>(count);
+      max_err = std::max(max_err, est > truth ? est - truth : truth - est);
+    }
+    bench::Row("%10llu %10llu %12.2f %10s %12llu",
+               static_cast<unsigned long long>(options.layer1_counters),
+               static_cast<unsigned long long>(options.layer2_counters),
+               braids.SizeInBits() / num_flows,
+               decoded.exact ? "yes" : "no",
+               static_cast<unsigned long long>(max_err));
+  }
+  bench::Row("");
+  bench::Row("Expected shape: exact decoding above ~1.2-1.4 layer-1 counters");
+  bench::Row("per flow (~15-25 bits/flow, vs 64 for exact counters); below");
+  bench::Row("the threshold decoding degrades, visibly in max |err|.");
+}
+
+}  // namespace
+}  // namespace sketch
+
+int main() {
+  sketch::Run();
+  return 0;
+}

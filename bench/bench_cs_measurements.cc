@@ -1,0 +1,152 @@
+// E4: measurements needed for sparse recovery — sparse hashing matrices
+// vs dense Gaussian (survey §2).
+//
+// Claim: sparse (hashing/expander) matrices recover k-sparse signals from
+// m = O(k log n) measurements, close to the optimal m = O(k log(n/k))
+// achieved by dense Gaussian ensembles — the success-probability curves
+// have the same phase-transition shape, shifted by a modest factor.
+
+#include <cstdint>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/metrics.h"
+#include "cs/cosamp.h"
+#include "cs/ensembles.h"
+#include "cs/hashed_recovery.h"
+#include "cs/iht.h"
+#include "cs/omp.h"
+#include "cs/signals.h"
+#include "cs/ssmp.h"
+
+namespace sketch {
+namespace {
+
+constexpr uint64_t kN = 4096;
+constexpr int kTrials = 10;
+constexpr double kSuccessTolerance = 1e-4;
+
+bool RecoveredExactly(const SparseVector& estimate, const SparseVector& x) {
+  return L2Distance(estimate.ToDense(), x.ToDense()) <
+         kSuccessTolerance * (1.0 + L2Norm(x.ToDense()));
+}
+
+double SsmpSuccessRate(uint64_t k, uint64_t m, uint64_t seed_base) {
+  int successes = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const uint64_t seed = seed_base + trial;
+    const CsrMatrix a = MakeSparseBinaryMatrix(m, kN, 8, seed);
+    const SparseVector x =
+        MakeSparseSignal(kN, k, SignalValueDistribution::kGaussian, seed);
+    SsmpOptions opt;
+    opt.sparsity = k;
+    successes += RecoveredExactly(
+        SsmpRecover(a, a.Multiply(x.ToDense()), opt).estimate, x);
+  }
+  return static_cast<double>(successes) / kTrials;
+}
+
+double CountSketchSuccessRate(uint64_t k, uint64_t m, uint64_t seed_base) {
+  // Split m into width x depth with depth ~ log n.
+  const uint64_t depth = 12;
+  const uint64_t width = std::max<uint64_t>(m / depth, 1);
+  int successes = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const uint64_t seed = seed_base + trial;
+    const HashedRecovery hr(HashedRecovery::Variant::kCountSketch, width,
+                            depth, kN, seed);
+    const SparseVector x =
+        MakeSparseSignal(kN, k, SignalValueDistribution::kGaussian, seed);
+    successes += RecoveredExactly(hr.RecoverTopK(hr.Measure(x), k), x);
+  }
+  return static_cast<double>(successes) / kTrials;
+}
+
+double OmpGaussianSuccessRate(uint64_t k, uint64_t m, uint64_t seed_base) {
+  int successes = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const uint64_t seed = seed_base + trial;
+    const DenseMatrix a = MakeGaussianMatrix(m, kN, seed);
+    const SparseVector x =
+        MakeSparseSignal(kN, k, SignalValueDistribution::kGaussian, seed);
+    OmpOptions opt;
+    opt.sparsity = k;
+    successes += RecoveredExactly(
+        OmpRecover(a, a.Multiply(x.ToDense()), opt).estimate, x);
+  }
+  return static_cast<double>(successes) / kTrials;
+}
+
+double CosampGaussianSuccessRate(uint64_t k, uint64_t m,
+                                 uint64_t seed_base) {
+  int successes = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const uint64_t seed = seed_base + trial;
+    const DenseMatrix a = MakeGaussianMatrix(m, kN, seed);
+    const SparseVector x =
+        MakeSparseSignal(kN, k, SignalValueDistribution::kGaussian, seed);
+    CosampOptions opt;
+    opt.sparsity = k;
+    successes += RecoveredExactly(
+        CosampRecover(a, a.Multiply(x.ToDense()), opt).estimate, x);
+  }
+  return static_cast<double>(successes) / kTrials;
+}
+
+double IhtGaussianSuccessRate(uint64_t k, uint64_t m, uint64_t seed_base) {
+  int successes = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const uint64_t seed = seed_base + trial;
+    auto a = std::make_shared<DenseMatrix>(MakeGaussianMatrix(m, kN, seed));
+    const SparseVector x =
+        MakeSparseSignal(kN, k, SignalValueDistribution::kGaussian, seed);
+    IhtOptions opt;
+    opt.sparsity = k;
+    successes += RecoveredExactly(
+        IhtRecover(LinearOperator::FromDense(a), a->Multiply(x.ToDense()),
+                   opt)
+            .estimate,
+        x);
+  }
+  return static_cast<double>(successes) / kTrials;
+}
+
+void Run() {
+  bench::PrintHeader(
+      "E4: exact-recovery probability vs #measurements m",
+      "sparse matrices need m = O(k log n) — within a log factor of the "
+      "optimal O(k log(n/k)) of dense Gaussian ensembles; both show a sharp "
+      "phase transition in m",
+      "n=4096, k in {5,10,20}, Gaussian-valued k-sparse signals, 10 trials");
+
+  bench::Row("%4s %6s %20s %20s %16s %16s %16s", "k", "m",
+             "SSMP (sparse)", "CountSketch", "OMP (dense)", "IHT (dense)",
+             "CoSaMP (dense)");
+  for (uint64_t k : {5u, 10u, 20u}) {
+    for (uint64_t mult : {4u, 8u, 16u, 32u}) {
+      const uint64_t m = mult * k * 3;
+      bench::Row("%4llu %6llu %20.2f %20.2f %16.2f %16.2f %16.2f",
+                 static_cast<unsigned long long>(k),
+                 static_cast<unsigned long long>(m),
+                 SsmpSuccessRate(k, m, 1000 * k + mult),
+                 CountSketchSuccessRate(k, m, 2000 * k + mult),
+                 OmpGaussianSuccessRate(k, m, 3000 * k + mult),
+                 IhtGaussianSuccessRate(k, m, 4000 * k + mult),
+                 CosampGaussianSuccessRate(k, m, 5000 * k + mult));
+    }
+  }
+  bench::Row("");
+  bench::Row("Expected shape: all methods transition 0 -> 1 as m grows.");
+  bench::Row("Dense Gaussian (OMP/IHT) transitions first (m ~ 3k-6k ~");
+  bench::Row("k log(n/k)); iterative sparse-matrix SSMP almost matches it;");
+  bench::Row("one-shot Count-Sketch estimation needs m ~ 16k log n — the");
+  bench::Row("log-factor gap the survey quotes for [CM06]-style recovery.");
+}
+
+}  // namespace
+}  // namespace sketch
+
+int main() {
+  sketch::Run();
+  return 0;
+}

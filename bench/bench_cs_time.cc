@@ -1,0 +1,92 @@
+// E5: recovery time scaling — sparse-matrix recovery is near-linear in n,
+// dense-matrix recovery is Omega(n*m) per iteration (survey §2).
+//
+// Claim [CM06, BIR08]: thanks to the sparsity of A, the k-sparse
+// approximation can be computed in O(n log n) time, versus O(n m) for
+// dense ensembles — the gap widens as n grows.
+
+#include <cstdint>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "cs/ensembles.h"
+#include "cs/hashed_recovery.h"
+#include "cs/omp.h"
+#include "cs/signals.h"
+#include "cs/ssmp.h"
+
+namespace sketch {
+namespace {
+
+void Run() {
+  const uint64_t k = 10;
+  bench::PrintHeader(
+      "E5: encode+decode wall-clock vs signal dimension n (k = 10)",
+      "sparse-matrix recovery runs in O~(n); dense-matrix algorithms pay "
+      "Omega(n m) per correlation/iteration — the ratio grows with n",
+      "k=10 Gaussian-valued sparse signals, m = 24k measurements");
+
+  bench::Row("%8s %8s %16s %16s %16s %14s", "n", "m", "CountSketch (ms)",
+             "SSMP (ms)", "OMP dense (ms)", "dense/hash");
+  for (int log_n = 10; log_n <= 16; ++log_n) {
+    const uint64_t n = 1ULL << log_n;
+    const uint64_t m = 24 * k;
+    const SparseVector x =
+        MakeSparseSignal(n, k, SignalValueDistribution::kGaussian, log_n);
+
+    // Count-Sketch hashing: measure + top-k decode.
+    double hash_ms = 0.0;
+    {
+      const HashedRecovery hr(HashedRecovery::Variant::kCountSketch, 2 * m / 12,
+                              12, n, log_n);
+      Timer timer;
+      const auto y = hr.Measure(x);
+      const SparseVector rec = hr.RecoverTopK(y, k);
+      hash_ms = timer.ElapsedMillis();
+      (void)rec;
+    }
+
+    // SSMP on sparse binary.
+    double ssmp_ms = 0.0;
+    {
+      const CsrMatrix a = MakeSparseBinaryMatrix(m, n, 8, log_n);
+      SsmpOptions opt;
+      opt.sparsity = k;
+      Timer timer;
+      const auto y = a.Multiply(x.ToDense());
+      const SsmpResult rec = SsmpRecover(a, y, opt);
+      ssmp_ms = timer.ElapsedMillis();
+      (void)rec;
+    }
+
+    // OMP on dense Gaussian (encode O(nm) + k correlation passes O(knm)).
+    double omp_ms = 0.0;
+    {
+      const DenseMatrix a = MakeGaussianMatrix(m, n, log_n);
+      OmpOptions opt;
+      opt.sparsity = k;
+      Timer timer;
+      const auto y = a.Multiply(x.ToDense());
+      const OmpResult rec = OmpRecover(a, y, opt);
+      omp_ms = timer.ElapsedMillis();
+      (void)rec;
+    }
+
+    bench::Row("%8llu %8llu %16.2f %16.2f %16.2f %14.1f",
+               static_cast<unsigned long long>(n),
+               static_cast<unsigned long long>(m), hash_ms, ssmp_ms, omp_ms,
+               omp_ms / (hash_ms > 0 ? hash_ms : 1e-3));
+  }
+  bench::Row("");
+  bench::Row("Expected shape: hashing column grows ~linearly in n; OMP grows");
+  bench::Row("like n*m per pass, so the dense/hash ratio increases with n.");
+}
+
+}  // namespace
+}  // namespace sketch
+
+int main() {
+  sketch::Run();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// E7: projection time vs input sparsity (survey §3).
+//
+// Claim: sparse dimensionality-reduction matrices apply in O(s * nnz(x))
+// time — the cost scales with the number of nonzeros, while dense maps pay
+// O(n m) and FJLT pays O(n log n) regardless of sparsity.
+
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "cs/signals.h"
+#include "dimred/jl_transform.h"
+
+namespace sketch {
+namespace {
+
+constexpr uint64_t kInputDim = 1 << 16;
+constexpr uint64_t kOutputDim = 512;
+constexpr int kReps = 20;
+
+double TimePerApply(const JlTransform& t, const SparseVector& x) {
+  Timer timer;
+  for (int r = 0; r < kReps; ++r) {
+    const auto y = t.Apply(x);
+    (void)y;
+  }
+  return timer.ElapsedMillis() / kReps;
+}
+
+void Run() {
+  bench::PrintHeader(
+      "E7: projection time vs nnz(x)  (n = 65536, m = 512)",
+      "sparse DR runs in O(s*nnz(x)) — time scales with input sparsity; "
+      "dense is O(n*m) and FJLT O(n log n), both flat in nnz",
+      "k-sparse inputs with k = nnz sweep; 20 reps per cell, times in ms");
+
+  const DenseJlTransform dense(kInputDim, kOutputDim, 1);
+  const SparseJlTransform sparse(kInputDim, kOutputDim, 8, 2);
+  const CountSketchTransform cs(kInputDim, kOutputDim, 3);
+  const FjltTransform fjlt(kInputDim, kOutputDim, 4);
+
+  bench::Row("%8s %12s %14s %14s %12s", "nnz", "dense (ms)", "sparse-JL (ms)",
+             "countsketch", "FJLT (ms)");
+  for (uint64_t nnz : {16u, 64u, 256u, 1024u, 4096u, 16384u}) {
+    const SparseVector x = MakeSparseSignal(
+        kInputDim, nnz, SignalValueDistribution::kGaussian, nnz);
+    bench::Row("%8llu %12.3f %14.4f %14.4f %12.3f",
+               static_cast<unsigned long long>(nnz), TimePerApply(dense, x),
+               TimePerApply(sparse, x), TimePerApply(cs, x),
+               TimePerApply(fjlt, x));
+  }
+  bench::Row("");
+  bench::Row("Expected shape: sparse-JL and countsketch columns grow linearly");
+  bench::Row("with nnz (countsketch ~8x cheaper: one nonzero per column vs 8);");
+  bench::Row("dense and FJLT columns are flat and dominate at small nnz.");
+}
+
+}  // namespace
+}  // namespace sketch
+
+int main() {
+  sketch::Run();
+  return 0;
+}

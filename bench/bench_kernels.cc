@@ -1,0 +1,93 @@
+// E20 (substrate): microbenchmarks of the computational kernels every
+// algorithm above sits on — FFT variants, the Walsh-Hadamard butterfly,
+// JL applications, and peeling-structure inserts. google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "common/prng.h"
+#include "dimred/jl_transform.h"
+#include "fft/fft.h"
+#include "fft/real_fft.h"
+#include "sfft/flat_filter.h"
+#include "sfft/sparse_wht.h"
+
+namespace sketch {
+namespace {
+
+std::vector<Complex> RandomComplex(uint64_t n, uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.NextGaussian(), rng.NextGaussian());
+  return x;
+}
+
+std::vector<double> RandomReal(uint64_t n, uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.NextGaussian();
+  return x;
+}
+
+void BM_FftPow2(benchmark::State& state) {
+  const auto x = RandomComplex(state.range(0), 1);
+  for (auto _ : state) benchmark::DoNotOptimize(Fft(x));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FftPow2)->RangeMultiplier(4)->Range(1 << 10, 1 << 18)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_FftBluestein(benchmark::State& state) {
+  // Worst case for Bluestein: length just above a power of two.
+  const auto x = RandomComplex(state.range(0) + 1, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(Fft(x));
+}
+BENCHMARK(BM_FftBluestein)->RangeMultiplier(4)->Range(1 << 10, 1 << 16);
+
+void BM_RealFft(benchmark::State& state) {
+  const auto x = RandomReal(state.range(0), 3);
+  for (auto _ : state) benchmark::DoNotOptimize(RealFft(x));
+}
+BENCHMARK(BM_RealFft)->RangeMultiplier(4)->Range(1 << 10, 1 << 18);
+
+void BM_DenseWht(benchmark::State& state) {
+  const auto x = RandomReal(state.range(0), 4);
+  for (auto _ : state) benchmark::DoNotOptimize(DenseWht(x));
+}
+BENCHMARK(BM_DenseWht)->RangeMultiplier(4)->Range(1 << 10, 1 << 18);
+
+void BM_FlatFilterConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    FlatFilter filter(1 << 16, state.range(0), 4, 1e-8);
+    benchmark::DoNotOptimize(filter.ResponseAt(0));
+  }
+  state.SetLabel("B=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_FlatFilterConstruction)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CountSketchTransformApply(benchmark::State& state) {
+  const CountSketchTransform t(1 << 16, 256, 5);
+  const auto x = RandomReal(1 << 16, 6);
+  for (auto _ : state) benchmark::DoNotOptimize(t.Apply(x));
+  state.SetItemsProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_CountSketchTransformApply);
+
+void BM_SparseJlApply(benchmark::State& state) {
+  const SparseJlTransform t(1 << 16, 256, state.range(0), 7);
+  const auto x = RandomReal(1 << 16, 8);
+  for (auto _ : state) benchmark::DoNotOptimize(t.Apply(x));
+  state.SetLabel("s=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_SparseJlApply)->Arg(2)->Arg(8);
+
+void BM_FjltApply(benchmark::State& state) {
+  const FjltTransform t(1 << 16, 256, 9);
+  const auto x = RandomReal(1 << 16, 10);
+  for (auto _ : state) benchmark::DoNotOptimize(t.Apply(x));
+}
+BENCHMARK(BM_FjltApply);
+
+}  // namespace
+}  // namespace sketch
+
+BENCHMARK_MAIN();

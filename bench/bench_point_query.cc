@@ -1,0 +1,90 @@
+// E1: point-query accuracy of hashed counter arrays (survey §1).
+//
+// Claim: m counters (m << n) suffice to estimate every frequency within
+// eps * ||x||_1 (Count-Min, one-sided) or eps' * ||x||_2 (Count-Sketch,
+// two-sided, unbiased). Error decays ~1/width (CM) resp. ~1/sqrt(width)
+// (CS), so Count-Sketch wins on skewed streams at equal space.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sketch/count_min.h"
+#include "sketch/count_sketch.h"
+#include "stream/frequency_oracle.h"
+#include "stream/generators.h"
+
+namespace sketch {
+namespace {
+
+struct ErrorStats {
+  double mean_abs = 0.0;
+  double p99_abs = 0.0;
+};
+
+template <typename Estimator>
+ErrorStats Measure(const FrequencyOracle& oracle, const Estimator& estimate) {
+  std::vector<double> errors;
+  errors.reserve(oracle.counts().size());
+  double total = 0.0;
+  for (const auto& [item, count] : oracle.counts()) {
+    const double err = std::abs(static_cast<double>(estimate(item) - count));
+    errors.push_back(err);
+    total += err;
+  }
+  std::sort(errors.begin(), errors.end());
+  ErrorStats stats;
+  stats.mean_abs = total / errors.size();
+  stats.p99_abs = errors[static_cast<size_t>(0.99 * (errors.size() - 1))];
+  return stats;
+}
+
+void Run() {
+  const uint64_t universe = 1 << 20;
+  const uint64_t stream_len = 1 << 20;
+  const double alpha = 1.1;
+  const uint64_t depth = 5;
+
+  bench::PrintHeader(
+      "E1: point-query error vs sketch width (Count-Min vs Count-Sketch)",
+      "frequent items map to heavy buckets; estimates within eps*||x|| using "
+      "m << n counters; CM error ~ N/width (never under), CS ~ ||x||_2/sqrt(width)",
+      "Zipf(1.1) stream, n=2^20 universe, N=2^20 updates, depth 5");
+
+  const auto updates = MakeZipfStream(universe, alpha, stream_len, /*seed=*/1);
+  FrequencyOracle oracle;
+  oracle.UpdateAll(updates);
+
+  bench::Row("%8s %12s %14s %14s %14s %14s %10s", "width", "counters",
+             "CM mean|err|", "CM p99|err|", "CS mean|err|", "CS p99|err|",
+             "space/n");
+  for (uint64_t width = 1 << 8; width <= (1 << 14); width <<= 1) {
+    CountMinSketch cm(width, depth, /*seed=*/width);
+    CountSketch cs(width, depth, /*seed=*/width);
+    cm.UpdateAll(updates);
+    cs.UpdateAll(updates);
+    const ErrorStats cm_stats =
+        Measure(oracle, [&](uint64_t item) { return cm.Estimate(item); });
+    const ErrorStats cs_stats =
+        Measure(oracle, [&](uint64_t item) { return cs.Estimate(item); });
+    bench::Row("%8llu %12llu %14.2f %14.2f %14.2f %14.2f %10.5f",
+               static_cast<unsigned long long>(width),
+               static_cast<unsigned long long>(width * depth),
+               cm_stats.mean_abs, cm_stats.p99_abs, cs_stats.mean_abs,
+               cs_stats.p99_abs,
+               static_cast<double>(width * depth) / universe);
+  }
+  bench::Row("");
+  bench::Row("Expected shape: CM column falls ~2x per width doubling; CS");
+  bench::Row("falls ~1.4x (sqrt); CS beats CM at equal space on skewed data.");
+}
+
+}  // namespace
+}  // namespace sketch
+
+int main() {
+  sketch::Run();
+  return 0;
+}

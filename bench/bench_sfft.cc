@@ -1,0 +1,138 @@
+// E9: sparse FFT vs full FFT running time (survey §4).
+//
+// Claim [HIKP12a/b]: for k-sparse spectra the DFT can be computed in
+// O~(k log n) time, beating the O(n log n) FFT whenever k = o(n); for
+// small k the algorithms are sub-linear (they do not read all of x).
+
+#include <cstdint>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "fft/fft.h"
+#include "sfft/crt_sfft.h"
+#include "sfft/sfft.h"
+
+namespace sketch {
+namespace {
+
+double TimeFullFft(const std::vector<Complex>& x, uint64_t k) {
+  Timer timer;
+  const SfftResult r = DenseFftTopK(x, k);
+  (void)r;
+  return timer.ElapsedMillis();
+}
+
+void Run() {
+  bench::PrintHeader(
+      "E9a: runtime vs sparsity k at fixed n = 2^18",
+      "sFFT runs in O~(k log n): beats the full FFT while k = o(n), with a "
+      "crossover as k grows",
+      "exactly k-sparse random spectra; times in ms; err = spectrum L2 error");
+
+  {
+    const uint64_t n = 1 << 18;
+    bench::Row("%8s %12s %12s %12s %14s %12s", "k", "FFT (ms)",
+               "exact (ms)", "flat (ms)", "flat samples", "exact err");
+    for (uint64_t k : {1u, 4u, 16u, 64u, 256u, 1024u}) {
+      const SparseSpectrumSignal signal = MakeSparseSpectrumSignal(n, k, k);
+      const double fft_ms = TimeFullFft(signal.time_domain, k);
+
+      SfftOptions options;
+      options.sparsity = k;
+      options.max_rounds = 16;
+      Timer timer;
+      const SfftResult exact = ExactSparseFft(signal.time_domain, options);
+      const double exact_ms = timer.ElapsedMillis();
+
+      uint64_t buckets = 16;
+      while (buckets < 4 * k) buckets <<= 1;
+      const FlatFilter filter(n, buckets, 4, 1e-8);
+      timer.Reset();
+      const SfftResult flat =
+          FlatFilterSparseFft(signal.time_domain, filter, options);
+      const double flat_ms = timer.ElapsedMillis();
+
+      bench::Row("%8llu %12.2f %12.2f %12.2f %14llu %12.2e",
+                 static_cast<unsigned long long>(k), fft_ms, exact_ms,
+                 flat_ms, static_cast<unsigned long long>(flat.samples_read),
+                 SpectrumL2Error(exact.coefficients, signal));
+    }
+  }
+
+  bench::Row("");
+  bench::PrintHeader(
+      "E9b: runtime vs signal length n at fixed k = 16",
+      "the sFFT advantage over the FFT grows with n (sub-linear sampling)",
+      "k=16 sparse spectra; times in ms");
+  {
+    const uint64_t k = 16;
+    bench::Row("%10s %12s %12s %12s %14s %14s", "n", "FFT (ms)",
+               "exact (ms)", "flat (ms)", "exact samples", "FFT/exact");
+    for (int log_n = 14; log_n <= 20; log_n += 2) {
+      const uint64_t n = 1ULL << log_n;
+      const SparseSpectrumSignal signal =
+          MakeSparseSpectrumSignal(n, k, log_n);
+      const double fft_ms = TimeFullFft(signal.time_domain, k);
+
+      SfftOptions options;
+      options.sparsity = k;
+      options.max_rounds = 16;
+      Timer timer;
+      const SfftResult exact = ExactSparseFft(signal.time_domain, options);
+      const double exact_ms = timer.ElapsedMillis();
+
+      const FlatFilter filter(n, 64, 4, 1e-8);
+      timer.Reset();
+      const SfftResult flat =
+          FlatFilterSparseFft(signal.time_domain, filter, options);
+      const double flat_ms = timer.ElapsedMillis();
+      (void)flat;
+
+      bench::Row("%10llu %12.2f %12.2f %12.2f %14llu %14.1f",
+                 static_cast<unsigned long long>(n), fft_ms, exact_ms,
+                 flat_ms,
+                 static_cast<unsigned long long>(exact.samples_read),
+                 fft_ms / (exact_ms > 0 ? exact_ms : 1e-3));
+    }
+  }
+  bench::Row("");
+  bench::PrintHeader(
+      "E9c: deterministic CRT sFFT on smooth composite lengths",
+      "co-prime aliasing reads each frequency's CRT digits directly "
+      "[Iwe10-style]: leak-free, deterministic sampling pattern",
+      "n = 2^a 3^b 5^c, k = 8; times in ms");
+  {
+    bench::Row("%10s %18s %12s %12s %12s", "n", "moduli", "FFT (ms)",
+               "CRT (ms)", "samples");
+    for (uint64_t n : {8u * 27u * 25u, 64u * 81u * 25u, 512u * 243u * 25u}) {
+      const SparseSpectrumSignal signal = MakeSparseSpectrumSignal(n, 8, n);
+      const double fft_ms = TimeFullFft(signal.time_domain, 8);
+      CrtSfftOptions crt_options;
+      crt_options.sparsity = 8;
+      Timer timer;
+      const CrtSfftResult crt = CrtSparseFft(signal.time_domain, crt_options);
+      const double crt_ms = timer.ElapsedMillis();
+      char moduli[64];
+      std::snprintf(moduli, sizeof(moduli), "%llu*%llu*%llu",
+                    static_cast<unsigned long long>(crt.moduli_used[0]),
+                    static_cast<unsigned long long>(crt.moduli_used[1]),
+                    static_cast<unsigned long long>(crt.moduli_used[2]));
+      bench::Row("%10llu %18s %12.2f %12.3f %12llu",
+                 static_cast<unsigned long long>(n), moduli, fft_ms, crt_ms,
+                 static_cast<unsigned long long>(crt.samples_read));
+    }
+  }
+  bench::Row("");
+  bench::Row("Expected shape: sFFT times grow with k (E9a) and only weakly");
+  bench::Row("with n (E9b); FFT grows ~n log n, so FFT/exact rises with n.");
+  bench::Row("Crossover in E9a: full FFT wins once k approaches n / polylog.");
+}
+
+}  // namespace
+}  // namespace sketch
+
+int main() {
+  sketch::Run();
+  return 0;
+}

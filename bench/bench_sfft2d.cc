@@ -1,0 +1,63 @@
+// E18 (extension): 2D sparse FFT vs dense 2D FFT [GHI+13].
+//
+// "Sample-optimal average-case sparse Fourier transform in two
+// dimensions": FFTs of O(log) rows and columns plus peeling recover a
+// k-sparse 2D spectrum from O((n1+n2) log) samples of an n1*n2 grid.
+
+#include <cstdint>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "sfft/sfft2d.h"
+
+namespace sketch {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "E18 (extension): 2D sparse FFT vs dense 2D FFT",
+      "[GHI+13] row/column FFTs + peeling recover k-sparse 2D spectra "
+      "from O((n1+n2) log) samples; dense 2D FFT reads all n1*n2",
+      "square grids, k unit-magnitude coefficients at random positions");
+
+  bench::Row("%12s %6s %14s %12s %14s %12s", "grid", "k", "dense (ms)",
+             "sfft (ms)", "sfft samples", "err");
+  for (uint64_t side : {128u, 256u, 512u, 1024u}) {
+    for (uint64_t k : {8u, 64u}) {
+      const SparseSpectrum2dSignal signal =
+          MakeSparseSpectrum2dSignal(side, side, k, side + k);
+
+      Timer timer;
+      const std::vector<Complex> dense =
+          Dense2dFft(signal.time_domain, side, side);
+      const double dense_ms = timer.ElapsedMillis();
+      (void)dense;
+
+      Sfft2dOptions options;
+      options.sparsity = k;
+      timer.Reset();
+      const Sfft2dResult sparse =
+          ExactSparseFft2d(signal.time_domain, side, side, options);
+      const double sfft_ms = timer.ElapsedMillis();
+
+      bench::Row("%7llux%-4llu %6llu %14.2f %12.2f %14llu %12.2e",
+                 static_cast<unsigned long long>(side),
+                 static_cast<unsigned long long>(side),
+                 static_cast<unsigned long long>(k), dense_ms, sfft_ms,
+                 static_cast<unsigned long long>(sparse.samples_read),
+                 Spectrum2dL2Error(sparse.coefficients, signal));
+    }
+  }
+  bench::Row("");
+  bench::Row("Expected shape: dense grows ~n log n with grid area; sparse");
+  bench::Row("samples grow with the grid *side*, so the speedup widens from");
+  bench::Row("~2x at 128^2 to >10x at 1024^2.");
+}
+
+}  // namespace
+}  // namespace sketch
+
+int main() {
+  sketch::Run();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E10: filter leakage and noise robustness (survey §4).
+//
+// Claim: careful filter design makes bucket leakage negligible
+// [HIKP12b]; aliasing filters eliminate it completely [Iwe10, LWC12].
+// Under additive noise, recovery error degrades proportionally to the
+// noise level, with wider filter supports buying lower leakage floors.
+
+#include <cmath>
+#include <cstdint>
+
+#include "bench/bench_util.h"
+#include "sfft/flat_filter.h"
+#include "sfft/sfft.h"
+
+namespace sketch {
+namespace {
+
+void Run() {
+  const uint64_t n = 1 << 14;
+  const uint64_t k = 8;
+  const uint64_t buckets = 64;
+
+  bench::PrintHeader(
+      "E10a: flat-window filter quality vs support factor (n=2^14, B=64)",
+      "careful filter design makes leakage negligible: passband ripple and "
+      "stopband leakage fall exponentially with the filter support",
+      "Gaussian-times-Dirichlet window; support in time samples");
+
+  bench::Row("%8s %10s %16s %18s", "factor", "support", "passband ripple",
+             "stopband leakage");
+  for (int factor : {1, 2, 4, 8}) {
+    const FlatFilter filter(n, buckets, factor, 1e-8);
+    bench::Row("%8d %10llu %16.3e %18.3e", factor,
+               static_cast<unsigned long long>(filter.support()),
+               filter.PassbandRipple(), filter.StopbandLeakage());
+  }
+
+  bench::Row("");
+  bench::PrintHeader(
+      "E10b: recovery L2 error vs noise level (n=2^14, k=8)",
+      "aliasing filters are exactly leak-free (error tracks noise down to "
+      "machine precision); flat-window filters have a delta leakage floor",
+      "unit-magnitude spectra + complex white noise of std sigma/n per "
+      "sample (sigma = spectral-domain noise scale)");
+
+  bench::Row("%12s %14s %14s %14s", "sigma", "exact err", "flat err",
+             "FFT top-k err");
+  for (double sigma : {0.0, 1e-6, 1e-4, 1e-2, 1e-1}) {
+    const SparseSpectrumSignal signal = MakeSparseSpectrumSignal(
+        n, k, static_cast<uint64_t>(sigma * 1e9) + 3);
+    std::vector<Complex> noisy = signal.time_domain;
+    AddComplexNoise(&noisy, sigma / static_cast<double>(n),
+                    static_cast<uint64_t>(sigma * 1e9) + 11);
+
+    SfftOptions options;
+    options.sparsity = k;
+    options.max_rounds = 20;
+    options.magnitude_tolerance = 1e-3;
+    options.singleton_tolerance = sigma >= 1e-2 ? 0.2 : 0.05;
+    const SfftResult exact = ExactSparseFft(noisy, options);
+
+    const FlatFilter filter(n, buckets, 6, 1e-8);
+    const SfftResult flat = FlatFilterSparseFft(noisy, filter, options);
+
+    const SfftResult fft = DenseFftTopK(noisy, k);
+
+    bench::Row("%12.1e %14.3e %14.3e %14.3e", sigma,
+               SpectrumL2Error(exact.coefficients, signal),
+               SpectrumL2Error(flat.coefficients, signal),
+               SpectrumL2Error(fft.coefficients, signal));
+  }
+  bench::Row("");
+  bench::Row("Expected shape: at sigma=0 both sFFTs are exact (aliasing to");
+  bench::Row("machine precision, flat to the delta floor); error then grows");
+  bench::Row("~linearly with sigma, tracking the FFT-top-k reference.");
+}
+
+}  // namespace
+}  // namespace sketch
+
+int main() {
+  sketch::Run();
+  return 0;
+}

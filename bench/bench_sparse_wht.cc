@@ -1,0 +1,69 @@
+// E17 (extension): sparse Walsh-Hadamard transform vs dense fast WHT.
+//
+// Survey §4's historical origin: "The first algorithms of this type were
+// designed for the Hadamard Transform [KM91, Lev93]". Kushilevitz-Mansour
+// queries O(k poly(log n)) positions; the dense transform reads and
+// processes all n.
+
+#include <cstdint>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "sfft/sparse_wht.h"
+
+namespace sketch {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "E17 (extension): Kushilevitz-Mansour vs dense fast WHT",
+      "heavy Boolean-cube Fourier coefficients found from O(k polylog n) "
+      "samples — the prefix-bucket recursion is hashing in the frequency "
+      "domain; the dense WHT costs O(n log n) and reads everything",
+      "k unit-magnitude characters planted at random; threshold 0.5");
+
+  bench::Row("%10s %4s %14s %12s %14s %12s", "n", "k", "dense WHT (ms)",
+             "KM (ms)", "KM samples", "KM found");
+  for (int log_n : {14, 16, 18, 20}) {
+    const uint64_t n = 1ULL << log_n;
+    for (uint64_t k : {2u, 8u}) {
+      // Plant characters and synthesize.
+      std::vector<WhtCoefficient> planted;
+      for (uint64_t i = 0; i < k; ++i) {
+        planted.push_back(
+            {(i * 2654435761ULL + 12345) % n, i % 2 == 0 ? 1.0 : -1.0});
+      }
+      const std::vector<double> f =
+          SynthesizeFromWhtCoefficients(n, planted);
+
+      Timer timer;
+      const std::vector<double> dense = DenseWht(f);
+      const double dense_ms = timer.ElapsedMillis();
+      (void)dense;
+
+      SparseWhtOptions options;
+      options.threshold = 0.5;
+      options.seed = log_n * 100 + k;
+      timer.Reset();
+      const SparseWhtResult sparse = KushilevitzMansour(f, options);
+      const double km_ms = timer.ElapsedMillis();
+
+      bench::Row("%10llu %4llu %14.2f %12.2f %14llu %12zu",
+                 static_cast<unsigned long long>(n),
+                 static_cast<unsigned long long>(k), dense_ms, km_ms,
+                 static_cast<unsigned long long>(sparse.samples_read),
+                 sparse.coefficients.size());
+    }
+  }
+  bench::Row("");
+  bench::Row("Expected shape: dense WHT time grows ~linearly in n; KM time");
+  bench::Row("and samples grow only with k log n, so the gap widens with n.");
+}
+
+}  // namespace
+}  // namespace sketch
+
+int main() {
+  sketch::Run();
+  return 0;
+}

@@ -1,0 +1,127 @@
+// E3: single-pass update cost — O(depth) hashed counter touches per
+// update (survey §1: the benefit of the sparse matrix A).
+//
+// Uses google-benchmark for the per-update timing.
+
+#include <benchmark/benchmark.h>
+
+#include "sketch/ams_sketch.h"
+#include "sketch/bloom_filter.h"
+#include "sketch/count_min.h"
+#include "sketch/count_sketch.h"
+#include "sketch/iblt.h"
+#include "sketch/spectral_bloom.h"
+#include "stream/generators.h"
+
+namespace sketch {
+namespace {
+
+const std::vector<StreamUpdate>& SharedStream() {
+  static const auto* stream =
+      new std::vector<StreamUpdate>(MakeZipfStream(1 << 20, 1.1, 1 << 16, 1));
+  return *stream;
+}
+
+void BM_CountMinUpdate(benchmark::State& state) {
+  CountMinSketch sketch(1 << 12, state.range(0), 1);
+  const auto& stream = SharedStream();
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(stream[i]);
+    i = (i + 1) % stream.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("depth=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_CountMinUpdate)->Arg(1)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_CountSketchUpdate(benchmark::State& state) {
+  CountSketch sketch(1 << 12, state.range(0), 1);
+  const auto& stream = SharedStream();
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(stream[i]);
+    i = (i + 1) % stream.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("depth=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_CountSketchUpdate)->Arg(1)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_ConservativeUpdate(benchmark::State& state) {
+  CountMinSketch sketch(1 << 12, state.range(0), 1);
+  const auto& stream = SharedStream();
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.UpdateConservative(stream[i].item, 1);
+    i = (i + 1) % stream.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("depth=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ConservativeUpdate)->Arg(3)->Arg(5);
+
+void BM_BloomInsert(benchmark::State& state) {
+  BloomFilter filter(1 << 18, static_cast<int>(state.range(0)), 1);
+  const auto& stream = SharedStream();
+  size_t i = 0;
+  for (auto _ : state) {
+    filter.Insert(stream[i].item);
+    i = (i + 1) % stream.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("hashes=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_BloomInsert)->Arg(4)->Arg(7)->Arg(10);
+
+void BM_SpectralBloomUpdate(benchmark::State& state) {
+  SpectralBloomFilter filter(1 << 16, 4, 1);
+  const auto& stream = SharedStream();
+  size_t i = 0;
+  for (auto _ : state) {
+    filter.Update(stream[i]);
+    i = (i + 1) % stream.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpectralBloomUpdate);
+
+void BM_IbltInsert(benchmark::State& state) {
+  Iblt iblt(1 << 16, 3, 1);
+  const auto& stream = SharedStream();
+  size_t i = 0;
+  for (auto _ : state) {
+    iblt.Insert(stream[i].item, stream[i].item * 3);
+    i = (i + 1) % stream.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IbltInsert);
+
+void BM_AmsUpdate(benchmark::State& state) {
+  AmsSketch sketch(1 << 10, 5, 1);
+  const auto& stream = SharedStream();
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(stream[i]);
+    i = (i + 1) % stream.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AmsUpdate);
+
+void BM_CountMinQuery(benchmark::State& state) {
+  CountMinSketch sketch(1 << 12, 5, 1);
+  sketch.UpdateAll(SharedStream());
+  uint64_t item = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.Estimate(item++ & ((1 << 20) - 1)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinQuery);
+
+}  // namespace
+}  // namespace sketch
+
+BENCHMARK_MAIN();

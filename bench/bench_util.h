@@ -1,0 +1,37 @@
+#ifndef SKETCH_BENCH_BENCH_UTIL_H_
+#define SKETCH_BENCH_BENCH_UTIL_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+/// \file
+/// Minimal fixed-width table printer shared by the experiment harnesses
+/// (bench_* binaries). Each harness prints the table or series that
+/// reproduces one experiment from DESIGN.md's E1-E12 index.
+
+namespace sketch::bench {
+
+/// Prints the experiment banner: id, claim, and workload description.
+inline void PrintHeader(const char* experiment_id, const char* claim,
+                        const char* workload) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n", experiment_id);
+  std::printf("Claim:    %s\n", claim);
+  std::printf("Workload: %s\n", workload);
+  std::printf("==============================================================================\n");
+}
+
+/// printf-style row helper so harness code reads as a table.
+inline void Row(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  std::vfprintf(stdout, format, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+}  // namespace sketch::bench
+
+#endif  // SKETCH_BENCH_BENCH_UTIL_H_

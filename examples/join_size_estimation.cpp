@@ -1,0 +1,59 @@
+// Database join-size estimation [CM04]: a query optimizer needs
+// |R ⋈ S| = <freq_R, freq_S> without scanning either relation twice.
+// Each relation keeps one small linear sketch of its join-key column;
+// the inner product of the two sketches estimates the join size.
+//
+// Build & run:   ./build/examples/join_size_estimation
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "sketch/count_min.h"
+#include "sketch/count_sketch.h"
+#include "stream/frequency_oracle.h"
+#include "stream/generators.h"
+
+int main() {
+  const uint64_t key_domain = 1 << 16;
+  const uint64_t rows_r = 400000, rows_s = 250000;
+
+  // Key columns of the two relations (skewed, shared domain).
+  const auto keys_r = sketch::MakeZipfStream(key_domain, 1.1, rows_r,
+                                             /*seed=*/1, false);
+  const auto keys_s = sketch::MakeZipfStream(key_domain, 1.3, rows_s,
+                                             /*seed=*/2, false);
+
+  // Exact join size (what the optimizer cannot afford to compute online).
+  sketch::FrequencyOracle exact_r, exact_s;
+  exact_r.UpdateAll(keys_r);
+  exact_s.UpdateAll(keys_s);
+  int64_t exact_join = 0;
+  for (const auto& [key, count] : exact_r.counts()) {
+    exact_join += count * exact_s.Count(key);
+  }
+
+  std::printf("R: %" PRIu64 " rows, S: %" PRIu64
+              " rows, exact |R join S| = %lld\n",
+              rows_r, rows_s, static_cast<long long>(exact_join));
+  std::printf("%10s %14s %16s %10s\n", "width", "CM estimate",
+              "CS estimate", "CM space");
+
+  for (uint64_t width : {1u << 10, 1u << 12, 1u << 14}) {
+    sketch::CountMinSketch cm_r(width, 5, 7), cm_s(width, 5, 7);
+    sketch::CountSketch cs_r(width, 5, 7), cs_s(width, 5, 7);
+    cm_r.UpdateAll(keys_r);
+    cm_s.UpdateAll(keys_s);
+    cs_r.UpdateAll(keys_r);
+    cs_s.UpdateAll(keys_s);
+    std::printf("%10llu %14lld %16lld %8.0fKB\n",
+                static_cast<unsigned long long>(width),
+                static_cast<long long>(cm_r.EstimateInnerProduct(cm_s)),
+                static_cast<long long>(cs_r.EstimateInnerProduct(cs_s)),
+                width * 5 * 8.0 / 1024);
+  }
+  std::printf("\nCount-Min always overestimates (safe for memory grants);\n"
+              "Count-Sketch is unbiased (better point estimate). Both\n"
+              "converge to the exact size as width grows, from sketches\n"
+              "thousands of times smaller than the relations.\n");
+  return 0;
+}

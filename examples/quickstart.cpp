@@ -1,0 +1,42 @@
+// Quickstart: estimate item frequencies from a single pass over a stream
+// using a Count-Min sketch, in a few kilobytes of state.
+//
+// Build & run:   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "sketch/count_min.h"
+#include "stream/frequency_oracle.h"
+#include "stream/generators.h"
+
+int main() {
+  // A skewed stream: 200k updates over a universe of a million items.
+  const auto stream = sketch::MakeZipfStream(/*universe=*/1 << 20,
+                                             /*alpha=*/1.2,
+                                             /*length=*/200000,
+                                             /*seed=*/42);
+
+  // (eps, delta) sizing: estimates within eps*N of truth w.p. 1-delta.
+  sketch::CountMinSketch sketch_ =
+      sketch::CountMinSketch::FromErrorBounds(/*eps=*/0.001, /*delta=*/0.01,
+                                              /*seed=*/7);
+  std::printf("sketch: %llu x %llu counters (%.1f KiB) for 2^20 items\n",
+              static_cast<unsigned long long>(sketch_.depth()),
+              static_cast<unsigned long long>(sketch_.width()),
+              sketch_.SizeInCounters() * 8.0 / 1024);
+
+  // One pass.
+  sketch_.UpdateAll(stream);
+
+  // Compare a few estimates against exact counts.
+  sketch::FrequencyOracle exact;
+  exact.UpdateAll(stream);
+  std::printf("%12s %10s %10s\n", "item", "exact", "estimate");
+  for (uint64_t item : exact.TopK(10)) {
+    std::printf("%12llu %10lld %10lld\n",
+                static_cast<unsigned long long>(item),
+                static_cast<long long>(exact.Count(item)),
+                static_cast<long long>(sketch_.Estimate(item)));
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+#ifndef SKETCH_COMMON_BYTE_BUFFER_H_
+#define SKETCH_COMMON_BYTE_BUFFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+/// \file
+/// Minimal little-endian binary encode/decode helpers used by the sketch
+/// serialization methods. Sketches serialize as (magic, geometry, seed,
+/// counters); the hash functions are rebuilt deterministically from the
+/// seed, so no hash state needs to be persisted — a practical payoff of
+/// seed-derived randomness.
+
+namespace sketch {
+
+/// Appends a little-endian u64.
+inline void AppendU64(uint64_t value, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+/// Appends a signed 64-bit value (two's complement).
+inline void AppendI64(int64_t value, std::vector<uint8_t>* out) {
+  AppendU64(static_cast<uint64_t>(value), out);
+}
+
+/// Sequential reader over a serialized buffer; aborts on truncation.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  uint64_t ReadU64() {
+    SKETCH_CHECK_MSG(position_ + 8 <= bytes_.size(),
+                     "truncated sketch buffer");
+    uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<uint64_t>(bytes_[position_ + i]) << (8 * i);
+    }
+    position_ += 8;
+    return value;
+  }
+
+  int64_t ReadI64() { return static_cast<int64_t>(ReadU64()); }
+
+  /// True when the whole buffer has been consumed.
+  bool AtEnd() const { return position_ == bytes_.size(); }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  size_t position_ = 0;
+};
+
+}  // namespace sketch
+
+#endif  // SKETCH_COMMON_BYTE_BUFFER_H_

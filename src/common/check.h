@@ -1,0 +1,42 @@
+#ifndef SKETCH_COMMON_CHECK_H_
+#define SKETCH_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Lightweight precondition-checking macros.
+///
+/// The library does not use exceptions. Violated preconditions on public
+/// APIs are programming errors and abort the process with a source
+/// location, in both debug and release builds (the checks here are cheap
+/// and off the hot path). Use `SKETCH_DCHECK` for hot-path invariants that
+/// should only be verified in debug builds.
+
+#define SKETCH_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,         \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define SKETCH_CHECK_MSG(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,    \
+                   __LINE__, #cond, msg);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define SKETCH_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define SKETCH_DCHECK(cond) SKETCH_CHECK(cond)
+#endif
+
+#endif  // SKETCH_COMMON_CHECK_H_

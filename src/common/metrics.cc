@@ -1,0 +1,89 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace sketch {
+
+double L1Norm(const std::vector<double>& x) {
+  double s = 0.0;
+  for (double v : x) s += std::abs(v);
+  return s;
+}
+
+double L2Norm(const std::vector<double>& x) {
+  double s = 0.0;
+  for (double v : x) s += v * v;
+  return std::sqrt(s);
+}
+
+double LInfNorm(const std::vector<double>& x) {
+  double s = 0.0;
+  for (double v : x) s = std::max(s, std::abs(v));
+  return s;
+}
+
+double L2Norm(const std::vector<std::complex<double>>& x) {
+  double s = 0.0;
+  for (const auto& v : x) s += std::norm(v);
+  return std::sqrt(s);
+}
+
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  SKETCH_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += std::abs(a[i] - b[i]);
+  return s;
+}
+
+double L2Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  SKETCH_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+double L2Distance(const std::vector<std::complex<double>>& a,
+                  const std::vector<std::complex<double>>& b) {
+  SKETCH_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += std::norm(a[i] - b[i]);
+  return std::sqrt(s);
+}
+
+double BestKTermError(const std::vector<double>& x, uint64_t k, int p) {
+  SKETCH_CHECK(p == 1 || p == 2);
+  std::vector<double> mags(x.size());
+  for (size_t i = 0; i < x.size(); ++i) mags[i] = std::abs(x[i]);
+  if (k >= mags.size()) return 0.0;
+  // Partition so the k largest magnitudes come first; the tail is the error.
+  std::nth_element(mags.begin(), mags.begin() + k, mags.end(),
+                   [](double a, double b) { return a > b; });
+  double s = 0.0;
+  for (size_t i = k; i < mags.size(); ++i) {
+    s += (p == 1) ? mags[i] : mags[i] * mags[i];
+  }
+  return (p == 1) ? s : std::sqrt(s);
+}
+
+PrecisionRecall ComputePrecisionRecall(const std::vector<uint64_t>& retrieved,
+                                       const std::vector<uint64_t>& truth) {
+  PrecisionRecall pr;
+  if (retrieved.empty() && truth.empty()) return pr;
+  const std::unordered_set<uint64_t> truth_set(truth.begin(), truth.end());
+  size_t hits = 0;
+  for (uint64_t item : retrieved) hits += truth_set.count(item);
+  pr.precision =
+      retrieved.empty() ? 1.0 : static_cast<double>(hits) / retrieved.size();
+  pr.recall =
+      truth_set.empty() ? 1.0 : static_cast<double>(hits) / truth_set.size();
+  return pr;
+}
+
+}  // namespace sketch

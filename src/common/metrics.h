@@ -1,0 +1,57 @@
+#ifndef SKETCH_COMMON_METRICS_H_
+#define SKETCH_COMMON_METRICS_H_
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Error metrics shared by the experiment harnesses: vector norms, relative
+/// recovery errors, and set-retrieval precision/recall. These are the
+/// quantities the surveyed papers state their guarantees in (ℓ1/ℓ2 error of
+/// a k-sparse approximation, false-positive rates of heavy-hitter
+/// retrieval).
+
+namespace sketch {
+
+/// ℓ1 norm of `x`.
+double L1Norm(const std::vector<double>& x);
+
+/// ℓ2 norm of `x`.
+double L2Norm(const std::vector<double>& x);
+
+/// ℓ∞ norm of `x`.
+double LInfNorm(const std::vector<double>& x);
+
+/// ℓ2 norm of a complex vector.
+double L2Norm(const std::vector<std::complex<double>>& x);
+
+/// ||a - b||_1. Vectors must have equal length.
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// ||a - b||_2. Vectors must have equal length.
+double L2Distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// ||a - b||_2 for complex vectors. Vectors must have equal length.
+double L2Distance(const std::vector<std::complex<double>>& a,
+                  const std::vector<std::complex<double>>& b);
+
+/// ℓp error of the best k-term approximation of `x`: the ℓp norm of `x`
+/// with its k largest-magnitude entries zeroed. This is `Err_k^p(x)`, the
+/// benchmark against which sparse-recovery guarantees are stated (§2 of the
+/// survey).
+double BestKTermError(const std::vector<double>& x, uint64_t k, int p);
+
+/// Precision and recall of a retrieved item set against a ground-truth set.
+struct PrecisionRecall {
+  double precision = 1.0;  ///< |retrieved ∩ truth| / |retrieved| (1 if empty)
+  double recall = 1.0;     ///< |retrieved ∩ truth| / |truth| (1 if empty)
+};
+
+/// Computes precision/recall; inputs need not be sorted.
+PrecisionRecall ComputePrecisionRecall(const std::vector<uint64_t>& retrieved,
+                                       const std::vector<uint64_t>& truth);
+
+}  // namespace sketch
+
+#endif  // SKETCH_COMMON_METRICS_H_

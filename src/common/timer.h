@@ -1,0 +1,31 @@
+#ifndef SKETCH_COMMON_TIMER_H_
+#define SKETCH_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace sketch {
+
+/// Monotonic wall-clock stopwatch for the benchmark harnesses.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the stopwatch to zero.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Reset(), in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sketch
+
+#endif  // SKETCH_COMMON_TIMER_H_

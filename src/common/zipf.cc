@@ -1,0 +1,35 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sketch {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double alpha, uint64_t seed)
+    : n_(n), alpha_(alpha), rng_(seed) {
+  SKETCH_CHECK(n >= 1);
+  SKETCH_CHECK(alpha >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -alpha);
+    cdf_[i] = total;
+  }
+  for (uint64_t i = 0; i < n; ++i) cdf_[i] /= total;
+  cdf_[n - 1] = 1.0;  // guard against round-off
+}
+
+uint64_t ZipfGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfGenerator::Probability(uint64_t rank) const {
+  SKETCH_CHECK(rank < n_);
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace sketch

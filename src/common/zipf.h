@@ -1,0 +1,44 @@
+#ifndef SKETCH_COMMON_ZIPF_H_
+#define SKETCH_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/prng.h"
+
+namespace sketch {
+
+/// Samples from a Zipf(alpha) distribution over {0, ..., n-1}:
+/// P(rank r) ∝ 1 / (r+1)^alpha.
+///
+/// Zipfian streams are the canonical skewed workload for heavy-hitter
+/// sketches (cf. [CM04], [CCF02]): a handful of head items dominate the
+/// stream while the tail supplies noise mass. Uses precomputed inverse-CDF
+/// with binary search; O(log n) per sample after O(n) setup.
+class ZipfGenerator {
+ public:
+  /// \param n      universe size (must be >= 1).
+  /// \param alpha  skew parameter; 0 gives the uniform distribution.
+  /// \param seed   PRNG seed.
+  ZipfGenerator(uint64_t n, double alpha, uint64_t seed);
+
+  /// Draws one sample (an item rank in [0, n)); rank 0 is the most
+  /// frequent item.
+  uint64_t Next();
+
+  /// Probability mass of the given rank.
+  double Probability(uint64_t rank) const;
+
+  uint64_t universe_size() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  uint64_t n_;
+  double alpha_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i)
+  Xoshiro256StarStar rng_;
+};
+
+}  // namespace sketch
+
+#endif  // SKETCH_COMMON_ZIPF_H_

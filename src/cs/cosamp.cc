@@ -1,0 +1,69 @@
+#include "cs/cosamp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "common/metrics.h"
+#include "cs/iht.h"
+#include "linalg/least_squares.h"
+
+namespace sketch {
+
+CosampResult CosampRecover(const DenseMatrix& a, const std::vector<double>& y,
+                           const CosampOptions& options) {
+  const uint64_t m = a.rows();
+  const uint64_t n = a.cols();
+  const uint64_t k = options.sparsity;
+  SKETCH_CHECK(y.size() == m);
+  SKETCH_CHECK(k >= 1);
+  SKETCH_CHECK_MSG(3 * k <= m, "CoSaMP needs m >= 3k for its LS solves");
+
+  std::vector<double> x(n, 0.0);
+  std::vector<double> residual = y;
+  double best_residual = L2Norm(residual);
+
+  CosampResult result;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    // Proxy = A^T r; take its 2k largest entries...
+    std::vector<double> proxy = a.MultiplyTranspose(residual);
+    HardThreshold(&proxy, 2 * k);
+    // ...and merge with the current support.
+    std::set<uint64_t> support;
+    for (uint64_t i = 0; i < n; ++i) {
+      if (proxy[i] != 0.0 || x[i] != 0.0) support.insert(i);
+    }
+    const std::vector<uint64_t> cols(support.begin(), support.end());
+
+    // Least squares on the merged support.
+    DenseMatrix sub(m, cols.size());
+    for (uint64_t r = 0; r < m; ++r) {
+      for (size_t c = 0; c < cols.size(); ++c) {
+        sub.At(r, c) = a.At(r, cols[c]);
+      }
+    }
+    const std::vector<double> coef = SolveLeastSquaresQr(sub, y);
+
+    // Prune to the k largest coefficients.
+    std::fill(x.begin(), x.end(), 0.0);
+    for (size_t c = 0; c < cols.size(); ++c) x[cols[c]] = coef[c];
+    HardThreshold(&x, k);
+
+    // Residual against the pruned estimate.
+    const std::vector<double> ax = a.Multiply(x);
+    for (uint64_t r = 0; r < m; ++r) residual[r] = y[r] - ax[r];
+
+    result.iterations_run = it + 1;
+    const double r_norm = L2Norm(residual);
+    if (r_norm < options.tolerance) break;
+    if (r_norm >= best_residual * (1.0 - 1e-9) && it > 2) break;  // stalled
+    best_residual = std::min(best_residual, r_norm);
+  }
+
+  result.estimate = SparseVector::FromDense(x);
+  result.residual_l2 = L2Norm(residual);
+  return result;
+}
+
+}  // namespace sketch

@@ -1,0 +1,37 @@
+#ifndef SKETCH_CS_COSAMP_H_
+#define SKETCH_CS_COSAMP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/sparse_vector.h"
+
+namespace sketch {
+
+/// Options for CoSaMP.
+struct CosampOptions {
+  uint64_t sparsity = 10;
+  int max_iterations = 50;
+  double tolerance = 1e-9;  ///< stop when the residual l2 falls below
+};
+
+/// Result of a CoSaMP run.
+struct CosampResult {
+  SparseVector estimate;
+  double residual_l2 = 0.0;
+  int iterations_run = 0;
+};
+
+/// Compressive Sampling Matching Pursuit — the modern greedy baseline of
+/// the [GSTV07]-era "one sketch for all" line: each iteration merges the
+/// 2k largest correlation entries into the current support, solves least
+/// squares on the (≤3k)-column submatrix, and prunes back to k. Uniform
+/// RIP-style guarantees on dense Gaussian ensembles; each iteration costs
+/// a full O(nm) correlation pass plus an O(m k^2) solve.
+CosampResult CosampRecover(const DenseMatrix& a, const std::vector<double>& y,
+                           const CosampOptions& options);
+
+}  // namespace sketch
+
+#endif  // SKETCH_CS_COSAMP_H_

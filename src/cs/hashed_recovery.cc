@@ -1,0 +1,101 @@
+#include "cs/hashed_recovery.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace sketch {
+
+HashedRecovery::HashedRecovery(Variant variant, uint64_t width, uint64_t depth,
+                               uint64_t dimension, uint64_t seed)
+    : variant_(variant), width_(width), depth_(depth), dimension_(dimension) {
+  SKETCH_CHECK(width >= 1 && depth >= 1 && dimension >= 1);
+  bucket_hashes_.reserve(depth);
+  sign_hashes_.reserve(depth);
+  for (uint64_t j = 0; j < depth; ++j) {
+    bucket_hashes_.emplace_back(2, SplitMix64Once(seed * 2 + j));
+    sign_hashes_.emplace_back(2, SplitMix64Once(~seed * 2 + j + 0x9e37ULL));
+  }
+}
+
+int HashedRecovery::SignOf(uint64_t row, uint64_t i) const {
+  return variant_ == Variant::kCountSketch ? sign_hashes_[row].Sign(i) : 1;
+}
+
+std::vector<double> HashedRecovery::Measure(
+    const std::vector<double>& x) const {
+  SKETCH_CHECK(x.size() == dimension_);
+  std::vector<double> y(NumMeasurements(), 0.0);
+  for (uint64_t i = 0; i < dimension_; ++i) {
+    if (x[i] == 0.0) continue;
+    for (uint64_t j = 0; j < depth_; ++j) {
+      y[j * width_ + BucketOf(j, i)] += SignOf(j, i) * x[i];
+    }
+  }
+  return y;
+}
+
+std::vector<double> HashedRecovery::Measure(const SparseVector& x) const {
+  SKETCH_CHECK(x.dimension() == dimension_);
+  std::vector<double> y(NumMeasurements(), 0.0);
+  for (const SparseEntry& e : x.entries()) {
+    for (uint64_t j = 0; j < depth_; ++j) {
+      y[j * width_ + BucketOf(j, e.index)] += SignOf(j, e.index) * e.value;
+    }
+  }
+  return y;
+}
+
+double HashedRecovery::EstimateCoordinate(const std::vector<double>& y,
+                                          uint64_t i) const {
+  SKETCH_CHECK(y.size() == NumMeasurements());
+  std::vector<double> row_estimates(depth_);
+  for (uint64_t j = 0; j < depth_; ++j) {
+    row_estimates[j] = SignOf(j, i) * y[j * width_ + BucketOf(j, i)];
+  }
+  if (variant_ == Variant::kCountMin) {
+    // Min estimator (assumes a nonnegative signal; for general signals the
+    // median of rows is used instead, giving a weaker two-sided bound).
+    return *std::min_element(row_estimates.begin(), row_estimates.end());
+  }
+  const auto mid = row_estimates.begin() + depth_ / 2;
+  std::nth_element(row_estimates.begin(), mid, row_estimates.end());
+  return *mid;
+}
+
+SparseVector HashedRecovery::RecoverTopK(const std::vector<double>& y,
+                                         uint64_t k) const {
+  std::vector<SparseEntry> estimates;
+  estimates.reserve(dimension_);
+  for (uint64_t i = 0; i < dimension_; ++i) {
+    const double v = EstimateCoordinate(y, i);
+    if (v != 0.0) estimates.push_back({i, v});
+  }
+  if (estimates.size() > k) {
+    std::nth_element(estimates.begin(), estimates.begin() + k,
+                     estimates.end(),
+                     [](const SparseEntry& a, const SparseEntry& b) {
+                       return std::abs(a.value) > std::abs(b.value);
+                     });
+    estimates.resize(k);
+  }
+  return SparseVector::FromEntries(dimension_, std::move(estimates));
+}
+
+CsrMatrix HashedRecovery::ToMatrix() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(dimension_ * depth_);
+  for (uint64_t j = 0; j < depth_; ++j) {
+    for (uint64_t i = 0; i < dimension_; ++i) {
+      triplets.push_back({j * width_ + BucketOf(j, i),
+                          i,
+                          static_cast<double>(SignOf(j, i))});
+    }
+  }
+  return CsrMatrix::FromTriplets(NumMeasurements(), dimension_,
+                                 std::move(triplets));
+}
+
+}  // namespace sketch

@@ -1,0 +1,86 @@
+#include "cs/iht.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/metrics.h"
+
+namespace sketch {
+
+void HardThreshold(std::vector<double>* x, uint64_t k) {
+  if (k >= x->size()) return;
+  std::vector<uint64_t> order(x->size());
+  for (uint64_t i = 0; i < x->size(); ++i) order[i] = i;
+  std::nth_element(order.begin(), order.begin() + k, order.end(),
+                   [&](uint64_t a, uint64_t b) {
+                     return std::abs((*x)[a]) > std::abs((*x)[b]);
+                   });
+  for (uint64_t t = k; t < order.size(); ++t) (*x)[order[t]] = 0.0;
+}
+
+IhtResult IhtRecover(const LinearOperator& a, const std::vector<double>& y,
+                     const IhtOptions& options) {
+  SKETCH_CHECK(y.size() == a.rows());
+  SKETCH_CHECK(options.sparsity >= 1);
+  const uint64_t n = a.cols();
+
+  std::vector<double> x(n, 0.0);
+  std::vector<double> residual = y;
+  double best_residual = L2Norm(residual);
+
+  IhtResult result;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    std::vector<double> gradient = a.ApplyTranspose(residual);
+
+    // Normalized step size on the gradient restricted to the union of the
+    // current support and the top-k gradient coordinates.
+    std::vector<double> g_restricted = gradient;
+    HardThreshold(&g_restricted, 3 * options.sparsity);
+    const double g_norm2 = Dot(g_restricted, g_restricted);
+    double mu = 1.0;
+    if (g_norm2 > 0.0) {
+      const std::vector<double> ag = a.Apply(g_restricted);
+      const double ag_norm2 = Dot(ag, ag);
+      if (ag_norm2 > 0.0) mu = g_norm2 / ag_norm2;
+    }
+
+    std::vector<double> x_next = x;
+    Axpy(mu, gradient, &x_next);
+    HardThreshold(&x_next, options.sparsity);
+
+    std::vector<double> ax = a.Apply(x_next);
+    std::vector<double> r_next(y.size());
+    for (size_t i = 0; i < y.size(); ++i) r_next[i] = y[i] - ax[i];
+    double r_norm = L2Norm(r_next);
+
+    // Backtracking: damp the step until the residual does not blow up.
+    int backtracks = 0;
+    while (r_norm > best_residual && backtracks < 12) {
+      mu *= 0.5;
+      x_next = x;
+      Axpy(mu, gradient, &x_next);
+      HardThreshold(&x_next, options.sparsity);
+      ax = a.Apply(x_next);
+      for (size_t i = 0; i < y.size(); ++i) r_next[i] = y[i] - ax[i];
+      r_norm = L2Norm(r_next);
+      ++backtracks;
+    }
+
+    x = std::move(x_next);
+    residual = std::move(r_next);
+    result.iterations_run = it + 1;
+    if (r_norm < options.tolerance) break;
+    if (best_residual - r_norm < options.tolerance * best_residual &&
+        r_norm >= best_residual * (1.0 - 1e-6) && it > 4) {
+      break;  // stalled
+    }
+    best_residual = std::min(best_residual, r_norm);
+  }
+
+  result.estimate = SparseVector::FromDense(x);
+  result.residual_l2 = L2Norm(residual);
+  return result;
+}
+
+}  // namespace sketch

@@ -1,0 +1,26 @@
+#include "cs/linear_operator.h"
+
+namespace sketch {
+
+LinearOperator LinearOperator::FromDense(
+    std::shared_ptr<const DenseMatrix> a) {
+  const uint64_t rows = a->rows();
+  const uint64_t cols = a->cols();
+  auto apply = [a](const std::vector<double>& x) { return a->Multiply(x); };
+  auto apply_t = [a](const std::vector<double>& x) {
+    return a->MultiplyTranspose(x);
+  };
+  return LinearOperator(rows, cols, std::move(apply), std::move(apply_t));
+}
+
+LinearOperator LinearOperator::FromCsr(std::shared_ptr<const CsrMatrix> a) {
+  const uint64_t rows = a->rows();
+  const uint64_t cols = a->cols();
+  auto apply = [a](const std::vector<double>& x) { return a->Multiply(x); };
+  auto apply_t = [a](const std::vector<double>& x) {
+    return a->MultiplyTranspose(x);
+  };
+  return LinearOperator(rows, cols, std::move(apply), std::move(apply_t));
+}
+
+}  // namespace sketch

@@ -1,0 +1,57 @@
+#ifndef SKETCH_CS_LINEAR_OPERATOR_H_
+#define SKETCH_CS_LINEAR_OPERATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "linalg/csr_matrix.h"
+#include "linalg/dense_matrix.h"
+
+namespace sketch {
+
+/// A measurement map y = A x presented abstractly: recovery algorithms
+/// that only need matrix-vector products (IHT) take this, so the same code
+/// runs against dense Gaussian ensembles and sparse hashing ensembles —
+/// the exact comparison §2 of the survey draws.
+class LinearOperator {
+ public:
+  using ApplyFn = std::function<std::vector<double>(const std::vector<double>&)>;
+
+  LinearOperator(uint64_t rows, uint64_t cols, ApplyFn apply,
+                 ApplyFn apply_transpose)
+      : rows_(rows),
+        cols_(cols),
+        apply_(std::move(apply)),
+        apply_transpose_(std::move(apply_transpose)) {}
+
+  /// Wraps a dense matrix (shares it via shared_ptr to keep the operator
+  /// copyable and cheap).
+  static LinearOperator FromDense(std::shared_ptr<const DenseMatrix> a);
+
+  /// Wraps a CSR matrix.
+  static LinearOperator FromCsr(std::shared_ptr<const CsrMatrix> a);
+
+  /// y = A x.
+  std::vector<double> Apply(const std::vector<double>& x) const {
+    return apply_(x);
+  }
+  /// y = A^T x.
+  std::vector<double> ApplyTranspose(const std::vector<double>& x) const {
+    return apply_transpose_(x);
+  }
+
+  uint64_t rows() const { return rows_; }
+  uint64_t cols() const { return cols_; }
+
+ private:
+  uint64_t rows_;
+  uint64_t cols_;
+  ApplyFn apply_;
+  ApplyFn apply_transpose_;
+};
+
+}  // namespace sketch
+
+#endif  // SKETCH_CS_LINEAR_OPERATOR_H_

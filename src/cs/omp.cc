@@ -1,0 +1,90 @@
+#include "cs/omp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/metrics.h"
+#include "linalg/least_squares.h"
+
+namespace sketch {
+
+OmpResult OmpRecover(const DenseMatrix& a, const std::vector<double>& y,
+                     const OmpOptions& options) {
+  const uint64_t m = a.rows();
+  const uint64_t n = a.cols();
+  SKETCH_CHECK(y.size() == m);
+  SKETCH_CHECK(options.sparsity >= 1);
+  SKETCH_CHECK(options.sparsity <= m);
+
+  // Precompute column norms for normalized correlations.
+  std::vector<double> col_norm(n, 0.0);
+  for (uint64_t r = 0; r < m; ++r) {
+    const double* row = a.Row(r);
+    for (uint64_t c = 0; c < n; ++c) col_norm[c] += row[c] * row[c];
+  }
+  for (double& v : col_norm) v = std::sqrt(v);
+
+  std::vector<double> residual = y;
+  std::vector<uint64_t> support;
+  std::vector<double> coefficients;
+
+  OmpResult result;
+  while (support.size() < options.sparsity) {
+    // Correlation pass: argmax_j |<residual, a_j>| / ||a_j||.
+    std::vector<double> corr(n, 0.0);
+    for (uint64_t r = 0; r < m; ++r) {
+      const double rr = residual[r];
+      if (rr == 0.0) continue;
+      const double* row = a.Row(r);
+      for (uint64_t c = 0; c < n; ++c) corr[c] += row[c] * rr;
+    }
+    uint64_t best = n;
+    double best_score = 0.0;
+    for (uint64_t c = 0; c < n; ++c) {
+      if (col_norm[c] == 0.0) continue;
+      if (std::find(support.begin(), support.end(), c) != support.end()) {
+        continue;
+      }
+      const double score = std::abs(corr[c]) / col_norm[c];
+      if (score > best_score) {
+        best_score = score;
+        best = c;
+      }
+    }
+    if (best == n || best_score == 0.0) break;
+    support.push_back(best);
+
+    // Projection: least squares on the selected columns.
+    DenseMatrix sub(m, support.size());
+    for (uint64_t r = 0; r < m; ++r) {
+      for (size_t s = 0; s < support.size(); ++s) {
+        sub.At(r, s) = a.At(r, support[s]);
+      }
+    }
+    coefficients = SolveLeastSquaresQr(sub, y);
+
+    // Residual = y - A_S coef.
+    residual = y;
+    for (uint64_t r = 0; r < m; ++r) {
+      double acc = 0.0;
+      for (size_t s = 0; s < support.size(); ++s) {
+        acc += sub.At(r, s) * coefficients[s];
+      }
+      residual[r] -= acc;
+    }
+    if (L2Norm(residual) < options.tolerance) break;
+  }
+
+  std::vector<SparseEntry> entries;
+  entries.reserve(support.size());
+  for (size_t s = 0; s < support.size(); ++s) {
+    entries.push_back({support[s], coefficients[s]});
+  }
+  result.estimate = SparseVector::FromEntries(n, std::move(entries));
+  result.residual_l2 = L2Norm(residual);
+  result.atoms_selected = support.size();
+  return result;
+}
+
+}  // namespace sketch

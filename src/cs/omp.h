@@ -1,0 +1,36 @@
+#ifndef SKETCH_CS_OMP_H_
+#define SKETCH_CS_OMP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/sparse_vector.h"
+
+namespace sketch {
+
+/// Options for Orthogonal Matching Pursuit.
+struct OmpOptions {
+  uint64_t sparsity = 10;   ///< number of atoms to select
+  double tolerance = 1e-9;  ///< stop early when the residual l2 falls below
+};
+
+/// Result of an OMP run.
+struct OmpResult {
+  SparseVector estimate;
+  double residual_l2 = 0.0;
+  uint64_t atoms_selected = 0;
+};
+
+/// Orthogonal Matching Pursuit: the classical greedy baseline for dense
+/// measurement ensembles. Repeats k times: pick the column most correlated
+/// with the residual, then re-solve least squares on the selected support
+/// (Householder QR). Each iteration costs a full O(nm) correlation pass —
+/// the dense-side cost that experiments E4/E5 contrast with hashing-based
+/// recovery.
+OmpResult OmpRecover(const DenseMatrix& a, const std::vector<double>& y,
+                     const OmpOptions& options);
+
+}  // namespace sketch
+
+#endif  // SKETCH_CS_OMP_H_

@@ -1,0 +1,74 @@
+#include "cs/signals.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace sketch {
+
+SparseVector MakeSparseSignal(uint64_t n, uint64_t k,
+                              SignalValueDistribution dist, uint64_t seed) {
+  SKETCH_CHECK(k <= n);
+  Xoshiro256StarStar rng(seed);
+  // Sample k distinct indices by Floyd's algorithm.
+  std::vector<uint64_t> support;
+  support.reserve(k);
+  std::vector<SparseEntry> entries;
+  entries.reserve(k);
+  // Floyd's sampling needs a membership test; k is small, use sorted probe.
+  std::vector<uint64_t> chosen;
+  for (uint64_t j = n - k; j < n; ++j) {
+    uint64_t t = rng.NextBounded(j + 1);
+    if (std::find(chosen.begin(), chosen.end(), t) != chosen.end()) t = j;
+    chosen.push_back(t);
+  }
+  for (uint64_t idx : chosen) {
+    double value = 0.0;
+    switch (dist) {
+      case SignalValueDistribution::kSignOnly:
+        value = (rng.Next() & 1) ? 1.0 : -1.0;
+        break;
+      case SignalValueDistribution::kGaussian:
+        do {
+          value = rng.NextGaussian();
+        } while (value == 0.0);
+        break;
+      case SignalValueDistribution::kUniformMagnitude: {
+        const double mag = 0.5 + rng.NextDouble();
+        value = (rng.Next() & 1) ? mag : -mag;
+        break;
+      }
+    }
+    entries.push_back({idx, value});
+  }
+  return SparseVector::FromEntries(n, std::move(entries));
+}
+
+std::vector<double> MakePowerLawSignal(uint64_t n, double decay,
+                                       uint64_t seed) {
+  SKETCH_CHECK(decay > 0.0);
+  Xoshiro256StarStar rng(seed);
+  std::vector<uint64_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (uint64_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.NextBounded(i)]);
+  }
+  std::vector<double> x(n, 0.0);
+  for (uint64_t rank = 0; rank < n; ++rank) {
+    const double mag = std::pow(static_cast<double>(rank + 1), -decay);
+    x[perm[rank]] = (rng.Next() & 1) ? mag : -mag;
+  }
+  return x;
+}
+
+void AddGaussianNoise(std::vector<double>* x, double sigma, uint64_t seed) {
+  SKETCH_CHECK(sigma >= 0.0);
+  if (sigma == 0.0) return;
+  Xoshiro256StarStar rng(seed);
+  for (double& v : *x) v += sigma * rng.NextGaussian();
+}
+
+}  // namespace sketch

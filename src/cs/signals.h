@@ -1,0 +1,36 @@
+#ifndef SKETCH_CS_SIGNALS_H_
+#define SKETCH_CS_SIGNALS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/sparse_vector.h"
+
+namespace sketch {
+
+/// How the nonzero values of a synthetic sparse signal are drawn.
+enum class SignalValueDistribution {
+  kSignOnly,   ///< values are ±1 (hardest case for magnitude-based pruning)
+  kGaussian,   ///< values ~ N(0, 1)
+  kUniformMagnitude,  ///< |value| uniform in [0.5, 1.5], random sign
+};
+
+/// Generates an exactly k-sparse signal of dimension n with a uniformly
+/// random support. These are the signals compressed-sensing guarantees are
+/// stated for (§2): recovery must succeed for *any* k-sparse x, so a
+/// random-support ensemble with adversarial ±1 values is the standard test.
+SparseVector MakeSparseSignal(uint64_t n, uint64_t k,
+                              SignalValueDistribution dist, uint64_t seed);
+
+/// Generates a compressible (power-law) signal: sorted coefficient
+/// magnitudes decay as i^{-decay}, random support order and signs. Models
+/// the "sparse after a change of basis" signals of imaging applications.
+std::vector<double> MakePowerLawSignal(uint64_t n, double decay,
+                                       uint64_t seed);
+
+/// Adds i.i.d. N(0, sigma^2) noise to a dense vector in place.
+void AddGaussianNoise(std::vector<double>* x, double sigma, uint64_t seed);
+
+}  // namespace sketch
+
+#endif  // SKETCH_CS_SIGNALS_H_

@@ -1,0 +1,77 @@
+#include "cs/smp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/metrics.h"
+#include "cs/iht.h"
+
+namespace sketch {
+
+namespace {
+
+double MedianOf(std::vector<double>* v) {
+  const auto mid = v->begin() + v->size() / 2;
+  std::nth_element(v->begin(), mid, v->end());
+  if (v->size() % 2 == 1) return *mid;
+  const double upper = *mid;
+  const double lower = *std::max_element(v->begin(), mid);
+  return 0.5 * (lower + upper);
+}
+
+}  // namespace
+
+SmpResult SmpRecover(const CsrMatrix& a, const std::vector<double>& y,
+                     const SmpOptions& options) {
+  SKETCH_CHECK(y.size() == a.rows());
+  SKETCH_CHECK(options.sparsity >= 1);
+  const uint64_t n = a.cols();
+  const CsrMatrix at = a.Transpose();
+
+  std::vector<double> x_hat(n, 0.0);
+  std::vector<double> residual = y;
+  double best_residual = L1Norm(residual);
+
+  SmpResult result;
+  std::vector<double> scratch;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    // Candidate update: per-coordinate median of the residual buckets.
+    std::vector<double> update(n, 0.0);
+    for (uint64_t i = 0; i < n; ++i) {
+      const CsrMatrix::RowView col = at.Row(i);
+      if (col.size == 0) continue;
+      scratch.assign(col.size, 0.0);
+      for (uint64_t t = 0; t < col.size; ++t) {
+        scratch[t] = residual[col.cols[t]];
+      }
+      update[i] = MedianOf(&scratch);
+    }
+    // Keep the 2k largest update entries, apply, re-sparsify to k.
+    HardThreshold(&update, 2 * options.sparsity);
+    for (uint64_t i = 0; i < n; ++i) x_hat[i] += update[i];
+    HardThreshold(&x_hat, options.sparsity);
+
+    // Residual = y - A x_hat via column walks (O(k d)).
+    residual = y;
+    for (uint64_t i = 0; i < n; ++i) {
+      if (x_hat[i] == 0.0) continue;
+      const CsrMatrix::RowView col = at.Row(i);
+      for (uint64_t t = 0; t < col.size; ++t) {
+        residual[col.cols[t]] -= x_hat[i];
+      }
+    }
+
+    result.iterations_run = it + 1;
+    const double l1 = L1Norm(residual);
+    if (l1 < options.convergence_tolerance) break;
+    if (l1 >= best_residual * (1.0 - 1e-9) && it > 2) break;  // stalled
+    best_residual = std::min(best_residual, l1);
+  }
+
+  result.estimate = SparseVector::FromDense(x_hat);
+  result.residual_l1 = L1Norm(residual);
+  return result;
+}
+
+}  // namespace sketch

@@ -1,0 +1,38 @@
+#ifndef SKETCH_CS_SMP_H_
+#define SKETCH_CS_SMP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/csr_matrix.h"
+#include "linalg/sparse_vector.h"
+
+namespace sketch {
+
+/// Options for Sparse Matching Pursuit.
+struct SmpOptions {
+  uint64_t sparsity = 10;  ///< target sparsity k
+  int max_iterations = 30;
+  double convergence_tolerance = 1e-9;
+};
+
+/// Result of an SMP run.
+struct SmpResult {
+  SparseVector estimate;
+  double residual_l1 = 0.0;
+  int iterations_run = 0;
+};
+
+/// Sparse Matching Pursuit [BGI+08] — the *batch* ancestor of SSMP
+/// (src/cs/ssmp.h): every iteration forms a full candidate update
+/// u (u_i = median of the residual over coordinate i's buckets), keeps
+/// its 2k largest entries, adds it to the estimate, and re-sparsifies to
+/// k terms. Same sparse binary measurement ensemble and ℓ1 guarantee as
+/// SSMP, but updates all coordinates at once — fewer, heavier iterations
+/// (the ablation pair measured in bench_ablation_smp).
+SmpResult SmpRecover(const CsrMatrix& a, const std::vector<double>& y,
+                     const SmpOptions& options);
+
+}  // namespace sketch
+
+#endif  // SKETCH_CS_SMP_H_

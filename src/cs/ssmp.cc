@@ -1,0 +1,114 @@
+#include "cs/ssmp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/metrics.h"
+
+namespace sketch {
+
+namespace {
+
+/// Median of a small scratch vector (modifies it).
+double MedianInPlace(std::vector<double>* v) {
+  const auto mid = v->begin() + v->size() / 2;
+  std::nth_element(v->begin(), mid, v->end());
+  if (v->size() % 2 == 1) return *mid;
+  const double upper = *mid;
+  const double lower = *std::max_element(v->begin(), mid);
+  return 0.5 * (lower + upper);
+}
+
+}  // namespace
+
+SsmpResult SsmpRecover(const CsrMatrix& a, const std::vector<double>& y,
+                       const SsmpOptions& options) {
+  SKETCH_CHECK(y.size() == a.rows());
+  SKETCH_CHECK(options.sparsity >= 1);
+  const uint64_t n = a.cols();
+  const CsrMatrix at = a.Transpose();  // row i of `at` lists i's buckets
+
+  std::vector<double> x_hat(n, 0.0);
+  std::vector<double> residual = y;
+  double best_residual_l1 = L1Norm(residual);
+
+  SsmpResult result;
+  std::vector<double> scratch;
+  const int steps =
+      options.steps_per_phase_factor * static_cast<int>(options.sparsity);
+
+  for (int phase = 0; phase < options.phases; ++phase) {
+    for (int step = 0; step < steps; ++step) {
+      // Find the single-coordinate update with the largest l1 gain.
+      double best_gain = options.convergence_tolerance;
+      uint64_t best_i = n;
+      double best_z = 0.0;
+      for (uint64_t i = 0; i < n; ++i) {
+        const CsrMatrix::RowView col = at.Row(i);
+        if (col.size == 0) continue;
+        scratch.assign(col.size, 0.0);
+        for (uint64_t t = 0; t < col.size; ++t) {
+          scratch[t] = residual[col.cols[t]];
+        }
+        const double z = MedianInPlace(&scratch);
+        if (z == 0.0) continue;
+        double gain = 0.0;
+        for (uint64_t t = 0; t < col.size; ++t) {
+          const double r = residual[col.cols[t]];
+          gain += std::abs(r) - std::abs(r - z);
+        }
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_i = i;
+          best_z = z;
+        }
+      }
+      if (best_i == n) break;  // no improving update
+      x_hat[best_i] += best_z;
+      const CsrMatrix::RowView col = at.Row(best_i);
+      for (uint64_t t = 0; t < col.size; ++t) {
+        residual[col.cols[t]] -= best_z;
+      }
+    }
+
+    // Sparsify: keep the k largest-magnitude coordinates.
+    std::vector<SparseEntry> entries;
+    for (uint64_t i = 0; i < n; ++i) {
+      if (x_hat[i] != 0.0) entries.push_back({i, x_hat[i]});
+    }
+    if (entries.size() > options.sparsity) {
+      std::nth_element(entries.begin(), entries.begin() + options.sparsity,
+                       entries.end(),
+                       [](const SparseEntry& p, const SparseEntry& q) {
+                         return std::abs(p.value) > std::abs(q.value);
+                       });
+      entries.resize(options.sparsity);
+    }
+    std::fill(x_hat.begin(), x_hat.end(), 0.0);
+    for (const SparseEntry& e : entries) x_hat[e.index] = e.value;
+
+    // Rebuild the residual from scratch (column walks keep this O(k d)).
+    residual = y;
+    for (const SparseEntry& e : entries) {
+      const CsrMatrix::RowView col = at.Row(e.index);
+      for (uint64_t t = 0; t < col.size; ++t) {
+        residual[col.cols[t]] -= e.value;
+      }
+    }
+
+    result.phases_run = phase + 1;
+    const double l1 = L1Norm(residual);
+    if (l1 >= best_residual_l1 - options.convergence_tolerance) {
+      best_residual_l1 = std::min(best_residual_l1, l1);
+      break;
+    }
+    best_residual_l1 = l1;
+  }
+
+  result.estimate = SparseVector::FromDense(x_hat);
+  result.residual_l1 = L1Norm(residual);
+  return result;
+}
+
+}  // namespace sketch

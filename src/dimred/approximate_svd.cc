@@ -1,0 +1,80 @@
+#include "dimred/approximate_svd.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/symmetric_eigen.h"
+
+namespace sketch {
+
+ApproximateSvdResult ApproximateSvd(const DenseMatrix& a, uint64_t rank,
+                                    uint64_t oversampling,
+                                    LowRankSketchType type, uint64_t seed) {
+  const uint64_t rows = a.rows();
+  const uint64_t cols = a.cols();
+  SKETCH_CHECK(rank >= 1);
+  SKETCH_CHECK(rank + oversampling <= std::min(rows, cols));
+
+  // Stage 1: approximate range basis Q (rows x l).
+  const LowRankResult range =
+      RandomizedRangeFinder(a, rank, oversampling, type, seed);
+  const DenseMatrix& q = range.basis;
+  const uint64_t l = q.cols();
+
+  // Stage 2: B = Q^T A (l x cols).
+  DenseMatrix b(l, cols);
+  for (uint64_t r = 0; r < rows; ++r) {
+    const double* a_row = a.Row(r);
+    const double* q_row = q.Row(r);
+    for (uint64_t t = 0; t < l; ++t) {
+      const double qv = q_row[t];
+      if (qv == 0.0) continue;
+      double* b_row = b.Row(t);
+      for (uint64_t c = 0; c < cols; ++c) b_row[c] += qv * a_row[c];
+    }
+  }
+
+  // Stage 3: eigendecompose the small Gram matrix B B^T = W diag(lam) W^T;
+  // then A ~ (Q W) diag(sqrt(lam)) (B^T W / sqrt(lam))^T.
+  DenseMatrix gram(l, l);
+  for (uint64_t i = 0; i < l; ++i) {
+    for (uint64_t j = i; j < l; ++j) {
+      double dot = 0.0;
+      for (uint64_t c = 0; c < cols; ++c) dot += b.At(i, c) * b.At(j, c);
+      gram.At(i, j) = dot;
+      gram.At(j, i) = dot;
+    }
+  }
+  const SymmetricEigen eigen = JacobiEigenDecomposition(gram);
+
+  ApproximateSvdResult result;
+  result.singular_values.resize(rank);
+  result.u = DenseMatrix(rows, rank);
+  result.v = DenseMatrix(cols, rank);
+  for (uint64_t t = 0; t < rank; ++t) {
+    const double lambda = std::max(eigen.values[t], 0.0);
+    const double sigma = std::sqrt(lambda);
+    result.singular_values[t] = sigma;
+    // u_t = Q * w_t.
+    for (uint64_t r = 0; r < rows; ++r) {
+      double acc = 0.0;
+      for (uint64_t i = 0; i < l; ++i) {
+        acc += q.At(r, i) * eigen.vectors.At(i, t);
+      }
+      result.u.At(r, t) = acc;
+    }
+    // v_t = B^T w_t / sigma (left at zero for null directions).
+    if (sigma > 1e-12) {
+      for (uint64_t c = 0; c < cols; ++c) {
+        double acc = 0.0;
+        for (uint64_t i = 0; i < l; ++i) {
+          acc += b.At(i, c) * eigen.vectors.At(i, t);
+        }
+        result.v.At(c, t) = acc / sigma;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sketch

@@ -1,0 +1,34 @@
+#ifndef SKETCH_DIMRED_APPROXIMATE_SVD_H_
+#define SKETCH_DIMRED_APPROXIMATE_SVD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dimred/sketched_lowrank.h"
+#include "linalg/dense_matrix.h"
+
+namespace sketch {
+
+/// Rank-r approximate singular value decomposition A ~ U diag(s) V^T.
+struct ApproximateSvdResult {
+  std::vector<double> singular_values;  ///< descending, length rank
+  DenseMatrix u;                        ///< rows(A) x rank, orthonormal cols
+  DenseMatrix v;                        ///< cols(A) x rank, orthonormal cols
+  ApproximateSvdResult() : u(1, 1), v(1, 1) {}
+};
+
+/// Randomized SVD (Halko–Martinsson–Tropp, with optional Count-Sketch test
+/// matrices [CW13]): range-find Q, project B = Q^T A, eigendecompose the
+/// small B B^T by Jacobi, and lift. Completes the survey's §3 claim that
+/// sketching yields the "key problems in numerical linear algebra" —
+/// regression *and* low-rank factorizations — in near input-sparsity time.
+///
+/// The top singular values/vectors are accurate when the spectrum decays
+/// past `rank` (oversampling absorbs slow decay).
+ApproximateSvdResult ApproximateSvd(const DenseMatrix& a, uint64_t rank,
+                                    uint64_t oversampling,
+                                    LowRankSketchType type, uint64_t seed);
+
+}  // namespace sketch
+
+#endif  // SKETCH_DIMRED_APPROXIMATE_SVD_H_

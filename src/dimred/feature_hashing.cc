@@ -1,0 +1,35 @@
+#include "dimred/feature_hashing.h"
+
+#include "common/check.h"
+#include "common/prng.h"
+#include "hash/string_key.h"
+
+namespace sketch {
+
+FeatureHasher::FeatureHasher(uint64_t output_dim, uint64_t seed)
+    : output_dim_(output_dim),
+      bucket_hash_(2, SplitMix64Once(seed * 7 + 1)),
+      sign_hash_(2, SplitMix64Once(~seed * 7 + 3)) {
+  SKETCH_CHECK(output_dim >= 1);
+}
+
+uint64_t FeatureHasher::FeatureId(std::string_view name) {
+  return StringKeyId(name);
+}
+
+void FeatureHasher::AddFeature(std::string_view name, double value,
+                               std::vector<double>* out) const {
+  SKETCH_CHECK(out->size() == output_dim_);
+  const uint64_t id = FeatureId(name);
+  (*out)[bucket_hash_.Bucket(id, output_dim_)] +=
+      sign_hash_.Sign(id) * value;
+}
+
+std::vector<double> FeatureHasher::HashFeatures(
+    const std::vector<std::pair<std::string_view, double>>& features) const {
+  std::vector<double> out(output_dim_, 0.0);
+  for (const auto& [name, value] : features) AddFeature(name, value, &out);
+  return out;
+}
+
+}  // namespace sketch

@@ -1,0 +1,44 @@
+#ifndef SKETCH_DIMRED_SKETCHED_LOWRANK_H_
+#define SKETCH_DIMRED_SKETCHED_LOWRANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+
+namespace sketch {
+
+/// Which test matrix the range finder multiplies A by.
+enum class LowRankSketchType {
+  kCountSketch,  ///< one ±1 per column of the test matrix: O(nnz(A)) pass
+  kGaussian,     ///< dense Gaussian test matrix: O(rows·cols·l)
+};
+
+/// Result of a randomized low-rank approximation.
+struct LowRankResult {
+  /// Orthonormal basis Q (rows x l) for the approximate range of A.
+  DenseMatrix basis;
+  double build_seconds = 0.0;
+  LowRankResult() : basis(1, 1) {}
+};
+
+/// Randomized range finder (Halko–Martinsson–Tropp, with the sparse test
+/// matrices of [CW13]): Y = A Ω for a random (cols x l) test matrix Ω with
+/// l = rank + oversampling, followed by Gram–Schmidt. The rank-l
+/// approximation is Q (Q^T A); its Frobenius error is near-optimal with
+/// constant probability. With a Count-Sketch Ω the product costs one pass
+/// over A — the survey's §3 "low-rank approximation in input-sparsity
+/// time".
+LowRankResult RandomizedRangeFinder(const DenseMatrix& a, uint64_t rank,
+                                    uint64_t oversampling,
+                                    LowRankSketchType type, uint64_t seed);
+
+/// ||A - Q Q^T A||_F — the approximation error of the basis Q.
+double LowRankApproximationError(const DenseMatrix& a, const DenseMatrix& q);
+
+/// ||A||_F.
+double FrobeniusNorm(const DenseMatrix& a);
+
+}  // namespace sketch
+
+#endif  // SKETCH_DIMRED_SKETCHED_LOWRANK_H_

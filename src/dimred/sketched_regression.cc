@@ -1,0 +1,101 @@
+#include "dimred/sketched_regression.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/metrics.h"
+#include "common/prng.h"
+#include "common/timer.h"
+#include "hash/kwise_hash.h"
+#include "linalg/least_squares.h"
+
+namespace sketch {
+
+SketchedRegressionResult SolveSketchedRegression(const DenseMatrix& a,
+                                                 const std::vector<double>& b,
+                                                 uint64_t sketch_rows,
+                                                 RegressionSketchType type,
+                                                 uint64_t seed,
+                                                 int osnap_sparsity) {
+  const uint64_t n = a.rows();
+  const uint64_t d = a.cols();
+  SKETCH_CHECK(b.size() == n);
+  SKETCH_CHECK(sketch_rows >= d + 1);
+  SKETCH_CHECK(sketch_rows <= n);
+
+  SketchedRegressionResult result;
+  Timer timer;
+
+  // Form SA (m x d) and Sb (m).
+  DenseMatrix sa(sketch_rows, d);
+  std::vector<double> sb(sketch_rows, 0.0);
+
+  if (type == RegressionSketchType::kOsnap) {
+    // OSNAP [NN12]: the output is split into s blocks; each input row
+    // lands once per block with a ±1/sqrt(s) sign. One pass over A,
+    // O(s * nnz(A)) work; subspace embedding already at m = O~(d).
+    const int s = osnap_sparsity;
+    SKETCH_CHECK(s >= 1 && static_cast<uint64_t>(s) <= sketch_rows);
+    const uint64_t block = sketch_rows / s;
+    const double scale = 1.0 / std::sqrt(static_cast<double>(s));
+    std::vector<KWiseHash> bucket_hashes;
+    std::vector<KWiseHash> sign_hashes;
+    for (int i = 0; i < s; ++i) {
+      bucket_hashes.emplace_back(2, SplitMix64Once(seed * 29 + i));
+      sign_hashes.emplace_back(2, SplitMix64Once(~seed * 29 + i + 5));
+    }
+    for (uint64_t r = 0; r < n; ++r) {
+      const double* row = a.Row(r);
+      for (int i = 0; i < s; ++i) {
+        const uint64_t out = i * block + bucket_hashes[i].Bucket(r, block);
+        const double sign = sign_hashes[i].Sign(r) * scale;
+        double* out_row = sa.Row(out);
+        for (uint64_t c = 0; c < d; ++c) out_row[c] += sign * row[c];
+        sb[out] += sign * b[r];
+      }
+    }
+  } else if (type == RegressionSketchType::kCountSketch) {
+    // Each input row r lands in one hashed output row with a ±1 sign:
+    // a single pass over A, O(nnz(A) + m d) total.
+    const KWiseHash bucket_hash(2, SplitMix64Once(seed * 11 + 1));
+    const KWiseHash sign_hash(2, SplitMix64Once(~seed * 11 + 5));
+    for (uint64_t r = 0; r < n; ++r) {
+      const uint64_t out = bucket_hash.Bucket(r, sketch_rows);
+      const double sign = sign_hash.Sign(r);
+      const double* row = a.Row(r);
+      double* out_row = sa.Row(out);
+      for (uint64_t c = 0; c < d; ++c) out_row[c] += sign * row[c];
+      sb[out] += sign * b[r];
+    }
+  } else {
+    // Dense Gaussian sketch: S is m x n with N(0, 1/m) entries. Stream S
+    // row-block-wise to avoid materializing it: for each input row r,
+    // accumulate its contribution to all m output rows — O(n m d).
+    Xoshiro256StarStar rng(seed);
+    const double scale = 1.0 / std::sqrt(static_cast<double>(sketch_rows));
+    for (uint64_t r = 0; r < n; ++r) {
+      const double* row = a.Row(r);
+      for (uint64_t out = 0; out < sketch_rows; ++out) {
+        const double s = rng.NextGaussian() * scale;
+        if (s == 0.0) continue;
+        double* out_row = sa.Row(out);
+        for (uint64_t c = 0; c < d; ++c) out_row[c] += s * row[c];
+        sb[out] += s * b[r];
+      }
+    }
+  }
+  result.sketch_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  result.solution = SolveLeastSquaresQr(sa, sb);
+  result.solve_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+double RegressionResidual(const DenseMatrix& a, const std::vector<double>& x,
+                          const std::vector<double>& b) {
+  const std::vector<double> ax = a.Multiply(x);
+  return L2Distance(ax, b) / L2Norm(b);
+}
+
+}  // namespace sketch

@@ -1,0 +1,59 @@
+#ifndef SKETCH_DIMRED_SKETCHED_REGRESSION_H_
+#define SKETCH_DIMRED_SKETCHED_REGRESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+
+namespace sketch {
+
+/// Which subspace embedding sketches the rows of [A | b].
+enum class RegressionSketchType {
+  kCountSketch,  ///< [CW13] sparse embedding: O(nnz(A)) sketch time
+  kGaussian,     ///< dense Gaussian: O(n m d) sketch time (baseline)
+  kOsnap,        ///< [NN12] s nonzeros/row: O(s nnz(A)), m = O~(d) suffices
+};
+
+/// Result of a sketched least-squares solve.
+struct SketchedRegressionResult {
+  std::vector<double> solution;   ///< approximate argmin ||Ax - b||_2
+  double sketch_seconds = 0.0;    ///< time to form SA, Sb
+  double solve_seconds = 0.0;     ///< time for the m x d QR solve
+};
+
+/// Sketch-and-solve least squares [CW13] (§3 of the survey, and the
+/// gateway to "almost linear time numerical linear algebra"): draw a
+/// subspace embedding S with m = O(d^2/eps) rows (Count-Sketch) or
+/// m = O(d/eps^2) rows (Gaussian), and return argmin ||S A x - S b||_2.
+/// With constant probability, ||A x' - b|| <= (1 + eps) min_x ||A x - b||.
+///
+/// The Count-Sketch embedding applies in a single O(nnz(A)) pass over the
+/// rows — the input-sparsity-time result this library reproduces in E8.
+///
+/// The Count-Sketch embedding needs m = O(d^2/eps) rows; the OSNAP
+/// embedding [NN12] spreads each input row over `osnap_sparsity` hashed
+/// rows (scaled 1/sqrt(s)) and achieves the subspace guarantee at
+/// m = O~(d) — the fix for Count-Sketch's quadratic blowup when d is
+/// large relative to n.
+///
+/// \param a               n x d design matrix (n >> d).
+/// \param b               response vector, length n.
+/// \param sketch_rows     m; must satisfy m >= d + 1.
+/// \param osnap_sparsity  s (only used by kOsnap); must divide into
+///                        sketch_rows at least once (s <= sketch_rows).
+SketchedRegressionResult SolveSketchedRegression(const DenseMatrix& a,
+                                                 const std::vector<double>& b,
+                                                 uint64_t sketch_rows,
+                                                 RegressionSketchType type,
+                                                 uint64_t seed,
+                                                 int osnap_sparsity = 8);
+
+/// Relative regression error ||A x - b||_2 / ||b||_2 (shared metric for
+/// E8 tables).
+double RegressionResidual(const DenseMatrix& a, const std::vector<double>& x,
+                          const std::vector<double>& b);
+
+}  // namespace sketch
+
+#endif  // SKETCH_DIMRED_SKETCHED_REGRESSION_H_

@@ -1,0 +1,130 @@
+#include "fft/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace sketch {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/// Smallest power of two >= n.
+uint64_t NextPowerOfTwo(uint64_t n) {
+  uint64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Bluestein's chirp-z transform: expresses an arbitrary-length DFT as a
+/// convolution, evaluated with power-of-two FFTs of length >= 2n-1.
+std::vector<Complex> BluesteinDft(const std::vector<Complex>& x,
+                                  bool inverse) {
+  const uint64_t n = x.size();
+  const double sign = inverse ? 1.0 : -1.0;
+  // Chirp c[j] = exp(sign * i * pi * j^2 / n). j^2 mod 2n keeps the angle
+  // argument bounded for large n (exp is 2*pi periodic; j^2/n * pi has
+  // period 2n in j^2).
+  std::vector<Complex> chirp(n);
+  for (uint64_t j = 0; j < n; ++j) {
+    const uint64_t j2 = static_cast<uint64_t>(
+        (static_cast<__uint128_t>(j) * j) % (2 * n));
+    const double angle = sign * kPi * static_cast<double>(j2) /
+                         static_cast<double>(n);
+    chirp[j] = Complex(std::cos(angle), std::sin(angle));
+  }
+  const uint64_t m = NextPowerOfTwo(2 * n - 1);
+  std::vector<Complex> a(m, Complex(0, 0));
+  std::vector<Complex> b(m, Complex(0, 0));
+  for (uint64_t j = 0; j < n; ++j) a[j] = x[j] * chirp[j];
+  b[0] = std::conj(chirp[0]);
+  for (uint64_t j = 1; j < n; ++j) {
+    b[j] = b[m - j] = std::conj(chirp[j]);
+  }
+  FftPow2InPlace(&a, /*inverse=*/false);
+  FftPow2InPlace(&b, /*inverse=*/false);
+  for (uint64_t j = 0; j < m; ++j) a[j] *= b[j];
+  FftPow2InPlace(&a, /*inverse=*/true);
+  std::vector<Complex> result(n);
+  for (uint64_t j = 0; j < n; ++j) result[j] = a[j] * chirp[j];
+  return result;
+}
+
+}  // namespace
+
+void FftPow2InPlace(std::vector<Complex>* x, bool inverse) {
+  std::vector<Complex>& a = *x;
+  const uint64_t n = a.size();
+  SKETCH_CHECK(IsPowerOfTwo(n));
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (uint64_t i = 1, j = 0; i < n; ++i) {
+    uint64_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  const double sign = inverse ? 1.0 : -1.0;
+  for (uint64_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * kPi / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (uint64_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (uint64_t j = 0; j < len / 2; ++j) {
+        const Complex u = a[i + j];
+        const Complex v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& v : a) v *= inv_n;
+  }
+}
+
+std::vector<Complex> Fft(const std::vector<Complex>& x) {
+  SKETCH_CHECK(!x.empty());
+  if (IsPowerOfTwo(x.size())) {
+    std::vector<Complex> a = x;
+    FftPow2InPlace(&a, /*inverse=*/false);
+    return a;
+  }
+  return BluesteinDft(x, /*inverse=*/false);
+}
+
+std::vector<Complex> InverseFft(const std::vector<Complex>& x) {
+  SKETCH_CHECK(!x.empty());
+  if (IsPowerOfTwo(x.size())) {
+    std::vector<Complex> a = x;
+    FftPow2InPlace(&a, /*inverse=*/true);
+    return a;
+  }
+  std::vector<Complex> a = BluesteinDft(x, /*inverse=*/true);
+  const double inv_n = 1.0 / static_cast<double>(x.size());
+  for (auto& v : a) v *= inv_n;
+  return a;
+}
+
+std::vector<Complex> NaiveDft(const std::vector<Complex>& x) {
+  const uint64_t n = x.size();
+  std::vector<Complex> out(n, Complex(0, 0));
+  for (uint64_t f = 0; f < n; ++f) {
+    Complex acc(0, 0);
+    for (uint64_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * kPi * static_cast<double>((f * t) % n) /
+                           static_cast<double>(n);
+      acc += x[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[f] = acc;
+  }
+  return out;
+}
+
+}  // namespace sketch

@@ -1,0 +1,42 @@
+#ifndef SKETCH_FFT_FFT_H_
+#define SKETCH_FFT_FFT_H_
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Discrete Fourier transforms, built from scratch as the substrate and
+/// the baseline for the sparse Fourier transform (§4 of the survey).
+///
+/// Conventions: the forward transform is
+///   xhat[f] = sum_t x[t] * exp(-2*pi*i*f*t/n),
+/// and the inverse divides by n, so Inverse(Forward(x)) == x.
+///
+/// Power-of-two sizes use an in-place iterative radix-2 Cooley–Tukey;
+/// arbitrary sizes fall back to Bluestein's chirp-z algorithm (itself built
+/// on the radix-2 kernel), so every size runs in O(n log n).
+
+namespace sketch {
+
+using Complex = std::complex<double>;
+
+/// Returns true iff `n` is a power of two (n >= 1).
+constexpr bool IsPowerOfTwo(uint64_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Forward DFT of `x` (any length >= 1). O(n log n).
+std::vector<Complex> Fft(const std::vector<Complex>& x);
+
+/// Inverse DFT of `x` (any length >= 1), normalized by 1/n. O(n log n).
+std::vector<Complex> InverseFft(const std::vector<Complex>& x);
+
+/// In-place forward/inverse transform for power-of-two sizes only.
+/// When `inverse` is true the result is scaled by 1/n.
+void FftPow2InPlace(std::vector<Complex>* x, bool inverse);
+
+/// Naive O(n^2) DFT; the correctness oracle for tests.
+std::vector<Complex> NaiveDft(const std::vector<Complex>& x);
+
+}  // namespace sketch
+
+#endif  // SKETCH_FFT_FFT_H_

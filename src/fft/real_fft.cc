@@ -1,0 +1,85 @@
+#include "fft/real_fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace sketch {
+
+std::vector<Complex> RealFft(const std::vector<double>& x) {
+  const uint64_t n = x.size();
+  SKETCH_CHECK(n >= 2 && n % 2 == 0);
+  const uint64_t m = n / 2;
+
+  // Pack even samples into the real part, odd into the imaginary part.
+  std::vector<Complex> z(m);
+  for (uint64_t j = 0; j < m; ++j) {
+    z[j] = Complex(x[2 * j], x[2 * j + 1]);
+  }
+  const std::vector<Complex> big_z = Fft(z);
+
+  // Untangle: with E/O the spectra of the even/odd subsequences,
+  //   E[f] = (Z[f] + conj(Z[m-f])) / 2,
+  //   O[f] = (Z[f] - conj(Z[m-f])) / (2i),
+  //   X[f] = E[f] + e^{-2 pi i f / n} O[f],  f = 0..m.
+  std::vector<Complex> out(m + 1);
+  for (uint64_t f = 0; f <= m; ++f) {
+    const Complex zf = big_z[f % m];
+    const Complex zc = std::conj(big_z[(m - f) % m]);
+    const Complex even = 0.5 * (zf + zc);
+    const Complex odd = Complex(0.0, -0.5) * (zf - zc);
+    const double angle = -2.0 * std::numbers::pi * static_cast<double>(f) /
+                         static_cast<double>(n);
+    out[f] = even + Complex(std::cos(angle), std::sin(angle)) * odd;
+  }
+  return out;
+}
+
+std::vector<double> InverseRealFft(const std::vector<Complex>& half_spectrum,
+                                   uint64_t n) {
+  SKETCH_CHECK(n >= 2 && n % 2 == 0);
+  SKETCH_CHECK(half_spectrum.size() == n / 2 + 1);
+  // Expand to the full conjugate-symmetric spectrum and run the complex
+  // inverse (simple and robust; the forward path is the hot one).
+  std::vector<Complex> full(n);
+  for (uint64_t f = 0; f <= n / 2; ++f) full[f] = half_spectrum[f];
+  for (uint64_t f = n / 2 + 1; f < n; ++f) {
+    full[f] = std::conj(half_spectrum[n - f]);
+  }
+  const std::vector<Complex> time = InverseFft(full);
+  std::vector<double> out(n);
+  for (uint64_t t = 0; t < n; ++t) out[t] = time[t].real();
+  return out;
+}
+
+std::vector<double> CircularConvolve(const std::vector<double>& a,
+                                     const std::vector<double>& b) {
+  SKETCH_CHECK(a.size() == b.size());
+  SKETCH_CHECK(!a.empty());
+  const uint64_t n = a.size();
+  if (n % 2 == 0) {
+    // Real-FFT path: half the transform work.
+    const std::vector<Complex> fa = RealFft(a);
+    const std::vector<Complex> fb = RealFft(b);
+    std::vector<Complex> product(fa.size());
+    for (size_t f = 0; f < fa.size(); ++f) product[f] = fa[f] * fb[f];
+    return InverseRealFft(product, n);
+  }
+  // Odd length: complex fallback.
+  std::vector<Complex> ca(n), cb(n);
+  for (uint64_t t = 0; t < n; ++t) {
+    ca[t] = Complex(a[t], 0.0);
+    cb[t] = Complex(b[t], 0.0);
+  }
+  const std::vector<Complex> fa = Fft(ca);
+  const std::vector<Complex> fb = Fft(cb);
+  std::vector<Complex> product(n);
+  for (uint64_t f = 0; f < n; ++f) product[f] = fa[f] * fb[f];
+  const std::vector<Complex> time = InverseFft(product);
+  std::vector<double> out(n);
+  for (uint64_t t = 0; t < n; ++t) out[t] = time[t].real();
+  return out;
+}
+
+}  // namespace sketch

@@ -1,0 +1,34 @@
+#ifndef SKETCH_FFT_REAL_FFT_H_
+#define SKETCH_FFT_REAL_FFT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fft/fft.h"
+
+namespace sketch {
+
+/// Forward DFT of a real signal, exploiting conjugate symmetry: an
+/// even-length real FFT runs as one complex FFT of half the size (pack
+/// even samples into the real part, odd into the imaginary part, then
+/// untangle). Returns only the non-redundant half-spectrum,
+/// xhat[0 .. n/2] (n/2 + 1 bins); the rest follows from
+/// xhat[n-f] = conj(xhat[f]).
+///
+/// Requires even n (power-of-two sizes hit the fast path throughout).
+std::vector<Complex> RealFft(const std::vector<double>& x);
+
+/// Inverse of RealFft: reconstructs the length-n real signal from its
+/// n/2 + 1 half-spectrum bins.
+std::vector<double> InverseRealFft(const std::vector<Complex>& half_spectrum,
+                                   uint64_t n);
+
+/// Circular convolution of two equal-length real vectors via the
+/// convolution theorem. O(n log n); the workhorse behind Bluestein and a
+/// common consumer of the FFT substrate in its own right.
+std::vector<double> CircularConvolve(const std::vector<double>& a,
+                                     const std::vector<double>& b);
+
+}  // namespace sketch
+
+#endif  // SKETCH_FFT_REAL_FFT_H_

@@ -1,0 +1,45 @@
+#include "hash/kwise_hash.h"
+
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace sketch {
+
+uint64_t MulModMersenne61(uint64_t a, uint64_t b) {
+  const __uint128_t prod = static_cast<__uint128_t>(a) * b;
+  // Fold: prod = hi * 2^61 + lo, and 2^61 ≡ 1 (mod p).
+  uint64_t lo = static_cast<uint64_t>(prod) & kMersennePrime61;
+  uint64_t hi = static_cast<uint64_t>(prod >> 61);
+  uint64_t r = lo + hi;
+  if (r >= kMersennePrime61) r -= kMersennePrime61;
+  return r;
+}
+
+KWiseHash::KWiseHash(int independence, uint64_t seed) {
+  SKETCH_CHECK(independence >= 1);
+  coeffs_.resize(independence);
+  SplitMix64 sm(seed);
+  for (int i = 0; i < independence; ++i) {
+    // Rejection-sample uniformly from [0, p). The leading coefficient may
+    // be zero; that only degrades to (k-1)-wise independence with
+    // probability 1/p, which is negligible and standard practice.
+    uint64_t c;
+    do {
+      c = sm.Next() & ((1ULL << 61) - 1);
+    } while (c >= kMersennePrime61);
+    coeffs_[i] = c;
+  }
+}
+
+uint64_t KWiseHash::Hash(uint64_t x) const {
+  uint64_t xr = x % kMersennePrime61;
+  // Horner evaluation from the highest-degree coefficient down.
+  uint64_t acc = coeffs_.back();
+  for (size_t i = coeffs_.size() - 1; i-- > 0;) {
+    acc = MulModMersenne61(acc, xr) + coeffs_[i];
+    if (acc >= kMersennePrime61) acc -= kMersennePrime61;
+  }
+  return acc;
+}
+
+}  // namespace sketch

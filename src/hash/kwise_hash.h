@@ -1,0 +1,60 @@
+#ifndef SKETCH_HASH_KWISE_HASH_H_
+#define SKETCH_HASH_KWISE_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// k-wise independent hashing over the Mersenne prime p = 2^61 - 1.
+///
+/// This is the workhorse hash family behind every sketch in the library
+/// (§1 of the survey): a degree-(k-1) polynomial with random coefficients
+/// evaluated mod p is a k-wise independent function [Carter–Wegman]. Two-
+/// wise independence suffices for Count-Min buckets and Count-Sketch signs;
+/// four-wise independence is needed for the AMS F2 second-moment estimator.
+
+namespace sketch {
+
+/// The Mersenne prime 2^61 - 1 used as the hash field modulus.
+inline constexpr uint64_t kMersennePrime61 = (1ULL << 61) - 1;
+
+/// A k-wise independent hash function h : [2^61-1] -> [2^61-1], realized as
+/// a random polynomial of degree k-1 over GF(p), p = 2^61 - 1.
+///
+/// Deterministic given (independence, seed): the same seed always yields
+/// the same function, which makes sketch mergeability and experiment
+/// reproducibility trivial.
+class KWiseHash {
+ public:
+  /// \param independence  k >= 1; the returned family is k-wise
+  ///                      independent (k=1 is a constant function, rarely
+  ///                      useful; k=2 for buckets/signs; k=4 for AMS).
+  /// \param seed          seed from which the k coefficients are drawn.
+  KWiseHash(int independence, uint64_t seed);
+
+  /// Evaluates the polynomial at `x` (reduced mod p first); result in
+  /// [0, p).
+  uint64_t Hash(uint64_t x) const;
+
+  /// Hash reduced onto the bucket range [0, num_buckets).
+  uint64_t Bucket(uint64_t x, uint64_t num_buckets) const {
+    return Hash(x) % num_buckets;
+  }
+
+  /// A ±1 sign derived from the low bit of the hash; with k>=2 the signs
+  /// of distinct keys are pairwise independent and unbiased.
+  int Sign(uint64_t x) const { return (Hash(x) & 1) ? +1 : -1; }
+
+  int independence() const { return static_cast<int>(coeffs_.size()); }
+
+ private:
+  std::vector<uint64_t> coeffs_;  // coeffs_[0] is the constant term
+};
+
+/// Modular multiplication a*b mod (2^61 - 1) via 128-bit product and
+/// Mersenne folding. Exposed for reuse by tests and other hash utilities.
+uint64_t MulModMersenne61(uint64_t a, uint64_t b);
+
+}  // namespace sketch
+
+#endif  // SKETCH_HASH_KWISE_HASH_H_

@@ -1,0 +1,38 @@
+#ifndef SKETCH_HASH_MULTIPLY_SHIFT_H_
+#define SKETCH_HASH_MULTIPLY_SHIFT_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace sketch {
+
+/// Dietzfelbinger's multiply-shift hashing: h(x) = (a*x + b) >> (64 - d),
+/// mapping 64-bit keys to d-bit buckets. Universal (and close to 2-wise
+/// independent) with a single multiply — the cheapest per-update hash in
+/// the library, used where raw update throughput matters more than strict
+/// independence guarantees (e.g., Bloom filter probes).
+class MultiplyShiftHash {
+ public:
+  /// \param out_bits  number of output bits d in [1, 63].
+  /// \param seed      seed for the random odd multiplier and offset.
+  MultiplyShiftHash(int out_bits, uint64_t seed) : shift_(64 - out_bits) {
+    SKETCH_CHECK(out_bits >= 1 && out_bits <= 63);
+    SplitMix64 sm(seed);
+    a_ = sm.Next() | 1;  // multiplier must be odd
+    b_ = sm.Next();
+  }
+
+  /// Hashes `x` to [0, 2^out_bits).
+  uint64_t Hash(uint64_t x) const { return (a_ * x + b_) >> shift_; }
+
+ private:
+  int shift_;
+  uint64_t a_;
+  uint64_t b_;
+};
+
+}  // namespace sketch
+
+#endif  // SKETCH_HASH_MULTIPLY_SHIFT_H_

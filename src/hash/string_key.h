@@ -1,0 +1,28 @@
+#ifndef SKETCH_HASH_STRING_KEY_H_
+#define SKETCH_HASH_STRING_KEY_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/prng.h"
+
+namespace sketch {
+
+/// Stable 64-bit id for a string key (FNV-1a folded through a SplitMix64
+/// finalizer for avalanche). This is the front door for using any sketch
+/// in the library over string-keyed data (URLs, user ids, tokens): hash
+/// the key once, then treat the id as the item. Collisions between
+/// distinct strings occur with probability ~2^-64 per pair — far below
+/// every sketch's own error floor.
+inline uint64_t StringKeyId(std::string_view key) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return SplitMix64Once(h);
+}
+
+}  // namespace sketch
+
+#endif  // SKETCH_HASH_STRING_KEY_H_

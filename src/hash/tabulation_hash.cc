@@ -1,0 +1,14 @@
+#include "hash/tabulation_hash.h"
+
+#include "common/prng.h"
+
+namespace sketch {
+
+TabulationHash::TabulationHash(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& table : tables_) {
+    for (auto& entry : table) entry = sm.Next();
+  }
+}
+
+}  // namespace sketch

@@ -1,0 +1,39 @@
+#ifndef SKETCH_HASH_TABULATION_HASH_H_
+#define SKETCH_HASH_TABULATION_HASH_H_
+
+#include <array>
+#include <cstdint>
+
+namespace sketch {
+
+/// Simple tabulation hashing over 64-bit keys: the key is split into eight
+/// bytes, each indexes a table of random 64-bit words, and the results are
+/// XORed. Only 3-wise independent, but Pătraşcu–Thorup showed it behaves
+/// like full randomness in linear probing, Count-Min style sketching, and
+/// cuckoo hashing. Included as the "strong but table-driven" point in the
+/// hash-family design space.
+class TabulationHash {
+ public:
+  explicit TabulationHash(uint64_t seed);
+
+  /// Hashes a 64-bit key to a 64-bit value.
+  uint64_t Hash(uint64_t x) const {
+    uint64_t h = 0;
+    for (int i = 0; i < 8; ++i) {
+      h ^= tables_[i][static_cast<uint8_t>(x >> (8 * i))];
+    }
+    return h;
+  }
+
+  /// Hash reduced onto [0, num_buckets).
+  uint64_t Bucket(uint64_t x, uint64_t num_buckets) const {
+    return Hash(x) % num_buckets;
+  }
+
+ private:
+  std::array<std::array<uint64_t, 256>, 8> tables_;
+};
+
+}  // namespace sketch
+
+#endif  // SKETCH_HASH_TABULATION_HASH_H_

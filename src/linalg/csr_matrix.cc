@@ -1,0 +1,94 @@
+#include "linalg/csr_matrix.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sketch {
+
+CsrMatrix CsrMatrix::FromTriplets(uint64_t rows, uint64_t cols,
+                                  std::vector<Triplet> triplets) {
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  m.row_offsets_.assign(rows + 1, 0);
+  for (size_t i = 0; i < triplets.size(); ++i) {
+    const Triplet& t = triplets[i];
+    SKETCH_CHECK(t.row < rows && t.col < cols);
+    if (!m.col_indices_.empty() && i > 0 && triplets[i - 1].row == t.row &&
+        triplets[i - 1].col == t.col) {
+      m.values_.back() += t.value;
+      continue;
+    }
+    m.col_indices_.push_back(t.col);
+    m.values_.push_back(t.value);
+    ++m.row_offsets_[t.row + 1];
+  }
+  for (uint64_t r = 0; r < rows; ++r) {
+    m.row_offsets_[r + 1] += m.row_offsets_[r];
+  }
+  return m;
+}
+
+std::vector<double> CsrMatrix::Multiply(const std::vector<double>& x) const {
+  SKETCH_CHECK(x.size() == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (uint64_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (uint64_t i = row_offsets_[r]; i < row_offsets_[r + 1]; ++i) {
+      acc += values_[i] * x[col_indices_[i]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> CsrMatrix::Multiply(const SparseVector& x) const {
+  SKETCH_CHECK(x.dimension() == cols_);
+  // Column-driven product through the transpose would be ideal; for
+  // simplicity and because sketching matrices have O(1) entries per
+  // column, go through the transpose lazily only when beneficial.
+  // Here: accumulate y += x_j * A[:, j] by scanning rows once.
+  // For CSR this is O(nnz(A)); callers with very sparse x should use the
+  // transpose directly.
+  std::vector<double> dense = x.ToDense();
+  return Multiply(dense);
+}
+
+std::vector<double> CsrMatrix::MultiplyTranspose(
+    const std::vector<double>& x) const {
+  SKETCH_CHECK(x.size() == rows_);
+  std::vector<double> y(cols_, 0.0);
+  for (uint64_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (uint64_t i = row_offsets_[r]; i < row_offsets_[r + 1]; ++i) {
+      y[col_indices_[i]] += values_[i] * xr;
+    }
+  }
+  return y;
+}
+
+CsrMatrix::RowView CsrMatrix::Row(uint64_t r) const {
+  SKETCH_CHECK(r < rows_);
+  const uint64_t begin = row_offsets_[r];
+  return RowView{col_indices_.data() + begin, values_.data() + begin,
+                 row_offsets_[r + 1] - begin};
+}
+
+CsrMatrix CsrMatrix::Transpose() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(nnz());
+  for (uint64_t r = 0; r < rows_; ++r) {
+    for (uint64_t i = row_offsets_[r]; i < row_offsets_[r + 1]; ++i) {
+      triplets.push_back({col_indices_[i], r, values_[i]});
+    }
+  }
+  return FromTriplets(cols_, rows_, std::move(triplets));
+}
+
+}  // namespace sketch

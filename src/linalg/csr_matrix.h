@@ -1,0 +1,65 @@
+#ifndef SKETCH_LINALG_CSR_MATRIX_H_
+#define SKETCH_LINALG_CSR_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/sparse_vector.h"
+
+namespace sketch {
+
+/// A (row, col, value) coordinate triplet used to assemble sparse matrices.
+struct Triplet {
+  uint64_t row = 0;
+  uint64_t col = 0;
+  double value = 0.0;
+};
+
+/// Compressed-sparse-row matrix.
+///
+/// The survey's central observation is that a hashing process *is* a sparse
+/// linear map c = Ax. This class is the concrete form of that map when the
+/// matrix must be materialized (recovery algorithms such as SSMP walk
+/// A both row-wise and column-wise). Multiplication costs O(nnz).
+class CsrMatrix {
+ public:
+  /// Assembles from triplets; duplicate (row, col) pairs are summed.
+  static CsrMatrix FromTriplets(uint64_t rows, uint64_t cols,
+                                std::vector<Triplet> triplets);
+
+  uint64_t rows() const { return rows_; }
+  uint64_t cols() const { return cols_; }
+  uint64_t nnz() const { return values_.size(); }
+
+  /// y = A x for a dense x of length cols().
+  std::vector<double> Multiply(const std::vector<double>& x) const;
+
+  /// y = A x for a sparse x (cost O(nnz(x) * max row support of A^T)).
+  std::vector<double> Multiply(const SparseVector& x) const;
+
+  /// y = A^T x for a dense x of length rows().
+  std::vector<double> MultiplyTranspose(const std::vector<double>& x) const;
+
+  /// Row `r` as (column, value) pairs via CSR offsets.
+  struct RowView {
+    const uint64_t* cols;
+    const double* values;
+    uint64_t size;
+  };
+  RowView Row(uint64_t r) const;
+
+  /// Builds the transpose (CSC access pattern, needed by column-driven
+  /// recovery algorithms).
+  CsrMatrix Transpose() const;
+
+ private:
+  uint64_t rows_ = 0;
+  uint64_t cols_ = 0;
+  std::vector<uint64_t> row_offsets_;  // size rows_+1
+  std::vector<uint64_t> col_indices_;  // size nnz
+  std::vector<double> values_;         // size nnz
+};
+
+}  // namespace sketch
+
+#endif  // SKETCH_LINALG_CSR_MATRIX_H_

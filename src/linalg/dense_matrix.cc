@@ -1,0 +1,58 @@
+#include "linalg/dense_matrix.h"
+
+#include <cmath>
+
+#include "common/prng.h"
+
+namespace sketch {
+
+std::vector<double> DenseMatrix::Multiply(const std::vector<double>& x) const {
+  SKETCH_CHECK(x.size() == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (uint64_t r = 0; r < rows_; ++r) {
+    const double* row = Row(r);
+    double acc = 0.0;
+    for (uint64_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> DenseMatrix::MultiplyTranspose(
+    const std::vector<double>& x) const {
+  SKETCH_CHECK(x.size() == rows_);
+  std::vector<double> y(cols_, 0.0);
+  for (uint64_t r = 0; r < rows_; ++r) {
+    const double* row = Row(r);
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (uint64_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+void DenseMatrix::FillGaussian(uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(rows_));
+  for (auto& v : data_) v = rng.NextGaussian() * scale;
+}
+
+void DenseMatrix::FillRademacher(uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(rows_));
+  for (auto& v : data_) v = (rng.Next() & 1) ? scale : -scale;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  SKETCH_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y) {
+  SKETCH_CHECK(x.size() == y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+}  // namespace sketch

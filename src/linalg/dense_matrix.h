@@ -1,0 +1,69 @@
+#ifndef SKETCH_LINALG_DENSE_MATRIX_H_
+#define SKETCH_LINALG_DENSE_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sketch {
+
+/// Row-major dense matrix of doubles.
+///
+/// This is the substrate for the *dense* baselines the survey contrasts
+/// hashing against: i.i.d. Gaussian/Bernoulli measurement matrices for
+/// compressed sensing (§2) and dense Johnson–Lindenstrauss projections
+/// (§3). Multiplication is deliberately the straightforward O(rows·cols)
+/// loop — that cost is exactly the point of comparison with sparse
+/// sketching matrices.
+class DenseMatrix {
+ public:
+  /// Creates a rows x cols zero matrix.
+  DenseMatrix(uint64_t rows, uint64_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  uint64_t rows() const { return rows_; }
+  uint64_t cols() const { return cols_; }
+
+  double& At(uint64_t r, uint64_t c) {
+    SKETCH_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(uint64_t r, uint64_t c) const {
+    SKETCH_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Pointer to the start of row `r` (contiguous, `cols()` entries).
+  const double* Row(uint64_t r) const { return &data_[r * cols_]; }
+  double* Row(uint64_t r) { return &data_[r * cols_]; }
+
+  /// y = A x. `x.size()` must equal cols().
+  std::vector<double> Multiply(const std::vector<double>& x) const;
+
+  /// y = A^T x. `x.size()` must equal rows().
+  std::vector<double> MultiplyTranspose(const std::vector<double>& x) const;
+
+  /// Fills with i.i.d. N(0, 1/rows) entries — the classical compressed-
+  /// sensing ensemble of [CRT06, Don06] (scaling keeps column norms ≈ 1).
+  void FillGaussian(uint64_t seed);
+
+  /// Fills with i.i.d. ±1/sqrt(rows) entries (Bernoulli/Rademacher
+  /// ensemble).
+  void FillRademacher(uint64_t seed);
+
+ private:
+  uint64_t rows_;
+  uint64_t cols_;
+  std::vector<double> data_;
+};
+
+/// Dot product of equal-length vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// y += alpha * x, in place. Vectors must have equal length.
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y);
+
+}  // namespace sketch
+
+#endif  // SKETCH_LINALG_DENSE_MATRIX_H_

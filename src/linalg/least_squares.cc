@@ -1,0 +1,60 @@
+#include "linalg/least_squares.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sketch {
+
+std::vector<double> SolveLeastSquaresQr(const DenseMatrix& a,
+                                        const std::vector<double>& b) {
+  const uint64_t m = a.rows();
+  const uint64_t n = a.cols();
+  SKETCH_CHECK(m >= n);
+  SKETCH_CHECK(b.size() == m);
+
+  // Work on copies: R is built in place in `r`, and `qtb` accumulates Q^T b.
+  DenseMatrix r = a;
+  std::vector<double> qtb = b;
+
+  for (uint64_t k = 0; k < n; ++k) {
+    // Householder vector for column k, rows k..m-1.
+    double norm = 0.0;
+    for (uint64_t i = k; i < m; ++i) norm += r.At(i, k) * r.At(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) continue;  // column already zero below the diagonal
+    const double alpha = (r.At(k, k) > 0) ? -norm : norm;
+    std::vector<double> v(m - k);
+    v[0] = r.At(k, k) - alpha;
+    for (uint64_t i = k + 1; i < m; ++i) v[i - k] = r.At(i, k);
+    double vnorm2 = 0.0;
+    for (double x : v) vnorm2 += x * x;
+    if (vnorm2 == 0.0) continue;
+
+    // Apply H = I - 2 v v^T / (v^T v) to the trailing columns of r.
+    for (uint64_t c = k; c < n; ++c) {
+      double dot = 0.0;
+      for (uint64_t i = k; i < m; ++i) dot += v[i - k] * r.At(i, c);
+      const double scale = 2.0 * dot / vnorm2;
+      for (uint64_t i = k; i < m; ++i) r.At(i, c) -= scale * v[i - k];
+    }
+    // Apply H to qtb.
+    double dot = 0.0;
+    for (uint64_t i = k; i < m; ++i) dot += v[i - k] * qtb[i];
+    const double scale = 2.0 * dot / vnorm2;
+    for (uint64_t i = k; i < m; ++i) qtb[i] -= scale * v[i - k];
+  }
+
+  // Back-substitute R x = (Q^T b)[0..n).
+  std::vector<double> x(n, 0.0);
+  for (uint64_t k = n; k-- > 0;) {
+    double acc = qtb[k];
+    for (uint64_t c = k + 1; c < n; ++c) acc -= r.At(k, c) * x[c];
+    const double diag = r.At(k, k);
+    SKETCH_CHECK_MSG(std::abs(diag) > 1e-12, "matrix is rank deficient");
+    x[k] = acc / diag;
+  }
+  return x;
+}
+
+}  // namespace sketch

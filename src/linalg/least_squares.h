@@ -1,0 +1,22 @@
+#ifndef SKETCH_LINALG_LEAST_SQUARES_H_
+#define SKETCH_LINALG_LEAST_SQUARES_H_
+
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+
+namespace sketch {
+
+/// Solves min_x ||A x - b||_2 for a dense A (rows >= cols, full column
+/// rank) via Householder QR. O(rows * cols^2).
+///
+/// This is both the exact baseline for sketched regression (E8, [CW13])
+/// and the inner solver of OMP's per-iteration projection step.
+///
+/// \returns the minimizer x of length A.cols().
+std::vector<double> SolveLeastSquaresQr(const DenseMatrix& a,
+                                        const std::vector<double>& b);
+
+}  // namespace sketch
+
+#endif  // SKETCH_LINALG_LEAST_SQUARES_H_

@@ -1,0 +1,44 @@
+#include "linalg/sparse_vector.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sketch {
+
+SparseVector SparseVector::FromEntries(uint64_t dimension,
+                                       std::vector<SparseEntry> entries) {
+  SparseVector v(dimension);
+  std::sort(entries.begin(), entries.end(),
+            [](const SparseEntry& a, const SparseEntry& b) {
+              return a.index < b.index;
+            });
+  for (const SparseEntry& e : entries) {
+    SKETCH_CHECK(e.index < dimension);
+    if (!v.entries_.empty() && v.entries_.back().index == e.index) {
+      v.entries_.back().value += e.value;
+    } else {
+      v.entries_.push_back(e);
+    }
+  }
+  std::erase_if(v.entries_,
+                [](const SparseEntry& e) { return e.value == 0.0; });
+  return v;
+}
+
+SparseVector SparseVector::FromDense(const std::vector<double>& dense,
+                                     double tolerance) {
+  SparseVector v(dense.size());
+  for (uint64_t i = 0; i < dense.size(); ++i) {
+    if (std::abs(dense[i]) > tolerance) v.entries_.push_back({i, dense[i]});
+  }
+  return v;
+}
+
+std::vector<double> SparseVector::ToDense() const {
+  std::vector<double> dense(dimension_, 0.0);
+  for (const SparseEntry& e : entries_) dense[e.index] = e.value;
+  return dense;
+}
+
+}  // namespace sketch

@@ -1,0 +1,50 @@
+#ifndef SKETCH_LINALG_SPARSE_VECTOR_H_
+#define SKETCH_LINALG_SPARSE_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sketch {
+
+/// One nonzero entry of a sparse vector.
+struct SparseEntry {
+  uint64_t index = 0;
+  double value = 0.0;
+};
+
+/// A sparse vector stored as an (index, value) list plus its ambient
+/// dimension. Entries are kept sorted by index with no duplicates.
+///
+/// This is the natural representation of both k-sparse signals (§2) and
+/// sparse feature vectors (§3): sparse dimensionality reduction's selling
+/// point is that projection cost scales with `nnz()` rather than with
+/// `dimension()`.
+class SparseVector {
+ public:
+  SparseVector() = default;
+  explicit SparseVector(uint64_t dimension) : dimension_(dimension) {}
+
+  /// Builds from an entry list: sorts by index and merges duplicates
+  /// (summing values); drops entries that sum to exactly zero.
+  static SparseVector FromEntries(uint64_t dimension,
+                                  std::vector<SparseEntry> entries);
+
+  /// Builds from a dense vector, keeping entries with |v| > tolerance.
+  static SparseVector FromDense(const std::vector<double>& dense,
+                                double tolerance = 0.0);
+
+  /// Densifies into a length-`dimension()` vector.
+  std::vector<double> ToDense() const;
+
+  uint64_t dimension() const { return dimension_; }
+  uint64_t nnz() const { return entries_.size(); }
+  const std::vector<SparseEntry>& entries() const { return entries_; }
+
+ private:
+  uint64_t dimension_ = 0;
+  std::vector<SparseEntry> entries_;
+};
+
+}  // namespace sketch
+
+#endif  // SKETCH_LINALG_SPARSE_VECTOR_H_

@@ -1,0 +1,102 @@
+#include "linalg/symmetric_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace sketch {
+
+SymmetricEigen JacobiEigenDecomposition(const DenseMatrix& a, int max_sweeps,
+                                        double tolerance) {
+  const uint64_t n = a.rows();
+  SKETCH_CHECK(a.cols() == n);
+  DenseMatrix work = a;
+  // Symmetrize defensively (callers often build A = B B^T in floating
+  // point, leaving ~1e-16 asymmetry).
+  for (uint64_t i = 0; i < n; ++i) {
+    for (uint64_t j = i + 1; j < n; ++j) {
+      const double avg = 0.5 * (work.At(i, j) + work.At(j, i));
+      work.At(i, j) = avg;
+      work.At(j, i) = avg;
+    }
+  }
+  DenseMatrix v(n, n);
+  for (uint64_t i = 0; i < n; ++i) v.At(i, i) = 1.0;
+
+  double scale = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    for (uint64_t j = 0; j < n; ++j) {
+      scale = std::max(scale, std::abs(work.At(i, j)));
+    }
+  }
+  if (scale == 0.0) scale = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (uint64_t p = 0; p < n; ++p) {
+      for (uint64_t q = p + 1; q < n; ++q) {
+        off = std::max(off, std::abs(work.At(p, q)));
+      }
+    }
+    if (off <= tolerance * scale) break;
+
+    for (uint64_t p = 0; p < n; ++p) {
+      for (uint64_t q = p + 1; q < n; ++q) {
+        const double apq = work.At(p, q);
+        if (std::abs(apq) <= tolerance * scale * 1e-3) continue;
+        const double app = work.At(p, p);
+        const double aqq = work.At(q, q);
+        // Jacobi rotation angle.
+        const double theta = 0.5 * (aqq - app) / apq;
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Update rows/columns p and q of `work`.
+        for (uint64_t i = 0; i < n; ++i) {
+          const double aip = work.At(i, p);
+          const double aiq = work.At(i, q);
+          work.At(i, p) = c * aip - s * aiq;
+          work.At(i, q) = s * aip + c * aiq;
+        }
+        for (uint64_t i = 0; i < n; ++i) {
+          const double api = work.At(p, i);
+          const double aqi = work.At(q, i);
+          work.At(p, i) = c * api - s * aqi;
+          work.At(q, i) = s * api + c * aqi;
+        }
+        // Accumulate the rotation into the eigenvector matrix.
+        for (uint64_t i = 0; i < n; ++i) {
+          const double vip = v.At(i, p);
+          const double viq = v.At(i, q);
+          v.At(i, p) = c * vip - s * viq;
+          v.At(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Sort by descending eigenvalue.
+  std::vector<uint64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint64_t x, uint64_t y) {
+    return work.At(x, x) > work.At(y, y);
+  });
+
+  SymmetricEigen result;
+  result.values.resize(n);
+  result.vectors = DenseMatrix(n, n);
+  for (uint64_t j = 0; j < n; ++j) {
+    result.values[j] = work.At(order[j], order[j]);
+    for (uint64_t i = 0; i < n; ++i) {
+      result.vectors.At(i, j) = v.At(i, order[j]);
+    }
+  }
+  return result;
+}
+
+}  // namespace sketch

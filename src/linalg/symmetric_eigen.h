@@ -1,0 +1,31 @@
+#ifndef SKETCH_LINALG_SYMMETRIC_EIGEN_H_
+#define SKETCH_LINALG_SYMMETRIC_EIGEN_H_
+
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+
+namespace sketch {
+
+/// Eigendecomposition of a small symmetric matrix.
+struct SymmetricEigen {
+  /// Eigenvalues in descending order.
+  std::vector<double> values;
+  /// Column j of `vectors` is the eigenvector of values[j].
+  DenseMatrix vectors;
+  SymmetricEigen() : vectors(1, 1) {}
+};
+
+/// Cyclic Jacobi eigendecomposition for symmetric matrices. O(n^3) per
+/// sweep with quadratic convergence — intended for the small (rank +
+/// oversampling)-sized matrices that randomized low-rank algorithms
+/// reduce to, not for large dense problems.
+///
+/// \param a  symmetric matrix (only the upper triangle is trusted).
+SymmetricEigen JacobiEigenDecomposition(const DenseMatrix& a,
+                                        int max_sweeps = 30,
+                                        double tolerance = 1e-12);
+
+}  // namespace sketch
+
+#endif  // SKETCH_LINALG_SYMMETRIC_EIGEN_H_

@@ -1,0 +1,195 @@
+#include "sfft/crt_sfft.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "fft/fft.h"
+
+namespace sketch {
+
+namespace {
+
+/// e^{2*pi*i*(num mod n)/n}.
+Complex Phase(uint64_t num, uint64_t n) {
+  const double angle = 2.0 * std::numbers::pi *
+                       static_cast<double>(num % n) / static_cast<double>(n);
+  return Complex(std::cos(angle), std::sin(angle));
+}
+
+/// Extended gcd: returns g = gcd(a, b) and x with a*x ≡ g (mod b).
+int64_t ModInverse(int64_t a, int64_t m) {
+  int64_t old_r = a % m, r = m;
+  int64_t old_s = 1, s = 0;
+  while (r != 0) {
+    const int64_t q = old_r / r;
+    int64_t tmp = old_r - q * r;
+    old_r = r;
+    r = tmp;
+    tmp = old_s - q * s;
+    old_s = s;
+    s = tmp;
+  }
+  SKETCH_CHECK_MSG(old_r == 1, "moduli not co-prime");
+  return ((old_s % m) + m) % m;
+}
+
+/// CRT recombination: the unique f mod prod(moduli) with
+/// f ≡ residues[i] (mod moduli[i]).
+uint64_t CrtCombine(const std::vector<uint64_t>& residues,
+                    const std::vector<uint64_t>& moduli, uint64_t n) {
+  // Accumulate with 128-bit intermediates: n can approach 2^40+.
+  __uint128_t f = 0;
+  for (size_t i = 0; i < moduli.size(); ++i) {
+    const uint64_t big_m = n / moduli[i];
+    const uint64_t inv = static_cast<uint64_t>(ModInverse(
+        static_cast<int64_t>(big_m % moduli[i]),
+        static_cast<int64_t>(moduli[i])));
+    f += static_cast<__uint128_t>(residues[i]) * big_m % n * inv % n;
+  }
+  return static_cast<uint64_t>(f % n);
+}
+
+}  // namespace
+
+std::vector<uint64_t> CoprimeFactorization(uint64_t n) {
+  std::vector<uint64_t> factors;
+  uint64_t rest = n;
+  for (uint64_t p = 2; p * p <= rest; ++p) {
+    if (rest % p != 0) continue;
+    uint64_t power = 1;
+    while (rest % p == 0) {
+      power *= p;
+      rest /= p;
+    }
+    factors.push_back(power);
+  }
+  if (rest > 1) factors.push_back(rest);
+  std::sort(factors.rbegin(), factors.rend());
+  return factors;
+}
+
+CrtSfftResult CrtSparseFft(const std::vector<Complex>& x,
+                           const CrtSfftOptions& options) {
+  const uint64_t n = x.size();
+  SKETCH_CHECK(n >= 6);
+  CrtSfftResult result;
+  result.moduli_used = CoprimeFactorization(n);
+  SKETCH_CHECK_MSG(result.moduli_used.size() >= 2,
+                   "n must have >= 2 co-prime factors (use ExactSparseFft "
+                   "for prime-power lengths)");
+  const std::vector<uint64_t>& moduli = result.moduli_used;
+  const size_t num_moduli = moduli.size();
+
+  // Aliased bucketings at shifts 0 and 1 for every modulus.
+  std::vector<std::vector<Complex>> w0(num_moduli), w1(num_moduli);
+  for (size_t i = 0; i < num_moduli; ++i) {
+    const uint64_t p = moduli[i];
+    const uint64_t stride = n / p;
+    std::vector<Complex> u0(p), u1(p);
+    for (uint64_t j = 0; j < p; ++j) {
+      u0[j] = x[(j * stride) % n];
+      u1[j] = x[(j * stride + 1) % n];
+    }
+    result.samples_read += 2 * p;
+    w0[i] = Fft(u0);
+    w1[i] = Fft(u1);
+  }
+
+  // Global scale for emptiness decisions.
+  double max_mag = 0.0;
+  for (const auto& w : w0) {
+    for (const Complex& v : w) max_mag = std::max(max_mag, std::abs(v));
+  }
+  const double tol = std::max(options.magnitude_tolerance * max_mag, 1e-300);
+
+  std::unordered_map<uint64_t, Complex> found;
+  auto subtract = [&](uint64_t f, Complex value) {
+    for (size_t i = 0; i < num_moduli; ++i) {
+      const uint64_t p = moduli[i];
+      const double scale = static_cast<double>(p) / static_cast<double>(n);
+      const uint64_t r = f % p;
+      w0[i][r] -= value * scale;
+      w1[i][r] -= value * scale * Phase(f, n);
+    }
+  };
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool progressed = false;
+    // Anchor on each modulus in turn: a coefficient colliding in one
+    // subsampling is usually isolated in another, and once peeled there
+    // it frees its collision partners everywhere else.
+    for (size_t anchor = 0; anchor < num_moduli; ++anchor) {
+      for (uint64_t ra = 0; ra < moduli[anchor]; ++ra) {
+        const Complex a0 = w0[anchor][ra];
+        if (std::abs(a0) <= tol) continue;
+        // The shift-1 ratio e^{2 pi i f / n} identifies f uniquely; a
+        // non-unit magnitude exposes a collision.
+        const Complex phi = w1[anchor][ra] / a0;
+        if (std::abs(std::abs(phi) - 1.0) > 1e-6) continue;
+
+        // Match the same phase in every other modulus to read f's digits.
+        std::vector<uint64_t> residues(num_moduli);
+        residues[anchor] = ra;
+        bool matched = true;
+        for (size_t i = 0; i < num_moduli && matched; ++i) {
+          if (i == anchor) continue;
+          matched = false;
+          for (uint64_t r = 0; r < moduli[i]; ++r) {
+            if (std::abs(w0[i][r]) <= tol) continue;
+            const Complex phi_i = w1[i][r] / w0[i][r];
+            if (std::abs(phi_i - phi) < 1e-6) {
+              residues[i] = r;
+              matched = true;
+              break;
+            }
+          }
+        }
+        uint64_t f = 0;
+        if (matched) {
+          f = CrtCombine(residues, moduli, n);
+        } else {
+          // Isolated here but colliding in some other modulus: the CRT
+          // digits are unreadable, but for an exactly-sparse signal the
+          // shift-1 phase pins f directly (arg precision ~1e-15 radians
+          // vs the needed 2*pi/n).
+          double angle = std::arg(phi) / (2.0 * std::numbers::pi);
+          if (angle < 0.0) angle += 1.0;
+          f = static_cast<uint64_t>(
+                  std::llround(angle * static_cast<double>(n))) %
+              n;
+          if (f % moduli[anchor] != ra) continue;  // inconsistent
+        }
+        // Strong validation: the frequency must reproduce the measured
+        // phase exactly.
+        if (std::abs(Phase(f, n) - phi) > 1e-6) continue;
+
+        const Complex value = a0 * static_cast<double>(n) /
+                              static_cast<double>(moduli[anchor]);
+        found[f] += value;
+        if (std::abs(found[f]) <= tol) found.erase(f);
+        subtract(f, value);
+        progressed = true;
+      }
+    }
+    if (!progressed) break;
+  }
+
+  double residual = 0.0;
+  for (const auto& w : w0) {
+    for (const Complex& v : w) residual = std::max(residual, std::abs(v));
+  }
+  result.converged = residual <= tol;
+
+  result.coefficients.reserve(found.size());
+  for (const auto& [f, v] : found) result.coefficients.push_back({f, v});
+  std::sort(result.coefficients.begin(), result.coefficients.end(),
+            [](const SpectralCoefficient& a, const SpectralCoefficient& b) {
+              return a.frequency < b.frequency;
+            });
+  return result;
+}
+
+}  // namespace sketch

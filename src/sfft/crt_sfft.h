@@ -1,0 +1,55 @@
+#ifndef SKETCH_SFFT_CRT_SFFT_H_
+#define SKETCH_SFFT_CRT_SFFT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sfft/spectrum_utils.h"
+
+namespace sketch {
+
+/// Options for the CRT-based sparse FFT.
+struct CrtSfftOptions {
+  uint64_t sparsity = 8;
+  /// Relative magnitude below which a bucket is considered empty.
+  double magnitude_tolerance = 1e-7;
+  /// Peeling iterations across the modulus set.
+  int max_rounds = 8;
+};
+
+/// Result of a CRT sparse FFT run.
+struct CrtSfftResult {
+  std::vector<SpectralCoefficient> coefficients;
+  uint64_t samples_read = 0;
+  bool converged = false;
+  std::vector<uint64_t> moduli_used;  ///< the co-prime subsampling lengths
+};
+
+/// Combinatorial sparse FFT via the Chinese Remainder Theorem, in the
+/// style of [Iwe10, LWC12] (survey §4: aliasing filters that "completely
+/// eliminate" leakage, used *deterministically*).
+///
+/// For each divisor p of n in a pairwise co-prime set with product > n,
+/// subsampling x at stride n/p aliases the spectrum into p leak-free
+/// buckets indexed by f mod p — so each subsampling directly reads one
+/// CRT *digit* of every isolated coefficient's frequency, and the digits
+/// recombine through the CRT, no phase estimation needed. A time shift of
+/// 1 supplies the value check that flags collisions; colliding
+/// coefficients are peeled across moduli until the residual drains.
+///
+/// Requires n to factor into at least two pairwise co-prime divisors with
+/// product >= n (e.g., n = 2^a 3^b 5^c ...); returns converged = false if
+/// peeling stalls (all-collide configurations). Reads
+/// O(sum_i p_i) = O~(k n^{1/#moduli})-ish samples — sub-linear for
+/// suitable n — and never reads the whole signal.
+CrtSfftResult CrtSparseFft(const std::vector<Complex>& x,
+                           const CrtSfftOptions& options);
+
+/// Splits n into its maximal pairwise co-prime prime-power divisors,
+/// e.g., 720 = 16 * 9 * 5 -> {16, 9, 5}. Exposed for tests and for
+/// callers validating an n before use.
+std::vector<uint64_t> CoprimeFactorization(uint64_t n);
+
+}  // namespace sketch
+
+#endif  // SKETCH_SFFT_CRT_SFFT_H_

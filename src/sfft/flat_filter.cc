@@ -1,0 +1,98 @@
+#include "sfft/flat_filter.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "fft/fft.h"
+
+namespace sketch {
+
+FlatFilter::FlatFilter(uint64_t n, uint64_t buckets, int support_factor,
+                       double leakage_delta)
+    : n_(n), buckets_(buckets) {
+  SKETCH_CHECK(IsPowerOfTwo(n));
+  SKETCH_CHECK(IsPowerOfTwo(buckets) && buckets <= n);
+  SKETCH_CHECK(support_factor >= 1);
+  SKETCH_CHECK(leakage_delta > 0.0 && leakage_delta < 0.5);
+
+  // Size the window from the flatness requirement rather than the bucket
+  // width: the Gaussian's spectral std sigma_f must be a small fraction of
+  // the bucket width n/B, which forces a time std sigma_t ~ B and hence a
+  // support of O(B log(1/delta)) samples — *independent of n*. This is
+  // what makes the algorithm's sample cost sub-linear: each bucketing
+  // touches O(B log(1/delta)) samples, not O(n).
+  const double log_term = std::sqrt(2.0 * std::log(1.0 / leakage_delta));
+  const double sigma_t_target = 16.0 * static_cast<double>(buckets) *
+                                static_cast<double>(support_factor) /
+                                (2.0 * std::numbers::pi);
+  int64_t half = static_cast<int64_t>(std::ceil(sigma_t_target * log_term));
+  const int64_t max_half = static_cast<int64_t>((n - 1) / 2);
+  if (half > max_half) half = max_half;
+  if (half < 1) half = 1;
+  const uint64_t w = static_cast<uint64_t>(2 * half + 1);
+
+  // Gaussian whose tail reaches leakage_delta exactly at the truncation
+  // edge.
+  const double sigma_t = static_cast<double>(half) / log_term;
+  // Spectral width of the Gaussian; the boxcar is widened by a few of
+  // these so the smoothed edge still covers the whole bucket (keeps the
+  // passband flat where in-bucket coefficients land).
+  const double sigma_f =
+      static_cast<double>(n) / (2.0 * std::numbers::pi * sigma_t);
+  const double box_half =
+      static_cast<double>(n) / (2.0 * buckets) + 4.0 * sigma_f;
+  const double dirichlet_terms = 2.0 * box_half + 1.0;
+  const double pi = std::numbers::pi;
+
+  taps_.resize(w);
+  for (int64_t t = -half; t <= half; ++t) {
+    const double gauss = std::exp(-0.5 * (static_cast<double>(t) / sigma_t) *
+                                  (static_cast<double>(t) / sigma_t));
+    double dirichlet = 1.0;
+    if (t != 0) {
+      const double theta = pi * static_cast<double>(t) / static_cast<double>(n);
+      dirichlet = std::sin(dirichlet_terms * theta) /
+                  (dirichlet_terms * std::sin(theta));
+    }
+    taps_[t + half] = gauss * dirichlet;
+  }
+
+  // Frequency response via one length-n FFT of the zero-centered window.
+  std::vector<Complex> padded(n, Complex(0, 0));
+  for (int64_t t = -half; t <= half; ++t) {
+    const uint64_t idx = static_cast<uint64_t>(t + static_cast<int64_t>(n)) % n;
+    padded[idx] = Complex(taps_[t + half], 0.0);
+  }
+  std::vector<Complex> spectrum = Fft(padded);
+  // Symmetric real window => real spectrum; normalize passband center to 1.
+  const double center_gain = spectrum[0].real();
+  SKETCH_CHECK(center_gain > 0.0);
+  response_.resize(n);
+  for (uint64_t f = 0; f < n; ++f) {
+    response_[f] = spectrum[f].real() / center_gain;
+  }
+  for (double& tap : taps_) tap /= center_gain;
+}
+
+double FlatFilter::PassbandRipple() const {
+  const int64_t pass = static_cast<int64_t>(n_ / (2 * buckets_));
+  double worst = 0.0;
+  for (int64_t o = -pass; o <= pass; ++o) {
+    worst = std::max(worst, std::abs(ResponseAt(o) - 1.0));
+  }
+  return worst;
+}
+
+double FlatFilter::StopbandLeakage() const {
+  // Transition band: one extra bucket width on each side of the passband.
+  const int64_t stop_begin = static_cast<int64_t>(3 * n_ / (2 * buckets_));
+  double worst = 0.0;
+  const int64_t half_n = static_cast<int64_t>(n_ / 2);
+  for (int64_t o = stop_begin; o <= half_n; ++o) {
+    worst = std::max(worst, std::abs(ResponseAt(o)));
+  }
+  return worst;
+}
+
+}  // namespace sketch

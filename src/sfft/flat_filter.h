@@ -1,0 +1,76 @@
+#ifndef SKETCH_SFFT_FLAT_FILTER_H_
+#define SKETCH_SFFT_FLAT_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sketch {
+
+/// The "flat window" filter of [HIKP12b]: a time-domain window with small
+/// support whose spectrum is nearly flat across one bucket of width n/B
+/// and decays to a negligible level (`leakage_delta`) outside — the
+/// carefully-designed band-pass filter §4 of the survey credits with
+/// making frequency-domain bucket leakage negligible.
+///
+/// Construction: a truncated Gaussian (time std chosen so the truncation
+/// error is delta) multiplied by a Dirichlet kernel (the time-domain dual
+/// of a frequency boxcar of half-width n/(2B)). The spectrum is the
+/// boxcar convolved with a narrow Gaussian: flat over the passband, delta
+/// beyond a transition band of width ~ (n/support)·log(1/delta).
+///
+/// The full frequency response is precomputed (one length-n FFT at
+/// construction) so estimation can divide out the exact filter gain at any
+/// offset; construction is a one-time cost reused across transforms of the
+/// same geometry.
+class FlatFilter {
+ public:
+  /// \param n              signal length (power of two).
+  /// \param buckets        number of buckets B (power of two, <= n).
+  /// \param support_factor filter support = support_factor * n / buckets
+  ///                       (clamped to n; larger = flatter, more samples).
+  /// \param leakage_delta  target out-of-band leakage (e.g., 1e-8).
+  FlatFilter(uint64_t n, uint64_t buckets, int support_factor,
+             double leakage_delta);
+
+  /// Filter taps; tap `i` multiplies time offset t = i - half_support().
+  const std::vector<double>& taps() const { return taps_; }
+
+  /// Filter support w (odd); taps cover t in [-w/2, w/2].
+  uint64_t support() const { return taps_.size(); }
+  int64_t half_support() const {
+    return static_cast<int64_t>(taps_.size() / 2);
+  }
+
+  /// Frequency response H[f], f in [0, n) (real: the window is symmetric),
+  /// normalized so the passband center has gain 1.
+  const std::vector<double>& frequency_response() const { return response_; }
+
+  /// Response at a signed frequency offset (wraps mod n).
+  double ResponseAt(int64_t offset) const {
+    const uint64_t f =
+        static_cast<uint64_t>((offset % static_cast<int64_t>(n_) +
+                               static_cast<int64_t>(n_))) %
+        n_;
+    return response_[f];
+  }
+
+  /// Worst passband gain deviation from 1 over |offset| <= n/(2B)
+  /// (diagnostic used by tests and the E10 leakage table).
+  double PassbandRipple() const;
+
+  /// Largest |H| over offsets beyond the transition band (leakage floor).
+  double StopbandLeakage() const;
+
+  uint64_t n() const { return n_; }
+  uint64_t buckets() const { return buckets_; }
+
+ private:
+  uint64_t n_;
+  uint64_t buckets_;
+  std::vector<double> taps_;
+  std::vector<double> response_;
+};
+
+}  // namespace sketch
+
+#endif  // SKETCH_SFFT_FLAT_FILTER_H_

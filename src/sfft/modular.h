@@ -1,0 +1,30 @@
+#ifndef SKETCH_SFFT_MODULAR_H_
+#define SKETCH_SFFT_MODULAR_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace sketch {
+
+/// Multiplicative inverse of odd `a` modulo the power of two `n`
+/// (Newton–Hensel iteration; converges in 6 steps for 64-bit moduli).
+/// Spectrum permutations x[t] -> x[sigma * t mod n] need sigma odd so the
+/// map is a bijection, and recovery needs sigma^{-1} to map permuted
+/// frequencies back.
+inline uint64_t ModInversePow2(uint64_t a, uint64_t n) {
+  SKETCH_CHECK(n != 0 && (n & (n - 1)) == 0);
+  SKETCH_CHECK(a & 1);
+  uint64_t inv = a;  // correct mod 2^3 already (a*a ≡ 1 mod 8 for odd a)
+  for (int i = 0; i < 6; ++i) inv *= 2 - a * inv;  // doubles the precision
+  return inv & (n - 1);
+}
+
+/// (a * b) mod n for power-of-two n via masking.
+inline uint64_t MulModPow2(uint64_t a, uint64_t b, uint64_t n) {
+  return (a * b) & (n - 1);
+}
+
+}  // namespace sketch
+
+#endif  // SKETCH_SFFT_MODULAR_H_

@@ -1,0 +1,76 @@
+#ifndef SKETCH_SFFT_PHASE_DECODE_H_
+#define SKETCH_SFFT_PHASE_DECODE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+#include "common/prng.h"
+#include "fft/fft.h"
+
+/// \file
+/// Shared phase-measurement machinery for the sparse transforms: shift
+/// schedules and the bitwise singleton decoder. A singleton coefficient at
+/// (unknown) frequency g observed through measurements proportional to
+/// e^{2*pi*i*g*tau/n} at chosen shifts tau can be located bit by bit —
+/// shift tau = n/2^j reveals g mod 2^j with a phase margin of pi/2 per
+/// bit, making location robust at any n (a single unit shift would need
+/// phase accuracy 2*pi/n, i.e., bucket SNR > n).
+
+namespace sketch {
+
+/// e^{2*pi*i*(numerator mod n)/n}.
+inline Complex PhaseUnit(uint64_t numerator, uint64_t n) {
+  const double angle = 2.0 * std::numbers::pi *
+                       static_cast<double>(numerator % n) /
+                       static_cast<double>(n);
+  return Complex(std::cos(angle), std::sin(angle));
+}
+
+/// Shift schedule: {0} (estimation reference), {n >> j} for j in
+/// [start_level, log2 n] (bitwise location), one random shift (ghost
+/// validation). start_level > 1 skips bits already known to the caller.
+inline std::vector<uint64_t> PhaseShiftSchedule(uint64_t n, int start_level,
+                                                Xoshiro256StarStar* rng) {
+  std::vector<uint64_t> shifts;
+  shifts.push_back(0);
+  for (int j = start_level; (n >> j) >= 1; ++j) shifts.push_back(n >> j);
+  shifts.push_back(2 + rng->NextBounded(n - 2));
+  return shifts;
+}
+
+/// Decodes the frequency g of a presumed singleton from its measurement
+/// values across `shifts` (built by PhaseShiftSchedule with the same
+/// start_level). `g_known` supplies the low (start_level - 1) bits.
+/// Validates per-scale magnitude consistency and the final random-shift
+/// phase; returns false on any failure (collision / noise-dominated).
+inline bool PhaseDecodeSingleton(const std::vector<Complex>& values,
+                                 const std::vector<uint64_t>& shifts,
+                                 uint64_t n, int start_level,
+                                 uint64_t g_known, double tolerance,
+                                 uint64_t* g_out) {
+  const Complex a0 = values[0];
+  int levels = 0;
+  while ((1ULL << levels) < n) ++levels;
+  uint64_t g = g_known;  // g mod 2^(j-1) entering step j
+  for (int j = start_level; j <= levels; ++j) {
+    const Complex ratio = values[j - start_level + 1] / a0;
+    if (std::abs(std::abs(ratio) - 1.0) > tolerance) return false;
+    const double base = 2.0 * std::numbers::pi * static_cast<double>(g) /
+                        static_cast<double>(1ULL << j);
+    const Complex p0(std::cos(base), std::sin(base));
+    // Setting the new bit flips the expected phase by pi: pick the closer.
+    if ((ratio * std::conj(p0)).real() < 0.0) g += 1ULL << (j - 1);
+  }
+  const Complex predicted = a0 * PhaseUnit(g * shifts.back(), n);
+  if (std::abs(values.back() - predicted) > tolerance * std::abs(a0)) {
+    return false;
+  }
+  *g_out = g;
+  return true;
+}
+
+}  // namespace sketch
+
+#endif  // SKETCH_SFFT_PHASE_DECODE_H_

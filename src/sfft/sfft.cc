@@ -1,0 +1,302 @@
+#include "sfft/sfft.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/prng.h"
+#include "sfft/modular.h"
+#include "sfft/phase_decode.h"
+
+namespace sketch {
+
+namespace {
+
+uint64_t AutoBuckets(uint64_t n, uint64_t k) {
+  uint64_t b = 1;
+  while (b < 4 * k) b <<= 1;
+  while (b > n) b >>= 1;
+  return std::max<uint64_t>(b, 2);
+}
+
+int Log2(uint64_t n) {
+  int l = 0;
+  while ((1ULL << l) < n) ++l;
+  return l;
+}
+
+std::vector<SpectralCoefficient> SortedCoefficients(
+    const std::unordered_map<uint64_t, Complex>& found) {
+  std::vector<SpectralCoefficient> coeffs;
+  coeffs.reserve(found.size());
+  for (const auto& [f, v] : found) coeffs.push_back({f, v});
+  std::sort(coeffs.begin(), coeffs.end(),
+            [](const SpectralCoefficient& a, const SpectralCoefficient& b) {
+              return a.frequency < b.frequency;
+            });
+  return coeffs;
+}
+
+/// Noise-floor-aware threshold: buckets count as occupied when they rise
+/// above both the relative tolerance and a few times the median magnitude
+/// (which estimates the noise floor — most buckets are empty/noise-only
+/// when B >= 4k).
+double OccupancyThreshold(const std::vector<Complex>& buckets,
+                          double relative_tolerance) {
+  std::vector<double> mags(buckets.size());
+  double max_mag = 0.0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    mags[i] = std::abs(buckets[i]);
+    max_mag = std::max(max_mag, mags[i]);
+  }
+  const auto mid = mags.begin() + mags.size() / 2;
+  std::nth_element(mags.begin(), mid, mags.end());
+  return std::max(relative_tolerance * max_mag, 4.0 * (*mid));
+}
+
+}  // namespace
+
+SfftResult ExactSparseFft(const std::vector<Complex>& x,
+                          const SfftOptions& options) {
+  const uint64_t n = x.size();
+  SKETCH_CHECK(IsPowerOfTwo(n));
+  SKETCH_CHECK(n >= 4);
+  SKETCH_CHECK(options.sparsity >= 1);
+  const uint64_t b_initial = options.buckets != 0
+                                 ? options.buckets
+                                 : AutoBuckets(n, options.sparsity);
+  SKETCH_CHECK(IsPowerOfTwo(b_initial) && b_initial <= n);
+
+  Xoshiro256StarStar rng(options.seed);
+  std::unordered_map<uint64_t, Complex> found;
+  SfftResult result;
+
+  uint64_t b_count = b_initial;
+  for (int round = 0; round < options.max_rounds; ++round) {
+    const uint64_t stride = n / b_count;
+    const double bucket_scale =
+        static_cast<double>(n) / static_cast<double>(b_count);
+
+    const uint64_t sigma = rng.Next() | 1;  // odd => invertible mod n
+    const uint64_t sigma_inv = ModInversePow2(sigma & (n - 1), n);
+    // Aliasing puts g in bucket g mod B, so the low log2(B) bits of g are
+    // already known: decoding starts above them.
+    const int start_level = Log2(b_count) + 1;
+    const std::vector<uint64_t> shifts =
+        PhaseShiftSchedule(n, start_level, &rng);
+    const size_t num_shifts = shifts.size();
+
+    // Shifted subsamplings of the permuted signal; the B-point FFT of each
+    // aliases the permuted spectrum into B leak-free buckets.
+    std::vector<std::vector<Complex>> w(num_shifts);
+    for (size_t s = 0; s < num_shifts; ++s) {
+      std::vector<Complex> u(b_count);
+      for (uint64_t j = 0; j < b_count; ++j) {
+        const uint64_t t = (sigma * (j * stride + shifts[s])) & (n - 1);
+        u[j] = x[t];
+      }
+      result.samples_read += b_count;
+      w[s] = Fft(u);
+    }
+
+    // Peel already-found coefficients out of the bucket values.
+    auto subtract = [&](uint64_t g, Complex value) {
+      const uint64_t b = g & (b_count - 1);
+      for (size_t s = 0; s < num_shifts; ++s) {
+        w[s][b] -= (value / bucket_scale) * PhaseUnit(g * shifts[s], n);
+      }
+    };
+    for (const auto& [f, val] : found) {
+      subtract((sigma * f) & (n - 1), val);
+    }
+
+    const double threshold =
+        OccupancyThreshold(w[0], options.magnitude_tolerance);
+
+    bool found_this_round = false;
+    std::vector<Complex> bucket_values(num_shifts);
+    for (uint64_t b = 0; b < b_count; ++b) {
+      const Complex a0 = w[0][b];
+      if (std::abs(a0) <= threshold) continue;
+      for (size_t s = 0; s < num_shifts; ++s) bucket_values[s] = w[s][b];
+      uint64_t g = 0;
+      if (!PhaseDecodeSingleton(bucket_values, shifts, n, start_level,
+                           /*g_known=*/b, options.singleton_tolerance, &g)) {
+        continue;  // collision or noise-dominated
+      }
+
+      const Complex value = a0 * bucket_scale;
+      const uint64_t f = (sigma_inv * g) & (n - 1);
+      found[f] += value;
+      if (std::abs(found[f]) < 1e-12) found.erase(f);
+      subtract(g, value);
+      found_this_round = true;
+    }
+
+    result.rounds_used = round + 1;
+    // Converged when no bucket retains significant residual energy.
+    double residual = 0.0;
+    for (uint64_t b = 0; b < b_count; ++b) {
+      residual = std::max(residual, std::abs(w[0][b]));
+    }
+    if (residual <= threshold) {
+      result.converged = true;
+      break;
+    }
+    // Dilation by an odd sigma maps residue classes mod B onto each other
+    // bijectively, so two frequencies congruent mod B collide in *every*
+    // round at fixed B. When a round makes no progress, the collision must
+    // be structural: double B (multi-scale aliasing, cf. [Iwe10]) — a pair
+    // whose difference is divisible by 2^s separates once B > 2^s. Found
+    // coefficients stay peeled, so escalation only pays for the residual.
+    if (!found_this_round && b_count < n) b_count <<= 1;
+  }
+
+  result.coefficients = SortedCoefficients(found);
+  return result;
+}
+
+SfftResult FlatFilterSparseFft(const std::vector<Complex>& x,
+                               const FlatFilter& filter,
+                               const SfftOptions& options) {
+  const uint64_t n = x.size();
+  SKETCH_CHECK(n == filter.n());
+  SKETCH_CHECK(n >= 4);
+  const uint64_t b_count = filter.buckets();
+  const uint64_t stride = n / b_count;
+  const int64_t half = filter.half_support();
+  const std::vector<double>& taps = filter.taps();
+
+  Xoshiro256StarStar rng(options.seed);
+  std::unordered_map<uint64_t, Complex> found;
+  SfftResult result;
+
+  // Peeling subtracts a found coefficient from every bucket where the
+  // filter gain is non-negligible: its own bucket and `kPeelRadius`
+  // neighbours on each side.
+  constexpr int64_t kPeelRadius = 2;
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    const uint64_t sigma = rng.Next() | 1;
+    const uint64_t sigma_inv = ModInversePow2(sigma & (n - 1), n);
+    // Band-binning reveals nothing about the low bits of g: decode all.
+    const std::vector<uint64_t> shifts =
+        PhaseShiftSchedule(n, /*start_level=*/1, &rng);
+    const size_t num_shifts = shifts.size();
+
+    // Windowed, folded, shifted bucketings.
+    std::vector<std::vector<Complex>> w(num_shifts);
+    for (size_t s = 0; s < num_shifts; ++s) {
+      std::vector<Complex> u(b_count, Complex(0, 0));
+      for (int64_t t = -half; t <= half; ++t) {
+        const uint64_t time =
+            (sigma * (static_cast<uint64_t>(t + static_cast<int64_t>(n)) +
+                      shifts[s])) &
+            (n - 1);
+        const uint64_t j = static_cast<uint64_t>(
+            ((t % static_cast<int64_t>(b_count)) +
+             static_cast<int64_t>(b_count))) %
+            b_count;
+        u[j] += x[time] * taps[t + half];
+      }
+      result.samples_read += taps.size();
+      w[s] = Fft(u);
+    }
+
+    // Peel previously found coefficients.
+    auto subtract = [&](uint64_t g, Complex value) {
+      const int64_t nearest =
+          static_cast<int64_t>((g + stride / 2) / stride);
+      for (int64_t db = -kPeelRadius; db <= kPeelRadius; ++db) {
+        const int64_t b_signed = nearest + db;
+        const uint64_t b =
+            static_cast<uint64_t>(b_signed + static_cast<int64_t>(b_count)) %
+            b_count;
+        const int64_t offset = static_cast<int64_t>(b) *
+                                   static_cast<int64_t>(stride) -
+                               static_cast<int64_t>(g);
+        const double gain = filter.ResponseAt(offset);
+        if (std::abs(gain) < 1e-12) continue;
+        for (size_t s = 0; s < num_shifts; ++s) {
+          w[s][b] -= value * gain / static_cast<double>(n) *
+                     PhaseUnit(g * shifts[s], n);
+        }
+      }
+    };
+    for (const auto& [f, val] : found) {
+      subtract((sigma * f) & (n - 1), val);
+    }
+
+    const double threshold =
+        OccupancyThreshold(w[0], options.magnitude_tolerance);
+
+    std::vector<Complex> bucket_values(num_shifts);
+    for (uint64_t b = 0; b < b_count; ++b) {
+      const Complex a0 = w[0][b];
+      if (std::abs(a0) <= threshold) continue;
+      for (size_t s = 0; s < num_shifts; ++s) bucket_values[s] = w[s][b];
+      uint64_t g = 0;
+      if (!PhaseDecodeSingleton(bucket_values, shifts, n, /*start_level=*/1,
+                           /*g_known=*/0, options.singleton_tolerance, &g)) {
+        continue;
+      }
+      // The located frequency must fall inside this bucket's passband.
+      int64_t offset = static_cast<int64_t>(b * stride) -
+                       static_cast<int64_t>(g);
+      const int64_t half_n = static_cast<int64_t>(n / 2);
+      if (offset > half_n) offset -= static_cast<int64_t>(n);
+      if (offset < -half_n) offset += static_cast<int64_t>(n);
+      const double gain = filter.ResponseAt(offset);
+      if (gain < 0.5) continue;  // edge of passband / wrong bucket
+
+      const Complex value = a0 * static_cast<double>(n) / gain;
+      const uint64_t f = (sigma_inv * g) & (n - 1);
+      found[f] += value;
+      // A ghost corrected back to (near) zero is dropped entirely.
+      if (std::abs(found[f]) < 1e-9) found.erase(f);
+      subtract(g, value);
+    }
+
+    result.rounds_used = round + 1;
+    double residual = 0.0;
+    for (uint64_t b = 0; b < b_count; ++b) {
+      residual = std::max(residual, std::abs(w[0][b]));
+    }
+    if (found.size() >= options.sparsity && residual <= threshold) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Keep the strongest 2k coefficients (noise rounds can admit a few
+  // spurious small ones).
+  std::vector<SpectralCoefficient> coeffs = SortedCoefficients(found);
+  if (coeffs.size() > 2 * options.sparsity) {
+    std::nth_element(
+        coeffs.begin(), coeffs.begin() + 2 * options.sparsity, coeffs.end(),
+        [](const SpectralCoefficient& a, const SpectralCoefficient& b) {
+          return std::norm(a.value) > std::norm(b.value);
+        });
+    coeffs.resize(2 * options.sparsity);
+    std::sort(coeffs.begin(), coeffs.end(),
+              [](const SpectralCoefficient& a, const SpectralCoefficient& b) {
+                return a.frequency < b.frequency;
+              });
+  }
+  result.coefficients = std::move(coeffs);
+  return result;
+}
+
+SfftResult DenseFftTopK(const std::vector<Complex>& x, uint64_t k) {
+  SfftResult result;
+  const std::vector<Complex> spectrum = Fft(x);
+  result.coefficients = TopKCoefficients(spectrum, k);
+  result.samples_read = x.size();
+  result.rounds_used = 1;
+  result.converged = true;
+  return result;
+}
+
+}  // namespace sketch

@@ -1,0 +1,74 @@
+#ifndef SKETCH_SFFT_SFFT_H_
+#define SKETCH_SFFT_SFFT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fft/fft.h"
+#include "sfft/flat_filter.h"
+#include "sfft/spectrum_utils.h"
+
+namespace sketch {
+
+/// Options shared by the sparse Fourier transforms.
+struct SfftOptions {
+  uint64_t sparsity = 8;  ///< target number of spectral coefficients k
+  /// Buckets B per round; 0 = auto (smallest power of two >= 4k).
+  uint64_t buckets = 0;
+  int max_rounds = 12;   ///< permutation rounds before giving up
+  uint64_t seed = 0x5eedULL;
+  /// Relative magnitude below which a bucket is considered empty.
+  double magnitude_tolerance = 1e-7;
+  /// Relative tolerance for the singleton tests in FlatFilterSparseFft
+  /// (phase-magnitude consistency across shifts). Tight values reject
+  /// colliding buckets reliably on clean signals; raise towards ~0.3 for
+  /// very noisy inputs so true singletons are not rejected.
+  double singleton_tolerance = 0.05;
+};
+
+/// Result of a sparse Fourier transform.
+struct SfftResult {
+  std::vector<SpectralCoefficient> coefficients;  ///< sorted by frequency
+  uint64_t samples_read = 0;  ///< #time-domain samples touched (sub-linear!)
+  int rounds_used = 0;
+  bool converged = false;  ///< residual bucket energy fully peeled
+};
+
+/// Exact sparse FFT for exactly-sparse spectra, via *aliasing filters*
+/// (the leakage-free binning of [Iwe10, LWC12, GHI+13] that §4 says
+/// "completely eliminates" leakage).
+///
+/// Each round subsamples the permuted signal x[sigma·t mod n] at stride
+/// n/B with three time shifts; a B-point FFT of each subsampling aliases
+/// the spectrum into B buckets *exactly* (no leakage). A bucket holding a
+/// single coefficient reveals its location through the phase difference
+/// between shifts; found coefficients are peeled, and fresh random
+/// permutations re-randomize collisions each round.
+///
+/// Reads O(B) samples and does O(B log B) work per round — sub-linear in n
+/// for k = o(n). Requires power-of-two n.
+SfftResult ExactSparseFft(const std::vector<Complex>& x,
+                          const SfftOptions& options);
+
+/// Sparse FFT for noisy / approximately sparse spectra, via the flat-window
+/// filters of [HIKP12b] ("simple and practical" SODA'12 algorithm shape).
+///
+/// Each round multiplies the permuted signal by a small-support flat
+/// window, folds it to B points, and FFTs: each spectral coefficient lands
+/// in one bucket with near-unit gain and leaks at most `delta` elsewhere.
+/// Location again uses the phase between two shifted bucketings;
+/// estimation divides out the exact filter gain at the located offset.
+///
+/// `filter` must have been built for (x.size(), B) — construction is a
+/// one-time cost reused across transforms (see FlatFilter).
+SfftResult FlatFilterSparseFft(const std::vector<Complex>& x,
+                               const FlatFilter& filter,
+                               const SfftOptions& options);
+
+/// Baseline: full FFT followed by top-k selection. O(n log n), reads all
+/// n samples — the comparison line in experiments E9/E10.
+SfftResult DenseFftTopK(const std::vector<Complex>& x, uint64_t k);
+
+}  // namespace sketch
+
+#endif  // SKETCH_SFFT_SFFT_H_

@@ -1,0 +1,287 @@
+#include "sfft/sfft2d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/prng.h"
+#include "sfft/phase_decode.h"
+
+namespace sketch {
+
+namespace {
+
+/// Packs (f1, f2) into one key for the found-coefficient map.
+uint64_t Key(uint64_t f1, uint64_t f2) { return (f1 << 32) | f2; }
+
+double MaxMagnitude(const std::vector<Complex>& v) {
+  double m = 0.0;
+  for (const Complex& c : v) m = std::max(m, std::abs(c));
+  return m;
+}
+
+double MedianMagnitude(std::vector<double> mags) {
+  const auto mid = mags.begin() + mags.size() / 2;
+  std::nth_element(mags.begin(), mid, mags.end());
+  return *mid;
+}
+
+double Threshold2d(const std::vector<Complex>& buckets, double rel_tol) {
+  std::vector<double> mags(buckets.size());
+  for (size_t i = 0; i < buckets.size(); ++i) mags[i] = std::abs(buckets[i]);
+  return std::max(rel_tol * MaxMagnitude(buckets),
+                  4.0 * MedianMagnitude(std::move(mags)));
+}
+
+}  // namespace
+
+SparseSpectrum2dSignal MakeSparseSpectrum2dSignal(uint64_t n1, uint64_t n2,
+                                                  uint64_t k, uint64_t seed) {
+  SKETCH_CHECK(IsPowerOfTwo(n1) && IsPowerOfTwo(n2));
+  SKETCH_CHECK(k <= n1 * n2);
+  Xoshiro256StarStar rng(seed);
+  SparseSpectrum2dSignal signal;
+  std::unordered_map<uint64_t, bool> used;
+  while (signal.coefficients.size() < k) {
+    const uint64_t f1 = rng.NextBounded(n1);
+    const uint64_t f2 = rng.NextBounded(n2);
+    if (used[Key(f1, f2)]) continue;
+    used[Key(f1, f2)] = true;
+    const double phase = 2.0 * std::numbers::pi * rng.NextDouble();
+    signal.coefficients.push_back(
+        {f1, f2, Complex(std::cos(phase), std::sin(phase))});
+  }
+  std::sort(signal.coefficients.begin(), signal.coefficients.end(),
+            [](const SpectralCoefficient2d& a, const SpectralCoefficient2d& b) {
+              return a.f1 != b.f1 ? a.f1 < b.f1 : a.f2 < b.f2;
+            });
+  // x[t1,t2] = (1/(n1 n2)) sum xhat e^{+2 pi i (f1 t1/n1 + f2 t2/n2)}.
+  signal.time_domain.assign(n1 * n2, Complex(0, 0));
+  for (const SpectralCoefficient2d& c : signal.coefficients) {
+    for (uint64_t t1 = 0; t1 < n1; ++t1) {
+      const Complex row_phase = PhaseUnit(c.f1 * t1, n1);
+      Complex* row = &signal.time_domain[t1 * n2];
+      for (uint64_t t2 = 0; t2 < n2; ++t2) {
+        row[t2] += c.value * row_phase * PhaseUnit(c.f2 * t2, n2);
+      }
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(n1 * n2);
+  for (Complex& v : signal.time_domain) v *= inv;
+  return signal;
+}
+
+std::vector<Complex> Dense2dFft(const std::vector<Complex>& x, uint64_t n1,
+                                uint64_t n2) {
+  SKETCH_CHECK(x.size() == n1 * n2);
+  std::vector<Complex> out(n1 * n2);
+  // Row transforms.
+  for (uint64_t r = 0; r < n1; ++r) {
+    std::vector<Complex> row(x.begin() + r * n2, x.begin() + (r + 1) * n2);
+    const std::vector<Complex> rhat = Fft(row);
+    std::copy(rhat.begin(), rhat.end(), out.begin() + r * n2);
+  }
+  // Column transforms.
+  std::vector<Complex> col(n1);
+  for (uint64_t c = 0; c < n2; ++c) {
+    for (uint64_t r = 0; r < n1; ++r) col[r] = out[r * n2 + c];
+    const std::vector<Complex> chat = Fft(col);
+    for (uint64_t r = 0; r < n1; ++r) out[r * n2 + c] = chat[r];
+  }
+  return out;
+}
+
+std::vector<SpectralCoefficient2d> TopK2dCoefficients(
+    const std::vector<Complex>& spectrum, uint64_t n1, uint64_t n2,
+    uint64_t k) {
+  SKETCH_CHECK(spectrum.size() == n1 * n2);
+  std::vector<uint64_t> order(spectrum.size());
+  for (uint64_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (k < order.size()) {
+    std::nth_element(order.begin(), order.begin() + k, order.end(),
+                     [&](uint64_t a, uint64_t b) {
+                       return std::norm(spectrum[a]) > std::norm(spectrum[b]);
+                     });
+    order.resize(k);
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<SpectralCoefficient2d> out;
+  out.reserve(order.size());
+  for (uint64_t i : order) {
+    out.push_back({i / n2, i % n2, spectrum[i]});
+  }
+  return out;
+}
+
+double Spectrum2dL2Error(const std::vector<SpectralCoefficient2d>& recovered,
+                         const SparseSpectrum2dSignal& signal) {
+  std::unordered_map<uint64_t, Complex> truth;
+  for (const SpectralCoefficient2d& c : signal.coefficients) {
+    truth[Key(c.f1, c.f2)] = c.value;
+  }
+  double err2 = 0.0;
+  std::unordered_map<uint64_t, bool> seen;
+  for (const SpectralCoefficient2d& c : recovered) {
+    const auto it = truth.find(Key(c.f1, c.f2));
+    const Complex t = it == truth.end() ? Complex(0, 0) : it->second;
+    err2 += std::norm(c.value - t);
+    seen[Key(c.f1, c.f2)] = true;
+  }
+  for (const SpectralCoefficient2d& c : signal.coefficients) {
+    if (!seen.count(Key(c.f1, c.f2))) err2 += std::norm(c.value);
+  }
+  return std::sqrt(err2);
+}
+
+Sfft2dResult ExactSparseFft2d(const std::vector<Complex>& x, uint64_t n1,
+                              uint64_t n2, const Sfft2dOptions& options) {
+  SKETCH_CHECK(IsPowerOfTwo(n1) && IsPowerOfTwo(n2));
+  SKETCH_CHECK(n1 >= 4 && n2 >= 4);
+  SKETCH_CHECK(x.size() == n1 * n2);
+
+  Xoshiro256StarStar rng(options.seed);
+  std::unordered_map<uint64_t, Complex> found;  // Key(f1,f2) -> value
+  Sfft2dResult result;
+  // Shearing requires the shear step a = b * (n2 / n1) to be integral.
+  const bool can_shear = n2 % n1 == 0;
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    // Shear b: spectrum coefficient (F1, F2) appears in the sheared
+    // grid's spectrum at row g1 = (F1 + b*F2) mod n1, column F2. Round 0
+    // is unsheared; later rounds re-randomize the collision pattern.
+    const uint64_t b_shear =
+        (round == 0 || !can_shear) ? 0 : rng.NextBounded(n1);
+    const uint64_t a_step = b_shear * (n2 / n1);
+
+    const std::vector<uint64_t> row_ids =
+        PhaseShiftSchedule(n1, /*start_level=*/1, &rng);
+    const std::vector<uint64_t> col_ids =
+        PhaseShiftSchedule(n2, /*start_level=*/1, &rng);
+
+    // Row view: FFT over t2 of sheared row r — buckets indexed by f2.
+    std::vector<std::vector<Complex>> row_view(row_ids.size());
+    for (size_t s = 0; s < row_ids.size(); ++s) {
+      const uint64_t r = row_ids[s];
+      std::vector<Complex> row(n2);
+      const uint64_t offset = (a_step * r) & (n2 - 1);
+      for (uint64_t t2 = 0; t2 < n2; ++t2) {
+        row[t2] = x[r * n2 + ((t2 + offset) & (n2 - 1))];
+      }
+      result.samples_read += n2;
+      row_view[s] = Fft(row);
+    }
+    // Column view: FFT over t1 of sheared column c — buckets by g1.
+    std::vector<std::vector<Complex>> col_view(col_ids.size());
+    for (size_t s = 0; s < col_ids.size(); ++s) {
+      const uint64_t c = col_ids[s];
+      std::vector<Complex> col(n1);
+      for (uint64_t t1 = 0; t1 < n1; ++t1) {
+        col[t1] = x[t1 * n2 + ((c + a_step * t1) & (n2 - 1))];
+      }
+      result.samples_read += n1;
+      col_view[s] = Fft(col);
+    }
+
+    // Subtract a coefficient from both views.
+    auto subtract = [&](uint64_t f1, uint64_t f2, Complex value) {
+      const uint64_t g1 = (f1 + b_shear * f2) & (n1 - 1);
+      for (size_t s = 0; s < row_ids.size(); ++s) {
+        row_view[s][f2] -= value / static_cast<double>(n1) *
+                           PhaseUnit(g1 * row_ids[s], n1);
+      }
+      for (size_t s = 0; s < col_ids.size(); ++s) {
+        col_view[s][g1] -= value / static_cast<double>(n2) *
+                           PhaseUnit(f2 * col_ids[s], n2);
+      }
+    };
+    for (const auto& [key, value] : found) {
+      subtract(key >> 32, key & 0xffffffffULL, value);
+    }
+
+    const double row_threshold =
+        Threshold2d(row_view[0], options.magnitude_tolerance);
+    const double col_threshold =
+        Threshold2d(col_view[0], options.magnitude_tolerance);
+
+    // Alternate row/column peeling passes within the round.
+    bool progressed_in_round = false;
+    for (int pass = 0; pass < 8; ++pass) {
+      bool changed = false;
+
+      std::vector<Complex> values(row_ids.size());
+      for (uint64_t f2 = 0; f2 < n2; ++f2) {
+        const Complex a0 = row_view[0][f2];
+        if (std::abs(a0) <= row_threshold) continue;
+        for (size_t s = 0; s < row_ids.size(); ++s) {
+          values[s] = row_view[s][f2];
+        }
+        uint64_t g1 = 0;
+        if (!PhaseDecodeSingleton(values, row_ids, n1, /*start_level=*/1,
+                                  /*g_known=*/0,
+                                  options.singleton_tolerance, &g1)) {
+          continue;
+        }
+        const uint64_t f1 = (g1 + n1 - ((b_shear * f2) & (n1 - 1))) &
+                            (n1 - 1);
+        const Complex value = a0 * static_cast<double>(n1);
+        found[Key(f1, f2)] += value;
+        if (std::abs(found[Key(f1, f2)]) < 1e-12) found.erase(Key(f1, f2));
+        subtract(f1, f2, value);
+        changed = true;
+      }
+
+      std::vector<Complex> cvalues(col_ids.size());
+      for (uint64_t g1 = 0; g1 < n1; ++g1) {
+        const Complex a0 = col_view[0][g1];
+        if (std::abs(a0) <= col_threshold) continue;
+        for (size_t s = 0; s < col_ids.size(); ++s) {
+          cvalues[s] = col_view[s][g1];
+        }
+        uint64_t f2 = 0;
+        if (!PhaseDecodeSingleton(cvalues, col_ids, n2, /*start_level=*/1,
+                                  /*g_known=*/0,
+                                  options.singleton_tolerance, &f2)) {
+          continue;
+        }
+        const uint64_t f1 = (g1 + n1 - ((b_shear * f2) & (n1 - 1))) &
+                            (n1 - 1);
+        const Complex value = a0 * static_cast<double>(n2);
+        found[Key(f1, f2)] += value;
+        if (std::abs(found[Key(f1, f2)]) < 1e-12) found.erase(Key(f1, f2));
+        subtract(f1, f2, value);
+        changed = true;
+      }
+
+      progressed_in_round |= changed;
+      if (!changed) break;
+    }
+    (void)progressed_in_round;
+
+    result.rounds_used = round + 1;
+    double residual = 0.0;
+    for (const Complex& v : row_view[0]) {
+      residual = std::max(residual, std::abs(v));
+    }
+    for (const Complex& v : col_view[0]) {
+      residual = std::max(residual, std::abs(v));
+    }
+    if (residual <= std::max(row_threshold, col_threshold)) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.coefficients.reserve(found.size());
+  for (const auto& [key, value] : found) {
+    result.coefficients.push_back({key >> 32, key & 0xffffffffULL, value});
+  }
+  std::sort(result.coefficients.begin(), result.coefficients.end(),
+            [](const SpectralCoefficient2d& a, const SpectralCoefficient2d& b) {
+              return a.f1 != b.f1 ? a.f1 < b.f1 : a.f2 < b.f2;
+            });
+  return result;
+}
+
+}  // namespace sketch

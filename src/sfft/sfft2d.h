@@ -1,0 +1,76 @@
+#ifndef SKETCH_SFFT_SFFT2D_H_
+#define SKETCH_SFFT_SFFT2D_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fft/fft.h"
+
+namespace sketch {
+
+/// One recovered 2D spectral coefficient.
+struct SpectralCoefficient2d {
+  uint64_t f1 = 0;  ///< row frequency, in [0, n1)
+  uint64_t f2 = 0;  ///< column frequency, in [0, n2)
+  Complex value{0.0, 0.0};
+};
+
+/// A k-sparse 2D spectrum plus its (row-major n1 x n2) time-domain grid.
+struct SparseSpectrum2dSignal {
+  std::vector<SpectralCoefficient2d> coefficients;  ///< sorted (f1, f2)
+  std::vector<Complex> time_domain;                 ///< size n1 * n2
+};
+
+/// Generates a grid signal whose 2D DFT has exactly k unit-magnitude
+/// coefficients at distinct random positions.
+SparseSpectrum2dSignal MakeSparseSpectrum2dSignal(uint64_t n1, uint64_t n2,
+                                                  uint64_t k, uint64_t seed);
+
+/// Options for the 2D sparse FFT.
+struct Sfft2dOptions {
+  uint64_t sparsity = 8;
+  int max_rounds = 8;
+  double magnitude_tolerance = 1e-7;
+  double singleton_tolerance = 0.05;
+  uint64_t seed = 0x5eedULL;
+};
+
+/// Result of a 2D sparse FFT.
+struct Sfft2dResult {
+  std::vector<SpectralCoefficient2d> coefficients;
+  uint64_t samples_read = 0;
+  int rounds_used = 0;
+  bool converged = false;
+};
+
+/// Sample-optimal average-case 2D sparse FFT in the style of [GHI+13]
+/// (survey §4): the FFT of a single *row* r of the grid aliases the whole
+/// 2D spectrum along the f1 axis — bucket f2 receives
+/// (1/n1) * sum_{f1} xhat[f1,f2] e^{2 pi i f1 r / n1} — so rows act as
+/// phase-encoded buckets over columns of the spectrum, and columns act as
+/// buckets over rows. Singletons are located bitwise from rows
+/// r = n1/2, n1/4, ..., validated at a random row, and peeled from both
+/// views; later rounds shear the grid (x[t1, t2 + a*t1]) to re-randomize
+/// collision patterns that row/column peeling alone cannot break.
+///
+/// Reads O((n1 + n2) log) samples per round — sub-linear in n = n1*n2.
+/// Requires power-of-two n1, n2.
+Sfft2dResult ExactSparseFft2d(const std::vector<Complex>& x, uint64_t n1,
+                              uint64_t n2, const Sfft2dOptions& options);
+
+/// Baseline: full 2D FFT (row FFTs then column FFTs), O(n log n).
+std::vector<Complex> Dense2dFft(const std::vector<Complex>& x, uint64_t n1,
+                                uint64_t n2);
+
+/// Top-k selection from a dense 2D spectrum (baseline output format).
+std::vector<SpectralCoefficient2d> TopK2dCoefficients(
+    const std::vector<Complex>& spectrum, uint64_t n1, uint64_t n2,
+    uint64_t k);
+
+/// L2 error between a recovered coefficient list and the planted truth.
+double Spectrum2dL2Error(const std::vector<SpectralCoefficient2d>& recovered,
+                         const SparseSpectrum2dSignal& signal);
+
+}  // namespace sketch
+
+#endif  // SKETCH_SFFT_SFFT2D_H_

@@ -1,0 +1,121 @@
+#include "sfft/sparse_wht.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/prng.h"
+#include "fft/fft.h"
+
+namespace sketch {
+
+namespace {
+
+/// chi_s(x) = (-1)^{popcount(s & x)}.
+inline double Chi(uint64_t s, uint64_t x) {
+  return (__builtin_popcountll(s & x) & 1) ? -1.0 : 1.0;
+}
+
+}  // namespace
+
+SparseWhtResult KushilevitzMansour(const std::vector<double>& f,
+                                   const SparseWhtOptions& options) {
+  const uint64_t n = f.size();
+  SKETCH_CHECK(IsPowerOfTwo(n) && n >= 2);
+  SKETCH_CHECK(options.threshold > 0.0);
+  int log_n = 0;
+  while ((1ULL << log_n) < n) ++log_n;
+
+  Xoshiro256StarStar rng(options.seed);
+  SparseWhtResult result;
+  // Survive at a quarter of the target weight: the Monte-Carlo weight
+  // estimate has std ~ E[f^2]/sqrt(samples), and a heavy character lost at
+  // any level is lost forever — err on keeping borderline buckets (the
+  // final per-coefficient filter prunes impostors).
+  const double weight_threshold =
+      0.25 * options.threshold * options.threshold;
+
+  // Buckets: characters agreeing with `prefix` on their low `level` bits.
+  std::vector<uint64_t> frontier = {0};
+  for (int level = 1; level <= log_n; ++level) {
+    std::vector<uint64_t> next;
+    const uint64_t low_mask = (1ULL << level) - 1;
+    for (uint64_t parent : frontier) {
+      for (uint64_t bit = 0; bit <= 1; ++bit) {
+        const uint64_t prefix = parent | (bit << (level - 1));
+        // W = E[f(z:x1) f(z:x2) chi_prefix(x1 ^ x2)], x1, x2 over the low
+        // `level` bits, z over the high bits.
+        double acc = 0.0;
+        for (int t = 0; t < options.samples_per_estimate; ++t) {
+          const uint64_t x1 = rng.Next() & low_mask;
+          const uint64_t x2 = rng.Next() & low_mask;
+          const uint64_t z = (rng.Next() << level) & (n - 1);
+          acc += f[z | x1] * f[z | x2] * Chi(prefix, x1 ^ x2);
+        }
+        result.samples_read += 2 * options.samples_per_estimate;
+        const double weight = acc / options.samples_per_estimate;
+        if (weight >= weight_threshold) next.push_back(prefix);
+      }
+    }
+    SKETCH_CHECK_MSG(next.size() <= options.max_buckets_per_level,
+                     "bucket tree exploded; threshold too low for signal");
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+
+  // Estimate the surviving coefficients.
+  for (uint64_t s : frontier) {
+    double value = 0.0;
+    if (options.samples_per_coefficient == 0) {
+      for (uint64_t x = 0; x < n; ++x) value += f[x] * Chi(s, x);
+      value /= static_cast<double>(n);
+      result.samples_read += n;
+    } else {
+      for (int t = 0; t < options.samples_per_coefficient; ++t) {
+        const uint64_t x = rng.Next() & (n - 1);
+        value += f[x] * Chi(s, x);
+      }
+      value /= options.samples_per_coefficient;
+      result.samples_read += options.samples_per_coefficient;
+    }
+    if (std::abs(value) >= 0.5 * options.threshold) {
+      result.coefficients.push_back({s, value});
+    }
+  }
+  std::sort(result.coefficients.begin(), result.coefficients.end(),
+            [](const WhtCoefficient& a, const WhtCoefficient& b) {
+              return a.index < b.index;
+            });
+  return result;
+}
+
+std::vector<double> DenseWht(const std::vector<double>& f) {
+  const uint64_t n = f.size();
+  SKETCH_CHECK(IsPowerOfTwo(n));
+  std::vector<double> a = f;
+  for (uint64_t len = 1; len < n; len <<= 1) {
+    for (uint64_t i = 0; i < n; i += 2 * len) {
+      for (uint64_t j = i; j < i + len; ++j) {
+        const double u = a[j];
+        const double v = a[j + len];
+        a[j] = u + v;
+        a[j + len] = u - v;
+      }
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (double& v : a) v *= inv_n;
+  return a;
+}
+
+std::vector<double> SynthesizeFromWhtCoefficients(
+    uint64_t n, const std::vector<WhtCoefficient>& coeffs) {
+  SKETCH_CHECK(IsPowerOfTwo(n));
+  std::vector<double> f(n, 0.0);
+  for (const WhtCoefficient& c : coeffs) {
+    SKETCH_CHECK(c.index < n);
+    for (uint64_t x = 0; x < n; ++x) f[x] += c.value * Chi(c.index, x);
+  }
+  return f;
+}
+
+}  // namespace sketch

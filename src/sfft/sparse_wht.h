@@ -1,0 +1,61 @@
+#ifndef SKETCH_SFFT_SPARSE_WHT_H_
+#define SKETCH_SFFT_SPARSE_WHT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sketch {
+
+/// One Walsh–Hadamard (Boolean-cube Fourier) coefficient.
+struct WhtCoefficient {
+  uint64_t index = 0;  ///< the character s; chi_s(x) = (-1)^{popcount(s&x)}
+  double value = 0.0;  ///< fhat(s) = E_x[f(x) chi_s(x)]
+};
+
+/// Options for the Kushilevitz–Mansour search.
+struct SparseWhtOptions {
+  /// Keep coefficients with |fhat(s)| >= threshold.
+  double threshold = 0.25;
+  /// Monte-Carlo samples per bucket-weight estimate.
+  int samples_per_estimate = 1024;
+  /// Samples for the final coefficient-value estimates (0 = exact O(N)
+  /// summation per surviving coefficient).
+  int samples_per_coefficient = 4096;
+  uint64_t seed = 0x5eedULL;
+  /// Safety cap on tree expansion (buckets kept per level).
+  uint64_t max_buckets_per_level = 4096;
+};
+
+/// Result of a sparse WHT run.
+struct SparseWhtResult {
+  std::vector<WhtCoefficient> coefficients;  ///< sorted by index
+  uint64_t samples_read = 0;  ///< oracle queries (sub-linear for sparse f)
+};
+
+/// The Kushilevitz–Mansour / Goldreich–Levin algorithm [KM91, GL89]
+/// (survey §4: "the first algorithms of this type were designed for the
+/// Hadamard transform"). Finds all characters s with |fhat(s)| >=
+/// threshold by recursive bucket splitting: the bucket of characters
+/// agreeing with prefix `a` on their low k bits has Fourier weight
+///   W_a = E_{x1, x2, z} [ f(z:x1) f(z:x2) chi_a(x1 xor x2) ],
+/// estimable by sampling — "hashing in the frequency domain" where the
+/// buckets are prefix classes. Buckets whose weight clears threshold^2/2
+/// are split; surviving leaves are the heavy characters.
+///
+/// \param f  the function table, length a power of two (f[x] = f(x)).
+///           Only sampled positions are read.
+SparseWhtResult KushilevitzMansour(const std::vector<double>& f,
+                                   const SparseWhtOptions& options);
+
+/// Dense baseline: the full fast WHT, returning *all* N coefficients
+/// fhat(s) = (1/N) sum_x f(x) chi_s(x). O(N log N).
+std::vector<double> DenseWht(const std::vector<double>& f);
+
+/// Synthesizes the table of f(x) = sum_s coeffs[s] * chi_s(x); the test
+/// and benchmark signal generator. O(N * #coeffs).
+std::vector<double> SynthesizeFromWhtCoefficients(
+    uint64_t n, const std::vector<WhtCoefficient>& coeffs);
+
+}  // namespace sketch
+
+#endif  // SKETCH_SFFT_SPARSE_WHT_H_

@@ -1,0 +1,96 @@
+#include "sfft/spectrum_utils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace sketch {
+
+SparseSpectrumSignal MakeSparseSpectrumSignal(uint64_t n, uint64_t k,
+                                              uint64_t seed) {
+  SKETCH_CHECK(k <= n);
+  Xoshiro256StarStar rng(seed);
+  SparseSpectrumSignal signal;
+  // Distinct random frequencies via rejection (k << n in all experiments).
+  std::vector<uint64_t> freqs;
+  while (freqs.size() < k) {
+    const uint64_t f = rng.NextBounded(n);
+    if (std::find(freqs.begin(), freqs.end(), f) == freqs.end()) {
+      freqs.push_back(f);
+    }
+  }
+  std::sort(freqs.begin(), freqs.end());
+  signal.coefficients.reserve(k);
+  for (uint64_t f : freqs) {
+    const double phase = 2.0 * std::numbers::pi * rng.NextDouble();
+    signal.coefficients.push_back(
+        {f, Complex(std::cos(phase), std::sin(phase))});
+  }
+  // Synthesize x[t] = (1/n) sum_f xhat[f] e^{2 pi i f t / n} directly.
+  signal.time_domain.assign(n, Complex(0, 0));
+  const double tau = 2.0 * std::numbers::pi / static_cast<double>(n);
+  for (const SpectralCoefficient& c : signal.coefficients) {
+    for (uint64_t t = 0; t < n; ++t) {
+      const double angle =
+          tau * static_cast<double>((c.frequency * t) % n);
+      signal.time_domain[t] +=
+          c.value * Complex(std::cos(angle), std::sin(angle));
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (Complex& v : signal.time_domain) v *= inv_n;
+  return signal;
+}
+
+void AddComplexNoise(std::vector<Complex>* x, double sigma, uint64_t seed) {
+  SKETCH_CHECK(sigma >= 0.0);
+  if (sigma == 0.0) return;
+  Xoshiro256StarStar rng(seed);
+  for (Complex& v : *x) {
+    v += Complex(sigma * rng.NextGaussian(), sigma * rng.NextGaussian());
+  }
+}
+
+double SpectrumL2Error(const std::vector<SpectralCoefficient>& recovered,
+                       const SparseSpectrumSignal& signal) {
+  std::unordered_map<uint64_t, Complex> truth;
+  for (const SpectralCoefficient& c : signal.coefficients) {
+    truth[c.frequency] = c.value;
+  }
+  double err2 = 0.0;
+  std::unordered_map<uint64_t, bool> seen;
+  for (const SpectralCoefficient& c : recovered) {
+    const auto it = truth.find(c.frequency);
+    const Complex t = it == truth.end() ? Complex(0, 0) : it->second;
+    err2 += std::norm(c.value - t);
+    seen[c.frequency] = true;
+  }
+  for (const SpectralCoefficient& c : signal.coefficients) {
+    if (!seen.count(c.frequency)) err2 += std::norm(c.value);
+  }
+  return std::sqrt(err2);
+}
+
+std::vector<SpectralCoefficient> TopKCoefficients(
+    const std::vector<Complex>& spectrum, uint64_t k) {
+  std::vector<uint64_t> order(spectrum.size());
+  for (uint64_t i = 0; i < spectrum.size(); ++i) order[i] = i;
+  if (k < order.size()) {
+    std::nth_element(order.begin(), order.begin() + k, order.end(),
+                     [&](uint64_t a, uint64_t b) {
+                       return std::norm(spectrum[a]) > std::norm(spectrum[b]);
+                     });
+    order.resize(k);
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<SpectralCoefficient> result;
+  result.reserve(order.size());
+  for (uint64_t f : order) result.push_back({f, spectrum[f]});
+  return result;
+}
+
+}  // namespace sketch

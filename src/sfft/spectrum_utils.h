@@ -1,0 +1,46 @@
+#ifndef SKETCH_SFFT_SPECTRUM_UTILS_H_
+#define SKETCH_SFFT_SPECTRUM_UTILS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fft/fft.h"
+
+namespace sketch {
+
+/// One recovered (or planted) spectral coefficient.
+struct SpectralCoefficient {
+  uint64_t frequency = 0;
+  Complex value{0.0, 0.0};
+};
+
+/// A k-sparse spectrum plus its time-domain realization.
+struct SparseSpectrumSignal {
+  std::vector<SpectralCoefficient> coefficients;  ///< sorted by frequency
+  std::vector<Complex> time_domain;               ///< length n
+};
+
+/// Generates a signal of length n whose DFT has exactly k nonzero
+/// coefficients at distinct random frequencies with unit magnitude and
+/// random phase — the standard sFFT benchmark input [HIKP12b].
+/// Time domain is synthesized directly in O(nk) (exact, no FFT error).
+SparseSpectrumSignal MakeSparseSpectrumSignal(uint64_t n, uint64_t k,
+                                              uint64_t seed);
+
+/// Adds complex white Gaussian noise of per-component std `sigma` to the
+/// time-domain signal.
+void AddComplexNoise(std::vector<Complex>* x, double sigma, uint64_t seed);
+
+/// ℓ2 distance between a recovered coefficient list and the true spectrum
+/// of `signal`, over all n frequencies (missed coefficients count fully).
+double SpectrumL2Error(const std::vector<SpectralCoefficient>& recovered,
+                       const SparseSpectrumSignal& signal);
+
+/// Top-k coefficients of a dense spectrum by magnitude (the "full FFT"
+/// baseline output format).
+std::vector<SpectralCoefficient> TopKCoefficients(
+    const std::vector<Complex>& spectrum, uint64_t k);
+
+}  // namespace sketch
+
+#endif  // SKETCH_SFFT_SPECTRUM_UTILS_H_

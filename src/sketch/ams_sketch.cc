@@ -1,0 +1,59 @@
+#include "sketch/ams_sketch.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace sketch {
+
+AmsSketch::AmsSketch(uint64_t width, uint64_t depth, uint64_t seed)
+    : width_(width), depth_(depth), seed_(seed) {
+  SKETCH_CHECK(width >= 1);
+  SKETCH_CHECK(depth >= 1);
+  bucket_hashes_.reserve(depth);
+  sign_hashes_.reserve(depth);
+  for (uint64_t j = 0; j < depth; ++j) {
+    bucket_hashes_.emplace_back(2, SplitMix64Once(seed + 31 * j));
+    sign_hashes_.emplace_back(4, SplitMix64Once(~seed + 37 * j));
+  }
+  counters_.assign(width * depth, 0);
+}
+
+void AmsSketch::Update(const StreamUpdate& update) {
+  for (uint64_t j = 0; j < depth_; ++j) {
+    const uint64_t b = bucket_hashes_[j].Bucket(update.item, width_);
+    counters_[j * width_ + b] +=
+        sign_hashes_[j].Sign(update.item) * update.delta;
+  }
+}
+
+void AmsSketch::UpdateAll(const std::vector<StreamUpdate>& updates) {
+  for (const StreamUpdate& u : updates) Update(u);
+}
+
+double AmsSketch::EstimateF2() const {
+  std::vector<double> row_estimates(depth_);
+  for (uint64_t j = 0; j < depth_; ++j) {
+    double sum = 0.0;
+    for (uint64_t b = 0; b < width_; ++b) {
+      const double c = static_cast<double>(counters_[j * width_ + b]);
+      sum += c * c;
+    }
+    row_estimates[j] = sum;
+  }
+  const auto mid = row_estimates.begin() + depth_ / 2;
+  std::nth_element(row_estimates.begin(), mid, row_estimates.end());
+  return *mid;
+}
+
+void AmsSketch::Merge(const AmsSketch& other) {
+  SKETCH_CHECK_MSG(width_ == other.width_ && depth_ == other.depth_ &&
+                       seed_ == other.seed_,
+                   "merge requires identical geometry and seed");
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+}
+
+}  // namespace sketch

@@ -1,0 +1,51 @@
+#ifndef SKETCH_SKETCH_AMS_SKETCH_H_
+#define SKETCH_SKETCH_AMS_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/kwise_hash.h"
+#include "stream/update.h"
+
+namespace sketch {
+
+/// AMS "tug-of-war" sketch (Alon–Matias–Szegedy) for the second frequency
+/// moment F2 = ||x||_2^2, in its hashed "fast AMS" form: each row is a
+/// Count-Sketch row (4-wise independent signs), and the row's F2 estimate
+/// is the sum of squared counters. The median over rows concentrates.
+///
+/// Included because F2 estimation is the original theory ancestor of
+/// Count-Sketch and the simplest instance of "sketching as dimensionality
+/// reduction" (§3): a Count-Sketch row is an ℓ2-norm-preserving random
+/// projection.
+class AmsSketch {
+ public:
+  AmsSketch(uint64_t width, uint64_t depth, uint64_t seed);
+
+  /// Applies an update (any delta; linear sketch).
+  void Update(const StreamUpdate& update);
+
+  /// Applies every update.
+  void UpdateAll(const std::vector<StreamUpdate>& updates);
+
+  /// Median-of-rows estimate of F2 = sum_i count(i)^2.
+  double EstimateF2() const;
+
+  /// Merges a sketch with identical geometry and seed.
+  void Merge(const AmsSketch& other);
+
+  uint64_t width() const { return width_; }
+  uint64_t depth() const { return depth_; }
+
+ private:
+  uint64_t width_;
+  uint64_t depth_;
+  uint64_t seed_;
+  std::vector<KWiseHash> bucket_hashes_;  // 2-wise
+  std::vector<KWiseHash> sign_hashes_;    // 4-wise (needed for variance bound)
+  std::vector<int64_t> counters_;
+};
+
+}  // namespace sketch
+
+#endif  // SKETCH_SKETCH_AMS_SKETCH_H_

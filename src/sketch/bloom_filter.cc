@@ -1,0 +1,100 @@
+#include "sketch/bloom_filter.h"
+
+#include <cmath>
+
+#include "common/byte_buffer.h"
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace sketch {
+
+namespace {
+constexpr uint64_t kBloomMagic = 0x534b424c4f4f4d31ULL;  // "SKBLOOM1"
+}  // namespace
+
+BloomFilter::BloomFilter(uint64_t num_bits, int num_hashes, uint64_t seed)
+    : num_bits_(num_bits), seed_(seed) {
+  SKETCH_CHECK(num_bits >= 1);
+  SKETCH_CHECK(num_hashes >= 1);
+  hashes_.reserve(num_hashes);
+  for (int i = 0; i < num_hashes; ++i) {
+    hashes_.emplace_back(2, SplitMix64Once(seed + 7919 * i));
+  }
+  bits_.assign((num_bits + 63) / 64, 0);
+}
+
+BloomFilter BloomFilter::FromFalsePositiveRate(uint64_t expected_keys,
+                                               double target_fpr,
+                                               uint64_t seed) {
+  SKETCH_CHECK(expected_keys >= 1);
+  SKETCH_CHECK(target_fpr > 0.0 && target_fpr < 1.0);
+  const double ln2 = std::log(2.0);
+  const double bits_per_key = -std::log(target_fpr) / (ln2 * ln2);
+  const auto num_bits = static_cast<uint64_t>(
+      std::ceil(bits_per_key * static_cast<double>(expected_keys)));
+  const int num_hashes =
+      std::max(1, static_cast<int>(std::round(bits_per_key * ln2)));
+  return BloomFilter(num_bits, num_hashes, seed);
+}
+
+void BloomFilter::Insert(uint64_t key) {
+  for (const KWiseHash& h : hashes_) {
+    const uint64_t bit = h.Bucket(key, num_bits_);
+    bits_[bit >> 6] |= (1ULL << (bit & 63));
+  }
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  for (const KWiseHash& h : hashes_) {
+    const uint64_t bit = h.Bucket(key, num_bits_);
+    if (!(bits_[bit >> 6] & (1ULL << (bit & 63)))) return false;
+  }
+  return true;
+}
+
+void BloomFilter::Merge(const BloomFilter& other) {
+  SKETCH_CHECK_MSG(num_bits_ == other.num_bits_ && seed_ == other.seed_ &&
+                       hashes_.size() == other.hashes_.size(),
+                   "merge requires identical geometry and seed");
+  for (size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+}
+
+double BloomFilter::TheoreticalFpr(uint64_t inserted_keys) const {
+  const double k = static_cast<double>(hashes_.size());
+  const double exponent = -k * static_cast<double>(inserted_keys) /
+                          static_cast<double>(num_bits_);
+  return std::pow(1.0 - std::exp(exponent), k);
+}
+
+double BloomFilter::FillRatio() const {
+  uint64_t set = 0;
+  for (uint64_t word : bits_) set += __builtin_popcountll(word);
+  return static_cast<double>(set) / static_cast<double>(num_bits_);
+}
+
+
+std::vector<uint8_t> BloomFilter::Serialize() const {
+  std::vector<uint8_t> out;
+  out.reserve(40 + bits_.size() * 8);
+  AppendU64(kBloomMagic, &out);
+  AppendU64(num_bits_, &out);
+  AppendU64(static_cast<uint64_t>(hashes_.size()), &out);
+  AppendU64(seed_, &out);
+  for (uint64_t word : bits_) AppendU64(word, &out);
+  return out;
+}
+
+BloomFilter BloomFilter::Deserialize(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  SKETCH_CHECK_MSG(reader.ReadU64() == kBloomMagic,
+                   "not a BloomFilter buffer");
+  const uint64_t num_bits = reader.ReadU64();
+  const auto num_hashes = static_cast<int>(reader.ReadU64());
+  const uint64_t seed = reader.ReadU64();
+  BloomFilter filter(num_bits, num_hashes, seed);
+  for (uint64_t& word : filter.bits_) word = reader.ReadU64();
+  SKETCH_CHECK_MSG(reader.AtEnd(), "trailing bytes in BloomFilter buffer");
+  return filter;
+}
+
+}  // namespace sketch

@@ -1,0 +1,65 @@
+#ifndef SKETCH_SKETCH_BLOOM_FILTER_H_
+#define SKETCH_SKETCH_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/kwise_hash.h"
+
+namespace sketch {
+
+/// Bloom filter [FCAB98, BM04]: `num_bits` bits, `num_hashes` hash probes
+/// per key. The membership analogue of the §1 hashing process — instead of
+/// counting, each key sets its hashed positions; a key "may be present"
+/// iff all its positions are set.
+///
+/// False-positive rate after n inserts: approximately
+/// (1 - e^{-kn/m})^k, minimized at k = (m/n) ln 2 hash functions.
+class BloomFilter {
+ public:
+  BloomFilter(uint64_t num_bits, int num_hashes, uint64_t seed);
+
+  /// Sizes for an expected `expected_keys` insertions at the target
+  /// false-positive rate, with the optimal hash count.
+  static BloomFilter FromFalsePositiveRate(uint64_t expected_keys,
+                                           double target_fpr, uint64_t seed);
+
+  /// Inserts a key.
+  void Insert(uint64_t key);
+
+  /// Returns false if the key was definitely never inserted; true means
+  /// "possibly present" (false positives at the configured rate).
+  bool MayContain(uint64_t key) const;
+
+  /// Merges a filter with identical geometry and seed (bitwise OR).
+  void Merge(const BloomFilter& other);
+
+  /// Theoretical false-positive rate after `inserted_keys` distinct
+  /// insertions.
+  double TheoreticalFpr(uint64_t inserted_keys) const;
+
+  uint64_t num_bits() const { return num_bits_; }
+  int num_hashes() const { return static_cast<int>(hashes_.size()); }
+  uint64_t seed() const { return seed_; }
+
+  /// Fraction of bits currently set (diagnostic).
+  double FillRatio() const;
+
+  /// Serializes geometry, seed, and the bit array to a portable
+  /// little-endian byte buffer.
+  std::vector<uint8_t> Serialize() const;
+
+  /// Reconstructs a filter from Serialize() output; aborts on malformed
+  /// buffers.
+  static BloomFilter Deserialize(const std::vector<uint8_t>& bytes);
+
+ private:
+  uint64_t num_bits_;
+  uint64_t seed_;
+  std::vector<KWiseHash> hashes_;
+  std::vector<uint64_t> bits_;  // packed, 64 bits per word
+};
+
+}  // namespace sketch
+
+#endif  // SKETCH_SKETCH_BLOOM_FILTER_H_

@@ -1,0 +1,120 @@
+#include "sketch/count_min.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/byte_buffer.h"
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace sketch {
+
+namespace {
+constexpr uint64_t kCountMinMagic = 0x534b434d494e3031ULL;  // "SKCMIN01"
+}  // namespace
+
+CountMinSketch::CountMinSketch(uint64_t width, uint64_t depth, uint64_t seed)
+    : width_(width), depth_(depth), seed_(seed) {
+  SKETCH_CHECK(width >= 1);
+  SKETCH_CHECK(depth >= 1);
+  hashes_.reserve(depth);
+  for (uint64_t j = 0; j < depth; ++j) {
+    // Seed derivation must match MakeCountMinMatrix/HashedRecovery so the
+    // sketch and its explicit matrix form implement the same linear map.
+    hashes_.emplace_back(/*independence=*/2, SplitMix64Once(seed * 2 + j));
+  }
+  counters_.assign(width * depth, 0);
+}
+
+CountMinSketch CountMinSketch::FromErrorBounds(double eps, double delta,
+                                               uint64_t seed) {
+  SKETCH_CHECK(eps > 0.0 && eps < 1.0);
+  SKETCH_CHECK(delta > 0.0 && delta < 1.0);
+  const auto width = static_cast<uint64_t>(std::ceil(std::exp(1.0) / eps));
+  const auto depth = static_cast<uint64_t>(std::ceil(std::log(1.0 / delta)));
+  return CountMinSketch(width, std::max<uint64_t>(depth, 1), seed);
+}
+
+void CountMinSketch::Update(const StreamUpdate& update) {
+  for (uint64_t j = 0; j < depth_; ++j) {
+    counters_[j * width_ + hashes_[j].Bucket(update.item, width_)] +=
+        update.delta;
+  }
+}
+
+void CountMinSketch::UpdateAll(const std::vector<StreamUpdate>& updates) {
+  for (const StreamUpdate& u : updates) Update(u);
+}
+
+void CountMinSketch::UpdateConservative(uint64_t item, int64_t delta) {
+  SKETCH_CHECK(delta > 0);
+  const int64_t target = Estimate(item) + delta;
+  for (uint64_t j = 0; j < depth_; ++j) {
+    int64_t& counter =
+        counters_[j * width_ + hashes_[j].Bucket(item, width_)];
+    counter = std::max(counter, target);
+  }
+}
+
+int64_t CountMinSketch::Estimate(uint64_t item) const {
+  int64_t best = counters_[hashes_[0].Bucket(item, width_)];
+  for (uint64_t j = 1; j < depth_; ++j) {
+    best = std::min(best,
+                    counters_[j * width_ + hashes_[j].Bucket(item, width_)]);
+  }
+  return best;
+}
+
+int64_t CountMinSketch::EstimateInnerProduct(
+    const CountMinSketch& other) const {
+  SKETCH_CHECK_MSG(width_ == other.width_ && depth_ == other.depth_ &&
+                       seed_ == other.seed_,
+                   "inner product requires identical geometry and seed");
+  int64_t best = 0;
+  for (uint64_t j = 0; j < depth_; ++j) {
+    int64_t row_product = 0;
+    for (uint64_t b = 0; b < width_; ++b) {
+      row_product += counters_[j * width_ + b] *
+                     other.counters_[j * width_ + b];
+    }
+    best = (j == 0) ? row_product : std::min(best, row_product);
+  }
+  return best;
+}
+
+void CountMinSketch::Merge(const CountMinSketch& other) {
+  SKETCH_CHECK_MSG(width_ == other.width_ && depth_ == other.depth_ &&
+                       seed_ == other.seed_,
+                   "merge requires identical geometry and seed");
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+}
+
+
+std::vector<uint8_t> CountMinSketch::Serialize() const {
+  std::vector<uint8_t> out;
+  out.reserve(40 + counters_.size() * 8);
+  AppendU64(kCountMinMagic, &out);
+  AppendU64(width_, &out);
+  AppendU64(depth_, &out);
+  AppendU64(seed_, &out);
+  for (int64_t c : counters_) AppendI64(c, &out);
+  return out;
+}
+
+CountMinSketch CountMinSketch::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  SKETCH_CHECK_MSG(reader.ReadU64() == kCountMinMagic,
+                   "not a CountMinSketch buffer");
+  const uint64_t width = reader.ReadU64();
+  const uint64_t depth = reader.ReadU64();
+  const uint64_t seed = reader.ReadU64();
+  CountMinSketch sketch(width, depth, seed);
+  for (int64_t& c : sketch.counters_) c = reader.ReadI64();
+  SKETCH_CHECK_MSG(reader.AtEnd(), "trailing bytes in CountMinSketch buffer");
+  return sketch;
+}
+
+}  // namespace sketch

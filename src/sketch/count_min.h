@@ -1,0 +1,100 @@
+#ifndef SKETCH_SKETCH_COUNT_MIN_H_
+#define SKETCH_SKETCH_COUNT_MIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/kwise_hash.h"
+#include "stream/update.h"
+
+namespace sketch {
+
+/// Count-Min sketch [CM04]: `depth` rows of `width` counters; each row j
+/// has a pairwise-independent hash h_j, and an update (a, Δ) adds Δ to
+/// counter (j, h_j(a)) in every row. This is exactly the "hashing into an
+/// array of counters" process of §1 of the survey, repeated `depth` times.
+///
+/// Guarantees (strict turnstile, all counts nonnegative):
+///   Estimate(a) >= true count, and
+///   Estimate(a) <= true count + eps * ||x||_1 with prob >= 1 - delta,
+/// when width = ceil(e / eps) and depth = ceil(ln(1 / delta)).
+///
+/// The sketch is a *linear* function of the frequency vector, so it
+/// supports deletions and merging, and doubles as the measurement map in
+/// the compressed-sensing connection [CM06] (see `src/cs`).
+class CountMinSketch {
+ public:
+  /// Constructs with explicit geometry. Hash functions for the rows are
+  /// derived deterministically from `seed`.
+  CountMinSketch(uint64_t width, uint64_t depth, uint64_t seed);
+
+  /// Sizes the sketch from the (eps, delta) guarantee above.
+  static CountMinSketch FromErrorBounds(double eps, double delta,
+                                        uint64_t seed);
+
+  /// Applies an update (works for any delta; linear sketch).
+  void Update(const StreamUpdate& update);
+
+  /// Applies every update in `updates`.
+  void UpdateAll(const std::vector<StreamUpdate>& updates);
+
+  /// Conservative update [EV02]: increments only the minimal counters so
+  /// that the estimate of `item` rises to (old estimate + delta). Strictly
+  /// tightens over-estimation, but is only sound for insert-only streams
+  /// (delta > 0) and forfeits linearity (no deletions, no merging).
+  void UpdateConservative(uint64_t item, int64_t delta);
+
+  /// Point query: min over rows of the hashed counter. Never
+  /// underestimates in the strict turnstile model.
+  int64_t Estimate(uint64_t item) const;
+
+  /// Merges another sketch built with the same geometry and seed
+  /// (counter-wise sum); valid because the sketch is linear.
+  void Merge(const CountMinSketch& other);
+
+  /// Estimates the inner product <x, y> of the two sketched frequency
+  /// vectors (for relations, the equi-join size |R ⋈ S|, the application
+  /// [CM04] highlights): per row, sum of counter products; min over rows.
+  /// Never underestimates for nonnegative frequency vectors, and is
+  /// within eps*||x||_1*||y||_1 of the truth w.h.p. Requires identical
+  /// geometry and seed.
+  int64_t EstimateInnerProduct(const CountMinSketch& other) const;
+
+  uint64_t width() const { return width_; }
+  uint64_t depth() const { return depth_; }
+  uint64_t seed() const { return seed_; }
+
+  /// Total number of counters (the sketch's space cost).
+  uint64_t SizeInCounters() const { return width_ * depth_; }
+
+  /// Bucket index of `item` in row `row` — exposed so the compressed-
+  /// sensing layer can reconstruct the measurement matrix this sketch
+  /// implements.
+  uint64_t BucketOf(uint64_t row, uint64_t item) const {
+    return hashes_[row].Bucket(item, width_);
+  }
+
+  /// Raw counter (row-major); exposed for tests and recovery algorithms.
+  int64_t CounterAt(uint64_t row, uint64_t bucket) const {
+    return counters_[row * width_ + bucket];
+  }
+
+  /// Serializes geometry, seed, and counters to a portable little-endian
+  /// byte buffer (hash functions are rebuilt from the seed on load).
+  std::vector<uint8_t> Serialize() const;
+
+  /// Reconstructs a sketch from Serialize() output; aborts on malformed
+  /// buffers.
+  static CountMinSketch Deserialize(const std::vector<uint8_t>& bytes);
+
+ private:
+  uint64_t width_;
+  uint64_t depth_;
+  uint64_t seed_;
+  std::vector<KWiseHash> hashes_;   // one 2-wise hash per row
+  std::vector<int64_t> counters_;  // row-major depth x width
+};
+
+}  // namespace sketch
+
+#endif  // SKETCH_SKETCH_COUNT_MIN_H_

@@ -1,0 +1,123 @@
+#include "sketch/count_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/byte_buffer.h"
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace sketch {
+
+namespace {
+constexpr uint64_t kCountSketchMagic = 0x534b43534b543031ULL;  // "SKCSKT01"
+}  // namespace
+
+CountSketch::CountSketch(uint64_t width, uint64_t depth, uint64_t seed)
+    : width_(width), depth_(depth), seed_(seed) {
+  SKETCH_CHECK(width >= 1);
+  SKETCH_CHECK(depth >= 1);
+  bucket_hashes_.reserve(depth);
+  sign_hashes_.reserve(depth);
+  for (uint64_t j = 0; j < depth; ++j) {
+    bucket_hashes_.emplace_back(2, SplitMix64Once(seed * 2 + j));
+    sign_hashes_.emplace_back(2, SplitMix64Once(~seed * 2 + j + 0x9e37ULL));
+  }
+  counters_.assign(width * depth, 0);
+}
+
+CountSketch CountSketch::FromErrorBounds(double eps, double delta,
+                                         uint64_t seed) {
+  SKETCH_CHECK(eps > 0.0 && eps < 1.0);
+  SKETCH_CHECK(delta > 0.0 && delta < 1.0);
+  const auto width = static_cast<uint64_t>(std::ceil(3.0 / (eps * eps)));
+  auto depth = static_cast<uint64_t>(std::ceil(std::log(1.0 / delta)));
+  depth = std::max<uint64_t>(depth, 1);
+  if (depth % 2 == 0) ++depth;  // odd depth keeps the median a counter value
+  return CountSketch(width, depth, seed);
+}
+
+void CountSketch::Update(const StreamUpdate& update) {
+  for (uint64_t j = 0; j < depth_; ++j) {
+    const uint64_t b = bucket_hashes_[j].Bucket(update.item, width_);
+    counters_[j * width_ + b] +=
+        sign_hashes_[j].Sign(update.item) * update.delta;
+  }
+}
+
+void CountSketch::UpdateAll(const std::vector<StreamUpdate>& updates) {
+  for (const StreamUpdate& u : updates) Update(u);
+}
+
+int64_t CountSketch::EstimateRow(uint64_t row, uint64_t item) const {
+  const uint64_t b = bucket_hashes_[row].Bucket(item, width_);
+  return sign_hashes_[row].Sign(item) * counters_[row * width_ + b];
+}
+
+int64_t CountSketch::Estimate(uint64_t item) const {
+  std::vector<int64_t> row_estimates(depth_);
+  for (uint64_t j = 0; j < depth_; ++j) {
+    row_estimates[j] = EstimateRow(j, item);
+  }
+  const auto mid = row_estimates.begin() + depth_ / 2;
+  std::nth_element(row_estimates.begin(), mid, row_estimates.end());
+  if (depth_ % 2 == 1) return *mid;
+  // Even depth: average the two middle order statistics.
+  const int64_t upper = *mid;
+  const int64_t lower =
+      *std::max_element(row_estimates.begin(), mid);
+  return (lower + upper) / 2;
+}
+
+int64_t CountSketch::EstimateInnerProduct(const CountSketch& other) const {
+  SKETCH_CHECK_MSG(width_ == other.width_ && depth_ == other.depth_ &&
+                       seed_ == other.seed_,
+                   "inner product requires identical geometry and seed");
+  std::vector<int64_t> row_products(depth_);
+  for (uint64_t j = 0; j < depth_; ++j) {
+    int64_t acc = 0;
+    for (uint64_t b = 0; b < width_; ++b) {
+      acc += counters_[j * width_ + b] * other.counters_[j * width_ + b];
+    }
+    row_products[j] = acc;
+  }
+  const auto mid = row_products.begin() + depth_ / 2;
+  std::nth_element(row_products.begin(), mid, row_products.end());
+  return *mid;
+}
+
+void CountSketch::Merge(const CountSketch& other) {
+  SKETCH_CHECK_MSG(width_ == other.width_ && depth_ == other.depth_ &&
+                       seed_ == other.seed_,
+                   "merge requires identical geometry and seed");
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+}
+
+
+std::vector<uint8_t> CountSketch::Serialize() const {
+  std::vector<uint8_t> out;
+  out.reserve(40 + counters_.size() * 8);
+  AppendU64(kCountSketchMagic, &out);
+  AppendU64(width_, &out);
+  AppendU64(depth_, &out);
+  AppendU64(seed_, &out);
+  for (int64_t c : counters_) AppendI64(c, &out);
+  return out;
+}
+
+CountSketch CountSketch::Deserialize(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  SKETCH_CHECK_MSG(reader.ReadU64() == kCountSketchMagic,
+                   "not a CountSketch buffer");
+  const uint64_t width = reader.ReadU64();
+  const uint64_t depth = reader.ReadU64();
+  const uint64_t seed = reader.ReadU64();
+  CountSketch sketch(width, depth, seed);
+  for (int64_t& c : sketch.counters_) c = reader.ReadI64();
+  SKETCH_CHECK_MSG(reader.AtEnd(), "trailing bytes in CountSketch buffer");
+  return sketch;
+}
+
+}  // namespace sketch

@@ -1,0 +1,91 @@
+#ifndef SKETCH_SKETCH_COUNT_SKETCH_H_
+#define SKETCH_SKETCH_COUNT_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/kwise_hash.h"
+#include "stream/update.h"
+
+namespace sketch {
+
+/// Count-Sketch [CCF02]: like Count-Min but each update is multiplied by a
+/// pairwise-independent random sign g_j(a) ∈ {±1} before being added to
+/// counter (j, h_j(a)), and the point query takes the *median* over rows of
+/// g_j(a) * c[j][h_j(a)].
+///
+/// The random signs make each row's estimate *unbiased* (colliding items
+/// cancel in expectation), which is the footnoted "randomly chosen
+/// increments" variant of the survey's §1. Guarantee: the estimate is
+/// within eps * ||x||_2 of the truth with prob >= 1 - delta when
+/// width = O(1/eps^2), depth = O(log(1/delta)) — an L2 guarantee, stronger
+/// than Count-Min's L1 bound on skewed data.
+class CountSketch {
+ public:
+  CountSketch(uint64_t width, uint64_t depth, uint64_t seed);
+
+  /// Sizes from the (eps, delta) L2 guarantee: width = ceil(3/eps^2),
+  /// depth = ceil(ln(1/delta)) rounded up to odd (median-friendly).
+  static CountSketch FromErrorBounds(double eps, double delta, uint64_t seed);
+
+  /// Applies an update (any delta; linear sketch).
+  void Update(const StreamUpdate& update);
+
+  /// Applies every update in `updates`.
+  void UpdateAll(const std::vector<StreamUpdate>& updates);
+
+  /// Point query: median over rows of sign-corrected counters. Unbiased
+  /// per row; the median gives the high-probability bound.
+  int64_t Estimate(uint64_t item) const;
+
+  /// Estimate from a single row (used by tests for unbiasedness and by the
+  /// sparse-recovery layer).
+  int64_t EstimateRow(uint64_t row, uint64_t item) const;
+
+  /// Merges a sketch with identical geometry and seed (linear).
+  void Merge(const CountSketch& other);
+
+  /// Estimates <x, y> of the two sketched frequency vectors: per row, sum
+  /// of counter products (unbiased — colliding cross terms carry random
+  /// signs); median over rows. Two-sided error eps*||x||_2*||y||_2 w.h.p.
+  /// Requires identical geometry and seed.
+  int64_t EstimateInnerProduct(const CountSketch& other) const;
+
+  uint64_t width() const { return width_; }
+  uint64_t depth() const { return depth_; }
+  uint64_t seed() const { return seed_; }
+  uint64_t SizeInCounters() const { return width_ * depth_; }
+
+  /// Bucket / sign of an item in a row; exposed for the measurement-matrix
+  /// view used by `src/cs` and `src/dimred`.
+  uint64_t BucketOf(uint64_t row, uint64_t item) const {
+    return bucket_hashes_[row].Bucket(item, width_);
+  }
+  int SignOf(uint64_t row, uint64_t item) const {
+    return sign_hashes_[row].Sign(item);
+  }
+
+  int64_t CounterAt(uint64_t row, uint64_t bucket) const {
+    return counters_[row * width_ + bucket];
+  }
+
+  /// Serializes geometry, seed, and counters to a portable little-endian
+  /// byte buffer (hash functions are rebuilt from the seed on load).
+  std::vector<uint8_t> Serialize() const;
+
+  /// Reconstructs a sketch from Serialize() output; aborts on malformed
+  /// buffers.
+  static CountSketch Deserialize(const std::vector<uint8_t>& bytes);
+
+ private:
+  uint64_t width_;
+  uint64_t depth_;
+  uint64_t seed_;
+  std::vector<KWiseHash> bucket_hashes_;
+  std::vector<KWiseHash> sign_hashes_;
+  std::vector<int64_t> counters_;
+};
+
+}  // namespace sketch
+
+#endif  // SKETCH_SKETCH_COUNT_SKETCH_H_

@@ -1,0 +1,291 @@
+#include "sketch/counter_braids.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace sketch {
+
+namespace {
+
+constexpr uint64_t kUnbounded = std::numeric_limits<uint64_t>::max();
+
+/// A nonnegative-integer interval; hi == kUnbounded means "no upper bound".
+struct Interval {
+  uint64_t lo = 0;
+  uint64_t hi = kUnbounded;
+  bool Pinned() const { return lo == hi; }
+};
+
+/// Aggregates of variable bounds incident to each equation.
+struct EquationSums {
+  std::vector<uint64_t> sum_lower;
+  std::vector<uint64_t> sum_upper;  // over variables with finite upper
+  std::vector<uint64_t> num_unbounded;
+};
+
+EquationSums ComputeSums(const std::vector<std::vector<uint64_t>>& edges,
+                         size_t num_equations,
+                         const std::vector<Interval>& vars) {
+  EquationSums sums;
+  sums.sum_lower.assign(num_equations, 0);
+  sums.sum_upper.assign(num_equations, 0);
+  sums.num_unbounded.assign(num_equations, 0);
+  for (size_t v = 0; v < edges.size(); ++v) {
+    for (uint64_t j : edges[v]) {
+      sums.sum_lower[j] += vars[v].lo;
+      if (vars[v].hi == kUnbounded) {
+        ++sums.num_unbounded[j];
+      } else {
+        sums.sum_upper[j] += vars[v].hi;
+      }
+    }
+  }
+  return sums;
+}
+
+/// One sweep of bound tightening for Sum_{v in eq j} x_v = totals[j]
+/// (totals themselves given as intervals). Returns true if any variable
+/// bound moved.
+bool TightenVariables(const std::vector<std::vector<uint64_t>>& edges,
+                      const std::vector<Interval>& totals,
+                      std::vector<Interval>* vars) {
+  // Jacobi-style sweep: all "other variables" terms are evaluated against
+  // the bounds from the start of the sweep (`old`), never the bounds being
+  // written — mixing them would subtract a variable's *new* bound from
+  // sums computed with its old one.
+  const std::vector<Interval> old = *vars;
+  const EquationSums sums = ComputeSums(edges, totals.size(), old);
+  bool changed = false;
+  for (size_t v = 0; v < edges.size(); ++v) {
+    Interval& iv = (*vars)[v];
+    const Interval& ov = old[v];
+    for (uint64_t j : edges[v]) {
+      const Interval& tj = totals[j];
+      // Upper: total_hi - sum of others' lowers.
+      if (tj.hi != kUnbounded) {
+        const uint64_t others_lower = sums.sum_lower[j] - ov.lo;
+        const uint64_t up = tj.hi >= others_lower ? tj.hi - others_lower : 0;
+        if (up < iv.hi) {
+          iv.hi = up;
+          changed = true;
+        }
+      }
+      // Lower: total_lo - sum of others' uppers (needs all others finite).
+      const uint64_t others_unbounded =
+          sums.num_unbounded[j] - (ov.hi == kUnbounded ? 1 : 0);
+      if (others_unbounded == 0) {
+        const uint64_t others_upper =
+            sums.sum_upper[j] - (ov.hi == kUnbounded ? 0 : ov.hi);
+        if (tj.lo > others_upper && tj.lo - others_upper > iv.lo) {
+          iv.lo = tj.lo - others_upper;
+          changed = true;
+        }
+      }
+    }
+    if (iv.hi != kUnbounded && iv.lo > iv.hi) iv.lo = iv.hi;  // defensive
+  }
+  return changed;
+}
+
+/// Interval of Sum_{v in eq j} x_v implied by current variable bounds.
+std::vector<Interval> EquationTotalsFromVariables(
+    const std::vector<std::vector<uint64_t>>& edges, size_t num_equations,
+    const std::vector<Interval>& vars) {
+  const EquationSums sums = ComputeSums(edges, num_equations, vars);
+  std::vector<Interval> totals(num_equations);
+  for (size_t j = 0; j < num_equations; ++j) {
+    totals[j].lo = sums.sum_lower[j];
+    totals[j].hi =
+        sums.num_unbounded[j] > 0 ? kUnbounded : sums.sum_upper[j];
+  }
+  return totals;
+}
+
+}  // namespace
+
+BraidDecodeOutput SolveBraid(const std::vector<std::vector<uint64_t>>& edges,
+                             const std::vector<uint64_t>& totals,
+                             int max_iterations) {
+  std::vector<Interval> total_intervals(totals.size());
+  for (size_t j = 0; j < totals.size(); ++j) {
+    total_intervals[j] = {totals[j], totals[j]};
+  }
+  std::vector<Interval> vars(edges.size());
+  BraidDecodeOutput out;
+  for (out.iterations = 1; out.iterations <= max_iterations;
+       ++out.iterations) {
+    if (!TightenVariables(edges, total_intervals, &vars)) break;
+  }
+  out.values.resize(edges.size());
+  out.exact = true;
+  for (size_t v = 0; v < edges.size(); ++v) {
+    if (vars[v].Pinned()) {
+      out.values[v] = vars[v].lo;
+    } else {
+      out.exact = false;
+      out.values[v] = vars[v].hi == kUnbounded
+                          ? vars[v].lo
+                          : (vars[v].lo + vars[v].hi) / 2;
+    }
+  }
+  return out;
+}
+
+CounterBraids::CounterBraids(const Options& options) : options_(options) {
+  SKETCH_CHECK(options.layer1_counters >= 1);
+  SKETCH_CHECK(options.layer2_counters >= 1);
+  SKETCH_CHECK(options.layer1_bits >= 1 && options.layer1_bits < 63);
+  SKETCH_CHECK(options.hashes_per_flow >= 2);
+  SKETCH_CHECK(options.hashes_per_overflow >= 2);
+  layer1_mask_ = (1ULL << options.layer1_bits) - 1;
+  layer1_.assign(options.layer1_counters, 0);
+  layer2_.assign(options.layer2_counters, 0);
+  for (int i = 0; i < options.hashes_per_flow; ++i) {
+    flow_hashes_.emplace_back(2, SplitMix64Once(options.seed + 17 * i));
+  }
+  for (int i = 0; i < options.hashes_per_overflow; ++i) {
+    overflow_hashes_.emplace_back(2, SplitMix64Once(~options.seed + 23 * i));
+  }
+}
+
+std::vector<uint64_t> CounterBraids::FlowCells(uint64_t flow) const {
+  // Partitioned sub-tables so a flow occupies distinct cells.
+  const uint64_t sub = options_.layer1_counters / flow_hashes_.size();
+  std::vector<uint64_t> cells(flow_hashes_.size());
+  for (size_t i = 0; i < flow_hashes_.size(); ++i) {
+    cells[i] = i * sub + flow_hashes_[i].Bucket(flow, sub);
+  }
+  return cells;
+}
+
+std::vector<uint64_t> CounterBraids::OverflowCells(
+    uint64_t counter_index) const {
+  const uint64_t sub = options_.layer2_counters / overflow_hashes_.size();
+  std::vector<uint64_t> cells(overflow_hashes_.size());
+  for (size_t i = 0; i < overflow_hashes_.size(); ++i) {
+    cells[i] = i * sub + overflow_hashes_[i].Bucket(counter_index, sub);
+  }
+  return cells;
+}
+
+void CounterBraids::Update(uint64_t flow, uint64_t count) {
+  for (uint64_t cell : FlowCells(flow)) {
+    uint64_t value = layer1_[cell] + count;
+    // Each wrap past 2^bits is one overflow event braided into layer 2.
+    const uint64_t overflows = value >> options_.layer1_bits;
+    layer1_[cell] = value & layer1_mask_;
+    if (overflows > 0) {
+      for (uint64_t l2 : OverflowCells(cell)) layer2_[l2] += overflows;
+    }
+  }
+}
+
+CounterBraids::DecodeResult CounterBraids::Decode(
+    const std::vector<uint64_t>& flows, int max_iterations) const {
+  DecodeResult result;
+  const uint64_t base = 1ULL << options_.layer1_bits;
+
+  // Joint message passing over both layers (the decoder of [LMP+08]):
+  //   flow vars    x_f, with  Sum_{f in c} x_f = V_c          (layer 1)
+  //   overflow vars o_c, with V_c = layer1_[c] + base * o_c
+  //                       and Sum_{c in t} o_c = layer2_[t]   (layer 2)
+  // Bounds flow in both directions until a fixpoint: layer-2 equations
+  // bound the o_c, which bound the V_c, which bound the x_f — and the
+  // x_f sums bound the V_c from below/above, which in turn pin more o_c.
+  std::vector<std::vector<uint64_t>> flow_edges(flows.size());
+  for (size_t v = 0; v < flows.size(); ++v) {
+    flow_edges[v] = FlowCells(flows[v]);
+  }
+  std::vector<std::vector<uint64_t>> overflow_edges(
+      options_.layer1_counters);
+  for (uint64_t c = 0; c < options_.layer1_counters; ++c) {
+    overflow_edges[c] = OverflowCells(c);
+  }
+  std::vector<Interval> l2_totals(options_.layer2_counters);
+  for (uint64_t t = 0; t < options_.layer2_counters; ++t) {
+    l2_totals[t] = {layer2_[t], layer2_[t]};
+  }
+
+  std::vector<Interval> x(flows.size());
+  std::vector<Interval> o(options_.layer1_counters);
+
+  for (result.iterations = 1; result.iterations <= max_iterations;
+       ++result.iterations) {
+    bool changed = false;
+
+    // (B) layer-2 equations tighten the overflow counts.
+    changed |= TightenVariables(overflow_edges, l2_totals, &o);
+
+    // V_c interval from o_c: V = layer1 + base * o.
+    std::vector<Interval> v_totals(options_.layer1_counters);
+    for (uint64_t c = 0; c < options_.layer1_counters; ++c) {
+      v_totals[c].lo = layer1_[c] + base * o[c].lo;
+      v_totals[c].hi = o[c].hi == kUnbounded
+                           ? kUnbounded
+                           : layer1_[c] + base * o[c].hi;
+    }
+
+    // (A) layer-1 equations tighten the flows.
+    changed |= TightenVariables(flow_edges, v_totals, &x);
+
+    // Reverse: flow sums bound V_c, and congruence V_c = layer1_[c]
+    // (mod base) snaps the bounds to the lattice, tightening o_c.
+    const std::vector<Interval> v_from_flows = EquationTotalsFromVariables(
+        flow_edges, options_.layer1_counters, x);
+    for (uint64_t c = 0; c < options_.layer1_counters; ++c) {
+      // Smallest achievable total >= sum of flow lowers that is congruent
+      // to layer1_[c] mod base.
+      uint64_t lo = v_from_flows[c].lo;
+      uint64_t snapped_lo =
+          lo <= layer1_[c]
+              ? layer1_[c]
+              : layer1_[c] +
+                    ((lo - layer1_[c] + base - 1) / base) * base;
+      const uint64_t o_lo = (snapped_lo - layer1_[c]) / base;
+      if (o_lo > o[c].lo) {
+        o[c].lo = o_lo;
+        changed = true;
+      }
+      if (v_from_flows[c].hi != kUnbounded &&
+          v_from_flows[c].hi >= layer1_[c]) {
+        const uint64_t o_hi = (v_from_flows[c].hi - layer1_[c]) / base;
+        if (o_hi < o[c].hi) {
+          o[c].hi = o_hi;
+          changed = true;
+        }
+      } else if (v_from_flows[c].hi != kUnbounded &&
+                 v_from_flows[c].hi < layer1_[c]) {
+        // Sum below the stored low bits: only consistent with o = 0 and
+        // (necessarily) zero flows; clamp.
+        if (o[c].hi != 0) {
+          o[c].hi = 0;
+          changed = true;
+        }
+      }
+    }
+
+    if (!changed) break;
+  }
+
+  result.exact = true;
+  for (size_t v = 0; v < flows.size(); ++v) {
+    if (x[v].Pinned()) {
+      result.counts[flows[v]] = x[v].lo;
+    } else {
+      result.exact = false;
+      result.counts[flows[v]] =
+          x[v].hi == kUnbounded ? x[v].lo : (x[v].lo + x[v].hi) / 2;
+    }
+  }
+  return result;
+}
+
+uint64_t CounterBraids::SizeInBits() const {
+  return options_.layer1_counters * options_.layer1_bits +
+         options_.layer2_counters * 64;
+}
+
+}  // namespace sketch

@@ -1,0 +1,88 @@
+#ifndef SKETCH_SKETCH_COUNTER_BRAIDS_H_
+#define SKETCH_SKETCH_COUNTER_BRAIDS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hash/kwise_hash.h"
+
+namespace sketch {
+
+/// Counter Braids [LMP+08] (survey §2's networking cousin of compressed
+/// sensing): a two-layer braided counter architecture for per-flow traffic
+/// measurement. Layer 1 holds many *shallow* counters (a few bits each);
+/// when one overflows, the overflow is counted — again by hashing — in a
+/// smaller layer of deep counters. Flow counts are recovered offline by
+/// iterative message passing over the bipartite flow/counter graph,
+/// exactly the sparse-recovery-over-a-sparse-matrix structure of §2.
+///
+/// Space: m1 * bits1 + m2 * 64 bits for n flows, typically well under the
+/// 64 bits/flow of exact counting. Decoding needs the flow id list (flow
+/// ids are collected separately in the original system, e.g., at flow
+/// setup), and succeeds exactly w.h.p. when the braid is sized above the
+/// decoding threshold (~ m1 > 2n / bits-dependent constant).
+class CounterBraids {
+ public:
+  struct Options {
+    uint64_t layer1_counters = 1 << 14;  ///< m1 shallow counters
+    int layer1_bits = 8;                 ///< bit width of layer-1 counters
+    uint64_t layer2_counters = 1 << 10;  ///< m2 deep (64-bit) counters
+    int hashes_per_flow = 3;             ///< d1: layer-1 cells per flow
+    int hashes_per_overflow = 3;         ///< d2: layer-2 cells per counter
+    uint64_t seed = 1;
+  };
+
+  explicit CounterBraids(const Options& options);
+
+  /// Records `count` packets of `flow`. O(d1), plus O(d2) per overflow.
+  void Update(uint64_t flow, uint64_t count = 1);
+
+  /// Result of offline decoding.
+  struct DecodeResult {
+    std::unordered_map<uint64_t, uint64_t> counts;  ///< flow -> count
+    bool exact = false;   ///< true iff every flow's bounds met (unique sol.)
+    int iterations = 0;   ///< message-passing iterations used
+  };
+
+  /// Recovers every flow's count by two-stage message passing: first the
+  /// layer-1 overflow counts from layer 2, then the flow counts from the
+  /// restored layer-1 values. `flows` must contain every flow that was
+  /// updated (extra never-seen flows are fine — they decode to 0).
+  DecodeResult Decode(const std::vector<uint64_t>& flows,
+                      int max_iterations = 200) const;
+
+  /// Total size in bits (the space the paper's tables report).
+  uint64_t SizeInBits() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  std::vector<uint64_t> FlowCells(uint64_t flow) const;
+  std::vector<uint64_t> OverflowCells(uint64_t counter_index) const;
+
+  Options options_;
+  uint64_t layer1_mask_;  // 2^bits1 - 1
+  std::vector<uint64_t> layer1_;  // stores low bits only
+  std::vector<uint64_t> layer2_;  // deep counters
+  std::vector<KWiseHash> flow_hashes_;
+  std::vector<KWiseHash> overflow_hashes_;
+};
+
+/// One bipartite-graph recovery instance: variable v participates in
+/// counters `edges[v]`, each counter j has total `totals[j]`; every
+/// variable is a nonnegative integer. Solved by iterative bound
+/// tightening (the Counter Braids message-passing decoder). Exposed for
+/// reuse and direct testing.
+struct BraidDecodeOutput {
+  std::vector<uint64_t> values;
+  bool exact = false;
+  int iterations = 0;
+};
+BraidDecodeOutput SolveBraid(const std::vector<std::vector<uint64_t>>& edges,
+                             const std::vector<uint64_t>& totals,
+                             int max_iterations);
+
+}  // namespace sketch
+
+#endif  // SKETCH_SKETCH_COUNTER_BRAIDS_H_

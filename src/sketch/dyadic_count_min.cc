@@ -1,0 +1,126 @@
+#include "sketch/dyadic_count_min.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace sketch {
+
+DyadicCountMin::DyadicCountMin(int log_universe, uint64_t width,
+                               uint64_t depth, uint64_t seed)
+    : log_universe_(log_universe) {
+  SKETCH_CHECK(log_universe >= 1 && log_universe <= 40);
+  levels_.reserve(log_universe);
+  for (int l = 1; l <= log_universe; ++l) {
+    levels_.emplace_back(width, depth, SplitMix64Once(seed + 1000 * l));
+  }
+}
+
+void DyadicCountMin::Update(const StreamUpdate& update) {
+  SKETCH_DCHECK(update.item < (1ULL << log_universe_));
+  total_ += update.delta;
+  for (int l = 1; l <= log_universe_; ++l) {
+    const uint64_t prefix = update.item >> (log_universe_ - l);
+    levels_[l - 1].Update({prefix, update.delta});
+  }
+}
+
+void DyadicCountMin::UpdateAll(const std::vector<StreamUpdate>& updates) {
+  for (const StreamUpdate& u : updates) Update(u);
+}
+
+int64_t DyadicCountMin::Estimate(uint64_t item) const {
+  return levels_.back().Estimate(item);
+}
+
+std::vector<uint64_t> DyadicCountMin::HeavyHitters(int64_t threshold) const {
+  SKETCH_CHECK(threshold > 0);
+  std::vector<uint64_t> result;
+  // Frontier of candidate prefixes at the current level.
+  std::vector<uint64_t> frontier = {0, 1};
+  for (int l = 1; l <= log_universe_; ++l) {
+    std::vector<uint64_t> next;
+    for (uint64_t prefix : frontier) {
+      if (levels_[l - 1].Estimate(prefix) < threshold) continue;
+      if (l == log_universe_) {
+        result.push_back(prefix);
+      } else {
+        next.push_back(prefix << 1);
+        next.push_back((prefix << 1) | 1);
+      }
+    }
+    frontier = std::move(next);
+    if (l < log_universe_ && frontier.empty()) break;
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+int64_t DyadicCountMin::RangeSum(uint64_t lo, uint64_t hi) const {
+  SKETCH_CHECK(lo <= hi);
+  SKETCH_CHECK(hi < (1ULL << log_universe_));
+  // Decompose [lo, hi] into maximal dyadic intervals, summing each from
+  // the sketch of the appropriate level. An interval of size 2^s aligned
+  // at a multiple of 2^s is the node (lo >> s) at level log_universe - s.
+  int64_t sum = 0;
+  uint64_t cur = lo;
+  while (cur <= hi) {
+    // Largest aligned power-of-two block starting at cur that fits.
+    int s = (cur == 0) ? log_universe_
+                       : std::min<int>(log_universe_, __builtin_ctzll(cur));
+    while (s > 0 &&
+           (cur + (1ULL << s) - 1 > hi || cur + (1ULL << s) - 1 < cur)) {
+      --s;
+    }
+    const int level = log_universe_ - s;
+    if (level == 0) {
+      sum += total_;  // whole-universe block
+    } else {
+      sum += levels_[level - 1].Estimate(cur >> s);
+    }
+    const uint64_t block = 1ULL << s;
+    if (cur > hi - block + 1) break;  // avoid overflow at universe end
+    cur += block;
+    if (cur == 0) break;  // wrapped
+  }
+  return sum;
+}
+
+uint64_t DyadicCountMin::Quantile(double q) const {
+  SKETCH_CHECK(q >= 0.0 && q <= 1.0);
+  const auto target = static_cast<int64_t>(q * static_cast<double>(total_));
+  // Binary-search the item domain using prefix sums; descend the dyadic
+  // tree keeping the running mass to the left of the current node.
+  uint64_t prefix = 0;
+  int64_t mass_left = 0;
+  for (int l = 1; l <= log_universe_; ++l) {
+    const uint64_t left_child = prefix << 1;
+    const int64_t left_mass = levels_[l - 1].Estimate(left_child);
+    if (mass_left + left_mass >= target) {
+      prefix = left_child;
+    } else {
+      mass_left += left_mass;
+      prefix = left_child | 1;
+    }
+  }
+  return prefix;
+}
+
+void DyadicCountMin::Merge(const DyadicCountMin& other) {
+  SKETCH_CHECK_MSG(log_universe_ == other.log_universe_ &&
+                       levels_.size() == other.levels_.size(),
+                   "merge requires identical geometry");
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    levels_[l].Merge(other.levels_[l]);  // checks width/depth/seed
+  }
+  total_ += other.total_;
+}
+
+uint64_t DyadicCountMin::SizeInCounters() const {
+  uint64_t total = 0;
+  for (const CountMinSketch& s : levels_) total += s.SizeInCounters();
+  return total;
+}
+
+}  // namespace sketch

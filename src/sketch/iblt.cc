@@ -1,0 +1,131 @@
+#include "sketch/iblt.h"
+
+#include <deque>
+
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace sketch {
+
+Iblt::Iblt(uint64_t num_cells, int num_hashes, uint64_t seed) : seed_(seed) {
+  SKETCH_CHECK(num_hashes >= 2);
+  SKETCH_CHECK(num_cells >= static_cast<uint64_t>(num_hashes));
+  // Partition the table into `num_hashes` equal sub-tables so each key
+  // occupies `num_hashes` *distinct* cells — required for peeling to make
+  // progress.
+  const uint64_t sub_size = num_cells / num_hashes;
+  num_cells_ = sub_size * num_hashes;
+  hashes_.reserve(num_hashes);
+  for (int i = 0; i < num_hashes; ++i) {
+    hashes_.emplace_back(2, SplitMix64Once(seed + 15485863ULL * i));
+  }
+  cells_.assign(num_cells_, Cell{});
+}
+
+uint64_t Iblt::Fingerprint(uint64_t key) const {
+  return SplitMix64Once(key ^ seed_ ^ 0xf1a9f1a9f1a9f1a9ULL) | 1;
+}
+
+std::vector<uint64_t> Iblt::CellsOf(uint64_t key) const {
+  const uint64_t sub_size = num_cells_ / hashes_.size();
+  std::vector<uint64_t> cells(hashes_.size());
+  for (size_t i = 0; i < hashes_.size(); ++i) {
+    cells[i] = i * sub_size + hashes_[i].Bucket(key, sub_size);
+  }
+  return cells;
+}
+
+void Iblt::Insert(uint64_t key, uint64_t value) {
+  const uint64_t fp = Fingerprint(key);
+  for (uint64_t c : CellsOf(key)) {
+    Cell& cell = cells_[c];
+    cell.count += 1;
+    cell.key_sum ^= key;
+    cell.value_sum ^= value;
+    cell.check_sum ^= fp;
+  }
+}
+
+void Iblt::Delete(uint64_t key, uint64_t value) {
+  const uint64_t fp = Fingerprint(key);
+  for (uint64_t c : CellsOf(key)) {
+    Cell& cell = cells_[c];
+    cell.count -= 1;
+    cell.key_sum ^= key;
+    cell.value_sum ^= value;
+    cell.check_sum ^= fp;
+  }
+}
+
+bool Iblt::IsPureCell(const Cell& cell, uint64_t fingerprint) {
+  return (cell.count == 1 || cell.count == -1) &&
+         cell.check_sum == fingerprint;
+}
+
+std::optional<uint64_t> Iblt::Get(uint64_t key) const {
+  const uint64_t fp = Fingerprint(key);
+  for (uint64_t c : CellsOf(key)) {
+    const Cell& cell = cells_[c];
+    if (cell.count == 0 && cell.key_sum == 0 && cell.check_sum == 0) {
+      return std::nullopt;  // definitely absent
+    }
+    if ((cell.count == 1 || cell.count == -1) &&
+        cell.check_sum == Fingerprint(cell.key_sum)) {
+      // Pure cell: holds exactly one key.
+      if (cell.key_sum == key && cell.check_sum == fp) {
+        return cell.value_sum;
+      }
+      return std::nullopt;  // pure cell holds some other key => absent
+    }
+  }
+  return std::nullopt;  // unresolvable
+}
+
+std::pair<std::vector<Iblt::Entry>, bool> Iblt::ListEntries() const {
+  Iblt work = *this;  // peel a scratch copy
+  std::vector<Entry> entries;
+  std::deque<uint64_t> queue;
+  for (uint64_t c = 0; c < work.num_cells_; ++c) queue.push_back(c);
+
+  while (!queue.empty()) {
+    const uint64_t c = queue.front();
+    queue.pop_front();
+    const Cell& cell = work.cells_[c];
+    if (cell.count != 1 && cell.count != -1) continue;
+    const uint64_t key = cell.key_sum;
+    if (cell.check_sum != work.Fingerprint(key)) continue;
+    const uint64_t value = cell.value_sum;
+    const int sign = cell.count > 0 ? +1 : -1;
+    entries.push_back({key, value, sign});
+    // Remove the pair from all its cells and requeue them.
+    if (sign > 0) {
+      work.Delete(key, value);
+    } else {
+      work.Insert(key, value);
+    }
+    for (uint64_t other : work.CellsOf(key)) queue.push_back(other);
+  }
+
+  bool complete = true;
+  for (const Cell& cell : work.cells_) {
+    if (cell.count != 0 || cell.key_sum != 0 || cell.check_sum != 0) {
+      complete = false;
+      break;
+    }
+  }
+  return {std::move(entries), complete};
+}
+
+void Iblt::Subtract(const Iblt& other) {
+  SKETCH_CHECK_MSG(num_cells_ == other.num_cells_ && seed_ == other.seed_ &&
+                       hashes_.size() == other.hashes_.size(),
+                   "subtract requires identical geometry and seed");
+  for (uint64_t c = 0; c < num_cells_; ++c) {
+    cells_[c].count -= other.cells_[c].count;
+    cells_[c].key_sum ^= other.cells_[c].key_sum;
+    cells_[c].value_sum ^= other.cells_[c].value_sum;
+    cells_[c].check_sum ^= other.cells_[c].check_sum;
+  }
+}
+
+}  // namespace sketch

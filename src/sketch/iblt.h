@@ -1,0 +1,84 @@
+#ifndef SKETCH_SKETCH_IBLT_H_
+#define SKETCH_SKETCH_IBLT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hash/kwise_hash.h"
+
+namespace sketch {
+
+/// Invertible Bloom Lookup Table [GM11]: a Bloom-filter-shaped structure
+/// that supports *listing* its entire contents. Each of `num_cells` cells
+/// keeps (count, keySum, valueSum, keyCheckSum); a key/value pair is XOR/
+/// sum-folded into `num_hashes` cells.
+///
+/// Listing works by "peeling": a cell with count == ±1 and a consistent
+/// checksum holds exactly one pair, which can be extracted and removed
+/// from its other cells, potentially exposing new singletons. With 3
+/// hashes, peeling succeeds w.h.p. when num_cells >= ~1.23 * #pairs — the
+/// sharp threshold probed by experiment E12.
+///
+/// The structure is a linear sketch over (key, value) multisets: deletes
+/// cancel inserts exactly, and two IBLTs can be subtracted to list the
+/// symmetric difference of two sets (the set-reconciliation use case).
+class Iblt {
+ public:
+  Iblt(uint64_t num_cells, int num_hashes, uint64_t seed);
+
+  /// Inserts a key/value pair.
+  void Insert(uint64_t key, uint64_t value);
+
+  /// Deletes a key/value pair (exact inverse of Insert).
+  void Delete(uint64_t key, uint64_t value);
+
+  /// Looks up the value of `key`. Returns nullopt if the key is
+  /// definitely absent or cannot be resolved (every probed cell is
+  /// multi-occupied).
+  std::optional<uint64_t> Get(uint64_t key) const;
+
+  /// A recovered key/value pair, with the sign of its multiplicity
+  /// (negative means it was deleted more often than inserted — possible
+  /// after subtraction).
+  struct Entry {
+    uint64_t key = 0;
+    uint64_t value = 0;
+    int sign = +1;
+  };
+
+  /// Attempts to list all stored pairs by peeling.
+  /// \returns (entries, complete): `complete` is true iff the table was
+  /// fully drained — only then is the listing guaranteed exhaustive.
+  std::pair<std::vector<Entry>, bool> ListEntries() const;
+
+  /// Cell-wise subtraction: after a.Subtract(b), listing yields the
+  /// symmetric difference (entries unique to a with sign +1, unique to b
+  /// with sign -1). Requires identical geometry and seed.
+  void Subtract(const Iblt& other);
+
+  uint64_t num_cells() const { return num_cells_; }
+  int num_hashes() const { return static_cast<int>(hashes_.size()); }
+
+ private:
+  struct Cell {
+    int64_t count = 0;
+    uint64_t key_sum = 0;    // XOR of keys
+    uint64_t value_sum = 0;  // XOR of values
+    uint64_t check_sum = 0;  // XOR of key fingerprints
+  };
+
+  /// Fingerprint used to verify that a count==±1 cell is a true singleton.
+  uint64_t Fingerprint(uint64_t key) const;
+  std::vector<uint64_t> CellsOf(uint64_t key) const;
+  static bool IsPureCell(const Cell& cell, uint64_t fingerprint);
+
+  uint64_t num_cells_;
+  uint64_t seed_;
+  std::vector<KWiseHash> hashes_;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace sketch
+
+#endif  // SKETCH_SKETCH_IBLT_H_

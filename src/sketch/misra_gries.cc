@@ -1,0 +1,57 @@
+#include "sketch/misra_gries.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sketch {
+
+MisraGries::MisraGries(uint64_t capacity) : capacity_(capacity) {
+  SKETCH_CHECK(capacity >= 1);
+  counters_.reserve(capacity + 1);
+}
+
+void MisraGries::Update(uint64_t item, uint64_t count) {
+  auto it = counters_.find(item);
+  if (it != counters_.end()) {
+    it->second += static_cast<int64_t>(count);
+    return;
+  }
+  if (counters_.size() < capacity_) {
+    counters_.emplace(item, static_cast<int64_t>(count));
+    return;
+  }
+  // Table full: decrement all counters by the largest amount that keeps
+  // them nonnegative, bounded by `count`; insert the remainder if any.
+  int64_t min_counter = static_cast<int64_t>(count);
+  for (const auto& [key, c] : counters_) min_counter = std::min(min_counter, c);
+  const int64_t dec = min_counter;
+  for (auto iter = counters_.begin(); iter != counters_.end();) {
+    iter->second -= dec;
+    if (iter->second == 0) {
+      iter = counters_.erase(iter);
+    } else {
+      ++iter;
+    }
+  }
+  const int64_t remainder = static_cast<int64_t>(count) - dec;
+  if (remainder > 0 && counters_.size() < capacity_) {
+    counters_.emplace(item, remainder);
+  }
+}
+
+int64_t MisraGries::Estimate(uint64_t item) const {
+  const auto it = counters_.find(item);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::vector<uint64_t> MisraGries::ItemsAbove(int64_t threshold) const {
+  std::vector<uint64_t> items;
+  for (const auto& [item, c] : counters_) {
+    if (c >= threshold) items.push_back(item);
+  }
+  std::sort(items.begin(), items.end());
+  return items;
+}
+
+}  // namespace sketch

@@ -1,0 +1,48 @@
+#ifndef SKETCH_SKETCH_MISRA_GRIES_H_
+#define SKETCH_SKETCH_MISRA_GRIES_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace sketch {
+
+/// Misra–Gries frequent-items summary: the classical *deterministic*
+/// counter algorithm the hashing sketches of §1 are compared against.
+/// Keeps at most `capacity` (item, counter) pairs; when a new item arrives
+/// with the table full, every counter is decremented (items at zero are
+/// evicted).
+///
+/// Guarantee (insert-only streams): for every item,
+///   true count - N/(capacity+1) <= Estimate(item) <= true count,
+/// so any item with frequency > N/(capacity+1) is retained. Deterministic,
+/// but supports no deletions and underestimates (the mirror image of
+/// Count-Min's overestimation).
+class MisraGries {
+ public:
+  explicit MisraGries(uint64_t capacity);
+
+  /// Processes one occurrence of `item` (cash-register model only).
+  void Update(uint64_t item, uint64_t count = 1);
+
+  /// Lower-bound estimate of the item's frequency (0 if not tracked).
+  int64_t Estimate(uint64_t item) const;
+
+  /// Tracked items with counter >= threshold, sorted.
+  std::vector<uint64_t> ItemsAbove(int64_t threshold) const;
+
+  /// All currently tracked (item, counter) pairs.
+  const std::unordered_map<uint64_t, int64_t>& counters() const {
+    return counters_;
+  }
+
+  uint64_t capacity() const { return capacity_; }
+
+ private:
+  uint64_t capacity_;
+  std::unordered_map<uint64_t, int64_t> counters_;
+};
+
+}  // namespace sketch
+
+#endif  // SKETCH_SKETCH_MISRA_GRIES_H_

@@ -1,0 +1,57 @@
+#include "sketch/range_update_count_min.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace sketch {
+
+RangeUpdateCountMin::RangeUpdateCountMin(int log_universe, uint64_t width,
+                                         uint64_t depth, uint64_t seed)
+    : log_universe_(log_universe) {
+  SKETCH_CHECK(log_universe >= 1 && log_universe <= 40);
+  levels_.reserve(log_universe + 1);
+  for (int l = 0; l <= log_universe; ++l) {
+    levels_.emplace_back(width, depth, SplitMix64Once(seed + 271 * l));
+  }
+}
+
+void RangeUpdateCountMin::UpdateRange(uint64_t lo, uint64_t hi,
+                                      int64_t delta) {
+  SKETCH_CHECK(lo <= hi);
+  SKETCH_CHECK(hi < (1ULL << log_universe_));
+  total_mass_ += delta * static_cast<int64_t>(hi - lo + 1);
+  // Canonical dyadic decomposition (same walk as DyadicCountMin's
+  // RangeSum, but writing instead of reading).
+  uint64_t cur = lo;
+  while (true) {
+    int s = (cur == 0) ? log_universe_
+                       : std::min<int>(log_universe_, __builtin_ctzll(cur));
+    while (s > 0 && cur + (1ULL << s) - 1 > hi) --s;
+    const int level = log_universe_ - s;
+    levels_[level].Update({cur >> s, delta});
+    const uint64_t block = 1ULL << s;
+    if (hi - cur < block) break;  // cur + block - 1 == hi handled below
+    if (cur + block - 1 == hi) break;
+    cur += block;
+  }
+}
+
+int64_t RangeUpdateCountMin::Estimate(uint64_t item) const {
+  SKETCH_CHECK(item < (1ULL << log_universe_));
+  int64_t total = 0;
+  for (int l = 0; l <= log_universe_; ++l) {
+    const uint64_t ancestor = item >> (log_universe_ - l);
+    total += levels_[l].Estimate(ancestor);
+  }
+  return total;
+}
+
+uint64_t RangeUpdateCountMin::SizeInCounters() const {
+  uint64_t total = 0;
+  for (const CountMinSketch& s : levels_) total += s.SizeInCounters();
+  return total;
+}
+
+}  // namespace sketch

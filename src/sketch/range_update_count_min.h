@@ -1,0 +1,57 @@
+#ifndef SKETCH_SKETCH_RANGE_UPDATE_COUNT_MIN_H_
+#define SKETCH_SKETCH_RANGE_UPDATE_COUNT_MIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/count_min.h"
+
+namespace sketch {
+
+/// Count-Min with *range updates* (cf. the histogram-maintenance setting
+/// of [GGI+02b]): `UpdateRange(lo, hi, delta)` adds `delta` to the count
+/// of every item in [lo, hi] using O(log n) sketch updates instead of
+/// O(hi - lo) — the dual of DyadicCountMin, which has point updates and
+/// range queries.
+///
+/// Mechanics: the range decomposes into O(log n) canonical dyadic nodes;
+/// a node at level l receives `delta` in the level-l sketch, meaning
+/// "every item under this node gained delta". A point query sums, over
+/// levels, the estimate of the item's ancestor at that level. Each level
+/// only overestimates (strict-turnstile Count-Min), so the sum
+/// overestimates by at most eps * (total update mass) * levels w.h.p.
+class RangeUpdateCountMin {
+ public:
+  /// \param log_universe  items live in [0, 2^log_universe); <= 40.
+  RangeUpdateCountMin(int log_universe, uint64_t width, uint64_t depth,
+                      uint64_t seed);
+
+  /// Adds `delta` to every item in [lo, hi] (inclusive). O(log n * depth).
+  void UpdateRange(uint64_t lo, uint64_t hi, int64_t delta);
+
+  /// Point update (a range of one).
+  void Update(uint64_t item, int64_t delta) {
+    UpdateRange(item, item, delta);
+  }
+
+  /// Estimated count of `item`; never underestimates in the strict
+  /// turnstile model.
+  int64_t Estimate(uint64_t item) const;
+
+  /// Total per-item mass added across all updates (exact):
+  /// sum over updates of delta * (range length).
+  int64_t TotalMass() const { return total_mass_; }
+
+  int log_universe() const { return log_universe_; }
+  uint64_t SizeInCounters() const;
+
+ private:
+  int log_universe_;
+  int64_t total_mass_ = 0;
+  // levels_[l] sketches canonical nodes of level l (level 0 = root).
+  std::vector<CountMinSketch> levels_;
+};
+
+}  // namespace sketch
+
+#endif  // SKETCH_SKETCH_RANGE_UPDATE_COUNT_MIN_H_

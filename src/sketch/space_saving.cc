@@ -1,0 +1,73 @@
+#include "sketch/space_saving.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sketch {
+
+SpaceSaving::SpaceSaving(uint64_t capacity) : capacity_(capacity) {
+  SKETCH_CHECK(capacity >= 1);
+}
+
+void SpaceSaving::Update(uint64_t item, uint64_t count) {
+  const auto delta = static_cast<int64_t>(count);
+  auto it = entries_.find(item);
+  if (it != entries_.end()) {
+    Entry& e = it->second;
+    by_count_.erase(e.pos);
+    e.count += delta;
+    e.pos = by_count_.emplace(e.count, item);
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    Entry e;
+    e.count = delta;
+    e.error = 0;
+    e.pos = by_count_.emplace(e.count, item);
+    entries_.emplace(item, e);
+    return;
+  }
+  // Evict the minimum-count entry; the newcomer inherits its count.
+  const auto min_it = by_count_.begin();
+  const int64_t min_count = min_it->first;
+  const uint64_t victim = min_it->second;
+  by_count_.erase(min_it);
+  entries_.erase(victim);
+  Entry e;
+  e.count = min_count + delta;
+  e.error = min_count;
+  e.pos = by_count_.emplace(e.count, item);
+  entries_.emplace(item, e);
+}
+
+int64_t SpaceSaving::Estimate(uint64_t item) const {
+  const auto it = entries_.find(item);
+  return it == entries_.end() ? 0 : it->second.count;
+}
+
+int64_t SpaceSaving::ErrorBound(uint64_t item) const {
+  const auto it = entries_.find(item);
+  return it == entries_.end() ? 0 : it->second.error;
+}
+
+std::vector<uint64_t> SpaceSaving::ItemsAbove(int64_t threshold) const {
+  std::vector<uint64_t> items;
+  for (const auto& [item, e] : entries_) {
+    if (e.count >= threshold) items.push_back(item);
+  }
+  std::sort(items.begin(), items.end());
+  return items;
+}
+
+std::vector<uint64_t> SpaceSaving::TopK(uint64_t k) const {
+  std::vector<uint64_t> items;
+  items.reserve(k);
+  for (auto it = by_count_.rbegin(); it != by_count_.rend() && items.size() < k;
+       ++it) {
+    items.push_back(it->second);
+  }
+  return items;
+}
+
+}  // namespace sketch

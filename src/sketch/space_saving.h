@@ -1,0 +1,58 @@
+#ifndef SKETCH_SKETCH_SPACE_SAVING_H_
+#define SKETCH_SKETCH_SPACE_SAVING_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace sketch {
+
+/// SpaceSaving (Metwally et al.): counter-based top-k algorithm. Keeps
+/// `capacity` counters; an unseen item replaces the current minimum
+/// counter and inherits its value (+1), so estimates *overestimate* by at
+/// most the smallest tracked counter.
+///
+/// Guarantee (insert-only): count(item) <= Estimate(item) <= count(item) +
+/// N/capacity, and every item with frequency > N/capacity is tracked.
+/// Included as the strongest counter-based baseline for E2.
+class SpaceSaving {
+ public:
+  explicit SpaceSaving(uint64_t capacity);
+
+  /// Processes one occurrence of `item` (cash-register model only).
+  void Update(uint64_t item, uint64_t count = 1);
+
+  /// Upper-bound estimate (0 if not tracked — only possible before the
+  /// table fills).
+  int64_t Estimate(uint64_t item) const;
+
+  /// Maximum possible overestimation for `item` (the inherited error
+  /// bound); 0 for items that were never evicted.
+  int64_t ErrorBound(uint64_t item) const;
+
+  /// Tracked items with estimate >= threshold, sorted by item id.
+  std::vector<uint64_t> ItemsAbove(int64_t threshold) const;
+
+  /// The k tracked items with largest estimates.
+  std::vector<uint64_t> TopK(uint64_t k) const;
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t TrackedCount() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    int64_t count = 0;
+    int64_t error = 0;  // value inherited at takeover
+    // Iterator into by_count_ for O(log n) updates.
+    std::multimap<int64_t, uint64_t>::iterator pos;
+  };
+
+  uint64_t capacity_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  std::multimap<int64_t, uint64_t> by_count_;  // count -> item
+};
+
+}  // namespace sketch
+
+#endif  // SKETCH_SKETCH_SPACE_SAVING_H_

@@ -1,0 +1,39 @@
+#include "sketch/spectral_bloom.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace sketch {
+
+SpectralBloomFilter::SpectralBloomFilter(uint64_t num_counters, int num_hashes,
+                                         uint64_t seed)
+    : num_counters_(num_counters) {
+  SKETCH_CHECK(num_counters >= 1);
+  SKETCH_CHECK(num_hashes >= 1);
+  hashes_.reserve(num_hashes);
+  for (int i = 0; i < num_hashes; ++i) {
+    hashes_.emplace_back(2, SplitMix64Once(seed + 104729 * i));
+  }
+  counters_.assign(num_counters, 0);
+}
+
+void SpectralBloomFilter::Update(uint64_t key, int64_t delta) {
+  // A key may probe the same counter twice through different hashes; the
+  // minimum-selection estimate stays correct because every probed counter
+  // receives the full delta.
+  for (const KWiseHash& h : hashes_) {
+    counters_[h.Bucket(key, num_counters_)] += delta;
+  }
+}
+
+int64_t SpectralBloomFilter::Estimate(uint64_t key) const {
+  int64_t best = counters_[hashes_[0].Bucket(key, num_counters_)];
+  for (size_t i = 1; i < hashes_.size(); ++i) {
+    best = std::min(best, counters_[hashes_[i].Bucket(key, num_counters_)]);
+  }
+  return best;
+}
+
+}  // namespace sketch

@@ -1,0 +1,49 @@
+#ifndef SKETCH_SKETCH_SPECTRAL_BLOOM_H_
+#define SKETCH_SKETCH_SPECTRAL_BLOOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/kwise_hash.h"
+#include "stream/update.h"
+
+namespace sketch {
+
+/// Spectral Bloom filter [CM03a]: a Bloom filter whose bits are replaced by
+/// counters, answering *multiplicity* queries with the minimum-selection
+/// rule. Structurally this is a single-row-per-hash Count-Min laid out in
+/// one shared array — included to make the lineage in §1 concrete (the
+/// database branch of the same hashing idea).
+///
+/// Supports deletions (counting Bloom filter semantics): an item can be
+/// removed as many times as it was added.
+class SpectralBloomFilter {
+ public:
+  SpectralBloomFilter(uint64_t num_counters, int num_hashes, uint64_t seed);
+
+  /// Adds `delta` occurrences of `key` (delta may be negative for
+  /// deletion; strict-turnstile only, like Count-Min).
+  void Update(uint64_t key, int64_t delta);
+
+  void Update(const StreamUpdate& update) { Update(update.item, update.delta); }
+
+  /// Minimum-selection estimate of the key's multiplicity. Never
+  /// underestimates in the strict turnstile model; 0 means "definitely
+  /// absent" (Bloom-filter membership falls out as Estimate(key) > 0).
+  int64_t Estimate(uint64_t key) const;
+
+  /// Membership query with counting-Bloom semantics.
+  bool MayContain(uint64_t key) const { return Estimate(key) > 0; }
+
+  uint64_t num_counters() const { return num_counters_; }
+  int num_hashes() const { return static_cast<int>(hashes_.size()); }
+
+ private:
+  uint64_t num_counters_;
+  std::vector<KWiseHash> hashes_;
+  std::vector<int64_t> counters_;
+};
+
+}  // namespace sketch
+
+#endif  // SKETCH_SKETCH_SPECTRAL_BLOOM_H_

@@ -1,0 +1,73 @@
+#include "sketch/topk_monitor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sketch {
+
+TopKMonitor::TopKMonitor(uint64_t k, uint64_t sketch_width,
+                         uint64_t sketch_depth, uint64_t seed)
+    : k_(k), pool_capacity_(4 * k), sketch_(sketch_width, sketch_depth,
+                                            seed) {
+  SKETCH_CHECK(k >= 1);
+  pool_.reserve(pool_capacity_ + 1);
+}
+
+void TopKMonitor::Update(const StreamUpdate& update) {
+  sketch_.Update(update);
+  MaybeAdmit(update.item);
+}
+
+void TopKMonitor::UpdateAll(const std::vector<StreamUpdate>& updates) {
+  for (const StreamUpdate& u : updates) Update(u);
+}
+
+void TopKMonitor::MaybeAdmit(uint64_t item) {
+  const int64_t estimate = sketch_.Estimate(item);
+  const auto it = pool_.find(item);
+  if (it != pool_.end()) {
+    it->second = estimate;
+    if (estimate <= 0) pool_.erase(it);  // deleted below zero: drop
+    return;
+  }
+  if (estimate <= 0) return;
+  pool_.emplace(item, estimate);
+  if (pool_.size() > pool_capacity_) ShrinkPool();
+}
+
+void TopKMonitor::ShrinkPool() {
+  // Refresh cached estimates, then drop the weakest quarter. Amortized:
+  // runs once per pool_capacity_/4 admissions.
+  std::vector<std::pair<int64_t, uint64_t>> by_estimate;
+  by_estimate.reserve(pool_.size());
+  for (auto& [item, cached] : pool_) {
+    cached = sketch_.Estimate(item);
+    by_estimate.emplace_back(cached, item);
+  }
+  const size_t keep = pool_capacity_ * 3 / 4;
+  std::nth_element(by_estimate.begin(), by_estimate.begin() + keep,
+                   by_estimate.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
+                   });
+  for (size_t i = keep; i < by_estimate.size(); ++i) {
+    pool_.erase(by_estimate[i].second);
+  }
+}
+
+std::vector<std::pair<uint64_t, int64_t>> TopKMonitor::TopK() {
+  std::vector<std::pair<uint64_t, int64_t>> items;
+  items.reserve(pool_.size());
+  for (auto& [item, cached] : pool_) {
+    cached = sketch_.Estimate(item);
+    items.emplace_back(item, cached);
+  }
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (items.size() > k_) items.resize(k_);
+  return items;
+}
+
+}  // namespace sketch

@@ -1,0 +1,64 @@
+#ifndef SKETCH_SKETCH_TOPK_MONITOR_H_
+#define SKETCH_SKETCH_TOPK_MONITOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sketch/count_sketch.h"
+#include "stream/update.h"
+
+namespace sketch {
+
+/// Continuous top-k tracking in the turnstile model — the [CCF02] "find
+/// the k most frequent items" problem as a *monitor*: at any point in the
+/// stream, `TopK()` returns the current best candidates without a scan.
+///
+/// SpaceSaving solves this for insert-only streams; this monitor also
+/// survives deletions by backing every decision with a Count-Sketch:
+/// a candidate pool (~4k items) of the largest sketch estimates is kept
+/// incrementally — an item enters the pool when its updated estimate
+/// beats the pool's minimum, and pool estimates are refreshed lazily from
+/// the sketch (which, being linear, is always deletion-accurate).
+///
+/// Guarantees mirror Count-Sketch: items whose counts stand out by more
+/// than eps*||x||_2 from the k-th largest are in the pool w.h.p. An item
+/// whose *every* occurrence pre-dates monitoring cannot enter the pool
+/// until touched again (the monitor sees candidates through updates).
+class TopKMonitor {
+ public:
+  /// \param k            how many items TopK() reports.
+  /// \param sketch_width Count-Sketch width (O(k/eps^2)).
+  /// \param sketch_depth rows (odd; ~5).
+  TopKMonitor(uint64_t k, uint64_t sketch_width, uint64_t sketch_depth,
+              uint64_t seed);
+
+  /// Applies an update and maintains the candidate pool. O(depth + log k).
+  void Update(const StreamUpdate& update);
+
+  /// Applies every update.
+  void UpdateAll(const std::vector<StreamUpdate>& updates);
+
+  /// The current top-k candidates, sorted by descending estimate (ties by
+  /// item id). Refreshes pool estimates from the sketch first.
+  std::vector<std::pair<uint64_t, int64_t>> TopK();
+
+  /// Sketch estimate of one item (unbiased, two-sided error).
+  int64_t Estimate(uint64_t item) const { return sketch_.Estimate(item); }
+
+  uint64_t k() const { return k_; }
+  uint64_t PoolSize() const { return pool_.size(); }
+
+ private:
+  void MaybeAdmit(uint64_t item);
+  void ShrinkPool();
+
+  uint64_t k_;
+  uint64_t pool_capacity_;
+  CountSketch sketch_;
+  std::unordered_map<uint64_t, int64_t> pool_;  // item -> cached estimate
+};
+
+}  // namespace sketch
+
+#endif  // SKETCH_SKETCH_TOPK_MONITOR_H_

@@ -1,0 +1,53 @@
+#include "stream/frequency_oracle.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace sketch {
+
+int64_t FrequencyOracle::TotalCount() const {
+  int64_t total = 0;
+  for (const auto& [item, count] : counts_) total += count;
+  return total;
+}
+
+int64_t FrequencyOracle::L1() const {
+  int64_t total = 0;
+  for (const auto& [item, count] : counts_) total += std::abs(count);
+  return total;
+}
+
+std::vector<uint64_t> FrequencyOracle::ItemsAbove(int64_t threshold) const {
+  std::vector<uint64_t> items;
+  for (const auto& [item, count] : counts_) {
+    if (count >= threshold) items.push_back(item);
+  }
+  std::sort(items.begin(), items.end());
+  return items;
+}
+
+std::vector<uint64_t> FrequencyOracle::TopK(uint64_t k) const {
+  std::vector<std::pair<int64_t, uint64_t>> by_count;
+  by_count.reserve(counts_.size());
+  for (const auto& [item, count] : counts_) {
+    if (count != 0) by_count.emplace_back(count, item);
+  }
+  std::sort(by_count.begin(), by_count.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first
+                                        : a.second < b.second;
+            });
+  if (by_count.size() > k) by_count.resize(k);
+  std::vector<uint64_t> items;
+  items.reserve(by_count.size());
+  for (const auto& [count, item] : by_count) items.push_back(item);
+  return items;
+}
+
+uint64_t FrequencyOracle::DistinctCount() const {
+  uint64_t n = 0;
+  for (const auto& [item, count] : counts_) n += (count != 0);
+  return n;
+}
+
+}  // namespace sketch

@@ -1,0 +1,61 @@
+#ifndef SKETCH_STREAM_FREQUENCY_ORACLE_H_
+#define SKETCH_STREAM_FREQUENCY_ORACLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/update.h"
+
+namespace sketch {
+
+/// Exact frequency counts — the ground truth every sketch is measured
+/// against. Memory is O(#distinct items); the whole point of the sketches
+/// is to avoid this cost, but the experiments need the oracle to score
+/// precision/recall and estimation error.
+class FrequencyOracle {
+ public:
+  /// Applies one update.
+  void Update(const StreamUpdate& update) {
+    counts_[update.item] += update.delta;
+  }
+
+  /// Applies a batch of updates.
+  void UpdateAll(const std::vector<StreamUpdate>& updates) {
+    for (const StreamUpdate& u : updates) Update(u);
+  }
+
+  /// Exact frequency of `item` (0 if never seen).
+  int64_t Count(uint64_t item) const {
+    const auto it = counts_.find(item);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  /// Sum of all frequencies (the stream length N in the cash-register
+  /// model).
+  int64_t TotalCount() const;
+
+  /// L1 norm of the frequency vector: sum of |count|.
+  int64_t L1() const;
+
+  /// Items with frequency >= threshold.
+  std::vector<uint64_t> ItemsAbove(int64_t threshold) const;
+
+  /// The k items of largest frequency (ties broken by item id for
+  /// determinism).
+  std::vector<uint64_t> TopK(uint64_t k) const;
+
+  /// Number of distinct items with nonzero count.
+  uint64_t DistinctCount() const;
+
+  const std::unordered_map<uint64_t, int64_t>& counts() const {
+    return counts_;
+  }
+
+ private:
+  std::unordered_map<uint64_t, int64_t> counts_;
+};
+
+}  // namespace sketch
+
+#endif  // SKETCH_STREAM_FREQUENCY_ORACLE_H_

@@ -1,0 +1,94 @@
+#include "stream/generators.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/prng.h"
+#include "common/zipf.h"
+
+namespace sketch {
+
+namespace {
+
+/// A pseudo-random bijection on [0, universe) implemented by shuffling the
+/// identity with Fisher–Yates. Used to decouple "rank" from "item id".
+std::vector<uint64_t> MakeIdPermutation(uint64_t universe, uint64_t seed) {
+  std::vector<uint64_t> perm(universe);
+  std::iota(perm.begin(), perm.end(), 0);
+  Xoshiro256StarStar rng(seed);
+  for (uint64_t i = universe; i > 1; --i) {
+    const uint64_t j = rng.NextBounded(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace
+
+std::vector<StreamUpdate> MakeZipfStream(uint64_t universe, double alpha,
+                                         uint64_t length, uint64_t seed,
+                                         bool shuffle_ids) {
+  SKETCH_CHECK(universe >= 1);
+  ZipfGenerator zipf(universe, alpha, seed);
+  std::vector<uint64_t> perm;
+  if (shuffle_ids) perm = MakeIdPermutation(universe, seed ^ 0x5eedULL);
+  std::vector<StreamUpdate> updates;
+  updates.reserve(length);
+  for (uint64_t i = 0; i < length; ++i) {
+    const uint64_t rank = zipf.Next();
+    updates.push_back({shuffle_ids ? perm[rank] : rank, +1});
+  }
+  return updates;
+}
+
+std::vector<StreamUpdate> MakeTurnstileStream(uint64_t universe, double alpha,
+                                              uint64_t insert_count,
+                                              double delete_fraction,
+                                              uint64_t seed) {
+  SKETCH_CHECK(delete_fraction >= 0.0 && delete_fraction <= 1.0);
+  std::vector<StreamUpdate> updates =
+      MakeZipfStream(universe, alpha, insert_count, seed);
+  // Track live counts so deletions never drive a count below zero
+  // (strict turnstile).
+  std::unordered_map<uint64_t, int64_t> live;
+  for (const StreamUpdate& u : updates) live[u.item] += u.delta;
+  std::vector<uint64_t> items;
+  items.reserve(live.size());
+  for (const auto& [item, count] : live) items.push_back(item);
+  std::sort(items.begin(), items.end());
+
+  Xoshiro256StarStar rng(seed ^ 0xde1e7eULL);
+  const uint64_t deletions =
+      static_cast<uint64_t>(delete_fraction * insert_count);
+  for (uint64_t i = 0; i < deletions && !items.empty(); ++i) {
+    const uint64_t pick = rng.NextBounded(items.size());
+    const uint64_t item = items[pick];
+    updates.push_back({item, -1});
+    if (--live[item] == 0) {
+      items[pick] = items.back();
+      items.pop_back();
+    }
+  }
+  return updates;
+}
+
+std::vector<StreamUpdate> MakeSingleItemStream(uint64_t item,
+                                               uint64_t length) {
+  return std::vector<StreamUpdate>(length, StreamUpdate{item, +1});
+}
+
+std::vector<StreamUpdate> MakeUniformStream(uint64_t universe, uint64_t length,
+                                            uint64_t seed) {
+  SKETCH_CHECK(universe >= 1);
+  Xoshiro256StarStar rng(seed);
+  std::vector<StreamUpdate> updates;
+  updates.reserve(length);
+  for (uint64_t i = 0; i < length; ++i) {
+    updates.push_back({rng.NextBounded(universe), +1});
+  }
+  return updates;
+}
+
+}  // namespace sketch

@@ -1,0 +1,43 @@
+#ifndef SKETCH_STREAM_GENERATORS_H_
+#define SKETCH_STREAM_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/update.h"
+
+namespace sketch {
+
+/// Synthetic stream workloads for the experiment suite (see DESIGN.md:
+/// substitutions — these stand in for the packet traces / text corpora the
+/// cited papers evaluated on; the sketch guarantees depend only on the
+/// frequency-vector shape, which these control directly).
+
+/// Insert-only Zipf(alpha) stream of `length` updates over universe [0, n).
+/// Item ranks are shuffled to pseudo-random ids when `shuffle_ids` is true
+/// so the heavy items are not simply 0,1,2,...
+std::vector<StreamUpdate> MakeZipfStream(uint64_t universe, double alpha,
+                                         uint64_t length, uint64_t seed,
+                                         bool shuffle_ids = true);
+
+/// Strict-turnstile stream: inserts followed by random partial deletions,
+/// never driving any count negative. Exercises linear-sketch behaviour
+/// under deletions (Count-Min/Count-Sketch/IBLT support them; counter
+/// algorithms such as SpaceSaving do not).
+std::vector<StreamUpdate> MakeTurnstileStream(uint64_t universe, double alpha,
+                                              uint64_t insert_count,
+                                              double delete_fraction,
+                                              uint64_t seed);
+
+/// Adversarial single-item stream: all `length` updates hit one key.
+/// Stresses the "heavy bucket" path — one item owns the entire L1 mass.
+std::vector<StreamUpdate> MakeSingleItemStream(uint64_t item, uint64_t length);
+
+/// Uniform stream: every update hits a uniformly random item; no heavy
+/// hitters exist. Used as the no-signal control in E2.
+std::vector<StreamUpdate> MakeUniformStream(uint64_t universe, uint64_t length,
+                                            uint64_t seed);
+
+}  // namespace sketch
+
+#endif  // SKETCH_STREAM_GENERATORS_H_

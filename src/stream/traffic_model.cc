@@ -1,0 +1,77 @@
+#include "stream/traffic_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace sketch {
+
+TrafficTrace GenerateTrafficTrace(const TrafficModelOptions& options) {
+  SKETCH_CHECK(options.num_flows >= 1);
+  SKETCH_CHECK(options.pareto_shape > 0.0);
+  SKETCH_CHECK(options.min_flow_packets >= 1);
+  SKETCH_CHECK(options.max_flow_packets >= options.min_flow_packets);
+  SKETCH_CHECK(options.flow_id_space >= options.num_flows);
+
+  Xoshiro256StarStar rng(options.seed);
+  TrafficTrace trace;
+
+  // Distinct flow ids.
+  std::unordered_set<uint64_t> seen;
+  trace.flow_ids.reserve(options.num_flows);
+  while (trace.flow_ids.size() < options.num_flows) {
+    const uint64_t id = rng.NextBounded(options.flow_id_space);
+    if (seen.insert(id).second) trace.flow_ids.push_back(id);
+  }
+  std::sort(trace.flow_ids.begin(), trace.flow_ids.end());
+
+  // Bounded-Pareto flow sizes via inverse-CDF sampling:
+  //   P(X > x) ∝ x^{-shape} on [min, max].
+  const double alpha = options.pareto_shape;
+  const double lo = static_cast<double>(options.min_flow_packets);
+  const double hi = static_cast<double>(options.max_flow_packets);
+  const double lo_a = std::pow(lo, -alpha);
+  const double hi_a = std::pow(hi, -alpha);
+  trace.flow_sizes.resize(options.num_flows);
+  for (uint64_t i = 0; i < options.num_flows; ++i) {
+    const double u = rng.NextDouble();
+    const double x = std::pow(lo_a - u * (lo_a - hi_a), -1.0 / alpha);
+    trace.flow_sizes[i] = std::max<uint64_t>(
+        options.min_flow_packets,
+        std::min<uint64_t>(options.max_flow_packets,
+                           static_cast<uint64_t>(x)));
+    trace.total_packets += trace.flow_sizes[i];
+  }
+
+  // Interleave: repeatedly emit a packet from a flow picked with
+  // probability proportional to its remaining size. Implemented by
+  // building the full packet multiset and Fisher-Yates shuffling — exact
+  // and O(total_packets).
+  trace.packets.reserve(trace.total_packets);
+  for (uint64_t i = 0; i < options.num_flows; ++i) {
+    for (uint64_t p = 0; p < trace.flow_sizes[i]; ++p) {
+      trace.packets.push_back({trace.flow_ids[i], +1});
+    }
+  }
+  for (uint64_t i = trace.packets.size(); i > 1; --i) {
+    std::swap(trace.packets[i - 1], trace.packets[rng.NextBounded(i)]);
+  }
+  return trace;
+}
+
+double TopFlowShare(const TrafficTrace& trace, uint64_t k) {
+  std::vector<uint64_t> sizes = trace.flow_sizes;
+  std::sort(sizes.rbegin(), sizes.rend());
+  if (k > sizes.size()) k = sizes.size();
+  uint64_t top = 0;
+  for (uint64_t i = 0; i < k; ++i) top += sizes[i];
+  return trace.total_packets == 0
+             ? 0.0
+             : static_cast<double>(top) /
+                   static_cast<double>(trace.total_packets);
+}
+
+}  // namespace sketch

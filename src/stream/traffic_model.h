@@ -1,0 +1,48 @@
+#ifndef SKETCH_STREAM_TRAFFIC_MODEL_H_
+#define SKETCH_STREAM_TRAFFIC_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/update.h"
+
+namespace sketch {
+
+/// Parameters of the synthetic flow-level traffic model.
+///
+/// This is the stand-in (per DESIGN.md's substitution table) for the real
+/// packet traces the networking papers [EV02, FCAB98, LMP+08] evaluate
+/// on: flow *sizes* follow a bounded Pareto (a few elephants, many mice —
+/// the empirical heavy-tail that makes heavy-hitter detection worthwhile)
+/// and packets of concurrent flows interleave, so sketches see flows
+/// fragmented rather than in contiguous runs.
+struct TrafficModelOptions {
+  uint64_t num_flows = 10000;
+  double pareto_shape = 1.2;       ///< tail index; smaller = heavier tail
+  uint64_t min_flow_packets = 1;   ///< mice floor
+  uint64_t max_flow_packets = 100000;  ///< elephant cap (bounded Pareto)
+  /// Flow ids are drawn from this space (hashed 5-tuples in practice).
+  uint64_t flow_id_space = 1ULL << 32;
+  uint64_t seed = 1;
+};
+
+/// A generated trace: packet stream plus per-flow ground truth.
+struct TrafficTrace {
+  std::vector<StreamUpdate> packets;  ///< one update per packet, delta=1
+  std::vector<uint64_t> flow_ids;     ///< distinct flows, sorted
+  std::vector<uint64_t> flow_sizes;   ///< aligned with flow_ids
+  uint64_t total_packets = 0;
+};
+
+/// Generates a trace under the model above. Packets of different flows
+/// are interleaved by a random shuffle weighted by remaining flow size
+/// (an M/M/∞-flavored mixing — enough to destroy per-flow locality).
+TrafficTrace GenerateTrafficTrace(const TrafficModelOptions& options);
+
+/// Fraction of total packets carried by the top `k` flows — the
+/// "elephants carry most bytes" diagnostic used to sanity-check traces.
+double TopFlowShare(const TrafficTrace& trace, uint64_t k);
+
+}  // namespace sketch
+
+#endif  // SKETCH_STREAM_TRAFFIC_MODEL_H_

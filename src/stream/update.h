@@ -1,0 +1,20 @@
+#ifndef SKETCH_STREAM_UPDATE_H_
+#define SKETCH_STREAM_UPDATE_H_
+
+#include <cstdint>
+
+namespace sketch {
+
+/// A single stream update in the turnstile model: the frequency of `item`
+/// changes by `delta`. The cash-register model of §1 (insertions only) is
+/// the special case delta = +1; Count-Min/Count-Sketch/IBLT all accept
+/// general deltas because they are linear sketches of the frequency
+/// vector x.
+struct StreamUpdate {
+  uint64_t item = 0;
+  int64_t delta = 1;
+};
+
+}  // namespace sketch
+
+#endif  // SKETCH_STREAM_UPDATE_H_

@@ -1,0 +1,57 @@
+#include "common/byte_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace sketch {
+namespace {
+
+TEST(ByteBufferTest, U64RoundTrip) {
+  std::vector<uint8_t> buffer;
+  AppendU64(0, &buffer);
+  AppendU64(1, &buffer);
+  AppendU64(0xdeadbeefcafef00dULL, &buffer);
+  AppendU64(~0ULL, &buffer);
+  EXPECT_EQ(buffer.size(), 32u);
+  ByteReader reader(buffer);
+  EXPECT_EQ(reader.ReadU64(), 0u);
+  EXPECT_EQ(reader.ReadU64(), 1u);
+  EXPECT_EQ(reader.ReadU64(), 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(reader.ReadU64(), ~0ULL);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ByteBufferTest, I64RoundTripNegative) {
+  std::vector<uint8_t> buffer;
+  AppendI64(-1, &buffer);
+  AppendI64(-123456789012345LL, &buffer);
+  AppendI64(42, &buffer);
+  ByteReader reader(buffer);
+  EXPECT_EQ(reader.ReadI64(), -1);
+  EXPECT_EQ(reader.ReadI64(), -123456789012345LL);
+  EXPECT_EQ(reader.ReadI64(), 42);
+}
+
+TEST(ByteBufferTest, LittleEndianLayout) {
+  std::vector<uint8_t> buffer;
+  AppendU64(0x0102030405060708ULL, &buffer);
+  EXPECT_EQ(buffer[0], 0x08);
+  EXPECT_EQ(buffer[7], 0x01);
+}
+
+TEST(ByteBufferTest, AtEndTracksPosition) {
+  std::vector<uint8_t> buffer;
+  AppendU64(5, &buffer);
+  ByteReader reader(buffer);
+  EXPECT_FALSE(reader.AtEnd());
+  reader.ReadU64();
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ByteBufferDeathTest, TruncatedReadAborts) {
+  std::vector<uint8_t> buffer = {1, 2, 3};  // < 8 bytes
+  ByteReader reader(buffer);
+  EXPECT_DEATH(reader.ReadU64(), "truncated");
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,92 @@
+#include "common/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sketch {
+namespace {
+
+TEST(NormsTest, L1L2LInfOnKnownVector) {
+  const std::vector<double> x = {3.0, -4.0, 0.0};
+  EXPECT_DOUBLE_EQ(L1Norm(x), 7.0);
+  EXPECT_DOUBLE_EQ(L2Norm(x), 5.0);
+  EXPECT_DOUBLE_EQ(LInfNorm(x), 4.0);
+}
+
+TEST(NormsTest, EmptyVectorHasZeroNorm) {
+  const std::vector<double> x;
+  EXPECT_DOUBLE_EQ(L1Norm(x), 0.0);
+  EXPECT_DOUBLE_EQ(L2Norm(x), 0.0);
+  EXPECT_DOUBLE_EQ(LInfNorm(x), 0.0);
+}
+
+TEST(NormsTest, ComplexL2Norm) {
+  const std::vector<std::complex<double>> x = {{3.0, 4.0}, {0.0, 0.0}};
+  EXPECT_DOUBLE_EQ(L2Norm(x), 5.0);
+}
+
+TEST(DistancesTest, L1AndL2Distance) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.0, 0.0, 7.0};
+  EXPECT_DOUBLE_EQ(L1Distance(a, b), 6.0);
+  EXPECT_DOUBLE_EQ(L2Distance(a, b), std::sqrt(4.0 + 16.0));
+}
+
+TEST(DistancesTest, ComplexL2Distance) {
+  const std::vector<std::complex<double>> a = {{1.0, 0.0}};
+  const std::vector<std::complex<double>> b = {{0.0, 1.0}};
+  EXPECT_DOUBLE_EQ(L2Distance(a, b), std::sqrt(2.0));
+}
+
+TEST(BestKTermErrorTest, ZeroWhenKCoversSupport) {
+  const std::vector<double> x = {0.0, 5.0, 0.0, -2.0};
+  EXPECT_DOUBLE_EQ(BestKTermError(x, 2, 1), 0.0);
+  EXPECT_DOUBLE_EQ(BestKTermError(x, 4, 2), 0.0);
+}
+
+TEST(BestKTermErrorTest, TailNormForSmallK) {
+  const std::vector<double> x = {4.0, -3.0, 2.0, 1.0};
+  // Best 2-term approximation keeps {4, -3}; the tail is {2, 1}.
+  EXPECT_DOUBLE_EQ(BestKTermError(x, 2, 1), 3.0);
+  EXPECT_DOUBLE_EQ(BestKTermError(x, 2, 2), std::sqrt(5.0));
+}
+
+TEST(BestKTermErrorTest, KZeroIsFullNorm) {
+  const std::vector<double> x = {1.0, -1.0};
+  EXPECT_DOUBLE_EQ(BestKTermError(x, 0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(BestKTermError(x, 0, 2), std::sqrt(2.0));
+}
+
+TEST(PrecisionRecallTest, PerfectRetrieval) {
+  const PrecisionRecall pr = ComputePrecisionRecall({1, 2, 3}, {3, 2, 1});
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+TEST(PrecisionRecallTest, PartialOverlap) {
+  const PrecisionRecall pr = ComputePrecisionRecall({1, 2, 4, 5}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(pr.precision, 0.5);
+  EXPECT_NEAR(pr.recall, 2.0 / 3.0, 1e-12);
+}
+
+TEST(PrecisionRecallTest, EmptyRetrievedGivesFullPrecisionZeroRecall) {
+  const PrecisionRecall pr = ComputePrecisionRecall({}, {1});
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.0);
+}
+
+TEST(PrecisionRecallTest, EmptyTruthGivesZeroPrecisionFullRecall) {
+  const PrecisionRecall pr = ComputePrecisionRecall({1}, {});
+  EXPECT_DOUBLE_EQ(pr.precision, 0.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+TEST(PrecisionRecallTest, BothEmpty) {
+  const PrecisionRecall pr = ComputePrecisionRecall({}, {});
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,107 @@
+#include "common/prng.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sketch {
+namespace {
+
+TEST(SplitMix64Test, IsDeterministicForSameSeed) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int diff = 0;
+  for (int i = 0; i < 64; ++i) diff += (a.Next() != b.Next());
+  EXPECT_GE(diff, 60);
+}
+
+TEST(SplitMix64Test, StatelessMixerMatchesKnownProperties) {
+  // Mixer must be a bijection-like scrambler: no collisions on a small
+  // domain and not the identity.
+  std::set<uint64_t> outputs;
+  for (uint64_t x = 0; x < 4096; ++x) outputs.insert(SplitMix64Once(x));
+  EXPECT_EQ(outputs.size(), 4096u);
+  EXPECT_NE(SplitMix64Once(0), 0u);
+}
+
+TEST(Xoshiro256Test, DeterministicAndSeedSensitive) {
+  Xoshiro256StarStar a(7);
+  Xoshiro256StarStar b(7);
+  Xoshiro256StarStar c(8);
+  bool all_equal = true;
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    all_equal &= (va == c.Next());
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(Xoshiro256Test, NextDoubleInUnitInterval) {
+  Xoshiro256StarStar rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, NextDoubleMeanIsHalf) {
+  Xoshiro256StarStar rng(13);
+  double sum = 0.0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / trials, 0.5, 0.01);
+}
+
+TEST(Xoshiro256Test, NextBoundedStaysInRange) {
+  Xoshiro256StarStar rng(17);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBounded(bound), bound);
+  }
+}
+
+TEST(Xoshiro256Test, NextBoundedIsApproximatelyUniform) {
+  Xoshiro256StarStar rng(19);
+  const uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.NextBounded(bound)];
+  for (uint64_t b = 0; b < bound; ++b) {
+    EXPECT_NEAR(counts[b], trials / static_cast<double>(bound),
+                5 * std::sqrt(trials / static_cast<double>(bound)));
+  }
+}
+
+TEST(Xoshiro256Test, GaussianMomentsMatchStandardNormal) {
+  Xoshiro256StarStar rng(23);
+  const int trials = 200000;
+  double sum = 0.0, sum2 = 0.0, sum4 = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+    sum4 += g * g * g * g;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / trials, 1.0, 0.03);
+  EXPECT_NEAR(sum4 / trials, 3.0, 0.15);  // normal kurtosis
+}
+
+TEST(Xoshiro256Test, SatisfiesUniformRandomBitGeneratorInterface) {
+  static_assert(Xoshiro256StarStar::min() == 0);
+  static_assert(Xoshiro256StarStar::max() == ~0ULL);
+  Xoshiro256StarStar rng(3);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace sketch

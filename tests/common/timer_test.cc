@@ -1,0 +1,37 @@
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace sketch {
+namespace {
+
+TEST(TimerTest, ElapsedIsNonNegativeAndMonotone) {
+  Timer timer;
+  const double first = timer.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  double last = first;
+  for (int i = 0; i < 5; ++i) {
+    const double now = timer.ElapsedSeconds();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+TEST(TimerTest, ResetRestartsFromZero) {
+  Timer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  const double before = timer.ElapsedSeconds();
+  timer.Reset();
+  EXPECT_LE(timer.ElapsedSeconds(), before + 1e-3);
+}
+
+TEST(TimerTest, MillisecondsAreSecondsTimesThousand) {
+  Timer timer;
+  const double s = timer.ElapsedSeconds();
+  const double ms = timer.ElapsedMillis();
+  EXPECT_GE(ms, s * 1e3 * 0.5);  // same order; both monotone
+}
+
+}  // namespace
+}  // namespace sketch

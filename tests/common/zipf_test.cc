@@ -1,0 +1,70 @@
+#include "common/zipf.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sketch {
+namespace {
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfGenerator zipf(1000, 1.1, 1);
+  double total = 0.0;
+  for (uint64_t r = 0; r < 1000; ++r) total += zipf.Probability(r);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, ProbabilityDecreasesWithRank) {
+  ZipfGenerator zipf(100, 1.0, 2);
+  for (uint64_t r = 1; r < 100; ++r) {
+    EXPECT_GE(zipf.Probability(r - 1), zipf.Probability(r));
+  }
+}
+
+TEST(ZipfTest, AlphaZeroIsUniform) {
+  ZipfGenerator zipf(50, 0.0, 3);
+  for (uint64_t r = 0; r < 50; ++r) {
+    EXPECT_NEAR(zipf.Probability(r), 1.0 / 50, 1e-12);
+  }
+}
+
+TEST(ZipfTest, SamplesStayInUniverse) {
+  ZipfGenerator zipf(17, 1.3, 4);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Next(), 17u);
+}
+
+TEST(ZipfTest, EmpiricalFrequencyMatchesPmf) {
+  const uint64_t n = 100;
+  ZipfGenerator zipf(n, 1.2, 5);
+  const int trials = 200000;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < trials; ++i) ++counts[zipf.Next()];
+  // Head ranks should match their analytic probability within 4 sigma.
+  for (uint64_t r = 0; r < 5; ++r) {
+    const double p = zipf.Probability(r);
+    const double sigma = std::sqrt(trials * p * (1 - p));
+    EXPECT_NEAR(counts[r], trials * p, 4 * sigma) << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, HigherAlphaConcentratesMoreMassOnHead) {
+  ZipfGenerator mild(1000, 0.8, 6);
+  ZipfGenerator heavy(1000, 1.6, 6);
+  EXPECT_LT(mild.Probability(0), heavy.Probability(0));
+}
+
+TEST(ZipfTest, SingletonUniverse) {
+  ZipfGenerator zipf(1, 1.0, 7);
+  EXPECT_EQ(zipf.Next(), 0u);
+  EXPECT_NEAR(zipf.Probability(0), 1.0, 1e-12);
+}
+
+TEST(ZipfTest, DeterministicForSameSeed) {
+  ZipfGenerator a(64, 1.1, 99);
+  ZipfGenerator b(64, 1.1, 99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+}  // namespace
+}  // namespace sketch

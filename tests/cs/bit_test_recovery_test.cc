@@ -1,0 +1,127 @@
+#include "cs/bit_test_recovery.h"
+
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "cs/signals.h"
+
+namespace sketch {
+namespace {
+
+TEST(BitTestRecoveryTest, SingleSpikeLocatedDirectly) {
+  const uint64_t n = 1 << 12;
+  const BitTestRecovery btr(8, 2, n, 1);
+  const SparseVector x = SparseVector::FromEntries(n, {{2741, 3.5}});
+  const auto result = btr.Recover(btr.Measure(x));
+  EXPECT_TRUE(result.converged);
+  ASSERT_EQ(result.estimate.nnz(), 1u);
+  EXPECT_EQ(result.estimate.entries()[0].index, 2741u);
+  EXPECT_NEAR(result.estimate.entries()[0].value, 3.5, 1e-9);
+}
+
+TEST(BitTestRecoveryTest, RecoversExactlySparseSignals) {
+  const uint64_t n = 1 << 14;
+  for (uint64_t k : {4u, 16u, 64u}) {
+    const BitTestRecovery btr(4 * k, 3, n, k);
+    const SparseVector x =
+        MakeSparseSignal(n, k, SignalValueDistribution::kGaussian, k);
+    const auto result = btr.Recover(btr.Measure(x));
+    EXPECT_TRUE(result.converged) << "k=" << k;
+    EXPECT_LT(L2Distance(result.estimate.ToDense(), x.ToDense()),
+              1e-8 * L2Norm(x.ToDense()))
+        << "k=" << k;
+  }
+}
+
+TEST(BitTestRecoveryTest, PeelingResolvesCollisions) {
+  // Width k/2 guarantees collisions in round 1; depth 3 + peeling must
+  // still converge on most instances.
+  const uint64_t n = 1 << 12, k = 16;
+  const BitTestRecovery btr(k, 3, n, 3);
+  const SparseVector x =
+      MakeSparseSignal(n, k, SignalValueDistribution::kUniformMagnitude, 3);
+  const auto result = btr.Recover(btr.Measure(x), /*max_rounds=*/16);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(L2Distance(result.estimate.ToDense(), x.ToDense()), 1e-8);
+  EXPECT_GT(result.rounds_used, 1);  // actually needed to peel
+}
+
+TEST(BitTestRecoveryTest, MeasurementsCarryLogFactor) {
+  const BitTestRecovery btr(32, 3, 1 << 16, 4);
+  EXPECT_EQ(btr.NumMeasurements(), 32u * 3u * 17u);
+}
+
+TEST(BitTestRecoveryTest, SparseAndDenseMeasureAgree) {
+  const uint64_t n = 1 << 10;
+  const BitTestRecovery btr(16, 2, n, 5);
+  const SparseVector x =
+      MakeSparseSignal(n, 8, SignalValueDistribution::kGaussian, 5);
+  const auto ys = btr.Measure(x);
+  const auto yd = btr.Measure(x.ToDense());
+  ASSERT_EQ(ys.size(), yd.size());
+  for (size_t i = 0; i < ys.size(); ++i) EXPECT_NEAR(ys[i], yd[i], 1e-12);
+}
+
+TEST(BitTestRecoveryTest, ZeroMeasurementsConvergeEmpty) {
+  const BitTestRecovery btr(8, 2, 1 << 10, 6);
+  const auto result =
+      btr.Recover(std::vector<double>(btr.NumMeasurements(), 0.0));
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.estimate.nnz(), 0u);
+}
+
+TEST(BitTestRecoveryTest, ToleratesMildNoise) {
+  const uint64_t n = 1 << 12, k = 8;
+  const BitTestRecovery btr(8 * k, 3, n, 7);
+  const SparseVector x =
+      MakeSparseSignal(n, k, SignalValueDistribution::kUniformMagnitude, 7);
+  std::vector<double> y = btr.Measure(x);
+  AddGaussianNoise(&y, 1e-4, 7);
+  const auto result = btr.Recover(y, 16, /*tolerance=*/1e-2);
+  std::set<uint64_t> truth, got;
+  for (const SparseEntry& e : x.entries()) truth.insert(e.index);
+  for (const SparseEntry& e : result.estimate.entries()) got.insert(e.index);
+  int hits = 0;
+  for (uint64_t i : got) hits += truth.count(i);
+  EXPECT_GE(hits, static_cast<int>(k) - 1);
+}
+
+TEST(BitTestRecoveryTest, UnconvergedReportedWhenUnderProvisioned) {
+  // Far too few buckets: every bucket is a collision and nothing peels.
+  const uint64_t n = 1 << 12;
+  const BitTestRecovery btr(2, 1, n, 8);
+  const SparseVector x =
+      MakeSparseSignal(n, 32, SignalValueDistribution::kGaussian, 8);
+  const auto result = btr.Recover(btr.Measure(x), 8);
+  EXPECT_FALSE(result.converged);
+}
+
+// Property sweep: recovery across (k, width multiplier, depth).
+class BitTestPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t,
+                                                 uint64_t>> {};
+
+TEST_P(BitTestPropertyTest, ExactRecovery) {
+  const auto [k, width_mult, depth] = GetParam();
+  const uint64_t n = 1 << 13;
+  const BitTestRecovery btr(width_mult * k, depth, n,
+                            17 * k + width_mult + depth);
+  const SparseVector x = MakeSparseSignal(
+      n, k, SignalValueDistribution::kGaussian, 23 * k + width_mult);
+  const auto result = btr.Recover(btr.Measure(x), 20);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(L2Distance(result.estimate.ToDense(), x.ToDense()),
+            1e-8 * L2Norm(x.ToDense()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometry, BitTestPropertyTest,
+                         ::testing::Combine(::testing::Values(4, 16),
+                                            ::testing::Values(2, 4),
+                                            ::testing::Values(2, 3)));
+
+}  // namespace
+}  // namespace sketch

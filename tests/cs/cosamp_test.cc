@@ -1,0 +1,92 @@
+#include "cs/cosamp.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "cs/ensembles.h"
+#include "cs/signals.h"
+
+namespace sketch {
+namespace {
+
+TEST(CosampTest, RecoversExactlySparseSignal) {
+  const uint64_t n = 512, k = 8, m = 160;
+  const DenseMatrix a = MakeGaussianMatrix(m, n, 1);
+  const SparseVector x =
+      MakeSparseSignal(n, k, SignalValueDistribution::kGaussian, 1);
+  CosampOptions options;
+  options.sparsity = k;
+  const CosampResult result = CosampRecover(a, a.Multiply(x.ToDense()),
+                                            options);
+  EXPECT_LT(L2Distance(result.estimate.ToDense(), x.ToDense()),
+            1e-8 * L2Norm(x.ToDense()));
+  EXPECT_LT(result.residual_l2, 1e-8);
+}
+
+TEST(CosampTest, ConvergesInFewIterations) {
+  const uint64_t n = 512, k = 10, m = 200;
+  const DenseMatrix a = MakeGaussianMatrix(m, n, 2);
+  const SparseVector x =
+      MakeSparseSignal(n, k, SignalValueDistribution::kUniformMagnitude, 2);
+  CosampOptions options;
+  options.sparsity = k;
+  const CosampResult result = CosampRecover(a, a.Multiply(x.ToDense()),
+                                            options);
+  EXPECT_LE(result.iterations_run, 10);
+  EXPECT_LT(result.residual_l2, 1e-8);
+}
+
+TEST(CosampTest, SupportExactlyIdentified) {
+  const uint64_t n = 256, k = 6, m = 100;
+  const DenseMatrix a = MakeGaussianMatrix(m, n, 3);
+  const SparseVector x =
+      MakeSparseSignal(n, k, SignalValueDistribution::kSignOnly, 3);
+  CosampOptions options;
+  options.sparsity = k;
+  const CosampResult result = CosampRecover(a, a.Multiply(x.ToDense()),
+                                            options);
+  std::set<uint64_t> truth, got;
+  for (const SparseEntry& e : x.entries()) truth.insert(e.index);
+  for (const SparseEntry& e : result.estimate.entries()) got.insert(e.index);
+  EXPECT_EQ(truth, got);
+}
+
+TEST(CosampTest, EstimateIsKSparse) {
+  const uint64_t n = 256, k = 5, m = 120;
+  const DenseMatrix a = MakeGaussianMatrix(m, n, 4);
+  const SparseVector x =
+      MakeSparseSignal(n, 3 * k, SignalValueDistribution::kGaussian, 4);
+  CosampOptions options;
+  options.sparsity = k;
+  const CosampResult result = CosampRecover(a, a.Multiply(x.ToDense()),
+                                            options);
+  EXPECT_LE(result.estimate.nnz(), k);
+}
+
+TEST(CosampTest, NoisyRecoveryCloseToTruth) {
+  const uint64_t n = 512, k = 8, m = 200;
+  const DenseMatrix a = MakeGaussianMatrix(m, n, 5);
+  const SparseVector x =
+      MakeSparseSignal(n, k, SignalValueDistribution::kUniformMagnitude, 5);
+  std::vector<double> y = a.Multiply(x.ToDense());
+  AddGaussianNoise(&y, 0.01, 5);
+  CosampOptions options;
+  options.sparsity = k;
+  const CosampResult result = CosampRecover(a, y, options);
+  EXPECT_LT(L2Distance(result.estimate.ToDense(), x.ToDense()), 0.3);
+}
+
+TEST(CosampTest, ZeroMeasurementsGiveZero) {
+  const DenseMatrix a = MakeGaussianMatrix(64, 128, 6);
+  CosampOptions options;
+  options.sparsity = 4;
+  const CosampResult result =
+      CosampRecover(a, std::vector<double>(64, 0.0), options);
+  EXPECT_EQ(result.estimate.nnz(), 0u);
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,100 @@
+#include "cs/ensembles.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace sketch {
+namespace {
+
+TEST(SparseBinaryMatrixTest, ExactlyDOnesPerColumnInDistinctRows) {
+  const CsrMatrix a = MakeSparseBinaryMatrix(64, 256, 8, 1);
+  EXPECT_EQ(a.nnz(), 256u * 8u);
+  const CsrMatrix at = a.Transpose();
+  for (uint64_t c = 0; c < 256; ++c) {
+    const CsrMatrix::RowView col = at.Row(c);
+    ASSERT_EQ(col.size, 8u) << "column " << c;
+    std::set<uint64_t> rows;
+    for (uint64_t t = 0; t < col.size; ++t) {
+      EXPECT_DOUBLE_EQ(col.values[t], 1.0);
+      rows.insert(col.cols[t]);
+    }
+    EXPECT_EQ(rows.size(), 8u) << "column " << c << " has duplicate rows";
+  }
+}
+
+TEST(SparseBinaryMatrixTest, RowLoadIsBalanced) {
+  const uint64_t rows = 128, cols = 4096;
+  const int d = 4;
+  const CsrMatrix a = MakeSparseBinaryMatrix(rows, cols, d, 2);
+  const double expected = static_cast<double>(cols) * d / rows;
+  for (uint64_t r = 0; r < rows; ++r) {
+    EXPECT_NEAR(a.Row(r).size, expected, 6 * std::sqrt(expected));
+  }
+}
+
+TEST(CountSketchMatrixTest, OneSignedEntryPerColumnPerBlock) {
+  const uint64_t width = 32, depth = 3, cols = 500;
+  const CsrMatrix a = MakeCountSketchMatrix(width, depth, cols, 3);
+  EXPECT_EQ(a.rows(), width * depth);
+  EXPECT_EQ(a.nnz(), cols * depth);
+  const CsrMatrix at = a.Transpose();
+  for (uint64_t c = 0; c < cols; ++c) {
+    const CsrMatrix::RowView col = at.Row(c);
+    ASSERT_EQ(col.size, depth);
+    for (uint64_t t = 0; t < col.size; ++t) {
+      // One entry in each block of `width` rows, value ±1.
+      EXPECT_EQ(col.cols[t] / width, t);
+      EXPECT_DOUBLE_EQ(std::abs(col.values[t]), 1.0);
+    }
+  }
+}
+
+TEST(CountMinMatrixTest, AllEntriesPositive) {
+  const CsrMatrix a = MakeCountMinMatrix(32, 3, 500, 4);
+  const CsrMatrix at = a.Transpose();
+  for (uint64_t c = 0; c < 500; ++c) {
+    const CsrMatrix::RowView col = at.Row(c);
+    for (uint64_t t = 0; t < col.size; ++t) {
+      EXPECT_DOUBLE_EQ(col.values[t], 1.0);
+    }
+  }
+}
+
+TEST(CountSketchMatrixTest, SignsAreRoughlyBalanced) {
+  const CsrMatrix a = MakeCountSketchMatrix(64, 1, 10000, 5);
+  int64_t sum = 0;
+  for (uint64_t r = 0; r < a.rows(); ++r) {
+    const CsrMatrix::RowView row = a.Row(r);
+    for (uint64_t t = 0; t < row.size; ++t) {
+      sum += static_cast<int64_t>(row.values[t]);
+    }
+  }
+  EXPECT_LT(std::abs(sum), 5 * static_cast<int64_t>(std::sqrt(10000.0)));
+}
+
+TEST(DenseEnsemblesTest, GaussianAndRademacherShapes) {
+  const DenseMatrix g = MakeGaussianMatrix(10, 20, 6);
+  EXPECT_EQ(g.rows(), 10u);
+  EXPECT_EQ(g.cols(), 20u);
+  const DenseMatrix r = MakeRademacherMatrix(10, 20, 7);
+  const double mag = 1.0 / std::sqrt(10.0);
+  for (uint64_t i = 0; i < 10; ++i) {
+    for (uint64_t j = 0; j < 20; ++j) {
+      EXPECT_DOUBLE_EQ(std::abs(r.At(i, j)), mag);
+    }
+  }
+}
+
+TEST(EnsemblesTest, DeterministicPerSeed) {
+  const CsrMatrix a = MakeSparseBinaryMatrix(32, 64, 4, 9);
+  const CsrMatrix b = MakeSparseBinaryMatrix(32, 64, 4, 9);
+  const std::vector<double> probe(64, 1.0);
+  const std::vector<double> ya = a.Multiply(probe);
+  const std::vector<double> yb = b.Multiply(probe);
+  for (size_t i = 0; i < ya.size(); ++i) EXPECT_DOUBLE_EQ(ya[i], yb[i]);
+}
+
+}  // namespace
+}  // namespace sketch

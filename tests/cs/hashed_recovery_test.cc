@@ -1,0 +1,139 @@
+#include "cs/hashed_recovery.h"
+
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "cs/signals.h"
+
+namespace sketch {
+namespace {
+
+TEST(HashedRecoveryTest, MeasureMatchesExplicitMatrix) {
+  const HashedRecovery hr(HashedRecovery::Variant::kCountSketch, 32, 5, 256,
+                          1);
+  const SparseVector x =
+      MakeSparseSignal(256, 10, SignalValueDistribution::kGaussian, 1);
+  const std::vector<double> y1 = hr.Measure(x);
+  const std::vector<double> y2 = hr.ToMatrix().Multiply(x.ToDense());
+  ASSERT_EQ(y1.size(), y2.size());
+  for (size_t i = 0; i < y1.size(); ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+}
+
+TEST(HashedRecoveryTest, SparseAndDenseMeasureAgree) {
+  const HashedRecovery hr(HashedRecovery::Variant::kCountMin, 64, 4, 512, 2);
+  const SparseVector x =
+      MakeSparseSignal(512, 20, SignalValueDistribution::kUniformMagnitude, 2);
+  const std::vector<double> ys = hr.Measure(x);
+  const std::vector<double> yd = hr.Measure(x.ToDense());
+  for (size_t i = 0; i < ys.size(); ++i) EXPECT_NEAR(ys[i], yd[i], 1e-12);
+}
+
+TEST(HashedRecoveryTest, CountSketchRecoversExactlySparseSignal) {
+  // Exact top-k recovery needs depth ~ log n: with shallow sketches,
+  // enough rows collide that some non-support coordinate gets a nonzero
+  // median and sneaks into the top k.
+  const uint64_t n = 4096, k = 10;
+  const HashedRecovery hr(HashedRecovery::Variant::kCountSketch, 16 * k, 15,
+                          n, 3);
+  const SparseVector x =
+      MakeSparseSignal(n, k, SignalValueDistribution::kGaussian, 3);
+  const SparseVector rec = hr.RecoverTopK(hr.Measure(x), k);
+  EXPECT_LT(L2Distance(rec.ToDense(), x.ToDense()),
+            1e-9 * L2Norm(x.ToDense()));
+}
+
+TEST(HashedRecoveryTest, CountMinRecoversNonnegativeSignal) {
+  const uint64_t n = 4096, k = 10;
+  const HashedRecovery hr(HashedRecovery::Variant::kCountMin, 8 * k, 7, n, 4);
+  // Count-Min's min estimator requires nonnegative signals.
+  std::vector<SparseEntry> entries;
+  const SparseVector raw =
+      MakeSparseSignal(n, k, SignalValueDistribution::kUniformMagnitude, 4);
+  for (SparseEntry e : raw.entries()) {
+    e.value = std::abs(e.value);
+    entries.push_back(e);
+  }
+  const SparseVector x = SparseVector::FromEntries(n, std::move(entries));
+  const SparseVector rec = hr.RecoverTopK(hr.Measure(x), k);
+  EXPECT_LT(L2Distance(rec.ToDense(), x.ToDense()),
+            1e-9 * L2Norm(x.ToDense()));
+}
+
+TEST(HashedRecoveryTest, RecoveredSupportMatchesTruth) {
+  const uint64_t n = 2048, k = 16;
+  const HashedRecovery hr(HashedRecovery::Variant::kCountSketch, 8 * k, 9, n,
+                          5);
+  const SparseVector x =
+      MakeSparseSignal(n, k, SignalValueDistribution::kSignOnly, 5);
+  const SparseVector rec = hr.RecoverTopK(hr.Measure(x), k);
+  std::set<uint64_t> truth, found;
+  for (const SparseEntry& e : x.entries()) truth.insert(e.index);
+  for (const SparseEntry& e : rec.entries()) found.insert(e.index);
+  EXPECT_EQ(truth, found);
+}
+
+TEST(HashedRecoveryTest, NoisyRecoveryDegradesGracefully) {
+  const uint64_t n = 2048, k = 8;
+  const HashedRecovery hr(HashedRecovery::Variant::kCountSketch, 16 * k, 9, n,
+                          6);
+  const SparseVector x =
+      MakeSparseSignal(n, k, SignalValueDistribution::kUniformMagnitude, 6);
+  std::vector<double> dense = x.ToDense();
+  AddGaussianNoise(&dense, 0.005, 6);  // small tail noise
+  const SparseVector rec = hr.RecoverTopK(hr.Measure(dense), k);
+  // Error should be proportional to the noise, not the signal.
+  EXPECT_LT(L2Distance(rec.ToDense(), x.ToDense()), 0.5);
+}
+
+TEST(HashedRecoveryTest, EstimateCoordinateFindsPlantedSpike) {
+  const uint64_t n = 1024;
+  const HashedRecovery hr(HashedRecovery::Variant::kCountSketch, 64, 5, n, 7);
+  SparseVector x = SparseVector::FromEntries(n, {{123, 5.0}});
+  const std::vector<double> y = hr.Measure(x);
+  EXPECT_NEAR(hr.EstimateCoordinate(y, 123), 5.0, 1e-12);
+  EXPECT_NEAR(hr.EstimateCoordinate(y, 200), 0.0, 1e-12);
+}
+
+TEST(HashedRecoveryTest, NumMeasurementsIsWidthTimesDepth) {
+  const HashedRecovery hr(HashedRecovery::Variant::kCountMin, 31, 5, 100, 8);
+  EXPECT_EQ(hr.NumMeasurements(), 155u);
+  EXPECT_EQ(hr.Measure(std::vector<double>(100, 0.0)).size(), 155u);
+}
+
+TEST(HashedRecoveryTest, RecoverTopKCapsSupportSize) {
+  const uint64_t n = 512;
+  const HashedRecovery hr(HashedRecovery::Variant::kCountSketch, 128, 5, n,
+                          9);
+  const SparseVector x =
+      MakeSparseSignal(n, 40, SignalValueDistribution::kGaussian, 9);
+  const SparseVector rec = hr.RecoverTopK(hr.Measure(x), 10);
+  EXPECT_LE(rec.nnz(), 10u);
+}
+
+// Property sweep: recovery succeeds across (k, width multiplier) whenever
+// width is comfortably above k.
+class HashedRecoveryPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t>> {};
+
+TEST_P(HashedRecoveryPropertyTest, ExactRecoveryWithAmpleWidth) {
+  const auto [k, width_mult] = GetParam();
+  const uint64_t n = 4096;
+  const HashedRecovery hr(HashedRecovery::Variant::kCountSketch,
+                          width_mult * k, 15, n, k * 31 + width_mult);
+  const SparseVector x = MakeSparseSignal(
+      n, k, SignalValueDistribution::kGaussian, k * 17 + width_mult);
+  const SparseVector rec = hr.RecoverTopK(hr.Measure(x), k);
+  EXPECT_LT(L2Distance(rec.ToDense(), x.ToDense()),
+            1e-6 * L2Norm(x.ToDense()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometry, HashedRecoveryPropertyTest,
+                         ::testing::Combine(::testing::Values(2, 8, 32),
+                                            ::testing::Values(8, 16)));
+
+}  // namespace
+}  // namespace sketch

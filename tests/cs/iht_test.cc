@@ -1,0 +1,125 @@
+#include "cs/iht.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "cs/ensembles.h"
+#include "cs/signals.h"
+
+namespace sketch {
+namespace {
+
+TEST(HardThresholdTest, KeepsKLargestMagnitudes) {
+  std::vector<double> x = {1.0, -5.0, 3.0, 0.5, -2.0};
+  HardThreshold(&x, 2);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x[1], -5.0);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+  EXPECT_DOUBLE_EQ(x[3], 0.0);
+  EXPECT_DOUBLE_EQ(x[4], 0.0);
+}
+
+TEST(HardThresholdTest, KLargerThanSizeIsNoop) {
+  std::vector<double> x = {1.0, 2.0};
+  HardThreshold(&x, 5);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+}
+
+TEST(HardThresholdTest, TiesKeepExactlyK) {
+  std::vector<double> x = {1.0, 1.0, 1.0, 1.0};
+  HardThreshold(&x, 2);
+  int nonzero = 0;
+  for (double v : x) nonzero += (v != 0.0);
+  EXPECT_EQ(nonzero, 2);
+}
+
+TEST(IhtTest, RecoversSparseSignalFromGaussianMeasurements) {
+  const uint64_t n = 512, k = 8, m = 160;
+  auto a = std::make_shared<DenseMatrix>(MakeGaussianMatrix(m, n, 1));
+  const LinearOperator op = LinearOperator::FromDense(a);
+  const SparseVector x =
+      MakeSparseSignal(n, k, SignalValueDistribution::kGaussian, 1);
+  const std::vector<double> y = a->Multiply(x.ToDense());
+  IhtOptions options;
+  options.sparsity = k;
+  const IhtResult result = IhtRecover(op, y, options);
+  EXPECT_LT(L2Distance(result.estimate.ToDense(), x.ToDense()),
+            1e-5 * L2Norm(x.ToDense()));
+}
+
+TEST(IhtTest, WorksThroughSparseOperatorToo) {
+  const uint64_t n = 512, k = 6, m = 150;
+  auto a =
+      std::make_shared<CsrMatrix>(MakeCountSketchMatrix(m / 3, 3, n, 2));
+  const LinearOperator op = LinearOperator::FromCsr(a);
+  const SparseVector x =
+      MakeSparseSignal(n, k, SignalValueDistribution::kGaussian, 2);
+  const std::vector<double> y = a->Multiply(x.ToDense());
+  IhtOptions options;
+  options.sparsity = k;
+  options.max_iterations = 400;
+  const IhtResult result = IhtRecover(op, y, options);
+  EXPECT_LT(L2Distance(result.estimate.ToDense(), x.ToDense()),
+            1e-3 * L2Norm(x.ToDense()));
+}
+
+TEST(IhtTest, EstimateIsKSparse) {
+  const uint64_t n = 256, k = 5, m = 100;
+  auto a = std::make_shared<DenseMatrix>(MakeGaussianMatrix(m, n, 3));
+  const LinearOperator op = LinearOperator::FromDense(a);
+  const SparseVector x =
+      MakeSparseSignal(n, 2 * k, SignalValueDistribution::kGaussian, 3);
+  const std::vector<double> y = a->Multiply(x.ToDense());
+  IhtOptions options;
+  options.sparsity = k;
+  const IhtResult result = IhtRecover(op, y, options);
+  EXPECT_LE(result.estimate.nnz(), k);
+}
+
+TEST(IhtTest, ZeroMeasurementsGiveZero) {
+  const uint64_t n = 128, m = 64;
+  auto a = std::make_shared<DenseMatrix>(MakeGaussianMatrix(m, n, 4));
+  const LinearOperator op = LinearOperator::FromDense(a);
+  IhtOptions options;
+  options.sparsity = 4;
+  const IhtResult result = IhtRecover(op, std::vector<double>(m, 0.0),
+                                      options);
+  EXPECT_EQ(result.estimate.nnz(), 0u);
+}
+
+TEST(IhtTest, FailsGracefullyWhenMeasurementsTooFew) {
+  // m < k: recovery impossible; IHT must terminate and report a residual
+  // rather than hang or crash.
+  const uint64_t n = 256, k = 30, m = 20;
+  auto a = std::make_shared<DenseMatrix>(MakeGaussianMatrix(m, n, 5));
+  const LinearOperator op = LinearOperator::FromDense(a);
+  const SparseVector x =
+      MakeSparseSignal(n, k, SignalValueDistribution::kGaussian, 5);
+  const std::vector<double> y = a->Multiply(x.ToDense());
+  IhtOptions options;
+  options.sparsity = k;
+  options.max_iterations = 50;
+  const IhtResult result = IhtRecover(op, y, options);
+  EXPECT_LE(result.iterations_run, 50);
+}
+
+TEST(IhtTest, NoisyRecoveryErrorScalesWithNoise) {
+  const uint64_t n = 512, k = 8, m = 200;
+  auto a = std::make_shared<DenseMatrix>(MakeGaussianMatrix(m, n, 6));
+  const LinearOperator op = LinearOperator::FromDense(a);
+  const SparseVector x =
+      MakeSparseSignal(n, k, SignalValueDistribution::kUniformMagnitude, 6);
+  std::vector<double> y = a->Multiply(x.ToDense());
+  AddGaussianNoise(&y, 0.01, 6);
+  IhtOptions options;
+  options.sparsity = k;
+  const IhtResult result = IhtRecover(op, y, options);
+  EXPECT_LT(L2Distance(result.estimate.ToDense(), x.ToDense()), 0.3);
+}
+
+}  // namespace
+}  // namespace sketch

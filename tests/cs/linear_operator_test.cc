@@ -1,0 +1,80 @@
+#include "cs/linear_operator.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "cs/ensembles.h"
+
+namespace sketch {
+namespace {
+
+TEST(LinearOperatorTest, DenseWrapperMatchesMatrix) {
+  auto a = std::make_shared<DenseMatrix>(3, 2);
+  a->At(0, 0) = 1.0;
+  a->At(1, 1) = 2.0;
+  a->At(2, 0) = -1.0;
+  const LinearOperator op = LinearOperator::FromDense(a);
+  EXPECT_EQ(op.rows(), 3u);
+  EXPECT_EQ(op.cols(), 2u);
+  const std::vector<double> y = op.Apply({2.0, 3.0});
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], -2.0);
+  const std::vector<double> z = op.ApplyTranspose({1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(z[0], 0.0);
+  EXPECT_DOUBLE_EQ(z[1], 2.0);
+}
+
+TEST(LinearOperatorTest, CsrWrapperMatchesMatrix) {
+  auto a = std::make_shared<CsrMatrix>(
+      CsrMatrix::FromTriplets(2, 3, {{0, 0, 1.0}, {1, 2, 4.0}}));
+  const LinearOperator op = LinearOperator::FromCsr(a);
+  const std::vector<double> direct =
+      a->Multiply(std::vector<double>{1.0, 2.0, 3.0});
+  const std::vector<double> via_op = op.Apply({1.0, 2.0, 3.0});
+  ASSERT_EQ(direct.size(), via_op.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_DOUBLE_EQ(direct[i], via_op[i]);
+  }
+}
+
+TEST(LinearOperatorTest, SurvivesSourceSharedPtrGoingOutOfScope) {
+  LinearOperator op = [] {
+    auto a = std::make_shared<DenseMatrix>(MakeGaussianMatrix(4, 4, 1));
+    return LinearOperator::FromDense(a);
+  }();  // the local shared_ptr died; the lambda capture keeps it alive
+  const std::vector<double> y = op.Apply({1.0, 0.0, 0.0, 0.0});
+  EXPECT_EQ(y.size(), 4u);
+}
+
+TEST(LinearOperatorTest, AdjointIdentityHolds) {
+  auto a = std::make_shared<CsrMatrix>(MakeSparseBinaryMatrix(16, 32, 4, 2));
+  const LinearOperator op = LinearOperator::FromCsr(a);
+  std::vector<double> x(32), y(16);
+  for (int i = 0; i < 32; ++i) x[i] = 0.1 * i;
+  for (int i = 0; i < 16; ++i) y[i] = 0.2 * (i - 8);
+  double lhs = 0.0, rhs = 0.0;
+  const auto ax = op.Apply(x);
+  for (int i = 0; i < 16; ++i) lhs += ax[i] * y[i];
+  const auto aty = op.ApplyTranspose(y);
+  for (int i = 0; i < 32; ++i) rhs += x[i] * aty[i];
+  EXPECT_NEAR(lhs, rhs, 1e-10);
+}
+
+TEST(LinearOperatorTest, CustomFunctionsWork) {
+  // A pure-callback operator (e.g., an implicit FFT-based map).
+  const LinearOperator op(
+      2, 2, [](const std::vector<double>& x) {
+        return std::vector<double>{x[0] + x[1], x[0] - x[1]};
+      },
+      [](const std::vector<double>& y) {
+        return std::vector<double>{y[0] + y[1], y[0] - y[1]};
+      });
+  const auto y = op.Apply({3.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,93 @@
+#include "cs/omp.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "cs/ensembles.h"
+#include "cs/signals.h"
+
+namespace sketch {
+namespace {
+
+TEST(OmpTest, RecoversSparseSignalFromGaussianMeasurements) {
+  const uint64_t n = 512, k = 8, m = 128;
+  const DenseMatrix a = MakeGaussianMatrix(m, n, 1);
+  const SparseVector x =
+      MakeSparseSignal(n, k, SignalValueDistribution::kGaussian, 1);
+  const std::vector<double> y = a.Multiply(x.ToDense());
+  OmpOptions options;
+  options.sparsity = k;
+  const OmpResult result = OmpRecover(a, y, options);
+  EXPECT_LT(L2Distance(result.estimate.ToDense(), x.ToDense()),
+            1e-8 * L2Norm(x.ToDense()));
+  EXPECT_LT(result.residual_l2, 1e-8);
+}
+
+TEST(OmpTest, SupportExactlyIdentified) {
+  const uint64_t n = 256, k = 5, m = 80;
+  const DenseMatrix a = MakeGaussianMatrix(m, n, 2);
+  const SparseVector x =
+      MakeSparseSignal(n, k, SignalValueDistribution::kUniformMagnitude, 2);
+  const std::vector<double> y = a.Multiply(x.ToDense());
+  OmpOptions options;
+  options.sparsity = k;
+  const OmpResult result = OmpRecover(a, y, options);
+  std::set<uint64_t> truth, found;
+  for (const SparseEntry& e : x.entries()) truth.insert(e.index);
+  for (const SparseEntry& e : result.estimate.entries()) found.insert(e.index);
+  EXPECT_EQ(truth, found);
+}
+
+TEST(OmpTest, StopsEarlyOnExactFit) {
+  const uint64_t n = 128, m = 60;
+  const DenseMatrix a = MakeGaussianMatrix(m, n, 3);
+  const SparseVector x =
+      MakeSparseSignal(n, 2, SignalValueDistribution::kGaussian, 3);
+  const std::vector<double> y = a.Multiply(x.ToDense());
+  OmpOptions options;
+  options.sparsity = 10;  // allowed more atoms than needed
+  const OmpResult result = OmpRecover(a, y, options);
+  EXPECT_LE(result.atoms_selected, 3u);
+}
+
+TEST(OmpTest, ZeroMeasurementsSelectNothing) {
+  const DenseMatrix a = MakeGaussianMatrix(32, 64, 4);
+  OmpOptions options;
+  options.sparsity = 5;
+  const OmpResult result = OmpRecover(a, std::vector<double>(32, 0.0),
+                                      options);
+  EXPECT_EQ(result.atoms_selected, 0u);
+  EXPECT_EQ(result.estimate.nnz(), 0u);
+}
+
+TEST(OmpTest, NoisyRecoveryCloseToTruth) {
+  const uint64_t n = 256, k = 6, m = 100;
+  const DenseMatrix a = MakeGaussianMatrix(m, n, 5);
+  const SparseVector x =
+      MakeSparseSignal(n, k, SignalValueDistribution::kUniformMagnitude, 5);
+  std::vector<double> y = a.Multiply(x.ToDense());
+  AddGaussianNoise(&y, 0.01, 5);
+  OmpOptions options;
+  options.sparsity = k;
+  const OmpResult result = OmpRecover(a, y, options);
+  EXPECT_LT(L2Distance(result.estimate.ToDense(), x.ToDense()), 0.3);
+}
+
+TEST(OmpTest, AtMostSparsityAtoms) {
+  const uint64_t n = 128, m = 60;
+  const DenseMatrix a = MakeGaussianMatrix(m, n, 6);
+  const SparseVector x =
+      MakeSparseSignal(n, 30, SignalValueDistribution::kGaussian, 6);
+  const std::vector<double> y = a.Multiply(x.ToDense());
+  OmpOptions options;
+  options.sparsity = 7;
+  const OmpResult result = OmpRecover(a, y, options);
+  EXPECT_LE(result.atoms_selected, 7u);
+  EXPECT_LE(result.estimate.nnz(), 7u);
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,101 @@
+#include "cs/signals.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+
+namespace sketch {
+namespace {
+
+TEST(SparseSignalTest, ExactSparsityAndDistinctSupport) {
+  for (uint64_t k : {0u, 1u, 10u, 100u}) {
+    const SparseVector x =
+        MakeSparseSignal(1 << 12, k, SignalValueDistribution::kSignOnly, k);
+    EXPECT_EQ(x.nnz(), k);
+    std::set<uint64_t> support;
+    for (const SparseEntry& e : x.entries()) support.insert(e.index);
+    EXPECT_EQ(support.size(), k);
+  }
+}
+
+TEST(SparseSignalTest, SignOnlyValuesAreUnitMagnitude) {
+  const SparseVector x =
+      MakeSparseSignal(1024, 50, SignalValueDistribution::kSignOnly, 1);
+  for (const SparseEntry& e : x.entries()) {
+    EXPECT_DOUBLE_EQ(std::abs(e.value), 1.0);
+  }
+}
+
+TEST(SparseSignalTest, UniformMagnitudeInRange) {
+  const SparseVector x = MakeSparseSignal(
+      1024, 50, SignalValueDistribution::kUniformMagnitude, 2);
+  for (const SparseEntry& e : x.entries()) {
+    EXPECT_GE(std::abs(e.value), 0.5);
+    EXPECT_LE(std::abs(e.value), 1.5);
+  }
+}
+
+TEST(SparseSignalTest, GaussianValuesAreNonzero) {
+  const SparseVector x =
+      MakeSparseSignal(1024, 50, SignalValueDistribution::kGaussian, 3);
+  for (const SparseEntry& e : x.entries()) EXPECT_NE(e.value, 0.0);
+}
+
+TEST(SparseSignalTest, FullSupportAllowed) {
+  const SparseVector x =
+      MakeSparseSignal(64, 64, SignalValueDistribution::kSignOnly, 4);
+  EXPECT_EQ(x.nnz(), 64u);
+}
+
+TEST(SparseSignalTest, DeterministicPerSeed) {
+  const SparseVector a =
+      MakeSparseSignal(1024, 20, SignalValueDistribution::kGaussian, 7);
+  const SparseVector b =
+      MakeSparseSignal(1024, 20, SignalValueDistribution::kGaussian, 7);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (uint64_t i = 0; i < a.nnz(); ++i) {
+    EXPECT_EQ(a.entries()[i].index, b.entries()[i].index);
+    EXPECT_DOUBLE_EQ(a.entries()[i].value, b.entries()[i].value);
+  }
+}
+
+TEST(PowerLawSignalTest, MagnitudesFollowDecay) {
+  const std::vector<double> x = MakePowerLawSignal(1000, 1.0, 5);
+  std::vector<double> mags(x.size());
+  for (size_t i = 0; i < x.size(); ++i) mags[i] = std::abs(x[i]);
+  std::sort(mags.begin(), mags.end(), std::greater<double>());
+  EXPECT_DOUBLE_EQ(mags[0], 1.0);    // rank 1 => 1^-1
+  EXPECT_DOUBLE_EQ(mags[9], 0.1);    // rank 10 => 10^-1
+  EXPECT_DOUBLE_EQ(mags[99], 0.01);  // rank 100
+}
+
+TEST(PowerLawSignalTest, BestKTermErrorDecaysWithK) {
+  const std::vector<double> x = MakePowerLawSignal(4096, 1.2, 6);
+  double prev = BestKTermError(x, 1, 2);
+  for (uint64_t k : {4u, 16u, 64u, 256u}) {
+    const double err = BestKTermError(x, k, 2);
+    EXPECT_LT(err, prev);
+    prev = err;
+  }
+}
+
+TEST(AddGaussianNoiseTest, ZeroSigmaIsNoop) {
+  std::vector<double> x = {1.0, 2.0};
+  AddGaussianNoise(&x, 0.0, 7);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+}
+
+TEST(AddGaussianNoiseTest, NoiseEnergyMatchesSigma) {
+  std::vector<double> x(100000, 0.0);
+  AddGaussianNoise(&x, 0.5, 8);
+  const double per_coord = L2Norm(x) * L2Norm(x) / x.size();
+  EXPECT_NEAR(per_coord, 0.25, 0.01);
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,100 @@
+#include "cs/smp.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "cs/ensembles.h"
+#include "cs/signals.h"
+#include "cs/ssmp.h"
+
+namespace sketch {
+namespace {
+
+TEST(SmpTest, RecoversExactlySparseSignal) {
+  const uint64_t n = 1024, k = 8, m = 24 * k;
+  const CsrMatrix a = MakeSparseBinaryMatrix(m, n, 8, 1);
+  const SparseVector x =
+      MakeSparseSignal(n, k, SignalValueDistribution::kGaussian, 1);
+  const std::vector<double> y = a.Multiply(x.ToDense());
+  SmpOptions options;
+  options.sparsity = k;
+  const SmpResult result = SmpRecover(a, y, options);
+  EXPECT_LT(L2Distance(result.estimate.ToDense(), x.ToDense()),
+            1e-6 * L2Norm(x.ToDense()));
+}
+
+TEST(SmpTest, EstimateIsKSparse) {
+  const uint64_t n = 512, k = 6, m = 150;
+  const CsrMatrix a = MakeSparseBinaryMatrix(m, n, 6, 2);
+  const SparseVector x =
+      MakeSparseSignal(n, 2 * k, SignalValueDistribution::kGaussian, 2);
+  const std::vector<double> y = a.Multiply(x.ToDense());
+  SmpOptions options;
+  options.sparsity = k;
+  const SmpResult result = SmpRecover(a, y, options);
+  EXPECT_LE(result.estimate.nnz(), k);
+}
+
+TEST(SmpTest, ZeroMeasurementsGiveZero) {
+  const CsrMatrix a = MakeSparseBinaryMatrix(64, 256, 4, 3);
+  SmpOptions options;
+  options.sparsity = 5;
+  const SmpResult result =
+      SmpRecover(a, std::vector<double>(64, 0.0), options);
+  EXPECT_EQ(result.estimate.nnz(), 0u);
+}
+
+TEST(SmpTest, FewerIterationsThanSsmpSteps) {
+  // SMP converges in O(log) batch iterations where SSMP performs O(k)
+  // single-coordinate steps per phase.
+  const uint64_t n = 1024, k = 10, m = 30 * k;
+  const CsrMatrix a = MakeSparseBinaryMatrix(m, n, 8, 4);
+  const SparseVector x =
+      MakeSparseSignal(n, k, SignalValueDistribution::kUniformMagnitude, 4);
+  const std::vector<double> y = a.Multiply(x.ToDense());
+  SmpOptions smp_options;
+  smp_options.sparsity = k;
+  const SmpResult smp = SmpRecover(a, y, smp_options);
+  EXPECT_LT(L2Distance(smp.estimate.ToDense(), x.ToDense()), 1e-6);
+  EXPECT_LE(smp.iterations_run, 10);
+}
+
+TEST(SmpTest, NoisyRecoveryDegradesGracefully) {
+  const uint64_t n = 1024, k = 8, m = 30 * k;
+  const CsrMatrix a = MakeSparseBinaryMatrix(m, n, 8, 5);
+  const SparseVector x =
+      MakeSparseSignal(n, k, SignalValueDistribution::kUniformMagnitude, 5);
+  std::vector<double> y = a.Multiply(x.ToDense());
+  AddGaussianNoise(&y, 0.01, 5);
+  SmpOptions options;
+  options.sparsity = k;
+  const SmpResult result = SmpRecover(a, y, options);
+  std::set<uint64_t> truth, found;
+  for (const SparseEntry& e : x.entries()) truth.insert(e.index);
+  for (const SparseEntry& e : result.estimate.entries()) found.insert(e.index);
+  int hits = 0;
+  for (uint64_t i : found) hits += truth.count(i);
+  EXPECT_GE(hits, static_cast<int>(k) - 1);
+}
+
+TEST(SmpTest, AgreesWithSsmpOnEasyInstances) {
+  const uint64_t n = 512, k = 5, m = 200;
+  const CsrMatrix a = MakeSparseBinaryMatrix(m, n, 8, 6);
+  const SparseVector x =
+      MakeSparseSignal(n, k, SignalValueDistribution::kGaussian, 6);
+  const std::vector<double> y = a.Multiply(x.ToDense());
+  SmpOptions smp_opt;
+  smp_opt.sparsity = k;
+  SsmpOptions ssmp_opt;
+  ssmp_opt.sparsity = k;
+  const SmpResult smp = SmpRecover(a, y, smp_opt);
+  const SsmpResult ssmp = SsmpRecover(a, y, ssmp_opt);
+  EXPECT_LT(L2Distance(smp.estimate.ToDense(), ssmp.estimate.ToDense()),
+            1e-6);
+}
+
+}  // namespace
+}  // namespace sketch

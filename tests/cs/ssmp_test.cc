@@ -1,0 +1,102 @@
+#include "cs/ssmp.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "cs/ensembles.h"
+#include "cs/signals.h"
+
+namespace sketch {
+namespace {
+
+TEST(SsmpTest, RecoversExactlySparseSignal) {
+  const uint64_t n = 1024, k = 8, m = 20 * k;
+  const CsrMatrix a = MakeSparseBinaryMatrix(m, n, 8, 1);
+  const SparseVector x =
+      MakeSparseSignal(n, k, SignalValueDistribution::kGaussian, 1);
+  const std::vector<double> y = a.Multiply(x.ToDense());
+  SsmpOptions options;
+  options.sparsity = k;
+  const SsmpResult result = SsmpRecover(a, y, options);
+  EXPECT_LT(L2Distance(result.estimate.ToDense(), x.ToDense()),
+            1e-6 * L2Norm(x.ToDense()));
+  EXPECT_LT(result.residual_l1, 1e-6);
+}
+
+TEST(SsmpTest, RecoversSignSignals) {
+  const uint64_t n = 1024, k = 10, m = 20 * k;
+  const CsrMatrix a = MakeSparseBinaryMatrix(m, n, 8, 2);
+  const SparseVector x =
+      MakeSparseSignal(n, k, SignalValueDistribution::kSignOnly, 2);
+  const std::vector<double> y = a.Multiply(x.ToDense());
+  SsmpOptions options;
+  options.sparsity = k;
+  const SsmpResult result = SsmpRecover(a, y, options);
+  EXPECT_LT(L2Distance(result.estimate.ToDense(), x.ToDense()), 1e-6);
+}
+
+TEST(SsmpTest, ZeroMeasurementsGiveZeroEstimate) {
+  const uint64_t n = 256, m = 64;
+  const CsrMatrix a = MakeSparseBinaryMatrix(m, n, 4, 3);
+  const std::vector<double> y(m, 0.0);
+  SsmpOptions options;
+  options.sparsity = 5;
+  const SsmpResult result = SsmpRecover(a, y, options);
+  EXPECT_EQ(result.estimate.nnz(), 0u);
+  EXPECT_DOUBLE_EQ(result.residual_l1, 0.0);
+}
+
+TEST(SsmpTest, EstimateIsAtMostKSparse) {
+  const uint64_t n = 512, k = 6, m = 120;
+  const CsrMatrix a = MakeSparseBinaryMatrix(m, n, 6, 4);
+  const SparseVector x =
+      MakeSparseSignal(n, 2 * k, SignalValueDistribution::kGaussian, 4);
+  const std::vector<double> y = a.Multiply(x.ToDense());
+  SsmpOptions options;
+  options.sparsity = k;
+  const SsmpResult result = SsmpRecover(a, y, options);
+  EXPECT_LE(result.estimate.nnz(), k);
+}
+
+TEST(SsmpTest, NoisyMeasurementsGiveProportionalError) {
+  const uint64_t n = 1024, k = 8, m = 30 * k;
+  const CsrMatrix a = MakeSparseBinaryMatrix(m, n, 8, 5);
+  const SparseVector x =
+      MakeSparseSignal(n, k, SignalValueDistribution::kUniformMagnitude, 5);
+  std::vector<double> y = a.Multiply(x.ToDense());
+  const double noise_scale = 0.01;
+  AddGaussianNoise(&y, noise_scale, 5);
+  SsmpOptions options;
+  options.sparsity = k;
+  const SsmpResult result = SsmpRecover(a, y, options);
+  // SSMP guarantees ||x - x'||_1 <= C ||noise||_1 / d; just check the
+  // recovery is close rather than exact.
+  EXPECT_LT(L1Distance(result.estimate.ToDense(), x.ToDense()),
+            20.0 * noise_scale * m / 8);
+  // Support should still be essentially correct.
+  std::set<uint64_t> truth, found;
+  for (const SparseEntry& e : x.entries()) truth.insert(e.index);
+  for (const SparseEntry& e : result.estimate.entries()) found.insert(e.index);
+  int hits = 0;
+  for (uint64_t i : found) hits += truth.count(i);
+  EXPECT_GE(hits, static_cast<int>(k) - 1);
+}
+
+TEST(SsmpTest, ReportsPhasesRun) {
+  const uint64_t n = 256, k = 4, m = 80;
+  const CsrMatrix a = MakeSparseBinaryMatrix(m, n, 6, 6);
+  const SparseVector x =
+      MakeSparseSignal(n, k, SignalValueDistribution::kGaussian, 6);
+  const std::vector<double> y = a.Multiply(x.ToDense());
+  SsmpOptions options;
+  options.sparsity = k;
+  const SsmpResult result = SsmpRecover(a, y, options);
+  EXPECT_GE(result.phases_run, 1);
+  EXPECT_LE(result.phases_run, options.phases);
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,122 @@
+#include "dimred/approximate_svd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+
+namespace sketch {
+namespace {
+
+/// Builds A = U diag(s) V^T with orthonormal U, V (via Gram-Schmidt of
+/// Gaussian matrices) and the given singular values.
+DenseMatrix MakeMatrixWithSpectrum(uint64_t rows, uint64_t cols,
+                                   const std::vector<double>& sigmas,
+                                   uint64_t seed) {
+  const uint64_t r = sigmas.size();
+  Xoshiro256StarStar rng(seed);
+  auto orthonormal = [&](uint64_t dim) {
+    DenseMatrix m(dim, r);
+    for (uint64_t i = 0; i < dim; ++i) {
+      for (uint64_t t = 0; t < r; ++t) m.At(i, t) = rng.NextGaussian();
+    }
+    for (uint64_t c = 0; c < r; ++c) {
+      for (uint64_t p = 0; p < c; ++p) {
+        double dot = 0.0;
+        for (uint64_t i = 0; i < dim; ++i) dot += m.At(i, p) * m.At(i, c);
+        for (uint64_t i = 0; i < dim; ++i) m.At(i, c) -= dot * m.At(i, p);
+      }
+      double norm = 0.0;
+      for (uint64_t i = 0; i < dim; ++i) norm += m.At(i, c) * m.At(i, c);
+      norm = std::sqrt(norm);
+      for (uint64_t i = 0; i < dim; ++i) m.At(i, c) /= norm;
+    }
+    return m;
+  };
+  const DenseMatrix u = orthonormal(rows);
+  const DenseMatrix v = orthonormal(cols);
+  DenseMatrix a(rows, cols);
+  for (uint64_t i = 0; i < rows; ++i) {
+    for (uint64_t j = 0; j < cols; ++j) {
+      double acc = 0.0;
+      for (uint64_t t = 0; t < r; ++t) {
+        acc += u.At(i, t) * sigmas[t] * v.At(j, t);
+      }
+      a.At(i, j) = acc;
+    }
+  }
+  return a;
+}
+
+TEST(ApproximateSvdTest, RecoversPlantedSingularValues) {
+  const std::vector<double> sigmas = {10.0, 5.0, 2.0, 1.0};
+  const DenseMatrix a = MakeMatrixWithSpectrum(80, 60, sigmas, 1);
+  const ApproximateSvdResult svd =
+      ApproximateSvd(a, 4, 6, LowRankSketchType::kGaussian, 1);
+  ASSERT_EQ(svd.singular_values.size(), 4u);
+  for (size_t t = 0; t < 4; ++t) {
+    EXPECT_NEAR(svd.singular_values[t], sigmas[t], 1e-6 * sigmas[t]);
+  }
+}
+
+TEST(ApproximateSvdTest, FactorsReconstructTheMatrix) {
+  const std::vector<double> sigmas = {8.0, 3.0, 1.5};
+  const DenseMatrix a = MakeMatrixWithSpectrum(50, 40, sigmas, 2);
+  const ApproximateSvdResult svd =
+      ApproximateSvd(a, 3, 5, LowRankSketchType::kGaussian, 2);
+  for (uint64_t i = 0; i < 50; ++i) {
+    for (uint64_t j = 0; j < 40; ++j) {
+      double recon = 0.0;
+      for (uint64_t t = 0; t < 3; ++t) {
+        recon += svd.u.At(i, t) * svd.singular_values[t] * svd.v.At(j, t);
+      }
+      ASSERT_NEAR(recon, a.At(i, j), 1e-7);
+    }
+  }
+}
+
+TEST(ApproximateSvdTest, SingularVectorsAreOrthonormal) {
+  const std::vector<double> sigmas = {6.0, 4.0, 2.0, 1.0};
+  const DenseMatrix a = MakeMatrixWithSpectrum(60, 60, sigmas, 3);
+  const ApproximateSvdResult svd =
+      ApproximateSvd(a, 4, 4, LowRankSketchType::kGaussian, 3);
+  for (uint64_t c1 = 0; c1 < 4; ++c1) {
+    for (uint64_t c2 = c1; c2 < 4; ++c2) {
+      double du = 0.0, dv = 0.0;
+      for (uint64_t r = 0; r < 60; ++r) du += svd.u.At(r, c1) * svd.u.At(r, c2);
+      for (uint64_t r = 0; r < 60; ++r) dv += svd.v.At(r, c1) * svd.v.At(r, c2);
+      const double want = c1 == c2 ? 1.0 : 0.0;
+      EXPECT_NEAR(du, want, 1e-8);
+      EXPECT_NEAR(dv, want, 1e-8);
+    }
+  }
+}
+
+TEST(ApproximateSvdTest, NoisySpectrumTopValuesStillAccurate) {
+  // Planted spectrum + a noise floor: the top singular values should be
+  // recovered within a few percent with modest oversampling.
+  const std::vector<double> sigmas = {20.0, 10.0, 5.0};
+  DenseMatrix a = MakeMatrixWithSpectrum(100, 80, sigmas, 4);
+  Xoshiro256StarStar rng(5);
+  for (uint64_t i = 0; i < 100; ++i) {
+    for (uint64_t j = 0; j < 80; ++j) a.At(i, j) += 0.05 * rng.NextGaussian();
+  }
+  const ApproximateSvdResult svd =
+      ApproximateSvd(a, 3, 10, LowRankSketchType::kGaussian, 5);
+  for (size_t t = 0; t < 3; ++t) {
+    EXPECT_NEAR(svd.singular_values[t], sigmas[t], 0.05 * sigmas[t]);
+  }
+}
+
+TEST(ApproximateSvdTest, CountSketchVariantWorksWithQuadraticOversampling) {
+  const std::vector<double> sigmas = {9.0, 4.0};
+  const DenseMatrix a = MakeMatrixWithSpectrum(60, 50, sigmas, 6);
+  const ApproximateSvdResult svd = ApproximateSvd(
+      a, 2, /*oversampling=*/16, LowRankSketchType::kCountSketch, 6);
+  EXPECT_NEAR(svd.singular_values[0], 9.0, 0.1);
+  EXPECT_NEAR(svd.singular_values[1], 4.0, 0.1);
+}
+
+}  // namespace
+}  // namespace sketch

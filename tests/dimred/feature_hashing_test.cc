@@ -1,0 +1,81 @@
+#include "dimred/feature_hashing.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "linalg/dense_matrix.h"
+
+namespace sketch {
+namespace {
+
+TEST(FeatureHasherTest, Deterministic) {
+  const FeatureHasher h(64, 1);
+  const auto a = h.HashFeatures({{"cat", 1.0}, {"dog", 2.0}});
+  const auto b = h.HashFeatures({{"cat", 1.0}, {"dog", 2.0}});
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(FeatureHasherTest, OrderInvariant) {
+  const FeatureHasher h(64, 2);
+  const auto a = h.HashFeatures({{"x", 1.0}, {"y", -2.0}});
+  const auto b = h.HashFeatures({{"y", -2.0}, {"x", 1.0}});
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(FeatureHasherTest, SingleFeatureLandsInOneBucket) {
+  const FeatureHasher h(128, 3);
+  const auto v = h.HashFeatures({{"solo", 3.5}});
+  int nonzero = 0;
+  for (double x : v) {
+    if (x != 0.0) {
+      ++nonzero;
+      EXPECT_DOUBLE_EQ(std::abs(x), 3.5);
+    }
+  }
+  EXPECT_EQ(nonzero, 1);
+}
+
+TEST(FeatureHasherTest, RepeatedFeatureAccumulates) {
+  const FeatureHasher h(128, 4);
+  const auto once = h.HashFeatures({{"f", 1.0}});
+  const auto thrice = h.HashFeatures({{"f", 1.0}, {"f", 1.0}, {"f", 1.0}});
+  for (size_t i = 0; i < once.size(); ++i) {
+    EXPECT_DOUBLE_EQ(thrice[i], 3.0 * once[i]);
+  }
+}
+
+TEST(FeatureHasherTest, InnerProductApproximatelyPreserved) {
+  // The hashing trick preserves inner products in expectation. Two sparse
+  // documents with known overlap.
+  const FeatureHasher h(4096, 5);
+  std::vector<std::pair<std::string_view, double>> doc1, doc2;
+  // 40 shared features, 20 unique each => <doc1, doc2> = 40.
+  static std::vector<std::string> names;
+  if (names.empty()) {
+    for (int i = 0; i < 100; ++i) names.push_back("feat" + std::to_string(i));
+  }
+  for (int i = 0; i < 60; ++i) doc1.push_back({names[i], 1.0});
+  for (int i = 20; i < 80; ++i) doc2.push_back({names[i], 1.0});
+  const auto v1 = h.HashFeatures(doc1);
+  const auto v2 = h.HashFeatures(doc2);
+  EXPECT_NEAR(Dot(v1, v2), 40.0, 8.0);
+}
+
+TEST(FeatureHasherTest, FeatureIdIsStableAndNameSensitive) {
+  EXPECT_EQ(FeatureHasher::FeatureId("hello"), FeatureHasher::FeatureId("hello"));
+  EXPECT_NE(FeatureHasher::FeatureId("hello"), FeatureHasher::FeatureId("hellp"));
+  EXPECT_NE(FeatureHasher::FeatureId(""), FeatureHasher::FeatureId("a"));
+}
+
+TEST(FeatureHasherTest, AddFeatureAccumulatesIntoProvidedVector) {
+  const FeatureHasher h(32, 6);
+  std::vector<double> out(32, 0.0);
+  h.AddFeature("a", 1.0, &out);
+  h.AddFeature("b", 2.0, &out);
+  EXPECT_NEAR(L1Norm(out), 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,166 @@
+#include "dimred/jl_transform.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/prng.h"
+#include "cs/signals.h"
+
+namespace sketch {
+namespace {
+
+std::vector<double> RandomUnitVector(uint64_t n, uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.NextGaussian();
+  const double norm = L2Norm(x);
+  for (auto& v : x) v /= norm;
+  return x;
+}
+
+/// Fraction of trials where the embedded norm deviates from 1 by more
+/// than eps.
+double DistortionFailureRate(const JlTransform& t, double eps, int trials) {
+  int failures = 0;
+  for (int i = 0; i < trials; ++i) {
+    const std::vector<double> x =
+        RandomUnitVector(t.input_dimension(), 1000 + i);
+    const double norm = L2Norm(t.Apply(x));
+    if (std::abs(norm - 1.0) > eps) ++failures;
+  }
+  return static_cast<double>(failures) / trials;
+}
+
+TEST(DenseJlTest, PreservesNormsWithinEps) {
+  const DenseJlTransform t(1 << 10, 512, 1);
+  EXPECT_LT(DistortionFailureRate(t, 0.25, 50), 0.1);
+}
+
+TEST(SparseJlTest, PreservesNormsWithinEps) {
+  const SparseJlTransform t(1 << 10, 512, 8, 2);
+  EXPECT_LT(DistortionFailureRate(t, 0.25, 50), 0.1);
+}
+
+TEST(CountSketchTransformTest, PreservesNormsWithinEps) {
+  const CountSketchTransform t(1 << 10, 512, 3);
+  EXPECT_LT(DistortionFailureRate(t, 0.3, 50), 0.15);
+}
+
+TEST(FjltTest, PreservesNormsWithinEps) {
+  const FjltTransform t(1 << 10, 512, 4);
+  EXPECT_LT(DistortionFailureRate(t, 0.25, 50), 0.1);
+}
+
+TEST(JlTest, EmbeddedNormSecondMomentIsCorrect) {
+  // E||Sx||^2 == ||x||^2 exactly for all four constructions.
+  const uint64_t n = 256, m = 64;
+  const std::vector<double> x = RandomUnitVector(n, 5);
+  for (int construction = 0; construction < 4; ++construction) {
+    double sum = 0.0;
+    const int trials = 300;
+    for (int s = 0; s < trials; ++s) {
+      std::unique_ptr<JlTransform> t;
+      switch (construction) {
+        case 0:
+          t = std::make_unique<DenseJlTransform>(n, m, 100 + s);
+          break;
+        case 1:
+          t = std::make_unique<SparseJlTransform>(n, m, 4, 100 + s);
+          break;
+        case 2:
+          t = std::make_unique<CountSketchTransform>(n, m, 100 + s);
+          break;
+        default:
+          t = std::make_unique<FjltTransform>(n, m, 100 + s);
+          break;
+      }
+      const double norm = L2Norm(t->Apply(x));
+      sum += norm * norm;
+    }
+    EXPECT_NEAR(sum / trials, 1.0, 0.1) << "construction " << construction;
+  }
+}
+
+TEST(JlTest, LinearityOfAllTransforms) {
+  const uint64_t n = 128, m = 32;
+  const std::vector<double> x = RandomUnitVector(n, 6);
+  const std::vector<double> y = RandomUnitVector(n, 7);
+  std::vector<double> combo(n);
+  for (uint64_t i = 0; i < n; ++i) combo[i] = 2.0 * x[i] - 3.0 * y[i];
+  const SparseJlTransform t(n, m, 4, 8);
+  const std::vector<double> lhs = t.Apply(combo);
+  const std::vector<double> tx = t.Apply(x);
+  const std::vector<double> ty = t.Apply(y);
+  for (uint64_t i = 0; i < t.output_dimension(); ++i) {
+    EXPECT_NEAR(lhs[i], 2.0 * tx[i] - 3.0 * ty[i], 1e-10);
+  }
+}
+
+TEST(JlTest, SparseApplyMatchesDenseApply) {
+  const uint64_t n = 1024, m = 128;
+  const SparseVector x =
+      MakeSparseSignal(n, 30, SignalValueDistribution::kGaussian, 9);
+  const SparseJlTransform sjl(n, m, 8, 9);
+  const CountSketchTransform cst(n, m, 9);
+  {
+    const std::vector<double> a = sjl.Apply(x);
+    const std::vector<double> b = sjl.Apply(x.ToDense());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+  }
+  {
+    const std::vector<double> a = cst.Apply(x);
+    const std::vector<double> b = cst.Apply(x.ToDense());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+  }
+}
+
+TEST(JlTest, PairwiseDistancesPreserved) {
+  const uint64_t n = 512, m = 256;
+  const SparseJlTransform t(n, m, 8, 10);
+  const std::vector<double> x = RandomUnitVector(n, 11);
+  const std::vector<double> y = RandomUnitVector(n, 12);
+  const double original = L2Distance(x, y);
+  const double embedded = L2Distance(t.Apply(x), t.Apply(y));
+  EXPECT_NEAR(embedded / original, 1.0, 0.3);
+}
+
+TEST(WalshHadamardTest, MatchesDefinitionOnSmallInput) {
+  // H_2 [a b c d] = [a+b+c+d, a-b+c-d, a+b-c-d, a-b-c+d].
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  WalshHadamardInPlace(&x);
+  EXPECT_DOUBLE_EQ(x[0], 10.0);
+  EXPECT_DOUBLE_EQ(x[1], -2.0);
+  EXPECT_DOUBLE_EQ(x[2], -4.0);
+  EXPECT_DOUBLE_EQ(x[3], 0.0);
+}
+
+TEST(WalshHadamardTest, SelfInverseUpToN) {
+  std::vector<double> x = {3.0, -1.0, 0.5, 2.0, 1.0, 1.0, -2.0, 0.0};
+  const std::vector<double> original = x;
+  WalshHadamardInPlace(&x);
+  WalshHadamardInPlace(&x);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i], 8.0 * original[i], 1e-12);
+  }
+}
+
+TEST(FjltTest, HandlesNonPowerOfTwoInput) {
+  const FjltTransform t(100, 32, 13);
+  EXPECT_EQ(t.input_dimension(), 100u);
+  EXPECT_EQ(t.output_dimension(), 32u);
+  const std::vector<double> x = RandomUnitVector(100, 14);
+  EXPECT_EQ(t.Apply(x).size(), 32u);
+}
+
+TEST(JlTest, NamesAreDistinct) {
+  EXPECT_STRNE(DenseJlTransform(8, 4, 1).Name(),
+               SparseJlTransform(8, 4, 2, 1).Name());
+  EXPECT_STRNE(CountSketchTransform(8, 4, 1).Name(),
+               FjltTransform(8, 4, 1).Name());
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,107 @@
+#include "dimred/sketched_lowrank.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+
+namespace sketch {
+namespace {
+
+/// A of rank exactly r plus optional noise: A = U V^T + noise.
+DenseMatrix MakeLowRankMatrix(uint64_t rows, uint64_t cols, uint64_t rank,
+                              double noise, uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  DenseMatrix u(rows, rank), v(cols, rank);
+  for (uint64_t i = 0; i < rows; ++i) {
+    for (uint64_t t = 0; t < rank; ++t) u.At(i, t) = rng.NextGaussian();
+  }
+  for (uint64_t j = 0; j < cols; ++j) {
+    for (uint64_t t = 0; t < rank; ++t) v.At(j, t) = rng.NextGaussian();
+  }
+  DenseMatrix a(rows, cols);
+  for (uint64_t i = 0; i < rows; ++i) {
+    for (uint64_t j = 0; j < cols; ++j) {
+      double acc = 0.0;
+      for (uint64_t t = 0; t < rank; ++t) acc += u.At(i, t) * v.At(j, t);
+      a.At(i, j) = acc + noise * rng.NextGaussian();
+    }
+  }
+  return a;
+}
+
+TEST(LowRankTest, ExactlyLowRankMatrixCapturedCompletely) {
+  const DenseMatrix a = MakeLowRankMatrix(100, 80, 5, 0.0, 1);
+  for (const LowRankSketchType type :
+       {LowRankSketchType::kGaussian, LowRankSketchType::kCountSketch}) {
+    const LowRankResult result = RandomizedRangeFinder(a, 5, 5, type, 1);
+    const double err = LowRankApproximationError(a, result.basis);
+    EXPECT_LT(err, 1e-8 * FrobeniusNorm(a)) << "type " << static_cast<int>(type);
+  }
+}
+
+TEST(LowRankTest, NoisyLowRankMatrixErrorNearNoiseFloor) {
+  const double noise = 0.01;
+  const DenseMatrix a = MakeLowRankMatrix(120, 100, 6, noise, 2);
+  const LowRankResult result =
+      RandomizedRangeFinder(a, 6, 6, LowRankSketchType::kGaussian, 2);
+  const double err = LowRankApproximationError(a, result.basis);
+  // Residual should be on the order of the noise Frobenius mass,
+  // sqrt(rows*cols)*noise, far below ||A||_F.
+  EXPECT_LT(err, 5.0 * std::sqrt(120.0 * 100.0) * noise);
+  EXPECT_LT(err, 0.1 * FrobeniusNorm(a));
+}
+
+TEST(LowRankTest, BasisIsOrthonormal) {
+  const DenseMatrix a = MakeLowRankMatrix(60, 50, 4, 0.05, 3);
+  const LowRankResult result =
+      RandomizedRangeFinder(a, 4, 4, LowRankSketchType::kGaussian, 3);
+  const DenseMatrix& q = result.basis;
+  for (uint64_t c1 = 0; c1 < q.cols(); ++c1) {
+    for (uint64_t c2 = c1; c2 < q.cols(); ++c2) {
+      double dot = 0.0;
+      for (uint64_t r = 0; r < q.rows(); ++r) dot += q.At(r, c1) * q.At(r, c2);
+      // Zero columns (rank deficiency) are allowed; otherwise orthonormal.
+      if (c1 == c2) {
+        EXPECT_TRUE(std::abs(dot - 1.0) < 1e-9 || std::abs(dot) < 1e-12);
+      } else {
+        EXPECT_NEAR(dot, 0.0, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(LowRankTest, ErrorDecreasesWithRank) {
+  const DenseMatrix a = MakeLowRankMatrix(80, 80, 20, 0.0, 4);
+  double prev = FrobeniusNorm(a);
+  for (uint64_t rank : {5u, 10u, 20u}) {
+    const LowRankResult result =
+        RandomizedRangeFinder(a, rank, 5, LowRankSketchType::kGaussian, 4);
+    const double err = LowRankApproximationError(a, result.basis);
+    EXPECT_LE(err, prev + 1e-9);
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-7 * FrobeniusNorm(a));  // rank 20 captures everything
+}
+
+TEST(LowRankTest, FrobeniusNormKnownValue) {
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 3.0;
+  a.At(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(FrobeniusNorm(a), 5.0);
+}
+
+TEST(LowRankTest, CountSketchNeedsQuadraticOversampling) {
+  // A Count-Sketch test matrix is a subspace embedding only at
+  // l = O(rank^2) columns — with that budget it matches Gaussian quality
+  // in a single O(nnz) pass.
+  const DenseMatrix a = MakeLowRankMatrix(100, 90, 8, 0.01, 5);
+  const LowRankResult result = RandomizedRangeFinder(
+      a, 8, /*oversampling=*/8 * 8, LowRankSketchType::kCountSketch, 5);
+  EXPECT_LT(LowRankApproximationError(a, result.basis),
+            0.2 * FrobeniusNorm(a));
+}
+
+}  // namespace
+}  // namespace sketch

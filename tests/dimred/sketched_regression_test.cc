@@ -1,0 +1,131 @@
+#include "dimred/sketched_regression.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/prng.h"
+#include "linalg/least_squares.h"
+
+namespace sketch {
+namespace {
+
+/// Builds a well-conditioned random regression instance with planted
+/// solution + noise; returns (A, b, exact residual).
+struct Instance {
+  DenseMatrix a;
+  std::vector<double> b;
+  double exact_residual;
+  Instance() : a(1, 1) {}
+};
+
+Instance MakeInstance(uint64_t n, uint64_t d, double noise, uint64_t seed) {
+  Instance inst;
+  inst.a = DenseMatrix(n, d);
+  inst.a.FillGaussian(seed);
+  Xoshiro256StarStar rng(seed + 1);
+  std::vector<double> x_true(d);
+  for (auto& v : x_true) v = rng.NextGaussian();
+  inst.b = inst.a.Multiply(x_true);
+  for (auto& v : inst.b) v += noise * rng.NextGaussian();
+  const std::vector<double> x_exact = SolveLeastSquaresQr(inst.a, inst.b);
+  inst.exact_residual = RegressionResidual(inst.a, x_exact, inst.b);
+  return inst;
+}
+
+TEST(SketchedRegressionTest, CountSketchSolutionNearOptimal) {
+  const Instance inst = MakeInstance(4096, 20, 0.1, 1);
+  const SketchedRegressionResult result = SolveSketchedRegression(
+      inst.a, inst.b, /*sketch_rows=*/20 * 20 * 4,
+      RegressionSketchType::kCountSketch, 1);
+  const double res = RegressionResidual(inst.a, result.solution, inst.b);
+  // (1 + eps)-approximation of the optimal residual.
+  EXPECT_LE(res, 1.3 * inst.exact_residual + 1e-12);
+}
+
+TEST(SketchedRegressionTest, GaussianSolutionNearOptimal) {
+  const Instance inst = MakeInstance(2048, 15, 0.1, 2);
+  const SketchedRegressionResult result = SolveSketchedRegression(
+      inst.a, inst.b, /*sketch_rows=*/600, RegressionSketchType::kGaussian,
+      2);
+  const double res = RegressionResidual(inst.a, result.solution, inst.b);
+  EXPECT_LE(res, 1.3 * inst.exact_residual + 1e-12);
+}
+
+TEST(SketchedRegressionTest, NoiselessSystemSolvedExactly) {
+  const Instance inst = MakeInstance(1024, 10, 0.0, 3);
+  const SketchedRegressionResult result = SolveSketchedRegression(
+      inst.a, inst.b, 500, RegressionSketchType::kCountSketch, 3);
+  // With b in the column span, any subspace embedding preserves the exact
+  // solution.
+  EXPECT_LT(RegressionResidual(inst.a, result.solution, inst.b), 1e-8);
+}
+
+TEST(SketchedRegressionTest, SolutionDimensionMatches) {
+  const Instance inst = MakeInstance(512, 8, 0.05, 4);
+  const SketchedRegressionResult result = SolveSketchedRegression(
+      inst.a, inst.b, 256, RegressionSketchType::kCountSketch, 4);
+  EXPECT_EQ(result.solution.size(), 8u);
+}
+
+TEST(SketchedRegressionTest, TimingsAreReported) {
+  const Instance inst = MakeInstance(1024, 10, 0.1, 5);
+  const SketchedRegressionResult result = SolveSketchedRegression(
+      inst.a, inst.b, 400, RegressionSketchType::kCountSketch, 5);
+  EXPECT_GE(result.sketch_seconds, 0.0);
+  EXPECT_GE(result.solve_seconds, 0.0);
+}
+
+TEST(SketchedRegressionTest, OsnapNearOptimalAtLinearSketchSize) {
+  // OSNAP's selling point: m = O~(d) rows suffice, versus O(d^2) for the
+  // s = 1 Count-Sketch embedding. d = 64 with m = 8d = 512 << d^2 = 4096.
+  const Instance inst = MakeInstance(8192, 64, 0.1, 7);
+  const SketchedRegressionResult result = SolveSketchedRegression(
+      inst.a, inst.b, /*sketch_rows=*/512, RegressionSketchType::kOsnap, 7,
+      /*osnap_sparsity=*/8);
+  const double res = RegressionResidual(inst.a, result.solution, inst.b);
+  EXPECT_LE(res, 1.3 * inst.exact_residual + 1e-12);
+}
+
+TEST(SketchedRegressionTest, OsnapNoiselessSystemSolvedExactly) {
+  const Instance inst = MakeInstance(2048, 16, 0.0, 8);
+  const SketchedRegressionResult result = SolveSketchedRegression(
+      inst.a, inst.b, 256, RegressionSketchType::kOsnap, 8, 4);
+  EXPECT_LT(RegressionResidual(inst.a, result.solution, inst.b), 1e-8);
+}
+
+TEST(SketchedRegressionTest, OsnapSparsitySweep) {
+  const Instance inst = MakeInstance(4096, 32, 0.1, 9);
+  for (int s : {2, 4, 8, 16}) {
+    const SketchedRegressionResult result = SolveSketchedRegression(
+        inst.a, inst.b, 512, RegressionSketchType::kOsnap, 9, s);
+    const double res = RegressionResidual(inst.a, result.solution, inst.b);
+    EXPECT_LE(res, 1.4 * inst.exact_residual + 1e-12) << "s=" << s;
+  }
+}
+
+TEST(SketchedRegressionTest, LargerSketchImprovesAccuracy) {
+  const Instance inst = MakeInstance(4096, 12, 0.2, 6);
+  double small_res = 0.0, large_res = 0.0;
+  // Average over seeds: a single Count-Sketch draw has constant failure
+  // probability at small m.
+  for (uint64_t s = 0; s < 5; ++s) {
+    small_res += RegressionResidual(
+        inst.a,
+        SolveSketchedRegression(inst.a, inst.b, 40,
+                                RegressionSketchType::kCountSketch, 10 + s)
+            .solution,
+        inst.b);
+    large_res += RegressionResidual(
+        inst.a,
+        SolveSketchedRegression(inst.a, inst.b, 2048,
+                                RegressionSketchType::kCountSketch, 20 + s)
+            .solution,
+        inst.b);
+  }
+  EXPECT_LE(large_res, small_res);
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,92 @@
+#include "fft/real_fft.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/prng.h"
+
+namespace sketch {
+namespace {
+
+std::vector<double> RandomReal(uint64_t n, uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.NextGaussian();
+  return x;
+}
+
+TEST(RealFftTest, MatchesComplexFftHalfSpectrum) {
+  for (uint64_t n : {2u, 4u, 16u, 128u, 100u, 258u}) {
+    const std::vector<double> x = RandomReal(n, n);
+    const std::vector<Complex> half = RealFft(x);
+    std::vector<Complex> cx(n);
+    for (uint64_t t = 0; t < n; ++t) cx[t] = Complex(x[t], 0.0);
+    const std::vector<Complex> full = Fft(cx);
+    ASSERT_EQ(half.size(), n / 2 + 1);
+    for (uint64_t f = 0; f <= n / 2; ++f) {
+      ASSERT_NEAR(std::abs(half[f] - full[f]), 0.0, 1e-8) << "n=" << n;
+    }
+  }
+}
+
+TEST(RealFftTest, RoundTrip) {
+  for (uint64_t n : {8u, 64u, 130u}) {
+    const std::vector<double> x = RandomReal(n, 100 + n);
+    const std::vector<double> back = InverseRealFft(RealFft(x), n);
+    ASSERT_EQ(back.size(), n);
+    for (uint64_t t = 0; t < n; ++t) {
+      ASSERT_NEAR(back[t], x[t], 1e-9) << "n=" << n;
+    }
+  }
+}
+
+TEST(RealFftTest, DcComponentIsSum) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<Complex> half = RealFft(x);
+  EXPECT_NEAR(half[0].real(), 10.0, 1e-12);
+  EXPECT_NEAR(half[0].imag(), 0.0, 1e-12);
+  // Nyquist bin of a real signal is also real.
+  EXPECT_NEAR(half[2].imag(), 0.0, 1e-12);
+}
+
+TEST(CircularConvolveTest, MatchesNaiveConvolution) {
+  for (uint64_t n : {4u, 7u, 16u, 33u}) {
+    const std::vector<double> a = RandomReal(n, 200 + n);
+    const std::vector<double> b = RandomReal(n, 300 + n);
+    const std::vector<double> fast = CircularConvolve(a, b);
+    std::vector<double> naive(n, 0.0);
+    for (uint64_t i = 0; i < n; ++i) {
+      for (uint64_t j = 0; j < n; ++j) {
+        naive[(i + j) % n] += a[i] * b[j];
+      }
+    }
+    ASSERT_EQ(fast.size(), n);
+    for (uint64_t t = 0; t < n; ++t) {
+      ASSERT_NEAR(fast[t], naive[t], 1e-8 * (1.0 + std::abs(naive[t])))
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(CircularConvolveTest, DeltaIsIdentity) {
+  std::vector<double> delta(16, 0.0);
+  delta[0] = 1.0;
+  const std::vector<double> x = RandomReal(16, 5);
+  const std::vector<double> out = CircularConvolve(x, delta);
+  for (uint64_t t = 0; t < 16; ++t) EXPECT_NEAR(out[t], x[t], 1e-10);
+}
+
+TEST(CircularConvolveTest, ShiftedDeltaRotates) {
+  std::vector<double> delta(8, 0.0);
+  delta[3] = 1.0;
+  const std::vector<double> x = RandomReal(8, 6);
+  const std::vector<double> out = CircularConvolve(x, delta);
+  for (uint64_t t = 0; t < 8; ++t) {
+    EXPECT_NEAR(out[(t + 3) % 8], x[t], 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,117 @@
+#include "hash/kwise_hash.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sketch {
+namespace {
+
+TEST(MulModMersenne61Test, SmallProducts) {
+  EXPECT_EQ(MulModMersenne61(3, 5), 15u);
+  EXPECT_EQ(MulModMersenne61(0, 12345), 0u);
+  EXPECT_EQ(MulModMersenne61(1, kMersennePrime61 - 1), kMersennePrime61 - 1);
+}
+
+TEST(MulModMersenne61Test, WrapsCorrectly) {
+  // (p-1)^2 mod p == 1.
+  EXPECT_EQ(MulModMersenne61(kMersennePrime61 - 1, kMersennePrime61 - 1), 1u);
+  // (p-1) * 2 mod p == p - 2.
+  EXPECT_EQ(MulModMersenne61(kMersennePrime61 - 1, 2), kMersennePrime61 - 2);
+}
+
+TEST(MulModMersenne61Test, MatchesNaive128BitReduction) {
+  uint64_t a = 0x123456789abcdefULL % kMersennePrime61;
+  uint64_t b = 0xfedcba987654321ULL % kMersennePrime61;
+  const __uint128_t expected =
+      (static_cast<__uint128_t>(a) * b) % kMersennePrime61;
+  EXPECT_EQ(MulModMersenne61(a, b), static_cast<uint64_t>(expected));
+}
+
+TEST(KWiseHashTest, DeterministicForSameSeed) {
+  KWiseHash a(2, 42);
+  KWiseHash b(2, 42);
+  for (uint64_t x = 0; x < 1000; ++x) EXPECT_EQ(a.Hash(x), b.Hash(x));
+}
+
+TEST(KWiseHashTest, DifferentSeedsGiveDifferentFunctions) {
+  KWiseHash a(2, 1);
+  KWiseHash b(2, 2);
+  int diff = 0;
+  for (uint64_t x = 0; x < 100; ++x) diff += (a.Hash(x) != b.Hash(x));
+  EXPECT_GE(diff, 95);
+}
+
+TEST(KWiseHashTest, OutputAlwaysBelowPrime) {
+  KWiseHash h(3, 9);
+  for (uint64_t x = 0; x < 10000; ++x) EXPECT_LT(h.Hash(x), kMersennePrime61);
+}
+
+TEST(KWiseHashTest, BucketStaysInRange) {
+  KWiseHash h(2, 5);
+  for (uint64_t m : {1ULL, 2ULL, 7ULL, 256ULL}) {
+    for (uint64_t x = 0; x < 1000; ++x) EXPECT_LT(h.Bucket(x, m), m);
+  }
+}
+
+TEST(KWiseHashTest, BucketsApproximatelyUniform) {
+  KWiseHash h(2, 77);
+  const uint64_t m = 16;
+  std::vector<int> counts(m, 0);
+  const int trials = 160000;
+  for (int x = 0; x < trials; ++x) ++counts[h.Bucket(x, m)];
+  const double expected = trials / static_cast<double>(m);
+  for (uint64_t b = 0; b < m; ++b) {
+    EXPECT_NEAR(counts[b], expected, 5 * std::sqrt(expected)) << "bucket " << b;
+  }
+}
+
+TEST(KWiseHashTest, SignsAreApproximatelyBalanced) {
+  KWiseHash h(2, 31);
+  int sum = 0;
+  const int trials = 100000;
+  for (int x = 0; x < trials; ++x) sum += h.Sign(x);
+  EXPECT_LT(std::abs(sum), 5 * std::sqrt(trials));
+}
+
+TEST(KWiseHashTest, PairwiseCollisionRateNearUniform) {
+  // For a 2-wise independent family, Pr[h(x) = h(y)] over random seeds is
+  // 1/m for fixed x != y. Estimate over 2000 seeds.
+  const uint64_t m = 64;
+  int collisions = 0;
+  const int trials = 20000;
+  for (int s = 0; s < trials; ++s) {
+    KWiseHash h(2, 1000 + s);
+    collisions += (h.Bucket(123, m) == h.Bucket(456, m));
+  }
+  const double expected = trials / static_cast<double>(m);
+  EXPECT_NEAR(collisions, expected, 5 * std::sqrt(expected));
+}
+
+TEST(KWiseHashTest, FourWiseSignProductIsUnbiased) {
+  // For a 4-wise family the product of signs of 4 distinct keys has mean 0
+  // over the choice of hash function.
+  int sum = 0;
+  const int trials = 40000;
+  for (int s = 0; s < trials; ++s) {
+    KWiseHash h(4, 5000 + s);
+    sum += h.Sign(1) * h.Sign(2) * h.Sign(3) * h.Sign(4);
+  }
+  EXPECT_LT(std::abs(sum), 5 * std::sqrt(trials));
+}
+
+TEST(KWiseHashTest, IndependenceParameterIsStored) {
+  EXPECT_EQ(KWiseHash(2, 1).independence(), 2);
+  EXPECT_EQ(KWiseHash(4, 1).independence(), 4);
+  EXPECT_EQ(KWiseHash(7, 1).independence(), 7);
+}
+
+TEST(KWiseHashTest, LargeKeysReducedModPrime) {
+  KWiseHash h(2, 3);
+  // Keys congruent mod p hash identically.
+  EXPECT_EQ(h.Hash(5), h.Hash(5 + kMersennePrime61));
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,59 @@
+#include "hash/multiply_shift.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sketch {
+namespace {
+
+TEST(MultiplyShiftTest, OutputFitsInRequestedBits) {
+  for (int bits : {1, 4, 16, 32, 63}) {
+    MultiplyShiftHash h(bits, 7);
+    const uint64_t bound = (bits == 63) ? (1ULL << 63) : (1ULL << bits);
+    for (uint64_t x = 0; x < 1000; ++x) EXPECT_LT(h.Hash(x), bound);
+  }
+}
+
+TEST(MultiplyShiftTest, Deterministic) {
+  MultiplyShiftHash a(16, 3);
+  MultiplyShiftHash b(16, 3);
+  for (uint64_t x = 0; x < 500; ++x) EXPECT_EQ(a.Hash(x), b.Hash(x));
+}
+
+TEST(MultiplyShiftTest, SeedSensitive) {
+  MultiplyShiftHash a(16, 1);
+  MultiplyShiftHash b(16, 2);
+  int diff = 0;
+  for (uint64_t x = 0; x < 200; ++x) diff += (a.Hash(x) != b.Hash(x));
+  EXPECT_GE(diff, 190);
+}
+
+TEST(MultiplyShiftTest, ApproximatelyUniformOverBuckets) {
+  MultiplyShiftHash h(4, 17);  // 16 buckets
+  std::vector<int> counts(16, 0);
+  const int trials = 160000;
+  for (int x = 0; x < trials; ++x) ++counts[h.Hash(x)];
+  const double expected = trials / 16.0;
+  for (int b = 0; b < 16; ++b) {
+    // Multiply-shift on sequential keys is only universal, not fully
+    // uniform; allow a loose 10% band.
+    EXPECT_NEAR(counts[b], expected, 0.1 * expected) << "bucket " << b;
+  }
+}
+
+TEST(MultiplyShiftTest, CollisionRateOverSeedsIsUniversal) {
+  // Universality: Pr over seeds [h(x)=h(y)] <= 2/m for x != y (dietzfelbinger
+  // multiply-shift has a factor-2 slack). With m = 256 expect <= ~0.8%.
+  int collisions = 0;
+  const int trials = 50000;
+  for (int s = 0; s < trials; ++s) {
+    MultiplyShiftHash h(8, 900 + s);
+    collisions += (h.Hash(1234567) == h.Hash(7654321));
+  }
+  EXPECT_LT(collisions, trials * (2.5 / 256.0));
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,54 @@
+#include "hash/string_key.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sketch/count_min.h"
+
+namespace sketch {
+namespace {
+
+TEST(StringKeyTest, StableAcrossCalls) {
+  EXPECT_EQ(StringKeyId("hello"), StringKeyId("hello"));
+  EXPECT_EQ(StringKeyId(""), StringKeyId(""));
+}
+
+TEST(StringKeyTest, SensitiveToEveryCharacter) {
+  EXPECT_NE(StringKeyId("hello"), StringKeyId("hellp"));
+  EXPECT_NE(StringKeyId("hello"), StringKeyId("Hello"));
+  EXPECT_NE(StringKeyId("ab"), StringKeyId("ba"));
+  EXPECT_NE(StringKeyId("a"), StringKeyId(std::string_view("a\0", 2)));
+}
+
+TEST(StringKeyTest, NoCollisionsOnLargeVocabulary) {
+  std::set<uint64_t> ids;
+  for (int i = 0; i < 100000; ++i) {
+    ids.insert(StringKeyId("key-" + std::to_string(i)));
+  }
+  EXPECT_EQ(ids.size(), 100000u);
+}
+
+TEST(StringKeyTest, IdsSpreadUniformlyOverBuckets) {
+  std::vector<int> buckets(64, 0);
+  const int keys = 64000;
+  for (int i = 0; i < keys; ++i) {
+    ++buckets[StringKeyId("user/" + std::to_string(i)) % 64];
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(buckets[b], 1000, 200) << "bucket " << b;
+  }
+}
+
+TEST(StringKeyTest, DrivesSketchesOverStringData) {
+  CountMinSketch cm(1024, 4, 1);
+  for (int i = 0; i < 500; ++i) cm.Update({StringKeyId("popular-url"), 1});
+  cm.Update({StringKeyId("rare-url"), 1});
+  EXPECT_GE(cm.Estimate(StringKeyId("popular-url")), 500);
+  EXPECT_LE(cm.Estimate(StringKeyId("rare-url")), 501);
+}
+
+}  // namespace
+}  // namespace sketch

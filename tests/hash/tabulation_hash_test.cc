@@ -1,0 +1,59 @@
+#include "hash/tabulation_hash.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sketch {
+namespace {
+
+TEST(TabulationHashTest, Deterministic) {
+  TabulationHash a(5);
+  TabulationHash b(5);
+  for (uint64_t x = 0; x < 1000; ++x) EXPECT_EQ(a.Hash(x), b.Hash(x));
+}
+
+TEST(TabulationHashTest, SeedSensitive) {
+  TabulationHash a(1);
+  TabulationHash b(2);
+  int diff = 0;
+  for (uint64_t x = 0; x < 100; ++x) diff += (a.Hash(x) != b.Hash(x));
+  EXPECT_GE(diff, 99);
+}
+
+TEST(TabulationHashTest, NoCollisionsOnSmallDomain) {
+  TabulationHash h(7);
+  std::set<uint64_t> seen;
+  for (uint64_t x = 0; x < 10000; ++x) seen.insert(h.Hash(x));
+  EXPECT_EQ(seen.size(), 10000u);  // 64-bit outputs: collisions negligible
+}
+
+TEST(TabulationHashTest, BucketsApproximatelyUniform) {
+  TabulationHash h(11);
+  const uint64_t m = 32;
+  std::vector<int> counts(m, 0);
+  const int trials = 320000;
+  for (int x = 0; x < trials; ++x) ++counts[h.Bucket(x, m)];
+  const double expected = trials / static_cast<double>(m);
+  for (uint64_t b = 0; b < m; ++b) {
+    EXPECT_NEAR(counts[b], expected, 5 * std::sqrt(expected));
+  }
+}
+
+TEST(TabulationHashTest, SingleByteDifferenceAvalanches) {
+  TabulationHash h(13);
+  // Keys differing in one byte must differ in their hash (XOR of one table
+  // row is nonzero w.h.p.) and roughly half the output bits should flip.
+  int total_flips = 0;
+  for (uint64_t x = 0; x < 1000; ++x) {
+    const uint64_t y = x ^ 0xff00ULL;  // flip byte 1
+    EXPECT_NE(h.Hash(x), h.Hash(y));
+    total_flips += __builtin_popcountll(h.Hash(x) ^ h.Hash(y));
+  }
+  EXPECT_NEAR(total_flips / 1000.0, 32.0, 3.0);
+}
+
+}  // namespace
+}  // namespace sketch

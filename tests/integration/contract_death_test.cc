@@ -1,0 +1,103 @@
+// Contract tests: the library's no-exceptions policy means precondition
+// violations abort with a CHECK message. These death tests pin down the
+// contracts a downstream user relies on (and that refactors must not
+// silently weaken).
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "cs/hashed_recovery.h"
+#include "fft/fft.h"
+#include "linalg/csr_matrix.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/least_squares.h"
+#include "sfft/crt_sfft.h"
+#include "sfft/sfft.h"
+#include "sketch/count_min.h"
+#include "sketch/count_sketch.h"
+#include "sketch/iblt.h"
+
+namespace sketch {
+namespace {
+
+TEST(ContractDeathTest, CountMinRejectsZeroGeometry) {
+  EXPECT_DEATH(CountMinSketch(0, 1, 1), "width");
+  EXPECT_DEATH(CountMinSketch(1, 0, 1), "depth");
+}
+
+TEST(ContractDeathTest, CountMinRejectsMergeAcrossSeeds) {
+  CountMinSketch a(16, 2, 1);
+  CountMinSketch b(16, 2, 2);  // different seed: different hash functions
+  EXPECT_DEATH(a.Merge(b), "identical geometry and seed");
+}
+
+TEST(ContractDeathTest, CountMinRejectsMergeAcrossGeometry) {
+  CountMinSketch a(16, 2, 1);
+  CountMinSketch wide(32, 2, 1);
+  EXPECT_DEATH(a.Merge(wide), "identical geometry and seed");
+}
+
+TEST(ContractDeathTest, ConservativeUpdateRejectsNonPositiveDelta) {
+  CountMinSketch cm(16, 2, 1);
+  EXPECT_DEATH(cm.UpdateConservative(1, 0), "delta");
+  EXPECT_DEATH(cm.UpdateConservative(1, -5), "delta");
+}
+
+TEST(ContractDeathTest, CountSketchInnerProductRequiresSameSeed) {
+  CountSketch a(16, 3, 1);
+  CountSketch b(16, 3, 2);
+  EXPECT_DEATH(a.EstimateInnerProduct(b), "identical geometry and seed");
+}
+
+TEST(ContractDeathTest, IbltSubtractRequiresSameFamily) {
+  Iblt a(60, 3, 1);
+  Iblt b(60, 3, 2);
+  EXPECT_DEATH(a.Subtract(b), "identical geometry and seed");
+}
+
+TEST(ContractDeathTest, FftRejectsEmptyInput) {
+  EXPECT_DEATH(Fft(std::vector<Complex>{}), "");
+}
+
+TEST(ContractDeathTest, ExactSfftRejectsNonPowerOfTwo) {
+  const std::vector<Complex> x(100, Complex(0, 0));
+  SfftOptions options;
+  EXPECT_DEATH(ExactSparseFft(x, options), "IsPowerOfTwo");
+}
+
+TEST(ContractDeathTest, CrtSfftRejectsPrimePowerLengths) {
+  const std::vector<Complex> x(64, Complex(0, 0));
+  CrtSfftOptions options;
+  EXPECT_DEATH(CrtSparseFft(x, options), "co-prime");
+}
+
+TEST(ContractDeathTest, LeastSquaresRejectsUnderdeterminedSystems) {
+  DenseMatrix a(3, 5);
+  EXPECT_DEATH(SolveLeastSquaresQr(a, {1.0, 2.0, 3.0}), "");
+}
+
+TEST(ContractDeathTest, LeastSquaresAbortsOnRankDeficiency) {
+  DenseMatrix a(4, 2);  // second column all zero: rank 1
+  a.At(0, 0) = 1.0;
+  a.At(1, 0) = 2.0;
+  EXPECT_DEATH(SolveLeastSquaresQr(a, {1.0, 1.0, 1.0, 1.0}),
+               "rank deficient");
+}
+
+TEST(ContractDeathTest, DenseMatrixMultiplyRejectsWrongDimension) {
+  DenseMatrix a(2, 3);
+  EXPECT_DEATH(a.Multiply(std::vector<double>{1.0, 2.0}), "");
+}
+
+TEST(ContractDeathTest, CsrTripletsOutOfRangeRejected) {
+  EXPECT_DEATH(CsrMatrix::FromTriplets(2, 2, {{2, 0, 1.0}}), "");
+}
+
+TEST(ContractDeathTest, HashedRecoveryMeasureChecksDimension) {
+  const HashedRecovery hr(HashedRecovery::Variant::kCountSketch, 8, 2, 100,
+                          1);
+  EXPECT_DEATH(hr.Measure(std::vector<double>(50, 0.0)), "");
+}
+
+}  // namespace
+}  // namespace sketch

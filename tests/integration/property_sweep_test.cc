@@ -1,0 +1,146 @@
+// Parameterized property sweeps across configuration grids — the
+// "does the guarantee hold at every operating point" complement to the
+// per-seed fuzz suite.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/prng.h"
+#include "sfft/sfft.h"
+#include "sketch/bloom_filter.h"
+#include "sketch/iblt.h"
+#include "sketch/stream_summary.h"
+#include "stream/frequency_oracle.h"
+#include "stream/generators.h"
+
+namespace sketch {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bloom filter: measured FPR tracks theory across (target FPR, load).
+
+class BloomSweepTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(BloomSweepTest, MeasuredFprWithinTheoryBand) {
+  const auto [target_fpr, load_factor] = GetParam();
+  const uint64_t design_keys = 20000;
+  const auto inserted =
+      static_cast<uint64_t>(load_factor * design_keys);
+  BloomFilter bf = BloomFilter::FromFalsePositiveRate(design_keys,
+                                                      target_fpr, 99);
+  // Pre-mixed keys: with 2-wise polynomial hashes, sequential inserts and
+  // sequential probes are affine-correlated (probe positions are a
+  // constant shift of insert positions), which distorts the FPR far from
+  // the random-key model the formula describes.
+  for (uint64_t k = 0; k < inserted; ++k) bf.Insert(SplitMix64Once(k));
+  int fp = 0;
+  const int probes = 40000;
+  for (int i = 0; i < probes; ++i) {
+    fp += bf.MayContain(SplitMix64Once(design_keys + 1 + i) ^ 0xabcdULL);
+  }
+  const double measured = static_cast<double>(fp) / probes;
+  const double theory = bf.TheoreticalFpr(inserted);
+  // Within ~2x + sampling slack of the analytic rate at this load (the
+  // classic formula slightly underestimates at overload fills).
+  EXPECT_LE(measured, 2.5 * theory + 3.0 / probes)
+      << "target " << target_fpr << " load " << load_factor;
+  // No false negatives, ever.
+  for (uint64_t k = 0; k < inserted; k += 97) {
+    ASSERT_TRUE(bf.MayContain(SplitMix64Once(k)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BloomSweepTest,
+    ::testing::Combine(::testing::Values(0.1, 0.01, 0.001),
+                       ::testing::Values(0.5, 1.0, 1.5)));
+
+// ---------------------------------------------------------------------------
+// Exact sparse FFT: recovery across the (n, k) grid.
+
+class SfftSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(SfftSweepTest, ExactRecoveryAcrossGrid) {
+  const auto [log_n, k] = GetParam();
+  const uint64_t n = 1ULL << log_n;
+  if (k * 8 > n) GTEST_SKIP() << "not sparse at this size";
+  const SparseSpectrumSignal signal =
+      MakeSparseSpectrumSignal(n, k, 1000 + log_n * 31 + k);
+  SfftOptions options;
+  options.sparsity = k;
+  options.max_rounds = 20;
+  const SfftResult result = ExactSparseFft(signal.time_domain, options);
+  EXPECT_TRUE(result.converged) << "n=" << n << " k=" << k;
+  EXPECT_LT(SpectrumL2Error(result.coefficients, signal),
+            1e-6 * std::sqrt(static_cast<double>(k)))
+      << "n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SfftSweepTest,
+                         ::testing::Combine(::testing::Values(10, 13, 16),
+                                            ::testing::Values(1, 7, 32)));
+
+// ---------------------------------------------------------------------------
+// IBLT: listing succeeds above threshold across hash counts and sizes.
+
+class IbltSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(IbltSweepTest, ListsCompletelyAtSafeLoad) {
+  const auto [hashes, pairs] = GetParam();
+  // 1.6 cells/pair is above both the 3- and 4-hash thresholds.
+  Iblt iblt(static_cast<uint64_t>(1.6 * pairs) + 3 * hashes, hashes,
+            pairs + hashes);
+  // Keys are pre-mixed: IBLT peeling thresholds assume random-looking
+  // keys, and the per-subtable hashes are only 2-wise independent —
+  // structured arithmetic progressions can correlate across subtables.
+  for (uint64_t p = 0; p < pairs; ++p) {
+    iblt.Insert(SplitMix64Once(p) | 1, p);
+  }
+  const auto [entries, complete] = iblt.ListEntries();
+  EXPECT_TRUE(complete) << "hashes=" << hashes << " pairs=" << pairs;
+  EXPECT_EQ(entries.size(), pairs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, IbltSweepTest,
+                         ::testing::Combine(::testing::Values(3, 4, 5),
+                                            ::testing::Values(50, 500,
+                                                              5000)));
+
+// ---------------------------------------------------------------------------
+// StreamSummary: heavy-hitter recall 1 across skew and phi.
+
+class SummarySweepTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SummarySweepTest, HeavyHitterRecallIsOne) {
+  const auto [alpha, phi] = GetParam();
+  StreamSummary::Options options;
+  options.log_universe = 14;
+  options.seed = 41;
+  StreamSummary summary(options);
+  const auto updates =
+      MakeZipfStream(1 << 14, alpha, 40000,
+                     static_cast<uint64_t>(alpha * 100 + phi * 1e5));
+  FrequencyOracle oracle;
+  summary.UpdateAll(updates);
+  oracle.UpdateAll(updates);
+  const auto truth =
+      oracle.ItemsAbove(static_cast<int64_t>(phi * 40000));
+  const PrecisionRecall pr =
+      ComputePrecisionRecall(summary.HeavyHitters(phi), truth);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0) << "alpha=" << alpha << " phi=" << phi;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SummarySweepTest,
+    ::testing::Combine(::testing::Values(0.9, 1.2, 1.6),
+                       ::testing::Values(0.001, 0.005, 0.02)));
+
+}  // namespace
+}  // namespace sketch

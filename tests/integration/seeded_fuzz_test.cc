@@ -1,0 +1,173 @@
+// Seeded randomized property sweeps ("fuzz-lite"): every invariant below
+// must hold for *every* seed, not just the hand-picked ones in the unit
+// suites. Each TEST_P instance runs one seed so failures name the exact
+// reproducing seed.
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/prng.h"
+#include "cs/hashed_recovery.h"
+#include "cs/signals.h"
+#include "fft/fft.h"
+#include "sketch/count_min.h"
+#include "sketch/count_sketch.h"
+#include "sketch/dyadic_count_min.h"
+#include "sketch/iblt.h"
+#include "sketch/misra_gries.h"
+#include "sketch/space_saving.h"
+#include "stream/frequency_oracle.h"
+#include "stream/generators.h"
+
+namespace sketch {
+namespace {
+
+class SeededFuzzTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  uint64_t seed() const { return GetParam(); }
+};
+
+TEST_P(SeededFuzzTest, CountMinNeverUnderestimatesOnRandomTurnstile) {
+  Xoshiro256StarStar rng(seed());
+  const auto updates = MakeTurnstileStream(
+      1 + rng.NextBounded(5000), 0.5 + rng.NextDouble(),
+      1000 + rng.NextBounded(20000), rng.NextDouble(), seed());
+  CountMinSketch cm(16 + rng.NextBounded(512), 1 + rng.NextBounded(6),
+                    seed());
+  FrequencyOracle oracle;
+  cm.UpdateAll(updates);
+  oracle.UpdateAll(updates);
+  for (const auto& [item, count] : oracle.counts()) {
+    ASSERT_GE(cm.Estimate(item), count)
+        << "seed " << seed() << " item " << item;
+  }
+}
+
+TEST_P(SeededFuzzTest, CountSketchDeletionsAlwaysCancel) {
+  Xoshiro256StarStar rng(seed());
+  const auto updates =
+      MakeZipfStream(1 + rng.NextBounded(2000), rng.NextDouble() * 1.5,
+                     500 + rng.NextBounded(5000), seed());
+  CountSketch cs(16 + rng.NextBounded(256), 1 + rng.NextBounded(5), seed());
+  cs.UpdateAll(updates);
+  for (const StreamUpdate& u : updates) cs.Update({u.item, -u.delta});
+  for (uint64_t row = 0; row < cs.depth(); ++row) {
+    for (uint64_t b = 0; b < cs.width(); ++b) {
+      ASSERT_EQ(cs.CounterAt(row, b), 0) << "seed " << seed();
+    }
+  }
+}
+
+TEST_P(SeededFuzzTest, MisraGriesAndSpaceSavingBoundsHold) {
+  Xoshiro256StarStar rng(seed());
+  const uint64_t capacity = 2 + rng.NextBounded(100);
+  const uint64_t length = 1000 + rng.NextBounded(20000);
+  const auto updates =
+      MakeZipfStream(1 + rng.NextBounded(10000), rng.NextDouble() * 2,
+                     length, seed());
+  MisraGries mg(capacity);
+  SpaceSaving ss(capacity);
+  FrequencyOracle oracle;
+  for (const StreamUpdate& u : updates) {
+    mg.Update(u.item);
+    ss.Update(u.item);
+    oracle.Update(u);
+  }
+  const auto bound = static_cast<int64_t>(length / (capacity + 1));
+  for (const auto& [item, count] : oracle.counts()) {
+    // MG: count - N/(c+1) <= est <= count.
+    ASSERT_LE(mg.Estimate(item), count);
+    ASSERT_GE(mg.Estimate(item), count - bound);
+    // SS: tracked items overestimate by at most N/c.
+    const int64_t ss_est = ss.Estimate(item);
+    if (ss_est > 0) {
+      ASSERT_GE(ss_est, count);
+      ASSERT_LE(ss_est - count, static_cast<int64_t>(length / capacity));
+    }
+  }
+}
+
+TEST_P(SeededFuzzTest, IbltRandomOpSequenceStaysConsistent) {
+  Xoshiro256StarStar rng(seed());
+  Iblt iblt(300, 3, seed());
+  std::map<uint64_t, uint64_t> reference;
+  // Random interleaving of inserts and deletes, keeping <= 150 live pairs.
+  for (int op = 0; op < 2000; ++op) {
+    if (!reference.empty() && (rng.Next() & 1)) {
+      auto it = reference.begin();
+      std::advance(it, rng.NextBounded(reference.size()));
+      iblt.Delete(it->first, it->second);
+      reference.erase(it);
+    } else if (reference.size() < 150) {
+      const uint64_t key = rng.Next() | 1;
+      const uint64_t value = rng.Next();
+      if (reference.emplace(key, value).second) iblt.Insert(key, value);
+    }
+  }
+  const auto [entries, complete] = iblt.ListEntries();
+  ASSERT_TRUE(complete) << "seed " << seed();
+  ASSERT_EQ(entries.size(), reference.size());
+  for (const Iblt::Entry& e : entries) {
+    ASSERT_EQ(e.sign, +1);
+    auto it = reference.find(e.key);
+    ASSERT_NE(it, reference.end()) << "seed " << seed();
+    ASSERT_EQ(it->second, e.value);
+  }
+}
+
+TEST_P(SeededFuzzTest, DyadicRangeSumsDominateTruth) {
+  Xoshiro256StarStar rng(seed());
+  const int log_n = 10;
+  const auto updates = MakeZipfStream(1ULL << log_n, rng.NextDouble() * 1.5,
+                                      2000 + rng.NextBounded(10000), seed(),
+                                      false);
+  DyadicCountMin dcm(log_n, 512, 4, seed());
+  FrequencyOracle oracle;
+  dcm.UpdateAll(updates);
+  oracle.UpdateAll(updates);
+  for (int probe = 0; probe < 20; ++probe) {
+    uint64_t lo = rng.NextBounded(1ULL << log_n);
+    uint64_t hi = rng.NextBounded(1ULL << log_n);
+    if (lo > hi) std::swap(lo, hi);
+    int64_t truth = 0;
+    for (uint64_t i = lo; i <= hi; ++i) truth += oracle.Count(i);
+    ASSERT_GE(dcm.RangeSum(lo, hi), truth)
+        << "seed " << seed() << " range [" << lo << "," << hi << "]";
+  }
+}
+
+TEST_P(SeededFuzzTest, FftRoundTripOnRandomSizes) {
+  Xoshiro256StarStar rng(seed());
+  const uint64_t n = 1 + rng.NextBounded(600);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.NextGaussian(), rng.NextGaussian());
+  const std::vector<Complex> back = InverseFft(Fft(x));
+  ASSERT_LT(L2Distance(x, back), 1e-8 * (1.0 + L2Norm(x)))
+      << "seed " << seed() << " n " << n;
+}
+
+TEST_P(SeededFuzzTest, HashedRecoveryMeasureMatchesMatrixAlways) {
+  Xoshiro256StarStar rng(seed());
+  const uint64_t n = 64 + rng.NextBounded(1000);
+  const HashedRecovery hr(
+      rng.Next() & 1 ? HashedRecovery::Variant::kCountSketch
+                     : HashedRecovery::Variant::kCountMin,
+      4 + rng.NextBounded(60), 1 + rng.NextBounded(6), n, seed());
+  const SparseVector x = MakeSparseSignal(
+      n, rng.NextBounded(n / 2), SignalValueDistribution::kGaussian, seed());
+  const std::vector<double> direct = hr.Measure(x);
+  const std::vector<double> via_matrix = hr.ToMatrix().Multiply(x.ToDense());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    ASSERT_NEAR(direct[i], via_matrix[i], 1e-9) << "seed " << seed();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededFuzzTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,110 @@
+// Integration tests for the survey's central identity: the hashing process
+// IS a linear map c = Ax. The streaming sketches (src/sketch) and the
+// explicit measurement matrices (src/cs) are built from the same hash
+// families with the same seeds, so streaming a frequency vector through a
+// sketch must produce exactly A x.
+
+#include <gtest/gtest.h>
+
+#include "cs/ensembles.h"
+#include "cs/hashed_recovery.h"
+#include "sketch/count_min.h"
+#include "sketch/count_sketch.h"
+#include "stream/frequency_oracle.h"
+#include "stream/generators.h"
+
+namespace sketch {
+namespace {
+
+TEST(SketchLinearityTest, CountSketchCountersEqualMatrixProduct) {
+  const uint64_t width = 64, depth = 3, universe = 4096, seed = 42;
+  const auto updates = MakeZipfStream(universe, 1.1, 20000, 1);
+
+  // Stream through the sketch.
+  CountSketch cs(width, depth, seed);
+  cs.UpdateAll(updates);
+
+  // Build the frequency vector and multiply by the explicit matrix with
+  // the same seed.
+  FrequencyOracle oracle;
+  oracle.UpdateAll(updates);
+  std::vector<double> x(universe, 0.0);
+  for (const auto& [item, count] : oracle.counts()) {
+    x[item] = static_cast<double>(count);
+  }
+  const CsrMatrix a = MakeCountSketchMatrix(width, depth, universe, seed);
+  const std::vector<double> c = a.Multiply(x);
+
+  for (uint64_t row = 0; row < depth; ++row) {
+    for (uint64_t b = 0; b < width; ++b) {
+      EXPECT_DOUBLE_EQ(static_cast<double>(cs.CounterAt(row, b)),
+                       c[row * width + b])
+          << "row " << row << " bucket " << b;
+    }
+  }
+}
+
+TEST(SketchLinearityTest, CountMinCountersEqualMatrixProduct) {
+  const uint64_t width = 32, depth = 4, universe = 1024, seed = 7;
+  const auto updates = MakeTurnstileStream(universe, 1.0, 5000, 0.3, 2);
+
+  CountMinSketch cm(width, depth, seed);
+  cm.UpdateAll(updates);
+
+  FrequencyOracle oracle;
+  oracle.UpdateAll(updates);
+  std::vector<double> x(universe, 0.0);
+  for (const auto& [item, count] : oracle.counts()) {
+    x[item] = static_cast<double>(count);
+  }
+  const CsrMatrix a = MakeCountMinMatrix(width, depth, universe, seed);
+  const std::vector<double> c = a.Multiply(x);
+
+  for (uint64_t row = 0; row < depth; ++row) {
+    for (uint64_t b = 0; b < width; ++b) {
+      EXPECT_DOUBLE_EQ(static_cast<double>(cm.CounterAt(row, b)),
+                       c[row * width + b]);
+    }
+  }
+}
+
+TEST(SketchLinearityTest, HashedRecoveryMatrixMatchesCountSketchMatrix) {
+  // HashedRecovery and MakeCountSketchMatrix use the same seed derivation;
+  // their matrices must be identical entry for entry.
+  const uint64_t width = 16, depth = 3, n = 256, seed = 9;
+  const HashedRecovery hr(HashedRecovery::Variant::kCountSketch, width,
+                          depth, n, seed);
+  const CsrMatrix a = hr.ToMatrix();
+  const CsrMatrix b = MakeCountSketchMatrix(width, depth, n, seed);
+  const std::vector<double> probe(n, 1.0);
+  std::vector<double> pa = a.Multiply(probe);
+  std::vector<double> pb = b.Multiply(probe);
+  for (size_t i = 0; i < pa.size(); ++i) EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+}
+
+TEST(SketchLinearityTest, SketchOfDifferenceIsDifferenceOfSketches) {
+  // Linearity in the update stream: sketch(S1 - S2) == sketch(S1) -
+  // sketch(S2), the property that powers distributed merging and set
+  // reconciliation.
+  const auto s1 = MakeZipfStream(512, 1.0, 3000, 3);
+  const auto s2 = MakeZipfStream(512, 1.0, 3000, 4);
+  CountSketch a(64, 3, 5);
+  a.UpdateAll(s1);
+  for (const StreamUpdate& u : s2) a.Update({u.item, -u.delta});
+
+  CountSketch b(64, 3, 5);
+  for (const StreamUpdate& u : s1) b.Update(u);
+  CountSketch c(64, 3, 5);
+  for (const StreamUpdate& u : s2) c.Update(u);
+  // a == b - c counter-for-counter (linearity holds on the raw sketch
+  // state; the median estimator is not linear).
+  for (uint64_t row = 0; row < 3; ++row) {
+    for (uint64_t bucket = 0; bucket < 64; ++bucket) {
+      EXPECT_EQ(a.CounterAt(row, bucket),
+                b.CounterAt(row, bucket) - c.CounterAt(row, bucket));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sketch

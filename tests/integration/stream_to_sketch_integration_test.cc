@@ -1,0 +1,138 @@
+// Integration: full streaming pipelines — generators -> sketches ->
+// query/recovery — including the heavy-hitter comparison of E2 and the
+// set-reconciliation use of IBLTs.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "sketch/count_sketch.h"
+#include "sketch/dyadic_count_min.h"
+#include "sketch/iblt.h"
+#include "sketch/misra_gries.h"
+#include "sketch/space_saving.h"
+#include "stream/frequency_oracle.h"
+#include "stream/generators.h"
+
+namespace sketch {
+namespace {
+
+TEST(StreamToSketchTest, AllHeavyHitterMethodsAgreeOnSkewedStream) {
+  const int log_n = 14;
+  const uint64_t universe = 1ULL << log_n;
+  const uint64_t stream_len = 50000;
+  const auto updates = MakeZipfStream(universe, 1.4, stream_len, 1);
+  FrequencyOracle oracle;
+  oracle.UpdateAll(updates);
+  const int64_t threshold = stream_len / 100;  // phi = 1%
+  const auto truth = oracle.ItemsAbove(threshold);
+  ASSERT_FALSE(truth.empty());
+
+  // Dyadic Count-Min.
+  DyadicCountMin dcm(log_n, 2048, 4, 2);
+  dcm.UpdateAll(updates);
+  const auto dcm_found = dcm.HeavyHitters(threshold);
+  EXPECT_DOUBLE_EQ(ComputePrecisionRecall(dcm_found, truth).recall, 1.0);
+
+  // Misra-Gries with capacity >> 1/phi.
+  MisraGries mg(400);
+  for (const StreamUpdate& u : updates) mg.Update(u.item);
+  std::vector<uint64_t> mg_found;
+  for (uint64_t item : truth) {
+    if (mg.Estimate(item) > 0) mg_found.push_back(item);
+  }
+  EXPECT_EQ(mg_found.size(), truth.size());
+
+  // SpaceSaving with capacity >> 1/phi.
+  SpaceSaving ss(400);
+  for (const StreamUpdate& u : updates) ss.Update(u.item);
+  const PrecisionRecall ss_pr =
+      ComputePrecisionRecall(ss.ItemsAbove(threshold), truth);
+  EXPECT_DOUBLE_EQ(ss_pr.recall, 1.0);
+}
+
+TEST(StreamToSketchTest, CountSketchTopKOnCandidateSetMatchesOracle) {
+  const uint64_t universe = 1 << 12;
+  const auto updates = MakeZipfStream(universe, 1.3, 40000, 3);
+  FrequencyOracle oracle;
+  oracle.UpdateAll(updates);
+  CountSketch cs(4096, 5, 3);
+  cs.UpdateAll(updates);
+  // Score every universe element by sketch estimate; top-10 should match
+  // the oracle's top-10 almost exactly.
+  std::vector<std::pair<int64_t, uint64_t>> scored;
+  for (uint64_t i = 0; i < universe; ++i) {
+    scored.emplace_back(cs.Estimate(i), i);
+  }
+  std::sort(scored.rbegin(), scored.rend());
+  std::vector<uint64_t> sketch_top;
+  for (int i = 0; i < 10; ++i) sketch_top.push_back(scored[i].second);
+  const auto oracle_top = oracle.TopK(10);
+  const PrecisionRecall pr = ComputePrecisionRecall(sketch_top, oracle_top);
+  EXPECT_GE(pr.recall, 0.9);
+}
+
+TEST(StreamToSketchTest, IbltSetReconciliationBetweenTwoStreams) {
+  // Two hosts hold almost-identical key sets; IBLT subtraction recovers
+  // the (small) difference regardless of the (large) common size.
+  const uint64_t common = 5000, unique_each = 20;
+  Iblt host_a(256, 3, 4);
+  Iblt host_b(256, 3, 4);
+  for (uint64_t k = 0; k < common; ++k) {
+    host_a.Insert(k + 1, k);
+    host_b.Insert(k + 1, k);
+  }
+  std::set<uint64_t> only_a, only_b;
+  for (uint64_t k = 0; k < unique_each; ++k) {
+    only_a.insert(100000 + k);
+    only_b.insert(200000 + k);
+    host_a.Insert(100000 + k, k);
+    host_b.Insert(200000 + k, k);
+  }
+  host_a.Subtract(host_b);
+  const auto [entries, complete] = host_a.ListEntries();
+  EXPECT_TRUE(complete);
+  ASSERT_EQ(entries.size(), 2 * unique_each);
+  for (const Iblt::Entry& e : entries) {
+    if (e.sign > 0) {
+      EXPECT_TRUE(only_a.count(e.key));
+    } else {
+      EXPECT_TRUE(only_b.count(e.key));
+    }
+  }
+}
+
+TEST(StreamToSketchTest, TurnstileDeletionsKeepDyadicQuantilesConsistent) {
+  // Insert a block, delete half; quantiles should reflect the survivors.
+  const int log_n = 10;
+  DyadicCountMin dcm(log_n, 512, 4, 5);
+  // Insert items 0..511 ten times each, then delete items 256..511.
+  for (int rep = 0; rep < 10; ++rep) {
+    for (uint64_t i = 0; i < 512; ++i) dcm.Update({i, 1});
+  }
+  for (int rep = 0; rep < 10; ++rep) {
+    for (uint64_t i = 256; i < 512; ++i) dcm.Update({i, -1});
+  }
+  EXPECT_EQ(dcm.TotalCount(), 10 * 256);
+  // All mass now lives on [0, 256): the median should be ~128.
+  const uint64_t median = dcm.Quantile(0.5);
+  EXPECT_NEAR(static_cast<double>(median), 128.0, 16.0);
+}
+
+TEST(StreamToSketchTest, AdversarialSingleItemStream) {
+  // One key owns the whole stream: every structure must nail it.
+  const auto updates = MakeSingleItemStream(777, 10000);
+  CountSketch cs(64, 5, 6);
+  cs.UpdateAll(updates);
+  EXPECT_EQ(cs.Estimate(777), 10000);
+  MisraGries mg(4);
+  for (const StreamUpdate& u : updates) mg.Update(u.item);
+  EXPECT_EQ(mg.Estimate(777), 10000);
+  SpaceSaving ss(4);
+  for (const StreamUpdate& u : updates) ss.Update(u.item);
+  EXPECT_EQ(ss.Estimate(777), 10000);
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,109 @@
+#include "linalg/csr_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace sketch {
+namespace {
+
+CsrMatrix MakeExample() {
+  // [1 0 2]
+  // [0 3 0]
+  return CsrMatrix::FromTriplets(2, 3,
+                                 {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}});
+}
+
+TEST(CsrMatrixTest, DimensionsAndNnz) {
+  const CsrMatrix m = MakeExample();
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.nnz(), 3u);
+}
+
+TEST(CsrMatrixTest, MultiplyDense) {
+  const CsrMatrix m = MakeExample();
+  const std::vector<double> y = m.Multiply(std::vector<double>{1.0, 2.0, 3.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(CsrMatrixTest, MultiplyTranspose) {
+  const CsrMatrix m = MakeExample();
+  const std::vector<double> y = m.MultiplyTranspose({1.0, 1.0});
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+  EXPECT_DOUBLE_EQ(y[2], 2.0);
+}
+
+TEST(CsrMatrixTest, MultiplySparseMatchesDense) {
+  const CsrMatrix m = MakeExample();
+  const SparseVector x =
+      SparseVector::FromEntries(3, {{0, 1.0}, {2, 3.0}});
+  const std::vector<double> y_sparse = m.Multiply(x);
+  const std::vector<double> y_dense = m.Multiply(x.ToDense());
+  ASSERT_EQ(y_sparse.size(), y_dense.size());
+  for (size_t i = 0; i < y_sparse.size(); ++i) {
+    EXPECT_DOUBLE_EQ(y_sparse[i], y_dense[i]);
+  }
+}
+
+TEST(CsrMatrixTest, DuplicateTripletsAreSummed) {
+  const CsrMatrix m =
+      CsrMatrix::FromTriplets(1, 1, {{0, 0, 1.5}, {0, 0, 2.5}});
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(m.Multiply(std::vector<double>{1.0})[0], 4.0);
+}
+
+TEST(CsrMatrixTest, RowViewExposesEntries) {
+  const CsrMatrix m = MakeExample();
+  const CsrMatrix::RowView row0 = m.Row(0);
+  ASSERT_EQ(row0.size, 2u);
+  EXPECT_EQ(row0.cols[0], 0u);
+  EXPECT_DOUBLE_EQ(row0.values[0], 1.0);
+  EXPECT_EQ(row0.cols[1], 2u);
+  EXPECT_DOUBLE_EQ(row0.values[1], 2.0);
+  const CsrMatrix::RowView row1 = m.Row(1);
+  ASSERT_EQ(row1.size, 1u);
+  EXPECT_EQ(row1.cols[0], 1u);
+}
+
+TEST(CsrMatrixTest, EmptyRowsHandled) {
+  const CsrMatrix m = CsrMatrix::FromTriplets(3, 2, {{2, 1, 5.0}});
+  EXPECT_EQ(m.Row(0).size, 0u);
+  EXPECT_EQ(m.Row(1).size, 0u);
+  EXPECT_EQ(m.Row(2).size, 1u);
+  const std::vector<double> y = m.Multiply(std::vector<double>{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[2], 5.0);
+}
+
+TEST(CsrMatrixTest, TransposeRoundTrip) {
+  const CsrMatrix m = MakeExample();
+  const CsrMatrix mt = m.Transpose();
+  EXPECT_EQ(mt.rows(), 3u);
+  EXPECT_EQ(mt.cols(), 2u);
+  EXPECT_EQ(mt.nnz(), 3u);
+  const CsrMatrix mtt = mt.Transpose();
+  // A^TT == A: compare via products with a probe vector.
+  const std::vector<double> probe = {1.0, -2.0, 0.5};
+  const std::vector<double> a = m.Multiply(probe);
+  const std::vector<double> b = mtt.Multiply(probe);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(CsrMatrixTest, TransposeIsAdjoint) {
+  const CsrMatrix m = MakeExample();
+  const std::vector<double> x = {1.0, 2.0, -1.0};
+  const std::vector<double> y = {0.5, -3.0};
+  double lhs = 0.0;
+  const std::vector<double> ax = m.Multiply(x);
+  for (size_t i = 0; i < y.size(); ++i) lhs += ax[i] * y[i];
+  double rhs = 0.0;
+  const std::vector<double> aty = m.MultiplyTranspose(y);
+  for (size_t i = 0; i < x.size(); ++i) rhs += x[i] * aty[i];
+  EXPECT_NEAR(lhs, rhs, 1e-12);
+}
+
+}  // namespace
+}  // namespace sketch

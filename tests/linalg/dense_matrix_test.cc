@@ -1,0 +1,95 @@
+#include "linalg/dense_matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sketch {
+namespace {
+
+TEST(DenseMatrixTest, ZeroInitialized) {
+  DenseMatrix m(3, 4);
+  for (uint64_t r = 0; r < 3; ++r) {
+    for (uint64_t c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(m.At(r, c), 0.0);
+  }
+}
+
+TEST(DenseMatrixTest, MultiplyKnownValues) {
+  DenseMatrix m(2, 3);
+  // [1 2 3; 4 5 6] * [1, 0, -1] = [-2, -2]
+  m.At(0, 0) = 1;
+  m.At(0, 1) = 2;
+  m.At(0, 2) = 3;
+  m.At(1, 0) = 4;
+  m.At(1, 1) = 5;
+  m.At(1, 2) = 6;
+  const std::vector<double> y = m.Multiply({1.0, 0.0, -1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(DenseMatrixTest, MultiplyTransposeKnownValues) {
+  DenseMatrix m(2, 3);
+  m.At(0, 0) = 1;
+  m.At(0, 1) = 2;
+  m.At(0, 2) = 3;
+  m.At(1, 0) = 4;
+  m.At(1, 1) = 5;
+  m.At(1, 2) = 6;
+  const std::vector<double> y = m.MultiplyTranspose({1.0, 1.0});
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  EXPECT_DOUBLE_EQ(y[2], 9.0);
+}
+
+TEST(DenseMatrixTest, TransposeIsAdjoint) {
+  // <Ax, y> == <x, A^T y> for random data.
+  DenseMatrix m(5, 7);
+  m.FillGaussian(3);
+  std::vector<double> x(7), y(5);
+  for (int i = 0; i < 7; ++i) x[i] = 0.1 * (i + 1);
+  for (int i = 0; i < 5; ++i) y[i] = 0.3 * (i - 2);
+  EXPECT_NEAR(Dot(m.Multiply(x), y), Dot(x, m.MultiplyTranspose(y)), 1e-12);
+}
+
+TEST(DenseMatrixTest, GaussianFillHasExpectedScale) {
+  const uint64_t rows = 200, cols = 100;
+  DenseMatrix m(rows, cols);
+  m.FillGaussian(11);
+  // Column norms should concentrate around 1 (variance 1/rows per entry).
+  double total = 0.0;
+  for (uint64_t c = 0; c < cols; ++c) {
+    double norm2 = 0.0;
+    for (uint64_t r = 0; r < rows; ++r) norm2 += m.At(r, c) * m.At(r, c);
+    total += norm2;
+  }
+  EXPECT_NEAR(total / cols, 1.0, 0.05);
+}
+
+TEST(DenseMatrixTest, RademacherEntriesHaveCorrectMagnitude) {
+  DenseMatrix m(16, 8);
+  m.FillRademacher(9);
+  const double mag = 1.0 / std::sqrt(16.0);
+  for (uint64_t r = 0; r < 16; ++r) {
+    for (uint64_t c = 0; c < 8; ++c) {
+      EXPECT_DOUBLE_EQ(std::abs(m.At(r, c)), mag);
+    }
+  }
+}
+
+TEST(DotAxpyTest, DotProduct) {
+  EXPECT_DOUBLE_EQ(Dot({1.0, 2.0}, {3.0, -1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+TEST(DotAxpyTest, AxpyAccumulates) {
+  std::vector<double> y = {1.0, 1.0};
+  Axpy(2.0, {3.0, -1.0}, &y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+}  // namespace
+}  // namespace sketch

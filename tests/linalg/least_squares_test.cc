@@ -1,0 +1,79 @@
+#include "linalg/least_squares.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/prng.h"
+
+namespace sketch {
+namespace {
+
+TEST(LeastSquaresTest, ExactSolveOnSquareSystem) {
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 2.0;
+  a.At(0, 1) = 1.0;
+  a.At(1, 0) = 1.0;
+  a.At(1, 1) = 3.0;
+  // Solution of [2 1; 1 3] x = [5; 10] is x = [1, 3].
+  const std::vector<double> x = SolveLeastSquaresQr(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LeastSquaresTest, RecoversPlantedSolutionInOverdeterminedSystem) {
+  const uint64_t m = 60, n = 10;
+  DenseMatrix a(m, n);
+  a.FillGaussian(5);
+  std::vector<double> x_true(n);
+  for (uint64_t i = 0; i < n; ++i) x_true[i] = std::sin(i + 1.0);
+  const std::vector<double> b = a.Multiply(x_true);
+  const std::vector<double> x = SolveLeastSquaresQr(a, b);
+  EXPECT_LT(L2Distance(x, x_true), 1e-9);
+}
+
+TEST(LeastSquaresTest, ResidualIsOrthogonalToColumnSpace) {
+  const uint64_t m = 30, n = 5;
+  DenseMatrix a(m, n);
+  a.FillGaussian(7);
+  Xoshiro256StarStar rng(9);
+  std::vector<double> b(m);
+  for (auto& v : b) v = rng.NextGaussian();
+  const std::vector<double> x = SolveLeastSquaresQr(a, b);
+  const std::vector<double> ax = a.Multiply(x);
+  std::vector<double> r(m);
+  for (uint64_t i = 0; i < m; ++i) r[i] = b[i] - ax[i];
+  // A^T r must vanish at the minimizer.
+  const std::vector<double> atr = a.MultiplyTranspose(r);
+  for (uint64_t i = 0; i < n; ++i) EXPECT_NEAR(atr[i], 0.0, 1e-9);
+}
+
+TEST(LeastSquaresTest, MinimizerBeatsPerturbations) {
+  const uint64_t m = 25, n = 4;
+  DenseMatrix a(m, n);
+  a.FillGaussian(13);
+  Xoshiro256StarStar rng(17);
+  std::vector<double> b(m);
+  for (auto& v : b) v = rng.NextGaussian();
+  const std::vector<double> x = SolveLeastSquaresQr(a, b);
+  const double best = L2Distance(a.Multiply(x), b);
+  for (uint64_t j = 0; j < n; ++j) {
+    std::vector<double> x_pert = x;
+    x_pert[j] += 0.01;
+    EXPECT_GE(L2Distance(a.Multiply(x_pert), b), best);
+  }
+}
+
+TEST(LeastSquaresTest, SingleColumn) {
+  DenseMatrix a(3, 1);
+  a.At(0, 0) = 1.0;
+  a.At(1, 0) = 2.0;
+  a.At(2, 0) = 2.0;
+  // min ||a t - b||: t = <a,b>/<a,a> = (1*3 + 2*0 + 2*3)/9 = 1.
+  const std::vector<double> x = SolveLeastSquaresQr(a, {3.0, 0.0, 3.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sketch

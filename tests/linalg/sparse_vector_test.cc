@@ -1,0 +1,53 @@
+#include "linalg/sparse_vector.h"
+
+#include <gtest/gtest.h>
+
+namespace sketch {
+namespace {
+
+TEST(SparseVectorTest, FromEntriesSortsAndMerges) {
+  const SparseVector v =
+      SparseVector::FromEntries(10, {{7, 1.0}, {2, 3.0}, {7, 2.0}});
+  EXPECT_EQ(v.dimension(), 10u);
+  ASSERT_EQ(v.nnz(), 2u);
+  EXPECT_EQ(v.entries()[0].index, 2u);
+  EXPECT_DOUBLE_EQ(v.entries()[0].value, 3.0);
+  EXPECT_EQ(v.entries()[1].index, 7u);
+  EXPECT_DOUBLE_EQ(v.entries()[1].value, 3.0);
+}
+
+TEST(SparseVectorTest, ZeroSumsAreDropped) {
+  const SparseVector v =
+      SparseVector::FromEntries(5, {{1, 2.0}, {1, -2.0}, {3, 1.0}});
+  ASSERT_EQ(v.nnz(), 1u);
+  EXPECT_EQ(v.entries()[0].index, 3u);
+}
+
+TEST(SparseVectorTest, DenseRoundTrip) {
+  const std::vector<double> dense = {0.0, 1.5, 0.0, -2.0, 0.0};
+  const SparseVector v = SparseVector::FromDense(dense);
+  EXPECT_EQ(v.nnz(), 2u);
+  const std::vector<double> back = v.ToDense();
+  ASSERT_EQ(back.size(), dense.size());
+  for (size_t i = 0; i < dense.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back[i], dense[i]);
+  }
+}
+
+TEST(SparseVectorTest, FromDenseRespectsTolerance) {
+  const std::vector<double> dense = {1e-12, 0.5, -1e-12};
+  const SparseVector v = SparseVector::FromDense(dense, 1e-9);
+  ASSERT_EQ(v.nnz(), 1u);
+  EXPECT_EQ(v.entries()[0].index, 1u);
+}
+
+TEST(SparseVectorTest, EmptyVector) {
+  const SparseVector v(4);
+  EXPECT_EQ(v.dimension(), 4u);
+  EXPECT_EQ(v.nnz(), 0u);
+  const std::vector<double> dense = v.ToDense();
+  for (double d : dense) EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+}  // namespace
+}  // namespace sketch

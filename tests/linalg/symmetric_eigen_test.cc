@@ -1,0 +1,126 @@
+#include "linalg/symmetric_eigen.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+
+namespace sketch {
+namespace {
+
+TEST(JacobiEigenTest, DiagonalMatrixIsItsOwnDecomposition) {
+  DenseMatrix a(3, 3);
+  a.At(0, 0) = 5.0;
+  a.At(1, 1) = -2.0;
+  a.At(2, 2) = 1.0;
+  const SymmetricEigen eigen = JacobiEigenDecomposition(a);
+  EXPECT_NEAR(eigen.values[0], 5.0, 1e-12);
+  EXPECT_NEAR(eigen.values[1], 1.0, 1e-12);
+  EXPECT_NEAR(eigen.values[2], -2.0, 1e-12);
+}
+
+TEST(JacobiEigenTest, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 2.0;
+  a.At(0, 1) = 1.0;
+  a.At(1, 0) = 1.0;
+  a.At(1, 1) = 2.0;
+  const SymmetricEigen eigen = JacobiEigenDecomposition(a);
+  EXPECT_NEAR(eigen.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eigen.values[1], 1.0, 1e-12);
+  // Eigenvector of 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(eigen.vectors.At(0, 0)), 1.0 / std::sqrt(2.0), 1e-9);
+}
+
+TEST(JacobiEigenTest, ReconstructsRandomSymmetricMatrix) {
+  const uint64_t n = 12;
+  Xoshiro256StarStar rng(3);
+  DenseMatrix a(n, n);
+  for (uint64_t i = 0; i < n; ++i) {
+    for (uint64_t j = i; j < n; ++j) {
+      const double v = rng.NextGaussian();
+      a.At(i, j) = v;
+      a.At(j, i) = v;
+    }
+  }
+  const SymmetricEigen eigen = JacobiEigenDecomposition(a);
+  // A == V diag(lam) V^T.
+  for (uint64_t i = 0; i < n; ++i) {
+    for (uint64_t j = 0; j < n; ++j) {
+      double recon = 0.0;
+      for (uint64_t t = 0; t < n; ++t) {
+        recon += eigen.vectors.At(i, t) * eigen.values[t] *
+                 eigen.vectors.At(j, t);
+      }
+      ASSERT_NEAR(recon, a.At(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(JacobiEigenTest, EigenvectorsAreOrthonormal) {
+  const uint64_t n = 10;
+  Xoshiro256StarStar rng(4);
+  DenseMatrix a(n, n);
+  for (uint64_t i = 0; i < n; ++i) {
+    for (uint64_t j = i; j < n; ++j) {
+      const double v = rng.NextGaussian();
+      a.At(i, j) = v;
+      a.At(j, i) = v;
+    }
+  }
+  const SymmetricEigen eigen = JacobiEigenDecomposition(a);
+  for (uint64_t c1 = 0; c1 < n; ++c1) {
+    for (uint64_t c2 = c1; c2 < n; ++c2) {
+      double dot = 0.0;
+      for (uint64_t r = 0; r < n; ++r) {
+        dot += eigen.vectors.At(r, c1) * eigen.vectors.At(r, c2);
+      }
+      ASSERT_NEAR(dot, c1 == c2 ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(JacobiEigenTest, ValuesSortedDescending) {
+  Xoshiro256StarStar rng(5);
+  DenseMatrix a(8, 8);
+  for (uint64_t i = 0; i < 8; ++i) {
+    for (uint64_t j = i; j < 8; ++j) {
+      const double v = rng.NextGaussian();
+      a.At(i, j) = v;
+      a.At(j, i) = v;
+    }
+  }
+  const SymmetricEigen eigen = JacobiEigenDecomposition(a);
+  for (size_t t = 1; t < eigen.values.size(); ++t) {
+    EXPECT_GE(eigen.values[t - 1], eigen.values[t]);
+  }
+}
+
+TEST(JacobiEigenTest, TraceAndEigenvalueSumAgree) {
+  Xoshiro256StarStar rng(6);
+  const uint64_t n = 9;
+  DenseMatrix a(n, n);
+  double trace = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    for (uint64_t j = i; j < n; ++j) {
+      const double v = rng.NextGaussian();
+      a.At(i, j) = v;
+      a.At(j, i) = v;
+    }
+    trace += a.At(i, i);
+  }
+  const SymmetricEigen eigen = JacobiEigenDecomposition(a);
+  double sum = 0.0;
+  for (double v : eigen.values) sum += v;
+  EXPECT_NEAR(sum, trace, 1e-9);
+}
+
+TEST(JacobiEigenTest, ZeroMatrix) {
+  const SymmetricEigen eigen = JacobiEigenDecomposition(DenseMatrix(4, 4));
+  for (double v : eigen.values) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,115 @@
+#include "sfft/crt_sfft.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fft/fft.h"
+
+namespace sketch {
+namespace {
+
+TEST(CoprimeFactorizationTest, KnownFactorizations) {
+  EXPECT_EQ(CoprimeFactorization(720),
+            (std::vector<uint64_t>{16, 9, 5}));
+  EXPECT_EQ(CoprimeFactorization(6), (std::vector<uint64_t>{3, 2}));
+  EXPECT_EQ(CoprimeFactorization(1024), (std::vector<uint64_t>{1024}));
+  EXPECT_EQ(CoprimeFactorization(97), (std::vector<uint64_t>{97}));
+  EXPECT_EQ(CoprimeFactorization(3 * 3 * 7 * 11),
+            (std::vector<uint64_t>{11, 9, 7}));
+}
+
+TEST(CoprimeFactorizationTest, ProductRecoversN) {
+  for (uint64_t n : {12u, 360u, 46080u, 99999u}) {
+    uint64_t product = 1;
+    for (uint64_t f : CoprimeFactorization(n)) product *= f;
+    EXPECT_EQ(product, n);
+  }
+}
+
+TEST(CrtSfftTest, RecoversSingleTone) {
+  const uint64_t n = 3 * 1024;  // moduli {1024, 3}
+  const SparseSpectrumSignal signal = MakeSparseSpectrumSignal(n, 1, 1);
+  CrtSfftOptions options;
+  options.sparsity = 1;
+  const CrtSfftResult result = CrtSparseFft(signal.time_domain, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(SpectrumL2Error(result.coefficients, signal), 1e-8);
+}
+
+TEST(CrtSfftTest, RecoversSparseSpectraOnSmoothLengths) {
+  // n = 2^6 * 3^4 * 5^2 = 129600: moduli {64, 81, 25}.
+  const uint64_t n = 64 * 81 * 25;
+  for (uint64_t k : {2u, 8u, 16u}) {
+    const SparseSpectrumSignal signal =
+        MakeSparseSpectrumSignal(n, k, 10 + k);
+    CrtSfftOptions options;
+    options.sparsity = k;
+    const CrtSfftResult result = CrtSparseFft(signal.time_domain, options);
+    EXPECT_TRUE(result.converged) << "k=" << k;
+    EXPECT_LT(SpectrumL2Error(result.coefficients, signal), 1e-7)
+        << "k=" << k;
+    ASSERT_EQ(result.moduli_used.size(), 3u);
+  }
+}
+
+TEST(CrtSfftTest, SubLinearSamples) {
+  const uint64_t n = 64 * 81 * 25;  // 129600
+  const SparseSpectrumSignal signal = MakeSparseSpectrumSignal(n, 8, 3);
+  CrtSfftOptions options;
+  options.sparsity = 8;
+  const CrtSfftResult result = CrtSparseFft(signal.time_domain, options);
+  EXPECT_TRUE(result.converged);
+  // Reads 2*(64+81+25) = 340 samples of a 129600-sample signal.
+  EXPECT_EQ(result.samples_read, 2u * (64 + 81 + 25));
+}
+
+TEST(CrtSfftTest, PeelingResolvesCollisions) {
+  // Two frequencies congruent mod 64 (the largest modulus) collide there
+  // but are separated by the other moduli once one of them peels.
+  const uint64_t n = 64 * 27;
+  SparseSpectrumSignal signal;
+  signal.coefficients = {{100, Complex(1.0, 0.0)},
+                         {100 + 64 * 9, Complex(0.0, 1.0)},
+                         {500, Complex(-1.0, 0.0)}};
+  signal.time_domain.assign(n, Complex(0, 0));
+  for (const auto& c : signal.coefficients) {
+    for (uint64_t t = 0; t < n; ++t) {
+      const double angle = 2.0 * M_PI *
+                           static_cast<double>((c.frequency * t) % n) /
+                           static_cast<double>(n);
+      signal.time_domain[t] += c.value *
+                               Complex(std::cos(angle), std::sin(angle)) /
+                               static_cast<double>(n);
+    }
+  }
+  CrtSfftOptions options;
+  options.sparsity = 3;
+  const CrtSfftResult result = CrtSparseFft(signal.time_domain, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(SpectrumL2Error(result.coefficients, signal), 1e-8);
+}
+
+TEST(CrtSfftTest, ZeroSignalConvergesEmpty) {
+  const std::vector<Complex> zero(6 * 125, Complex(0, 0));
+  CrtSfftOptions options;
+  options.sparsity = 4;
+  const CrtSfftResult result = CrtSparseFft(zero, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.coefficients.empty());
+}
+
+TEST(CrtSfftTest, MatchesDenseFftBaseline) {
+  const uint64_t n = 128 * 9;
+  const SparseSpectrumSignal signal = MakeSparseSpectrumSignal(n, 5, 7);
+  CrtSfftOptions options;
+  options.sparsity = 5;
+  const CrtSfftResult crt = CrtSparseFft(signal.time_domain, options);
+  const std::vector<Complex> dense = Fft(signal.time_domain);
+  for (const SpectralCoefficient& c : crt.coefficients) {
+    EXPECT_NEAR(std::abs(c.value - dense[c.frequency]), 0.0, 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace sketch

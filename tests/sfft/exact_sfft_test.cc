@@ -1,0 +1,145 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sfft/sfft.h"
+
+namespace sketch {
+namespace {
+
+TEST(ExactSfftTest, RecoversSingleTone) {
+  const SparseSpectrumSignal signal = MakeSparseSpectrumSignal(1 << 10, 1, 1);
+  SfftOptions options;
+  options.sparsity = 1;
+  const SfftResult result = ExactSparseFft(signal.time_domain, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(SpectrumL2Error(result.coefficients, signal), 1e-8);
+}
+
+TEST(ExactSfftTest, RecoversSparseSpectrumExactly) {
+  for (uint64_t k : {2u, 8u, 32u}) {
+    const SparseSpectrumSignal signal =
+        MakeSparseSpectrumSignal(1 << 12, k, 10 + k);
+    SfftOptions options;
+    options.sparsity = k;
+    const SfftResult result = ExactSparseFft(signal.time_domain, options);
+    EXPECT_TRUE(result.converged) << "k=" << k;
+    EXPECT_LT(SpectrumL2Error(result.coefficients, signal), 1e-7) << "k=" << k;
+    EXPECT_EQ(result.coefficients.size(), k) << "k=" << k;
+  }
+}
+
+TEST(ExactSfftTest, MatchesDenseFftBaseline) {
+  const SparseSpectrumSignal signal = MakeSparseSpectrumSignal(1 << 11, 12, 2);
+  SfftOptions options;
+  options.sparsity = 12;
+  const SfftResult sparse = ExactSparseFft(signal.time_domain, options);
+  const SfftResult dense = DenseFftTopK(signal.time_domain, 12);
+  ASSERT_EQ(sparse.coefficients.size(), dense.coefficients.size());
+  for (size_t i = 0; i < sparse.coefficients.size(); ++i) {
+    EXPECT_EQ(sparse.coefficients[i].frequency,
+              dense.coefficients[i].frequency);
+    EXPECT_NEAR(std::abs(sparse.coefficients[i].value -
+                         dense.coefficients[i].value),
+                0.0, 1e-7);
+  }
+}
+
+TEST(ExactSfftTest, SubLinearSampleComplexity) {
+  const uint64_t n = 1 << 18;
+  const uint64_t k = 8;
+  const SparseSpectrumSignal signal = MakeSparseSpectrumSignal(n, k, 3);
+  SfftOptions options;
+  options.sparsity = k;
+  const SfftResult result = ExactSparseFft(signal.time_domain, options);
+  EXPECT_TRUE(result.converged);
+  // The algorithm must not read more than a fraction of the input. This
+  // seed contains a frequency pair differing by a multiple of 2^10, which
+  // forces bucket escalation to B = 2048 — the worst case still stays well
+  // below n, and typical seeds read only a few hundred samples.
+  EXPECT_LT(result.samples_read, n / 4);
+}
+
+TEST(ExactSfftTest, ZeroSignalConvergesToEmptySpectrum) {
+  const std::vector<Complex> zero(1 << 8, Complex(0, 0));
+  SfftOptions options;
+  options.sparsity = 4;
+  const SfftResult result = ExactSparseFft(zero, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.coefficients.empty());
+}
+
+TEST(ExactSfftTest, AdjacentFrequenciesSeparated) {
+  // Two coefficients at adjacent frequencies collide in every aliasing
+  // configuration's *bucket* only when congruent mod B; adjacent ones are
+  // not, so they must both be found.
+  const uint64_t n = 1 << 10;
+  std::vector<Complex> x(n, Complex(0, 0));
+  SparseSpectrumSignal signal;
+  signal.coefficients = {{100, Complex(1.0, 0.0)}, {101, Complex(-0.5, 0.5)}};
+  signal.time_domain.assign(n, Complex(0, 0));
+  for (const auto& c : signal.coefficients) {
+    for (uint64_t t = 0; t < n; ++t) {
+      const double angle = 2.0 * M_PI * c.frequency * t / n;
+      signal.time_domain[t] +=
+          c.value * Complex(std::cos(angle), std::sin(angle)) /
+          static_cast<double>(n);
+    }
+  }
+  SfftOptions options;
+  options.sparsity = 2;
+  const SfftResult result = ExactSparseFft(signal.time_domain, options);
+  EXPECT_LT(SpectrumL2Error(result.coefficients, signal), 1e-7);
+}
+
+TEST(ExactSfftTest, CollidingFrequenciesResolvedAcrossRounds) {
+  // Force B = 16 with k = 8 packed into the same residue class mod 16:
+  // every coefficient collides in round structure until the random
+  // permutation separates them.
+  const uint64_t n = 1 << 12;
+  SparseSpectrumSignal signal;
+  for (int i = 0; i < 8; ++i) {
+    signal.coefficients.push_back(
+        {static_cast<uint64_t>(16 * i * 16), Complex(1.0, 0.0)});
+  }
+  signal.time_domain.assign(n, Complex(0, 0));
+  for (const auto& c : signal.coefficients) {
+    for (uint64_t t = 0; t < n; ++t) {
+      const double angle =
+          2.0 * M_PI * static_cast<double>((c.frequency * t) % n) / n;
+      signal.time_domain[t] +=
+          c.value * Complex(std::cos(angle), std::sin(angle)) /
+          static_cast<double>(n);
+    }
+  }
+  SfftOptions options;
+  options.sparsity = 8;
+  options.buckets = 16;
+  options.max_rounds = 30;
+  const SfftResult result = ExactSparseFft(signal.time_domain, options);
+  EXPECT_LT(SpectrumL2Error(result.coefficients, signal), 1e-6);
+}
+
+TEST(ExactSfftTest, DeterministicForSeed) {
+  const SparseSpectrumSignal signal = MakeSparseSpectrumSignal(1 << 10, 6, 4);
+  SfftOptions options;
+  options.sparsity = 6;
+  const SfftResult a = ExactSparseFft(signal.time_domain, options);
+  const SfftResult b = ExactSparseFft(signal.time_domain, options);
+  EXPECT_EQ(a.rounds_used, b.rounds_used);
+  EXPECT_EQ(a.samples_read, b.samples_read);
+  ASSERT_EQ(a.coefficients.size(), b.coefficients.size());
+}
+
+TEST(ExactSfftTest, ReportsRoundsUsed) {
+  const SparseSpectrumSignal signal = MakeSparseSpectrumSignal(1 << 10, 4, 5);
+  SfftOptions options;
+  options.sparsity = 4;
+  const SfftResult result = ExactSparseFft(signal.time_domain, options);
+  EXPECT_GE(result.rounds_used, 1);
+  EXPECT_LE(result.rounds_used, options.max_rounds);
+}
+
+}  // namespace
+}  // namespace sketch

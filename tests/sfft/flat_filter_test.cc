@@ -1,0 +1,80 @@
+#include "sfft/flat_filter.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sketch {
+namespace {
+
+TEST(FlatFilterTest, SupportIsOddAndBounded) {
+  const FlatFilter f(1 << 14, 64, 4, 1e-8);
+  EXPECT_EQ(f.support() % 2, 1u);
+  EXPECT_LE(f.support(), 1u << 14);
+  EXPECT_EQ(f.support(), static_cast<uint64_t>(2 * f.half_support() + 1));
+}
+
+TEST(FlatFilterTest, PassbandCenterHasUnitGain) {
+  const FlatFilter f(1 << 12, 32, 4, 1e-8);
+  EXPECT_NEAR(f.ResponseAt(0), 1.0, 1e-9);
+}
+
+TEST(FlatFilterTest, PassbandIsFlat) {
+  const FlatFilter f(1 << 14, 64, 6, 1e-8);
+  // Within half a bucket of the center the gain must stay near 1.
+  EXPECT_LT(f.PassbandRipple(), 0.05);
+}
+
+TEST(FlatFilterTest, StopbandLeakageIsNegligible) {
+  const FlatFilter f(1 << 14, 64, 6, 1e-8);
+  EXPECT_LT(f.StopbandLeakage(), 1e-5);
+}
+
+TEST(FlatFilterTest, LargerSupportImprovesLeakage) {
+  const uint64_t n = 1 << 13;
+  const FlatFilter narrow(n, 32, 2, 1e-8);
+  const FlatFilter wide(n, 32, 8, 1e-8);
+  EXPECT_LT(wide.StopbandLeakage(), narrow.StopbandLeakage());
+}
+
+TEST(FlatFilterTest, ResponseIsSymmetric) {
+  const FlatFilter f(1 << 10, 16, 4, 1e-8);
+  for (int64_t o : {1, 5, 17, 100, 500}) {
+    EXPECT_NEAR(f.ResponseAt(o), f.ResponseAt(-o), 1e-9) << "offset " << o;
+  }
+}
+
+TEST(FlatFilterTest, ResponseMatchesDirectDftOfTaps) {
+  const uint64_t n = 256;
+  const FlatFilter f(n, 8, 3, 1e-6);
+  // Recompute H[f] = sum_t h[t] e^{-2 pi i f t / n} directly for a few f.
+  const int64_t half = f.half_support();
+  for (uint64_t freq : {0u, 1u, 5u, 32u, 128u}) {
+    double re = 0.0;
+    for (int64_t t = -half; t <= half; ++t) {
+      re += f.taps()[t + half] *
+            std::cos(2.0 * M_PI * static_cast<double>(freq) *
+                     static_cast<double>(t) / static_cast<double>(n));
+    }
+    EXPECT_NEAR(f.frequency_response()[freq], re, 1e-9) << "f=" << freq;
+  }
+}
+
+TEST(FlatFilterTest, ResponseDecaysMonotonicallyIntoStopband) {
+  const FlatFilter f(1 << 12, 32, 6, 1e-8);
+  const int64_t bucket = static_cast<int64_t>((1 << 12) / 32);
+  // Sampled at bucket multiples, the gain must drop sharply after the
+  // passband.
+  EXPECT_GT(f.ResponseAt(0), 0.99);
+  EXPECT_LT(std::abs(f.ResponseAt(2 * bucket)), 0.05);
+  EXPECT_LT(std::abs(f.ResponseAt(4 * bucket)), 0.01);
+}
+
+TEST(FlatFilterTest, TinyConfigurationsStillConstruct) {
+  const FlatFilter f(16, 2, 1, 0.01);
+  EXPECT_GE(f.support(), 3u);
+  EXPECT_NEAR(f.ResponseAt(0), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,106 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "sfft/sfft.h"
+
+namespace sketch {
+namespace {
+
+TEST(FlatSfftTest, RecoversSingleToneCleanly) {
+  const uint64_t n = 1 << 12;
+  const SparseSpectrumSignal signal = MakeSparseSpectrumSignal(n, 1, 1);
+  const FlatFilter filter(n, 16, 6, 1e-8);
+  SfftOptions options;
+  options.sparsity = 1;
+  const SfftResult result =
+      FlatFilterSparseFft(signal.time_domain, filter, options);
+  EXPECT_LT(SpectrumL2Error(result.coefficients, signal), 1e-3);
+}
+
+TEST(FlatSfftTest, RecoversSparseSpectrum) {
+  const uint64_t n = 1 << 14;
+  for (uint64_t k : {4u, 16u}) {
+    const SparseSpectrumSignal signal = MakeSparseSpectrumSignal(n, k, k);
+    const FlatFilter filter(n, std::max<uint64_t>(4 * k, 16), 6, 1e-8);
+    SfftOptions options;
+    options.sparsity = k;
+    options.max_rounds = 20;
+    const SfftResult result =
+        FlatFilterSparseFft(signal.time_domain, filter, options);
+    EXPECT_LT(SpectrumL2Error(result.coefficients, signal), 1e-2 * k)
+        << "k=" << k;
+  }
+}
+
+TEST(FlatSfftTest, SubLinearSampleComplexity) {
+  const uint64_t n = 1 << 18;
+  const uint64_t k = 4;
+  const SparseSpectrumSignal signal = MakeSparseSpectrumSignal(n, k, 2);
+  const FlatFilter filter(n, 16, 6, 1e-8);
+  SfftOptions options;
+  options.sparsity = k;
+  const SfftResult result =
+      FlatFilterSparseFft(signal.time_domain, filter, options);
+  EXPECT_LT(SpectrumL2Error(result.coefficients, signal), 1e-2);
+  EXPECT_LT(result.samples_read, n);  // strictly fewer samples than FFT
+}
+
+TEST(FlatSfftTest, ToleratesModerateNoise) {
+  const uint64_t n = 1 << 13;
+  const uint64_t k = 4;
+  const SparseSpectrumSignal signal = MakeSparseSpectrumSignal(n, k, 3);
+  std::vector<Complex> noisy = signal.time_domain;
+  // Per-sample noise well below the per-sample signal contribution.
+  AddComplexNoise(&noisy, 0.05 / static_cast<double>(n), 3);
+  const FlatFilter filter(n, 32, 6, 1e-8);
+  SfftOptions options;
+  options.sparsity = k;
+  options.magnitude_tolerance = 1e-3;
+  options.max_rounds = 20;
+  const SfftResult result = FlatFilterSparseFft(noisy, filter, options);
+  // All true coefficients located; values within the noise budget.
+  EXPECT_LT(SpectrumL2Error(result.coefficients, signal), 0.3);
+}
+
+TEST(FlatSfftTest, ZeroSignalFindsNothingSignificant) {
+  const uint64_t n = 1 << 10;
+  const std::vector<Complex> zero(n, Complex(0, 0));
+  const FlatFilter filter(n, 16, 4, 1e-8);
+  SfftOptions options;
+  options.sparsity = 4;
+  const SfftResult result = FlatFilterSparseFft(zero, filter, options);
+  double total = 0.0;
+  for (const auto& c : result.coefficients) total += std::abs(c.value);
+  EXPECT_NEAR(total, 0.0, 1e-9);
+}
+
+TEST(FlatSfftTest, OutputCappedAtTwiceSparsity) {
+  const uint64_t n = 1 << 12;
+  const SparseSpectrumSignal signal = MakeSparseSpectrumSignal(n, 10, 4);
+  const FlatFilter filter(n, 64, 6, 1e-8);
+  SfftOptions options;
+  options.sparsity = 3;  // deliberately under-provisioned
+  const SfftResult result =
+      FlatFilterSparseFft(signal.time_domain, filter, options);
+  EXPECT_LE(result.coefficients.size(), 2 * options.sparsity);
+}
+
+TEST(FlatSfftTest, AgreesWithExactSfftOnExactlySparseInput) {
+  const uint64_t n = 1 << 12;
+  const uint64_t k = 6;
+  const SparseSpectrumSignal signal = MakeSparseSpectrumSignal(n, k, 5);
+  const FlatFilter filter(n, 32, 6, 1e-8);
+  SfftOptions options;
+  options.sparsity = k;
+  options.max_rounds = 20;
+  const SfftResult flat =
+      FlatFilterSparseFft(signal.time_domain, filter, options);
+  const SfftResult exact = ExactSparseFft(signal.time_domain, options);
+  EXPECT_LT(SpectrumL2Error(flat.coefficients, signal), 1e-2);
+  EXPECT_LT(SpectrumL2Error(exact.coefficients, signal), 1e-7);
+}
+
+}  // namespace
+}  // namespace sketch

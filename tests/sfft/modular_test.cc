@@ -1,0 +1,45 @@
+#include "sfft/modular.h"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+
+namespace sketch {
+namespace {
+
+TEST(ModInversePow2Test, SmallKnownInverses) {
+  EXPECT_EQ(ModInversePow2(1, 8), 1u);
+  EXPECT_EQ(ModInversePow2(3, 8), 3u);   // 3*3 = 9 = 1 mod 8
+  EXPECT_EQ(ModInversePow2(5, 8), 5u);   // 5*5 = 25 = 1 mod 8
+  EXPECT_EQ(ModInversePow2(7, 8), 7u);
+  EXPECT_EQ(ModInversePow2(3, 16), 11u);  // 3*11 = 33 = 1 mod 16
+}
+
+TEST(ModInversePow2Test, InverseIdentityForRandomOddValues) {
+  Xoshiro256StarStar rng(1);
+  for (uint64_t n : {1ULL << 8, 1ULL << 20, 1ULL << 40, 1ULL << 62}) {
+    for (int t = 0; t < 200; ++t) {
+      const uint64_t a = (rng.Next() | 1) & (n - 1);
+      const uint64_t inv = ModInversePow2(a, n);
+      ASSERT_LT(inv, n);
+      ASSERT_EQ((a * inv) & (n - 1), 1u) << "a=" << a << " n=" << n;
+    }
+  }
+}
+
+TEST(ModInversePow2Test, RejectsEvenValues) {
+  EXPECT_DEATH(ModInversePow2(4, 16), "");
+}
+
+TEST(ModInversePow2Test, RejectsNonPowerOfTwoModulus) {
+  EXPECT_DEATH(ModInversePow2(3, 12), "");
+}
+
+TEST(MulModPow2Test, WrapsCorrectly) {
+  EXPECT_EQ(MulModPow2(3, 5, 8), 7u);       // 15 mod 8
+  EXPECT_EQ(MulModPow2(7, 7, 16), 1u);      // 49 mod 16
+  EXPECT_EQ(MulModPow2(1ULL << 32, 1ULL << 32, 1ULL << 40), 0u);
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,163 @@
+#include "sfft/phase_decode.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sketch {
+namespace {
+
+/// Builds the measurement vector of a singleton at frequency g with the
+/// given complex amplitude, plus optional per-measurement noise.
+std::vector<Complex> SingletonMeasurements(uint64_t g, Complex amplitude,
+                                           const std::vector<uint64_t>& shifts,
+                                           uint64_t n, double noise,
+                                           uint64_t noise_seed) {
+  Xoshiro256StarStar rng(noise_seed);
+  std::vector<Complex> values(shifts.size());
+  for (size_t s = 0; s < shifts.size(); ++s) {
+    values[s] = amplitude * PhaseUnit(g * shifts[s], n);
+    if (noise > 0.0) {
+      values[s] += Complex(noise * rng.NextGaussian(),
+                           noise * rng.NextGaussian());
+    }
+  }
+  return values;
+}
+
+TEST(PhaseUnitTest, KnownAngles) {
+  const uint64_t n = 8;
+  EXPECT_NEAR(std::abs(PhaseUnit(0, n) - Complex(1, 0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(PhaseUnit(2, n) - Complex(0, 1)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(PhaseUnit(4, n) - Complex(-1, 0)), 0.0, 1e-12);
+  // Periodicity: numerator reduced mod n.
+  EXPECT_NEAR(std::abs(PhaseUnit(10, n) - PhaseUnit(2, n)), 0.0, 1e-12);
+}
+
+TEST(PhaseShiftScheduleTest, StructureIsReferencePlusScalesPlusRandom) {
+  Xoshiro256StarStar rng(1);
+  const uint64_t n = 64;
+  const auto shifts = PhaseShiftSchedule(n, 1, &rng);
+  // {0} + {32, 16, 8, 4, 2, 1} + {random}.
+  ASSERT_EQ(shifts.size(), 8u);
+  EXPECT_EQ(shifts[0], 0u);
+  for (int j = 1; j <= 6; ++j) EXPECT_EQ(shifts[j], n >> j);
+  EXPECT_GE(shifts.back(), 2u);
+  EXPECT_LT(shifts.back(), n);
+}
+
+TEST(PhaseShiftScheduleTest, StartLevelSkipsKnownBits) {
+  Xoshiro256StarStar rng(2);
+  const auto shifts = PhaseShiftSchedule(64, 4, &rng);
+  // {0} + {64>>4, 64>>5, 64>>6} = {4, 2, 1} + {random}.
+  ASSERT_EQ(shifts.size(), 5u);
+  EXPECT_EQ(shifts[1], 4u);
+  EXPECT_EQ(shifts[3], 1u);
+}
+
+TEST(PhaseDecodeTest, DecodesEveryFrequencyExactly) {
+  const uint64_t n = 256;
+  Xoshiro256StarStar rng(3);
+  const auto shifts = PhaseShiftSchedule(n, 1, &rng);
+  for (uint64_t g = 0; g < n; ++g) {
+    const auto values =
+        SingletonMeasurements(g, Complex(0.7, -1.1), shifts, n, 0.0, 0);
+    uint64_t decoded = 0;
+    ASSERT_TRUE(
+        PhaseDecodeSingleton(values, shifts, n, 1, 0, 0.05, &decoded));
+    EXPECT_EQ(decoded, g);
+  }
+}
+
+TEST(PhaseDecodeTest, UsesKnownLowBits) {
+  const uint64_t n = 1 << 10;
+  Xoshiro256StarStar rng(4);
+  const int start_level = 5;  // low 4 bits known
+  const auto shifts = PhaseShiftSchedule(n, start_level, &rng);
+  const uint64_t g = 0x2f3;  // low 4 bits = 0x3
+  const auto values =
+      SingletonMeasurements(g, Complex(1, 0), shifts, n, 0.0, 0);
+  uint64_t decoded = 0;
+  ASSERT_TRUE(PhaseDecodeSingleton(values, shifts, n, start_level,
+                                   g & 0xf, 0.05, &decoded));
+  EXPECT_EQ(decoded, g);
+}
+
+TEST(PhaseDecodeTest, RobustToTenPercentNoise) {
+  const uint64_t n = 1 << 16;
+  Xoshiro256StarStar rng(5);
+  int correct = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const auto shifts = PhaseShiftSchedule(n, 1, &rng);
+    const uint64_t g = rng.NextBounded(n);
+    const auto values = SingletonMeasurements(g, Complex(1, 0), shifts, n,
+                                              /*noise=*/0.05, 100 + t);
+    uint64_t decoded = 0;
+    if (PhaseDecodeSingleton(values, shifts, n, 1, 0, /*tolerance=*/0.4,
+                             &decoded) &&
+        decoded == g) {
+      ++correct;
+    }
+  }
+  // Bitwise location has a pi/2 margin per bit: 5% noise should almost
+  // never flip a bit.
+  EXPECT_GE(correct, trials * 95 / 100);
+}
+
+TEST(PhaseDecodeTest, RejectsTwoToneCollisions) {
+  const uint64_t n = 1 << 12;
+  Xoshiro256StarStar rng(6);
+  int rejected = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const auto shifts = PhaseShiftSchedule(n, 1, &rng);
+    const uint64_t g1 = rng.NextBounded(n);
+    uint64_t g2 = rng.NextBounded(n);
+    if (g2 == g1) g2 = (g1 + 1) % n;
+    std::vector<Complex> values(shifts.size());
+    for (size_t s = 0; s < shifts.size(); ++s) {
+      values[s] = Complex(1.0, 0.0) * PhaseUnit(g1 * shifts[s], n) +
+                  Complex(0.8, 0.3) * PhaseUnit(g2 * shifts[s], n);
+    }
+    uint64_t decoded = 0;
+    const bool accepted =
+        PhaseDecodeSingleton(values, shifts, n, 1, 0, 0.05, &decoded);
+    // Either rejected, or (vanishingly rare) accepted with one of the two
+    // real tones — never a fabricated third frequency.
+    if (!accepted) {
+      ++rejected;
+    } else {
+      EXPECT_TRUE(decoded == g1 || decoded == g2);
+    }
+  }
+  EXPECT_GE(rejected, trials * 90 / 100);
+}
+
+TEST(PhaseDecodeTest, RejectsNearCancellingPairs) {
+  // Two tones of near-opposite amplitude in one bucket — the ghost
+  // scenario that a final random-shift validation must catch.
+  const uint64_t n = 1 << 14;
+  Xoshiro256StarStar rng(7);
+  int fabricated = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const auto shifts = PhaseShiftSchedule(n, 1, &rng);
+    const uint64_t g1 = rng.NextBounded(n);
+    const uint64_t g2 = (g1 + 1 + rng.NextBounded(30)) % n;  // nearby
+    std::vector<Complex> values(shifts.size());
+    for (size_t s = 0; s < shifts.size(); ++s) {
+      values[s] = Complex(1.0, 0.0) * PhaseUnit(g1 * shifts[s], n) -
+                  Complex(0.55, 0.0) * PhaseUnit(g2 * shifts[s], n);
+    }
+    uint64_t decoded = 0;
+    if (PhaseDecodeSingleton(values, shifts, n, 1, 0, 0.05, &decoded) &&
+        decoded != g1 && decoded != g2) {
+      ++fabricated;
+    }
+  }
+  EXPECT_LE(fabricated, 2);  // fabricated ghosts must be (almost) never
+}
+
+}  // namespace
+}  // namespace sketch

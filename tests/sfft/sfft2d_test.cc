@@ -1,0 +1,144 @@
+#include "sfft/sfft2d.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+
+namespace sketch {
+namespace {
+
+TEST(Dense2dFftTest, MatchesDirectDefinition) {
+  const uint64_t n1 = 4, n2 = 8;
+  const SparseSpectrum2dSignal signal =
+      MakeSparseSpectrum2dSignal(n1, n2, 3, 1);
+  const std::vector<Complex> spectrum =
+      Dense2dFft(signal.time_domain, n1, n2);
+  for (const SpectralCoefficient2d& c : signal.coefficients) {
+    EXPECT_NEAR(std::abs(spectrum[c.f1 * n2 + c.f2] - c.value), 0.0, 1e-9);
+  }
+  // Total spectral energy equals the planted energy (Parseval, k units).
+  double energy = 0.0;
+  for (const Complex& v : spectrum) energy += std::norm(v);
+  EXPECT_NEAR(energy, 3.0, 1e-9);
+}
+
+TEST(Dense2dFftTest, TopKSelectsPlantedCoefficients) {
+  const uint64_t n1 = 16, n2 = 16;
+  const SparseSpectrum2dSignal signal =
+      MakeSparseSpectrum2dSignal(n1, n2, 5, 2);
+  const auto top = TopK2dCoefficients(Dense2dFft(signal.time_domain, n1, n2),
+                                      n1, n2, 5);
+  EXPECT_NEAR(Spectrum2dL2Error(top, signal), 0.0, 1e-9);
+}
+
+TEST(Sfft2dTest, RecoversSingleCoefficient) {
+  const uint64_t n1 = 64, n2 = 64;
+  const SparseSpectrum2dSignal signal =
+      MakeSparseSpectrum2dSignal(n1, n2, 1, 3);
+  Sfft2dOptions options;
+  options.sparsity = 1;
+  const Sfft2dResult result =
+      ExactSparseFft2d(signal.time_domain, n1, n2, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(Spectrum2dL2Error(result.coefficients, signal), 1e-8);
+}
+
+TEST(Sfft2dTest, RecoversSparseSpectraAcrossSizes) {
+  for (uint64_t k : {4u, 16u, 64u}) {
+    const uint64_t n1 = 128, n2 = 128;
+    const SparseSpectrum2dSignal signal =
+        MakeSparseSpectrum2dSignal(n1, n2, k, 10 + k);
+    Sfft2dOptions options;
+    options.sparsity = k;
+    const Sfft2dResult result =
+        ExactSparseFft2d(signal.time_domain, n1, n2, options);
+    EXPECT_TRUE(result.converged) << "k=" << k;
+    EXPECT_LT(Spectrum2dL2Error(result.coefficients, signal), 1e-7)
+        << "k=" << k;
+    EXPECT_EQ(result.coefficients.size(), k) << "k=" << k;
+  }
+}
+
+TEST(Sfft2dTest, RectangularGrids) {
+  const uint64_t n1 = 32, n2 = 256;
+  const SparseSpectrum2dSignal signal =
+      MakeSparseSpectrum2dSignal(n1, n2, 8, 5);
+  Sfft2dOptions options;
+  options.sparsity = 8;
+  const Sfft2dResult result =
+      ExactSparseFft2d(signal.time_domain, n1, n2, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(Spectrum2dL2Error(result.coefficients, signal), 1e-7);
+}
+
+TEST(Sfft2dTest, SubLinearSampleComplexity) {
+  const uint64_t n1 = 256, n2 = 256;  // n = 65536
+  const SparseSpectrum2dSignal signal =
+      MakeSparseSpectrum2dSignal(n1, n2, 8, 6);
+  Sfft2dOptions options;
+  options.sparsity = 8;
+  const Sfft2dResult result =
+      ExactSparseFft2d(signal.time_domain, n1, n2, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.samples_read, n1 * n2 / 2);
+}
+
+TEST(Sfft2dTest, ShearBreaksGridCollisionPattern) {
+  // Four coefficients at the corners of an axis-aligned rectangle form a
+  // stopping set for pure row/column peeling: every row-bucket and
+  // column-bucket involved holds exactly two of them. Shear rounds must
+  // break the pattern.
+  const uint64_t n1 = 64, n2 = 64;
+  SparseSpectrum2dSignal signal;
+  signal.coefficients = {{10, 20, Complex(1, 0)},
+                         {10, 40, Complex(0, 1)},
+                         {30, 20, Complex(-1, 0)},
+                         {30, 40, Complex(0.5, 0.5)}};
+  signal.time_domain.assign(n1 * n2, Complex(0, 0));
+  for (const auto& c : signal.coefficients) {
+    for (uint64_t t1 = 0; t1 < n1; ++t1) {
+      for (uint64_t t2 = 0; t2 < n2; ++t2) {
+        const double angle =
+            2.0 * M_PI * (static_cast<double>(c.f1 * t1) / n1 +
+                          static_cast<double>(c.f2 * t2) / n2);
+        signal.time_domain[t1 * n2 + t2] +=
+            c.value * Complex(std::cos(angle), std::sin(angle)) /
+            static_cast<double>(n1 * n2);
+      }
+    }
+  }
+  Sfft2dOptions options;
+  options.sparsity = 4;
+  options.max_rounds = 12;
+  const Sfft2dResult result =
+      ExactSparseFft2d(signal.time_domain, n1, n2, options);
+  EXPECT_LT(Spectrum2dL2Error(result.coefficients, signal), 1e-7);
+  EXPECT_GT(result.rounds_used, 1);  // round 0 alone cannot finish
+}
+
+TEST(Sfft2dTest, ZeroGridConvergesEmpty) {
+  const std::vector<Complex> zero(64 * 64, Complex(0, 0));
+  Sfft2dOptions options;
+  options.sparsity = 4;
+  const Sfft2dResult result = ExactSparseFft2d(zero, 64, 64, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.coefficients.empty());
+}
+
+TEST(Sfft2dTest, DeterministicForSeed) {
+  const SparseSpectrum2dSignal signal =
+      MakeSparseSpectrum2dSignal(64, 64, 6, 7);
+  Sfft2dOptions options;
+  options.sparsity = 6;
+  const Sfft2dResult a =
+      ExactSparseFft2d(signal.time_domain, 64, 64, options);
+  const Sfft2dResult b =
+      ExactSparseFft2d(signal.time_domain, 64, 64, options);
+  EXPECT_EQ(a.samples_read, b.samples_read);
+  ASSERT_EQ(a.coefficients.size(), b.coefficients.size());
+}
+
+}  // namespace
+}  // namespace sketch

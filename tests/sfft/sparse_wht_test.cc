@@ -1,0 +1,188 @@
+#include "sfft/sparse_wht.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+
+namespace sketch {
+namespace {
+
+std::vector<WhtCoefficient> RandomSparseCharacters(uint64_t n, uint64_t k,
+                                                   uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::map<uint64_t, double> coeffs;
+  while (coeffs.size() < k) {
+    coeffs[rng.NextBounded(n)] = (rng.Next() & 1) ? 1.0 : -1.0;
+  }
+  std::vector<WhtCoefficient> out;
+  for (const auto& [s, v] : coeffs) out.push_back({s, v});
+  return out;
+}
+
+TEST(DenseWhtTest, DeltaFunctionHasFlatSpectrum) {
+  std::vector<double> f(8, 0.0);
+  f[0] = 8.0;
+  const std::vector<double> fhat = DenseWht(f);
+  for (double v : fhat) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(DenseWhtTest, SingleCharacterRoundTrip) {
+  const uint64_t n = 64, s = 37;
+  const std::vector<double> f =
+      SynthesizeFromWhtCoefficients(n, {{s, 2.5}});
+  const std::vector<double> fhat = DenseWht(f);
+  for (uint64_t t = 0; t < n; ++t) {
+    EXPECT_NEAR(fhat[t], t == s ? 2.5 : 0.0, 1e-12) << t;
+  }
+}
+
+TEST(DenseWhtTest, ParsevalHolds) {
+  Xoshiro256StarStar rng(3);
+  std::vector<double> f(256);
+  for (double& v : f) v = rng.NextGaussian();
+  const std::vector<double> fhat = DenseWht(f);
+  double time_energy = 0.0, freq_energy = 0.0;
+  for (double v : f) time_energy += v * v;
+  for (double v : fhat) freq_energy += v * v;
+  // sum fhat^2 = E[f^2] = (1/N) sum f^2.
+  EXPECT_NEAR(freq_energy, time_energy / 256.0, 1e-9);
+}
+
+TEST(DenseWhtTest, SelfInverseUpToScale) {
+  Xoshiro256StarStar rng(4);
+  std::vector<double> f(128);
+  for (double& v : f) v = rng.NextGaussian();
+  // WHT(WHT(f)) = f / N with our 1/N-normalized transform applied twice
+  // on the *unnormalized* identity H H = N I => here result = f / N * N.
+  std::vector<double> back = DenseWht(DenseWht(f));
+  for (size_t i = 0; i < f.size(); ++i) {
+    EXPECT_NEAR(back[i], f[i] / 128.0, 1e-12);
+  }
+}
+
+TEST(KushilevitzMansourTest, FindsSingleHeavyCharacter) {
+  const uint64_t n = 1 << 12;
+  const std::vector<double> f =
+      SynthesizeFromWhtCoefficients(n, {{1234, 1.0}});
+  SparseWhtOptions options;
+  options.threshold = 0.5;
+  const SparseWhtResult result = KushilevitzMansour(f, options);
+  ASSERT_EQ(result.coefficients.size(), 1u);
+  EXPECT_EQ(result.coefficients[0].index, 1234u);
+  EXPECT_NEAR(result.coefficients[0].value, 1.0, 0.05);
+}
+
+TEST(KushilevitzMansourTest, FindsAllPlantedCharacters) {
+  const uint64_t n = 1 << 12;
+  for (uint64_t k : {2u, 4u, 8u}) {
+    const auto planted = RandomSparseCharacters(n, k, 10 + k);
+    const std::vector<double> f = SynthesizeFromWhtCoefficients(n, planted);
+    SparseWhtOptions options;
+    options.threshold = 0.5;
+    options.seed = k;
+    const SparseWhtResult result = KushilevitzMansour(f, options);
+    ASSERT_EQ(result.coefficients.size(), planted.size()) << "k=" << k;
+    for (size_t i = 0; i < planted.size(); ++i) {
+      EXPECT_EQ(result.coefficients[i].index, planted[i].index);
+      EXPECT_NEAR(result.coefficients[i].value, planted[i].value, 0.1);
+    }
+  }
+}
+
+TEST(KushilevitzMansourTest, ExactCoefficientModeIsExact) {
+  const uint64_t n = 1 << 10;
+  const auto planted = RandomSparseCharacters(n, 4, 7);
+  const std::vector<double> f = SynthesizeFromWhtCoefficients(n, planted);
+  SparseWhtOptions options;
+  options.threshold = 0.5;
+  options.samples_per_coefficient = 0;  // exact summation
+  const SparseWhtResult result = KushilevitzMansour(f, options);
+  ASSERT_EQ(result.coefficients.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(result.coefficients[i].value, planted[i].value, 1e-12);
+  }
+}
+
+TEST(KushilevitzMansourTest, IgnoresCoefficientsBelowThreshold) {
+  const uint64_t n = 1 << 10;
+  std::vector<WhtCoefficient> planted = {{100, 1.0}, {200, 0.05}};
+  const std::vector<double> f = SynthesizeFromWhtCoefficients(n, planted);
+  SparseWhtOptions options;
+  options.threshold = 0.5;
+  const SparseWhtResult result = KushilevitzMansour(f, options);
+  ASSERT_EQ(result.coefficients.size(), 1u);
+  EXPECT_EQ(result.coefficients[0].index, 100u);
+}
+
+TEST(KushilevitzMansourTest, SampleComplexityScalesLogarithmically) {
+  // KM reads O(k log n * samples_per_estimate) positions: growing n by
+  // 64x should grow the sample count by ~log factor (1.5x), not 64x.
+  uint64_t samples_small = 0, samples_large = 0;
+  {
+    const uint64_t n = 1 << 12;
+    const auto planted = RandomSparseCharacters(n, 4, 9);
+    const std::vector<double> f = SynthesizeFromWhtCoefficients(n, planted);
+    SparseWhtOptions options;
+    options.threshold = 0.5;
+    const SparseWhtResult result = KushilevitzMansour(f, options);
+    EXPECT_EQ(result.coefficients.size(), 4u);
+    samples_small = result.samples_read;
+  }
+  {
+    const uint64_t n = 1 << 18;
+    const auto planted = RandomSparseCharacters(n, 4, 9);
+    const std::vector<double> f = SynthesizeFromWhtCoefficients(n, planted);
+    SparseWhtOptions options;
+    options.threshold = 0.5;
+    const SparseWhtResult result = KushilevitzMansour(f, options);
+    EXPECT_EQ(result.coefficients.size(), 4u);
+    samples_large = result.samples_read;
+  }
+  // 64x more input, only ~1.5x more samples: the O(k log n * S) cost is
+  // what makes KM sub-linear once n outgrows the (large) constant S.
+  EXPECT_LT(samples_large, 4 * samples_small);
+}
+
+TEST(KushilevitzMansourTest, RobustToSmallNoise) {
+  const uint64_t n = 1 << 12;
+  const auto planted = RandomSparseCharacters(n, 3, 11);
+  std::vector<double> f = SynthesizeFromWhtCoefficients(n, planted);
+  Xoshiro256StarStar rng(12);
+  for (double& v : f) v += 0.05 * rng.NextGaussian();
+  SparseWhtOptions options;
+  options.threshold = 0.5;
+  const SparseWhtResult result = KushilevitzMansour(f, options);
+  ASSERT_EQ(result.coefficients.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(result.coefficients[i].index, planted[i].index);
+    EXPECT_NEAR(result.coefficients[i].value, planted[i].value, 0.1);
+  }
+}
+
+TEST(KushilevitzMansourTest, ZeroFunctionFindsNothing) {
+  const std::vector<double> f(1 << 8, 0.0);
+  SparseWhtOptions options;
+  options.threshold = 0.25;
+  const SparseWhtResult result = KushilevitzMansour(f, options);
+  EXPECT_TRUE(result.coefficients.empty());
+}
+
+TEST(KushilevitzMansourTest, AgreesWithDenseWht) {
+  const uint64_t n = 1 << 10;
+  const auto planted = RandomSparseCharacters(n, 5, 13);
+  const std::vector<double> f = SynthesizeFromWhtCoefficients(n, planted);
+  const std::vector<double> dense = DenseWht(f);
+  SparseWhtOptions options;
+  options.threshold = 0.5;
+  options.samples_per_coefficient = 0;
+  const SparseWhtResult sparse = KushilevitzMansour(f, options);
+  for (const WhtCoefficient& c : sparse.coefficients) {
+    EXPECT_NEAR(c.value, dense[c.index], 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,105 @@
+#include "sfft/spectrum_utils.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "fft/fft.h"
+
+namespace sketch {
+namespace {
+
+TEST(SparseSpectrumSignalTest, SpectrumMatchesFftOfTimeDomain) {
+  const SparseSpectrumSignal signal = MakeSparseSpectrumSignal(256, 5, 1);
+  const std::vector<Complex> spectrum = Fft(signal.time_domain);
+  std::set<uint64_t> support;
+  for (const SpectralCoefficient& c : signal.coefficients) {
+    support.insert(c.frequency);
+    EXPECT_NEAR(std::abs(spectrum[c.frequency] - c.value), 0.0, 1e-9);
+  }
+  for (uint64_t f = 0; f < 256; ++f) {
+    if (!support.count(f)) {
+      EXPECT_NEAR(std::abs(spectrum[f]), 0.0, 1e-9) << "f=" << f;
+    }
+  }
+}
+
+TEST(SparseSpectrumSignalTest, ExactlyKCoefficientsWithUnitMagnitude) {
+  const SparseSpectrumSignal signal = MakeSparseSpectrumSignal(1024, 17, 2);
+  EXPECT_EQ(signal.coefficients.size(), 17u);
+  std::set<uint64_t> freqs;
+  for (const SpectralCoefficient& c : signal.coefficients) {
+    freqs.insert(c.frequency);
+    EXPECT_NEAR(std::abs(c.value), 1.0, 1e-12);
+  }
+  EXPECT_EQ(freqs.size(), 17u);
+}
+
+TEST(SparseSpectrumSignalTest, CoefficientsSortedByFrequency) {
+  const SparseSpectrumSignal signal = MakeSparseSpectrumSignal(512, 9, 3);
+  for (size_t i = 1; i < signal.coefficients.size(); ++i) {
+    EXPECT_LT(signal.coefficients[i - 1].frequency,
+              signal.coefficients[i].frequency);
+  }
+}
+
+TEST(SparseSpectrumSignalTest, ZeroSparsityIsZeroSignal) {
+  const SparseSpectrumSignal signal = MakeSparseSpectrumSignal(64, 0, 4);
+  EXPECT_TRUE(signal.coefficients.empty());
+  EXPECT_NEAR(L2Norm(signal.time_domain), 0.0, 1e-15);
+}
+
+TEST(SpectrumL2ErrorTest, ZeroForPerfectRecovery) {
+  const SparseSpectrumSignal signal = MakeSparseSpectrumSignal(128, 4, 5);
+  EXPECT_NEAR(SpectrumL2Error(signal.coefficients, signal), 0.0, 1e-15);
+}
+
+TEST(SpectrumL2ErrorTest, MissedCoefficientCountsFully) {
+  const SparseSpectrumSignal signal = MakeSparseSpectrumSignal(128, 3, 6);
+  std::vector<SpectralCoefficient> partial(signal.coefficients.begin(),
+                                           signal.coefficients.end() - 1);
+  const double missing = std::abs(signal.coefficients.back().value);
+  EXPECT_NEAR(SpectrumL2Error(partial, signal), missing, 1e-12);
+}
+
+TEST(SpectrumL2ErrorTest, SpuriousCoefficientPenalized) {
+  const SparseSpectrumSignal signal = MakeSparseSpectrumSignal(128, 2, 7);
+  std::vector<SpectralCoefficient> rec = signal.coefficients;
+  // Add a spurious coefficient at an unused frequency.
+  uint64_t spurious = 0;
+  std::set<uint64_t> used;
+  for (const auto& c : signal.coefficients) used.insert(c.frequency);
+  while (used.count(spurious)) ++spurious;
+  rec.push_back({spurious, Complex(0.5, 0.0)});
+  EXPECT_NEAR(SpectrumL2Error(rec, signal), 0.5, 1e-12);
+}
+
+TEST(TopKCoefficientsTest, SelectsLargestMagnitudes) {
+  std::vector<Complex> spectrum(8, Complex(0, 0));
+  spectrum[2] = Complex(3.0, 0.0);
+  spectrum[5] = Complex(0.0, 5.0);
+  spectrum[7] = Complex(1.0, 0.0);
+  const auto top = TopKCoefficients(spectrum, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].frequency, 2u);
+  EXPECT_EQ(top[1].frequency, 5u);
+}
+
+TEST(TopKCoefficientsTest, KLargerThanNKeepsAll) {
+  std::vector<Complex> spectrum(4, Complex(1, 0));
+  EXPECT_EQ(TopKCoefficients(spectrum, 10).size(), 4u);
+}
+
+TEST(AddComplexNoiseTest, EnergyMatchesSigma) {
+  std::vector<Complex> x(50000, Complex(0, 0));
+  AddComplexNoise(&x, 0.3, 8);
+  double energy = 0.0;
+  for (const Complex& v : x) energy += std::norm(v);
+  // Each component contributes 2 * sigma^2 per sample.
+  EXPECT_NEAR(energy / x.size(), 2 * 0.09, 0.01);
+}
+
+}  // namespace
+}  // namespace sketch

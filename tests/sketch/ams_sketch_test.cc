@@ -1,0 +1,92 @@
+#include "sketch/ams_sketch.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stream/frequency_oracle.h"
+#include "stream/generators.h"
+
+namespace sketch {
+namespace {
+
+double ExactF2(const FrequencyOracle& oracle) {
+  double f2 = 0.0;
+  for (const auto& [item, count] : oracle.counts()) {
+    f2 += static_cast<double>(count) * static_cast<double>(count);
+  }
+  return f2;
+}
+
+TEST(AmsSketchTest, SingleItemF2Exact) {
+  AmsSketch ams(64, 5, 1);
+  ams.Update({3, 10});
+  EXPECT_DOUBLE_EQ(ams.EstimateF2(), 100.0);
+}
+
+TEST(AmsSketchTest, EstimatesF2WithinRelativeError) {
+  const auto updates = MakeZipfStream(1 << 12, 1.1, 50000, 2);
+  FrequencyOracle oracle;
+  oracle.UpdateAll(updates);
+  const double truth = ExactF2(oracle);
+  AmsSketch ams(512, 7, 2);
+  ams.UpdateAll(updates);
+  EXPECT_NEAR(ams.EstimateF2() / truth, 1.0, 0.15);
+}
+
+TEST(AmsSketchTest, EstimateIsUnbiasedOverSeeds) {
+  FrequencyOracle oracle;
+  const auto updates = MakeZipfStream(256, 1.0, 2000, 3);
+  oracle.UpdateAll(updates);
+  const double truth = ExactF2(oracle);
+  double sum = 0.0;
+  const int seeds = 200;
+  for (int s = 0; s < seeds; ++s) {
+    AmsSketch ams(16, 1, 100 + s);  // single row: the raw estimator
+    ams.UpdateAll(updates);
+    sum += ams.EstimateF2();
+  }
+  EXPECT_NEAR(sum / seeds / truth, 1.0, 0.1);
+}
+
+TEST(AmsSketchTest, DeletionsCancel) {
+  AmsSketch ams(128, 5, 4);
+  const auto updates = MakeZipfStream(100, 1.0, 1000, 4);
+  ams.UpdateAll(updates);
+  for (const StreamUpdate& u : updates) ams.Update({u.item, -u.delta});
+  EXPECT_DOUBLE_EQ(ams.EstimateF2(), 0.0);
+}
+
+TEST(AmsSketchTest, MergeEqualsUnion) {
+  const auto part1 = MakeZipfStream(500, 1.0, 3000, 5);
+  const auto part2 = MakeZipfStream(500, 1.0, 3000, 6);
+  AmsSketch a(256, 5, 7);
+  AmsSketch b(256, 5, 7);
+  AmsSketch whole(256, 5, 7);
+  a.UpdateAll(part1);
+  b.UpdateAll(part2);
+  whole.UpdateAll(part1);
+  whole.UpdateAll(part2);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.EstimateF2(), whole.EstimateF2());
+}
+
+TEST(AmsSketchTest, WiderSketchReducesVariance) {
+  const auto updates = MakeZipfStream(1 << 10, 1.0, 20000, 8);
+  FrequencyOracle oracle;
+  oracle.UpdateAll(updates);
+  const double truth = ExactF2(oracle);
+  double narrow_sse = 0.0, wide_sse = 0.0;
+  for (int s = 0; s < 30; ++s) {
+    AmsSketch narrow(8, 1, 500 + s);
+    AmsSketch wide(256, 1, 500 + s);
+    narrow.UpdateAll(updates);
+    wide.UpdateAll(updates);
+    narrow_sse += std::pow(narrow.EstimateF2() - truth, 2);
+    wide_sse += std::pow(wide.EstimateF2() - truth, 2);
+  }
+  EXPECT_LT(wide_sse, narrow_sse);
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,93 @@
+#include "sketch/bloom_filter.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+
+namespace sketch {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter bf(1 << 14, 5, 1);
+  for (uint64_t k = 0; k < 1000; ++k) bf.Insert(k * 7 + 1);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_TRUE(bf.MayContain(k * 7 + 1)) << "false negative at " << k;
+  }
+}
+
+TEST(BloomFilterTest, EmptyFilterContainsNothing) {
+  BloomFilter bf(1024, 4, 2);
+  for (uint64_t k = 0; k < 100; ++k) EXPECT_FALSE(bf.MayContain(k));
+}
+
+TEST(BloomFilterTest, MeasuredFprTracksTheory) {
+  const uint64_t keys = 5000;
+  BloomFilter bf = BloomFilter::FromFalsePositiveRate(keys, 0.02, 3);
+  for (uint64_t k = 0; k < keys; ++k) bf.Insert(k);
+  int false_positives = 0;
+  const int probes = 50000;
+  for (int i = 0; i < probes; ++i) {
+    false_positives += bf.MayContain(keys + 1 + i);
+  }
+  const double measured = static_cast<double>(false_positives) / probes;
+  EXPECT_LT(measured, 0.04);   // within 2x of target
+  EXPECT_GT(measured, 0.005);  // and not suspiciously perfect
+  EXPECT_NEAR(measured, bf.TheoreticalFpr(keys), 0.015);
+}
+
+TEST(BloomFilterTest, FromFprPicksReasonableGeometry) {
+  const BloomFilter bf = BloomFilter::FromFalsePositiveRate(1000, 0.01, 4);
+  // 1% FPR needs ~9.6 bits/key and ~7 hashes.
+  EXPECT_NEAR(static_cast<double>(bf.num_bits()) / 1000.0, 9.6, 0.5);
+  EXPECT_EQ(bf.num_hashes(), 7);
+}
+
+TEST(BloomFilterTest, MergeIsUnion) {
+  BloomFilter a(4096, 4, 5);
+  BloomFilter b(4096, 4, 5);
+  a.Insert(1);
+  b.Insert(2);
+  a.Merge(b);
+  EXPECT_TRUE(a.MayContain(1));
+  EXPECT_TRUE(a.MayContain(2));
+}
+
+TEST(BloomFilterTest, FillRatioGrowsWithInsertions) {
+  BloomFilter bf(4096, 4, 6);
+  EXPECT_DOUBLE_EQ(bf.FillRatio(), 0.0);
+  for (uint64_t k = 0; k < 100; ++k) bf.Insert(k);
+  const double after_100 = bf.FillRatio();
+  EXPECT_GT(after_100, 0.0);
+  for (uint64_t k = 100; k < 1000; ++k) bf.Insert(k);
+  EXPECT_GT(bf.FillRatio(), after_100);
+}
+
+TEST(BloomFilterTest, HalfFullAtOptimalLoad) {
+  // At the FPR-optimal configuration the fill ratio converges to 1/2
+  // (up to the rounding of the hash count to an integer, which biases it
+  // slightly upward: k = 7 instead of 6.64 here gives ~0.52).
+  const uint64_t keys = 20000;
+  BloomFilter bf = BloomFilter::FromFalsePositiveRate(keys, 0.01, 7);
+  for (uint64_t k = 0; k < keys; ++k) bf.Insert(k);
+  EXPECT_NEAR(bf.FillRatio(), 0.52, 0.04);
+}
+
+TEST(BloomFilterTest, MoreBitsPerKeyLowerFpr) {
+  const uint64_t keys = 2000;
+  double prev_fpr = 1.0;
+  for (double target : {0.1, 0.01, 0.001}) {
+    BloomFilter bf = BloomFilter::FromFalsePositiveRate(keys, target, 8);
+    for (uint64_t k = 0; k < keys; ++k) bf.Insert(k);
+    int fp = 0;
+    const int probes = 100000;
+    for (int i = 0; i < probes; ++i) fp += bf.MayContain(keys + 1 + i);
+    const double fpr = static_cast<double>(fp) / probes;
+    EXPECT_LT(fpr, prev_fpr + 1e-9);
+    prev_fpr = fpr;
+  }
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,173 @@
+#include "sketch/count_min.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "stream/frequency_oracle.h"
+#include "stream/generators.h"
+
+namespace sketch {
+namespace {
+
+TEST(CountMinTest, SingleItemExact) {
+  CountMinSketch cm(128, 4, 1);
+  for (int i = 0; i < 10; ++i) cm.Update({42, 1});
+  EXPECT_EQ(cm.Estimate(42), 10);
+}
+
+TEST(CountMinTest, UnseenItemBoundedByCollisions) {
+  CountMinSketch cm(1024, 5, 2);
+  cm.Update({1, 100});
+  // An unseen item either misses all of item 1's buckets (estimate 0) or
+  // collides; it can never be negative in an insert-only stream.
+  EXPECT_GE(cm.Estimate(999), 0);
+  EXPECT_LE(cm.Estimate(999), 100);
+}
+
+TEST(CountMinTest, NeverUnderestimatesOnInsertOnlyStream) {
+  const auto updates = MakeZipfStream(1 << 14, 1.2, 20000, 3);
+  CountMinSketch cm(256, 4, 3);
+  FrequencyOracle oracle;
+  cm.UpdateAll(updates);
+  oracle.UpdateAll(updates);
+  for (const auto& [item, count] : oracle.counts()) {
+    EXPECT_GE(cm.Estimate(item), count) << "item " << item;
+  }
+}
+
+TEST(CountMinTest, ErrorBoundHoldsWithHighProbability) {
+  // width = ceil(e/eps) gives error <= eps * N w.p. >= 1 - delta per item.
+  const double eps = 0.01, delta = 0.01;
+  CountMinSketch cm = CountMinSketch::FromErrorBounds(eps, delta, 4);
+  const auto updates = MakeZipfStream(1 << 12, 1.1, 50000, 4);
+  FrequencyOracle oracle;
+  cm.UpdateAll(updates);
+  oracle.UpdateAll(updates);
+  const double bound = eps * 50000;
+  int violations = 0, total = 0;
+  for (const auto& [item, count] : oracle.counts()) {
+    ++total;
+    if (cm.Estimate(item) - count > bound) ++violations;
+  }
+  // Expected violation rate <= delta; allow 3x slack.
+  EXPECT_LE(violations, 3 * delta * total + 3);
+}
+
+TEST(CountMinTest, SupportsDeletionsInStrictTurnstile) {
+  const auto updates = MakeTurnstileStream(1000, 1.1, 20000, 0.7, 5);
+  CountMinSketch cm(512, 5, 5);
+  FrequencyOracle oracle;
+  cm.UpdateAll(updates);
+  oracle.UpdateAll(updates);
+  for (const auto& [item, count] : oracle.counts()) {
+    EXPECT_GE(cm.Estimate(item), count);
+  }
+}
+
+TEST(CountMinTest, MergeEqualsConcatenatedStream) {
+  const auto part1 = MakeZipfStream(1000, 1.0, 5000, 6);
+  const auto part2 = MakeZipfStream(1000, 1.0, 5000, 7);
+  CountMinSketch a(128, 4, 8);
+  CountMinSketch b(128, 4, 8);
+  CountMinSketch whole(128, 4, 8);
+  a.UpdateAll(part1);
+  b.UpdateAll(part2);
+  whole.UpdateAll(part1);
+  whole.UpdateAll(part2);
+  a.Merge(b);
+  for (uint64_t item = 0; item < 1000; ++item) {
+    EXPECT_EQ(a.Estimate(item), whole.Estimate(item));
+  }
+}
+
+TEST(CountMinTest, ConservativeUpdateNeverUnderestimates) {
+  const auto updates = MakeZipfStream(1 << 12, 1.1, 20000, 9);
+  CountMinSketch cm(256, 4, 9);
+  FrequencyOracle oracle;
+  for (const StreamUpdate& u : updates) {
+    cm.UpdateConservative(u.item, u.delta);
+    oracle.Update(u);
+  }
+  for (const auto& [item, count] : oracle.counts()) {
+    EXPECT_GE(cm.Estimate(item), count);
+  }
+}
+
+TEST(CountMinTest, ConservativeUpdateTightensEstimates) {
+  const auto updates = MakeZipfStream(1 << 12, 1.1, 50000, 10);
+  CountMinSketch standard(128, 4, 10);
+  CountMinSketch conservative(128, 4, 10);
+  FrequencyOracle oracle;
+  for (const StreamUpdate& u : updates) {
+    standard.Update(u);
+    conservative.UpdateConservative(u.item, u.delta);
+    oracle.Update(u);
+  }
+  int64_t standard_err = 0, conservative_err = 0;
+  for (const auto& [item, count] : oracle.counts()) {
+    standard_err += standard.Estimate(item) - count;
+    conservative_err += conservative.Estimate(item) - count;
+  }
+  EXPECT_LT(conservative_err, standard_err);
+}
+
+TEST(CountMinTest, FromErrorBoundsGeometry) {
+  const CountMinSketch cm = CountMinSketch::FromErrorBounds(0.01, 0.01, 1);
+  EXPECT_GE(cm.width(), static_cast<uint64_t>(std::exp(1.0) / 0.01));
+  EXPECT_GE(cm.depth(), static_cast<uint64_t>(std::log(100.0)));
+}
+
+TEST(CountMinTest, BucketOfMatchesEstimatePath) {
+  CountMinSketch cm(64, 3, 11);
+  cm.Update({123, 7});
+  for (uint64_t row = 0; row < 3; ++row) {
+    EXPECT_EQ(cm.CounterAt(row, cm.BucketOf(row, 123)), 7);
+  }
+}
+
+TEST(CountMinTest, DepthOneIsASingleHashedArray) {
+  CountMinSketch cm(16, 1, 12);
+  cm.Update({1, 5});
+  EXPECT_GE(cm.Estimate(1), 5);
+}
+
+TEST(CountMinTest, SizeInCounters) {
+  EXPECT_EQ(CountMinSketch(100, 7, 1).SizeInCounters(), 700u);
+}
+
+// Property sweep: the overestimate-only invariant must hold across widths,
+// depths, and stream skews.
+class CountMinPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t, double>> {
+};
+
+TEST_P(CountMinPropertyTest, OverestimateOnlyAndAccuracyScalesWithWidth) {
+  const auto [width, depth, alpha] = GetParam();
+  const uint64_t seed = width * 31 + depth * 7 + static_cast<uint64_t>(alpha);
+  const auto updates = MakeZipfStream(1 << 12, alpha, 20000, seed);
+  CountMinSketch cm(width, depth, seed);
+  FrequencyOracle oracle;
+  cm.UpdateAll(updates);
+  oracle.UpdateAll(updates);
+  double total_over = 0.0;
+  for (const auto& [item, count] : oracle.counts()) {
+    const int64_t est = cm.Estimate(item);
+    ASSERT_GE(est, count);
+    total_over += static_cast<double>(est - count);
+  }
+  // Mean overestimate is at most ~ depth-independent N/width in
+  // expectation; allow generous 4x slack for skew.
+  const double mean_over = total_over / oracle.DistinctCount();
+  EXPECT_LE(mean_over, 4.0 * 20000.0 / width);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, CountMinPropertyTest,
+    ::testing::Combine(::testing::Values(64, 256, 1024),
+                       ::testing::Values(1, 3, 5),
+                       ::testing::Values(0.8, 1.1, 1.5)));
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,166 @@
+#include "sketch/count_sketch.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "stream/frequency_oracle.h"
+#include "stream/generators.h"
+
+namespace sketch {
+namespace {
+
+TEST(CountSketchTest, SingleItemExact) {
+  CountSketch cs(128, 5, 1);
+  for (int i = 0; i < 10; ++i) cs.Update({42, 1});
+  EXPECT_EQ(cs.Estimate(42), 10);
+}
+
+TEST(CountSketchTest, RowEstimatesAreUnbiasedAcrossSeeds) {
+  // E[row estimate] = true count: average over many independent sketches.
+  const int seeds = 600;
+  double sum = 0.0;
+  for (int s = 0; s < seeds; ++s) {
+    CountSketch cs(16, 1, 1000 + s);  // narrow: lots of collisions
+    cs.Update({1, 50});
+    cs.Update({2, 30});
+    cs.Update({3, 20});
+    sum += static_cast<double>(cs.EstimateRow(0, 1));
+  }
+  // Colliding mass is +-30 or +-20 per collision; std of the mean is
+  // modest with 600 seeds.
+  EXPECT_NEAR(sum / seeds, 50.0, 4.0);
+}
+
+TEST(CountSketchTest, SupportsNegativeFrequencies) {
+  // Unlike Count-Min's min estimator, Count-Sketch handles general
+  // turnstile streams where counts can be negative.
+  CountSketch cs(256, 5, 2);
+  cs.Update({7, -25});
+  EXPECT_EQ(cs.Estimate(7), -25);
+}
+
+TEST(CountSketchTest, ErrorBoundedByL2Tail) {
+  const auto updates = MakeZipfStream(1 << 12, 1.3, 50000, 3);
+  FrequencyOracle oracle;
+  oracle.UpdateAll(updates);
+  double f2 = 0.0;
+  for (const auto& [item, count] : oracle.counts()) {
+    f2 += static_cast<double>(count) * static_cast<double>(count);
+  }
+  const double l2 = std::sqrt(f2);
+  const uint64_t width = 1024;
+  CountSketch cs(width, 5, 3);
+  cs.UpdateAll(updates);
+  // Per-item error should be O(l2/sqrt(width)) w.h.p.; check the 99th
+  // percentile stays within a small constant of that.
+  const double bound = 8.0 * l2 / std::sqrt(static_cast<double>(width));
+  int violations = 0, total = 0;
+  for (const auto& [item, count] : oracle.counts()) {
+    ++total;
+    if (std::abs(static_cast<double>(cs.Estimate(item) - count)) > bound) {
+      ++violations;
+    }
+  }
+  EXPECT_LE(violations, total / 100 + 3);
+}
+
+TEST(CountSketchTest, MergeEqualsConcatenatedStream) {
+  const auto part1 = MakeZipfStream(1000, 1.0, 5000, 4);
+  const auto part2 = MakeZipfStream(1000, 1.0, 5000, 5);
+  CountSketch a(128, 5, 6);
+  CountSketch b(128, 5, 6);
+  CountSketch whole(128, 5, 6);
+  a.UpdateAll(part1);
+  b.UpdateAll(part2);
+  whole.UpdateAll(part1);
+  whole.UpdateAll(part2);
+  a.Merge(b);
+  for (uint64_t item = 0; item < 1000; ++item) {
+    EXPECT_EQ(a.Estimate(item), whole.Estimate(item));
+  }
+}
+
+TEST(CountSketchTest, DeletionsCancelExactly) {
+  CountSketch cs(64, 3, 7);
+  const auto updates = MakeZipfStream(100, 1.0, 1000, 7);
+  cs.UpdateAll(updates);
+  for (const StreamUpdate& u : updates) cs.Update({u.item, -u.delta});
+  for (uint64_t item = 0; item < 100; ++item) {
+    EXPECT_EQ(cs.Estimate(item), 0);
+  }
+}
+
+TEST(CountSketchTest, FromErrorBoundsHasOddDepth) {
+  const CountSketch cs = CountSketch::FromErrorBounds(0.1, 0.05, 8);
+  EXPECT_EQ(cs.depth() % 2, 1u);
+  EXPECT_GE(cs.width(), static_cast<uint64_t>(3.0 / (0.1 * 0.1)));
+}
+
+TEST(CountSketchTest, SignAndBucketConsistentWithCounters) {
+  CountSketch cs(64, 3, 9);
+  cs.Update({55, 11});
+  for (uint64_t row = 0; row < 3; ++row) {
+    const int64_t counter = cs.CounterAt(row, cs.BucketOf(row, 55));
+    EXPECT_EQ(counter, cs.SignOf(row, 55) * 11);
+  }
+}
+
+TEST(CountSketchTest, MedianBeatsWorstRow) {
+  // With depth 5, the median estimate should track the truth better than
+  // the worst row on a heavy-collision configuration.
+  const auto updates = MakeZipfStream(1 << 12, 1.1, 30000, 10);
+  FrequencyOracle oracle;
+  oracle.UpdateAll(updates);
+  CountSketch cs(64, 5, 10);
+  cs.UpdateAll(updates);
+  double median_err = 0.0, worst_row_err = 0.0;
+  for (const auto& [item, count] : oracle.counts()) {
+    median_err +=
+        std::abs(static_cast<double>(cs.Estimate(item) - count));
+    double worst = 0.0;
+    for (uint64_t row = 0; row < 5; ++row) {
+      worst = std::max(
+          worst, std::abs(static_cast<double>(cs.EstimateRow(row, item) -
+                                              count)));
+    }
+    worst_row_err += worst;
+  }
+  EXPECT_LT(median_err, worst_row_err);
+}
+
+// Property sweep: error decays as width grows, for several depths/skews.
+class CountSketchPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t, double>> {
+};
+
+TEST_P(CountSketchPropertyTest, MeanAbsoluteErrorScalesWithWidth) {
+  const auto [width, depth, alpha] = GetParam();
+  const uint64_t seed = width * 13 + depth * 3 + static_cast<uint64_t>(alpha);
+  const auto updates = MakeZipfStream(1 << 12, alpha, 20000, seed);
+  FrequencyOracle oracle;
+  oracle.UpdateAll(updates);
+  double f2 = 0.0;
+  for (const auto& [item, count] : oracle.counts()) {
+    f2 += static_cast<double>(count) * static_cast<double>(count);
+  }
+  CountSketch cs(width, depth, seed);
+  cs.UpdateAll(updates);
+  double total_err = 0.0;
+  for (const auto& [item, count] : oracle.counts()) {
+    total_err += std::abs(static_cast<double>(cs.Estimate(item) - count));
+  }
+  const double mean_err = total_err / oracle.DistinctCount();
+  // Typical error is ~ sqrt(F2/width); allow 4x.
+  EXPECT_LE(mean_err, 4.0 * std::sqrt(f2 / static_cast<double>(width)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, CountSketchPropertyTest,
+    ::testing::Combine(::testing::Values(64, 256, 1024),
+                       ::testing::Values(1, 3, 5),
+                       ::testing::Values(0.8, 1.1, 1.5)));
+
+}  // namespace
+}  // namespace sketch

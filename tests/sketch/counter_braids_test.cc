@@ -1,0 +1,160 @@
+#include "sketch/counter_braids.h"
+
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "stream/frequency_oracle.h"
+#include "stream/generators.h"
+
+namespace sketch {
+namespace {
+
+TEST(SolveBraidTest, SingleVariableSingleCounter) {
+  const BraidDecodeOutput out = SolveBraid({{0}}, {7}, 10);
+  EXPECT_TRUE(out.exact);
+  EXPECT_EQ(out.values[0], 7u);
+}
+
+TEST(SolveBraidTest, TwoVariablesDisambiguatedByPrivateCounters) {
+  // v0 in counters {0,1}, v1 in counters {1,2}: totals 3, 8, 5.
+  const BraidDecodeOutput out = SolveBraid({{0, 1}, {1, 2}}, {3, 8, 5}, 20);
+  EXPECT_TRUE(out.exact);
+  EXPECT_EQ(out.values[0], 3u);
+  EXPECT_EQ(out.values[1], 5u);
+}
+
+TEST(SolveBraidTest, UnderdeterminedSystemReportsInexact) {
+  // Two variables share both counters: infinitely many solutions.
+  const BraidDecodeOutput out = SolveBraid({{0, 1}, {0, 1}}, {5, 5}, 20);
+  EXPECT_FALSE(out.exact);
+}
+
+TEST(SolveBraidTest, ChainPropagatesInformation) {
+  // v0:{0,1}, v1:{1,2}, v2:{2,3}: true values 2, 4, 6.
+  const BraidDecodeOutput out =
+      SolveBraid({{0, 1}, {1, 2}, {2, 3}}, {2, 6, 10, 6}, 30);
+  EXPECT_TRUE(out.exact);
+  EXPECT_EQ(out.values[0], 2u);
+  EXPECT_EQ(out.values[1], 4u);
+  EXPECT_EQ(out.values[2], 6u);
+}
+
+TEST(SolveBraidTest, ZeroTotalsForceZeroVariables) {
+  const BraidDecodeOutput out = SolveBraid({{0, 1}, {1, 2}}, {0, 0, 0}, 10);
+  EXPECT_TRUE(out.exact);
+  EXPECT_EQ(out.values[0], 0u);
+  EXPECT_EQ(out.values[1], 0u);
+}
+
+class CounterBraidsTest : public ::testing::Test {
+ protected:
+  static CounterBraids::Options AmpleOptions() {
+    CounterBraids::Options options;
+    options.layer1_counters = 1 << 13;
+    options.layer1_bits = 8;
+    options.layer2_counters = 1 << 10;
+    options.seed = 3;
+    return options;
+  }
+};
+
+TEST_F(CounterBraidsTest, ExactRecoveryOfSparseFlows) {
+  CounterBraids braids(AmpleOptions());
+  std::unordered_map<uint64_t, uint64_t> truth;
+  std::vector<uint64_t> flows;
+  for (uint64_t f = 0; f < 500; ++f) {
+    const uint64_t flow_id = f * 977 + 13;
+    const uint64_t count = 1 + (f % 97);
+    braids.Update(flow_id, count);
+    truth[flow_id] = count;
+    flows.push_back(flow_id);
+  }
+  const CounterBraids::DecodeResult decoded = braids.Decode(flows);
+  EXPECT_TRUE(decoded.exact);
+  for (const auto& [flow, count] : truth) {
+    EXPECT_EQ(decoded.counts.at(flow), count) << "flow " << flow;
+  }
+}
+
+TEST_F(CounterBraidsTest, OverflowPathExercisedAndStillExact) {
+  CounterBraids::Options options = AmpleOptions();
+  options.layer1_bits = 4;  // counters saturate at 15: overflows guaranteed
+  CounterBraids braids(options);
+  std::vector<uint64_t> flows;
+  std::unordered_map<uint64_t, uint64_t> truth;
+  for (uint64_t f = 0; f < 300; ++f) {
+    const uint64_t flow_id = f + 1;
+    const uint64_t count = 50 + 31 * f % 1000;  // far above 15
+    braids.Update(flow_id, count);
+    truth[flow_id] = count;
+    flows.push_back(flow_id);
+  }
+  const CounterBraids::DecodeResult decoded = braids.Decode(flows);
+  EXPECT_TRUE(decoded.exact);
+  for (const auto& [flow, count] : truth) {
+    EXPECT_EQ(decoded.counts.at(flow), count);
+  }
+}
+
+TEST_F(CounterBraidsTest, ZipfTrafficRecoveredExactly) {
+  CounterBraids braids(AmpleOptions());
+  const auto updates = MakeZipfStream(1 << 16, 1.2, 30000, 5);
+  FrequencyOracle oracle;
+  for (const StreamUpdate& u : updates) {
+    braids.Update(u.item, static_cast<uint64_t>(u.delta));
+    oracle.Update(u);
+  }
+  std::vector<uint64_t> flows;
+  for (const auto& [flow, count] : oracle.counts()) flows.push_back(flow);
+  const CounterBraids::DecodeResult decoded = braids.Decode(flows);
+  EXPECT_TRUE(decoded.exact);
+  for (const auto& [flow, count] : oracle.counts()) {
+    EXPECT_EQ(decoded.counts.at(flow), static_cast<uint64_t>(count));
+  }
+}
+
+TEST_F(CounterBraidsTest, UnseenFlowsDecodeToZero) {
+  CounterBraids braids(AmpleOptions());
+  braids.Update(1, 10);
+  const CounterBraids::DecodeResult decoded = braids.Decode({1, 2, 3});
+  EXPECT_EQ(decoded.counts.at(1), 10u);
+  EXPECT_EQ(decoded.counts.at(2), 0u);
+  EXPECT_EQ(decoded.counts.at(3), 0u);
+}
+
+TEST_F(CounterBraidsTest, OverloadedBraidReportsInexact) {
+  CounterBraids::Options options;
+  options.layer1_counters = 64;  // far too small for 2000 flows
+  options.layer2_counters = 32;
+  options.seed = 7;
+  CounterBraids braids(options);
+  std::vector<uint64_t> flows;
+  for (uint64_t f = 0; f < 2000; ++f) {
+    braids.Update(f, 1 + f % 5);
+    flows.push_back(f);
+  }
+  const CounterBraids::DecodeResult decoded = braids.Decode(flows);
+  EXPECT_FALSE(decoded.exact);
+}
+
+TEST_F(CounterBraidsTest, SpaceIsBelowExactPerFlowCounters) {
+  // 8192 flows at 64 bits each would be 524288 bits; the braid with the
+  // default geometry is smaller.
+  CounterBraids braids(AmpleOptions());
+  EXPECT_LT(braids.SizeInBits(), 8192ULL * 64ULL);
+}
+
+TEST_F(CounterBraidsTest, DecodeIsRepeatable) {
+  CounterBraids braids(AmpleOptions());
+  for (uint64_t f = 0; f < 100; ++f) braids.Update(f, f + 1);
+  std::vector<uint64_t> flows;
+  for (uint64_t f = 0; f < 100; ++f) flows.push_back(f);
+  const auto a = braids.Decode(flows);
+  const auto b = braids.Decode(flows);
+  EXPECT_EQ(a.exact, b.exact);
+  EXPECT_EQ(a.counts, b.counts);
+}
+
+}  // namespace
+}  // namespace sketch

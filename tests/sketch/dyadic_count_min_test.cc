@@ -1,0 +1,119 @@
+#include "sketch/dyadic_count_min.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "stream/frequency_oracle.h"
+#include "stream/generators.h"
+
+namespace sketch {
+namespace {
+
+TEST(DyadicCountMinTest, PointEstimateMatchesLeafCountMin) {
+  DyadicCountMin dcm(10, 256, 4, 1);
+  for (int i = 0; i < 25; ++i) dcm.Update({77, 1});
+  EXPECT_GE(dcm.Estimate(77), 25);
+}
+
+TEST(DyadicCountMinTest, HeavyHittersFindsAllTrueHeavyItems) {
+  const int log_n = 16;
+  const auto updates = MakeZipfStream(1ULL << log_n, 1.3, 50000, 2);
+  FrequencyOracle oracle;
+  oracle.UpdateAll(updates);
+  DyadicCountMin dcm(log_n, 2048, 4, 2);
+  dcm.UpdateAll(updates);
+
+  const int64_t threshold = 500;  // phi = 1%
+  const auto truth = oracle.ItemsAbove(threshold);
+  const auto found = dcm.HeavyHitters(threshold);
+  const PrecisionRecall pr = ComputePrecisionRecall(found, truth);
+  // Count-Min never underestimates => recall 1 (every heavy item survives
+  // the descent); precision may dip slightly from overestimates.
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  EXPECT_GE(pr.precision, 0.5);
+}
+
+TEST(DyadicCountMinTest, NoHeavyHittersInUniformStream) {
+  const int log_n = 14;
+  const auto updates = MakeUniformStream(1ULL << log_n, 20000, 3);
+  DyadicCountMin dcm(log_n, 1024, 4, 3);
+  dcm.UpdateAll(updates);
+  // Uniform stream: ~1.2 occurrences per item; nothing close to 200.
+  EXPECT_TRUE(dcm.HeavyHitters(200).empty());
+}
+
+TEST(DyadicCountMinTest, SingleItemStreamYieldsSingleHitter) {
+  DyadicCountMin dcm(12, 512, 4, 4);
+  dcm.UpdateAll(MakeSingleItemStream(1234, 5000));
+  const auto found = dcm.HeavyHitters(4000);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], 1234u);
+}
+
+TEST(DyadicCountMinTest, RangeSumOverestimatesButTracksTruth) {
+  const int log_n = 12;
+  const auto updates = MakeZipfStream(1ULL << log_n, 1.0, 30000, 5, false);
+  FrequencyOracle oracle;
+  oracle.UpdateAll(updates);
+  DyadicCountMin dcm(log_n, 1024, 4, 5);
+  dcm.UpdateAll(updates);
+
+  for (const auto& [lo, hi] :
+       std::vector<std::pair<uint64_t, uint64_t>>{
+           {0, 100}, {5, 5}, {1000, 4000}, {0, (1ULL << log_n) - 1}}) {
+    int64_t truth = 0;
+    for (uint64_t i = lo; i <= hi; ++i) truth += oracle.Count(i);
+    const int64_t est = dcm.RangeSum(lo, hi);
+    EXPECT_GE(est, truth) << "[" << lo << ", " << hi << "]";
+    EXPECT_LE(est, truth + 30000 / 10) << "[" << lo << ", " << hi << "]";
+  }
+}
+
+TEST(DyadicCountMinTest, FullRangeEqualsTotal) {
+  DyadicCountMin dcm(10, 256, 4, 6);
+  const auto updates = MakeZipfStream(1ULL << 10, 1.0, 5000, 6, false);
+  dcm.UpdateAll(updates);
+  EXPECT_EQ(dcm.TotalCount(), 5000);
+  EXPECT_GE(dcm.RangeSum(0, (1ULL << 10) - 1), 5000);
+}
+
+TEST(DyadicCountMinTest, QuantilesAreMonotoneAndBracketed) {
+  const int log_n = 12;
+  // Uniform over the universe => q-quantile ~ q * universe.
+  const auto updates = MakeUniformStream(1ULL << log_n, 50000, 7);
+  DyadicCountMin dcm(log_n, 1024, 4, 7);
+  dcm.UpdateAll(updates);
+  uint64_t prev = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const uint64_t x = dcm.Quantile(q);
+    EXPECT_GE(x, prev);  // monotone in q
+    EXPECT_NEAR(static_cast<double>(x), q * (1ULL << log_n),
+                0.05 * (1ULL << log_n))
+        << "q=" << q;
+    prev = x;
+  }
+}
+
+TEST(DyadicCountMinTest, MedianOfPointMass) {
+  DyadicCountMin dcm(10, 256, 4, 8);
+  dcm.UpdateAll(MakeSingleItemStream(300, 1000));
+  EXPECT_EQ(dcm.Quantile(0.5), 300u);
+}
+
+TEST(DyadicCountMinTest, SupportsDeletions) {
+  DyadicCountMin dcm(10, 256, 4, 9);
+  dcm.Update({5, 10});
+  dcm.Update({5, -10});
+  EXPECT_EQ(dcm.TotalCount(), 0);
+  EXPECT_TRUE(dcm.HeavyHitters(5).empty());
+}
+
+TEST(DyadicCountMinTest, SizeAccountsAllLevels) {
+  DyadicCountMin dcm(8, 100, 2, 10);
+  EXPECT_EQ(dcm.SizeInCounters(), 8u * 100u * 2u);
+}
+
+}  // namespace
+}  // namespace sketch

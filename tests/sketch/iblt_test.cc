@@ -1,0 +1,128 @@
+#include "sketch/iblt.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+
+namespace sketch {
+namespace {
+
+TEST(IbltTest, GetFindsInsertedPair) {
+  Iblt iblt(60, 3, 1);
+  iblt.Insert(10, 100);
+  const auto value = iblt.Get(10);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, 100u);
+}
+
+TEST(IbltTest, GetOnEmptyTableReturnsAbsent) {
+  Iblt iblt(60, 3, 2);
+  EXPECT_FALSE(iblt.Get(42).has_value());
+}
+
+TEST(IbltTest, DeleteCancelsInsertExactly) {
+  Iblt iblt(60, 3, 3);
+  iblt.Insert(5, 50);
+  iblt.Delete(5, 50);
+  EXPECT_FALSE(iblt.Get(5).has_value());
+  const auto [entries, complete] = iblt.ListEntries();
+  EXPECT_TRUE(complete);
+  EXPECT_TRUE(entries.empty());
+}
+
+TEST(IbltTest, ListEntriesRecoversAllPairsUnderThreshold) {
+  // 3 hashes, load 1/1.5: comfortably below the ~0.81 peeling threshold.
+  const uint64_t pairs = 100;
+  Iblt iblt(150, 3, 4);
+  for (uint64_t k = 0; k < pairs; ++k) iblt.Insert(k + 1, k * k + 7);
+  const auto [entries, complete] = iblt.ListEntries();
+  EXPECT_TRUE(complete);
+  ASSERT_EQ(entries.size(), pairs);
+  std::map<uint64_t, uint64_t> recovered;
+  for (const Iblt::Entry& e : entries) {
+    EXPECT_EQ(e.sign, +1);
+    recovered[e.key] = e.value;
+  }
+  for (uint64_t k = 0; k < pairs; ++k) {
+    ASSERT_TRUE(recovered.count(k + 1));
+    EXPECT_EQ(recovered[k + 1], k * k + 7);
+  }
+}
+
+TEST(IbltTest, OverloadedTableReportsIncomplete) {
+  // 200 pairs in 60 cells: far beyond the peeling threshold.
+  Iblt iblt(60, 3, 5);
+  for (uint64_t k = 0; k < 200; ++k) iblt.Insert(k + 1, k);
+  const auto [entries, complete] = iblt.ListEntries();
+  EXPECT_FALSE(complete);
+}
+
+TEST(IbltTest, ListEntriesDoesNotMutateTable) {
+  Iblt iblt(90, 3, 6);
+  for (uint64_t k = 0; k < 20; ++k) iblt.Insert(k + 1, k);
+  (void)iblt.ListEntries();
+  // Listing again must still work (const method peels a copy).
+  const auto [entries, complete] = iblt.ListEntries();
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(entries.size(), 20u);
+}
+
+TEST(IbltTest, SubtractYieldsSymmetricDifference) {
+  Iblt a(120, 3, 7);
+  Iblt b(120, 3, 7);  // same seed => same hash functions
+  // Shared pairs cancel; uniques survive with signs.
+  for (uint64_t k = 0; k < 30; ++k) {
+    a.Insert(k + 1, k);
+    b.Insert(k + 1, k);
+  }
+  a.Insert(1000, 11);
+  a.Insert(1001, 12);
+  b.Insert(2000, 21);
+  a.Subtract(b);
+  const auto [entries, complete] = a.ListEntries();
+  EXPECT_TRUE(complete);
+  ASSERT_EQ(entries.size(), 3u);
+  std::map<uint64_t, std::pair<uint64_t, int>> by_key;
+  for (const Iblt::Entry& e : entries) by_key[e.key] = {e.value, e.sign};
+  EXPECT_EQ(by_key[1000], (std::pair<uint64_t, int>{11, +1}));
+  EXPECT_EQ(by_key[1001], (std::pair<uint64_t, int>{12, +1}));
+  EXPECT_EQ(by_key[2000], (std::pair<uint64_t, int>{21, -1}));
+}
+
+TEST(IbltTest, PeelingSucceedsNearClassicThreshold) {
+  // With 3 hashes, peeling succeeds w.h.p. at m = 1.4n (threshold ~1.23n).
+  const uint64_t pairs = 500;
+  Iblt iblt(static_cast<uint64_t>(pairs * 1.4), 3, 8);
+  Xoshiro256StarStar rng(8);
+  std::map<uint64_t, uint64_t> truth;
+  while (truth.size() < pairs) truth[rng.Next() | 1] = rng.Next();
+  for (const auto& [k, v] : truth) iblt.Insert(k, v);
+  const auto [entries, complete] = iblt.ListEntries();
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(entries.size(), pairs);
+}
+
+TEST(IbltTest, GetUnresolvableInDenseTable) {
+  Iblt iblt(6, 3, 9);
+  for (uint64_t k = 0; k < 50; ++k) iblt.Insert(k + 1, k);
+  // With 50 keys in 6 cells, every cell is multi-occupied; Get on a
+  // present key cannot resolve (returns nullopt rather than a wrong value).
+  const auto v = iblt.Get(1);
+  if (v.has_value()) EXPECT_EQ(*v, 0u);  // if resolvable, must be correct
+}
+
+TEST(IbltTest, DuplicateKeyInsertionsAreNotSingletons) {
+  Iblt iblt(60, 3, 10);
+  iblt.Insert(7, 70);
+  iblt.Insert(7, 70);  // count 2 in every probed cell
+  const auto [entries, complete] = iblt.ListEntries();
+  // A doubly-inserted pair cannot be peeled as count==1; the listing must
+  // report incomplete rather than hallucinate.
+  EXPECT_FALSE(complete);
+}
+
+}  // namespace
+}  // namespace sketch

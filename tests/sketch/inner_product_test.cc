@@ -1,0 +1,134 @@
+// Tests for sketched inner-product / join-size estimation [CM04 §4.2]:
+// the linear-sketch view makes <x, y> estimable from two sketches alone.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sketch/count_min.h"
+#include "sketch/count_sketch.h"
+#include "stream/frequency_oracle.h"
+#include "stream/generators.h"
+
+namespace sketch {
+namespace {
+
+int64_t ExactInnerProduct(const FrequencyOracle& a,
+                          const FrequencyOracle& b) {
+  int64_t total = 0;
+  for (const auto& [item, count] : a.counts()) {
+    total += count * b.Count(item);
+  }
+  return total;
+}
+
+struct JoinInstance {
+  FrequencyOracle oracle_r, oracle_s;
+  std::vector<StreamUpdate> stream_r, stream_s;
+  int64_t exact = 0;
+};
+
+JoinInstance MakeJoin(uint64_t universe, double alpha, uint64_t len,
+                      uint64_t seed) {
+  JoinInstance inst;
+  // Same key domain for both relations (no id shuffle): the heads align,
+  // as in a real equi-join over a shared key distribution.
+  inst.stream_r = MakeZipfStream(universe, alpha, len, seed, false);
+  inst.stream_s = MakeZipfStream(universe, alpha, len, seed + 1, false);
+  inst.oracle_r.UpdateAll(inst.stream_r);
+  inst.oracle_s.UpdateAll(inst.stream_s);
+  inst.exact = ExactInnerProduct(inst.oracle_r, inst.oracle_s);
+  return inst;
+}
+
+TEST(CountMinInnerProductTest, NeverUnderestimatesJoinSize) {
+  const JoinInstance join = MakeJoin(1 << 14, 1.2, 30000, 1);
+  CountMinSketch r(4096, 5, 7), s(4096, 5, 7);
+  r.UpdateAll(join.stream_r);
+  s.UpdateAll(join.stream_s);
+  const int64_t estimate = r.EstimateInnerProduct(s);
+  EXPECT_GE(estimate, join.exact);
+}
+
+TEST(CountMinInnerProductTest, ErrorBoundedByL1Product) {
+  const JoinInstance join = MakeJoin(1 << 14, 1.2, 30000, 2);
+  CountMinSketch r(8192, 5, 8), s(8192, 5, 8);
+  r.UpdateAll(join.stream_r);
+  s.UpdateAll(join.stream_s);
+  const int64_t estimate = r.EstimateInnerProduct(s);
+  // Error <= (e/width)*||x||_1*||y||_1 w.h.p.; allow 4x slack.
+  const double bound = 4.0 * std::exp(1.0) / 8192.0 * 30000.0 * 30000.0;
+  EXPECT_LE(estimate - join.exact, bound);
+}
+
+TEST(CountMinInnerProductTest, WiderSketchTightensEstimate) {
+  const JoinInstance join = MakeJoin(1 << 12, 1.1, 20000, 3);
+  int64_t prev_overshoot = -1;
+  for (uint64_t width : {256u, 1024u, 4096u}) {
+    CountMinSketch r(width, 5, 9), s(width, 5, 9);
+    r.UpdateAll(join.stream_r);
+    s.UpdateAll(join.stream_s);
+    const int64_t overshoot = r.EstimateInnerProduct(s) - join.exact;
+    EXPECT_GE(overshoot, 0);
+    if (prev_overshoot >= 0) EXPECT_LE(overshoot, prev_overshoot);
+    prev_overshoot = overshoot;
+  }
+}
+
+TEST(CountSketchInnerProductTest, MedianAcrossSeedsTracksTruth) {
+  // The per-row estimator is unbiased but heavy-tailed on skewed streams
+  // (a collision of two head items adds a huge +- cross term), so the
+  // sample mean converges very slowly — concentrate with the median, as
+  // the estimator itself does across rows.
+  const JoinInstance join = MakeJoin(1 << 12, 1.1, 10000, 4);
+  std::vector<double> ratios;
+  const int seeds = 60;
+  for (int seed = 0; seed < seeds; ++seed) {
+    CountSketch r(512, 1, 100 + seed), s(512, 1, 100 + seed);
+    r.UpdateAll(join.stream_r);
+    s.UpdateAll(join.stream_s);
+    ratios.push_back(static_cast<double>(r.EstimateInnerProduct(s)) /
+                     static_cast<double>(join.exact));
+  }
+  std::nth_element(ratios.begin(), ratios.begin() + seeds / 2, ratios.end());
+  EXPECT_NEAR(ratios[seeds / 2], 1.0, 0.1);
+}
+
+TEST(CountSketchInnerProductTest, CloseToExactWithAmpleWidth) {
+  const JoinInstance join = MakeJoin(1 << 12, 1.3, 30000, 5);
+  CountSketch r(1 << 14, 7, 11), s(1 << 14, 7, 11);
+  r.UpdateAll(join.stream_r);
+  s.UpdateAll(join.stream_s);
+  const auto estimate = static_cast<double>(r.EstimateInnerProduct(s));
+  EXPECT_NEAR(estimate / join.exact, 1.0, 0.05);
+}
+
+TEST(CountSketchInnerProductTest, SelfInnerProductEstimatesF2) {
+  const auto updates = MakeZipfStream(1 << 12, 1.1, 20000, 6);
+  FrequencyOracle oracle;
+  oracle.UpdateAll(updates);
+  double f2 = 0.0;
+  for (const auto& [item, count] : oracle.counts()) {
+    f2 += static_cast<double>(count) * count;
+  }
+  CountSketch cs(1 << 13, 7, 12);
+  cs.UpdateAll(updates);
+  EXPECT_NEAR(static_cast<double>(cs.EstimateInnerProduct(cs)) / f2, 1.0,
+              0.05);
+}
+
+TEST(InnerProductTest, DisjointStreamsGiveNearZero) {
+  // Items of R in [0, 2^10), items of S in [2^10, 2^11): exact join 0.
+  auto r_updates = MakeUniformStream(1 << 10, 5000, 7);
+  auto s_updates = MakeUniformStream(1 << 10, 5000, 8);
+  for (StreamUpdate& u : s_updates) u.item += 1 << 10;
+  CountSketch r(4096, 7, 13), s(4096, 7, 13);
+  r.UpdateAll(r_updates);
+  s.UpdateAll(s_updates);
+  EXPECT_LT(std::abs(r.EstimateInnerProduct(s)), 5000 * 5000 / 1000);
+}
+
+}  // namespace
+}  // namespace sketch

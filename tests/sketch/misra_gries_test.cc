@@ -1,0 +1,102 @@
+#include "sketch/misra_gries.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/frequency_oracle.h"
+#include "stream/generators.h"
+
+namespace sketch {
+namespace {
+
+TEST(MisraGriesTest, ExactWhenCapacitySuffices) {
+  MisraGries mg(10);
+  for (int i = 0; i < 5; ++i) mg.Update(1);
+  for (int i = 0; i < 3; ++i) mg.Update(2);
+  EXPECT_EQ(mg.Estimate(1), 5);
+  EXPECT_EQ(mg.Estimate(2), 3);
+}
+
+TEST(MisraGriesTest, NeverOverestimates) {
+  const auto updates = MakeZipfStream(1 << 12, 1.1, 30000, 1);
+  MisraGries mg(100);
+  FrequencyOracle oracle;
+  for (const StreamUpdate& u : updates) {
+    mg.Update(u.item);
+    oracle.Update(u);
+  }
+  for (const auto& [item, count] : mg.counters()) {
+    EXPECT_LE(count, oracle.Count(item)) << "item " << item;
+  }
+}
+
+TEST(MisraGriesTest, DeterministicErrorBound) {
+  // Estimate >= count - N/(capacity+1) for every item.
+  const uint64_t capacity = 50;
+  const int64_t stream_len = 20000;
+  const auto updates = MakeZipfStream(1 << 12, 1.2, stream_len, 2);
+  MisraGries mg(capacity);
+  FrequencyOracle oracle;
+  for (const StreamUpdate& u : updates) {
+    mg.Update(u.item);
+    oracle.Update(u);
+  }
+  const int64_t max_error = stream_len / static_cast<int64_t>(capacity + 1);
+  for (const auto& [item, count] : oracle.counts()) {
+    EXPECT_GE(mg.Estimate(item), count - max_error) << "item " << item;
+  }
+}
+
+TEST(MisraGriesTest, RetainsAllSufficientlyHeavyItems) {
+  const uint64_t capacity = 20;
+  const int64_t stream_len = 10000;
+  const auto updates = MakeZipfStream(1 << 10, 1.5, stream_len, 3);
+  MisraGries mg(capacity);
+  FrequencyOracle oracle;
+  for (const StreamUpdate& u : updates) {
+    mg.Update(u.item);
+    oracle.Update(u);
+  }
+  // Any item with count > N/(capacity+1) must be tracked.
+  const auto heavy = oracle.ItemsAbove(stream_len / (capacity + 1) + 1);
+  for (uint64_t item : heavy) {
+    EXPECT_GT(mg.Estimate(item), 0) << "heavy item " << item << " lost";
+  }
+}
+
+TEST(MisraGriesTest, NeverTracksMoreThanCapacity) {
+  MisraGries mg(8);
+  const auto updates = MakeUniformStream(1000, 10000, 4);
+  for (const StreamUpdate& u : updates) mg.Update(u.item);
+  EXPECT_LE(mg.counters().size(), 8u);
+}
+
+TEST(MisraGriesTest, WeightedUpdates) {
+  MisraGries mg(2);
+  mg.Update(1, 100);
+  mg.Update(2, 50);
+  mg.Update(3, 30);  // forces a decrement round of min(30, 50, 100) = 30
+  EXPECT_EQ(mg.Estimate(1), 70);
+  EXPECT_EQ(mg.Estimate(2), 20);
+  EXPECT_EQ(mg.Estimate(3), 0);
+}
+
+TEST(MisraGriesTest, ItemsAboveThreshold) {
+  MisraGries mg(5);
+  mg.Update(1, 10);
+  mg.Update(2, 5);
+  const auto items = mg.ItemsAbove(6);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0], 1u);
+}
+
+TEST(MisraGriesTest, CapacityOneDegeneratesToMajorityCandidate) {
+  MisraGries mg(1);
+  // Majority element survives the Boyer–Moore-style process.
+  for (int i = 0; i < 6; ++i) mg.Update(9);
+  for (int i = 0; i < 2; ++i) mg.Update(1);
+  for (int i = 0; i < 2; ++i) mg.Update(2);
+  EXPECT_GT(mg.Estimate(9), 0);
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,100 @@
+#include "sketch/range_update_count_min.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+
+namespace sketch {
+namespace {
+
+TEST(RangeUpdateCountMinTest, SingleRangeUpdateHitsEveryItemInside) {
+  RangeUpdateCountMin sketch(10, 512, 4, 1);
+  sketch.UpdateRange(100, 199, 7);
+  EXPECT_EQ(sketch.TotalMass(), 700);
+  for (uint64_t item : {100u, 150u, 199u}) {
+    EXPECT_GE(sketch.Estimate(item), 7) << item;
+  }
+  // Outside the range: (over)estimates come only from hash collisions.
+  EXPECT_LE(sketch.Estimate(99), 7);
+  EXPECT_LE(sketch.Estimate(200), 7);
+}
+
+TEST(RangeUpdateCountMinTest, PointUpdateIsRangeOfOne) {
+  RangeUpdateCountMin sketch(10, 512, 4, 2);
+  sketch.Update(42, 5);
+  EXPECT_GE(sketch.Estimate(42), 5);
+  EXPECT_EQ(sketch.TotalMass(), 5);
+}
+
+TEST(RangeUpdateCountMinTest, FullUniverseRangeIsOneNode) {
+  RangeUpdateCountMin sketch(8, 64, 3, 3);
+  sketch.UpdateRange(0, 255, 2);
+  for (uint64_t item = 0; item < 256; item += 37) {
+    EXPECT_GE(sketch.Estimate(item), 2);
+  }
+}
+
+TEST(RangeUpdateCountMinTest, NeverUnderestimatesAgainstOracle) {
+  const int log_n = 12;
+  RangeUpdateCountMin sketch(log_n, 1024, 4, 4);
+  std::vector<int64_t> truth(1 << log_n, 0);
+  Xoshiro256StarStar rng(4);
+  for (int u = 0; u < 300; ++u) {
+    uint64_t lo = rng.NextBounded(1 << log_n);
+    uint64_t hi = rng.NextBounded(1 << log_n);
+    if (lo > hi) std::swap(lo, hi);
+    const int64_t delta = 1 + static_cast<int64_t>(rng.NextBounded(5));
+    sketch.UpdateRange(lo, hi, delta);
+    for (uint64_t i = lo; i <= hi; ++i) truth[i] += delta;
+  }
+  for (uint64_t item = 0; item < (1 << log_n); item += 13) {
+    ASSERT_GE(sketch.Estimate(item), truth[item]) << "item " << item;
+  }
+}
+
+TEST(RangeUpdateCountMinTest, EstimatesTrackTruthWithinBound) {
+  const int log_n = 12;
+  const uint64_t width = 2048;
+  RangeUpdateCountMin sketch(log_n, width, 4, 5);
+  std::vector<int64_t> truth(1 << log_n, 0);
+  Xoshiro256StarStar rng(5);
+  int64_t mass = 0;
+  for (int u = 0; u < 200; ++u) {
+    uint64_t lo = rng.NextBounded(1 << log_n);
+    uint64_t hi = std::min<uint64_t>((1 << log_n) - 1,
+                                     lo + rng.NextBounded(256));
+    sketch.UpdateRange(lo, hi, 3);
+    for (uint64_t i = lo; i <= hi; ++i) truth[i] += 3;
+    mass += 3 * static_cast<int64_t>(hi - lo + 1);
+  }
+  EXPECT_EQ(sketch.TotalMass(), mass);
+  // Overestimate bounded by ~ e/width * (canonical-node mass) per level;
+  // use a generous levels * e * mass / width budget.
+  const double bound = 4.0 * (log_n + 1) * std::exp(1.0) *
+                       static_cast<double>(mass) / width;
+  for (uint64_t item = 0; item < (1 << log_n); item += 11) {
+    ASSERT_LE(static_cast<double>(sketch.Estimate(item) - truth[item]),
+              bound);
+  }
+}
+
+TEST(RangeUpdateCountMinTest, SupportsNegativeDeltasStrictTurnstile) {
+  RangeUpdateCountMin sketch(8, 256, 4, 6);
+  sketch.UpdateRange(10, 20, 5);
+  sketch.UpdateRange(10, 20, -5);
+  EXPECT_EQ(sketch.TotalMass(), 0);
+  for (uint64_t item = 10; item <= 20; ++item) {
+    EXPECT_EQ(sketch.Estimate(item), 0);
+  }
+}
+
+TEST(RangeUpdateCountMinTest, ReversedRangeAborts) {
+  RangeUpdateCountMin sketch(8, 64, 2, 7);
+  EXPECT_DEATH(sketch.UpdateRange(20, 10, 1), "");
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,94 @@
+// Serialization round-trip tests: the hash state reconstructs from the
+// persisted seed, so a deserialized sketch must answer every query
+// identically and remain mergeable with live sketches of the same seed.
+
+#include <gtest/gtest.h>
+
+#include "sketch/bloom_filter.h"
+#include "sketch/count_min.h"
+#include "sketch/count_sketch.h"
+#include "stream/generators.h"
+
+namespace sketch {
+namespace {
+
+TEST(SerializationTest, CountMinRoundTripPreservesEstimates) {
+  CountMinSketch original(256, 5, 42);
+  original.UpdateAll(MakeZipfStream(1 << 12, 1.1, 10000, 1));
+  const CountMinSketch restored =
+      CountMinSketch::Deserialize(original.Serialize());
+  EXPECT_EQ(restored.width(), original.width());
+  EXPECT_EQ(restored.depth(), original.depth());
+  EXPECT_EQ(restored.seed(), original.seed());
+  for (uint64_t item = 0; item < (1 << 12); ++item) {
+    ASSERT_EQ(restored.Estimate(item), original.Estimate(item)) << item;
+  }
+}
+
+TEST(SerializationTest, CountMinRestoredSketchIsStillUpdatable) {
+  CountMinSketch original(64, 3, 7);
+  original.Update({5, 10});
+  CountMinSketch restored = CountMinSketch::Deserialize(original.Serialize());
+  restored.Update({5, 5});
+  EXPECT_EQ(restored.Estimate(5), 15);
+}
+
+TEST(SerializationTest, CountMinRestoredSketchMergesWithLiveOne) {
+  CountMinSketch a(128, 4, 9);
+  CountMinSketch b(128, 4, 9);
+  a.Update({1, 3});
+  b.Update({1, 4});
+  CountMinSketch restored = CountMinSketch::Deserialize(a.Serialize());
+  restored.Merge(b);
+  EXPECT_EQ(restored.Estimate(1), 7);
+}
+
+TEST(SerializationTest, CountSketchRoundTripPreservesEstimates) {
+  CountSketch original(256, 5, 43);
+  original.UpdateAll(MakeTurnstileStream(1 << 10, 1.0, 5000, 0.5, 2));
+  const CountSketch restored =
+      CountSketch::Deserialize(original.Serialize());
+  for (uint64_t item = 0; item < (1 << 10); ++item) {
+    ASSERT_EQ(restored.Estimate(item), original.Estimate(item)) << item;
+  }
+}
+
+TEST(SerializationTest, BloomRoundTripPreservesMembership) {
+  BloomFilter original(1 << 12, 5, 44);
+  for (uint64_t k = 0; k < 500; ++k) original.Insert(k * 3);
+  const BloomFilter restored = BloomFilter::Deserialize(original.Serialize());
+  for (uint64_t k = 0; k < 2000; ++k) {
+    ASSERT_EQ(restored.MayContain(k), original.MayContain(k)) << k;
+  }
+  EXPECT_DOUBLE_EQ(restored.FillRatio(), original.FillRatio());
+}
+
+TEST(SerializationTest, BufferSizesAreExact) {
+  CountMinSketch cm(10, 3, 1);
+  EXPECT_EQ(cm.Serialize().size(), 32u + 30u * 8u);
+  BloomFilter bf(128, 2, 1);
+  EXPECT_EQ(bf.Serialize().size(), 32u + 2u * 8u);  // 128 bits = 2 words
+}
+
+TEST(SerializationDeathTest, WrongMagicAborts) {
+  CountMinSketch cm(8, 2, 1);
+  std::vector<uint8_t> bytes = cm.Serialize();
+  bytes[0] ^= 0xff;
+  EXPECT_DEATH(CountMinSketch::Deserialize(bytes), "not a CountMinSketch");
+}
+
+TEST(SerializationDeathTest, TruncatedBufferAborts) {
+  CountSketch cs(8, 2, 1);
+  std::vector<uint8_t> bytes = cs.Serialize();
+  bytes.resize(bytes.size() - 4);
+  EXPECT_DEATH(CountSketch::Deserialize(bytes), "truncated|trailing");
+}
+
+TEST(SerializationDeathTest, CrossTypeBufferAborts) {
+  BloomFilter bf(64, 2, 1);
+  EXPECT_DEATH(CountMinSketch::Deserialize(bf.Serialize()),
+               "not a CountMinSketch");
+}
+
+}  // namespace
+}  // namespace sketch

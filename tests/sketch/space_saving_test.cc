@@ -1,0 +1,117 @@
+#include "sketch/space_saving.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "stream/frequency_oracle.h"
+#include "stream/generators.h"
+
+namespace sketch {
+namespace {
+
+TEST(SpaceSavingTest, ExactWhenCapacitySuffices) {
+  SpaceSaving ss(10);
+  for (int i = 0; i < 7; ++i) ss.Update(1);
+  for (int i = 0; i < 3; ++i) ss.Update(2);
+  EXPECT_EQ(ss.Estimate(1), 7);
+  EXPECT_EQ(ss.Estimate(2), 3);
+  EXPECT_EQ(ss.ErrorBound(1), 0);
+}
+
+TEST(SpaceSavingTest, NeverUnderestimatesTrackedItems) {
+  const auto updates = MakeZipfStream(1 << 12, 1.2, 30000, 1);
+  SpaceSaving ss(64);
+  FrequencyOracle oracle;
+  for (const StreamUpdate& u : updates) {
+    ss.Update(u.item);
+    oracle.Update(u);
+  }
+  for (uint64_t item : ss.ItemsAbove(0)) {
+    EXPECT_GE(ss.Estimate(item), oracle.Count(item)) << "item " << item;
+  }
+}
+
+TEST(SpaceSavingTest, OverestimateBoundedByNOverCapacity) {
+  const uint64_t capacity = 50;
+  const int64_t stream_len = 20000;
+  const auto updates = MakeZipfStream(1 << 12, 1.1, stream_len, 2);
+  SpaceSaving ss(capacity);
+  FrequencyOracle oracle;
+  for (const StreamUpdate& u : updates) {
+    ss.Update(u.item);
+    oracle.Update(u);
+  }
+  for (uint64_t item : ss.ItemsAbove(0)) {
+    EXPECT_LE(ss.Estimate(item) - oracle.Count(item),
+              stream_len / static_cast<int64_t>(capacity))
+        << "item " << item;
+  }
+}
+
+TEST(SpaceSavingTest, ErrorBoundDominatesActualError) {
+  const auto updates = MakeZipfStream(1 << 10, 1.0, 10000, 3);
+  SpaceSaving ss(32);
+  FrequencyOracle oracle;
+  for (const StreamUpdate& u : updates) {
+    ss.Update(u.item);
+    oracle.Update(u);
+  }
+  for (uint64_t item : ss.ItemsAbove(0)) {
+    EXPECT_LE(ss.Estimate(item) - oracle.Count(item), ss.ErrorBound(item));
+  }
+}
+
+TEST(SpaceSavingTest, TracksAtMostCapacityItems) {
+  SpaceSaving ss(16);
+  const auto updates = MakeUniformStream(1000, 20000, 4);
+  for (const StreamUpdate& u : updates) ss.Update(u.item);
+  EXPECT_LE(ss.TrackedCount(), 16u);
+}
+
+TEST(SpaceSavingTest, HeavyItemsAlwaysTracked) {
+  const uint64_t capacity = 20;
+  const int64_t stream_len = 10000;
+  const auto updates = MakeZipfStream(1 << 10, 1.5, stream_len, 5);
+  SpaceSaving ss(capacity);
+  FrequencyOracle oracle;
+  for (const StreamUpdate& u : updates) {
+    ss.Update(u.item);
+    oracle.Update(u);
+  }
+  const auto heavy =
+      oracle.ItemsAbove(stream_len / static_cast<int64_t>(capacity) + 1);
+  for (uint64_t item : heavy) {
+    EXPECT_GT(ss.Estimate(item), 0) << "heavy item " << item << " evicted";
+  }
+}
+
+TEST(SpaceSavingTest, TopKReturnsHighestEstimates) {
+  SpaceSaving ss(10);
+  ss.Update(1, 100);
+  ss.Update(2, 50);
+  ss.Update(3, 75);
+  const auto top = ss.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 3u);
+}
+
+TEST(SpaceSavingTest, EvictionInheritsMinimumCount) {
+  SpaceSaving ss(2);
+  ss.Update(1, 10);
+  ss.Update(2, 5);
+  ss.Update(3);  // evicts item 2 (min count 5); item 3 gets 5 + 1 = 6
+  EXPECT_EQ(ss.Estimate(3), 6);
+  EXPECT_EQ(ss.ErrorBound(3), 5);
+  EXPECT_EQ(ss.Estimate(2), 0);  // evicted
+}
+
+TEST(SpaceSavingTest, TopKSmallerThanK) {
+  SpaceSaving ss(5);
+  ss.Update(1);
+  EXPECT_EQ(ss.TopK(10).size(), 1u);
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,59 @@
+#include "sketch/spectral_bloom.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/frequency_oracle.h"
+#include "stream/generators.h"
+
+namespace sketch {
+namespace {
+
+TEST(SpectralBloomTest, MultiplicityOfSingleKey) {
+  SpectralBloomFilter sbf(1024, 4, 1);
+  for (int i = 0; i < 9; ++i) sbf.Update(5, 1);
+  EXPECT_GE(sbf.Estimate(5), 9);
+}
+
+TEST(SpectralBloomTest, AbsentKeyEstimatesZeroInSparseTable) {
+  SpectralBloomFilter sbf(1 << 14, 4, 2);
+  for (uint64_t k = 0; k < 50; ++k) sbf.Update(k, 1);
+  int nonzero = 0;
+  for (uint64_t k = 1000; k < 2000; ++k) nonzero += (sbf.Estimate(k) > 0);
+  // 50 keys in 16k counters: virtually no collisions.
+  EXPECT_LE(nonzero, 5);
+}
+
+TEST(SpectralBloomTest, NeverUnderestimates) {
+  const auto updates = MakeZipfStream(1 << 10, 1.1, 10000, 3);
+  SpectralBloomFilter sbf(2048, 4, 3);
+  FrequencyOracle oracle;
+  for (const StreamUpdate& u : updates) {
+    sbf.Update(u);
+    oracle.Update(u);
+  }
+  for (const auto& [item, count] : oracle.counts()) {
+    EXPECT_GE(sbf.Estimate(item), count) << "item " << item;
+  }
+}
+
+TEST(SpectralBloomTest, DeletionRestoresAbsence) {
+  SpectralBloomFilter sbf(4096, 4, 4);
+  sbf.Update(77, 3);
+  EXPECT_TRUE(sbf.MayContain(77));
+  sbf.Update(77, -3);
+  EXPECT_FALSE(sbf.MayContain(77));
+}
+
+TEST(SpectralBloomTest, MembershipSemanticsMatchCountingBloom) {
+  SpectralBloomFilter sbf(4096, 3, 5);
+  sbf.Update(1, 1);
+  sbf.Update(2, 2);
+  EXPECT_TRUE(sbf.MayContain(1));
+  EXPECT_TRUE(sbf.MayContain(2));
+  sbf.Update(1, -1);
+  EXPECT_FALSE(sbf.MayContain(1));
+  EXPECT_TRUE(sbf.MayContain(2));
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,83 @@
+#include "sketch/topk_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "stream/frequency_oracle.h"
+#include "stream/generators.h"
+
+namespace sketch {
+namespace {
+
+TEST(TopKMonitorTest, TracksTopItemsOnSkewedStream) {
+  TopKMonitor monitor(10, 4096, 5, 1);
+  const auto updates = MakeZipfStream(1 << 16, 1.3, 60000, 1);
+  FrequencyOracle oracle;
+  monitor.UpdateAll(updates);
+  oracle.UpdateAll(updates);
+  std::vector<uint64_t> got;
+  for (const auto& [item, est] : monitor.TopK()) got.push_back(item);
+  const PrecisionRecall pr = ComputePrecisionRecall(got, oracle.TopK(10));
+  EXPECT_GE(pr.recall, 0.9);
+}
+
+TEST(TopKMonitorTest, EstimatesAreClose) {
+  TopKMonitor monitor(5, 8192, 5, 2);
+  const auto updates = MakeZipfStream(1 << 14, 1.4, 50000, 2);
+  FrequencyOracle oracle;
+  monitor.UpdateAll(updates);
+  oracle.UpdateAll(updates);
+  for (const auto& [item, est] : monitor.TopK()) {
+    EXPECT_NEAR(static_cast<double>(est),
+                static_cast<double>(oracle.Count(item)),
+                0.02 * 50000)
+        << "item " << item;
+  }
+}
+
+TEST(TopKMonitorTest, SurvivesDeletionOfFormerHeavyItem) {
+  TopKMonitor monitor(3, 2048, 5, 3);
+  // Item 1 dominates, then is fully deleted; items 2-4 take over.
+  for (int i = 0; i < 1000; ++i) monitor.Update({1, 1});
+  for (int i = 0; i < 300; ++i) monitor.Update({2, 1});
+  for (int i = 0; i < 200; ++i) monitor.Update({3, 1});
+  for (int i = 0; i < 100; ++i) monitor.Update({4, 1});
+  monitor.Update({1, -1000});
+  monitor.Update({1, 1});  // touch so the pool refreshes its view of 1
+  const auto top = monitor.TopK();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 2u);
+  EXPECT_EQ(top[1].first, 3u);
+  EXPECT_EQ(top[2].first, 4u);
+}
+
+TEST(TopKMonitorTest, TopKAvailableMidStream) {
+  TopKMonitor monitor(2, 1024, 5, 4);
+  for (int i = 0; i < 100; ++i) monitor.Update({7, 1});
+  for (int i = 0; i < 50; ++i) monitor.Update({9, 1});
+  auto top = monitor.TopK();
+  ASSERT_GE(top.size(), 1u);
+  EXPECT_EQ(top[0].first, 7u);
+  // Shift the balance; the monitor must follow without a rebuild.
+  for (int i = 0; i < 200; ++i) monitor.Update({9, 1});
+  top = monitor.TopK();
+  EXPECT_EQ(top[0].first, 9u);
+}
+
+TEST(TopKMonitorTest, PoolStaysBounded) {
+  TopKMonitor monitor(8, 1024, 5, 5);
+  monitor.UpdateAll(MakeUniformStream(1 << 16, 50000, 5));
+  EXPECT_LE(monitor.PoolSize(), 4u * 8u);
+}
+
+TEST(TopKMonitorTest, FewerThanKItemsReportsAll) {
+  TopKMonitor monitor(10, 512, 5, 6);
+  monitor.Update({1, 5});
+  monitor.Update({2, 3});
+  const auto top = monitor.TopK();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 1u);
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,70 @@
+#include "stream/frequency_oracle.h"
+
+#include <gtest/gtest.h>
+
+namespace sketch {
+namespace {
+
+TEST(FrequencyOracleTest, CountsUpdates) {
+  FrequencyOracle oracle;
+  oracle.Update({5, 3});
+  oracle.Update({5, 2});
+  oracle.Update({7, 1});
+  EXPECT_EQ(oracle.Count(5), 5);
+  EXPECT_EQ(oracle.Count(7), 1);
+  EXPECT_EQ(oracle.Count(99), 0);
+}
+
+TEST(FrequencyOracleTest, SupportsDeletions) {
+  FrequencyOracle oracle;
+  oracle.Update({1, 5});
+  oracle.Update({1, -5});
+  EXPECT_EQ(oracle.Count(1), 0);
+  EXPECT_EQ(oracle.DistinctCount(), 0u);
+}
+
+TEST(FrequencyOracleTest, TotalAndL1) {
+  FrequencyOracle oracle;
+  oracle.Update({1, 3});
+  oracle.Update({2, -2});
+  EXPECT_EQ(oracle.TotalCount(), 1);
+  EXPECT_EQ(oracle.L1(), 5);
+}
+
+TEST(FrequencyOracleTest, ItemsAboveThreshold) {
+  FrequencyOracle oracle;
+  oracle.Update({10, 5});
+  oracle.Update({20, 3});
+  oracle.Update({30, 5});
+  const auto items = oracle.ItemsAbove(5);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0], 10u);
+  EXPECT_EQ(items[1], 30u);
+}
+
+TEST(FrequencyOracleTest, TopKOrdersByCountThenId) {
+  FrequencyOracle oracle;
+  oracle.Update({3, 10});
+  oracle.Update({1, 10});
+  oracle.Update({2, 20});
+  const auto top = oracle.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 2u);
+  EXPECT_EQ(top[1], 1u);  // tie broken by smaller id
+}
+
+TEST(FrequencyOracleTest, TopKLargerThanDistinct) {
+  FrequencyOracle oracle;
+  oracle.Update({1, 1});
+  EXPECT_EQ(oracle.TopK(5).size(), 1u);
+}
+
+TEST(FrequencyOracleTest, UpdateAllBatch) {
+  FrequencyOracle oracle;
+  oracle.UpdateAll({{1, 1}, {1, 1}, {2, 1}});
+  EXPECT_EQ(oracle.Count(1), 2);
+  EXPECT_EQ(oracle.Count(2), 1);
+}
+
+}  // namespace
+}  // namespace sketch

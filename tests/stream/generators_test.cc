@@ -1,0 +1,97 @@
+#include "stream/generators.h"
+
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "stream/frequency_oracle.h"
+
+namespace sketch {
+namespace {
+
+TEST(ZipfStreamTest, LengthAndUniverseRespected) {
+  const auto updates = MakeZipfStream(1000, 1.1, 5000, 1);
+  EXPECT_EQ(updates.size(), 5000u);
+  for (const StreamUpdate& u : updates) {
+    EXPECT_LT(u.item, 1000u);
+    EXPECT_EQ(u.delta, 1);
+  }
+}
+
+TEST(ZipfStreamTest, SkewProducesAHeavyItem) {
+  const auto updates = MakeZipfStream(10000, 1.5, 20000, 2);
+  FrequencyOracle oracle;
+  oracle.UpdateAll(updates);
+  const auto top = oracle.TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  // With alpha = 1.5 the top item should hold a sizable share of the mass.
+  EXPECT_GT(oracle.Count(top[0]), 20000 / 20);
+}
+
+TEST(ZipfStreamTest, ShuffledIdsDifferFromRanks) {
+  const auto shuffled = MakeZipfStream(1 << 16, 1.3, 5000, 3, true);
+  const auto plain = MakeZipfStream(1 << 16, 1.3, 5000, 3, false);
+  FrequencyOracle a, b;
+  a.UpdateAll(shuffled);
+  b.UpdateAll(plain);
+  // Unshuffled stream's top item is rank 0; shuffled should (w.h.p.) not be.
+  EXPECT_EQ(b.TopK(1)[0], 0u);
+  EXPECT_NE(a.TopK(1)[0], 0u);
+  // But the frequency *profile* is identical.
+  EXPECT_EQ(a.TotalCount(), b.TotalCount());
+  EXPECT_EQ(a.DistinctCount(), b.DistinctCount());
+}
+
+TEST(ZipfStreamTest, DeterministicForSeed) {
+  const auto a = MakeZipfStream(100, 1.0, 1000, 7);
+  const auto b = MakeZipfStream(100, 1.0, 1000, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].item, b[i].item);
+}
+
+TEST(TurnstileStreamTest, NeverDrivesCountsNegative) {
+  const auto updates = MakeTurnstileStream(500, 1.1, 10000, 0.8, 4);
+  std::unordered_map<uint64_t, int64_t> live;
+  for (const StreamUpdate& u : updates) {
+    live[u.item] += u.delta;
+    EXPECT_GE(live[u.item], 0) << "strict turnstile violated";
+  }
+}
+
+TEST(TurnstileStreamTest, DeletionFractionApproximatelyHonored) {
+  const uint64_t inserts = 10000;
+  const auto updates = MakeTurnstileStream(500, 1.1, inserts, 0.5, 5);
+  uint64_t deletions = 0;
+  for (const StreamUpdate& u : updates) deletions += (u.delta < 0);
+  EXPECT_NEAR(deletions, inserts / 2, inserts / 50);
+}
+
+TEST(TurnstileStreamTest, ZeroDeleteFractionIsInsertOnly) {
+  const auto updates = MakeTurnstileStream(100, 1.0, 1000, 0.0, 6);
+  EXPECT_EQ(updates.size(), 1000u);
+  for (const StreamUpdate& u : updates) EXPECT_EQ(u.delta, 1);
+}
+
+TEST(SingleItemStreamTest, AllUpdatesHitOneKey) {
+  const auto updates = MakeSingleItemStream(42, 100);
+  EXPECT_EQ(updates.size(), 100u);
+  for (const StreamUpdate& u : updates) {
+    EXPECT_EQ(u.item, 42u);
+    EXPECT_EQ(u.delta, 1);
+  }
+}
+
+TEST(UniformStreamTest, CoversUniverse) {
+  const auto updates = MakeUniformStream(10, 10000, 7);
+  FrequencyOracle oracle;
+  oracle.UpdateAll(updates);
+  EXPECT_EQ(oracle.DistinctCount(), 10u);
+  // No item should dominate: max frequency within 3x of the mean.
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_LT(oracle.Count(i), 3 * 1000);
+    EXPECT_GT(oracle.Count(i), 1000 / 3);
+  }
+}
+
+}  // namespace
+}  // namespace sketch

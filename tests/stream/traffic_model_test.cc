@@ -1,0 +1,111 @@
+#include "stream/traffic_model.h"
+
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "sketch/dyadic_count_min.h"
+#include "stream/frequency_oracle.h"
+
+namespace sketch {
+namespace {
+
+TrafficModelOptions SmallModel() {
+  TrafficModelOptions options;
+  options.num_flows = 2000;
+  options.max_flow_packets = 5000;
+  options.seed = 7;
+  return options;
+}
+
+TEST(TrafficModelTest, GroundTruthMatchesPacketStream) {
+  const TrafficTrace trace = GenerateTrafficTrace(SmallModel());
+  ASSERT_EQ(trace.flow_ids.size(), trace.flow_sizes.size());
+  EXPECT_EQ(trace.packets.size(), trace.total_packets);
+  FrequencyOracle oracle;
+  oracle.UpdateAll(trace.packets);
+  EXPECT_EQ(oracle.DistinctCount(), trace.flow_ids.size());
+  for (size_t i = 0; i < trace.flow_ids.size(); ++i) {
+    ASSERT_EQ(oracle.Count(trace.flow_ids[i]),
+              static_cast<int64_t>(trace.flow_sizes[i]));
+  }
+}
+
+TEST(TrafficModelTest, SizesRespectBounds) {
+  TrafficModelOptions options = SmallModel();
+  options.min_flow_packets = 3;
+  options.max_flow_packets = 1000;
+  const TrafficTrace trace = GenerateTrafficTrace(options);
+  for (uint64_t size : trace.flow_sizes) {
+    EXPECT_GE(size, 3u);
+    EXPECT_LE(size, 1000u);
+  }
+}
+
+TEST(TrafficModelTest, HeavyTailElephantsCarryMostTraffic) {
+  TrafficModelOptions options;
+  options.num_flows = 20000;
+  options.pareto_shape = 1.1;
+  options.max_flow_packets = 1 << 20;
+  options.seed = 9;
+  const TrafficTrace trace = GenerateTrafficTrace(options);
+  // The classic traffic observation: a small fraction of flows carries
+  // most packets (top 1% of flows here hold just under half).
+  EXPECT_GT(TopFlowShare(trace, 200), 0.4);
+  EXPECT_GT(TopFlowShare(trace, 2000), 0.7);  // top 10% carry the bulk
+  EXPECT_LT(TopFlowShare(trace, 200), 1.0);
+}
+
+TEST(TrafficModelTest, LighterTailIsMoreUniform) {
+  TrafficModelOptions heavy = SmallModel();
+  heavy.pareto_shape = 1.0;
+  TrafficModelOptions light = SmallModel();
+  light.pareto_shape = 2.5;
+  EXPECT_GT(TopFlowShare(GenerateTrafficTrace(heavy), 20),
+            TopFlowShare(GenerateTrafficTrace(light), 20));
+}
+
+TEST(TrafficModelTest, PacketsAreInterleaved) {
+  const TrafficTrace trace = GenerateTrafficTrace(SmallModel());
+  // If flows were emitted contiguously, adjacent packets would share a
+  // flow almost always; after shuffling the expected match rate is tiny.
+  uint64_t adjacent_same = 0;
+  for (size_t i = 1; i < trace.packets.size(); ++i) {
+    adjacent_same += (trace.packets[i].item == trace.packets[i - 1].item);
+  }
+  EXPECT_LT(static_cast<double>(adjacent_same) / trace.packets.size(), 0.1);
+}
+
+TEST(TrafficModelTest, DeterministicPerSeed) {
+  const TrafficTrace a = GenerateTrafficTrace(SmallModel());
+  const TrafficTrace b = GenerateTrafficTrace(SmallModel());
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  for (size_t i = 0; i < a.packets.size(); ++i) {
+    ASSERT_EQ(a.packets[i].item, b.packets[i].item);
+  }
+}
+
+TEST(TrafficModelTest, SketchesFindTheElephantsInTheTrace) {
+  // End-to-end: the dyadic Count-Min finds every flow above 0.5% of a
+  // realistic trace.
+  TrafficModelOptions options;
+  options.num_flows = 5000;
+  options.flow_id_space = 1ULL << 20;
+  options.max_flow_packets = 1 << 16;
+  options.seed = 11;
+  const TrafficTrace trace = GenerateTrafficTrace(options);
+  DyadicCountMin dcm(20, 2048, 4, 1);
+  dcm.UpdateAll(trace.packets);
+  const auto threshold =
+      static_cast<int64_t>(0.005 * static_cast<double>(trace.total_packets));
+  const auto found = dcm.HeavyHitters(threshold);
+  FrequencyOracle oracle;
+  oracle.UpdateAll(trace.packets);
+  for (uint64_t flow : oracle.ItemsAbove(threshold)) {
+    EXPECT_NE(std::find(found.begin(), found.end(), flow), found.end())
+        << "missed elephant " << flow;
+  }
+}
+
+}  // namespace
+}  // namespace sketch
