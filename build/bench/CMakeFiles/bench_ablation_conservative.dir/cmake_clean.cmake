@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_conservative.dir/bench_ablation_conservative.cc.o"
+  "CMakeFiles/bench_ablation_conservative.dir/bench_ablation_conservative.cc.o.d"
+  "bench_ablation_conservative"
+  "bench_ablation_conservative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_conservative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

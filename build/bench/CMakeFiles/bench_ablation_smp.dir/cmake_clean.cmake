@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_smp.dir/bench_ablation_smp.cc.o"
+  "CMakeFiles/bench_ablation_smp.dir/bench_ablation_smp.cc.o.d"
+  "bench_ablation_smp"
+  "bench_ablation_smp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bloom.dir/bench_bloom.cc.o"
+  "CMakeFiles/bench_bloom.dir/bench_bloom.cc.o.d"
+  "bench_bloom"
+  "bench_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_counter_braids.dir/bench_counter_braids.cc.o"
+  "CMakeFiles/bench_counter_braids.dir/bench_counter_braids.cc.o.d"
+  "bench_counter_braids"
+  "bench_counter_braids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_counter_braids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cs_measurements.dir/bench_cs_measurements.cc.o"
+  "CMakeFiles/bench_cs_measurements.dir/bench_cs_measurements.cc.o.d"
+  "bench_cs_measurements"
+  "bench_cs_measurements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cs_measurements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

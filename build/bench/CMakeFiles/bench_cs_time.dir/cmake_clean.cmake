@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cs_time.dir/bench_cs_time.cc.o"
+  "CMakeFiles/bench_cs_time.dir/bench_cs_time.cc.o.d"
+  "bench_cs_time"
+  "bench_cs_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cs_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heavy_hitters.dir/bench_heavy_hitters.cc.o"
+  "CMakeFiles/bench_heavy_hitters.dir/bench_heavy_hitters.cc.o.d"
+  "bench_heavy_hitters"
+  "bench_heavy_hitters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heavy_hitters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iblt.dir/bench_iblt.cc.o"
+  "CMakeFiles/bench_iblt.dir/bench_iblt.cc.o.d"
+  "bench_iblt"
+  "bench_iblt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iblt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

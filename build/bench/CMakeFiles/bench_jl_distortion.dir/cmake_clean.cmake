@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jl_distortion.dir/bench_jl_distortion.cc.o"
+  "CMakeFiles/bench_jl_distortion.dir/bench_jl_distortion.cc.o.d"
+  "bench_jl_distortion"
+  "bench_jl_distortion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jl_distortion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jl_time.dir/bench_jl_time.cc.o"
+  "CMakeFiles/bench_jl_time.dir/bench_jl_time.cc.o.d"
+  "bench_jl_time"
+  "bench_jl_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jl_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_point_query.dir/bench_point_query.cc.o"
+  "CMakeFiles/bench_point_query.dir/bench_point_query.cc.o.d"
+  "bench_point_query"
+  "bench_point_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_point_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_regression.dir/bench_regression.cc.o"
+  "CMakeFiles/bench_regression.dir/bench_regression.cc.o.d"
+  "bench_regression"
+  "bench_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

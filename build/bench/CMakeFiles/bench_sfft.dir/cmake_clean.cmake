@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sfft.dir/bench_sfft.cc.o"
+  "CMakeFiles/bench_sfft.dir/bench_sfft.cc.o.d"
+  "bench_sfft"
+  "bench_sfft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sfft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sfft2d.dir/bench_sfft2d.cc.o"
+  "CMakeFiles/bench_sfft2d.dir/bench_sfft2d.cc.o.d"
+  "bench_sfft2d"
+  "bench_sfft2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sfft2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

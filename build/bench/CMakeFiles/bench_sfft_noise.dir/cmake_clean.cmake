@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sfft_noise.dir/bench_sfft_noise.cc.o"
+  "CMakeFiles/bench_sfft_noise.dir/bench_sfft_noise.cc.o.d"
+  "bench_sfft_noise"
+  "bench_sfft_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sfft_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sparse_wht.dir/bench_sparse_wht.cc.o"
+  "CMakeFiles/bench_sparse_wht.dir/bench_sparse_wht.cc.o.d"
+  "bench_sparse_wht"
+  "bench_sparse_wht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sparse_wht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sublinear_decode.dir/bench_sublinear_decode.cc.o"
+  "CMakeFiles/bench_sublinear_decode.dir/bench_sublinear_decode.cc.o.d"
+  "bench_sublinear_decode"
+  "bench_sublinear_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sublinear_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

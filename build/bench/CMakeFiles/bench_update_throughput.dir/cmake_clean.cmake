@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_update_throughput.dir/bench_update_throughput.cc.o"
+  "CMakeFiles/bench_update_throughput.dir/bench_update_throughput.cc.o.d"
+  "bench_update_throughput"
+  "bench_update_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_update_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

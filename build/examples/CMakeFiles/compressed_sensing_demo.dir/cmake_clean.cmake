@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_sensing_demo.dir/compressed_sensing_demo.cpp.o"
+  "CMakeFiles/compressed_sensing_demo.dir/compressed_sensing_demo.cpp.o.d"
+  "compressed_sensing_demo"
+  "compressed_sensing_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_sensing_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

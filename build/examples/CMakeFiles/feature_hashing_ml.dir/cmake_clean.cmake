@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_hashing_ml.dir/feature_hashing_ml.cpp.o"
+  "CMakeFiles/feature_hashing_ml.dir/feature_hashing_ml.cpp.o.d"
+  "feature_hashing_ml"
+  "feature_hashing_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_hashing_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

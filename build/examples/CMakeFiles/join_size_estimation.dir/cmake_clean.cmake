@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_size_estimation.dir/join_size_estimation.cpp.o"
+  "CMakeFiles/join_size_estimation.dir/join_size_estimation.cpp.o.d"
+  "join_size_estimation"
+  "join_size_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_size_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_heavy_hitters.dir/network_heavy_hitters.cpp.o"
+  "CMakeFiles/network_heavy_hitters.dir/network_heavy_hitters.cpp.o.d"
+  "network_heavy_hitters"
+  "network_heavy_hitters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_heavy_hitters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

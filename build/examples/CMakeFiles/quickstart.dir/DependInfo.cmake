@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sketch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/sketch_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sketch_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/sketch_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/sketch_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/sketch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cs/CMakeFiles/sketch_cs.dir/DependInfo.cmake"
+  "/root/repo/build/src/dimred/CMakeFiles/sketch_dimred.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfft/CMakeFiles/sketch_sfft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

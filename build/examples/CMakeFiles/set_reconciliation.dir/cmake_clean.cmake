@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_reconciliation.dir/set_reconciliation.cpp.o"
+  "CMakeFiles/set_reconciliation.dir/set_reconciliation.cpp.o.d"
+  "set_reconciliation"
+  "set_reconciliation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_reconciliation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

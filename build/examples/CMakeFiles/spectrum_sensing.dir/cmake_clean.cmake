@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectrum_sensing.dir/spectrum_sensing.cpp.o"
+  "CMakeFiles/spectrum_sensing.dir/spectrum_sensing.cpp.o.d"
+  "spectrum_sensing"
+  "spectrum_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrum_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_analytics.dir/stream_analytics.cpp.o"
+  "CMakeFiles/stream_analytics.dir/stream_analytics.cpp.o.d"
+  "stream_analytics"
+  "stream_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

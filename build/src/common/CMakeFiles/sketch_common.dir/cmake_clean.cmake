@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_common.dir/metrics.cc.o"
+  "CMakeFiles/sketch_common.dir/metrics.cc.o.d"
+  "CMakeFiles/sketch_common.dir/prng.cc.o"
+  "CMakeFiles/sketch_common.dir/prng.cc.o.d"
+  "CMakeFiles/sketch_common.dir/zipf.cc.o"
+  "CMakeFiles/sketch_common.dir/zipf.cc.o.d"
+  "libsketch_common.a"
+  "libsketch_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cs/bit_test_recovery.cc" "src/cs/CMakeFiles/sketch_cs.dir/bit_test_recovery.cc.o" "gcc" "src/cs/CMakeFiles/sketch_cs.dir/bit_test_recovery.cc.o.d"
+  "/root/repo/src/cs/cosamp.cc" "src/cs/CMakeFiles/sketch_cs.dir/cosamp.cc.o" "gcc" "src/cs/CMakeFiles/sketch_cs.dir/cosamp.cc.o.d"
+  "/root/repo/src/cs/ensembles.cc" "src/cs/CMakeFiles/sketch_cs.dir/ensembles.cc.o" "gcc" "src/cs/CMakeFiles/sketch_cs.dir/ensembles.cc.o.d"
+  "/root/repo/src/cs/hashed_recovery.cc" "src/cs/CMakeFiles/sketch_cs.dir/hashed_recovery.cc.o" "gcc" "src/cs/CMakeFiles/sketch_cs.dir/hashed_recovery.cc.o.d"
+  "/root/repo/src/cs/iht.cc" "src/cs/CMakeFiles/sketch_cs.dir/iht.cc.o" "gcc" "src/cs/CMakeFiles/sketch_cs.dir/iht.cc.o.d"
+  "/root/repo/src/cs/linear_operator.cc" "src/cs/CMakeFiles/sketch_cs.dir/linear_operator.cc.o" "gcc" "src/cs/CMakeFiles/sketch_cs.dir/linear_operator.cc.o.d"
+  "/root/repo/src/cs/omp.cc" "src/cs/CMakeFiles/sketch_cs.dir/omp.cc.o" "gcc" "src/cs/CMakeFiles/sketch_cs.dir/omp.cc.o.d"
+  "/root/repo/src/cs/signals.cc" "src/cs/CMakeFiles/sketch_cs.dir/signals.cc.o" "gcc" "src/cs/CMakeFiles/sketch_cs.dir/signals.cc.o.d"
+  "/root/repo/src/cs/smp.cc" "src/cs/CMakeFiles/sketch_cs.dir/smp.cc.o" "gcc" "src/cs/CMakeFiles/sketch_cs.dir/smp.cc.o.d"
+  "/root/repo/src/cs/ssmp.cc" "src/cs/CMakeFiles/sketch_cs.dir/ssmp.cc.o" "gcc" "src/cs/CMakeFiles/sketch_cs.dir/ssmp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sketch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/sketch_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sketch_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

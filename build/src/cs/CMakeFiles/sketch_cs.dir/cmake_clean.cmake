@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_cs.dir/bit_test_recovery.cc.o"
+  "CMakeFiles/sketch_cs.dir/bit_test_recovery.cc.o.d"
+  "CMakeFiles/sketch_cs.dir/cosamp.cc.o"
+  "CMakeFiles/sketch_cs.dir/cosamp.cc.o.d"
+  "CMakeFiles/sketch_cs.dir/ensembles.cc.o"
+  "CMakeFiles/sketch_cs.dir/ensembles.cc.o.d"
+  "CMakeFiles/sketch_cs.dir/hashed_recovery.cc.o"
+  "CMakeFiles/sketch_cs.dir/hashed_recovery.cc.o.d"
+  "CMakeFiles/sketch_cs.dir/iht.cc.o"
+  "CMakeFiles/sketch_cs.dir/iht.cc.o.d"
+  "CMakeFiles/sketch_cs.dir/linear_operator.cc.o"
+  "CMakeFiles/sketch_cs.dir/linear_operator.cc.o.d"
+  "CMakeFiles/sketch_cs.dir/omp.cc.o"
+  "CMakeFiles/sketch_cs.dir/omp.cc.o.d"
+  "CMakeFiles/sketch_cs.dir/signals.cc.o"
+  "CMakeFiles/sketch_cs.dir/signals.cc.o.d"
+  "CMakeFiles/sketch_cs.dir/smp.cc.o"
+  "CMakeFiles/sketch_cs.dir/smp.cc.o.d"
+  "CMakeFiles/sketch_cs.dir/ssmp.cc.o"
+  "CMakeFiles/sketch_cs.dir/ssmp.cc.o.d"
+  "libsketch_cs.a"
+  "libsketch_cs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_cs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

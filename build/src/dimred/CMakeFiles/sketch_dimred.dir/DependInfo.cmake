@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dimred/approximate_svd.cc" "src/dimred/CMakeFiles/sketch_dimred.dir/approximate_svd.cc.o" "gcc" "src/dimred/CMakeFiles/sketch_dimred.dir/approximate_svd.cc.o.d"
+  "/root/repo/src/dimred/feature_hashing.cc" "src/dimred/CMakeFiles/sketch_dimred.dir/feature_hashing.cc.o" "gcc" "src/dimred/CMakeFiles/sketch_dimred.dir/feature_hashing.cc.o.d"
+  "/root/repo/src/dimred/jl_transform.cc" "src/dimred/CMakeFiles/sketch_dimred.dir/jl_transform.cc.o" "gcc" "src/dimred/CMakeFiles/sketch_dimred.dir/jl_transform.cc.o.d"
+  "/root/repo/src/dimred/sketched_lowrank.cc" "src/dimred/CMakeFiles/sketch_dimred.dir/sketched_lowrank.cc.o" "gcc" "src/dimred/CMakeFiles/sketch_dimred.dir/sketched_lowrank.cc.o.d"
+  "/root/repo/src/dimred/sketched_regression.cc" "src/dimred/CMakeFiles/sketch_dimred.dir/sketched_regression.cc.o" "gcc" "src/dimred/CMakeFiles/sketch_dimred.dir/sketched_regression.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sketch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/sketch_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/sketch_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

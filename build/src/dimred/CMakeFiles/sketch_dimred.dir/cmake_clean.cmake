@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_dimred.dir/approximate_svd.cc.o"
+  "CMakeFiles/sketch_dimred.dir/approximate_svd.cc.o.d"
+  "CMakeFiles/sketch_dimred.dir/feature_hashing.cc.o"
+  "CMakeFiles/sketch_dimred.dir/feature_hashing.cc.o.d"
+  "CMakeFiles/sketch_dimred.dir/jl_transform.cc.o"
+  "CMakeFiles/sketch_dimred.dir/jl_transform.cc.o.d"
+  "CMakeFiles/sketch_dimred.dir/sketched_lowrank.cc.o"
+  "CMakeFiles/sketch_dimred.dir/sketched_lowrank.cc.o.d"
+  "CMakeFiles/sketch_dimred.dir/sketched_regression.cc.o"
+  "CMakeFiles/sketch_dimred.dir/sketched_regression.cc.o.d"
+  "libsketch_dimred.a"
+  "libsketch_dimred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_dimred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

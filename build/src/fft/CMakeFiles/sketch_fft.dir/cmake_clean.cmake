@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_fft.dir/fft.cc.o"
+  "CMakeFiles/sketch_fft.dir/fft.cc.o.d"
+  "CMakeFiles/sketch_fft.dir/real_fft.cc.o"
+  "CMakeFiles/sketch_fft.dir/real_fft.cc.o.d"
+  "libsketch_fft.a"
+  "libsketch_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_hash.dir/kwise_hash.cc.o"
+  "CMakeFiles/sketch_hash.dir/kwise_hash.cc.o.d"
+  "CMakeFiles/sketch_hash.dir/tabulation_hash.cc.o"
+  "CMakeFiles/sketch_hash.dir/tabulation_hash.cc.o.d"
+  "libsketch_hash.a"
+  "libsketch_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

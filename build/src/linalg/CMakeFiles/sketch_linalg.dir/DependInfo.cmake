@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/csr_matrix.cc" "src/linalg/CMakeFiles/sketch_linalg.dir/csr_matrix.cc.o" "gcc" "src/linalg/CMakeFiles/sketch_linalg.dir/csr_matrix.cc.o.d"
+  "/root/repo/src/linalg/dense_matrix.cc" "src/linalg/CMakeFiles/sketch_linalg.dir/dense_matrix.cc.o" "gcc" "src/linalg/CMakeFiles/sketch_linalg.dir/dense_matrix.cc.o.d"
+  "/root/repo/src/linalg/least_squares.cc" "src/linalg/CMakeFiles/sketch_linalg.dir/least_squares.cc.o" "gcc" "src/linalg/CMakeFiles/sketch_linalg.dir/least_squares.cc.o.d"
+  "/root/repo/src/linalg/sparse_vector.cc" "src/linalg/CMakeFiles/sketch_linalg.dir/sparse_vector.cc.o" "gcc" "src/linalg/CMakeFiles/sketch_linalg.dir/sparse_vector.cc.o.d"
+  "/root/repo/src/linalg/symmetric_eigen.cc" "src/linalg/CMakeFiles/sketch_linalg.dir/symmetric_eigen.cc.o" "gcc" "src/linalg/CMakeFiles/sketch_linalg.dir/symmetric_eigen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sketch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_linalg.dir/csr_matrix.cc.o"
+  "CMakeFiles/sketch_linalg.dir/csr_matrix.cc.o.d"
+  "CMakeFiles/sketch_linalg.dir/dense_matrix.cc.o"
+  "CMakeFiles/sketch_linalg.dir/dense_matrix.cc.o.d"
+  "CMakeFiles/sketch_linalg.dir/least_squares.cc.o"
+  "CMakeFiles/sketch_linalg.dir/least_squares.cc.o.d"
+  "CMakeFiles/sketch_linalg.dir/sparse_vector.cc.o"
+  "CMakeFiles/sketch_linalg.dir/sparse_vector.cc.o.d"
+  "CMakeFiles/sketch_linalg.dir/symmetric_eigen.cc.o"
+  "CMakeFiles/sketch_linalg.dir/symmetric_eigen.cc.o.d"
+  "libsketch_linalg.a"
+  "libsketch_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfft/crt_sfft.cc" "src/sfft/CMakeFiles/sketch_sfft.dir/crt_sfft.cc.o" "gcc" "src/sfft/CMakeFiles/sketch_sfft.dir/crt_sfft.cc.o.d"
+  "/root/repo/src/sfft/flat_filter.cc" "src/sfft/CMakeFiles/sketch_sfft.dir/flat_filter.cc.o" "gcc" "src/sfft/CMakeFiles/sketch_sfft.dir/flat_filter.cc.o.d"
+  "/root/repo/src/sfft/sfft.cc" "src/sfft/CMakeFiles/sketch_sfft.dir/sfft.cc.o" "gcc" "src/sfft/CMakeFiles/sketch_sfft.dir/sfft.cc.o.d"
+  "/root/repo/src/sfft/sfft2d.cc" "src/sfft/CMakeFiles/sketch_sfft.dir/sfft2d.cc.o" "gcc" "src/sfft/CMakeFiles/sketch_sfft.dir/sfft2d.cc.o.d"
+  "/root/repo/src/sfft/sparse_wht.cc" "src/sfft/CMakeFiles/sketch_sfft.dir/sparse_wht.cc.o" "gcc" "src/sfft/CMakeFiles/sketch_sfft.dir/sparse_wht.cc.o.d"
+  "/root/repo/src/sfft/spectrum_utils.cc" "src/sfft/CMakeFiles/sketch_sfft.dir/spectrum_utils.cc.o" "gcc" "src/sfft/CMakeFiles/sketch_sfft.dir/spectrum_utils.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sketch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/sketch_fft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_sfft.dir/crt_sfft.cc.o"
+  "CMakeFiles/sketch_sfft.dir/crt_sfft.cc.o.d"
+  "CMakeFiles/sketch_sfft.dir/flat_filter.cc.o"
+  "CMakeFiles/sketch_sfft.dir/flat_filter.cc.o.d"
+  "CMakeFiles/sketch_sfft.dir/sfft.cc.o"
+  "CMakeFiles/sketch_sfft.dir/sfft.cc.o.d"
+  "CMakeFiles/sketch_sfft.dir/sfft2d.cc.o"
+  "CMakeFiles/sketch_sfft.dir/sfft2d.cc.o.d"
+  "CMakeFiles/sketch_sfft.dir/sparse_wht.cc.o"
+  "CMakeFiles/sketch_sfft.dir/sparse_wht.cc.o.d"
+  "CMakeFiles/sketch_sfft.dir/spectrum_utils.cc.o"
+  "CMakeFiles/sketch_sfft.dir/spectrum_utils.cc.o.d"
+  "libsketch_sfft.a"
+  "libsketch_sfft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_sfft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/ams_sketch.cc" "src/sketch/CMakeFiles/sketch_core.dir/ams_sketch.cc.o" "gcc" "src/sketch/CMakeFiles/sketch_core.dir/ams_sketch.cc.o.d"
+  "/root/repo/src/sketch/bloom_filter.cc" "src/sketch/CMakeFiles/sketch_core.dir/bloom_filter.cc.o" "gcc" "src/sketch/CMakeFiles/sketch_core.dir/bloom_filter.cc.o.d"
+  "/root/repo/src/sketch/count_min.cc" "src/sketch/CMakeFiles/sketch_core.dir/count_min.cc.o" "gcc" "src/sketch/CMakeFiles/sketch_core.dir/count_min.cc.o.d"
+  "/root/repo/src/sketch/count_sketch.cc" "src/sketch/CMakeFiles/sketch_core.dir/count_sketch.cc.o" "gcc" "src/sketch/CMakeFiles/sketch_core.dir/count_sketch.cc.o.d"
+  "/root/repo/src/sketch/counter_braids.cc" "src/sketch/CMakeFiles/sketch_core.dir/counter_braids.cc.o" "gcc" "src/sketch/CMakeFiles/sketch_core.dir/counter_braids.cc.o.d"
+  "/root/repo/src/sketch/dyadic_count_min.cc" "src/sketch/CMakeFiles/sketch_core.dir/dyadic_count_min.cc.o" "gcc" "src/sketch/CMakeFiles/sketch_core.dir/dyadic_count_min.cc.o.d"
+  "/root/repo/src/sketch/iblt.cc" "src/sketch/CMakeFiles/sketch_core.dir/iblt.cc.o" "gcc" "src/sketch/CMakeFiles/sketch_core.dir/iblt.cc.o.d"
+  "/root/repo/src/sketch/misra_gries.cc" "src/sketch/CMakeFiles/sketch_core.dir/misra_gries.cc.o" "gcc" "src/sketch/CMakeFiles/sketch_core.dir/misra_gries.cc.o.d"
+  "/root/repo/src/sketch/range_update_count_min.cc" "src/sketch/CMakeFiles/sketch_core.dir/range_update_count_min.cc.o" "gcc" "src/sketch/CMakeFiles/sketch_core.dir/range_update_count_min.cc.o.d"
+  "/root/repo/src/sketch/space_saving.cc" "src/sketch/CMakeFiles/sketch_core.dir/space_saving.cc.o" "gcc" "src/sketch/CMakeFiles/sketch_core.dir/space_saving.cc.o.d"
+  "/root/repo/src/sketch/spectral_bloom.cc" "src/sketch/CMakeFiles/sketch_core.dir/spectral_bloom.cc.o" "gcc" "src/sketch/CMakeFiles/sketch_core.dir/spectral_bloom.cc.o.d"
+  "/root/repo/src/sketch/stream_summary.cc" "src/sketch/CMakeFiles/sketch_core.dir/stream_summary.cc.o" "gcc" "src/sketch/CMakeFiles/sketch_core.dir/stream_summary.cc.o.d"
+  "/root/repo/src/sketch/topk_monitor.cc" "src/sketch/CMakeFiles/sketch_core.dir/topk_monitor.cc.o" "gcc" "src/sketch/CMakeFiles/sketch_core.dir/topk_monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sketch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/sketch_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/sketch_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_core.dir/ams_sketch.cc.o"
+  "CMakeFiles/sketch_core.dir/ams_sketch.cc.o.d"
+  "CMakeFiles/sketch_core.dir/bloom_filter.cc.o"
+  "CMakeFiles/sketch_core.dir/bloom_filter.cc.o.d"
+  "CMakeFiles/sketch_core.dir/count_min.cc.o"
+  "CMakeFiles/sketch_core.dir/count_min.cc.o.d"
+  "CMakeFiles/sketch_core.dir/count_sketch.cc.o"
+  "CMakeFiles/sketch_core.dir/count_sketch.cc.o.d"
+  "CMakeFiles/sketch_core.dir/counter_braids.cc.o"
+  "CMakeFiles/sketch_core.dir/counter_braids.cc.o.d"
+  "CMakeFiles/sketch_core.dir/dyadic_count_min.cc.o"
+  "CMakeFiles/sketch_core.dir/dyadic_count_min.cc.o.d"
+  "CMakeFiles/sketch_core.dir/iblt.cc.o"
+  "CMakeFiles/sketch_core.dir/iblt.cc.o.d"
+  "CMakeFiles/sketch_core.dir/misra_gries.cc.o"
+  "CMakeFiles/sketch_core.dir/misra_gries.cc.o.d"
+  "CMakeFiles/sketch_core.dir/range_update_count_min.cc.o"
+  "CMakeFiles/sketch_core.dir/range_update_count_min.cc.o.d"
+  "CMakeFiles/sketch_core.dir/space_saving.cc.o"
+  "CMakeFiles/sketch_core.dir/space_saving.cc.o.d"
+  "CMakeFiles/sketch_core.dir/spectral_bloom.cc.o"
+  "CMakeFiles/sketch_core.dir/spectral_bloom.cc.o.d"
+  "CMakeFiles/sketch_core.dir/stream_summary.cc.o"
+  "CMakeFiles/sketch_core.dir/stream_summary.cc.o.d"
+  "CMakeFiles/sketch_core.dir/topk_monitor.cc.o"
+  "CMakeFiles/sketch_core.dir/topk_monitor.cc.o.d"
+  "libsketch_core.a"
+  "libsketch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/frequency_oracle.cc" "src/stream/CMakeFiles/sketch_stream.dir/frequency_oracle.cc.o" "gcc" "src/stream/CMakeFiles/sketch_stream.dir/frequency_oracle.cc.o.d"
+  "/root/repo/src/stream/generators.cc" "src/stream/CMakeFiles/sketch_stream.dir/generators.cc.o" "gcc" "src/stream/CMakeFiles/sketch_stream.dir/generators.cc.o.d"
+  "/root/repo/src/stream/traffic_model.cc" "src/stream/CMakeFiles/sketch_stream.dir/traffic_model.cc.o" "gcc" "src/stream/CMakeFiles/sketch_stream.dir/traffic_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sketch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_stream.dir/frequency_oracle.cc.o"
+  "CMakeFiles/sketch_stream.dir/frequency_oracle.cc.o.d"
+  "CMakeFiles/sketch_stream.dir/generators.cc.o"
+  "CMakeFiles/sketch_stream.dir/generators.cc.o.d"
+  "CMakeFiles/sketch_stream.dir/traffic_model.cc.o"
+  "CMakeFiles/sketch_stream.dir/traffic_model.cc.o.d"
+  "libsketch_stream.a"
+  "libsketch_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

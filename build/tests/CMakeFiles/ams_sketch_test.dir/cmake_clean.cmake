@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ams_sketch_test.dir/sketch/ams_sketch_test.cc.o"
+  "CMakeFiles/ams_sketch_test.dir/sketch/ams_sketch_test.cc.o.d"
+  "ams_sketch_test"
+  "ams_sketch_test.pdb"
+  "ams_sketch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ams_sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

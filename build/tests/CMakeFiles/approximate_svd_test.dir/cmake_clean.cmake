@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximate_svd_test.dir/dimred/approximate_svd_test.cc.o"
+  "CMakeFiles/approximate_svd_test.dir/dimred/approximate_svd_test.cc.o.d"
+  "approximate_svd_test"
+  "approximate_svd_test.pdb"
+  "approximate_svd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximate_svd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

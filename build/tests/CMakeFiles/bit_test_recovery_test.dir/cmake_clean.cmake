@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bit_test_recovery_test.dir/cs/bit_test_recovery_test.cc.o"
+  "CMakeFiles/bit_test_recovery_test.dir/cs/bit_test_recovery_test.cc.o.d"
+  "bit_test_recovery_test"
+  "bit_test_recovery_test.pdb"
+  "bit_test_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bit_test_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byte_buffer_test.dir/common/byte_buffer_test.cc.o"
+  "CMakeFiles/byte_buffer_test.dir/common/byte_buffer_test.cc.o.d"
+  "byte_buffer_test"
+  "byte_buffer_test.pdb"
+  "byte_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byte_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contract_death_test.dir/integration/contract_death_test.cc.o"
+  "CMakeFiles/contract_death_test.dir/integration/contract_death_test.cc.o.d"
+  "contract_death_test"
+  "contract_death_test.pdb"
+  "contract_death_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contract_death_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosamp_test.dir/cs/cosamp_test.cc.o"
+  "CMakeFiles/cosamp_test.dir/cs/cosamp_test.cc.o.d"
+  "cosamp_test"
+  "cosamp_test.pdb"
+  "cosamp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosamp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/count_min_test.dir/sketch/count_min_test.cc.o"
+  "CMakeFiles/count_min_test.dir/sketch/count_min_test.cc.o.d"
+  "count_min_test"
+  "count_min_test.pdb"
+  "count_min_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/count_min_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/count_sketch_test.dir/sketch/count_sketch_test.cc.o"
+  "CMakeFiles/count_sketch_test.dir/sketch/count_sketch_test.cc.o.d"
+  "count_sketch_test"
+  "count_sketch_test.pdb"
+  "count_sketch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/count_sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

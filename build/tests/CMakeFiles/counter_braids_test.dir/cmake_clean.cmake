@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_braids_test.dir/sketch/counter_braids_test.cc.o"
+  "CMakeFiles/counter_braids_test.dir/sketch/counter_braids_test.cc.o.d"
+  "counter_braids_test"
+  "counter_braids_test.pdb"
+  "counter_braids_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_braids_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crt_sfft_test.dir/sfft/crt_sfft_test.cc.o"
+  "CMakeFiles/crt_sfft_test.dir/sfft/crt_sfft_test.cc.o.d"
+  "crt_sfft_test"
+  "crt_sfft_test.pdb"
+  "crt_sfft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crt_sfft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

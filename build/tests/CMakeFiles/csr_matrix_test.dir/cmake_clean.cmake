@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_matrix_test.dir/linalg/csr_matrix_test.cc.o"
+  "CMakeFiles/csr_matrix_test.dir/linalg/csr_matrix_test.cc.o.d"
+  "csr_matrix_test"
+  "csr_matrix_test.pdb"
+  "csr_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_matrix_test.dir/linalg/dense_matrix_test.cc.o"
+  "CMakeFiles/dense_matrix_test.dir/linalg/dense_matrix_test.cc.o.d"
+  "dense_matrix_test"
+  "dense_matrix_test.pdb"
+  "dense_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

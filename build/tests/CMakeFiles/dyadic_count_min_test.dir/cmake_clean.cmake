@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyadic_count_min_test.dir/sketch/dyadic_count_min_test.cc.o"
+  "CMakeFiles/dyadic_count_min_test.dir/sketch/dyadic_count_min_test.cc.o.d"
+  "dyadic_count_min_test"
+  "dyadic_count_min_test.pdb"
+  "dyadic_count_min_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyadic_count_min_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

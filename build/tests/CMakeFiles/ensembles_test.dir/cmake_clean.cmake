@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensembles_test.dir/cs/ensembles_test.cc.o"
+  "CMakeFiles/ensembles_test.dir/cs/ensembles_test.cc.o.d"
+  "ensembles_test"
+  "ensembles_test.pdb"
+  "ensembles_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensembles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

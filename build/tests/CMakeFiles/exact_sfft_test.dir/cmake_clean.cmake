@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_sfft_test.dir/sfft/exact_sfft_test.cc.o"
+  "CMakeFiles/exact_sfft_test.dir/sfft/exact_sfft_test.cc.o.d"
+  "exact_sfft_test"
+  "exact_sfft_test.pdb"
+  "exact_sfft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_sfft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_hashing_test.dir/dimred/feature_hashing_test.cc.o"
+  "CMakeFiles/feature_hashing_test.dir/dimred/feature_hashing_test.cc.o.d"
+  "feature_hashing_test"
+  "feature_hashing_test.pdb"
+  "feature_hashing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_hashing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

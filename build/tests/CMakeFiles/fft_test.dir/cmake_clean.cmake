@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_test.dir/fft/fft_test.cc.o"
+  "CMakeFiles/fft_test.dir/fft/fft_test.cc.o.d"
+  "fft_test"
+  "fft_test.pdb"
+  "fft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

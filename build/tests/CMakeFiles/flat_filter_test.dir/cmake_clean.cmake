@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_filter_test.dir/sfft/flat_filter_test.cc.o"
+  "CMakeFiles/flat_filter_test.dir/sfft/flat_filter_test.cc.o.d"
+  "flat_filter_test"
+  "flat_filter_test.pdb"
+  "flat_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_sfft_test.dir/sfft/flat_sfft_test.cc.o"
+  "CMakeFiles/flat_sfft_test.dir/sfft/flat_sfft_test.cc.o.d"
+  "flat_sfft_test"
+  "flat_sfft_test.pdb"
+  "flat_sfft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_sfft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

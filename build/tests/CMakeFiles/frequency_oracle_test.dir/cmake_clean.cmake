@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequency_oracle_test.dir/stream/frequency_oracle_test.cc.o"
+  "CMakeFiles/frequency_oracle_test.dir/stream/frequency_oracle_test.cc.o.d"
+  "frequency_oracle_test"
+  "frequency_oracle_test.pdb"
+  "frequency_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequency_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashed_recovery_test.dir/cs/hashed_recovery_test.cc.o"
+  "CMakeFiles/hashed_recovery_test.dir/cs/hashed_recovery_test.cc.o.d"
+  "hashed_recovery_test"
+  "hashed_recovery_test.pdb"
+  "hashed_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashed_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

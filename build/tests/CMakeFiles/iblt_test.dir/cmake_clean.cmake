@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iblt_test.dir/sketch/iblt_test.cc.o"
+  "CMakeFiles/iblt_test.dir/sketch/iblt_test.cc.o.d"
+  "iblt_test"
+  "iblt_test.pdb"
+  "iblt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iblt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iht_test.dir/cs/iht_test.cc.o"
+  "CMakeFiles/iht_test.dir/cs/iht_test.cc.o.d"
+  "iht_test"
+  "iht_test.pdb"
+  "iht_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iht_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inner_product_test.dir/sketch/inner_product_test.cc.o"
+  "CMakeFiles/inner_product_test.dir/sketch/inner_product_test.cc.o.d"
+  "inner_product_test"
+  "inner_product_test.pdb"
+  "inner_product_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inner_product_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

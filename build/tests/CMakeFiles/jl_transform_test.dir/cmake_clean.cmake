@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jl_transform_test.dir/dimred/jl_transform_test.cc.o"
+  "CMakeFiles/jl_transform_test.dir/dimred/jl_transform_test.cc.o.d"
+  "jl_transform_test"
+  "jl_transform_test.pdb"
+  "jl_transform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jl_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kwise_hash_test.dir/hash/kwise_hash_test.cc.o"
+  "CMakeFiles/kwise_hash_test.dir/hash/kwise_hash_test.cc.o.d"
+  "kwise_hash_test"
+  "kwise_hash_test.pdb"
+  "kwise_hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kwise_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

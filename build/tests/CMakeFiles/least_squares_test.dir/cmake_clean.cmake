@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/least_squares_test.dir/linalg/least_squares_test.cc.o"
+  "CMakeFiles/least_squares_test.dir/linalg/least_squares_test.cc.o.d"
+  "least_squares_test"
+  "least_squares_test.pdb"
+  "least_squares_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/least_squares_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

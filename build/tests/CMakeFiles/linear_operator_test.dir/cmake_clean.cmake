@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_operator_test.dir/cs/linear_operator_test.cc.o"
+  "CMakeFiles/linear_operator_test.dir/cs/linear_operator_test.cc.o.d"
+  "linear_operator_test"
+  "linear_operator_test.pdb"
+  "linear_operator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

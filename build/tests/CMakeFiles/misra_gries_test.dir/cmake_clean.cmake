@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misra_gries_test.dir/sketch/misra_gries_test.cc.o"
+  "CMakeFiles/misra_gries_test.dir/sketch/misra_gries_test.cc.o.d"
+  "misra_gries_test"
+  "misra_gries_test.pdb"
+  "misra_gries_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misra_gries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

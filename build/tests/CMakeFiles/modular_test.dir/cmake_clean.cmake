@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modular_test.dir/sfft/modular_test.cc.o"
+  "CMakeFiles/modular_test.dir/sfft/modular_test.cc.o.d"
+  "modular_test"
+  "modular_test.pdb"
+  "modular_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modular_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

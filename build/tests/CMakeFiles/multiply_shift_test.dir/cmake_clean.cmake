@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiply_shift_test.dir/hash/multiply_shift_test.cc.o"
+  "CMakeFiles/multiply_shift_test.dir/hash/multiply_shift_test.cc.o.d"
+  "multiply_shift_test"
+  "multiply_shift_test.pdb"
+  "multiply_shift_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiply_shift_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

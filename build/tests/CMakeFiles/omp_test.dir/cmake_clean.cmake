@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omp_test.dir/cs/omp_test.cc.o"
+  "CMakeFiles/omp_test.dir/cs/omp_test.cc.o.d"
+  "omp_test"
+  "omp_test.pdb"
+  "omp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

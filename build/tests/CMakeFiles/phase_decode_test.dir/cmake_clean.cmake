@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_decode_test.dir/sfft/phase_decode_test.cc.o"
+  "CMakeFiles/phase_decode_test.dir/sfft/phase_decode_test.cc.o.d"
+  "phase_decode_test"
+  "phase_decode_test.pdb"
+  "phase_decode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_decode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

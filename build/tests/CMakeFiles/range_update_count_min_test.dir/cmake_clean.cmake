@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_update_count_min_test.dir/sketch/range_update_count_min_test.cc.o"
+  "CMakeFiles/range_update_count_min_test.dir/sketch/range_update_count_min_test.cc.o.d"
+  "range_update_count_min_test"
+  "range_update_count_min_test.pdb"
+  "range_update_count_min_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_update_count_min_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_fft_test.dir/fft/real_fft_test.cc.o"
+  "CMakeFiles/real_fft_test.dir/fft/real_fft_test.cc.o.d"
+  "real_fft_test"
+  "real_fft_test.pdb"
+  "real_fft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_fft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_pipeline_integration_test.dir/integration/recovery_pipeline_integration_test.cc.o"
+  "CMakeFiles/recovery_pipeline_integration_test.dir/integration/recovery_pipeline_integration_test.cc.o.d"
+  "recovery_pipeline_integration_test"
+  "recovery_pipeline_integration_test.pdb"
+  "recovery_pipeline_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_pipeline_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seeded_fuzz_test.dir/integration/seeded_fuzz_test.cc.o"
+  "CMakeFiles/seeded_fuzz_test.dir/integration/seeded_fuzz_test.cc.o.d"
+  "seeded_fuzz_test"
+  "seeded_fuzz_test.pdb"
+  "seeded_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seeded_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfft2d_test.dir/sfft/sfft2d_test.cc.o"
+  "CMakeFiles/sfft2d_test.dir/sfft/sfft2d_test.cc.o.d"
+  "sfft2d_test"
+  "sfft2d_test.pdb"
+  "sfft2d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfft2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

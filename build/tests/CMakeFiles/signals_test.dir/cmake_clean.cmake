@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signals_test.dir/cs/signals_test.cc.o"
+  "CMakeFiles/signals_test.dir/cs/signals_test.cc.o.d"
+  "signals_test"
+  "signals_test.pdb"
+  "signals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

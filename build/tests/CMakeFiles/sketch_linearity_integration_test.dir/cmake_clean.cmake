@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_linearity_integration_test.dir/integration/sketch_linearity_integration_test.cc.o"
+  "CMakeFiles/sketch_linearity_integration_test.dir/integration/sketch_linearity_integration_test.cc.o.d"
+  "sketch_linearity_integration_test"
+  "sketch_linearity_integration_test.pdb"
+  "sketch_linearity_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_linearity_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketched_lowrank_test.dir/dimred/sketched_lowrank_test.cc.o"
+  "CMakeFiles/sketched_lowrank_test.dir/dimred/sketched_lowrank_test.cc.o.d"
+  "sketched_lowrank_test"
+  "sketched_lowrank_test.pdb"
+  "sketched_lowrank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketched_lowrank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketched_regression_test.dir/dimred/sketched_regression_test.cc.o"
+  "CMakeFiles/sketched_regression_test.dir/dimred/sketched_regression_test.cc.o.d"
+  "sketched_regression_test"
+  "sketched_regression_test.pdb"
+  "sketched_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketched_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smp_test.dir/cs/smp_test.cc.o"
+  "CMakeFiles/smp_test.dir/cs/smp_test.cc.o.d"
+  "smp_test"
+  "smp_test.pdb"
+  "smp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

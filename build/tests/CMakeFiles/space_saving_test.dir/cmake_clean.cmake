@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_saving_test.dir/sketch/space_saving_test.cc.o"
+  "CMakeFiles/space_saving_test.dir/sketch/space_saving_test.cc.o.d"
+  "space_saving_test"
+  "space_saving_test.pdb"
+  "space_saving_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_saving_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_vector_test.dir/linalg/sparse_vector_test.cc.o"
+  "CMakeFiles/sparse_vector_test.dir/linalg/sparse_vector_test.cc.o.d"
+  "sparse_vector_test"
+  "sparse_vector_test.pdb"
+  "sparse_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

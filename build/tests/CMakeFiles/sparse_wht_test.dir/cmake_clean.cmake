@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_wht_test.dir/sfft/sparse_wht_test.cc.o"
+  "CMakeFiles/sparse_wht_test.dir/sfft/sparse_wht_test.cc.o.d"
+  "sparse_wht_test"
+  "sparse_wht_test.pdb"
+  "sparse_wht_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_wht_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

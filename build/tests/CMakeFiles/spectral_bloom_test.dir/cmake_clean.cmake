@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_bloom_test.dir/sketch/spectral_bloom_test.cc.o"
+  "CMakeFiles/spectral_bloom_test.dir/sketch/spectral_bloom_test.cc.o.d"
+  "spectral_bloom_test"
+  "spectral_bloom_test.pdb"
+  "spectral_bloom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_bloom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectrum_utils_test.dir/sfft/spectrum_utils_test.cc.o"
+  "CMakeFiles/spectrum_utils_test.dir/sfft/spectrum_utils_test.cc.o.d"
+  "spectrum_utils_test"
+  "spectrum_utils_test.pdb"
+  "spectrum_utils_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrum_utils_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssmp_test.dir/cs/ssmp_test.cc.o"
+  "CMakeFiles/ssmp_test.dir/cs/ssmp_test.cc.o.d"
+  "ssmp_test"
+  "ssmp_test.pdb"
+  "ssmp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssmp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

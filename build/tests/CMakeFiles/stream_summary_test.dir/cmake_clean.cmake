@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_summary_test.dir/sketch/stream_summary_test.cc.o"
+  "CMakeFiles/stream_summary_test.dir/sketch/stream_summary_test.cc.o.d"
+  "stream_summary_test"
+  "stream_summary_test.pdb"
+  "stream_summary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_summary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

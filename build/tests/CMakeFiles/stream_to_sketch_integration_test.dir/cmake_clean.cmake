@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_to_sketch_integration_test.dir/integration/stream_to_sketch_integration_test.cc.o"
+  "CMakeFiles/stream_to_sketch_integration_test.dir/integration/stream_to_sketch_integration_test.cc.o.d"
+  "stream_to_sketch_integration_test"
+  "stream_to_sketch_integration_test.pdb"
+  "stream_to_sketch_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_to_sketch_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

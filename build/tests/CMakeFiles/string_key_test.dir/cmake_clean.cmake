@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_key_test.dir/hash/string_key_test.cc.o"
+  "CMakeFiles/string_key_test.dir/hash/string_key_test.cc.o.d"
+  "string_key_test"
+  "string_key_test.pdb"
+  "string_key_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_key_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symmetric_eigen_test.dir/linalg/symmetric_eigen_test.cc.o"
+  "CMakeFiles/symmetric_eigen_test.dir/linalg/symmetric_eigen_test.cc.o.d"
+  "symmetric_eigen_test"
+  "symmetric_eigen_test.pdb"
+  "symmetric_eigen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symmetric_eigen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for symmetric_eigen_test.
+# This may be replaced when dependencies are built.

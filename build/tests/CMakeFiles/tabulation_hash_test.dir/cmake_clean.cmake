@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabulation_hash_test.dir/hash/tabulation_hash_test.cc.o"
+  "CMakeFiles/tabulation_hash_test.dir/hash/tabulation_hash_test.cc.o.d"
+  "tabulation_hash_test"
+  "tabulation_hash_test.pdb"
+  "tabulation_hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabulation_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_monitor_test.dir/sketch/topk_monitor_test.cc.o"
+  "CMakeFiles/topk_monitor_test.dir/sketch/topk_monitor_test.cc.o.d"
+  "topk_monitor_test"
+  "topk_monitor_test.pdb"
+  "topk_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

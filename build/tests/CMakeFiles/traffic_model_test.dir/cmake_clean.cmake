@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_model_test.dir/stream/traffic_model_test.cc.o"
+  "CMakeFiles/traffic_model_test.dir/stream/traffic_model_test.cc.o.d"
+  "traffic_model_test"
+  "traffic_model_test.pdb"
+  "traffic_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
