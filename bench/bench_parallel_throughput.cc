@@ -1,0 +1,133 @@
+// E21: parallel sharded ingestion scaling — updates/sec and merge
+// latency of ShardedSketch vs. thread count, plus an exactness check
+// against sequential ingestion (linearity makes shard-and-merge exact;
+// see DESIGN.md "Sharded ingestion").
+//
+// Sweeps threads in {1, 2, 4, 8} over a Zipf(1.1) stream for Count-Min,
+// Count-Sketch, and Bloom. The 1-thread ShardedSketch row uses the pool
+// with a single worker, so the speedup column isolates parallelism from
+// batching effects; a separate baseline row reports plain sequential
+// ApplyBatch on the calling thread.
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "parallel/sharded_sketch.h"
+#include "sketch/bloom_filter.h"
+#include "sketch/count_min.h"
+#include "sketch/count_sketch.h"
+#include "stream/generators.h"
+
+namespace sketch {
+namespace {
+
+constexpr uint64_t kUniverse = 1 << 20;
+constexpr uint64_t kLength = 1 << 22;  // 4M updates
+constexpr uint64_t kSeed = 1;
+constexpr int kReps = 3;  // best-of to damp scheduler noise
+
+struct RunResult {
+  double ingest_mups = 0;  // millions of updates per second
+  double merge_ms = 0;
+  bool exact = false;
+};
+
+template <typename S, typename MakeFn, typename SameFn>
+RunResult RunSharded(const std::vector<StreamUpdate>& stream, size_t threads,
+                     MakeFn make, SameFn same_as_sequential) {
+  RunResult result;
+  ThreadPool pool(threads);
+  for (int rep = 0; rep < kReps; ++rep) {
+    ShardedSketch<S> sharded(make(), &pool);
+    Timer timer;
+    sharded.Ingest(stream);
+    const double ingest_s = timer.ElapsedSeconds();
+    timer.Reset();
+    const S collapsed = sharded.Collapse();
+    const double merge_ms = timer.ElapsedMillis();
+    const double mups =
+        static_cast<double>(stream.size()) / ingest_s / 1e6;
+    if (rep == 0 || mups > result.ingest_mups) {
+      result.ingest_mups = mups;
+      result.merge_ms = merge_ms;
+    }
+    result.exact = same_as_sequential(collapsed);
+  }
+  return result;
+}
+
+template <typename S, typename MakeFn, typename SerializeFn>
+void Sweep(const char* name, const std::vector<StreamUpdate>& stream,
+           MakeFn make, SerializeFn serialize) {
+  // Sequential baseline: plain ApplyBatch on the calling thread.
+  S sequential = make();
+  double baseline_mups = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    S fresh = make();
+    Timer timer;
+    fresh.ApplyBatch(stream);
+    const double mups =
+        static_cast<double>(stream.size()) / timer.ElapsedSeconds() / 1e6;
+    if (mups > baseline_mups) baseline_mups = mups;
+    if (rep == 0) sequential = fresh;
+  }
+  const auto sequential_bytes = serialize(sequential);
+
+  bench::Row("%-12s %8s %12s %10s %10s %8s", name, "threads",
+             "updates/s(M)", "speedup", "merge(ms)", "exact");
+  bench::Row("%-12s %8s %12.2f %10s %10s %8s", name, "seq", baseline_mups,
+             "1.00x", "-", "-");
+  double one_thread_mups = 0;
+  for (size_t threads : {1, 2, 4, 8}) {
+    const RunResult r = RunSharded<S>(
+        stream, threads, make, [&](const S& collapsed) {
+          return serialize(collapsed) == sequential_bytes;
+        });
+    if (threads == 1) one_thread_mups = r.ingest_mups;
+    bench::Row("%-12s %8zu %12.2f %9.2fx %10.3f %8s", name, threads,
+               r.ingest_mups, r.ingest_mups / baseline_mups, r.merge_ms,
+               r.exact ? "yes" : "NO");
+    if (threads == 8) {
+      bench::Row("%-12s 8-vs-1-thread scaling: %.2fx", name,
+                 r.ingest_mups / one_thread_mups);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sketch
+
+int main() {
+  using namespace sketch;
+  bench::PrintHeader(
+      "E21 - parallel sharded ingestion (bench_parallel_throughput)",
+      "Linear sketches shard across threads and tree-merge exactly; "
+      "ingestion throughput scales with cores",
+      "Zipf(1.1), n = 2^20, N = 2^22 updates, threads in {1,2,4,8}");
+  std::printf("hardware_concurrency = %u\n",
+              std::thread::hardware_concurrency());
+
+  const auto stream = MakeZipfStream(kUniverse, 1.1, kLength, kSeed);
+
+  Sweep<CountMinSketch>(
+      "count-min", stream,
+      [] { return CountMinSketch(1 << 12, 5, kSeed); },
+      [](const CountMinSketch& s) { return s.Serialize(); });
+
+  Sweep<CountSketch>(
+      "count-sketch", stream,
+      [] { return CountSketch(1 << 12, 5, kSeed); },
+      [](const CountSketch& s) { return s.Serialize(); });
+
+  Sweep<BloomFilter>(
+      "bloom", stream, [] { return BloomFilter(1 << 22, 5, kSeed); },
+      [](const BloomFilter& s) { return s.Serialize(); });
+
+  return 0;
+}

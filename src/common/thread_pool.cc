@@ -1,0 +1,84 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace sketch {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  SKETCH_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SKETCH_CHECK_MSG(!shutting_down_, "Submit() after destruction began");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                             const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t blocks = std::min(n, num_threads());
+  const std::size_t chunk = n / blocks;
+  const std::size_t remainder = n % blocks;
+  // Blocks [0, blocks-1) go to the pool; the calling thread runs the last
+  // block itself so a 1-thread pool never round-trips through the queue.
+  std::size_t lo = begin;
+  for (std::size_t b = 0; b + 1 < blocks; ++b) {
+    const std::size_t hi = lo + chunk + (b < remainder ? 1 : 0);
+    Submit([&body, lo, hi] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    });
+    lo = hi;
+  }
+  for (std::size_t i = lo; i < end; ++i) body(i);
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(
+          lock, [this] { return !queue_.empty() || shutting_down_; });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace sketch

@@ -1,0 +1,128 @@
+#ifndef SKETCH_PARALLEL_SHARDED_SKETCH_H_
+#define SKETCH_PARALLEL_SHARDED_SKETCH_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "stream/update.h"
+
+namespace sketch {
+
+/// Parallel sharded ingestion engine.
+///
+/// `ShardedSketch<S>` holds P replicas of a sketch S, all constructed from
+/// the same prototype (identical geometry and seed, hence identical hash
+/// functions). `Ingest` splits an update block into P contiguous
+/// sub-blocks and applies each on its own worker thread via
+/// `S::ApplyBatch`; `Collapse` tree-merges the replicas into a single
+/// query-able sketch.
+///
+/// Why this is *exact*, not approximate: the sketches are linear maps of
+/// the frequency vector (the survey's central observation), so
+///
+///   sketch(stream A ++ stream B) == Merge(sketch(A), sketch(B))
+///
+/// counter-for-counter, whenever both sides share geometry and seed. The
+/// engine therefore partitions purely by position — no per-item routing,
+/// no locks on the hot path, no approximation introduced by sharding. The
+/// merge-linearity property tests (`tests/sketch/merge_linearity_test.cc`)
+/// pin this bit-identity down for every mergeable sketch, and the
+/// sharded-vs-sequential test does the same through this engine.
+///
+/// Requirements on S: copy-constructible, `void ApplyBatch(UpdateSpan)`,
+/// and `void Merge(const S&)` that CHECK-fails on geometry/seed mismatch.
+/// CountMinSketch, CountSketch, AmsSketch, BloomFilter, and
+/// DyadicCountMin all qualify.
+///
+/// Thread safety: each replica is touched by exactly one worker per
+/// `Ingest` call, and calls into this class must be externally serialized
+/// (one ingestion driver thread). The parallelism is *inside* a call, not
+/// across calls — the same discipline a per-core sharded network pipeline
+/// uses.
+template <typename S>
+class ShardedSketch {
+ public:
+  /// Creates `num_shards` replicas of `prototype`. The prototype is
+  /// normally freshly constructed (empty); a non-empty prototype's counts
+  /// would be multiplied by the shard count after Collapse, so pass an
+  /// empty sketch. `pool` must outlive this object; pass nullptr to run
+  /// every batch inline on the calling thread (useful as a sequential
+  /// control).
+  ShardedSketch(const S& prototype, std::size_t num_shards, ThreadPool* pool)
+      : pool_(pool), shards_(num_shards, prototype) {
+    SKETCH_CHECK(num_shards >= 1);
+  }
+
+  /// Convenience: one shard per pool worker.
+  ShardedSketch(const S& prototype, ThreadPool* pool)
+      : ShardedSketch(prototype, pool == nullptr ? 1 : pool->num_threads(),
+                      pool) {}
+
+  /// Partitions `updates` into contiguous, near-equal blocks — one per
+  /// shard — and applies each block to its replica on a pool worker.
+  /// Blocks until the whole batch is absorbed. Safe to call repeatedly;
+  /// batches accumulate (the sketches are linear).
+  void Ingest(UpdateSpan updates) {
+    const std::size_t p = shards_.size();
+    if (updates.empty()) return;
+    if (p == 1 || pool_ == nullptr) {
+      shards_[0].ApplyBatch(updates);
+      return;
+    }
+    const std::size_t chunk = updates.size() / p;
+    const std::size_t remainder = updates.size() % p;
+    std::size_t offset = 0;
+    // One task per shard; shard s owns its replica for the whole call, so
+    // workers share no mutable state and the hot path takes no locks.
+    for (std::size_t s = 0; s < p; ++s) {
+      const std::size_t len = chunk + (s < remainder ? 1 : 0);
+      const UpdateSpan block = updates.subspan(offset, len);
+      S* replica = &shards_[s];
+      pool_->Submit([replica, block] { replica->ApplyBatch(block); });
+      offset += len;
+    }
+    pool_->Wait();
+  }
+
+  /// Reduces the replicas into one sketch of the full stream by pairwise
+  /// tree merge (log2(P) rounds, each round's merges running in parallel
+  /// on the pool). Non-destructive: replicas keep their contents, so
+  /// ingestion can continue and Collapse can be called again later.
+  S Collapse() const {
+    std::vector<S> work(shards_);
+    for (std::size_t stride = 1; stride < work.size(); stride *= 2) {
+      const std::size_t step = 2 * stride;
+      if (pool_ == nullptr) {
+        for (std::size_t i = 0; i + stride < work.size(); i += step) {
+          work[i].Merge(work[i + stride]);
+        }
+      } else {
+        for (std::size_t i = 0; i + stride < work.size(); i += step) {
+          S* dst = &work[i];
+          const S* src = &work[i + stride];
+          pool_->Submit([dst, src] { dst->Merge(*src); });
+        }
+        pool_->Wait();
+      }
+    }
+    return std::move(work[0]);
+  }
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Direct access to a replica (tests; e.g. asserting that work actually
+  /// spread across shards).
+  const S& shard(std::size_t i) const { return shards_[i]; }
+
+ private:
+  ThreadPool* pool_;       // not owned; may be nullptr (inline execution)
+  std::vector<S> shards_;  // replica s is written only by the worker
+                           // running shard s's block of the current batch
+};
+
+}  // namespace sketch
+
+#endif  // SKETCH_PARALLEL_SHARDED_SKETCH_H_

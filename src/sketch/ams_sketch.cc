@@ -29,6 +29,10 @@ void AmsSketch::Update(const StreamUpdate& update) {
 }
 
 void AmsSketch::UpdateAll(const std::vector<StreamUpdate>& updates) {
+  ApplyBatch(updates);
+}
+
+void AmsSketch::ApplyBatch(UpdateSpan updates) {
   for (const StreamUpdate& u : updates) Update(u);
 }
 

@@ -28,6 +28,10 @@ class AmsSketch {
   /// Applies every update.
   void UpdateAll(const std::vector<StreamUpdate>& updates);
 
+  /// Batched entry point: applies a contiguous block of updates (the unit
+  /// of work for the sharded ingestion engine in `src/parallel`).
+  void ApplyBatch(UpdateSpan updates);
+
   /// Median-of-rows estimate of F2 = sum_i count(i)^2.
   double EstimateF2() const;
 

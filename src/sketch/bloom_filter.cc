@@ -52,6 +52,10 @@ bool BloomFilter::MayContain(uint64_t key) const {
   return true;
 }
 
+void BloomFilter::ApplyBatch(UpdateSpan updates) {
+  for (const StreamUpdate& u : updates) Insert(u.item);
+}
+
 void BloomFilter::Merge(const BloomFilter& other) {
   SKETCH_CHECK_MSG(num_bits_ == other.num_bits_ && seed_ == other.seed_ &&
                        hashes_.size() == other.hashes_.size(),

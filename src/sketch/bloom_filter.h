@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "hash/kwise_hash.h"
+#include "stream/update.h"
 
 namespace sketch {
 
@@ -26,6 +27,13 @@ class BloomFilter {
 
   /// Inserts a key.
   void Insert(uint64_t key);
+
+  /// Batched entry point: inserts `update.item` for every update in the
+  /// block (membership is delta-agnostic — a Bloom filter only records
+  /// presence). Lets the sharded ingestion engine (`src/parallel`) drive
+  /// Bloom filters through the same ApplyBatch interface as the counting
+  /// sketches.
+  void ApplyBatch(UpdateSpan updates);
 
   /// Returns false if the key was definitely never inserted; true means
   /// "possibly present" (false positives at the configured rate).

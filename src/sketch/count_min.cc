@@ -43,6 +43,10 @@ void CountMinSketch::Update(const StreamUpdate& update) {
 }
 
 void CountMinSketch::UpdateAll(const std::vector<StreamUpdate>& updates) {
+  ApplyBatch(updates);
+}
+
+void CountMinSketch::ApplyBatch(UpdateSpan updates) {
   for (const StreamUpdate& u : updates) Update(u);
 }
 

@@ -38,6 +38,11 @@ class CountMinSketch {
   /// Applies every update in `updates`.
   void UpdateAll(const std::vector<StreamUpdate>& updates);
 
+  /// Batched entry point: applies a contiguous block of updates.
+  /// Equivalent to Update() on each element — this is the unit of work the
+  /// sharded ingestion engine (`src/parallel`) hands to each worker.
+  void ApplyBatch(UpdateSpan updates);
+
   /// Conservative update [EV02]: increments only the minimal counters so
   /// that the estimate of `item` rises to (old estimate + delta). Strictly
   /// tightens over-estimation, but is only sound for insert-only streams

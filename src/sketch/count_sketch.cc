@@ -46,6 +46,10 @@ void CountSketch::Update(const StreamUpdate& update) {
 }
 
 void CountSketch::UpdateAll(const std::vector<StreamUpdate>& updates) {
+  ApplyBatch(updates);
+}
+
+void CountSketch::ApplyBatch(UpdateSpan updates) {
   for (const StreamUpdate& u : updates) Update(u);
 }
 

@@ -34,6 +34,10 @@ class CountSketch {
   /// Applies every update in `updates`.
   void UpdateAll(const std::vector<StreamUpdate>& updates);
 
+  /// Batched entry point: applies a contiguous block of updates (the unit
+  /// of work for the sharded ingestion engine in `src/parallel`).
+  void ApplyBatch(UpdateSpan updates);
+
   /// Point query: median over rows of sign-corrected counters. Unbiased
   /// per row; the median gives the high-probability bound.
   int64_t Estimate(uint64_t item) const;

@@ -27,6 +27,10 @@ void DyadicCountMin::Update(const StreamUpdate& update) {
 }
 
 void DyadicCountMin::UpdateAll(const std::vector<StreamUpdate>& updates) {
+  ApplyBatch(updates);
+}
+
+void DyadicCountMin::ApplyBatch(UpdateSpan updates) {
   for (const StreamUpdate& u : updates) Update(u);
 }
 
@@ -110,7 +114,7 @@ uint64_t DyadicCountMin::Quantile(double q) const {
 void DyadicCountMin::Merge(const DyadicCountMin& other) {
   SKETCH_CHECK_MSG(log_universe_ == other.log_universe_ &&
                        levels_.size() == other.levels_.size(),
-                   "merge requires identical geometry");
+                   "merge requires identical geometry and seed");
   for (size_t l = 0; l < levels_.size(); ++l) {
     levels_[l].Merge(other.levels_[l]);  // checks width/depth/seed
   }

@@ -36,6 +36,10 @@ class DyadicCountMin {
   /// Applies every update in `updates`.
   void UpdateAll(const std::vector<StreamUpdate>& updates);
 
+  /// Batched entry point: applies a contiguous block of updates (the unit
+  /// of work for the sharded ingestion engine in `src/parallel`).
+  void ApplyBatch(UpdateSpan updates);
+
   /// Point estimate at the leaf level (same guarantee as CountMinSketch).
   int64_t Estimate(uint64_t item) const;
 

@@ -24,6 +24,10 @@ void StreamSummary::Update(const StreamUpdate& update) {
 }
 
 void StreamSummary::UpdateAll(const std::vector<StreamUpdate>& updates) {
+  ApplyBatch(updates);
+}
+
+void StreamSummary::ApplyBatch(UpdateSpan updates) {
   for (const StreamUpdate& u : updates) Update(u);
 }
 
@@ -58,7 +62,7 @@ void StreamSummary::Merge(const StreamSummary& other) {
                        options_.depth == other.options_.depth &&
                        options_.verify_width == other.options_.verify_width &&
                        options_.seed == other.options_.seed,
-                   "merge requires identical options");
+                   "merge requires identical geometry and seed");
   // DyadicCountMin has no Merge (its levels are independent CountMin
   // sketches built from the same seeds) — merge by replaying is not
   // possible from the sketch alone, so the dyadic layer exposes Merge via

@@ -38,6 +38,10 @@ class StreamSummary {
   /// Applies a batch.
   void UpdateAll(const std::vector<StreamUpdate>& updates);
 
+  /// Batched entry point: applies a contiguous block of updates (the unit
+  /// of work for the sharded ingestion engine in `src/parallel`).
+  void ApplyBatch(UpdateSpan updates);
+
   /// Total stream mass (exact).
   int64_t TotalCount() const { return dyadic_.TotalCount(); }
 

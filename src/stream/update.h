@@ -2,6 +2,7 @@
 #define SKETCH_STREAM_UPDATE_H_
 
 #include <cstdint>
+#include <span>
 
 namespace sketch {
 
@@ -14,6 +15,14 @@ struct StreamUpdate {
   uint64_t item = 0;
   int64_t delta = 1;
 };
+
+/// A borrowed, contiguous block of updates — the unit of batched
+/// ingestion. Every mergeable sketch exposes `ApplyBatch(UpdateSpan)`, and
+/// the sharded ingestion engine (`src/parallel`) partitions a stream into
+/// these blocks, one per worker. Because the sketches are linear, *any*
+/// partition of the stream yields the same final sketch, so the engine is
+/// free to split purely by position.
+using UpdateSpan = std::span<const StreamUpdate>;
 
 }  // namespace sketch
 

@@ -13,9 +13,14 @@
 #include "linalg/least_squares.h"
 #include "sfft/crt_sfft.h"
 #include "sfft/sfft.h"
+#include "common/thread_pool.h"
+#include "sketch/ams_sketch.h"
+#include "sketch/bloom_filter.h"
 #include "sketch/count_min.h"
 #include "sketch/count_sketch.h"
+#include "sketch/dyadic_count_min.h"
 #include "sketch/iblt.h"
+#include "sketch/stream_summary.h"
 
 namespace sketch {
 namespace {
@@ -35,6 +40,53 @@ TEST(ContractDeathTest, CountMinRejectsMergeAcrossGeometry) {
   CountMinSketch a(16, 2, 1);
   CountMinSketch wide(32, 2, 1);
   EXPECT_DEATH(a.Merge(wide), "identical geometry and seed");
+}
+
+// Every mergeable sketch rejects geometry/seed mismatch with the same
+// uniform CHECK message — the contract the sharded ingestion engine
+// (`src/parallel`) relies on to catch mis-wired shard replicas loudly
+// instead of silently corrupting counters.
+TEST(ContractDeathTest, CountSketchRejectsMergeAcrossSeeds) {
+  CountSketch a(16, 3, 1);
+  CountSketch b(16, 3, 2);
+  EXPECT_DEATH(a.Merge(b), "identical geometry and seed");
+}
+
+TEST(ContractDeathTest, AmsRejectsMergeAcrossGeometry) {
+  AmsSketch a(16, 3, 1);
+  AmsSketch narrow(8, 3, 1);
+  EXPECT_DEATH(a.Merge(narrow), "identical geometry and seed");
+}
+
+TEST(ContractDeathTest, BloomRejectsMergeAcrossSeeds) {
+  BloomFilter a(256, 4, 1);
+  BloomFilter b(256, 4, 2);
+  EXPECT_DEATH(a.Merge(b), "identical geometry and seed");
+}
+
+TEST(ContractDeathTest, DyadicRejectsMergeAcrossUniverses) {
+  DyadicCountMin a(10, 64, 2, 1);
+  DyadicCountMin b(12, 64, 2, 1);
+  EXPECT_DEATH(a.Merge(b), "identical geometry and seed");
+}
+
+TEST(ContractDeathTest, DyadicRejectsMergeAcrossSeeds) {
+  DyadicCountMin a(10, 64, 2, 1);
+  DyadicCountMin b(10, 64, 2, 2);  // same shape, different hash functions
+  EXPECT_DEATH(a.Merge(b), "identical geometry and seed");
+}
+
+TEST(ContractDeathTest, StreamSummaryRejectsMergeAcrossOptions) {
+  StreamSummary::Options options;
+  options.log_universe = 10;
+  StreamSummary a(options);
+  options.seed = 2;
+  StreamSummary b(options);
+  EXPECT_DEATH(a.Merge(b), "identical geometry and seed");
+}
+
+TEST(ContractDeathTest, ThreadPoolRejectsZeroThreads) {
+  EXPECT_DEATH(ThreadPool pool(0), "num_threads");
 }
 
 TEST(ContractDeathTest, ConservativeUpdateRejectsNonPositiveDelta) {

@@ -1,0 +1,165 @@
+// Concurrency stress tests, designed to run under ThreadSanitizer
+// (configure with -DSKETCH_SANITIZE=thread). They hammer the thread
+// pool's synchronization surface — concurrent producers, task-spawned
+// tasks, rapid construct/destroy cycles — and drive the sharded
+// ingestion engine through many small batches, where any data race in
+// the Submit/Wait handshake or in shard ownership would be loudest.
+// Correctness of the *answers* is asserted too, so the tests are useful
+// (if less interesting) in uninstrumented builds.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "parallel/sharded_sketch.h"
+#include "sketch/count_min.h"
+#include "stream/generators.h"
+
+namespace sketch {
+namespace {
+
+TEST(ConcurrentStressTest, ManyProducersManyTasks) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> sum{0};
+  constexpr int kProducers = 8;
+  constexpr int kTasksPerProducer = 2000;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &sum, p] {
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        pool.Submit([&sum, p, i] {
+          sum.fetch_add(static_cast<uint64_t>(p * kTasksPerProducer + i),
+                        std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  pool.Wait();
+  const uint64_t n = kProducers * kTasksPerProducer;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ConcurrentStressTest, WaitRacesWithSubmitters) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  std::atomic<bool> stop{false};
+  // One thread repeatedly Waits while others keep submitting; Wait must
+  // neither hang nor miss the final quiescent state.
+  std::thread waiter([&pool, &stop] {
+    while (!stop.load(std::memory_order_acquire)) pool.Wait();
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&pool, &done] {
+      for (int i = 0; i < 1000; ++i) {
+        pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  pool.Wait();
+  stop.store(true, std::memory_order_release);
+  waiter.join();
+  EXPECT_EQ(done.load(), 3000);
+}
+
+TEST(ConcurrentStressTest, RapidPoolConstructDestroy) {
+  for (int round = 0; round < 50; ++round) {
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // Destructor must drain the queue before joining.
+  }
+}
+
+TEST(ConcurrentStressTest, TasksSpawningTasksUnderLoad) {
+  ThreadPool pool(4);
+  std::atomic<int> leaves{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&pool, &leaves] {
+      for (int j = 0; j < 4; ++j) {
+        pool.Submit(
+            [&leaves] { leaves.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(leaves.load(), 800);
+}
+
+TEST(ConcurrentStressTest, ShardedIngestionManySmallBatches) {
+  ThreadPool pool(4);
+  const auto stream =
+      MakeZipfStream(1 << 12, 1.1, /*length=*/100000, /*seed=*/5);
+  const UpdateSpan all(stream);
+
+  CountMinSketch sequential(1024, 4, /*seed=*/5);
+  sequential.ApplyBatch(all);
+
+  ShardedSketch<CountMinSketch> sharded(CountMinSketch(1024, 4, 5), &pool);
+  // Many small batches maximizes Submit/Wait churn per unit work — the
+  // worst case for the pool's handshake, the best case for TSAN.
+  constexpr size_t kBatch = 257;
+  for (size_t offset = 0; offset < all.size(); offset += kBatch) {
+    sharded.Ingest(all.subspan(offset, std::min(kBatch, all.size() - offset)));
+  }
+  EXPECT_EQ(sharded.Collapse().Serialize(), sequential.Serialize());
+}
+
+TEST(ConcurrentStressTest, InterleavedIngestAndCollapse) {
+  ThreadPool pool(4);
+  const auto stream =
+      MakeZipfStream(1 << 12, 1.1, /*length=*/80000, /*seed=*/17);
+  const UpdateSpan all(stream);
+
+  ShardedSketch<CountMinSketch> sharded(CountMinSketch(512, 4, 17), &pool);
+  constexpr size_t kChunks = 16;
+  const size_t chunk = all.size() / kChunks;
+  int64_t running_mass = 0;
+  for (size_t c = 0; c < kChunks; ++c) {
+    const UpdateSpan block = all.subspan(c * chunk, chunk);
+    sharded.Ingest(block);
+    for (const StreamUpdate& u : block) running_mass += u.delta;
+    // Collapse between batches (same driver thread — the supported
+    // discipline) and check the running total via row-0 mass.
+    const CountMinSketch snapshot = sharded.Collapse();
+    int64_t row0 = 0;
+    for (uint64_t b = 0; b < snapshot.width(); ++b) {
+      row0 += snapshot.CounterAt(0, b);
+    }
+    ASSERT_EQ(row0, running_mass) << "after chunk " << c;
+  }
+}
+
+TEST(ConcurrentStressTest, ParallelForUnderConcurrentSubmit) {
+  ThreadPool pool(4);
+  std::atomic<int> background{0};
+  std::thread submitter([&pool, &background] {
+    for (int i = 0; i < 500; ++i) {
+      pool.Submit(
+          [&background] { background.fetch_add(1, std::memory_order_relaxed); });
+    }
+  });
+  std::vector<std::atomic<int>> hits(1024);
+  for (int round = 0; round < 10; ++round) {
+    pool.ParallelFor(0, hits.size(), [&hits](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  submitter.join();
+  pool.Wait();
+  EXPECT_EQ(background.load(), 500);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 10);
+}
+
+}  // namespace
+}  // namespace sketch
