@@ -60,7 +60,7 @@ void Run() {
     bench::Row("%10llu %10llu %12.2f %10s %12llu",
                static_cast<unsigned long long>(options.layer1_counters),
                static_cast<unsigned long long>(options.layer2_counters),
-               braids.SizeInBits() / num_flows,
+               static_cast<double>(braids.SizeInBits()) / num_flows,
                decoded.exact ? "yes" : "no",
                static_cast<unsigned long long>(max_err));
   }

@@ -17,7 +17,9 @@ double FullRecoveryRate(uint64_t pairs, double cells_per_pair, int hashes,
                         int trials) {
   int successes = 0;
   for (int trial = 0; trial < trials; ++trial) {
-    Iblt iblt(static_cast<uint64_t>(cells_per_pair * pairs), hashes,
+    Iblt iblt(
+        static_cast<uint64_t>(cells_per_pair * static_cast<double>(pairs)),
+        hashes,
               1000 + trial);
     Xoshiro256StarStar rng(trial);
     for (uint64_t p = 0; p < pairs; ++p) {

@@ -73,7 +73,8 @@ void BM_CountSketchTransformApply(benchmark::State& state) {
 BENCHMARK(BM_CountSketchTransformApply);
 
 void BM_SparseJlApply(benchmark::State& state) {
-  const SparseJlTransform t(1 << 16, 256, state.range(0), 7);
+  const SparseJlTransform t(1 << 16, 256, static_cast<int>(state.range(0)),
+                            7);
   const auto x = RandomReal(1 << 16, 8);
   for (auto _ : state) benchmark::DoNotOptimize(t.Apply(x));
   state.SetLabel("s=" + std::to_string(state.range(0)));

@@ -36,8 +36,9 @@ ErrorStats Measure(const FrequencyOracle& oracle, const Estimator& estimate) {
   }
   std::sort(errors.begin(), errors.end());
   ErrorStats stats;
-  stats.mean_abs = total / errors.size();
-  stats.p99_abs = errors[static_cast<size_t>(0.99 * (errors.size() - 1))];
+  stats.mean_abs = total / static_cast<double>(errors.size());
+  stats.p99_abs = errors[static_cast<size_t>(
+      0.99 * static_cast<double>(errors.size() - 1))];
   return stats;
 }
 

@@ -30,7 +30,8 @@ int main() {
   const std::vector<double> y = sensor.Measure(x);
   std::printf("count-sketch sensor: m = %llu measurements (%.2f%% of n)\n",
               static_cast<unsigned long long>(sensor.NumMeasurements()),
-              100.0 * sensor.NumMeasurements() / n);
+              100.0 * static_cast<double>(sensor.NumMeasurements()) /
+                  static_cast<double>(n));
   const sketch::SparseVector rec1 = sensor.RecoverTopK(y, k);
   std::printf("  recovery l2 error: %.2e\n",
               sketch::L2Distance(rec1.ToDense(), x.ToDense()));

@@ -60,7 +60,7 @@ double HeldOutR2(const sketch::FeatureHasher& hasher,
   const auto test = MakeCorpus(1000, seed);
   double mean = 0.0;
   for (const Document& doc : test) mean += doc.label;
-  mean /= test.size();
+  mean /= static_cast<double>(test.size());
   double sse = 0.0, var = 0.0;
   for (const Document& doc : test) {
     const std::vector<double> row = HashedRow(hasher, doc);

@@ -49,7 +49,7 @@ int main() {
                 static_cast<unsigned long long>(width),
                 static_cast<long long>(cm_r.EstimateInnerProduct(cm_s)),
                 static_cast<long long>(cs_r.EstimateInnerProduct(cs_s)),
-                width * 5 * 8.0 / 1024);
+                static_cast<double>(width * 5) * 8.0 / 1024);
   }
   std::printf("\nCount-Min always overestimates (safe for memory grants);\n"
               "Count-Sketch is unbiased (better point estimate). Both\n"

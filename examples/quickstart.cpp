@@ -23,7 +23,7 @@ int main() {
   std::printf("sketch: %llu x %llu counters (%.1f KiB) for 2^20 items\n",
               static_cast<unsigned long long>(sketch_.depth()),
               static_cast<unsigned long long>(sketch_.width()),
-              sketch_.SizeInCounters() * 8.0 / 1024);
+              static_cast<double>(sketch_.SizeInCounters()) * 8.0 / 1024);
 
   // One pass.
   sketch_.UpdateAll(stream);

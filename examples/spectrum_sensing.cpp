@@ -53,7 +53,8 @@ int main() {
     printf(" %llu", static_cast<unsigned long long>(c.frequency));
   }
   std::printf("\n(read %.3f%% of the input, %dx faster)\n",
-              100.0 * sparse.samples_read / n,
+              100.0 * static_cast<double>(sparse.samples_read) /
+                  static_cast<double>(n),
               static_cast<int>(fft_ms / (sfft_ms > 0 ? sfft_ms : 1e-3)));
   return 0;
 }

@@ -40,7 +40,7 @@ int main() {
   }
   std::printf("state: %llu counters (~%.1f MB) for a 2^24 flow space\n",
               static_cast<unsigned long long>(summary.SizeInCounters()),
-              summary.SizeInCounters() * 8.0 / 1e6);
+              static_cast<double>(summary.SizeInCounters()) * 8.0 / 1e6);
 
   // Query the summary.
   std::printf("\ntotal packets (exact):     %lld\n",

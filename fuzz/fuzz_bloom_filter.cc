@@ -1,0 +1,27 @@
+// Fuzz harness: BloomFilter::Deserialize round-trip (see fuzz_count_min.cc
+// for the harness contract).
+//
+// One subtlety: a Bloom buffer's trailing bit-array word may carry bits
+// above num_bits, which Serialize would faithfully reproduce, so the
+// round-trip identity holds for arbitrary accepted word contents.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/check.h"
+#include "fuzz/fuzz_util.h"
+#include "sketch/bloom_filter.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::vector<uint8_t> bytes = sketch::fuzz::ToBytes(data, size);
+  try {
+    sketch::BloomFilter filter = sketch::BloomFilter::Deserialize(bytes);
+    sketch::fuzz::RequireIdentical(bytes, filter.Serialize());
+    (void)filter.MayContain(0);
+    (void)filter.FillRatio();
+    filter.Merge(sketch::BloomFilter::Deserialize(bytes));
+  } catch (const sketch::CheckFailure&) {
+    // Malformed buffer rejected — the expected path for most inputs.
+  }
+  return 0;
+}

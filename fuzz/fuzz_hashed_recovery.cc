@@ -1,0 +1,59 @@
+// Fuzz harness: HashedRecovery input validation.
+//
+// The CS decoders consume measurement vectors that may come from outside
+// the process, so the contract under test is: a measurement vector of the
+// wrong length is rejected by a SKETCH_CHECK, and a right-length vector —
+// with ANY bit patterns, including NaN and infinity — decodes without
+// undefined behavior and returns a top-k estimate that respects the
+// dimension and sparsity bounds.
+//
+// Input layout (little-endian, zero-padded past the end):
+//   byte 0      variant (even = kCountSketch, odd = kCountMin)
+//   byte 1      width   (clamped to [1, 32])
+//   byte 2      depth   (clamped to [1, 8])
+//   byte 3      dimension (clamped to [1, 64])
+//   byte 4      k
+//   bytes 5..12 seed
+//   rest        doubles for the measurement vector y (count taken from the
+//               input, so y.size() usually mismatches width * depth)
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "cs/hashed_recovery.h"
+#include "fuzz/fuzz_util.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  sketch::fuzz::InputReader input(data, size);
+  const auto variant = input.NextU8() % 2 == 0
+                           ? sketch::HashedRecovery::Variant::kCountSketch
+                           : sketch::HashedRecovery::Variant::kCountMin;
+  const uint64_t width = 1 + input.NextU8() % 32;
+  const uint64_t depth = 1 + input.NextU8() % 8;
+  const uint64_t dimension = 1 + input.NextU8() % 64;
+  const uint64_t k = input.NextU8();
+  const uint64_t seed = input.NextU64();
+
+  const sketch::HashedRecovery recovery(variant, width, depth, dimension,
+                                        seed);
+  std::vector<double> y;
+  y.reserve(input.Remaining() / 8);
+  while (input.Remaining() >= 8) y.push_back(input.NextDouble());
+
+  try {
+    const sketch::SparseVector recovered = recovery.RecoverTopK(y, k);
+    // Only a correctly sized y may reach here, and the result must respect
+    // the decoder's own bounds; anything else is a harness trap.
+    if (y.size() != recovery.NumMeasurements()) __builtin_trap();
+    if (recovered.entries().size() > k) __builtin_trap();
+    for (const sketch::SparseEntry& e : recovered.entries()) {
+      if (e.index >= dimension) __builtin_trap();
+    }
+    (void)recovery.EstimateCoordinate(y, 0);
+  } catch (const sketch::CheckFailure&) {
+    // Wrong-length measurement vector rejected — expected for most inputs.
+  }
+  return 0;
+}

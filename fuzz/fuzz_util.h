@@ -1,0 +1,77 @@
+#ifndef SKETCH_FUZZ_FUZZ_UTIL_H_
+#define SKETCH_FUZZ_FUZZ_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+/// \file
+/// Shared helpers for the libFuzzer harnesses under fuzz/.
+///
+/// Fuzz builds compile the whole library with SKETCH_FUZZING_ABORT_THROWS
+/// (see common/check.h): a failed SKETCH_CHECK throws sketch::CheckFailure
+/// instead of aborting, so "malformed buffer rejected" is an ordinary,
+/// non-crashing outcome for a harness. Anything else that kills the process
+/// — a sanitizer report, an uncaught exception, a __builtin_trap from a
+/// violated round-trip invariant — is a real finding.
+
+namespace sketch::fuzz {
+
+/// Copies the raw fuzz input into the vector<uint8_t> the Deserialize()
+/// entry points take.
+inline std::vector<uint8_t> ToBytes(const uint8_t* data, size_t size) {
+  return std::vector<uint8_t>(data, data + size);
+}
+
+/// Structured little-endian reader for harnesses that decode a geometry
+/// prefix from the fuzz input. Returns zeros past the end (harnesses clamp
+/// all geometry anyway).
+class InputReader {
+ public:
+  InputReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint8_t NextU8() {
+    if (position_ >= size_) return 0;
+    return data_[position_++];
+  }
+
+  uint64_t NextU64() {
+    uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<uint64_t>(NextU8()) << (8 * i);
+    }
+    return value;
+  }
+
+  /// Reinterprets the next 8 bytes as a double (any bit pattern, including
+  /// NaN/inf — decoders must tolerate them without undefined behavior).
+  double NextDouble() {
+    const uint64_t bits = NextU64();
+    double value;
+    std::memcpy(&value, &bits, sizeof value);
+    return value;
+  }
+
+  size_t Remaining() const {
+    return position_ < size_ ? size_ - position_ : 0;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t position_ = 0;
+};
+
+/// Round-trip invariant shared by the Deserialize harnesses: if a buffer is
+/// accepted, re-serializing the result must reproduce it bit for bit.
+/// Trap (not SKETCH_CHECK) so the failure is visible even though checks
+/// throw in fuzz builds.
+inline void RequireIdentical(const std::vector<uint8_t>& accepted,
+                             const std::vector<uint8_t>& reserialized) {
+  if (accepted != reserialized) __builtin_trap();
+}
+
+}  // namespace sketch::fuzz
+
+#endif  // SKETCH_FUZZ_FUZZ_UTIL_H_

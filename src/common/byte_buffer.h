@@ -27,6 +27,28 @@ inline void AppendI64(int64_t value, std::vector<uint8_t>* out) {
   AppendU64(static_cast<uint64_t>(value), out);
 }
 
+/// Overflow-checked product of two u64 geometry fields read from an
+/// untrusted buffer. Used to size payloads in Deserialize() without the
+/// multiplication silently wrapping.
+inline uint64_t CheckedMulU64(uint64_t a, uint64_t b, const char* what) {
+  SKETCH_CHECK_MSG(a == 0 || b <= UINT64_MAX / a, what);
+  return a * b;
+}
+
+/// Uniform pre-allocation guard for Deserialize() implementations: after
+/// reading the fixed-size header (`header_words` little-endian u64s) and
+/// computing the expected payload length (`payload_words` u64s) from the
+/// untrusted geometry fields, this validates that the buffer holds exactly
+/// the advertised number of words *before* any allocation is sized from
+/// those fields. Rejects truncated, length-inflated, and geometry-inflated
+/// buffers with a single check.
+inline void CheckSerializedSize(const std::vector<uint8_t>& bytes,
+                                uint64_t header_words, uint64_t payload_words,
+                                const char* what) {
+  SKETCH_CHECK_MSG(payload_words <= UINT64_MAX / 8 - header_words, what);
+  SKETCH_CHECK_MSG(bytes.size() == (header_words + payload_words) * 8, what);
+}
+
 /// Sequential reader over a serialized buffer; aborts on truncation.
 class ByteReader {
  public:

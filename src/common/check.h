@@ -12,22 +12,56 @@
 /// location, in both debug and release builds (the checks here are cheap
 /// and off the hot path). Use `SKETCH_DCHECK` for hot-path invariants that
 /// should only be verified in debug builds.
+///
+/// Fuzzing builds (`-DSKETCH_FUZZ=ON`, which defines
+/// `SKETCH_FUZZING_ABORT_THROWS`) replace the abort with a thrown
+/// `sketch::CheckFailure` so harnesses can feed malformed input and treat
+/// a rejected buffer as the expected, non-crashing outcome; memory errors
+/// that occur *before* a check fires still surface through the sanitizers.
+/// Production builds are unaffected: the macro expansion is identical to
+/// the abort form unless the fuzzing macro is defined.
+
+#ifdef SKETCH_FUZZING_ABORT_THROWS
+
+#include <stdexcept>
+#include <string>
+
+namespace sketch {
+
+/// Thrown instead of aborting in fuzzing builds when a SKETCH_CHECK fails.
+class CheckFailure : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace sketch
+
+#define SKETCH_INTERNAL_CHECK_FAIL(expr_text, msg_text)                     \
+  throw ::sketch::CheckFailure(std::string("CHECK failed: ") + (expr_text) + \
+                               " (" + (msg_text) + ")")
+
+#else  // !SKETCH_FUZZING_ABORT_THROWS
+
+#define SKETCH_INTERNAL_CHECK_FAIL(expr_text, msg_text)                     \
+  do {                                                                      \
+    std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,      \
+                 __LINE__, expr_text, msg_text);                            \
+    std::abort();                                                           \
+  } while (0)
+
+#endif  // SKETCH_FUZZING_ABORT_THROWS
 
 #define SKETCH_CHECK(cond)                                                  \
   do {                                                                      \
     if (!(cond)) {                                                          \
-      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,         \
-                   __LINE__, #cond);                                        \
-      std::abort();                                                         \
+      SKETCH_INTERNAL_CHECK_FAIL(#cond, "precondition");                    \
     }                                                                       \
   } while (0)
 
 #define SKETCH_CHECK_MSG(cond, msg)                                         \
   do {                                                                      \
     if (!(cond)) {                                                          \
-      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,    \
-                   __LINE__, #cond, msg);                                   \
-      std::abort();                                                         \
+      SKETCH_INTERNAL_CHECK_FAIL(#cond, msg);                               \
     }                                                                       \
   } while (0)
 

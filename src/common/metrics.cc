@@ -79,10 +79,14 @@ PrecisionRecall ComputePrecisionRecall(const std::vector<uint64_t>& retrieved,
   const std::unordered_set<uint64_t> truth_set(truth.begin(), truth.end());
   size_t hits = 0;
   for (uint64_t item : retrieved) hits += truth_set.count(item);
-  pr.precision =
-      retrieved.empty() ? 1.0 : static_cast<double>(hits) / retrieved.size();
-  pr.recall =
-      truth_set.empty() ? 1.0 : static_cast<double>(hits) / truth_set.size();
+  pr.precision = retrieved.empty()
+                     ? 1.0
+                     : static_cast<double>(hits) /
+                           static_cast<double>(retrieved.size());
+  pr.recall = truth_set.empty()
+                  ? 1.0
+                  : static_cast<double>(hits) /
+                        static_cast<double>(truth_set.size());
   return pr;
 }
 

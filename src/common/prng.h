@@ -75,7 +75,9 @@ class Xoshiro256StarStar {
   static constexpr uint64_t max() { return ~0ULL; }
 
   /// Uniform double in [0, 1) with 53 bits of precision.
-  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
   /// method; unbiased for any bound.

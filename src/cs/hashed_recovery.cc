@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 #include "common/check.h"
 #include "common/prng.h"
@@ -12,6 +13,8 @@ HashedRecovery::HashedRecovery(Variant variant, uint64_t width, uint64_t depth,
                                uint64_t dimension, uint64_t seed)
     : variant_(variant), width_(width), depth_(depth), dimension_(dimension) {
   SKETCH_CHECK(width >= 1 && depth >= 1 && dimension >= 1);
+  SKETCH_CHECK_MSG(width <= UINT64_MAX / depth,
+                   "measurement count width * depth overflows");
   bucket_hashes_.reserve(depth);
   sign_hashes_.reserve(depth);
   for (uint64_t j = 0; j < depth; ++j) {
@@ -74,11 +77,19 @@ SparseVector HashedRecovery::RecoverTopK(const std::vector<double>& y,
     if (v != 0.0) estimates.push_back({i, v});
   }
   if (estimates.size() > k) {
-    std::nth_element(estimates.begin(), estimates.begin() + k,
-                     estimates.end(),
-                     [](const SparseEntry& a, const SparseEntry& b) {
-                       return std::abs(a.value) > std::abs(b.value);
-                     });
+    // NaN measurements (possible with untrusted y) would break the strict
+    // weak ordering nth_element requires; rank them below every finite
+    // magnitude so the selection stays well defined.
+    const auto magnitude = [](const SparseEntry& e) {
+      const double m = std::abs(e.value);
+      return std::isnan(m) ? -1.0 : m;
+    };
+    std::nth_element(
+        estimates.begin(),
+        estimates.begin() + static_cast<std::ptrdiff_t>(k), estimates.end(),
+        [&magnitude](const SparseEntry& a, const SparseEntry& b) {
+          return magnitude(a) > magnitude(b);
+        });
     estimates.resize(k);
   }
   return SparseVector::FromEntries(dimension_, std::move(estimates));

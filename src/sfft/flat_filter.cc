@@ -41,7 +41,8 @@ FlatFilter::FlatFilter(uint64_t n, uint64_t buckets, int support_factor,
   const double sigma_f =
       static_cast<double>(n) / (2.0 * std::numbers::pi * sigma_t);
   const double box_half =
-      static_cast<double>(n) / (2.0 * buckets) + 4.0 * sigma_f;
+      static_cast<double>(n) / (2.0 * static_cast<double>(buckets)) +
+      4.0 * sigma_f;
   const double dirichlet_terms = 2.0 * box_half + 1.0;
   const double pi = std::numbers::pi;
 

@@ -2,15 +2,22 @@
 
 #include <algorithm>
 
+#include "common/byte_buffer.h"
 #include "common/check.h"
 #include "common/prng.h"
 
 namespace sketch {
 
+namespace {
+constexpr uint64_t kAmsMagic = 0x534b414d53303031ULL;  // "SKAMS001"
+}  // namespace
+
 AmsSketch::AmsSketch(uint64_t width, uint64_t depth, uint64_t seed)
     : width_(width), depth_(depth), seed_(seed) {
   SKETCH_CHECK(width >= 1);
   SKETCH_CHECK(depth >= 1);
+  SKETCH_CHECK_MSG(width <= UINT64_MAX / depth,
+                   "counter table width * depth overflows");
   bucket_hashes_.reserve(depth);
   sign_hashes_.reserve(depth);
   for (uint64_t j = 0; j < depth; ++j) {
@@ -58,6 +65,34 @@ void AmsSketch::Merge(const AmsSketch& other) {
   for (size_t i = 0; i < counters_.size(); ++i) {
     counters_[i] += other.counters_[i];
   }
+}
+
+std::vector<uint8_t> AmsSketch::Serialize() const {
+  std::vector<uint8_t> out;
+  out.reserve(40 + counters_.size() * 8);
+  AppendU64(kAmsMagic, &out);
+  AppendU64(width_, &out);
+  AppendU64(depth_, &out);
+  AppendU64(seed_, &out);
+  for (int64_t c : counters_) AppendI64(c, &out);
+  return out;
+}
+
+AmsSketch AmsSketch::Deserialize(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  SKETCH_CHECK_MSG(reader.ReadU64() == kAmsMagic, "not an AmsSketch buffer");
+  const uint64_t width = reader.ReadU64();
+  const uint64_t depth = reader.ReadU64();
+  const uint64_t seed = reader.ReadU64();
+  SKETCH_CHECK_MSG(width >= 1 && depth >= 1, "invalid AmsSketch geometry");
+  CheckSerializedSize(
+      bytes, /*header_words=*/4,
+      CheckedMulU64(width, depth, "AmsSketch geometry overflows"),
+      "AmsSketch buffer size does not match geometry");
+  AmsSketch sketch(width, depth, seed);
+  for (int64_t& c : sketch.counters_) c = reader.ReadI64();
+  SKETCH_CHECK_MSG(reader.AtEnd(), "trailing bytes in AmsSketch buffer");
+  return sketch;
 }
 
 }  // namespace sketch

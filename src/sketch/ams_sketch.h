@@ -38,8 +38,17 @@ class AmsSketch {
   /// Merges a sketch with identical geometry and seed.
   void Merge(const AmsSketch& other);
 
+  /// Serializes geometry, seed, and counters to a portable little-endian
+  /// byte buffer (hash functions are rebuilt from the seed on load).
+  std::vector<uint8_t> Serialize() const;
+
+  /// Reconstructs a sketch from Serialize() output; aborts on malformed
+  /// buffers.
+  static AmsSketch Deserialize(const std::vector<uint8_t>& bytes);
+
   uint64_t width() const { return width_; }
   uint64_t depth() const { return depth_; }
+  uint64_t seed() const { return seed_; }
 
  private:
   uint64_t width_;

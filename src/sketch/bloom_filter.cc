@@ -93,9 +93,15 @@ BloomFilter BloomFilter::Deserialize(const std::vector<uint8_t>& bytes) {
   SKETCH_CHECK_MSG(reader.ReadU64() == kBloomMagic,
                    "not a BloomFilter buffer");
   const uint64_t num_bits = reader.ReadU64();
-  const auto num_hashes = static_cast<int>(reader.ReadU64());
+  const uint64_t num_hashes_word = reader.ReadU64();
   const uint64_t seed = reader.ReadU64();
-  BloomFilter filter(num_bits, num_hashes, seed);
+  SKETCH_CHECK_MSG(num_bits >= 1 && num_bits <= UINT64_MAX - 63,
+                   "invalid BloomFilter bit count");
+  SKETCH_CHECK_MSG(num_hashes_word >= 1 && num_hashes_word <= 1024,
+                   "invalid BloomFilter hash count");
+  CheckSerializedSize(bytes, /*header_words=*/4, (num_bits + 63) / 64,
+                      "BloomFilter buffer size does not match geometry");
+  BloomFilter filter(num_bits, static_cast<int>(num_hashes_word), seed);
   for (uint64_t& word : filter.bits_) word = reader.ReadU64();
   SKETCH_CHECK_MSG(reader.AtEnd(), "trailing bytes in BloomFilter buffer");
   return filter;

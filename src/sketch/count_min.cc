@@ -17,6 +17,8 @@ CountMinSketch::CountMinSketch(uint64_t width, uint64_t depth, uint64_t seed)
     : width_(width), depth_(depth), seed_(seed) {
   SKETCH_CHECK(width >= 1);
   SKETCH_CHECK(depth >= 1);
+  SKETCH_CHECK_MSG(width <= UINT64_MAX / depth,
+                   "counter table width * depth overflows");
   hashes_.reserve(depth);
   for (uint64_t j = 0; j < depth; ++j) {
     // Seed derivation must match MakeCountMinMatrix/HashedRecovery so the
@@ -115,6 +117,12 @@ CountMinSketch CountMinSketch::Deserialize(
   const uint64_t width = reader.ReadU64();
   const uint64_t depth = reader.ReadU64();
   const uint64_t seed = reader.ReadU64();
+  SKETCH_CHECK_MSG(width >= 1 && depth >= 1,
+                   "invalid CountMinSketch geometry");
+  CheckSerializedSize(
+      bytes, /*header_words=*/4,
+      CheckedMulU64(width, depth, "CountMinSketch geometry overflows"),
+      "CountMinSketch buffer size does not match geometry");
   CountMinSketch sketch(width, depth, seed);
   for (int64_t& c : sketch.counters_) c = reader.ReadI64();
   SKETCH_CHECK_MSG(reader.AtEnd(), "trailing bytes in CountMinSketch buffer");

@@ -17,6 +17,8 @@ CountSketch::CountSketch(uint64_t width, uint64_t depth, uint64_t seed)
     : width_(width), depth_(depth), seed_(seed) {
   SKETCH_CHECK(width >= 1);
   SKETCH_CHECK(depth >= 1);
+  SKETCH_CHECK_MSG(width <= UINT64_MAX / depth,
+                   "counter table width * depth overflows");
   bucket_hashes_.reserve(depth);
   sign_hashes_.reserve(depth);
   for (uint64_t j = 0; j < depth; ++j) {
@@ -118,6 +120,11 @@ CountSketch CountSketch::Deserialize(const std::vector<uint8_t>& bytes) {
   const uint64_t width = reader.ReadU64();
   const uint64_t depth = reader.ReadU64();
   const uint64_t seed = reader.ReadU64();
+  SKETCH_CHECK_MSG(width >= 1 && depth >= 1, "invalid CountSketch geometry");
+  CheckSerializedSize(
+      bytes, /*header_words=*/4,
+      CheckedMulU64(width, depth, "CountSketch geometry overflows"),
+      "CountSketch buffer size does not match geometry");
   CountSketch sketch(width, depth, seed);
   for (int64_t& c : sketch.counters_) c = reader.ReadI64();
   SKETCH_CHECK_MSG(reader.AtEnd(), "trailing bytes in CountSketch buffer");

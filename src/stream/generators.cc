@@ -61,7 +61,8 @@ std::vector<StreamUpdate> MakeTurnstileStream(uint64_t universe, double alpha,
 
   Xoshiro256StarStar rng(seed ^ 0xde1e7eULL);
   const uint64_t deletions =
-      static_cast<uint64_t>(delete_fraction * insert_count);
+      static_cast<uint64_t>(delete_fraction *
+                            static_cast<double>(insert_count));
   for (uint64_t i = 0; i < deletions && !items.empty(); ++i) {
     const uint64_t pick = rng.NextBounded(items.size());
     const uint64_t item = items[pick];

@@ -20,7 +20,7 @@ TEST(TimerTest, ElapsedIsNonNegativeAndMonotone) {
 TEST(TimerTest, ResetRestartsFromZero) {
   Timer timer;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   const double before = timer.ElapsedSeconds();
   timer.Reset();
   EXPECT_LE(timer.ElapsedSeconds(), before + 1e-3);

@@ -86,7 +86,7 @@ TEST(BitTestRecoveryTest, ToleratesMildNoise) {
   for (const SparseEntry& e : x.entries()) truth.insert(e.index);
   for (const SparseEntry& e : result.estimate.entries()) got.insert(e.index);
   int hits = 0;
-  for (uint64_t i : got) hits += truth.count(i);
+  for (uint64_t i : got) hits += static_cast<int>(truth.count(i));
   EXPECT_GE(hits, static_cast<int>(k) - 1);
 }
 

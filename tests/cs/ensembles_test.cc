@@ -30,7 +30,8 @@ TEST(SparseBinaryMatrixTest, RowLoadIsBalanced) {
   const CsrMatrix a = MakeSparseBinaryMatrix(rows, cols, d, 2);
   const double expected = static_cast<double>(cols) * d / rows;
   for (uint64_t r = 0; r < rows; ++r) {
-    EXPECT_NEAR(a.Row(r).size, expected, 6 * std::sqrt(expected));
+    EXPECT_NEAR(static_cast<double>(a.Row(r).size), expected,
+                6 * std::sqrt(expected));
   }
 }
 

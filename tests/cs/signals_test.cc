@@ -93,7 +93,8 @@ TEST(AddGaussianNoiseTest, ZeroSigmaIsNoop) {
 TEST(AddGaussianNoiseTest, NoiseEnergyMatchesSigma) {
   std::vector<double> x(100000, 0.0);
   AddGaussianNoise(&x, 0.5, 8);
-  const double per_coord = L2Norm(x) * L2Norm(x) / x.size();
+  const double per_coord =
+      L2Norm(x) * L2Norm(x) / static_cast<double>(x.size());
   EXPECT_NEAR(per_coord, 0.25, 0.01);
 }
 

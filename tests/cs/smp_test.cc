@@ -76,7 +76,7 @@ TEST(SmpTest, NoisyRecoveryDegradesGracefully) {
   for (const SparseEntry& e : x.entries()) truth.insert(e.index);
   for (const SparseEntry& e : result.estimate.entries()) found.insert(e.index);
   int hits = 0;
-  for (uint64_t i : found) hits += truth.count(i);
+  for (uint64_t i : found) hits += static_cast<int>(truth.count(i));
   EXPECT_GE(hits, static_cast<int>(k) - 1);
 }
 

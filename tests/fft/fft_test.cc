@@ -85,7 +85,9 @@ TEST(FftTest, PureToneHasSingleCoefficient) {
   const uint64_t n = 64, f0 = 5;
   std::vector<Complex> x(n);
   for (uint64_t t = 0; t < n; ++t) {
-    const double angle = 2.0 * std::numbers::pi * f0 * t / n;
+    const double angle = 2.0 * std::numbers::pi *
+                         static_cast<double>(f0 * t) /
+                         static_cast<double>(n);
     x[t] = Complex(std::cos(angle), std::sin(angle));
   }
   const std::vector<Complex> xhat = Fft(x);
@@ -106,7 +108,8 @@ TEST(FftTest, TimeShiftMultipliesSpectrumByPhase) {
   const std::vector<Complex> fx = Fft(x);
   const std::vector<Complex> fs = Fft(shifted);
   for (uint64_t f = 0; f < n; ++f) {
-    const double angle = 2.0 * std::numbers::pi * f / n;
+    const double angle = 2.0 * std::numbers::pi * static_cast<double>(f) /
+                         static_cast<double>(n);
     const Complex expected = fx[f] * Complex(std::cos(angle), std::sin(angle));
     EXPECT_NEAR(std::abs(fs[f] - expected), 0.0, 1e-8);
   }

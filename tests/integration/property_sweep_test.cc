@@ -94,7 +94,9 @@ class IbltSweepTest
 TEST_P(IbltSweepTest, ListsCompletelyAtSafeLoad) {
   const auto [hashes, pairs] = GetParam();
   // 1.6 cells/pair is above both the 3- and 4-hash thresholds.
-  Iblt iblt(static_cast<uint64_t>(1.6 * pairs) + 3 * hashes, hashes,
+  Iblt iblt(static_cast<uint64_t>(1.6 * static_cast<double>(pairs)) +
+                3 * hashes,
+            hashes,
             pairs + hashes);
   // Keys are pre-mixed: IBLT peeling thresholds assume random-looking
   // keys, and the per-subtable hashes are only 2-wise independent —

@@ -27,7 +27,9 @@ TEST(LeastSquaresTest, RecoversPlantedSolutionInOverdeterminedSystem) {
   DenseMatrix a(m, n);
   a.FillGaussian(5);
   std::vector<double> x_true(n);
-  for (uint64_t i = 0; i < n; ++i) x_true[i] = std::sin(i + 1.0);
+  for (uint64_t i = 0; i < n; ++i) {
+    x_true[i] = std::sin(static_cast<double>(i) + 1.0);
+  }
   const std::vector<double> b = a.Multiply(x_true);
   const std::vector<double> x = SolveLeastSquaresQr(a, b);
   EXPECT_LT(L2Distance(x, x_true), 1e-9);

@@ -81,7 +81,8 @@ TEST(ExactSfftTest, AdjacentFrequenciesSeparated) {
   signal.time_domain.assign(n, Complex(0, 0));
   for (const auto& c : signal.coefficients) {
     for (uint64_t t = 0; t < n; ++t) {
-      const double angle = 2.0 * M_PI * c.frequency * t / n;
+      const double angle = 2.0 * M_PI * static_cast<double>(c.frequency * t) /
+                           static_cast<double>(n);
       signal.time_domain[t] +=
           c.value * Complex(std::cos(angle), std::sin(angle)) /
           static_cast<double>(n);

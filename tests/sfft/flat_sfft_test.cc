@@ -29,7 +29,8 @@ TEST(FlatSfftTest, RecoversSparseSpectrum) {
     options.max_rounds = 20;
     const SfftResult result =
         FlatFilterSparseFft(signal.time_domain, filter, options);
-    EXPECT_LT(SpectrumL2Error(result.coefficients, signal), 1e-2 * k)
+    EXPECT_LT(SpectrumL2Error(result.coefficients, signal),
+              1e-2 * static_cast<double>(k))
         << "k=" << k;
   }
 }

@@ -98,7 +98,7 @@ TEST(AddComplexNoiseTest, EnergyMatchesSigma) {
   double energy = 0.0;
   for (const Complex& v : x) energy += std::norm(v);
   // Each component contributes 2 * sigma^2 per sample.
-  EXPECT_NEAR(energy / x.size(), 2 * 0.09, 0.01);
+  EXPECT_NEAR(energy / static_cast<double>(x.size()), 2 * 0.09, 0.01);
 }
 
 }  // namespace

@@ -49,7 +49,7 @@ TEST(CountMinTest, ErrorBoundHoldsWithHighProbability) {
   int violations = 0, total = 0;
   for (const auto& [item, count] : oracle.counts()) {
     ++total;
-    if (cm.Estimate(item) - count > bound) ++violations;
+    if (static_cast<double>(cm.Estimate(item) - count) > bound) ++violations;
   }
   // Expected violation rate <= delta; allow 3x slack.
   EXPECT_LE(violations, 3 * delta * total + 3);
@@ -159,8 +159,9 @@ TEST_P(CountMinPropertyTest, OverestimateOnlyAndAccuracyScalesWithWidth) {
   }
   // Mean overestimate is at most ~ depth-independent N/width in
   // expectation; allow generous 4x slack for skew.
-  const double mean_over = total_over / oracle.DistinctCount();
-  EXPECT_LE(mean_over, 4.0 * 20000.0 / width);
+  const double mean_over =
+      total_over / static_cast<double>(oracle.DistinctCount());
+  EXPECT_LE(mean_over, 4.0 * 20000.0 / static_cast<double>(width));
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -151,7 +151,8 @@ TEST_P(CountSketchPropertyTest, MeanAbsoluteErrorScalesWithWidth) {
   for (const auto& [item, count] : oracle.counts()) {
     total_err += std::abs(static_cast<double>(cs.Estimate(item) - count));
   }
-  const double mean_err = total_err / oracle.DistinctCount();
+  const double mean_err =
+      total_err / static_cast<double>(oracle.DistinctCount());
   // Typical error is ~ sqrt(F2/width); allow 4x.
   EXPECT_LE(mean_err, 4.0 * std::sqrt(f2 / static_cast<double>(width)));
 }

@@ -1,0 +1,136 @@
+// Adversarial deserialization tests: every sketch's Deserialize() must
+// reject malformed buffers with a SKETCH_CHECK abort BEFORE allocating
+// counter storage from untrusted geometry. Three malformed classes per
+// sketch, mirroring the fuzz driver's deterministic mutations:
+//
+//   * truncated   — a prefix of a valid buffer (header or payload cut)
+//   * bit-flipped — a valid buffer with one header bit flipped (magic or a
+//                   geometry word, so the payload no longer matches)
+//   * inflated    — a valid buffer with extra trailing bytes
+//
+// Payload bit flips are deliberately NOT death cases: counters are arbitrary
+// user data and any payload word pattern is a valid sketch state.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/ams_sketch.h"
+#include "sketch/bloom_filter.h"
+#include "sketch/count_min.h"
+#include "sketch/count_sketch.h"
+
+namespace sketch {
+namespace {
+
+std::vector<uint8_t> Truncated(std::vector<uint8_t> bytes, size_t keep) {
+  bytes.resize(keep);
+  return bytes;
+}
+
+std::vector<uint8_t> BitFlipped(std::vector<uint8_t> bytes, size_t bit) {
+  bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  return bytes;
+}
+
+std::vector<uint8_t> Inflated(std::vector<uint8_t> bytes, size_t extra) {
+  bytes.resize(bytes.size() + extra, 0xa5);
+  return bytes;
+}
+
+// Header layout (shared by all four sketches): word 0 = magic,
+// words 1-2 = geometry, word 3 = seed. Bit 8*8 is the lowest bit of the
+// first geometry word; flipping it breaks the geometry/payload size match.
+constexpr size_t kGeometryBit = 64;
+// A high bit of the first geometry word: turns the claimed size astronomical,
+// exercising the overflow-checked size computation.
+constexpr size_t kGeometryHighBit = 64 + 62;
+// A bit inside the magic word.
+constexpr size_t kMagicBit = 3;
+
+TEST(DeserializeDeathTest, CountMinRejectsMalformedBuffers) {
+  const CountMinSketch sk(16, 3, 7);
+  const std::vector<uint8_t> good = sk.Serialize();
+  EXPECT_DEATH(CountMinSketch::Deserialize(Truncated(good, 24)),
+               "truncated sketch buffer");
+  EXPECT_DEATH(CountMinSketch::Deserialize(Truncated(good, good.size() - 8)),
+               "buffer size does not match geometry");
+  EXPECT_DEATH(CountMinSketch::Deserialize(BitFlipped(good, kMagicBit)),
+               "not a CountMinSketch");
+  EXPECT_DEATH(CountMinSketch::Deserialize(BitFlipped(good, kGeometryBit)),
+               "buffer size does not match geometry");
+  EXPECT_DEATH(CountMinSketch::Deserialize(BitFlipped(good, kGeometryHighBit)),
+               "does not match geometry|geometry overflows");
+  EXPECT_DEATH(CountMinSketch::Deserialize(Inflated(good, 8)),
+               "buffer size does not match geometry");
+}
+
+TEST(DeserializeDeathTest, CountSketchRejectsMalformedBuffers) {
+  const CountSketch sk(16, 3, 7);
+  const std::vector<uint8_t> good = sk.Serialize();
+  EXPECT_DEATH(CountSketch::Deserialize(Truncated(good, 0)),
+               "truncated sketch buffer");
+  EXPECT_DEATH(CountSketch::Deserialize(Truncated(good, good.size() - 1)),
+               "buffer size does not match geometry");
+  EXPECT_DEATH(CountSketch::Deserialize(BitFlipped(good, kMagicBit)),
+               "not a CountSketch");
+  EXPECT_DEATH(CountSketch::Deserialize(BitFlipped(good, kGeometryBit)),
+               "buffer size does not match geometry");
+  EXPECT_DEATH(CountSketch::Deserialize(BitFlipped(good, kGeometryHighBit)),
+               "does not match geometry|geometry overflows");
+  EXPECT_DEATH(CountSketch::Deserialize(Inflated(good, 1)),
+               "buffer size does not match geometry");
+}
+
+TEST(DeserializeDeathTest, BloomFilterRejectsMalformedBuffers) {
+  const BloomFilter filter(256, 4, 7);
+  const std::vector<uint8_t> good = filter.Serialize();
+  EXPECT_DEATH(BloomFilter::Deserialize(Truncated(good, 31)),
+               "truncated sketch buffer");
+  EXPECT_DEATH(BloomFilter::Deserialize(Truncated(good, good.size() - 8)),
+               "buffer size does not match geometry");
+  EXPECT_DEATH(BloomFilter::Deserialize(BitFlipped(good, kMagicBit)),
+               "not a BloomFilter");
+  // Flipping a high bit of num_bits claims an astronomically large filter.
+  EXPECT_DEATH(BloomFilter::Deserialize(BitFlipped(good, kGeometryHighBit)),
+               "does not match geometry|invalid BloomFilter bit count");
+  EXPECT_DEATH(BloomFilter::Deserialize(Inflated(good, 8)),
+               "buffer size does not match geometry");
+  // num_hashes beyond the sanity cap is rejected even with a matching size.
+  std::vector<uint8_t> huge_hashes = good;
+  huge_hashes[2 * 8 + 2] = 0xff;  // num_hashes word |= 0xff0000 -> > 1024
+  EXPECT_DEATH(BloomFilter::Deserialize(huge_hashes),
+               "invalid BloomFilter hash count");
+}
+
+TEST(DeserializeDeathTest, AmsRejectsMalformedBuffers) {
+  const AmsSketch sk(32, 5, 7);
+  const std::vector<uint8_t> good = sk.Serialize();
+  EXPECT_DEATH(AmsSketch::Deserialize(Truncated(good, 16)),
+               "truncated sketch buffer");
+  EXPECT_DEATH(AmsSketch::Deserialize(Truncated(good, good.size() - 8)),
+               "buffer size does not match geometry");
+  EXPECT_DEATH(AmsSketch::Deserialize(BitFlipped(good, kMagicBit)),
+               "not an AmsSketch");
+  EXPECT_DEATH(AmsSketch::Deserialize(BitFlipped(good, kGeometryBit)),
+               "buffer size does not match geometry");
+  EXPECT_DEATH(AmsSketch::Deserialize(BitFlipped(good, kGeometryHighBit)),
+               "does not match geometry|geometry overflows");
+  EXPECT_DEATH(AmsSketch::Deserialize(Inflated(good, 4096)),
+               "buffer size does not match geometry");
+}
+
+TEST(DeserializeDeathTest, ZeroGeometryIsRejected) {
+  // Hand-built buffer: valid CountMin magic, width = 0, depth = 0.
+  std::vector<uint8_t> bytes(32, 0);
+  const uint64_t magic = 0x534b434d494e3031ULL;
+  for (size_t i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<uint8_t>((magic >> (8 * i)) & 0xff);
+  }
+  EXPECT_DEATH(CountMinSketch::Deserialize(bytes),
+               "invalid CountMinSketch geometry");
+}
+
+}  // namespace
+}  // namespace sketch

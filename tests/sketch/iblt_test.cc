@@ -111,7 +111,9 @@ TEST(IbltTest, GetUnresolvableInDenseTable) {
   // With 50 keys in 6 cells, every cell is multi-occupied; Get on a
   // present key cannot resolve (returns nullopt rather than a wrong value).
   const auto v = iblt.Get(1);
-  if (v.has_value()) EXPECT_EQ(*v, 0u);  // if resolvable, must be correct
+  if (v.has_value()) {
+    EXPECT_EQ(*v, 0u);  // if resolvable, must be correct
+  }
 }
 
 TEST(IbltTest, DuplicateKeyInsertionsAreNotSingletons) {

@@ -72,7 +72,9 @@ TEST(CountMinInnerProductTest, WiderSketchTightensEstimate) {
     s.UpdateAll(join.stream_s);
     const int64_t overshoot = r.EstimateInnerProduct(s) - join.exact;
     EXPECT_GE(overshoot, 0);
-    if (prev_overshoot >= 0) EXPECT_LE(overshoot, prev_overshoot);
+    if (prev_overshoot >= 0) {
+      EXPECT_LE(overshoot, prev_overshoot);
+    }
     prev_overshoot = overshoot;
   }
 }
@@ -102,7 +104,7 @@ TEST(CountSketchInnerProductTest, CloseToExactWithAmpleWidth) {
   r.UpdateAll(join.stream_r);
   s.UpdateAll(join.stream_s);
   const auto estimate = static_cast<double>(r.EstimateInnerProduct(s));
-  EXPECT_NEAR(estimate / join.exact, 1.0, 0.05);
+  EXPECT_NEAR(estimate / static_cast<double>(join.exact), 1.0, 0.05);
 }
 
 TEST(CountSketchInnerProductTest, SelfInnerProductEstimatesF2) {
@@ -111,7 +113,7 @@ TEST(CountSketchInnerProductTest, SelfInnerProductEstimatesF2) {
   oracle.UpdateAll(updates);
   double f2 = 0.0;
   for (const auto& [item, count] : oracle.counts()) {
-    f2 += static_cast<double>(count) * count;
+    f2 += static_cast<double>(count) * static_cast<double>(count);
   }
   CountSketch cs(1 << 13, 7, 12);
   cs.UpdateAll(updates);

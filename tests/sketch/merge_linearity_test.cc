@@ -10,8 +10,9 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <random>
 #include <vector>
+
+#include "common/prng.h"
 
 #include "sketch/ams_sketch.h"
 #include "sketch/bloom_filter.h"
@@ -34,10 +35,11 @@ std::vector<StreamUpdate> TestStream(uint64_t seed) {
 
 // Random cut points for a `parts`-way contiguous split of [0, n).
 std::vector<size_t> RandomCuts(size_t n, size_t parts, uint64_t seed) {
-  std::mt19937_64 rng(seed);
+  Xoshiro256StarStar rng(seed);
   std::vector<size_t> cuts{0, n};
-  std::uniform_int_distribution<size_t> dist(0, n);
-  for (size_t i = 0; i + 1 < parts; ++i) cuts.push_back(dist(rng));
+  for (size_t i = 0; i + 1 < parts; ++i) {
+    cuts.push_back(static_cast<size_t>(rng.NextBounded(n + 1)));
+  }
   std::sort(cuts.begin(), cuts.end());
   return cuts;
 }

@@ -66,7 +66,7 @@ TEST(StreamSummaryTest, F2MatchesOracle) {
   oracle.UpdateAll(updates);
   double f2 = 0.0;
   for (const auto& [item, count] : oracle.counts()) {
-    f2 += static_cast<double>(count) * count;
+    f2 += static_cast<double>(count) * static_cast<double>(count);
   }
   EXPECT_NEAR(summary.EstimateF2() / f2, 1.0, 0.2);
 }

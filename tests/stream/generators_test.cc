@@ -63,7 +63,7 @@ TEST(TurnstileStreamTest, DeletionFractionApproximatelyHonored) {
   const auto updates = MakeTurnstileStream(500, 1.1, inserts, 0.5, 5);
   uint64_t deletions = 0;
   for (const StreamUpdate& u : updates) deletions += (u.delta < 0);
-  EXPECT_NEAR(deletions, inserts / 2, inserts / 50);
+  EXPECT_NEAR(static_cast<double>(deletions), inserts / 2, inserts / 50);
 }
 
 TEST(TurnstileStreamTest, ZeroDeleteFractionIsInsertOnly) {

@@ -73,7 +73,9 @@ TEST(TrafficModelTest, PacketsAreInterleaved) {
   for (size_t i = 1; i < trace.packets.size(); ++i) {
     adjacent_same += (trace.packets[i].item == trace.packets[i - 1].item);
   }
-  EXPECT_LT(static_cast<double>(adjacent_same) / trace.packets.size(), 0.1);
+  EXPECT_LT(static_cast<double>(adjacent_same) /
+                static_cast<double>(trace.packets.size()),
+            0.1);
 }
 
 TEST(TrafficModelTest, DeterministicPerSeed) {

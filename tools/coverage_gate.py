@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Line-coverage gate over gcov data for files under src/.
+
+Walks a build directory (configured with -DSKETCH_COVERAGE=ON and exercised
+via ctest), invokes `gcov --json-format --stdout` on every .gcda file, merges
+the per-line execution counts across translation units (a header's lines are
+credited if ANY TU executed them), and enforces a minimum line-coverage
+percentage on the union of all files under src/.
+
+Uses only gcov (part of gcc) and the standard library — no lcov/gcovr
+dependency, so the gate runs in any container that can build the repo.
+
+Usage:
+  tools/coverage_gate.py --build-dir build-cov --root . [--min-coverage 80]
+
+Exit codes: 0 gate passed, 1 gate failed, 2 tooling problem (no gcov, no
+.gcda files, or unparseable output).
+"""
+
+import argparse
+import json
+import shutil
+import subprocess
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def find_gcda_files(build_dir):
+    return sorted(build_dir.rglob("*.gcda"))
+
+
+def run_gcov(gcda, build_dir):
+    """Returns the parsed JSON documents gcov emits for one .gcda file."""
+    result = subprocess.run(
+        ["gcov", "--json-format", "--stdout", "--object-directory",
+         str(gcda.parent), str(gcda)],
+        capture_output=True,
+        text=True,
+        cwd=build_dir,
+    )
+    if result.returncode != 0:
+        print(f"coverage_gate: gcov failed on {gcda}: {result.stderr.strip()}",
+              file=sys.stderr)
+        return []
+    docs = []
+    for line in result.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            docs.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return docs
+
+
+def merge_coverage(docs, src_root):
+    """Maps src-relative path -> {line_number: max_execution_count}."""
+    lines_by_file = defaultdict(dict)
+    for doc in docs:
+        for file_entry in doc.get("files", []):
+            path = Path(file_entry["file"])
+            if not path.is_absolute():
+                path = (src_root.parent / path).resolve()
+            try:
+                rel = path.resolve().relative_to(src_root)
+            except ValueError:
+                continue  # not under src/ — tests, gtest, system headers
+            per_line = lines_by_file[str(rel)]
+            for line in file_entry.get("lines", []):
+                number = line["line_number"]
+                per_line[number] = max(per_line.get(number, 0), line["count"])
+    return lines_by_file
+
+
+def report(lines_by_file, min_coverage):
+    total_lines = 0
+    total_covered = 0
+    rows = []
+    for rel in sorted(lines_by_file):
+        per_line = lines_by_file[rel]
+        covered = sum(1 for count in per_line.values() if count > 0)
+        rows.append((rel, covered, len(per_line)))
+        total_lines += len(per_line)
+        total_covered += covered
+
+    width = max(len(rel) for rel, _, _ in rows)
+    for rel, covered, count in rows:
+        pct = 100.0 * covered / count if count else 100.0
+        print(f"  {rel:<{width}}  {covered:>5}/{count:<5}  {pct:6.1f}%")
+
+    overall = 100.0 * total_covered / total_lines if total_lines else 0.0
+    print(f"\ncoverage_gate: src/ line coverage "
+          f"{total_covered}/{total_lines} = {overall:.2f}% "
+          f"(floor {min_coverage:.1f}%)")
+    if overall < min_coverage:
+        print("coverage_gate: FAIL — below the floor", file=sys.stderr)
+        return 1
+    print("coverage_gate: OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True, type=Path,
+                        help="build tree configured with -DSKETCH_COVERAGE=ON")
+    parser.add_argument("--root", default=Path("."), type=Path,
+                        help="repository root (containing src/)")
+    parser.add_argument("--min-coverage", default=80.0, type=float,
+                        help="minimum src/ line coverage percentage")
+    args = parser.parse_args()
+
+    if shutil.which("gcov") is None:
+        print("coverage_gate: gcov not found on PATH", file=sys.stderr)
+        return 2
+    build_dir = args.build_dir.resolve()
+    src_root = (args.root / "src").resolve()
+    if not src_root.is_dir():
+        print(f"coverage_gate: no src/ under {args.root}", file=sys.stderr)
+        return 2
+
+    gcda_files = find_gcda_files(build_dir)
+    if not gcda_files:
+        print(f"coverage_gate: no .gcda files under {build_dir} — "
+              "configure with -DSKETCH_COVERAGE=ON and run ctest first",
+              file=sys.stderr)
+        return 2
+
+    docs = []
+    for gcda in gcda_files:
+        docs.extend(run_gcov(gcda, build_dir))
+    lines_by_file = merge_coverage(docs, src_root)
+    if not lines_by_file:
+        print("coverage_gate: gcov produced no data for src/ files",
+              file=sys.stderr)
+        return 2
+    return report(lines_by_file, args.min_coverage)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

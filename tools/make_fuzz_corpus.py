@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Generates the deterministic seed corpora for the fuzz harnesses.
+
+Writes one directory per harness under the output root:
+
+  count_min/       valid CountMinSketch serializations + malformed variants
+  count_sketch/    same for CountSketch
+  bloom_filter/    same for BloomFilter
+  ams_sketch/      same for AmsSketch
+  hashed_recovery/ structured (geometry, y-vector) decoder inputs
+
+The byte layouts mirror src/common/byte_buffer.h: little-endian u64 words,
+header (magic, geometry, geometry, seed) then payload words. Seeds include
+well-formed buffers (so the round-trip path is exercised from the first
+execution) and the malformed classes the deserializers must reject. All
+content is fixed — no randomness — so CI corpus runs are reproducible.
+
+Usage: tools/make_fuzz_corpus.py OUTPUT_DIR
+"""
+
+import struct
+import sys
+from pathlib import Path
+
+MAGICS = {
+    "count_min": 0x534B434D494E3031,  # "SKCMIN01"
+    "count_sketch": 0x534B43534B543031,  # "SKCSKT01"
+    "bloom_filter": 0x534B424C4F4F4D31,  # "SKBLOOM1"
+    "ams_sketch": 0x534B414D53303031,  # "SKAMS001"
+}
+
+
+def u64(*values):
+    return b"".join(struct.pack("<Q", v & (2**64 - 1)) for v in values)
+
+
+def i64(*values):
+    return b"".join(struct.pack("<q", v) for v in values)
+
+
+def counter_sketch_buffer(magic, width, depth, seed, counters=None):
+    if counters is None:
+        counters = [(i * 37 - 8) for i in range(width * depth)]
+    return u64(magic, width, depth, seed) + i64(*counters)
+
+
+def bloom_buffer(magic, num_bits, num_hashes, seed, words=None):
+    num_words = (num_bits + 63) // 64
+    if words is None:
+        words = [0x0123456789ABCDEF ^ (i * 0x1111) for i in range(num_words)]
+    return u64(magic, num_bits, num_hashes, seed) + u64(*words)
+
+
+def hashed_recovery_input(variant, width, depth, dimension, k, seed, y):
+    header = bytes(
+        [variant, (width - 1) % 256, (depth - 1) % 256, (dimension - 1) % 256,
+         k % 256]
+    ) + u64(seed)
+    return header + b"".join(struct.pack("<d", v) for v in y)
+
+
+def write(directory, name, blob):
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / name).write_bytes(blob)
+
+
+def counter_seeds(out, target, magic):
+    base = counter_sketch_buffer(magic, 8, 3, 42)
+    write(out / target, "valid_8x3", base)
+    write(out / target, "valid_1x1", counter_sketch_buffer(magic, 1, 1, 0))
+    write(out / target, "valid_64x1",
+          counter_sketch_buffer(magic, 64, 1, 7))
+    write(out / target, "truncated_header", base[:20])
+    write(out / target, "truncated_payload", base[:-12])
+    write(out / target, "inflated_tail", base + b"\x00" * 16)
+    # Geometry claims 2^32 x 2^32 counters: the product wraps to zero in
+    # unchecked u64 arithmetic — must be rejected before any allocation.
+    write(out / target, "geometry_overflow",
+          u64(magic, 2**32, 2**32, 1))
+    write(out / target, "zero_geometry", u64(magic, 0, 0, 1))
+    wrong_magic = bytearray(base)
+    wrong_magic[0] ^= 0xFF
+    write(out / target, "wrong_magic", bytes(wrong_magic))
+    write(out / target, "empty", b"")
+
+
+def bloom_seeds(out):
+    magic = MAGICS["bloom_filter"]
+    base = bloom_buffer(magic, 256, 4, 99)
+    write(out / "bloom_filter", "valid_256b", base)
+    write(out / "bloom_filter", "valid_1b", bloom_buffer(magic, 1, 1, 3))
+    write(out / "bloom_filter", "truncated", base[:-8])
+    write(out / "bloom_filter", "inflated", base + b"\xff" * 8)
+    write(out / "bloom_filter", "huge_hash_count",
+          bloom_buffer(magic, 64, 2**20, 1))
+    write(out / "bloom_filter", "bit_count_overflow",
+          u64(magic, 2**64 - 1, 2, 1))
+    write(out / "bloom_filter", "zero_bits", u64(magic, 0, 1, 1))
+
+
+def hashed_recovery_seeds(out):
+    d = out / "hashed_recovery"
+    # width=4, depth=2 -> correct y length is 8.
+    write(d, "valid_count_sketch",
+          hashed_recovery_input(0, 4, 2, 16, 4, 11,
+                                [float(i) - 3.5 for i in range(8)]))
+    write(d, "valid_count_min",
+          hashed_recovery_input(1, 4, 2, 16, 4, 11,
+                                [float(i) for i in range(8)]))
+    write(d, "wrong_length_y",
+          hashed_recovery_input(0, 4, 2, 16, 4, 11, [1.0, 2.0, 3.0]))
+    write(d, "nan_inf_y",
+          hashed_recovery_input(0, 2, 2, 8, 2, 5,
+                                [float("nan"), float("inf"),
+                                 float("-inf"), 0.0]))
+    write(d, "k_zero",
+          hashed_recovery_input(0, 2, 1, 4, 0, 1, [1.0, -1.0]))
+    write(d, "empty", b"")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    out = Path(sys.argv[1])
+    for target in ("count_min", "count_sketch", "ams_sketch"):
+        counter_seeds(out, target, MAGICS[target])
+    bloom_seeds(out)
+    hashed_recovery_seeds(out)
+    total = sum(1 for p in out.rglob("*") if p.is_file())
+    print(f"make_fuzz_corpus: wrote {total} seed files under {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

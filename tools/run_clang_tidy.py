@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Runs the .clang-tidy gate over the repo's C++ sources.
+
+Expects a build directory configured with CMAKE_EXPORT_COMPILE_COMMANDS=ON
+(the CI lint job does `cmake -B build -DCMAKE_EXPORT_COMPILE_COMMANDS=ON`).
+Files are taken from compile_commands.json so only translation units that
+actually build are analyzed; headers are covered through the
+HeaderFilterRegex in .clang-tidy.
+
+Usage:
+  tools/run_clang_tidy.py [--build-dir build] [--clang-tidy clang-tidy]
+                          [--jobs N] [--paths src tests bench]
+
+Exits non-zero on any finding (WarningsAsErrors is '*' in .clang-tidy), or
+with a clear message if clang-tidy is not installed.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+
+def tidy_one(clang_tidy, build_dir, source):
+    proc = subprocess.run(
+        [clang_tidy, "-p", str(build_dir), "--quiet", str(source)],
+        capture_output=True,
+        text=True,
+    )
+    return source, proc.returncode, proc.stdout.strip()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument(
+        "--paths",
+        nargs="*",
+        default=["src", "tests", "bench", "examples", "fuzz"],
+        help="top-level directories whose TUs should be analyzed",
+    )
+    args = parser.parse_args(argv)
+
+    if shutil.which(args.clang_tidy) is None:
+        print(
+            f"error: {args.clang_tidy} not found; install clang-tidy or pass "
+            "--clang-tidy",
+            file=sys.stderr,
+        )
+        return 2
+
+    compdb_path = Path(args.build_dir) / "compile_commands.json"
+    if not compdb_path.is_file():
+        print(
+            f"error: {compdb_path} missing; configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON",
+            file=sys.stderr,
+        )
+        return 2
+
+    repo_root = Path.cwd().resolve()
+    wanted = tuple(str(repo_root / p) + "/" for p in args.paths)
+    sources = sorted(
+        {
+            str(Path(entry["file"]).resolve())
+            for entry in json.loads(compdb_path.read_text())
+            if str(Path(entry["file"]).resolve()).startswith(wanted)
+        }
+    )
+    if not sources:
+        print("error: no sources matched", file=sys.stderr)
+        return 2
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        futures = [
+            pool.submit(tidy_one, args.clang_tidy, args.build_dir, s)
+            for s in sources
+        ]
+        for future in concurrent.futures.as_completed(futures):
+            source, code, output = future.result()
+            if code != 0:
+                failures += 1
+                print(f"== {source}")
+                print(output)
+    print(
+        f"clang-tidy: {len(sources)} files, {failures} with findings",
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,361 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant linter for the sketching library.
+
+Enforces structural correctness properties that generic tools (clang-tidy,
+compiler warnings) cannot express, because they are about *this* codebase's
+contracts — the linearity and geometry invariants the sketch guarantees
+rest on:
+
+  SL001  every public header under src/ carries the canonical include guard
+         (SKETCH_<PATH>_H_) so headers cannot silently double-include.
+  SL002  every Merge() definition under src/ contains a SKETCH_CHECK: merging
+         sketches with different geometry or seeds silently corrupts every
+         subsequent estimate, so the guard is non-negotiable.
+  SL003  every Deserialize() definition under src/ calls CheckSerializedSize
+         (the uniform pre-allocation length validation in
+         common/byte_buffer.h) so untrusted buffers cannot drive allocations
+         from unvalidated geometry fields.
+  SL004  no direct rand()/srand()/std::random_device/std::mt19937 outside
+         src/common/prng — all randomness must flow through the seeded
+         generators or experiments stop being reproducible.
+  SL005  no naked new/delete — ownership is vectors and values; a naked new
+         is either a leak or a sign the design went sideways.
+  SL006  (--compile-headers) every public header under src/ is
+         self-contained: a TU containing only that #include must compile.
+
+Usage:
+  tools/sketch_lint.py --root . [--compile-headers] [--cxx g++] [--jobs N]
+
+Exits non-zero if any violation is found and prints one line per finding:
+  path:line: SLxxx message
+"""
+
+import argparse
+import concurrent.futures
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SOURCE_DIRS = ("src", "bench", "tests", "examples", "fuzz")
+HEADER_SUFFIXES = (".h", ".hpp")
+SOURCE_SUFFIXES = (".h", ".hpp", ".cc", ".cpp")
+
+# Files allowed to touch raw randomness primitives (SL004).
+PRNG_ALLOWLIST = ("src/common/prng.h", "src/common/prng.cc")
+
+RAW_RANDOM_PATTERNS = (
+    (re.compile(r"\b(?:std\s*::\s*)?s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\bstd\s*::\s*random_device\b"), "std::random_device"),
+    (re.compile(r"\bstd\s*::\s*mt19937(?:_64)?\b"), "std::mt19937"),
+)
+
+
+def strip_comments_and_strings(text):
+    """Replaces comments and string/char literals with spaces, preserving
+    line structure so reported line numbers stay accurate."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            end = text.find("\n", i)
+            end = n if end == -1 else end
+            out.append(" " * (end - i))
+            i = end
+        elif c == "/" and nxt == "*":
+            end = text.find("*/", i + 2)
+            end = n - 2 if end == -1 else end
+            chunk = text[i : end + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in chunk))
+            i = end + 2
+        elif c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(quote + " " * (j - i - 1) + (quote if j < n else ""))
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def expected_guard(rel_to_src):
+    mangled = re.sub(r"[^A-Za-z0-9]", "_", str(rel_to_src)).upper()
+    return f"SKETCH_{mangled}_"
+
+
+def check_include_guard(path, rel_to_src, text):
+    guard = expected_guard(rel_to_src)
+    violations = []
+    ifndef = re.search(r"^#ifndef\s+(\S+)\s*$", text, re.MULTILINE)
+    if not ifndef or ifndef.group(1) != guard:
+        violations.append(
+            (
+                1,
+                "SL001",
+                f"missing or wrong include guard (expected {guard})",
+            )
+        )
+        return violations
+    define = re.search(r"^#define\s+(\S+)\s*$", text, re.MULTILINE)
+    if not define or define.group(1) != guard:
+        violations.append(
+            (
+                line_of(text, ifndef.start()),
+                "SL001",
+                f"#ifndef {guard} not followed by matching #define",
+            )
+        )
+    if not re.search(r"^#endif\b", text, re.MULTILINE):
+        violations.append((1, "SL001", "include guard has no #endif"))
+    return violations
+
+
+def _find_function_definitions(clean, name):
+    """Yields (start_offset, body) for each definition of `name` in
+    comment/string-stripped source text."""
+    for match in re.finditer(rf"\b{name}\s*\(", clean):
+        start = match.start()
+        before = clean[:start].rstrip()
+        # Member calls (x.Merge(...), p->Merge(...)) are not definitions.
+        if before.endswith(".") or before.endswith("->"):
+            continue
+        # Walk past the parameter list.
+        depth = 0
+        i = match.end() - 1
+        while i < len(clean):
+            if clean[i] == "(":
+                depth += 1
+            elif clean[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        if i >= len(clean):
+            continue
+        # Skip trailing qualifiers; a definition opens a brace next.
+        j = i + 1
+        while j < len(clean) and (
+            clean[j].isspace()
+            or clean[j : j + 5] == "const"
+            or clean[j : j + 8] == "noexcept"
+            or clean[j : j + 8] == "override"
+        ):
+            if clean[j].isspace():
+                j += 1
+            elif clean[j : j + 5] == "const":
+                j += 5
+            else:
+                j += 8
+        if j >= len(clean) or clean[j] != "{":
+            continue  # declaration, deleted function, or call
+        depth = 0
+        k = j
+        while k < len(clean):
+            if clean[k] == "{":
+                depth += 1
+            elif clean[k] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            k += 1
+        yield start, clean[j : k + 1]
+
+
+def check_merge_guard(clean):
+    violations = []
+    for start, body in _find_function_definitions(clean, "Merge"):
+        if "SKETCH_CHECK" not in body:
+            violations.append(
+                (
+                    line_of(clean, start),
+                    "SL002",
+                    "Merge() definition lacks a SKETCH_CHECK on "
+                    "geometry/seed compatibility",
+                )
+            )
+    return violations
+
+
+def check_deserialize_guard(clean):
+    violations = []
+    for start, body in _find_function_definitions(clean, "Deserialize"):
+        if "CheckSerializedSize" not in body:
+            violations.append(
+                (
+                    line_of(clean, start),
+                    "SL003",
+                    "Deserialize() definition does not length-validate via "
+                    "CheckSerializedSize before allocating",
+                )
+            )
+    return violations
+
+
+def check_raw_randomness(rel, clean):
+    if str(rel).replace("\\", "/") in PRNG_ALLOWLIST:
+        return []
+    violations = []
+    for pattern, label in RAW_RANDOM_PATTERNS:
+        for match in pattern.finditer(clean):
+            violations.append(
+                (
+                    line_of(clean, match.start()),
+                    "SL004",
+                    f"direct {label} outside src/common/prng; use the "
+                    "seeded generators",
+                )
+            )
+    return violations
+
+
+def check_naked_new_delete(clean):
+    violations = []
+    for match in re.finditer(r"\bnew\b", clean):
+        violations.append(
+            (
+                line_of(clean, match.start()),
+                "SL005",
+                "naked new; use containers or value semantics",
+            )
+        )
+    for match in re.finditer(r"\bdelete\b", clean):
+        before = clean[: match.start()].rstrip()
+        if before.endswith("="):  # deleted special member: `= delete;`
+            continue
+        violations.append(
+            (
+                line_of(clean, match.start()),
+                "SL005",
+                "naked delete; use containers or value semantics",
+            )
+        )
+    return violations
+
+
+def lint_file(root, path):
+    rel = path.relative_to(root)
+    text = path.read_text(encoding="utf-8", errors="replace")
+    clean = strip_comments_and_strings(text)
+    violations = []
+    under_src = str(rel).replace("\\", "/").startswith("src/")
+    if under_src and path.suffix in HEADER_SUFFIXES:
+        violations += check_include_guard(
+            path, path.relative_to(root / "src"), text
+        )
+    if under_src:
+        violations += check_merge_guard(clean)
+        violations += check_deserialize_guard(clean)
+        violations += check_naked_new_delete(clean)
+    violations += check_raw_randomness(rel, clean)
+    return [(rel, line, rule, msg) for line, rule, msg in violations]
+
+
+def compile_header(root, cxx, header):
+    rel = header.relative_to(root / "src")
+    with tempfile.NamedTemporaryFile(
+        mode="w", suffix=".cc", delete=False
+    ) as tu:
+        tu.write(f'#include "{rel}"\n')
+        tu_path = tu.name
+    try:
+        proc = subprocess.run(
+            [
+                cxx,
+                "-std=c++20",
+                "-fsyntax-only",
+                "-Wall",
+                "-Wextra",
+                f"-I{root / 'src'}",
+                "-x",
+                "c++",
+                tu_path,
+            ],
+            capture_output=True,
+            text=True,
+        )
+    finally:
+        Path(tu_path).unlink(missing_ok=True)
+    if proc.returncode != 0:
+        detail = proc.stderr.strip().splitlines()
+        first = detail[0] if detail else "compile failed"
+        return [
+            (
+                header.relative_to(root),
+                1,
+                "SL006",
+                f"header is not self-contained: {first}",
+            )
+        ]
+    return []
+
+
+def collect_files(root):
+    for top in SOURCE_DIRS:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in SOURCE_SUFFIXES and path.is_file():
+                yield path
+
+
+def run(root, compile_headers=False, cxx="g++", jobs=4):
+    root = Path(root).resolve()
+    violations = []
+    for path in collect_files(root):
+        violations += lint_file(root, path)
+    if compile_headers:
+        headers = [
+            p
+            for p in collect_files(root)
+            if p.suffix in HEADER_SUFFIXES
+            and str(p.relative_to(root)).replace("\\", "/").startswith("src/")
+        ]
+        with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+            for result in pool.map(
+                lambda h: compile_header(root, cxx, h), headers
+            ):
+                violations += result
+    return sorted(violations, key=lambda v: (str(v[0]), v[1], v[2]))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument(
+        "--compile-headers",
+        action="store_true",
+        help="also verify every src/ header compiles stand-alone (SL006)",
+    )
+    parser.add_argument("--cxx", default="g++", help="compiler for SL006")
+    parser.add_argument("--jobs", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    violations = run(
+        args.root,
+        compile_headers=args.compile_headers,
+        cxx=args.cxx,
+        jobs=args.jobs,
+    )
+    for rel, line, rule, msg in violations:
+        print(f"{rel}:{line}: {rule} {msg}")
+    if violations:
+        print(f"sketch_lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("sketch_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

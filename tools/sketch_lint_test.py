@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/sketch_lint.py.
+
+Each rule gets a seeded violation in a synthetic repo tree and the test
+asserts the linter flags exactly that rule; a companion clean tree must
+pass. Run directly (python3 tools/sketch_lint_test.py) or via ctest
+(sketch_lint_selftest).
+"""
+
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import sketch_lint  # noqa: E402
+
+
+def write_tree(root, files):
+    for rel, content in files.items():
+        path = Path(root) / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content)
+
+
+def rules_found(violations):
+    return {rule for _, _, rule, _ in violations}
+
+
+CLEAN_HEADER = """\
+#ifndef SKETCH_WIDGET_H_
+#define SKETCH_WIDGET_H_
+
+namespace sketch {
+
+class Widget {
+ public:
+  void Merge(const Widget& other) {
+    SKETCH_CHECK(size_ == other.size_);
+    size_ += other.size_;
+  }
+
+ private:
+  int size_ = 0;
+};
+
+}  // namespace sketch
+
+#endif  // SKETCH_WIDGET_H_
+"""
+
+
+class SketchLintTest(unittest.TestCase):
+    def lint(self, files):
+        with tempfile.TemporaryDirectory() as tmp:
+            write_tree(tmp, files)
+            return sketch_lint.run(tmp)
+
+    def test_clean_tree_passes(self):
+        violations = self.lint({"src/widget.h": CLEAN_HEADER})
+        self.assertEqual(violations, [])
+
+    def test_sl001_missing_include_guard(self):
+        violations = self.lint(
+            {"src/widget.h": "namespace sketch {}\n"}
+        )
+        self.assertEqual(rules_found(violations), {"SL001"})
+
+    def test_sl001_wrong_guard_name(self):
+        bad = CLEAN_HEADER.replace("SKETCH_WIDGET_H_", "WIDGET_H")
+        violations = self.lint({"src/widget.h": bad})
+        self.assertIn("SL001", rules_found(violations))
+
+    def test_sl001_guard_derives_from_path(self):
+        # The same guard text is wrong in a subdirectory.
+        violations = self.lint({"src/sub/widget.h": CLEAN_HEADER})
+        self.assertEqual(rules_found(violations), {"SL001"})
+        fixed = CLEAN_HEADER.replace(
+            "SKETCH_WIDGET_H_", "SKETCH_SUB_WIDGET_H_"
+        )
+        self.assertEqual(self.lint({"src/sub/widget.h": fixed}), [])
+
+    def test_sl002_merge_without_check(self):
+        bad = CLEAN_HEADER.replace(
+            "    SKETCH_CHECK(size_ == other.size_);\n", ""
+        )
+        violations = self.lint({"src/widget.h": bad})
+        self.assertEqual(rules_found(violations), {"SL002"})
+
+    def test_sl002_merge_call_is_not_a_definition(self):
+        source = """\
+#include "widget.h"
+namespace sketch {
+void Combine(Widget* a, const Widget& b) { a->Merge(b); }
+}  // namespace sketch
+"""
+        violations = self.lint(
+            {"src/widget.h": CLEAN_HEADER, "src/combine.cc": source}
+        )
+        self.assertEqual(violations, [])
+
+    def test_sl002_merge_mentioned_in_comment_is_ignored(self):
+        source = """\
+// Merge(a, b) without a check would be wrong; see Widget::Merge.
+namespace sketch {}
+"""
+        violations = self.lint(
+            {"src/widget.h": CLEAN_HEADER, "src/notes.cc": source}
+        )
+        self.assertEqual(violations, [])
+
+    def test_sl003_deserialize_without_size_check(self):
+        source = """\
+namespace sketch {
+Widget Widget::Deserialize(const std::vector<uint8_t>& bytes) {
+  Widget w;
+  return w;
+}
+}  // namespace sketch
+"""
+        violations = self.lint(
+            {"src/widget.h": CLEAN_HEADER, "src/widget.cc": source}
+        )
+        self.assertEqual(rules_found(violations), {"SL003"})
+
+    def test_sl003_deserialize_with_size_check_passes(self):
+        source = """\
+namespace sketch {
+Widget Widget::Deserialize(const std::vector<uint8_t>& bytes) {
+  CheckSerializedSize(bytes, 4, 0, "Widget");
+  Widget w;
+  return w;
+}
+}  // namespace sketch
+"""
+        violations = self.lint(
+            {"src/widget.h": CLEAN_HEADER, "src/widget.cc": source}
+        )
+        self.assertEqual(violations, [])
+
+    def test_sl004_raw_randomness_outside_prng(self):
+        source = """\
+#include <random>
+namespace sketch {
+int Roll() {
+  std::random_device rd;
+  return rand() + static_cast<int>(rd());
+}
+}  // namespace sketch
+"""
+        violations = self.lint({"src/roll.cc": source})
+        self.assertEqual(rules_found(violations), {"SL004"})
+        self.assertEqual(len(violations), 2)  # random_device and rand()
+
+    def test_sl004_allowed_inside_prng(self):
+        source = "namespace sketch { int S() { return rand(); } }\n"
+        violations = self.lint({"src/common/prng.cc": source})
+        self.assertEqual(violations, [])
+
+    def test_sl004_applies_to_tests_and_bench(self):
+        source = "void F() { std::mt19937 gen(1); (void)gen; }\n"
+        violations = self.lint({"tests/foo_test.cc": source})
+        self.assertEqual(rules_found(violations), {"SL004"})
+
+    def test_sl004_ignores_strands(self):
+        # "strand" contains "rand" but is not a call to rand().
+        source = "namespace sketch { int strand(int x) { return x; } }\n"
+        violations = self.lint({"src/strand.cc": source})
+        # The definition `int strand(` is itself a call-shaped match the
+        # word boundary must reject.
+        self.assertEqual(violations, [])
+
+    def test_sl005_naked_new_and_delete(self):
+        source = """\
+namespace sketch {
+int* Make() { return new int(3); }
+void Drop(int* p) { delete p; }
+}  // namespace sketch
+"""
+        violations = self.lint({"src/owner.cc": source})
+        self.assertEqual(rules_found(violations), {"SL005"})
+        self.assertEqual(len(violations), 2)
+
+    def test_sl005_deleted_functions_allowed(self):
+        source = """\
+#ifndef SKETCH_POOL_H_
+#define SKETCH_POOL_H_
+namespace sketch {
+class Pool {
+ public:
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+};
+}  // namespace sketch
+#endif  // SKETCH_POOL_H_
+"""
+        violations = self.lint({"src/pool.h": source})
+        self.assertEqual(violations, [])
+
+    def test_violations_in_strings_and_comments_are_ignored(self):
+        source = """\
+namespace sketch {
+// new delete rand() std::random_device
+const char* kDoc = "use new and delete and rand()";
+}  // namespace sketch
+"""
+        violations = self.lint({"src/doc.cc": source})
+        self.assertEqual(violations, [])
+
+    def test_repo_is_clean(self):
+        repo_root = Path(__file__).resolve().parent.parent
+        violations = sketch_lint.run(repo_root)
+        self.assertEqual(
+            violations,
+            [],
+            "\n".join(
+                f"{rel}:{line}: {rule} {msg}"
+                for rel, line, rule, msg in violations
+            ),
+        )
+
+
+if __name__ == "__main__":
+    unittest.main()
