@@ -48,6 +48,56 @@ void BM_CountSketchUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_CountSketchUpdate)->Arg(1)->Arg(3)->Arg(5)->Arg(8);
 
+// Batched (kernelized) counterparts of the per-item loops above: the same
+// Zipf stream absorbed through ApplyBatch, which routes through the
+// src/kernels block-hashing layer. One iteration ingests the whole stream.
+void BM_CountMinApplyBatch(benchmark::State& state) {
+  CountMinSketch sketch(1 << 12, static_cast<uint64_t>(state.range(0)), 1);
+  const auto& stream = SharedStream();
+  for (auto _ : state) {
+    sketch.ApplyBatch(stream);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+  state.SetLabel("depth=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_CountMinApplyBatch)->Arg(1)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_CountSketchApplyBatch(benchmark::State& state) {
+  CountSketch sketch(1 << 12, static_cast<uint64_t>(state.range(0)), 1);
+  const auto& stream = SharedStream();
+  for (auto _ : state) {
+    sketch.ApplyBatch(stream);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+  state.SetLabel("depth=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_CountSketchApplyBatch)->Arg(1)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_BloomApplyBatch(benchmark::State& state) {
+  BloomFilter filter(1 << 18, static_cast<int>(state.range(0)), 1);
+  const auto& stream = SharedStream();
+  for (auto _ : state) {
+    filter.ApplyBatch(stream);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+  state.SetLabel("hashes=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_BloomApplyBatch)->Arg(4)->Arg(7)->Arg(10);
+
+void BM_AmsApplyBatch(benchmark::State& state) {
+  AmsSketch sketch(1 << 10, 5, 1);
+  const auto& stream = SharedStream();
+  for (auto _ : state) {
+    sketch.ApplyBatch(stream);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_AmsApplyBatch);
+
 void BM_ConservativeUpdate(benchmark::State& state) {
   CountMinSketch sketch(1 << 12, state.range(0), 1);
   const auto& stream = SharedStream();

@@ -1,7 +1,10 @@
 #include "fft/fft.h"
 
 #include <cmath>
+#include <cstddef>
+#include <map>
 #include <numbers>
+#include <utility>
 
 #include "common/check.h"
 
@@ -18,37 +21,86 @@ uint64_t NextPowerOfTwo(uint64_t n) {
   return p;
 }
 
-/// Bluestein's chirp-z transform: expresses an arbitrary-length DFT as a
-/// convolution, evaluated with power-of-two FFTs of length >= 2n-1.
-std::vector<Complex> BluesteinDft(const std::vector<Complex>& x,
-                                  bool inverse) {
-  const uint64_t n = x.size();
+/// Caps on the per-thread trig-table caches below. Each distinct size costs
+/// O(n) Complex values, so a runaway sweep over many sizes is bounded by
+/// clearing the cache once it holds this many tables (the hot sizes are
+/// immediately re-derived and re-cached).
+constexpr std::size_t kMaxCachedTables = 16;
+
+/// Forward-direction twiddle table for a power-of-two size n:
+/// w[j] = exp(-2*pi*i*j/n) for j < n/2. The butterfly reads the stage-len
+/// twiddle as w[j * (n/len)]; the inverse transform conjugates on read.
+/// Cached per thread so repeated transforms of the same size (the sFFT
+/// inner loops, Bluestein's fixed-size convolutions) stop paying
+/// O(n log n) std::cos/std::sin calls per invocation. Thread-local storage
+/// keeps the cache lock-free.
+const std::vector<Complex>& TwiddlesFor(uint64_t n) {
+  thread_local std::map<uint64_t, std::vector<Complex>> cache;
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  if (cache.size() >= kMaxCachedTables) cache.clear();
+  std::vector<Complex> w(n / 2);
+  for (uint64_t j = 0; j < n / 2; ++j) {
+    const double angle =
+        -2.0 * kPi * static_cast<double>(j) / static_cast<double>(n);
+    w[j] = Complex(std::cos(angle), std::sin(angle));
+  }
+  return cache.emplace(n, std::move(w)).first->second;
+}
+
+/// Precomputed Bluestein state for one (n, direction) pair: the chirp
+/// sequence and the forward FFT of the padded conjugate-chirp kernel (the
+/// convolution's second operand, which does not depend on the input).
+struct BluesteinTables {
+  uint64_t m = 0;                // convolution length (power of two)
+  std::vector<Complex> chirp;    // exp(sign * i * pi * j^2 / n), j < n
+  std::vector<Complex> b_fft;    // FFT of the padded conj(chirp) kernel
+};
+
+const BluesteinTables& BluesteinTablesFor(uint64_t n, bool inverse) {
+  thread_local std::map<std::pair<uint64_t, bool>, BluesteinTables> cache;
+  const std::pair<uint64_t, bool> key(n, inverse);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  if (cache.size() >= kMaxCachedTables) cache.clear();
+
+  BluesteinTables t;
   const double sign = inverse ? 1.0 : -1.0;
   // Chirp c[j] = exp(sign * i * pi * j^2 / n). j^2 mod 2n keeps the angle
   // argument bounded for large n (exp is 2*pi periodic; j^2/n * pi has
   // period 2n in j^2).
-  std::vector<Complex> chirp(n);
+  t.chirp.resize(n);
   for (uint64_t j = 0; j < n; ++j) {
     const uint64_t j2 = static_cast<uint64_t>(
         (static_cast<__uint128_t>(j) * j) % (2 * n));
     const double angle = sign * kPi * static_cast<double>(j2) /
                          static_cast<double>(n);
-    chirp[j] = Complex(std::cos(angle), std::sin(angle));
+    t.chirp[j] = Complex(std::cos(angle), std::sin(angle));
   }
-  const uint64_t m = NextPowerOfTwo(2 * n - 1);
-  std::vector<Complex> a(m, Complex(0, 0));
-  std::vector<Complex> b(m, Complex(0, 0));
-  for (uint64_t j = 0; j < n; ++j) a[j] = x[j] * chirp[j];
-  b[0] = std::conj(chirp[0]);
+  t.m = NextPowerOfTwo(2 * n - 1);
+  t.b_fft.assign(t.m, Complex(0, 0));
+  t.b_fft[0] = std::conj(t.chirp[0]);
   for (uint64_t j = 1; j < n; ++j) {
-    b[j] = b[m - j] = std::conj(chirp[j]);
+    t.b_fft[j] = t.b_fft[t.m - j] = std::conj(t.chirp[j]);
   }
+  FftPow2InPlace(&t.b_fft, /*inverse=*/false);
+  return cache.emplace(key, std::move(t)).first->second;
+}
+
+/// Bluestein's chirp-z transform: expresses an arbitrary-length DFT as a
+/// convolution, evaluated with power-of-two FFTs of length >= 2n-1. The
+/// input-independent half of the convolution comes from the per-size cache.
+std::vector<Complex> BluesteinDft(const std::vector<Complex>& x,
+                                  bool inverse) {
+  const uint64_t n = x.size();
+  const BluesteinTables& t = BluesteinTablesFor(n, inverse);
+  std::vector<Complex> a(t.m, Complex(0, 0));
+  for (uint64_t j = 0; j < n; ++j) a[j] = x[j] * t.chirp[j];
   FftPow2InPlace(&a, /*inverse=*/false);
-  FftPow2InPlace(&b, /*inverse=*/false);
-  for (uint64_t j = 0; j < m; ++j) a[j] *= b[j];
+  for (uint64_t j = 0; j < t.m; ++j) a[j] *= t.b_fft[j];
   FftPow2InPlace(&a, /*inverse=*/true);
   std::vector<Complex> result(n);
-  for (uint64_t j = 0; j < n; ++j) result[j] = a[j] * chirp[j];
+  for (uint64_t j = 0; j < n; ++j) result[j] = a[j] * t.chirp[j];
   return result;
 }
 
@@ -68,18 +120,21 @@ void FftPow2InPlace(std::vector<Complex>* x, bool inverse) {
     if (i < j) std::swap(a[i], a[j]);
   }
 
-  const double sign = inverse ? 1.0 : -1.0;
+  // Twiddles come from the cached per-size table (exact table lookup also
+  // avoids the rounding drift of the classic incremental w *= wlen chain);
+  // the inverse transform conjugates on read.
+  const std::vector<Complex>& tw = TwiddlesFor(n);
+  const double conj_sign = inverse ? -1.0 : 1.0;
   for (uint64_t len = 2; len <= n; len <<= 1) {
-    const double angle = sign * 2.0 * kPi / static_cast<double>(len);
-    const Complex wlen(std::cos(angle), std::sin(angle));
+    const uint64_t stride = n / len;
     for (uint64_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
       for (uint64_t j = 0; j < len / 2; ++j) {
+        const Complex& wj = tw[j * stride];
+        const Complex w(wj.real(), conj_sign * wj.imag());
         const Complex u = a[i + j];
         const Complex v = a[i + j + len / 2] * w;
         a[i + j] = u + v;
         a[i + j + len / 2] = u - v;
-        w *= wlen;
       }
     }
   }

@@ -5,16 +5,6 @@
 
 namespace sketch {
 
-uint64_t MulModMersenne61(uint64_t a, uint64_t b) {
-  const __uint128_t prod = static_cast<__uint128_t>(a) * b;
-  // Fold: prod = hi * 2^61 + lo, and 2^61 ≡ 1 (mod p).
-  uint64_t lo = static_cast<uint64_t>(prod) & kMersennePrime61;
-  uint64_t hi = static_cast<uint64_t>(prod >> 61);
-  uint64_t r = lo + hi;
-  if (r >= kMersennePrime61) r -= kMersennePrime61;
-  return r;
-}
-
 KWiseHash::KWiseHash(int independence, uint64_t seed) {
   SKETCH_CHECK(independence >= 1);
   coeffs_.resize(independence);
@@ -32,7 +22,7 @@ KWiseHash::KWiseHash(int independence, uint64_t seed) {
 }
 
 uint64_t KWiseHash::Hash(uint64_t x) const {
-  uint64_t xr = x % kMersennePrime61;
+  uint64_t xr = ReduceModMersenne61(x);
   // Horner evaluation from the highest-degree coefficient down.
   uint64_t acc = coeffs_.back();
   for (size_t i = coeffs_.size() - 1; i-- > 0;) {

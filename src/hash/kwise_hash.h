@@ -18,6 +18,29 @@ namespace sketch {
 /// The Mersenne prime 2^61 - 1 used as the hash field modulus.
 inline constexpr uint64_t kMersennePrime61 = (1ULL << 61) - 1;
 
+/// Modular multiplication a*b mod (2^61 - 1) via 128-bit product and
+/// Mersenne folding. Inline so the batched kernels (`src/kernels`) can keep
+/// it in registers; exact for all a, b < 2^64.
+inline uint64_t MulModMersenne61(uint64_t a, uint64_t b) {
+  const __uint128_t prod = static_cast<__uint128_t>(a) * b;
+  // Fold: prod = hi * 2^61 + lo, and 2^61 ≡ 1 (mod p).
+  uint64_t lo = static_cast<uint64_t>(prod) & kMersennePrime61;
+  uint64_t hi = static_cast<uint64_t>(prod >> 61);
+  uint64_t r = lo + hi;
+  if (r >= kMersennePrime61) r -= kMersennePrime61;
+  return r;
+}
+
+/// Reduces an arbitrary 64-bit value mod 2^61 - 1 without a hardware
+/// divide: x = hi * 2^61 + lo with hi < 8, and 2^61 ≡ 1 (mod p), so
+/// hi + lo < p + 8 needs at most one corrective subtraction. Bit-identical
+/// to `x % kMersennePrime61`.
+inline uint64_t ReduceModMersenne61(uint64_t x) {
+  uint64_t r = (x >> 61) + (x & kMersennePrime61);
+  if (r >= kMersennePrime61) r -= kMersennePrime61;
+  return r;
+}
+
 /// A k-wise independent hash function h : [2^61-1] -> [2^61-1], realized as
 /// a random polynomial of degree k-1 over GF(p), p = 2^61 - 1.
 ///
@@ -47,13 +70,14 @@ class KWiseHash {
 
   int independence() const { return static_cast<int>(coeffs_.size()); }
 
+  /// The polynomial coefficients (coefficients()[0] is the constant term).
+  /// Exposed so the batched kernels (`src/kernels/block_hasher.h`) can hoist
+  /// them out of the heap-allocated vector and into registers.
+  const std::vector<uint64_t>& coefficients() const { return coeffs_; }
+
  private:
   std::vector<uint64_t> coeffs_;  // coeffs_[0] is the constant term
 };
-
-/// Modular multiplication a*b mod (2^61 - 1) via 128-bit product and
-/// Mersenne folding. Exposed for reuse by tests and other hash utilities.
-uint64_t MulModMersenne61(uint64_t a, uint64_t b);
 
 }  // namespace sketch
 

@@ -1,0 +1,43 @@
+#include "kernels/block_hasher.h"
+
+#include "common/check.h"
+
+namespace sketch {
+
+BlockHasher::BlockHasher(const KWiseHash& hash)
+    : k_(hash.independence()), c_{0, 0, 0, 0}, coeffs_(hash.coefficients()) {
+  SKETCH_CHECK(k_ >= 1);
+  for (int i = 0; i < k_ && i < 4; ++i) {
+    c_[i] = coeffs_[static_cast<std::size_t>(i)];
+  }
+}
+
+uint64_t BlockHasher::HashGeneric(uint64_t key) const {
+  const uint64_t xr = ReduceModMersenne61(key);
+  uint64_t acc = coeffs_.back();
+  for (std::size_t i = coeffs_.size() - 1; i-- > 0;) {
+    acc = MulModMersenne61(acc, xr) + coeffs_[i];
+    if (acc >= kMersennePrime61) acc -= kMersennePrime61;
+  }
+  return acc;
+}
+
+void BlockHasher::HashBlock(const uint64_t* keys, std::size_t n,
+                            uint64_t* out) const {
+  ForEachHash(keys, n, [out](std::size_t i, uint64_t h) { out[i] = h; });
+}
+
+void BlockHasher::BucketBlock(const uint64_t* keys, std::size_t n,
+                              const FastDiv64& w, uint64_t* out) const {
+  ForEachHash(keys, n,
+              [out, &w](std::size_t i, uint64_t h) { out[i] = w.Mod(h); });
+}
+
+void BlockHasher::SignBlock(const uint64_t* keys, std::size_t n,
+                            int64_t* out) const {
+  ForEachHash(keys, n, [out](std::size_t i, uint64_t h) {
+    out[i] = (h & 1) ? +1 : -1;
+  });
+}
+
+}  // namespace sketch

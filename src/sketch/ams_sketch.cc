@@ -1,6 +1,7 @@
 #include "sketch/ams_sketch.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "common/byte_buffer.h"
 #include "common/check.h"
@@ -13,25 +14,25 @@ constexpr uint64_t kAmsMagic = 0x534b414d53303031ULL;  // "SKAMS001"
 }  // namespace
 
 AmsSketch::AmsSketch(uint64_t width, uint64_t depth, uint64_t seed)
-    : width_(width), depth_(depth), seed_(seed) {
+    : width_(width), depth_(depth), seed_(seed), width_div_(width) {
   SKETCH_CHECK(width >= 1);
   SKETCH_CHECK(depth >= 1);
   SKETCH_CHECK_MSG(width <= UINT64_MAX / depth,
                    "counter table width * depth overflows");
-  bucket_hashes_.reserve(depth);
-  sign_hashes_.reserve(depth);
+  bucket_rows_.reserve(depth);
+  sign_rows_.reserve(depth);
   for (uint64_t j = 0; j < depth; ++j) {
-    bucket_hashes_.emplace_back(2, SplitMix64Once(seed + 31 * j));
-    sign_hashes_.emplace_back(4, SplitMix64Once(~seed + 37 * j));
+    bucket_rows_.emplace_back(KWiseHash(2, SplitMix64Once(seed + 31 * j)));
+    sign_rows_.emplace_back(KWiseHash(4, SplitMix64Once(~seed + 37 * j)));
   }
   counters_.assign(width * depth, 0);
 }
 
 void AmsSketch::Update(const StreamUpdate& update) {
   for (uint64_t j = 0; j < depth_; ++j) {
-    const uint64_t b = bucket_hashes_[j].Bucket(update.item, width_);
+    const uint64_t b = bucket_rows_[j].BucketOne(update.item, width_div_);
     counters_[j * width_ + b] +=
-        sign_hashes_[j].Sign(update.item) * update.delta;
+        sign_rows_[j].SignOne(update.item) * update.delta;
   }
 }
 
@@ -40,7 +41,33 @@ void AmsSketch::UpdateAll(const std::vector<StreamUpdate>& updates) {
 }
 
 void AmsSketch::ApplyBatch(UpdateSpan updates) {
-  for (const StreamUpdate& u : updates) Update(u);
+  // Kernelized bulk path (see CountMinSketch::ApplyBatch); the 4-wise sign
+  // hash goes through the unrolled k=4 Horner kernel. Bit-identical to
+  // per-item Update() because addition commutes.
+  constexpr std::size_t kBlock = 256;
+  constexpr std::size_t kPrefetchAhead = 8;
+  uint64_t keys[kBlock];
+  uint64_t buckets[kBlock];
+  const FastDiv64 div = width_div_;  // local copy keeps the magic constant
+                                     // register-resident across the row loop
+  int64_t signs[kBlock];
+  const std::size_t total = updates.size();
+  for (std::size_t start = 0; start < total; start += kBlock) {
+    const std::size_t n = std::min(kBlock, total - start);
+    const StreamUpdate* block = updates.data() + start;
+    for (std::size_t i = 0; i < n; ++i) keys[i] = block[i].item;
+    for (uint64_t j = 0; j < depth_; ++j) {
+      bucket_rows_[j].BucketBlock(keys, n, div, buckets);
+      sign_rows_[j].SignBlock(keys, n, signs);
+      int64_t* row = counters_.data() + j * width_;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i + kPrefetchAhead < n) {
+          __builtin_prefetch(row + buckets[i + kPrefetchAhead], 1, 1);
+        }
+        row[buckets[i]] += signs[i] * block[i].delta;
+      }
+    }
+  }
 }
 
 double AmsSketch::EstimateF2() const {

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "hash/kwise_hash.h"
+#include "kernels/block_hasher.h"
+#include "kernels/fast_div.h"
 #include "stream/update.h"
 
 namespace sketch {
@@ -54,8 +56,11 @@ class AmsSketch {
   uint64_t width_;
   uint64_t depth_;
   uint64_t seed_;
-  std::vector<KWiseHash> bucket_hashes_;  // 2-wise
-  std::vector<KWiseHash> sign_hashes_;    // 4-wise (needed for variance bound)
+  FastDiv64 width_div_;                   // divide-free `% width_`
+  std::vector<BlockHasher> bucket_rows_;  // 2-wise
+  std::vector<BlockHasher> sign_rows_;    // 4-wise (needed for variance
+                                          // bound); hits the unrolled k=4
+                                          // kernel path
   std::vector<int64_t> counters_;
 };
 

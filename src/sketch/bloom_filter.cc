@@ -1,6 +1,8 @@
 #include "sketch/bloom_filter.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 #include "common/byte_buffer.h"
 #include "common/check.h"
@@ -13,12 +15,12 @@ constexpr uint64_t kBloomMagic = 0x534b424c4f4f4d31ULL;  // "SKBLOOM1"
 }  // namespace
 
 BloomFilter::BloomFilter(uint64_t num_bits, int num_hashes, uint64_t seed)
-    : num_bits_(num_bits), seed_(seed) {
+    : num_bits_(num_bits), seed_(seed), bits_div_(num_bits) {
   SKETCH_CHECK(num_bits >= 1);
   SKETCH_CHECK(num_hashes >= 1);
-  hashes_.reserve(num_hashes);
+  probes_.reserve(static_cast<std::size_t>(num_hashes));
   for (int i = 0; i < num_hashes; ++i) {
-    hashes_.emplace_back(2, SplitMix64Once(seed + 7919 * i));
+    probes_.emplace_back(KWiseHash(2, SplitMix64Once(seed + 7919 * i)));
   }
   bits_.assign((num_bits + 63) / 64, 0);
 }
@@ -38,33 +40,55 @@ BloomFilter BloomFilter::FromFalsePositiveRate(uint64_t expected_keys,
 }
 
 void BloomFilter::Insert(uint64_t key) {
-  for (const KWiseHash& h : hashes_) {
-    const uint64_t bit = h.Bucket(key, num_bits_);
+  for (const BlockHasher& h : probes_) {
+    const uint64_t bit = h.BucketOne(key, bits_div_);
     bits_[bit >> 6] |= (1ULL << (bit & 63));
   }
 }
 
 bool BloomFilter::MayContain(uint64_t key) const {
-  for (const KWiseHash& h : hashes_) {
-    const uint64_t bit = h.Bucket(key, num_bits_);
+  for (const BlockHasher& h : probes_) {
+    const uint64_t bit = h.BucketOne(key, bits_div_);
     if (!(bits_[bit >> 6] & (1ULL << (bit & 63)))) return false;
   }
   return true;
 }
 
 void BloomFilter::ApplyBatch(UpdateSpan updates) {
-  for (const StreamUpdate& u : updates) Insert(u.item);
+  // Kernelized bulk path: per block, each probe hash batch-computes its bit
+  // positions and sets them contiguously. Bitwise OR commutes, so the bit
+  // array is identical to per-item Insert() calls.
+  constexpr std::size_t kBlock = 256;
+  uint64_t keys[kBlock];
+  const std::size_t total = updates.size();
+  uint64_t* bits = bits_.data();
+  const FastDiv64 div = bits_div_;  // local copy: the bit stores below
+                                    // cannot alias a stack value, so the
+                                    // magic constant stays in registers
+  for (std::size_t start = 0; start < total; start += kBlock) {
+    const std::size_t n = std::min(kBlock, total - start);
+    const StreamUpdate* block = updates.data() + start;
+    for (std::size_t i = 0; i < n; ++i) keys[i] = block[i].item;
+    for (const BlockHasher& h : probes_) {
+      // The bit store is a single cheap op, so it is fused into the hash
+      // loop rather than staged through an intermediate position array.
+      h.ForEachHash(keys, n, [bits, div](std::size_t, uint64_t hash) {
+        const uint64_t bit = div.Mod(hash);
+        bits[bit >> 6] |= (1ULL << (bit & 63));
+      });
+    }
+  }
 }
 
 void BloomFilter::Merge(const BloomFilter& other) {
   SKETCH_CHECK_MSG(num_bits_ == other.num_bits_ && seed_ == other.seed_ &&
-                       hashes_.size() == other.hashes_.size(),
+                       probes_.size() == other.probes_.size(),
                    "merge requires identical geometry and seed");
   for (size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
 }
 
 double BloomFilter::TheoreticalFpr(uint64_t inserted_keys) const {
-  const double k = static_cast<double>(hashes_.size());
+  const double k = static_cast<double>(probes_.size());
   const double exponent = -k * static_cast<double>(inserted_keys) /
                           static_cast<double>(num_bits_);
   return std::pow(1.0 - std::exp(exponent), k);
@@ -82,7 +106,7 @@ std::vector<uint8_t> BloomFilter::Serialize() const {
   out.reserve(40 + bits_.size() * 8);
   AppendU64(kBloomMagic, &out);
   AppendU64(num_bits_, &out);
-  AppendU64(static_cast<uint64_t>(hashes_.size()), &out);
+  AppendU64(static_cast<uint64_t>(probes_.size()), &out);
   AppendU64(seed_, &out);
   for (uint64_t word : bits_) AppendU64(word, &out);
   return out;

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "hash/kwise_hash.h"
+#include "kernels/block_hasher.h"
+#include "kernels/fast_div.h"
 #include "stream/update.h"
 
 namespace sketch {
@@ -47,7 +49,7 @@ class BloomFilter {
   double TheoreticalFpr(uint64_t inserted_keys) const;
 
   uint64_t num_bits() const { return num_bits_; }
-  int num_hashes() const { return static_cast<int>(hashes_.size()); }
+  int num_hashes() const { return static_cast<int>(probes_.size()); }
   uint64_t seed() const { return seed_; }
 
   /// Fraction of bits currently set (diagnostic).
@@ -64,8 +66,9 @@ class BloomFilter {
  private:
   uint64_t num_bits_;
   uint64_t seed_;
-  std::vector<KWiseHash> hashes_;
-  std::vector<uint64_t> bits_;  // packed, 64 bits per word
+  FastDiv64 bits_div_;               // divide-free `% num_bits_`
+  std::vector<BlockHasher> probes_;  // one 2-wise hash per probe
+  std::vector<uint64_t> bits_;       // packed, 64 bits per word
 };
 
 }  // namespace sketch

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 #include "common/byte_buffer.h"
 #include "common/check.h"
@@ -14,18 +15,20 @@ constexpr uint64_t kCountMinMagic = 0x534b434d494e3031ULL;  // "SKCMIN01"
 }  // namespace
 
 CountMinSketch::CountMinSketch(uint64_t width, uint64_t depth, uint64_t seed)
-    : width_(width), depth_(depth), seed_(seed) {
+    : width_(width), depth_(depth), seed_(seed), width_div_(width) {
   SKETCH_CHECK(width >= 1);
   SKETCH_CHECK(depth >= 1);
   SKETCH_CHECK_MSG(width <= UINT64_MAX / depth,
                    "counter table width * depth overflows");
-  hashes_.reserve(depth);
+  rows_.reserve(depth);
   for (uint64_t j = 0; j < depth; ++j) {
     // Seed derivation must match MakeCountMinMatrix/HashedRecovery so the
     // sketch and its explicit matrix form implement the same linear map.
-    hashes_.emplace_back(/*independence=*/2, SplitMix64Once(seed * 2 + j));
+    rows_.emplace_back(KWiseHash(/*independence=*/2,
+                                 SplitMix64Once(seed * 2 + j)));
   }
   counters_.assign(width * depth, 0);
+  bucket_scratch_.assign(depth, 0);
 }
 
 CountMinSketch CountMinSketch::FromErrorBounds(double eps, double delta,
@@ -39,7 +42,7 @@ CountMinSketch CountMinSketch::FromErrorBounds(double eps, double delta,
 
 void CountMinSketch::Update(const StreamUpdate& update) {
   for (uint64_t j = 0; j < depth_; ++j) {
-    counters_[j * width_ + hashes_[j].Bucket(update.item, width_)] +=
+    counters_[j * width_ + rows_[j].BucketOne(update.item, width_div_)] +=
         update.delta;
   }
 }
@@ -49,24 +52,59 @@ void CountMinSketch::UpdateAll(const std::vector<StreamUpdate>& updates) {
 }
 
 void CountMinSketch::ApplyBatch(UpdateSpan updates) {
-  for (const StreamUpdate& u : updates) Update(u);
+  // Kernelized bulk path: structure-of-arrays traversal. For each block of
+  // updates, one row's buckets are computed in a batch (BlockHasher) and
+  // applied contiguously before moving to the next row, so the hash
+  // coefficients stay in registers and each row's counter lines are
+  // touched together. Counter addition commutes, so the final table — and
+  // therefore Serialize() — is bit-identical to per-item Update() calls.
+  constexpr std::size_t kBlock = 256;
+  constexpr std::size_t kPrefetchAhead = 8;
+  uint64_t keys[kBlock];
+  uint64_t buckets[kBlock];
+  const FastDiv64 div = width_div_;  // local copy keeps the magic constant
+                                     // register-resident across the row loop
+  const std::size_t total = updates.size();
+  for (std::size_t start = 0; start < total; start += kBlock) {
+    const std::size_t n = std::min(kBlock, total - start);
+    const StreamUpdate* block = updates.data() + start;
+    for (std::size_t i = 0; i < n; ++i) keys[i] = block[i].item;
+    for (uint64_t j = 0; j < depth_; ++j) {
+      rows_[j].BucketBlock(keys, n, div, buckets);
+      int64_t* row = counters_.data() + j * width_;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i + kPrefetchAhead < n) {
+          __builtin_prefetch(row + buckets[i + kPrefetchAhead], 1, 1);
+        }
+        row[buckets[i]] += block[i].delta;
+      }
+    }
+  }
 }
 
 void CountMinSketch::UpdateConservative(uint64_t item, int64_t delta) {
   SKETCH_CHECK(delta > 0);
-  const int64_t target = Estimate(item) + delta;
+  // Hash each row exactly once: the bucket feeds both the min-read (what
+  // Estimate() would recompute) and the conservative write-back.
+  int64_t estimate = 0;
   for (uint64_t j = 0; j < depth_; ++j) {
-    int64_t& counter =
-        counters_[j * width_ + hashes_[j].Bucket(item, width_)];
+    const uint64_t b = rows_[j].BucketOne(item, width_div_);
+    bucket_scratch_[j] = b;
+    const int64_t c = counters_[j * width_ + b];
+    estimate = (j == 0) ? c : std::min(estimate, c);
+  }
+  const int64_t target = estimate + delta;
+  for (uint64_t j = 0; j < depth_; ++j) {
+    int64_t& counter = counters_[j * width_ + bucket_scratch_[j]];
     counter = std::max(counter, target);
   }
 }
 
 int64_t CountMinSketch::Estimate(uint64_t item) const {
-  int64_t best = counters_[hashes_[0].Bucket(item, width_)];
+  int64_t best = counters_[rows_[0].BucketOne(item, width_div_)];
   for (uint64_t j = 1; j < depth_; ++j) {
-    best = std::min(best,
-                    counters_[j * width_ + hashes_[j].Bucket(item, width_)]);
+    best = std::min(
+        best, counters_[j * width_ + rows_[j].BucketOne(item, width_div_)]);
   }
   return best;
 }

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "hash/kwise_hash.h"
+#include "kernels/block_hasher.h"
+#include "kernels/fast_div.h"
 #include "stream/update.h"
 
 namespace sketch {
@@ -76,7 +78,7 @@ class CountMinSketch {
   /// sensing layer can reconstruct the measurement matrix this sketch
   /// implements.
   uint64_t BucketOf(uint64_t row, uint64_t item) const {
-    return hashes_[row].Bucket(item, width_);
+    return rows_[row].BucketOne(item, width_div_);
   }
 
   /// Raw counter (row-major); exposed for tests and recovery algorithms.
@@ -96,8 +98,11 @@ class CountMinSketch {
   uint64_t width_;
   uint64_t depth_;
   uint64_t seed_;
-  std::vector<KWiseHash> hashes_;   // one 2-wise hash per row
-  std::vector<int64_t> counters_;  // row-major depth x width
+  FastDiv64 width_div_;             // divide-free `% width_`
+  std::vector<BlockHasher> rows_;   // one 2-wise hash per row, batched form
+  std::vector<int64_t> counters_;   // row-major depth x width
+  std::vector<uint64_t> bucket_scratch_;  // per-row buckets of one item
+                                          // (UpdateConservative)
 };
 
 }  // namespace sketch

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 #include "common/byte_buffer.h"
 #include "common/check.h"
@@ -14,16 +15,17 @@ constexpr uint64_t kCountSketchMagic = 0x534b43534b543031ULL;  // "SKCSKT01"
 }  // namespace
 
 CountSketch::CountSketch(uint64_t width, uint64_t depth, uint64_t seed)
-    : width_(width), depth_(depth), seed_(seed) {
+    : width_(width), depth_(depth), seed_(seed), width_div_(width) {
   SKETCH_CHECK(width >= 1);
   SKETCH_CHECK(depth >= 1);
   SKETCH_CHECK_MSG(width <= UINT64_MAX / depth,
                    "counter table width * depth overflows");
-  bucket_hashes_.reserve(depth);
-  sign_hashes_.reserve(depth);
+  bucket_rows_.reserve(depth);
+  sign_rows_.reserve(depth);
   for (uint64_t j = 0; j < depth; ++j) {
-    bucket_hashes_.emplace_back(2, SplitMix64Once(seed * 2 + j));
-    sign_hashes_.emplace_back(2, SplitMix64Once(~seed * 2 + j + 0x9e37ULL));
+    bucket_rows_.emplace_back(KWiseHash(2, SplitMix64Once(seed * 2 + j)));
+    sign_rows_.emplace_back(
+        KWiseHash(2, SplitMix64Once(~seed * 2 + j + 0x9e37ULL)));
   }
   counters_.assign(width * depth, 0);
 }
@@ -41,9 +43,9 @@ CountSketch CountSketch::FromErrorBounds(double eps, double delta,
 
 void CountSketch::Update(const StreamUpdate& update) {
   for (uint64_t j = 0; j < depth_; ++j) {
-    const uint64_t b = bucket_hashes_[j].Bucket(update.item, width_);
+    const uint64_t b = bucket_rows_[j].BucketOne(update.item, width_div_);
     counters_[j * width_ + b] +=
-        sign_hashes_[j].Sign(update.item) * update.delta;
+        sign_rows_[j].SignOne(update.item) * update.delta;
   }
 }
 
@@ -52,12 +54,39 @@ void CountSketch::UpdateAll(const std::vector<StreamUpdate>& updates) {
 }
 
 void CountSketch::ApplyBatch(UpdateSpan updates) {
-  for (const StreamUpdate& u : updates) Update(u);
+  // Kernelized bulk path (see CountMinSketch::ApplyBatch): per block, each
+  // row batch-computes its buckets and signs, then applies the signed
+  // deltas contiguously. Addition commutes, so the counter table is
+  // bit-identical to per-item Update() calls.
+  constexpr std::size_t kBlock = 256;
+  constexpr std::size_t kPrefetchAhead = 8;
+  uint64_t keys[kBlock];
+  uint64_t buckets[kBlock];
+  const FastDiv64 div = width_div_;  // local copy keeps the magic constant
+                                     // register-resident across the row loop
+  int64_t signs[kBlock];
+  const std::size_t total = updates.size();
+  for (std::size_t start = 0; start < total; start += kBlock) {
+    const std::size_t n = std::min(kBlock, total - start);
+    const StreamUpdate* block = updates.data() + start;
+    for (std::size_t i = 0; i < n; ++i) keys[i] = block[i].item;
+    for (uint64_t j = 0; j < depth_; ++j) {
+      bucket_rows_[j].BucketBlock(keys, n, div, buckets);
+      sign_rows_[j].SignBlock(keys, n, signs);
+      int64_t* row = counters_.data() + j * width_;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i + kPrefetchAhead < n) {
+          __builtin_prefetch(row + buckets[i + kPrefetchAhead], 1, 1);
+        }
+        row[buckets[i]] += signs[i] * block[i].delta;
+      }
+    }
+  }
 }
 
 int64_t CountSketch::EstimateRow(uint64_t row, uint64_t item) const {
-  const uint64_t b = bucket_hashes_[row].Bucket(item, width_);
-  return sign_hashes_[row].Sign(item) * counters_[row * width_ + b];
+  const uint64_t b = bucket_rows_[row].BucketOne(item, width_div_);
+  return sign_rows_[row].SignOne(item) * counters_[row * width_ + b];
 }
 
 int64_t CountSketch::Estimate(uint64_t item) const {

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "hash/kwise_hash.h"
+#include "kernels/block_hasher.h"
+#include "kernels/fast_div.h"
 #include "stream/update.h"
 
 namespace sketch {
@@ -63,10 +65,10 @@ class CountSketch {
   /// Bucket / sign of an item in a row; exposed for the measurement-matrix
   /// view used by `src/cs` and `src/dimred`.
   uint64_t BucketOf(uint64_t row, uint64_t item) const {
-    return bucket_hashes_[row].Bucket(item, width_);
+    return bucket_rows_[row].BucketOne(item, width_div_);
   }
   int SignOf(uint64_t row, uint64_t item) const {
-    return sign_hashes_[row].Sign(item);
+    return static_cast<int>(sign_rows_[row].SignOne(item));
   }
 
   int64_t CounterAt(uint64_t row, uint64_t bucket) const {
@@ -85,8 +87,9 @@ class CountSketch {
   uint64_t width_;
   uint64_t depth_;
   uint64_t seed_;
-  std::vector<KWiseHash> bucket_hashes_;
-  std::vector<KWiseHash> sign_hashes_;
+  FastDiv64 width_div_;                  // divide-free `% width_`
+  std::vector<BlockHasher> bucket_rows_;  // one 2-wise bucket hash per row
+  std::vector<BlockHasher> sign_rows_;    // one 2-wise sign hash per row
   std::vector<int64_t> counters_;
 };
 

@@ -1,6 +1,7 @@
 #include "sketch/dyadic_count_min.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "common/check.h"
 #include "common/prng.h"
@@ -31,7 +32,30 @@ void DyadicCountMin::UpdateAll(const std::vector<StreamUpdate>& updates) {
 }
 
 void DyadicCountMin::ApplyBatch(UpdateSpan updates) {
-  for (const StreamUpdate& u : updates) Update(u);
+  // Level-major traversal: per block of updates, build each level's prefix
+  // block once and hand it to that level's kernelized CountMin ApplyBatch.
+  // This keeps one level's hash coefficients and counter rows hot instead
+  // of cycling through all `log_universe_` levels per item. Bit-identical
+  // to per-item Update() because counter addition commutes.
+  constexpr std::size_t kBlock = 256;
+  StreamUpdate prefixes[kBlock];
+  const std::size_t total = updates.size();
+  for (std::size_t start = 0; start < total; start += kBlock) {
+    const std::size_t n = std::min(kBlock, total - start);
+    const StreamUpdate* block = updates.data() + start;
+    for (std::size_t i = 0; i < n; ++i) {
+      SKETCH_DCHECK(block[i].item < (1ULL << log_universe_));
+      total_ += block[i].delta;
+    }
+    for (int l = 1; l <= log_universe_; ++l) {
+      const int shift = log_universe_ - l;
+      for (std::size_t i = 0; i < n; ++i) {
+        prefixes[i] = {block[i].item >> shift, block[i].delta};
+      }
+      levels_[static_cast<std::size_t>(l - 1)].ApplyBatch(
+          UpdateSpan(prefixes, n));
+    }
+  }
 }
 
 int64_t DyadicCountMin::Estimate(uint64_t item) const {

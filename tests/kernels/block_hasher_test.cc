@@ -1,0 +1,132 @@
+// BlockHasher must be bit-identical to the scalar KWiseHash it snapshots:
+// same hashes, same buckets, same signs, for every independence k (the
+// unrolled k=2/k=4 paths and the generic fallback), every block length
+// (including tails shorter than the 4-way unroll), and adversarial keys
+// around the Mersenne-fold boundaries.
+
+#include "kernels/block_hasher.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "hash/kwise_hash.h"
+#include "kernels/fast_div.h"
+
+namespace sketch {
+namespace {
+
+std::vector<uint64_t> TestKeys(uint64_t seed, std::size_t n) {
+  std::vector<uint64_t> keys = {0,
+                                1,
+                                2,
+                                kMersennePrime61 - 1,
+                                kMersennePrime61,
+                                kMersennePrime61 + 1,
+                                2 * kMersennePrime61,
+                                UINT64_MAX,
+                                UINT64_MAX - 1};
+  Xoshiro256StarStar rng(seed);
+  while (keys.size() < n) keys.push_back(rng.Next());
+  return keys;
+}
+
+TEST(BlockHasherTest, HashOneMatchesScalarForAllIndependence) {
+  for (int k = 1; k <= 6; ++k) {
+    for (uint64_t seed : {0ULL, 1ULL, 42ULL, 0xdeadbeefULL}) {
+      const KWiseHash scalar(k, seed);
+      const BlockHasher kernel(scalar);
+      ASSERT_EQ(kernel.independence(), k);
+      for (uint64_t key : TestKeys(seed + static_cast<uint64_t>(k), 2000)) {
+        ASSERT_EQ(kernel.HashOne(key), scalar.Hash(key))
+            << "k=" << k << " seed=" << seed << " key=" << key;
+      }
+    }
+  }
+}
+
+TEST(BlockHasherTest, BucketOneMatchesScalarAcrossWidths) {
+  for (int k : {2, 4}) {
+    const KWiseHash scalar(k, 99);
+    const BlockHasher kernel(scalar);
+    for (uint64_t width : {1ULL, 2ULL, 3ULL, 7ULL, 256ULL, 2719ULL,
+                           1000003ULL, (1ULL << 61) - 1}) {
+      const FastDiv64 div(width);
+      for (uint64_t key : TestKeys(width, 500)) {
+        ASSERT_EQ(kernel.BucketOne(key, div), scalar.Bucket(key, width))
+            << "k=" << k << " width=" << width << " key=" << key;
+      }
+    }
+  }
+}
+
+TEST(BlockHasherTest, SignOneMatchesScalar) {
+  for (int k : {2, 4}) {
+    const KWiseHash scalar(k, 7);
+    const BlockHasher kernel(scalar);
+    for (uint64_t key : TestKeys(13, 2000)) {
+      ASSERT_EQ(kernel.SignOne(key), scalar.Sign(key));
+    }
+  }
+}
+
+TEST(BlockHasherTest, BlockMethodsMatchScalarElementwise) {
+  // Block lengths straddle the 4-way unroll boundary and the 256-key
+  // sketch block size.
+  const std::size_t lengths[] = {0, 1, 2, 3, 4, 5, 7, 8, 255, 256, 257};
+  for (int k = 1; k <= 5; ++k) {
+    const KWiseHash scalar(k, 1234 + static_cast<uint64_t>(k));
+    const BlockHasher kernel(scalar);
+    const FastDiv64 div(2719);
+    for (std::size_t n : lengths) {
+      const std::vector<uint64_t> keys = TestKeys(n, n);
+      std::vector<uint64_t> hashes(n + 1, ~0ULL);
+      std::vector<uint64_t> buckets(n + 1, ~0ULL);
+      std::vector<int64_t> signs(n + 1, 0);
+      kernel.HashBlock(keys.data(), n, hashes.data());
+      kernel.BucketBlock(keys.data(), n, div, buckets.data());
+      kernel.SignBlock(keys.data(), n, signs.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hashes[i], scalar.Hash(keys[i])) << "k=" << k << " i=" << i;
+        ASSERT_EQ(buckets[i], scalar.Bucket(keys[i], 2719));
+        ASSERT_EQ(signs[i], scalar.Sign(keys[i]));
+      }
+      // The block kernels must not write past n.
+      EXPECT_EQ(hashes[n], ~0ULL);
+      EXPECT_EQ(buckets[n], ~0ULL);
+      EXPECT_EQ(signs[n], 0);
+    }
+  }
+}
+
+TEST(BlockHasherTest, ForEachHashVisitsEveryIndexOnce) {
+  const KWiseHash scalar(2, 5);
+  const BlockHasher kernel(scalar);
+  const std::vector<uint64_t> keys = TestKeys(5, 259);
+  std::vector<int> visits(keys.size(), 0);
+  kernel.ForEachHash(keys.data(), keys.size(),
+                     [&](std::size_t i, uint64_t h) {
+                       ASSERT_LT(i, keys.size());
+                       ASSERT_EQ(h, scalar.Hash(keys[i]));
+                       ++visits[i];
+                     });
+  for (int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(BlockHasherTest, CopyIsIndependentOfSourceHash) {
+  // The snapshot must not dangle: the BlockHasher keeps working after the
+  // source KWiseHash is gone.
+  BlockHasher kernel = [] {
+    const KWiseHash temp(4, 321);
+    return BlockHasher(temp);
+  }();
+  const KWiseHash reference(4, 321);
+  for (uint64_t key : TestKeys(17, 100)) {
+    EXPECT_EQ(kernel.HashOne(key), reference.Hash(key));
+  }
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,109 @@
+// FastDiv64 exactness tests: the magic-number reduction must agree with
+// the hardware `%` and `/` for EVERY divisor >= 1 and every 64-bit input.
+// The sketches rely on this unconditionally — a single wrong bucket would
+// silently corrupt bit-exactness of the kernelized update path — so the
+// divisors below concentrate on the boundary cases of the mulhi proof:
+// 1, 2, powers of two, 2^k ± 1, and large primes where the correction
+// subtract fires most often.
+
+#include "kernels/fast_div.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+
+namespace sketch {
+namespace {
+
+// Edge inputs exercised for every divisor: wrap points of q̂ = mulhi(x, m)
+// sit at multiples of the divisor and at the extremes of the 64-bit range.
+std::vector<uint64_t> EdgeInputs(uint64_t divisor) {
+  std::vector<uint64_t> xs = {0,    1,          2,
+                              62,   63,         64,
+                              1000, UINT64_MAX, UINT64_MAX - 1,
+                              UINT64_MAX / 2,   UINT64_MAX / 2 + 1};
+  for (uint64_t mult : {1ULL, 2ULL, 3ULL, 1000ULL}) {
+    if (divisor > UINT64_MAX / mult) break;
+    const uint64_t m = divisor * mult;
+    xs.push_back(m);
+    xs.push_back(m - 1);
+    if (m != UINT64_MAX) xs.push_back(m + 1);
+  }
+  return xs;
+}
+
+void ExpectExactForDivisor(uint64_t divisor, uint64_t rng_seed) {
+  const FastDiv64 div(divisor);
+  EXPECT_EQ(div.divisor(), divisor);
+  for (uint64_t x : EdgeInputs(divisor)) {
+    ASSERT_EQ(div.Mod(x), x % divisor) << "x=" << x << " d=" << divisor;
+    ASSERT_EQ(div.Div(x), x / divisor) << "x=" << x << " d=" << divisor;
+  }
+  Xoshiro256StarStar rng(rng_seed);
+  for (int i = 0; i < 4096; ++i) {
+    const uint64_t x = rng.Next();
+    ASSERT_EQ(div.Mod(x), x % divisor) << "x=" << x << " d=" << divisor;
+    ASSERT_EQ(div.Div(x), x / divisor) << "x=" << x << " d=" << divisor;
+  }
+}
+
+TEST(FastDiv64Test, DivisorOneAndTwo) {
+  ExpectExactForDivisor(1, 101);
+  ExpectExactForDivisor(2, 102);
+}
+
+TEST(FastDiv64Test, AllPowersOfTwo) {
+  for (int k = 0; k < 64; ++k) {
+    ExpectExactForDivisor(1ULL << k, 200 + static_cast<uint64_t>(k));
+  }
+}
+
+TEST(FastDiv64Test, PowersOfTwoPlusMinusOne) {
+  for (int k = 1; k < 64; ++k) {
+    ExpectExactForDivisor((1ULL << k) - 1, 300 + static_cast<uint64_t>(k));
+    if (k < 63) {
+      ExpectExactForDivisor((1ULL << k) + 1, 400 + static_cast<uint64_t>(k));
+    }
+  }
+  ExpectExactForDivisor(UINT64_MAX, 499);  // 2^64 - 1
+}
+
+TEST(FastDiv64Test, LargePrimes) {
+  const uint64_t primes[] = {
+      1000000007ULL,           // common 32-bit prime
+      4294967291ULL,           // largest prime below 2^32
+      (1ULL << 61) - 1,        // Mersenne prime used by the hash field
+      9223372036854775783ULL,  // largest prime below 2^63
+      18446744073709551557ULL  // largest 64-bit prime
+  };
+  uint64_t seed = 500;
+  for (uint64_t p : primes) ExpectExactForDivisor(p, seed++);
+}
+
+TEST(FastDiv64Test, TypicalSketchWidths) {
+  // The widths sketches actually construct: small tables, benchmark
+  // geometries, and odd non-power-of-two widths from FromErrorBounds.
+  const uint64_t widths[] = {3,    5,    7,     10,     100,   272,
+                             1024, 2719, 65536, 262144, 1000000};
+  uint64_t seed = 600;
+  for (uint64_t w : widths) ExpectExactForDivisor(w, seed++);
+}
+
+TEST(FastDiv64Test, RandomDivisors) {
+  Xoshiro256StarStar rng(777);
+  for (int i = 0; i < 256; ++i) {
+    const uint64_t divisor = rng.Next() | 1;  // avoid zero
+    const FastDiv64 div(divisor);
+    for (int j = 0; j < 64; ++j) {
+      const uint64_t x = rng.Next();
+      ASSERT_EQ(div.Mod(x), x % divisor) << "x=" << x << " d=" << divisor;
+      ASSERT_EQ(div.Div(x), x / divisor) << "x=" << x << " d=" << divisor;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,142 @@
+// Kernel-path bit-exactness property tests: for every sketch whose
+// ApplyBatch routes through the batched hashing kernels, the batch path
+// must produce the SAME sketch as the scalar per-item path — not close,
+// identical. Serialize() bytes are compared where available (CountMin,
+// CountSketch, AMS, Bloom); DyadicCountMin (no serializer) is compared
+// through exhaustive point estimates and range sums. Geometries, seeds,
+// and streams are randomized, with turnstile streams so deletions are
+// exercised too.
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "stream/update.h"
+#include "sketch/ams_sketch.h"
+#include "sketch/bloom_filter.h"
+#include "sketch/count_min.h"
+#include "sketch/count_sketch.h"
+#include "sketch/dyadic_count_min.h"
+#include "stream/generators.h"
+
+namespace sketch {
+namespace {
+
+constexpr uint64_t kUniverse = 1 << 16;
+constexpr uint64_t kStreamLength = 30000;
+
+std::vector<StreamUpdate> TurnstileStream(uint64_t seed) {
+  return MakeTurnstileStream(kUniverse, 1.1, kStreamLength,
+                             /*delete_fraction=*/0.3, seed);
+}
+
+// Random non-power-of-two-friendly geometry: widths land on primes,
+// powers of two, and arbitrary values so FastDiv64 sees varied divisors.
+struct Geometry {
+  uint64_t width;
+  uint64_t depth;
+  uint64_t seed;
+};
+
+std::vector<Geometry> RandomGeometries(uint64_t seed) {
+  const uint64_t widths[] = {1, 2, 3, 64, 100, 2719, 4096, 65537};
+  std::vector<Geometry> out;
+  Xoshiro256StarStar rng(seed);
+  for (uint64_t w : widths) {
+    out.push_back({w, 1 + rng.NextBounded(6), rng.Next()});
+  }
+  return out;
+}
+
+template <typename S>
+void ExpectSerializedBytesMatch(const char* name) {
+  for (uint64_t trial = 0; trial < 4; ++trial) {
+    for (const Geometry& g : RandomGeometries(1000 + trial)) {
+      const std::vector<StreamUpdate> stream = TurnstileStream(trial * 31 + g.width);
+      S scalar(g.width, g.depth, g.seed);
+      S kernel(g.width, g.depth, g.seed);
+      for (const StreamUpdate& u : stream) scalar.Update(u);
+      kernel.ApplyBatch(stream);
+      ASSERT_EQ(scalar.Serialize(), kernel.Serialize())
+          << name << " diverged: width=" << g.width << " depth=" << g.depth
+          << " seed=" << g.seed << " trial=" << trial;
+    }
+  }
+}
+
+TEST(KernelBitExactTest, CountMinSerializeMatchesScalar) {
+  ExpectSerializedBytesMatch<CountMinSketch>("CountMinSketch");
+}
+
+TEST(KernelBitExactTest, CountSketchSerializeMatchesScalar) {
+  ExpectSerializedBytesMatch<CountSketch>("CountSketch");
+}
+
+TEST(KernelBitExactTest, AmsSerializeMatchesScalar) {
+  ExpectSerializedBytesMatch<AmsSketch>("AmsSketch");
+}
+
+TEST(KernelBitExactTest, BloomSerializeMatchesScalar) {
+  for (uint64_t trial = 0; trial < 4; ++trial) {
+    const std::vector<StreamUpdate> stream =
+        MakeZipfStream(kUniverse, 1.1, kStreamLength, 900 + trial);
+    for (int num_hashes : {1, 3, 7}) {
+      for (uint64_t num_bits : {1ULL, 63ULL, 64ULL, 65536ULL, 100003ULL}) {
+        BloomFilter scalar(num_bits, num_hashes, trial * 17 + num_bits);
+        BloomFilter kernel(num_bits, num_hashes, trial * 17 + num_bits);
+        for (const StreamUpdate& u : stream) scalar.Insert(u.item);
+        kernel.ApplyBatch(stream);
+        ASSERT_EQ(scalar.Serialize(), kernel.Serialize())
+            << "BloomFilter diverged: bits=" << num_bits
+            << " hashes=" << num_hashes << " trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST(KernelBitExactTest, DyadicEstimatesMatchScalar) {
+  for (uint64_t trial = 0; trial < 3; ++trial) {
+    const std::vector<StreamUpdate> stream = TurnstileStream(700 + trial);
+    DyadicCountMin scalar(/*log_universe=*/16, 512, 3, 55 + trial);
+    DyadicCountMin kernel(/*log_universe=*/16, 512, 3, 55 + trial);
+    for (const StreamUpdate& u : stream) scalar.Update(u);
+    kernel.ApplyBatch(stream);
+    Xoshiro256StarStar rng(trial);
+    for (int probe = 0; probe < 4096; ++probe) {
+      const uint64_t item = rng.NextBounded(kUniverse);
+      ASSERT_EQ(scalar.Estimate(item), kernel.Estimate(item))
+          << "item=" << item << " trial=" << trial;
+    }
+    for (int probe = 0; probe < 256; ++probe) {
+      uint64_t lo = rng.NextBounded(kUniverse);
+      uint64_t hi = rng.NextBounded(kUniverse);
+      if (lo > hi) std::swap(lo, hi);
+      ASSERT_EQ(scalar.RangeSum(lo, hi), kernel.RangeSum(lo, hi));
+    }
+  }
+}
+
+TEST(KernelBitExactTest, BatchSplitsAgreeWithWholeStream) {
+  // Applying the stream as many small ApplyBatch calls (forcing partial
+  // tail blocks inside the kernels) must equal one whole-stream call.
+  const std::vector<StreamUpdate> stream = TurnstileStream(321);
+  CountMinSketch whole(2719, 5, 9);
+  CountMinSketch pieces(2719, 5, 9);
+  whole.ApplyBatch(stream);
+  Xoshiro256StarStar rng(8);
+  std::size_t pos = 0;
+  while (pos < stream.size()) {
+    const std::size_t len =
+        std::min<std::size_t>(1 + rng.NextBounded(700), stream.size() - pos);
+    pieces.ApplyBatch(UpdateSpan(stream.data() + pos, len));
+    pos += len;
+  }
+  EXPECT_EQ(whole.Serialize(), pieces.Serialize());
+}
+
+}  // namespace
+}  // namespace sketch

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Run the update-throughput benchmark and gate on regressions.
+
+Two modes:
+
+  run      Execute a google-benchmark binary (default: the update-throughput
+           benchmark) with JSON output and write a normalized snapshot,
+           BENCH_update_throughput.json, recording items/sec per benchmark.
+
+  compare  Diff a current snapshot against a committed baseline and exit
+           nonzero if any benchmark's items/sec dropped by more than the
+           threshold (default 10%). Benchmarks present in the baseline but
+           missing from the current run also fail — a silently deleted
+           benchmark must not pass the gate.
+
+Typical usage:
+
+  python3 tools/bench_compare.py run \
+      --binary build/bench/bench_update_throughput \
+      --out BENCH_update_throughput.json
+  python3 tools/bench_compare.py compare \
+      --baseline bench/baselines/BENCH_update_throughput.json \
+      --current BENCH_update_throughput.json --threshold 0.10
+
+Baselines are machine-specific: regenerate bench/baselines/ with `run` on
+the benchmark host when the expected performance legitimately changes, and
+commit the new snapshot alongside the change that caused it.
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def run_benchmark(binary, min_time, repetitions, bench_filter):
+    """Runs a google-benchmark binary, returns its parsed JSON report."""
+    cmd = [
+        binary,
+        "--benchmark_format=json",
+        "--benchmark_min_time={}".format(min_time),
+        "--benchmark_repetitions={}".format(repetitions),
+    ]
+    if bench_filter:
+        cmd.append("--benchmark_filter={}".format(bench_filter))
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, check=True)
+    return json.loads(proc.stdout.decode("utf-8"))
+
+
+def normalize(report):
+    """Normalized snapshot: benchmark name -> metrics we gate on.
+
+    Repetitions of the same benchmark are collapsed to the best observed
+    throughput — best-of-N is the standard noise filter for throughput
+    benchmarks on shared hosts, where slowdowns are one-sided (scheduler
+    interference can only make a run slower, never faster).
+    """
+    benchmarks = {}
+    for entry in report.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        name = entry["name"].split("/repeats:")[0]
+        ips = entry.get("items_per_second")
+        prev = benchmarks.get(name)
+        if prev is not None and prev["items_per_second"] is not None:
+            if ips is None or ips <= prev["items_per_second"]:
+                continue
+        benchmarks[name] = {
+            "items_per_second": ips,
+            "real_time_ns": entry.get("real_time"),
+        }
+    context = report.get("context", {})
+    return {
+        "schema": "sketch-bench-snapshot-v1",
+        "host": {
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+            "library_build_type": context.get("library_build_type"),
+        },
+        "benchmarks": benchmarks,
+    }
+
+
+def cmd_run(args):
+    report = run_benchmark(args.binary, args.min_time, args.repetitions,
+                           args.filter)
+    snapshot = normalize(report)
+    if not snapshot["benchmarks"]:
+        print("bench_compare: no benchmarks produced by {}".format(args.binary))
+        return 1
+    with open(args.out, "w") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("bench_compare: wrote {} ({} benchmarks)".format(
+        args.out, len(snapshot["benchmarks"])))
+    return 0
+
+
+def load_snapshot(path):
+    with open(path) as fh:
+        snapshot = json.load(fh)
+    if "benchmarks" not in snapshot:
+        raise SystemExit(
+            "bench_compare: {} is not a benchmark snapshot".format(path))
+    return snapshot
+
+
+def cmd_compare(args):
+    baseline = load_snapshot(args.baseline)["benchmarks"]
+    current = load_snapshot(args.current)["benchmarks"]
+    failures = []
+    rows = []
+    for name in sorted(baseline):
+        base_ips = baseline[name].get("items_per_second")
+        if base_ips is None:
+            continue  # baseline entry without a throughput counter
+        cur = current.get(name)
+        if cur is None or cur.get("items_per_second") is None:
+            failures.append("{}: missing from current run".format(name))
+            continue
+        cur_ips = cur["items_per_second"]
+        ratio = cur_ips / base_ips if base_ips else float("inf")
+        status = "ok"
+        if ratio < 1.0 - args.threshold:
+            status = "REGRESSION"
+            failures.append(
+                "{}: {:.2f} -> {:.2f} Mitems/s ({:+.1f}%)".format(
+                    name, base_ips / 1e6, cur_ips / 1e6,
+                    100.0 * (ratio - 1.0)))
+        rows.append((name, base_ips / 1e6, cur_ips / 1e6, ratio, status))
+
+    name_width = max(len(r[0]) for r in rows) if rows else 20
+    print("{:<{w}} {:>12} {:>12} {:>8}  {}".format(
+        "benchmark", "base M/s", "cur M/s", "ratio", "status", w=name_width))
+    for name, base, cur, ratio, status in rows:
+        print("{:<{w}} {:>12.2f} {:>12.2f} {:>7.2f}x  {}".format(
+            name, base, cur, ratio, status, w=name_width))
+
+    if failures:
+        print("\nbench_compare: {} regression(s) beyond {:.0f}%:".format(
+            len(failures), 100 * args.threshold))
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    print("\nbench_compare: no regressions beyond {:.0f}% threshold".format(
+        100 * args.threshold))
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    run_parser = sub.add_parser("run", help="run benchmark, write snapshot")
+    run_parser.add_argument(
+        "--binary", default="build/bench/bench_update_throughput",
+        help="google-benchmark binary to run")
+    run_parser.add_argument(
+        "--out", default="BENCH_update_throughput.json",
+        help="output snapshot path")
+    run_parser.add_argument(
+        "--min-time", default="0.2",
+        help="--benchmark_min_time per benchmark (seconds)")
+    run_parser.add_argument(
+        "--repetitions", type=int, default=3,
+        help="repetitions per benchmark; snapshot keeps the best (default 3)")
+    run_parser.add_argument(
+        "--filter", default="",
+        help="optional --benchmark_filter regex")
+    run_parser.set_defaults(func=cmd_run)
+
+    cmp_parser = sub.add_parser("compare", help="gate current vs baseline")
+    cmp_parser.add_argument("--baseline", required=True,
+                            help="committed baseline snapshot")
+    cmp_parser.add_argument("--current", required=True,
+                            help="snapshot from this build")
+    cmp_parser.add_argument("--threshold", type=float, default=0.10,
+                            help="allowed fractional drop (default 0.10)")
+    cmp_parser.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
