@@ -12,10 +12,13 @@
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/bench_reporter.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "parallel/sharded_sketch.h"
@@ -64,7 +67,8 @@ RunResult RunSharded(const std::vector<StreamUpdate>& stream, size_t threads,
 
 template <typename S, typename MakeFn, typename SerializeFn>
 void Sweep(const char* name, const std::vector<StreamUpdate>& stream,
-           MakeFn make, SerializeFn serialize) {
+           MakeFn make, SerializeFn serialize,
+           bench::BenchReporter* reporter) {
   // Sequential baseline: plain ApplyBatch on the calling thread.
   S sequential = make();
   double baseline_mups = 0;
@@ -93,6 +97,9 @@ void Sweep(const char* name, const std::vector<StreamUpdate>& stream,
     bench::Row("%-12s %8zu %12.2f %9.2fx %10.3f %8s", name, threads,
                r.ingest_mups, r.ingest_mups / baseline_mups, r.merge_ms,
                r.exact ? "yes" : "NO");
+    reporter->Add("E21/" + std::string(name) + "/Ingest/" +
+                      std::to_string(threads) + "t",
+                  r.ingest_mups * 1e6, 1e3 / r.ingest_mups);
     if (threads == 8) {
       bench::Row("%-12s 8-vs-1-thread scaling: %.2fx", name,
                  r.ingest_mups / one_thread_mups);
@@ -103,8 +110,14 @@ void Sweep(const char* name, const std::vector<StreamUpdate>& stream,
 }  // namespace
 }  // namespace sketch
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sketch;
+  std::string out_path;  // --out <path>: write a bench_compare.py snapshot
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
   bench::PrintHeader(
       "E21 - parallel sharded ingestion (bench_parallel_throughput)",
       "Linear sketches shard across threads and tree-merge exactly; "
@@ -115,19 +128,21 @@ int main() {
 
   const auto stream = MakeZipfStream(kUniverse, 1.1, kLength, kSeed);
 
+  bench::BenchReporter reporter;
   Sweep<CountMinSketch>(
       "count-min", stream,
       [] { return CountMinSketch(1 << 12, 5, kSeed); },
-      [](const CountMinSketch& s) { return s.Serialize(); });
+      [](const CountMinSketch& s) { return s.Serialize(); }, &reporter);
 
   Sweep<CountSketch>(
       "count-sketch", stream,
       [] { return CountSketch(1 << 12, 5, kSeed); },
-      [](const CountSketch& s) { return s.Serialize(); });
+      [](const CountSketch& s) { return s.Serialize(); }, &reporter);
 
   Sweep<BloomFilter>(
       "bloom", stream, [] { return BloomFilter(1 << 22, 5, kSeed); },
-      [](const BloomFilter& s) { return s.Serialize(); });
+      [](const BloomFilter& s) { return s.Serialize(); }, &reporter);
 
+  if (!out_path.empty() && !reporter.WriteSnapshot(out_path)) return 1;
   return 0;
 }

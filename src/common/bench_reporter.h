@@ -1,0 +1,86 @@
+#ifndef SKETCH_COMMON_BENCH_REPORTER_H_
+#define SKETCH_COMMON_BENCH_REPORTER_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sketch::bench {
+
+/// Unified result sink for the hand-rolled experiment harnesses
+/// (`bench/bench_*.cc`): collects named throughput measurements, prints
+/// the human-readable table the harnesses already produce, and optionally
+/// writes a machine-readable snapshot in the exact
+/// `sketch-bench-snapshot-v1` schema that `tools/bench_compare.py
+/// compare` consumes — so any harness, not just the google-benchmark
+/// ones, can participate in regression gating.
+class BenchReporter {
+ public:
+  struct Entry {
+    std::string name;
+    double items_per_second = 0.0;
+    double real_time_ns = 0.0;
+    std::string label;  // free-form annotation shown in the table
+  };
+
+  /// Records one measurement. `name` is the snapshot key — keep it stable
+  /// across runs so compare mode can match baseline rows.
+  void Add(const std::string& name, double items_per_second,
+           double real_time_ns, const std::string& label = "") {
+    entries_.push_back({name, items_per_second, real_time_ns, label});
+  }
+
+  /// Prints all recorded entries as a fixed-width table.
+  void PrintTable() const {
+    std::size_t width = 9;  // len("benchmark")
+    for (const Entry& e : entries_) width = std::max(width, e.name.size());
+    std::printf("%-*s %14s %14s  %s\n", static_cast<int>(width), "benchmark",
+                "Mitems/s", "time/op (ns)", "label");
+    for (const Entry& e : entries_) {
+      std::printf("%-*s %14.2f %14.1f  %s\n", static_cast<int>(width),
+                  e.name.c_str(), e.items_per_second / 1e6, e.real_time_ns,
+                  e.label.c_str());
+    }
+  }
+
+  /// Writes the snapshot JSON to `path`. Returns false (and prints to
+  /// stderr) if the file cannot be written. Keys match what
+  /// tools/bench_compare.py `normalize` emits for google-benchmark runs.
+  bool WriteSnapshot(const std::string& path) const {
+    std::FILE* fh = std::fopen(path.c_str(), "w");
+    if (fh == nullptr) {
+      std::fprintf(stderr, "bench_reporter: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(fh, "{\n  \"schema\": \"sketch-bench-snapshot-v1\",\n");
+    std::fprintf(fh, "  \"host\": {\n    \"num_cpus\": %u\n  },\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(fh, "  \"benchmarks\": {\n");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(fh,
+                   "    \"%s\": {\n      \"items_per_second\": %.6f,\n"
+                   "      \"real_time_ns\": %.6f\n    }%s\n",
+                   e.name.c_str(), e.items_per_second, e.real_time_ns,
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(fh, "  }\n}\n");
+    std::fclose(fh);
+    std::printf("bench_reporter: wrote %s (%zu benchmarks)\n", path.c_str(),
+                entries_.size());
+    return true;
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace sketch::bench
+
+#endif  // SKETCH_COMMON_BENCH_REPORTER_H_

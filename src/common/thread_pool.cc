@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/timer.h"
+#include "telemetry/telemetry.h"
 
 namespace sketch {
 
@@ -31,6 +33,8 @@ void ThreadPool::Submit(std::function<void()> task) {
     SKETCH_CHECK_MSG(!shutting_down_, "Submit() after destruction began");
     queue_.push_back(std::move(task));
     ++in_flight_;
+    SKETCH_COUNTER_INC("threadpool.tasks_submitted");
+    SKETCH_HISTOGRAM_RECORD("threadpool.queue_depth", queue_.size());
   }
   work_available_.notify_one();
 }
@@ -72,7 +76,16 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    {
+      SKETCH_TRACE_SPAN("threadpool.task");
+#if SKETCH_TELEMETRY_ENABLED
+      const uint64_t t0 = MonotonicNowNs();
+      task();
+      SKETCH_HISTOGRAM_RECORD("threadpool.task_ns", MonotonicNowNs() - t0);
+#else
+      task();
+#endif
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

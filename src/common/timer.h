@@ -2,28 +2,42 @@
 #define SKETCH_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace sketch {
+
+/// Current monotonic time in nanoseconds (std::chrono::steady_clock —
+/// never system_clock, which can jump under NTP and would corrupt every
+/// measured duration). The zero point is unspecified; only differences
+/// are meaningful. Shared by Timer and the telemetry trace spans.
+inline uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Monotonic wall-clock stopwatch for the benchmark harnesses.
 class Timer {
  public:
-  Timer() : start_(Clock::now()) {}
+  Timer() : start_ns_(MonotonicNowNs()) {}
 
   /// Resets the stopwatch to zero.
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ns_ = MonotonicNowNs(); }
+
+  /// Elapsed time since construction or last Reset(), in nanoseconds.
+  uint64_t ElapsedNs() const { return MonotonicNowNs() - start_ns_; }
 
   /// Elapsed time since construction or last Reset(), in seconds.
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(ElapsedNs()) * 1e-9;
   }
 
   /// Elapsed time in milliseconds.
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  uint64_t start_ns_;
 };
 
 }  // namespace sketch

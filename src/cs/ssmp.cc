@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "telemetry/telemetry.h"
 
 namespace sketch {
 
@@ -24,6 +25,7 @@ double MedianInPlace(std::vector<double>* v) {
 
 SsmpResult SsmpRecover(const CsrMatrix& a, const std::vector<double>& y,
                        const SsmpOptions& options) {
+  SKETCH_TRACE_SPAN("cs.ssmp.recover");
   SKETCH_CHECK(y.size() == a.rows());
   SKETCH_CHECK(options.sparsity >= 1);
   const uint64_t n = a.cols();
@@ -39,6 +41,7 @@ SsmpResult SsmpRecover(const CsrMatrix& a, const std::vector<double>& y,
       options.steps_per_phase_factor * static_cast<int>(options.sparsity);
 
   for (int phase = 0; phase < options.phases; ++phase) {
+    SKETCH_TRACE_SPAN("cs.ssmp.phase");
     for (int step = 0; step < steps; ++step) {
       // Find the single-coordinate update with the largest l1 gain.
       double best_gain = options.convergence_tolerance;
@@ -65,6 +68,7 @@ SsmpResult SsmpRecover(const CsrMatrix& a, const std::vector<double>& y,
         }
       }
       if (best_i == n) break;  // no improving update
+      SKETCH_COUNTER_INC("cs.ssmp.coordinate_updates");
       x_hat[best_i] += best_z;
       const CsrMatrix::RowView col = at.Row(best_i);
       for (uint64_t t = 0; t < col.size; ++t) {
@@ -99,6 +103,8 @@ SsmpResult SsmpRecover(const CsrMatrix& a, const std::vector<double>& y,
 
     result.phases_run = phase + 1;
     const double l1 = L1Norm(residual);
+    SKETCH_TRACE_COUNTER("cs.ssmp.residual_l1",
+                         static_cast<int64_t>(l1));
     if (l1 >= best_residual_l1 - options.convergence_tolerance) {
       best_residual_l1 = std::min(best_residual_l1, l1);
       break;

@@ -7,6 +7,7 @@
 
 #include "hash/kwise_hash.h"
 #include "kernels/fast_div.h"
+#include "telemetry/telemetry.h"
 
 /// \file
 /// Batched evaluation of the k-wise polynomial hash (`KWiseHash`).
@@ -127,6 +128,9 @@ class BlockHasher {
   /// intermediate bucket array.
   template <typename Emit>
   void ForEachHash(const uint64_t* keys, std::size_t n, Emit&& emit) const {
+    // One registry add per block (n is typically 256), not per key: the
+    // telemetry cost stays O(1/block) on the hottest loop in the library.
+    SKETCH_COUNTER_ADD("kernels.block_hasher.keys_hashed", n);
     if (k_ == 2) {
       kernels_internal::EvalK2Block(c_[0], c_[1], keys, n, emit);
     } else if (k_ == 4) {
@@ -148,6 +152,13 @@ class BlockHasher {
 
   /// out[i] = ±1 sign of keys[i] for i < n.
   void SignBlock(const uint64_t* keys, std::size_t n, int64_t* out) const;
+
+  /// Heap bytes owned by this evaluator (the generic-path coefficient
+  /// vector). The object itself is counted by its owning container; the
+  /// sketches sum this into MemoryFootprintBytes().
+  uint64_t DynamicMemoryBytes() const {
+    return coeffs_.capacity() * sizeof(uint64_t);
+  }
 
  private:
   uint64_t HashGeneric(uint64_t key) const;

@@ -8,6 +8,8 @@
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "stream/update.h"
+#include "telemetry/stats.h"
+#include "telemetry/telemetry.h"
 
 namespace sketch {
 
@@ -66,6 +68,8 @@ class ShardedSketch {
   /// Blocks until the whole batch is absorbed. Safe to call repeatedly;
   /// batches accumulate (the sketches are linear).
   void Ingest(UpdateSpan updates) {
+    SKETCH_TRACE_SPAN("sharded.ingest");
+    SKETCH_COUNTER_ADD("parallel.sharded.ingested_updates", updates.size());
     const std::size_t p = shards_.size();
     if (updates.empty()) return;
     if (p == 1 || pool_ == nullptr) {
@@ -92,6 +96,8 @@ class ShardedSketch {
   /// on the pool). Non-destructive: replicas keep their contents, so
   /// ingestion can continue and Collapse can be called again later.
   S Collapse() const {
+    SKETCH_TRACE_SPAN("sharded.collapse");
+    SKETCH_COUNTER_INC("parallel.sharded.collapses");
     std::vector<S> work(shards_);
     for (std::size_t stride = 1; stride < work.size(); stride *= 2) {
       const std::size_t step = 2 * stride;
@@ -116,6 +122,34 @@ class ShardedSketch {
   /// Direct access to a replica (tests; e.g. asserting that work actually
   /// spread across shards).
   const S& shard(std::size_t i) const { return shards_[i]; }
+
+  /// Resident memory: the object plus every replica's footprint (requires
+  /// S::MemoryFootprintBytes).
+  uint64_t MemoryFootprintBytes() const {
+    uint64_t bytes = sizeof(*this) +
+                     (shards_.capacity() - shards_.size()) * sizeof(S);
+    for (const S& s : shards_) bytes += s.MemoryFootprintBytes();
+    return bytes;
+  }
+
+  /// Structured self-description; each replica's snapshot appears as a
+  /// child (requires S::Introspect).
+  StatsSnapshot Introspect() const {
+    StatsSnapshot snapshot;
+    snapshot.type = "ShardedSketch";
+    snapshot.memory_bytes = MemoryFootprintBytes();
+    snapshot.AddField("num_shards", static_cast<double>(shards_.size()));
+    snapshot.AddField("pooled", pool_ == nullptr ? 0.0 : 1.0);
+    snapshot.children.reserve(shards_.size());
+    for (const S& s : shards_) {
+      snapshot.children.push_back(s.Introspect());
+      snapshot.cells += snapshot.children.back().cells;
+    }
+    return snapshot;
+  }
+
+  /// Human-readable Introspect() dump.
+  std::string DebugString() const { return Introspect().DebugString(); }
 
  private:
   ThreadPool* pool_;       // not owned; may be nullptr (inline execution)

@@ -9,6 +9,7 @@
 #include "common/prng.h"
 #include "sfft/modular.h"
 #include "sfft/phase_decode.h"
+#include "telemetry/telemetry.h"
 
 namespace sketch {
 
@@ -60,6 +61,7 @@ double OccupancyThreshold(const std::vector<Complex>& buckets,
 
 SfftResult ExactSparseFft(const std::vector<Complex>& x,
                           const SfftOptions& options) {
+  SKETCH_TRACE_SPAN("sfft.exact.recover");
   const uint64_t n = x.size();
   SKETCH_CHECK(IsPowerOfTwo(n));
   SKETCH_CHECK(n >= 4);
@@ -75,6 +77,8 @@ SfftResult ExactSparseFft(const std::vector<Complex>& x,
 
   uint64_t b_count = b_initial;
   for (int round = 0; round < options.max_rounds; ++round) {
+    SKETCH_TRACE_SPAN("sfft.exact.round");
+    SKETCH_COUNTER_INC("sfft.exact.rounds");
     const uint64_t stride = n / b_count;
     const double bucket_scale =
         static_cast<double>(n) / static_cast<double>(b_count);
@@ -161,6 +165,7 @@ SfftResult ExactSparseFft(const std::vector<Complex>& x,
 SfftResult FlatFilterSparseFft(const std::vector<Complex>& x,
                                const FlatFilter& filter,
                                const SfftOptions& options) {
+  SKETCH_TRACE_SPAN("sfft.flat.recover");
   const uint64_t n = x.size();
   SKETCH_CHECK(n == filter.n());
   SKETCH_CHECK(n >= 4);
@@ -179,6 +184,8 @@ SfftResult FlatFilterSparseFft(const std::vector<Complex>& x,
   constexpr int64_t kPeelRadius = 2;
 
   for (int round = 0; round < options.max_rounds; ++round) {
+    SKETCH_TRACE_SPAN("sfft.flat.round");
+    SKETCH_COUNTER_INC("sfft.flat.rounds");
     const uint64_t sigma = rng.Next() | 1;
     const uint64_t sigma_inv = ModInversePow2(sigma & (n - 1), n);
     // Band-binning reveals nothing about the low bits of g: decode all.

@@ -6,6 +6,7 @@
 #include "common/byte_buffer.h"
 #include "common/check.h"
 #include "common/prng.h"
+#include "telemetry/telemetry.h"
 
 namespace sketch {
 
@@ -29,6 +30,7 @@ AmsSketch::AmsSketch(uint64_t width, uint64_t depth, uint64_t seed)
 }
 
 void AmsSketch::Update(const StreamUpdate& update) {
+  ops_.AddUpdates(1);
   for (uint64_t j = 0; j < depth_; ++j) {
     const uint64_t b = bucket_rows_[j].BucketOne(update.item, width_div_);
     counters_[j * width_ + b] +=
@@ -44,6 +46,10 @@ void AmsSketch::ApplyBatch(UpdateSpan updates) {
   // Kernelized bulk path (see CountMinSketch::ApplyBatch); the 4-wise sign
   // hash goes through the unrolled k=4 Horner kernel. Bit-identical to
   // per-item Update() because addition commutes.
+  SKETCH_TRACE_SPAN("ams.apply_batch");
+  SKETCH_COUNTER_ADD("sketch.ams.batched_updates", updates.size());
+  SKETCH_HISTOGRAM_RECORD("sketch.batch_size", updates.size());
+  ops_.AddBatch(updates.size());
   constexpr std::size_t kBlock = 256;
   constexpr std::size_t kPrefetchAhead = 8;
   uint64_t keys[kBlock];
@@ -89,9 +95,49 @@ void AmsSketch::Merge(const AmsSketch& other) {
   SKETCH_CHECK_MSG(width_ == other.width_ && depth_ == other.depth_ &&
                        seed_ == other.seed_,
                    "merge requires identical geometry and seed");
+  SKETCH_COUNTER_INC("sketch.ams.merges");
+  ops_.AddMerge(other.ops_);
   for (size_t i = 0; i < counters_.size(); ++i) {
     counters_[i] += other.counters_[i];
   }
+}
+
+uint64_t AmsSketch::MemoryFootprintBytes() const {
+  uint64_t bytes = sizeof(*this) + counters_.capacity() * sizeof(int64_t) +
+                   bucket_rows_.capacity() * sizeof(BlockHasher) +
+                   sign_rows_.capacity() * sizeof(BlockHasher);
+  for (const BlockHasher& row : bucket_rows_) bytes += row.DynamicMemoryBytes();
+  for (const BlockHasher& row : sign_rows_) bytes += row.DynamicMemoryBytes();
+  return bytes;
+}
+
+StatsSnapshot AmsSketch::Introspect() const {
+  StatsSnapshot snapshot;
+  snapshot.type = "AmsSketch";
+  snapshot.memory_bytes = MemoryFootprintBytes();
+  snapshot.cells = counters_.size();
+  snapshot.AddField("width", static_cast<double>(width_));
+  snapshot.AddField("depth", static_cast<double>(depth_));
+  snapshot.AddField("seed", static_cast<double>(seed_));
+  snapshot.occupancy_log2 =
+      telemetry::MagnitudeHistogram(counters_.data(), counters_.size());
+  // Like Count-Sketch, the random signs can cancel a bucket exactly to
+  // zero, so occupancy slightly under-counts load; the F2 variance bound
+  // depends on bucket collisions, which this tracks directly.
+  const double occupied = telemetry::OccupiedFraction(
+      snapshot.occupancy_log2, counters_.size());
+  snapshot.AddField("occupied_fraction", occupied);
+  const double distinct = telemetry::EstimateDistinctKeys(
+      occupied, static_cast<double>(width_));
+  snapshot.AddField("estimated_distinct_keys", distinct);
+  snapshot.AddField(
+      "estimated_collision_rate",
+      telemetry::EstimateCollisionRate(distinct,
+                                       static_cast<double>(width_)));
+  snapshot.AddField("updates", static_cast<double>(ops_.updates()));
+  snapshot.AddField("batches", static_cast<double>(ops_.batches()));
+  snapshot.AddField("merges", static_cast<double>(ops_.merges()));
+  return snapshot;
 }
 
 std::vector<uint8_t> AmsSketch::Serialize() const {

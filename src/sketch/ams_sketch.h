@@ -8,6 +8,7 @@
 #include "kernels/block_hasher.h"
 #include "kernels/fast_div.h"
 #include "stream/update.h"
+#include "telemetry/stats.h"
 
 namespace sketch {
 
@@ -52,6 +53,16 @@ class AmsSketch {
   uint64_t depth() const { return depth_; }
   uint64_t seed() const { return seed_; }
 
+  /// Resident memory of this sketch: the object plus every owned heap
+  /// allocation (counter table, bucket/sign hashers).
+  uint64_t MemoryFootprintBytes() const;
+
+  /// Structured self-description (see CountMinSketch::Introspect).
+  StatsSnapshot Introspect() const;
+
+  /// Human-readable Introspect() dump.
+  std::string DebugString() const { return Introspect().DebugString(); }
+
  private:
   uint64_t width_;
   uint64_t depth_;
@@ -62,6 +73,7 @@ class AmsSketch {
                                           // bound); hits the unrolled k=4
                                           // kernel path
   std::vector<int64_t> counters_;
+  SketchOpCounters ops_;  // lifetime update/merge counts (stub when off)
 };
 
 }  // namespace sketch

@@ -7,6 +7,7 @@
 #include "common/byte_buffer.h"
 #include "common/check.h"
 #include "common/prng.h"
+#include "telemetry/telemetry.h"
 
 namespace sketch {
 
@@ -40,6 +41,7 @@ BloomFilter BloomFilter::FromFalsePositiveRate(uint64_t expected_keys,
 }
 
 void BloomFilter::Insert(uint64_t key) {
+  ops_.AddUpdates(1);
   for (const BlockHasher& h : probes_) {
     const uint64_t bit = h.BucketOne(key, bits_div_);
     bits_[bit >> 6] |= (1ULL << (bit & 63));
@@ -58,6 +60,10 @@ void BloomFilter::ApplyBatch(UpdateSpan updates) {
   // Kernelized bulk path: per block, each probe hash batch-computes its bit
   // positions and sets them contiguously. Bitwise OR commutes, so the bit
   // array is identical to per-item Insert() calls.
+  SKETCH_TRACE_SPAN("bloom.apply_batch");
+  SKETCH_COUNTER_ADD("sketch.bloom.batched_updates", updates.size());
+  SKETCH_HISTOGRAM_RECORD("sketch.batch_size", updates.size());
+  ops_.AddBatch(updates.size());
   constexpr std::size_t kBlock = 256;
   uint64_t keys[kBlock];
   const std::size_t total = updates.size();
@@ -84,6 +90,8 @@ void BloomFilter::Merge(const BloomFilter& other) {
   SKETCH_CHECK_MSG(num_bits_ == other.num_bits_ && seed_ == other.seed_ &&
                        probes_.size() == other.probes_.size(),
                    "merge requires identical geometry and seed");
+  SKETCH_COUNTER_INC("sketch.bloom.merges");
+  ops_.AddMerge(other.ops_);
   for (size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
 }
 
@@ -100,6 +108,43 @@ double BloomFilter::FillRatio() const {
   return static_cast<double>(set) / static_cast<double>(num_bits_);
 }
 
+uint64_t BloomFilter::MemoryFootprintBytes() const {
+  uint64_t bytes = sizeof(*this) + bits_.capacity() * sizeof(uint64_t) +
+                   probes_.capacity() * sizeof(BlockHasher);
+  for (const BlockHasher& h : probes_) bytes += h.DynamicMemoryBytes();
+  return bytes;
+}
+
+StatsSnapshot BloomFilter::Introspect() const {
+  StatsSnapshot snapshot;
+  snapshot.type = "BloomFilter";
+  snapshot.memory_bytes = MemoryFootprintBytes();
+  snapshot.cells = num_bits_;
+  snapshot.AddField("num_bits", static_cast<double>(num_bits_));
+  snapshot.AddField("num_hashes", static_cast<double>(probes_.size()));
+  snapshot.AddField("seed", static_cast<double>(seed_));
+  // Bits are 0/1, so the magnitude histogram degenerates to two buckets:
+  // [0] = clear bits, [1] = set bits.
+  uint64_t set = 0;
+  for (uint64_t word : bits_) {
+    set += static_cast<uint64_t>(__builtin_popcountll(word));
+  }
+  snapshot.occupancy_log2 = {num_bits_ - set, set};
+  const double fill = static_cast<double>(set) /
+                      static_cast<double>(num_bits_);
+  snapshot.AddField("fill_ratio", fill);
+  // Invert fill = 1 - (1 - 1/m)^{kn} ≈ 1 - e^{-kn/m} for n, the number of
+  // distinct keys inserted; the current false-positive rate is fill^k.
+  const double k = static_cast<double>(probes_.size());
+  const double m = static_cast<double>(num_bits_);
+  snapshot.AddField("estimated_distinct_keys",
+                    fill >= 1.0 ? m / k : -(m / k) * std::log1p(-fill));
+  snapshot.AddField("current_fpr", std::pow(fill, k));
+  snapshot.AddField("updates", static_cast<double>(ops_.updates()));
+  snapshot.AddField("batches", static_cast<double>(ops_.batches()));
+  snapshot.AddField("merges", static_cast<double>(ops_.merges()));
+  return snapshot;
+}
 
 std::vector<uint8_t> BloomFilter::Serialize() const {
   std::vector<uint8_t> out;

@@ -8,6 +8,7 @@
 #include "kernels/block_hasher.h"
 #include "kernels/fast_div.h"
 #include "stream/update.h"
+#include "telemetry/stats.h"
 
 namespace sketch {
 
@@ -63,12 +64,23 @@ class BloomFilter {
   /// buffers.
   static BloomFilter Deserialize(const std::vector<uint8_t>& bytes);
 
+  /// Resident memory of this filter: the object plus every owned heap
+  /// allocation (bit array, probe hashers).
+  uint64_t MemoryFootprintBytes() const;
+
+  /// Structured self-description (see CountMinSketch::Introspect).
+  StatsSnapshot Introspect() const;
+
+  /// Human-readable Introspect() dump.
+  std::string DebugString() const { return Introspect().DebugString(); }
+
  private:
   uint64_t num_bits_;
   uint64_t seed_;
   FastDiv64 bits_div_;               // divide-free `% num_bits_`
   std::vector<BlockHasher> probes_;  // one 2-wise hash per probe
   std::vector<uint64_t> bits_;       // packed, 64 bits per word
+  SketchOpCounters ops_;  // lifetime insert/merge counts (stub when off)
 };
 
 }  // namespace sketch

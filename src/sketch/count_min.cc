@@ -7,6 +7,7 @@
 #include "common/byte_buffer.h"
 #include "common/check.h"
 #include "common/prng.h"
+#include "telemetry/telemetry.h"
 
 namespace sketch {
 
@@ -41,6 +42,7 @@ CountMinSketch CountMinSketch::FromErrorBounds(double eps, double delta,
 }
 
 void CountMinSketch::Update(const StreamUpdate& update) {
+  ops_.AddUpdates(1);
   for (uint64_t j = 0; j < depth_; ++j) {
     counters_[j * width_ + rows_[j].BucketOne(update.item, width_div_)] +=
         update.delta;
@@ -58,6 +60,10 @@ void CountMinSketch::ApplyBatch(UpdateSpan updates) {
   // coefficients stay in registers and each row's counter lines are
   // touched together. Counter addition commutes, so the final table — and
   // therefore Serialize() — is bit-identical to per-item Update() calls.
+  SKETCH_TRACE_SPAN("count_min.apply_batch");
+  SKETCH_COUNTER_ADD("sketch.count_min.batched_updates", updates.size());
+  SKETCH_HISTOGRAM_RECORD("sketch.batch_size", updates.size());
+  ops_.AddBatch(updates.size());
   constexpr std::size_t kBlock = 256;
   constexpr std::size_t kPrefetchAhead = 8;
   uint64_t keys[kBlock];
@@ -84,6 +90,7 @@ void CountMinSketch::ApplyBatch(UpdateSpan updates) {
 
 void CountMinSketch::UpdateConservative(uint64_t item, int64_t delta) {
   SKETCH_CHECK(delta > 0);
+  ops_.AddUpdates(1);
   // Hash each row exactly once: the bucket feeds both the min-read (what
   // Estimate() would recompute) and the conservative write-back.
   int64_t estimate = 0;
@@ -130,11 +137,51 @@ void CountMinSketch::Merge(const CountMinSketch& other) {
   SKETCH_CHECK_MSG(width_ == other.width_ && depth_ == other.depth_ &&
                        seed_ == other.seed_,
                    "merge requires identical geometry and seed");
+  SKETCH_COUNTER_INC("sketch.count_min.merges");
+  ops_.AddMerge(other.ops_);
   for (size_t i = 0; i < counters_.size(); ++i) {
     counters_[i] += other.counters_[i];
   }
 }
 
+uint64_t CountMinSketch::MemoryFootprintBytes() const {
+  uint64_t bytes = sizeof(*this) +
+                   counters_.capacity() * sizeof(int64_t) +
+                   bucket_scratch_.capacity() * sizeof(uint64_t) +
+                   rows_.capacity() * sizeof(BlockHasher);
+  for (const BlockHasher& row : rows_) bytes += row.DynamicMemoryBytes();
+  return bytes;
+}
+
+StatsSnapshot CountMinSketch::Introspect() const {
+  StatsSnapshot snapshot;
+  snapshot.type = "CountMinSketch";
+  snapshot.memory_bytes = MemoryFootprintBytes();
+  snapshot.cells = counters_.size();
+  snapshot.AddField("width", static_cast<double>(width_));
+  snapshot.AddField("depth", static_cast<double>(depth_));
+  snapshot.AddField("seed", static_cast<double>(seed_));
+  snapshot.occupancy_log2 =
+      telemetry::MagnitudeHistogram(counters_.data(), counters_.size());
+  const double occupied = telemetry::OccupiedFraction(
+      snapshot.occupancy_log2, counters_.size());
+  snapshot.AddField("occupied_fraction", occupied);
+  // Every row sees the full key stream, so the overall occupied fraction
+  // is an unbiased view of a single row's load; invert it to estimate the
+  // distinct keys and the per-key collision rate behind the eps*||x||_1
+  // error bound.
+  const double distinct = telemetry::EstimateDistinctKeys(
+      occupied, static_cast<double>(width_));
+  snapshot.AddField("estimated_distinct_keys", distinct);
+  snapshot.AddField(
+      "estimated_collision_rate",
+      telemetry::EstimateCollisionRate(distinct,
+                                       static_cast<double>(width_)));
+  snapshot.AddField("updates", static_cast<double>(ops_.updates()));
+  snapshot.AddField("batches", static_cast<double>(ops_.batches()));
+  snapshot.AddField("merges", static_cast<double>(ops_.merges()));
+  return snapshot;
+}
 
 std::vector<uint8_t> CountMinSketch::Serialize() const {
   std::vector<uint8_t> out;

@@ -8,6 +8,7 @@
 #include "kernels/block_hasher.h"
 #include "kernels/fast_div.h"
 #include "stream/update.h"
+#include "telemetry/stats.h"
 
 namespace sketch {
 
@@ -94,6 +95,19 @@ class CountMinSketch {
   /// buffers.
   static CountMinSketch Deserialize(const std::vector<uint8_t>& bytes);
 
+  /// Resident memory of this sketch: the object plus every owned heap
+  /// allocation (counter table, hashers, scratch).
+  uint64_t MemoryFootprintBytes() const;
+
+  /// Structured self-description: geometry, memory, bucket-occupancy
+  /// histogram, balls-in-bins distinct-key/collision estimates, and
+  /// lifetime operation counters (the latter nonzero only in
+  /// SKETCH_TELEMETRY=ON builds). Read-only and available in every build.
+  StatsSnapshot Introspect() const;
+
+  /// Human-readable Introspect() dump.
+  std::string DebugString() const { return Introspect().DebugString(); }
+
  private:
   uint64_t width_;
   uint64_t depth_;
@@ -103,6 +117,8 @@ class CountMinSketch {
   std::vector<int64_t> counters_;   // row-major depth x width
   std::vector<uint64_t> bucket_scratch_;  // per-row buckets of one item
                                           // (UpdateConservative)
+  SketchOpCounters ops_;            // lifetime update/merge counts
+                                    // (empty stub when telemetry is off)
 };
 
 }  // namespace sketch

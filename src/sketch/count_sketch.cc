@@ -7,6 +7,7 @@
 #include "common/byte_buffer.h"
 #include "common/check.h"
 #include "common/prng.h"
+#include "telemetry/telemetry.h"
 
 namespace sketch {
 
@@ -42,6 +43,7 @@ CountSketch CountSketch::FromErrorBounds(double eps, double delta,
 }
 
 void CountSketch::Update(const StreamUpdate& update) {
+  ops_.AddUpdates(1);
   for (uint64_t j = 0; j < depth_; ++j) {
     const uint64_t b = bucket_rows_[j].BucketOne(update.item, width_div_);
     counters_[j * width_ + b] +=
@@ -58,6 +60,10 @@ void CountSketch::ApplyBatch(UpdateSpan updates) {
   // row batch-computes its buckets and signs, then applies the signed
   // deltas contiguously. Addition commutes, so the counter table is
   // bit-identical to per-item Update() calls.
+  SKETCH_TRACE_SPAN("count_sketch.apply_batch");
+  SKETCH_COUNTER_ADD("sketch.count_sketch.batched_updates", updates.size());
+  SKETCH_HISTOGRAM_RECORD("sketch.batch_size", updates.size());
+  ops_.AddBatch(updates.size());
   constexpr std::size_t kBlock = 256;
   constexpr std::size_t kPrefetchAhead = 8;
   uint64_t keys[kBlock];
@@ -125,11 +131,51 @@ void CountSketch::Merge(const CountSketch& other) {
   SKETCH_CHECK_MSG(width_ == other.width_ && depth_ == other.depth_ &&
                        seed_ == other.seed_,
                    "merge requires identical geometry and seed");
+  SKETCH_COUNTER_INC("sketch.count_sketch.merges");
+  ops_.AddMerge(other.ops_);
   for (size_t i = 0; i < counters_.size(); ++i) {
     counters_[i] += other.counters_[i];
   }
 }
 
+uint64_t CountSketch::MemoryFootprintBytes() const {
+  uint64_t bytes = sizeof(*this) + counters_.capacity() * sizeof(int64_t) +
+                   bucket_rows_.capacity() * sizeof(BlockHasher) +
+                   sign_rows_.capacity() * sizeof(BlockHasher);
+  for (const BlockHasher& row : bucket_rows_) bytes += row.DynamicMemoryBytes();
+  for (const BlockHasher& row : sign_rows_) bytes += row.DynamicMemoryBytes();
+  return bytes;
+}
+
+StatsSnapshot CountSketch::Introspect() const {
+  StatsSnapshot snapshot;
+  snapshot.type = "CountSketch";
+  snapshot.memory_bytes = MemoryFootprintBytes();
+  snapshot.cells = counters_.size();
+  snapshot.AddField("width", static_cast<double>(width_));
+  snapshot.AddField("depth", static_cast<double>(depth_));
+  snapshot.AddField("seed", static_cast<double>(seed_));
+  snapshot.occupancy_log2 =
+      telemetry::MagnitudeHistogram(counters_.data(), counters_.size());
+  // Signed updates can cancel a bucket back to zero, so occupancy is a
+  // slight *under*-estimate of load here — still the right live proxy for
+  // the collision rate behind the eps*||x||_2 concentration bound
+  // [Minton-Price'12].
+  const double occupied = telemetry::OccupiedFraction(
+      snapshot.occupancy_log2, counters_.size());
+  snapshot.AddField("occupied_fraction", occupied);
+  const double distinct = telemetry::EstimateDistinctKeys(
+      occupied, static_cast<double>(width_));
+  snapshot.AddField("estimated_distinct_keys", distinct);
+  snapshot.AddField(
+      "estimated_collision_rate",
+      telemetry::EstimateCollisionRate(distinct,
+                                       static_cast<double>(width_)));
+  snapshot.AddField("updates", static_cast<double>(ops_.updates()));
+  snapshot.AddField("batches", static_cast<double>(ops_.batches()));
+  snapshot.AddField("merges", static_cast<double>(ops_.merges()));
+  return snapshot;
+}
 
 std::vector<uint8_t> CountSketch::Serialize() const {
   std::vector<uint8_t> out;

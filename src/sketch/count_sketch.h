@@ -8,6 +8,7 @@
 #include "kernels/block_hasher.h"
 #include "kernels/fast_div.h"
 #include "stream/update.h"
+#include "telemetry/stats.h"
 
 namespace sketch {
 
@@ -83,6 +84,16 @@ class CountSketch {
   /// buffers.
   static CountSketch Deserialize(const std::vector<uint8_t>& bytes);
 
+  /// Resident memory of this sketch: the object plus every owned heap
+  /// allocation (counter table, bucket/sign hashers).
+  uint64_t MemoryFootprintBytes() const;
+
+  /// Structured self-description (see CountMinSketch::Introspect).
+  StatsSnapshot Introspect() const;
+
+  /// Human-readable Introspect() dump.
+  std::string DebugString() const { return Introspect().DebugString(); }
+
  private:
   uint64_t width_;
   uint64_t depth_;
@@ -91,6 +102,7 @@ class CountSketch {
   std::vector<BlockHasher> bucket_rows_;  // one 2-wise bucket hash per row
   std::vector<BlockHasher> sign_rows_;    // one 2-wise sign hash per row
   std::vector<int64_t> counters_;
+  SketchOpCounters ops_;  // lifetime update/merge counts (stub when off)
 };
 
 }  // namespace sketch

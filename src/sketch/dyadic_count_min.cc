@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/prng.h"
+#include "telemetry/telemetry.h"
 
 namespace sketch {
 
@@ -37,6 +38,8 @@ void DyadicCountMin::ApplyBatch(UpdateSpan updates) {
   // This keeps one level's hash coefficients and counter rows hot instead
   // of cycling through all `log_universe_` levels per item. Bit-identical
   // to per-item Update() because counter addition commutes.
+  SKETCH_TRACE_SPAN("dyadic.apply_batch");
+  SKETCH_COUNTER_ADD("sketch.dyadic.batched_updates", updates.size());
   constexpr std::size_t kBlock = 256;
   StreamUpdate prefixes[kBlock];
   const std::size_t total = updates.size();
@@ -149,6 +152,30 @@ uint64_t DyadicCountMin::SizeInCounters() const {
   uint64_t total = 0;
   for (const CountMinSketch& s : levels_) total += s.SizeInCounters();
   return total;
+}
+
+uint64_t DyadicCountMin::MemoryFootprintBytes() const {
+  // Each level reports sizeof(CountMinSketch) plus its heap allocations,
+  // so only the container slack is added on top of this object.
+  uint64_t bytes = sizeof(*this) + (levels_.capacity() - levels_.size()) *
+                                       sizeof(CountMinSketch);
+  for (const CountMinSketch& s : levels_) bytes += s.MemoryFootprintBytes();
+  return bytes;
+}
+
+StatsSnapshot DyadicCountMin::Introspect() const {
+  StatsSnapshot snapshot;
+  snapshot.type = "DyadicCountMin";
+  snapshot.memory_bytes = MemoryFootprintBytes();
+  snapshot.cells = SizeInCounters();
+  snapshot.AddField("log_universe", static_cast<double>(log_universe_));
+  snapshot.AddField("levels", static_cast<double>(levels_.size()));
+  snapshot.AddField("total_count", static_cast<double>(total_));
+  snapshot.children.reserve(levels_.size());
+  for (const CountMinSketch& s : levels_) {
+    snapshot.children.push_back(s.Introspect());
+  }
+  return snapshot;
 }
 
 }  // namespace sketch

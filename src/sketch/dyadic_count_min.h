@@ -6,6 +6,7 @@
 
 #include "sketch/count_min.h"
 #include "stream/update.h"
+#include "telemetry/stats.h"
 
 namespace sketch {
 
@@ -66,6 +67,16 @@ class DyadicCountMin {
 
   /// Space in counters across all levels.
   uint64_t SizeInCounters() const;
+
+  /// Resident memory: the object plus every per-level sketch's footprint.
+  uint64_t MemoryFootprintBytes() const;
+
+  /// Structured self-description; per-level CountMin snapshots appear as
+  /// children (see CountMinSketch::Introspect).
+  StatsSnapshot Introspect() const;
+
+  /// Human-readable Introspect() dump.
+  std::string DebugString() const { return Introspect().DebugString(); }
 
  private:
   int log_universe_;

@@ -78,4 +78,27 @@ uint64_t StreamSummary::SizeInCounters() const {
          options_.width * (options_.depth | 1);
 }
 
+uint64_t StreamSummary::MemoryFootprintBytes() const {
+  // The components are inline members, so sizeof(*this) already counts
+  // their object bodies; add only each component's heap allocations.
+  return sizeof(*this) +
+         (dyadic_.MemoryFootprintBytes() - sizeof(DyadicCountMin)) +
+         (verifier_.MemoryFootprintBytes() - sizeof(CountSketch)) +
+         (ams_.MemoryFootprintBytes() - sizeof(AmsSketch));
+}
+
+StatsSnapshot StreamSummary::Introspect() const {
+  StatsSnapshot snapshot;
+  snapshot.type = "StreamSummary";
+  snapshot.memory_bytes = MemoryFootprintBytes();
+  snapshot.cells = SizeInCounters();
+  snapshot.AddField("log_universe",
+                    static_cast<double>(options_.log_universe));
+  snapshot.AddField("total_count", static_cast<double>(TotalCount()));
+  snapshot.children.push_back(dyadic_.Introspect());
+  snapshot.children.push_back(verifier_.Introspect());
+  snapshot.children.push_back(ams_.Introspect());
+  return snapshot;
+}
+
 }  // namespace sketch

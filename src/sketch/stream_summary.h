@@ -8,6 +8,7 @@
 #include "sketch/count_sketch.h"
 #include "sketch/dyadic_count_min.h"
 #include "stream/update.h"
+#include "telemetry/stats.h"
 
 namespace sketch {
 
@@ -70,6 +71,16 @@ class StreamSummary {
 
   /// Total memory footprint in counters.
   uint64_t SizeInCounters() const;
+
+  /// Resident memory: the object plus each component sketch's footprint.
+  uint64_t MemoryFootprintBytes() const;
+
+  /// Structured self-description; the dyadic, verifier, and AMS components
+  /// appear as children (see CountMinSketch::Introspect).
+  StatsSnapshot Introspect() const;
+
+  /// Human-readable Introspect() dump.
+  std::string DebugString() const { return Introspect().DebugString(); }
 
   const Options& options() const { return options_; }
 

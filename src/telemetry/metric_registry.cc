@@ -1,0 +1,160 @@
+#include "telemetry/metric_registry.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace sketch::telemetry {
+
+uint64_t Histogram::Snapshot::ApproxQuantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (static_cast<double>(seen) >= target) return BucketLowerBound(b);
+  }
+  return BucketLowerBound(kBuckets - 1);
+}
+
+Histogram::Snapshot Histogram::GetSnapshot() const {
+  Snapshot snapshot;
+  for (const Cell& cell : cells_) {
+    snapshot.count += cell.count.load(std::memory_order_relaxed);
+    snapshot.sum += cell.sum.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      snapshot.buckets[b] += cell.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  for (Cell& cell : cells_) {
+    cell.count.store(0, std::memory_order_relaxed);
+    cell.sum.store(0, std::memory_order_relaxed);
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      cell.buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+MetricRegistry& MetricRegistry::Instance() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+Counter& MetricRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counter_index_.find(name);
+  if (it != counter_index_.end()) return *it->second;
+  Counter& counter = counters_.emplace_back(std::string(name));
+  counter_index_.emplace(counter.name(), &counter);
+  return counter;
+}
+
+Histogram& MetricRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histogram_index_.find(name);
+  if (it != histogram_index_.end()) return *it->second;
+  Histogram& histogram = histograms_.emplace_back(std::string(name));
+  histogram_index_.emplace(histogram.name(), &histogram);
+  return histogram;
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricRegistry::CounterValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counter_index_.size());
+  for (const auto& [name, counter] : counter_index_) {
+    out.emplace_back(name, counter->Value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Histogram::Snapshot>>
+MetricRegistry::HistogramSnapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, Histogram::Snapshot>> out;
+  out.reserve(histogram_index_.size());
+  for (const auto& [name, histogram] : histogram_index_) {
+    out.emplace_back(name, histogram->GetSnapshot());
+  }
+  return out;
+}
+
+namespace {
+
+void AppendFormat(std::string* out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendFormat(std::string* out, const char* format, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, format);
+  const int written = std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  if (written > 0) {
+    out->append(buffer, std::min<std::size_t>(static_cast<std::size_t>(written),
+                                              sizeof(buffer) - 1));
+  }
+}
+
+}  // namespace
+
+std::string MetricRegistry::DumpText() const {
+  std::string out;
+  for (const auto& [name, value] : CounterValues()) {
+    AppendFormat(&out, "counter   %-44s %20" PRIu64 "\n", name.c_str(), value);
+  }
+  for (const auto& [name, snapshot] : HistogramSnapshots()) {
+    AppendFormat(&out,
+                 "histogram %-44s count=%" PRIu64 " mean=%.1f p50=%" PRIu64
+                 " p99=%" PRIu64 "\n",
+                 name.c_str(), snapshot.count, snapshot.Mean(),
+                 snapshot.ApproxQuantile(0.5), snapshot.ApproxQuantile(0.99));
+  }
+  return out;
+}
+
+std::string MetricRegistry::DumpJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : CounterValues()) {
+    if (!first) out += ",";
+    first = false;
+    AppendFormat(&out, "\"%s\":%" PRIu64, name.c_str(), value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, snapshot] : HistogramSnapshots()) {
+    if (!first) out += ",";
+    first = false;
+    AppendFormat(&out, "\"%s\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64,
+                 name.c_str(), snapshot.count, snapshot.sum);
+    out += ",\"buckets\":[";
+    // Trailing zero buckets are trimmed so the common (small-value) case
+    // stays compact; consumers treat missing buckets as zero.
+    std::size_t last = Histogram::kBuckets;
+    while (last > 0 && snapshot.buckets[last - 1] == 0) --last;
+    for (std::size_t b = 0; b < last; ++b) {
+      if (b > 0) out += ",";
+      AppendFormat(&out, "%" PRIu64, snapshot.buckets[b]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Counter& counter : counters_) counter.Reset();
+  for (Histogram& histogram : histograms_) histogram.Reset();
+}
+
+}  // namespace sketch::telemetry

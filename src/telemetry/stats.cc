@@ -1,0 +1,154 @@
+#include "telemetry/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sketch {
+
+namespace {
+
+void AppendFormat(std::string* out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendFormat(std::string* out, const char* format, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, format);
+  const int written = std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  if (written > 0) {
+    out->append(buffer, std::min<std::size_t>(static_cast<std::size_t>(written),
+                                              sizeof(buffer) - 1));
+  }
+}
+
+/// %g-style number rendering that stays valid JSON (no bare NaN/Inf) and
+/// prints integral values without an exponent or trailing ".0".
+void AppendJsonNumber(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    out->append("null");
+    return;
+  }
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    AppendFormat(out, "%.0f", value);
+    return;
+  }
+  AppendFormat(out, "%.17g", value);
+}
+
+void AppendIndented(const StatsSnapshot& snapshot, int indent,
+                    std::string* out) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  AppendFormat(out, "%s%s: memory=%" PRIu64 "B cells=%" PRIu64 "\n",
+               pad.c_str(), snapshot.type.c_str(), snapshot.memory_bytes,
+               snapshot.cells);
+  for (const StatsSnapshot::Field& field : snapshot.fields) {
+    AppendFormat(out, "%s  %-28s ", pad.c_str(), field.name.c_str());
+    AppendJsonNumber(out, field.value);
+    out->append("\n");
+  }
+  if (!snapshot.occupancy_log2.empty()) {
+    AppendFormat(out, "%s  occupancy_log2              [", pad.c_str());
+    for (std::size_t b = 0; b < snapshot.occupancy_log2.size(); ++b) {
+      AppendFormat(out, "%s%" PRIu64, b == 0 ? "" : " ",
+                   snapshot.occupancy_log2[b]);
+    }
+    out->append("]\n");
+  }
+  for (const StatsSnapshot& child : snapshot.children) {
+    AppendIndented(child, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+void StatsSnapshot::AddField(std::string name, double value) {
+  fields.push_back(Field{std::move(name), value});
+}
+
+double StatsSnapshot::FieldOr(std::string_view name, double fallback) const {
+  for (const Field& field : fields) {
+    if (field.name == name) return field.value;
+  }
+  return fallback;
+}
+
+std::string StatsSnapshot::DebugString() const {
+  std::string out;
+  AppendIndented(*this, 0, &out);
+  return out;
+}
+
+std::string StatsSnapshot::ToJson() const {
+  std::string out = "{";
+  AppendFormat(&out, "\"type\":\"%s\",\"memory_bytes\":%" PRIu64
+                     ",\"cells\":%" PRIu64,
+               type.c_str(), memory_bytes, cells);
+  out += ",\"fields\":{";
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendFormat(&out, "\"%s\":", fields[i].name.c_str());
+    AppendJsonNumber(&out, fields[i].value);
+  }
+  out += "},\"occupancy_log2\":[";
+  for (std::size_t b = 0; b < occupancy_log2.size(); ++b) {
+    if (b > 0) out += ",";
+    AppendFormat(&out, "%" PRIu64, occupancy_log2[b]);
+  }
+  out += "],\"children\":[";
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    if (i > 0) out += ",";
+    out += children[i].ToJson();
+  }
+  out += "]}";
+  return out;
+}
+
+namespace telemetry {
+
+std::vector<uint64_t> MagnitudeHistogram(const int64_t* values,
+                                         std::size_t n) {
+  std::vector<uint64_t> histogram(65, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int64_t v = values[i];
+    // |INT64_MIN| does not fit in int64; go through uint64 negation.
+    const uint64_t magnitude =
+        v < 0 ? ~static_cast<uint64_t>(v) + 1 : static_cast<uint64_t>(v);
+    ++histogram[static_cast<std::size_t>(std::bit_width(magnitude))];
+  }
+  while (histogram.size() > 1 && histogram.back() == 0) histogram.pop_back();
+  return histogram;
+}
+
+double OccupiedFraction(const std::vector<uint64_t>& histogram,
+                        uint64_t total_cells) {
+  if (total_cells == 0) return 0.0;
+  const uint64_t zeros = histogram.empty() ? total_cells : histogram[0];
+  return static_cast<double>(total_cells - zeros) /
+         static_cast<double>(total_cells);
+}
+
+double EstimateDistinctKeys(double occupied_fraction, double width) {
+  if (width <= 0.0 || occupied_fraction <= 0.0) return 0.0;
+  if (occupied_fraction >= 1.0) {
+    // Every bucket occupied: the inversion diverges; report the point
+    // where the expectation first rounds to "all full".
+    return width * std::log(width + 1.0);
+  }
+  return -width * std::log1p(-occupied_fraction);
+}
+
+double EstimateCollisionRate(double distinct_keys, double width) {
+  if (width <= 1.0) return distinct_keys > 1.0 ? 1.0 : 0.0;
+  if (distinct_keys <= 1.0) return 0.0;
+  return 1.0 - std::exp((distinct_keys - 1.0) * std::log1p(-1.0 / width));
+}
+
+}  // namespace telemetry
+
+}  // namespace sketch

@@ -1,0 +1,149 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sketch::telemetry {
+
+void TraceRecorder::Ring::Push(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  event.tid = tid_;
+  if (events_.size() < capacity_) {
+    events_.push_back(event);
+  } else if (capacity_ > 0) {
+    events_[next_] = event;  // overwrite oldest
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++total_pushed_;
+}
+
+void TraceRecorder::Ring::AppendTo(std::vector<TraceEvent>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->insert(out->end(), events_.begin(), events_.end());
+}
+
+void TraceRecorder::Ring::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  next_ = 0;
+}
+
+uint64_t TraceRecorder::Ring::total_pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_pushed_;
+}
+
+TraceRecorder& TraceRecorder::Instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+TraceRecorder::Ring& TraceRecorder::ThreadRing() {
+  thread_local std::shared_ptr<Ring> ring = [this] {
+    auto created = std::make_shared<Ring>(
+        ring_capacity_.load(std::memory_order_relaxed),
+        next_tid_.fetch_add(1, std::memory_order_relaxed));
+    std::lock_guard<std::mutex> lock(mu_);
+    rings_.push_back(created);
+    return created;
+  }();
+  return *ring;
+}
+
+void TraceRecorder::RecordSpan(const char* name, uint64_t start_ns,
+                               uint64_t duration_ns) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.start_ns = start_ns;
+  event.duration_ns = duration_ns;
+  event.phase = 'X';
+  ThreadRing().Push(event);
+}
+
+void TraceRecorder::RecordCounter(const char* name, double value) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.start_ns = MonotonicNowNs();
+  event.value = value;
+  event.phase = 'C';
+  ThreadRing().Push(event);
+}
+
+std::vector<TraceEvent> TraceRecorder::CollectEvents() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::shared_ptr<Ring>& ring : rings_) {
+      ring->AppendTo(&events);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return events;
+}
+
+std::string TraceRecorder::ExportChromeTraceJson() const {
+  const std::vector<TraceEvent> events = CollectEvents();
+  const uint64_t epoch_ns = events.empty() ? 0 : events.front().start_ns;
+  std::string out = "{\"traceEvents\":[";
+  char buffer[256];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    if (i > 0) out += ",";
+    const double ts_us =
+        static_cast<double>(event.start_ns - epoch_ns) / 1e3;
+    int written = 0;
+    if (event.phase == 'X') {
+      const double dur_us = static_cast<double>(event.duration_ns) / 1e3;
+      written = std::snprintf(
+          buffer, sizeof(buffer),
+          "{\"name\":\"%s\",\"cat\":\"sketch\",\"ph\":\"X\",\"ts\":%.3f,"
+          "\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+          event.name, ts_us, dur_us, event.tid);
+    } else {
+      written = std::snprintf(
+          buffer, sizeof(buffer),
+          "{\"name\":\"%s\",\"cat\":\"sketch\",\"ph\":\"C\",\"ts\":%.3f,"
+          "\"pid\":1,\"tid\":%u,\"args\":{\"value\":%.17g}}",
+          event.name, ts_us, event.tid, event.value);
+    }
+    if (written > 0) out.append(buffer, static_cast<std::size_t>(written));
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string json = ExportChromeTraceJson();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool ok = std::fclose(file) == 0 && written == json.size();
+  return ok;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::shared_ptr<Ring>& ring : rings_) {
+    ring->Clear();
+  }
+}
+
+void TraceRecorder::SetRingCapacity(std::size_t capacity) {
+  ring_capacity_.store(capacity, std::memory_order_relaxed);
+}
+
+uint64_t TraceRecorder::TotalRecorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const std::shared_ptr<Ring>& ring : rings_) {
+    total += ring->total_pushed();
+  }
+  return total;
+}
+
+}  // namespace sketch::telemetry

@@ -1,0 +1,158 @@
+#ifndef SKETCH_TELEMETRY_TRACE_H_
+#define SKETCH_TELEMETRY_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+/// \file
+/// Scoped trace spans recorded into per-thread ring buffers, exportable as
+/// Chrome trace-event JSON (load in Perfetto / chrome://tracing).
+///
+/// A span is two `steady_clock` reads and one ring-buffer slot — cheap
+/// enough to wrap every batch-level operation (ApplyBatch calls, shard
+/// ingests, recovery phases), and deliberately not cheap enough for
+/// per-item loops; counters cover those. Rings have fixed capacity and
+/// overwrite their oldest events, so a long-running service keeps the
+/// recent window instead of growing without bound.
+///
+/// Span names must have static storage duration (string literals): only
+/// the pointer is stored. Instrumentation sites use `SKETCH_TRACE_SPAN`
+/// from `telemetry/telemetry.h`, which compiles away when telemetry is
+/// off; this class is always available for explicit use and tests.
+
+namespace sketch::telemetry {
+
+/// One recorded event. `phase` follows the Chrome trace-event format:
+/// 'X' = complete span (start + duration), 'C' = counter sample.
+struct TraceEvent {
+  const char* name = nullptr;  ///< static-lifetime label
+  uint64_t start_ns = 0;       ///< steady-clock timestamp
+  uint64_t duration_ns = 0;    ///< spans only
+  double value = 0.0;          ///< counter samples only
+  uint32_t tid = 0;            ///< recorder-assigned thread id
+  char phase = 'X';
+};
+
+/// Process-wide span recorder. Each thread owns a fixed-capacity ring of
+/// events; readers snapshot all rings (including those of exited threads)
+/// under a registration mutex.
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity = 4096;
+
+  static TraceRecorder& Instance();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Runtime switch (default on). When disabled, Record* calls return
+  /// after one relaxed load and ScopedSpan skips its clock reads.
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records a completed span. `name` must have static storage duration.
+  void RecordSpan(const char* name, uint64_t start_ns, uint64_t duration_ns);
+
+  /// Records a counter sample (a time series in the trace viewer — e.g.
+  /// residual norm per recovery step).
+  void RecordCounter(const char* name, double value);
+
+  /// All buffered events across threads, ordered by start time.
+  std::vector<TraceEvent> CollectEvents() const;
+
+  /// Chrome trace-event JSON of the buffered events. Timestamps are
+  /// rebased to the earliest event so traces start near t=0.
+  std::string ExportChromeTraceJson() const;
+
+  /// Writes ExportChromeTraceJson() to `path`; false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+  /// Drops all buffered events (rings stay registered).
+  void Clear();
+
+  /// Capacity for rings created after this call (existing rings keep
+  /// theirs). Tests use small capacities to exercise wraparound.
+  void SetRingCapacity(std::size_t capacity);
+  std::size_t ring_capacity() const {
+    return ring_capacity_.load(std::memory_order_relaxed);
+  }
+
+  /// Total events ever recorded into currently-registered rings,
+  /// including events already overwritten by wraparound.
+  uint64_t TotalRecorded() const;
+
+ private:
+  /// Fixed-capacity event ring. Pushes come from the owning thread only;
+  /// a mutex serializes them against cross-thread snapshots (spans are
+  /// batch-granular, so an uncontended lock is noise next to the work the
+  /// span brackets).
+  class Ring {
+   public:
+    Ring(std::size_t capacity, uint32_t tid) : tid_(tid) {
+      events_.reserve(capacity);
+      capacity_ = capacity;
+    }
+
+    void Push(TraceEvent event);
+    void AppendTo(std::vector<TraceEvent>* out) const;
+    void Clear();
+    uint64_t total_pushed() const;
+
+   private:
+    mutable std::mutex mu_;
+    std::size_t capacity_;
+    std::size_t next_ = 0;        // overwrite position once full
+    uint64_t total_pushed_ = 0;   // lifetime count, monotone
+    std::vector<TraceEvent> events_;
+    uint32_t tid_;
+  };
+
+  TraceRecorder() = default;
+
+  Ring& ThreadRing();
+
+  mutable std::mutex mu_;  // guards rings_ registration/iteration
+  std::vector<std::shared_ptr<Ring>> rings_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::size_t> ring_capacity_{kDefaultRingCapacity};
+  std::atomic<uint32_t> next_tid_{1};
+};
+
+/// RAII span: records [construction, destruction) under `name`, which
+/// must have static storage duration.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (TraceRecorder::Instance().enabled()) {
+      name_ = name;
+      start_ns_ = MonotonicNowNs();
+    }
+  }
+
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      TraceRecorder::Instance().RecordSpan(name_, start_ns_,
+                                           MonotonicNowNs() - start_ns_);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // nullptr = recorder disabled at entry
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace sketch::telemetry
+
+#endif  // SKETCH_TELEMETRY_TRACE_H_

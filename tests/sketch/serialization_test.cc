@@ -80,6 +80,38 @@ TEST(SerializationTest, AmsRoundTripPreservesEstimateAndMerges) {
   EXPECT_EQ(merged.Serialize().size(), original.Serialize().size());
 }
 
+// MemoryFootprintBytes() must track reality: it covers everything
+// Serialize() persists (so it is never smaller than the buffer) plus the
+// object body, hashers, and container slack — bounded here by a fixed
+// allowance so the accounting cannot silently drift from the actual
+// allocations.
+template <typename S>
+void ExpectFootprintTracksSerializedSize(const S& sketch) {
+  constexpr uint64_t kOverheadSlack = 4096;
+  const uint64_t footprint = sketch.MemoryFootprintBytes();
+  const uint64_t serialized = sketch.Serialize().size();
+  EXPECT_GE(footprint, serialized);
+  EXPECT_LE(footprint, serialized + kOverheadSlack);
+}
+
+TEST(SerializationTest, FootprintTracksSerializedSize) {
+  CountMinSketch cm(256, 5, 42);
+  cm.UpdateAll(MakeZipfStream(1 << 12, 1.1, 10000, 1));
+  ExpectFootprintTracksSerializedSize(cm);
+
+  CountSketch cs(256, 5, 43);
+  cs.UpdateAll(MakeZipfStream(1 << 10, 1.0, 5000, 2));
+  ExpectFootprintTracksSerializedSize(cs);
+
+  BloomFilter bf(1 << 12, 5, 44);
+  for (uint64_t k = 0; k < 500; ++k) bf.Insert(k * 3);
+  ExpectFootprintTracksSerializedSize(bf);
+
+  AmsSketch ams(128, 5, 45);
+  ams.UpdateAll(MakeZipfStream(1 << 10, 1.2, 4000, 3));
+  ExpectFootprintTracksSerializedSize(ams);
+}
+
 TEST(SerializationTest, BufferSizesAreExact) {
   CountMinSketch cm(10, 3, 1);
   EXPECT_EQ(cm.Serialize().size(), 32u + 30u * 8u);

@@ -1,0 +1,130 @@
+// Metric registry: striped counters and log2 histograms must aggregate
+// exactly, hand out stable references, and survive concurrent writers
+// racing a reader (the TSan CI job runs this file under
+// -fsanitize=thread, which is the real assertion for the lock-free
+// write path).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metric_registry.h"
+
+namespace sketch::telemetry {
+namespace {
+
+class MetricRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MetricRegistry::Instance().ResetForTest(); }
+};
+
+TEST_F(MetricRegistryTest, CounterAggregatesAdds) {
+  Counter& counter = MetricRegistry::Instance().GetCounter("test.counter");
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add(5);
+  counter.Increment();
+  counter.Add(10);
+  EXPECT_EQ(counter.Value(), 16u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST_F(MetricRegistryTest, GetCounterReturnsStableReference) {
+  Counter& a = MetricRegistry::Instance().GetCounter("test.stable");
+  Counter& b = MetricRegistry::Instance().GetCounter("test.stable");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.name(), "test.stable");
+}
+
+TEST_F(MetricRegistryTest, HistogramBucketBoundaries) {
+  EXPECT_EQ(Histogram::BucketOf(0), 0u);
+  EXPECT_EQ(Histogram::BucketOf(1), 1u);
+  EXPECT_EQ(Histogram::BucketOf(2), 2u);
+  EXPECT_EQ(Histogram::BucketOf(3), 2u);
+  EXPECT_EQ(Histogram::BucketOf(4), 3u);
+  EXPECT_EQ(Histogram::BucketOf(UINT64_MAX), 64u);
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketLowerBound(5), 16u);
+}
+
+TEST_F(MetricRegistryTest, HistogramSnapshotAggregates) {
+  Histogram& h = MetricRegistry::Instance().GetHistogram("test.hist");
+  h.Record(0);
+  h.Record(1);
+  h.Record(7);    // bucket 3
+  h.Record(256);  // bucket 9
+  const Histogram::Snapshot snapshot = h.GetSnapshot();
+  EXPECT_EQ(snapshot.count, 4u);
+  EXPECT_EQ(snapshot.sum, 264u);
+  EXPECT_EQ(snapshot.buckets[0], 1u);
+  EXPECT_EQ(snapshot.buckets[1], 1u);
+  EXPECT_EQ(snapshot.buckets[3], 1u);
+  EXPECT_EQ(snapshot.buckets[9], 1u);
+  EXPECT_DOUBLE_EQ(snapshot.Mean(), 66.0);
+  // The 0-quantile lands in the zero bucket; the max in bucket 9.
+  EXPECT_EQ(snapshot.ApproxQuantile(0.0), 0u);
+  EXPECT_EQ(snapshot.ApproxQuantile(1.0), 256u);
+}
+
+TEST_F(MetricRegistryTest, DumpsContainRegisteredMetrics) {
+  MetricRegistry::Instance().GetCounter("test.dump.counter").Add(3);
+  MetricRegistry::Instance().GetHistogram("test.dump.hist").Record(42);
+  const std::string text = MetricRegistry::Instance().DumpText();
+  EXPECT_NE(text.find("test.dump.counter"), std::string::npos);
+  EXPECT_NE(text.find("test.dump.hist"), std::string::npos);
+  const std::string json = MetricRegistry::Instance().DumpJson();
+  EXPECT_NE(json.find("\"test.dump.counter\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.dump.hist\""), std::string::npos);
+}
+
+TEST_F(MetricRegistryTest, ResetForTestZeroesButKeepsRegistrations) {
+  Counter& counter = MetricRegistry::Instance().GetCounter("test.reset");
+  counter.Add(7);
+  MetricRegistry::Instance().ResetForTest();
+  EXPECT_EQ(counter.Value(), 0u);  // cached reference still valid
+  EXPECT_EQ(&counter, &MetricRegistry::Instance().GetCounter("test.reset"));
+}
+
+// Concurrency stress: writers hammer one counter and one histogram from
+// many threads while a reader aggregates mid-flight. Totals must be exact
+// after joining (relaxed atomics lose nothing), and TSan must stay quiet.
+TEST_F(MetricRegistryTest, ConcurrentWritersAggregateExactly) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  Counter& counter = MetricRegistry::Instance().GetCounter("test.mt.counter");
+  Histogram& hist = MetricRegistry::Instance().GetHistogram("test.mt.hist");
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      // Mid-flight reads must be valid lower bounds, never garbage.
+      EXPECT_LE(counter.Value(), kThreads * kPerThread);
+      EXPECT_LE(hist.GetSnapshot().count, kThreads * kPerThread);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&counter, &hist] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        counter.Add(1);
+        hist.Record(i & 1023);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+  const Histogram::Snapshot snapshot = hist.GetSnapshot();
+  EXPECT_EQ(snapshot.count, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace sketch::telemetry

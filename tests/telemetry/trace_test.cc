@@ -1,0 +1,138 @@
+// Trace recorder: span capture, ring wraparound, the runtime switch, and
+// the Chrome trace-event JSON export (golden-file schema check so the
+// emitted bytes stay Perfetto-loadable).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/trace.h"
+
+namespace sketch::telemetry {
+namespace {
+
+std::string ReadFileTrimmed(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+    text.pop_back();
+  }
+  return text;
+}
+
+// First test in the file: the main thread's ring is created here, so its
+// recorder-assigned tid is 1 and the exported JSON is fully deterministic
+// (timestamps are injected, not read from the clock).
+TEST(TraceGoldenTest, ChromeTraceJsonMatchesGoldenFile) {
+  TraceRecorder& recorder = TraceRecorder::Instance();
+  recorder.Clear();
+  recorder.RecordSpan("beta", 2000, 250);   // out of order on purpose:
+  recorder.RecordSpan("alpha", 1000, 500);  // export sorts by start time
+  recorder.RecordSpan("gamma", 2500, 125);
+  const std::string json = recorder.ExportChromeTraceJson();
+  const std::string golden =
+      ReadFileTrimmed(std::string(SKETCH_TESTDATA_DIR) + "/trace_golden.json");
+  EXPECT_EQ(json, golden);
+  recorder.Clear();
+}
+
+TEST(TraceTest, CollectEventsSortsByStartTime) {
+  TraceRecorder& recorder = TraceRecorder::Instance();
+  recorder.Clear();
+  recorder.RecordSpan("late", 300, 10);
+  recorder.RecordSpan("early", 100, 10);
+  recorder.RecordSpan("middle", 200, 10);
+  const std::vector<TraceEvent> events = recorder.CollectEvents();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_STREQ(events[0].name, "early");
+  EXPECT_STREQ(events[1].name, "middle");
+  EXPECT_STREQ(events[2].name, "late");
+  recorder.Clear();
+}
+
+TEST(TraceTest, ScopedSpanRecordsOneCompleteEvent) {
+  TraceRecorder& recorder = TraceRecorder::Instance();
+  recorder.Clear();
+  { const ScopedSpan span("test.scope"); }
+  const std::vector<TraceEvent> events = recorder.CollectEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test.scope");
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_GT(events[0].start_ns, 0u);
+  recorder.Clear();
+}
+
+TEST(TraceTest, CounterSampleCarriesValue) {
+  TraceRecorder& recorder = TraceRecorder::Instance();
+  recorder.Clear();
+  recorder.RecordCounter("test.residual", 42.5);
+  const std::vector<TraceEvent> events = recorder.CollectEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].phase, 'C');
+  EXPECT_DOUBLE_EQ(events[0].value, 42.5);
+  const std::string json = recorder.ExportChromeTraceJson();
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":42.5}"), std::string::npos);
+  recorder.Clear();
+}
+
+TEST(TraceTest, DisabledRecorderDropsEverything) {
+  TraceRecorder& recorder = TraceRecorder::Instance();
+  recorder.Clear();
+  recorder.SetEnabled(false);
+  recorder.RecordSpan("dropped", 1, 1);
+  recorder.RecordCounter("dropped.counter", 1.0);
+  { const ScopedSpan span("dropped.scope"); }
+  recorder.SetEnabled(true);
+  EXPECT_TRUE(recorder.CollectEvents().empty());
+}
+
+// Wraparound: rings cache their capacity at creation, so the small
+// capacity must be exercised from a thread whose ring does not exist yet.
+TEST(TraceTest, RingOverwritesOldestWhenFull) {
+  TraceRecorder& recorder = TraceRecorder::Instance();
+  recorder.Clear();
+  const std::size_t default_capacity = recorder.ring_capacity();
+  constexpr std::size_t kSmall = 8;
+  recorder.SetRingCapacity(kSmall);
+  const uint64_t pushed_before = recorder.TotalRecorded();
+
+  std::thread writer([&recorder] {
+    for (uint64_t i = 0; i < 3 * kSmall; ++i) {
+      recorder.RecordSpan("wrap", /*start_ns=*/i + 1, /*duration_ns=*/1);
+    }
+  });
+  writer.join();
+  recorder.SetRingCapacity(default_capacity);
+
+  const std::vector<TraceEvent> events = recorder.CollectEvents();
+  ASSERT_EQ(events.size(), kSmall);  // only the last `kSmall` retained
+  for (const TraceEvent& event : events) {
+    // Oldest events (start_ns <= 2 * kSmall) were overwritten.
+    EXPECT_GT(event.start_ns, 2 * kSmall);
+  }
+  // TotalRecorded counts overwritten events too.
+  EXPECT_EQ(recorder.TotalRecorded() - pushed_before, 3 * kSmall);
+  recorder.Clear();
+}
+
+TEST(TraceTest, WriteChromeTraceRoundTrips) {
+  TraceRecorder& recorder = TraceRecorder::Instance();
+  recorder.Clear();
+  recorder.RecordSpan("file.span", 100, 50);
+  const std::string path = ::testing::TempDir() + "/trace_test_out.json";
+  ASSERT_TRUE(recorder.WriteChromeTrace(path));
+  EXPECT_EQ(ReadFileTrimmed(path), recorder.ExportChromeTraceJson());
+  recorder.Clear();
+}
+
+}  // namespace
+}  // namespace sketch::telemetry
