@@ -1,0 +1,275 @@
+#include "server/blob_check.h"
+
+#include <cstdint>
+
+#include "common/prng.h"
+
+namespace sketch::server {
+
+namespace {
+
+// Magic words, mirrored from the sketch library's serializers (they are
+// file-local there; the golden wire test pins both sides).
+constexpr uint64_t kCountMinMagic = 0x534b434d494e3031ULL;     // "SKCMIN01"
+constexpr uint64_t kCountSketchMagic = 0x534b43534b543031ULL;  // "SKCSKT01"
+constexpr uint64_t kBloomMagic = 0x534b424c4f4f4d31ULL;        // "SKBLOOM1"
+constexpr uint64_t kAmsMagic = 0x534b414d53303031ULL;          // "SKAMS001"
+constexpr uint64_t kDyadicMagic = 0x534b4459434d3031ULL;       // "SKDYCM01"
+constexpr uint64_t kSummaryMagic = 0x534b53554d4d3031ULL;      // "SKSUMM01"
+
+/// Little-endian word view over a sub-range of the blob. All reads are
+/// bounds-checked against the range, never the CHECK-aborting ByteReader.
+class WordView {
+ public:
+  WordView(const uint8_t* data, uint64_t words) : data_(data), words_(words) {}
+
+  uint64_t words() const { return words_; }
+
+  uint64_t At(uint64_t index) const {
+    uint64_t value = 0;
+    const uint8_t* p = data_ + index * 8;
+    for (int i = 7; i >= 0; --i) value = value << 8 | p[i];
+    return value;
+  }
+
+  WordView Sub(uint64_t offset, uint64_t count) const {
+    return WordView(data_ + offset * 8, count);
+  }
+
+ private:
+  const uint8_t* data_;
+  uint64_t words_;
+};
+
+/// True iff a * b fits in u64 (the non-aborting CheckedMulU64).
+bool MulFits(uint64_t a, uint64_t b) { return b == 0 || a <= UINT64_MAX / b; }
+
+/// Validates a flat counter-table blob (CountMin, CountSketch, AMS — all
+/// share the 4-word header {magic, width, depth, seed} + width*depth
+/// counters layout). `expect.*` pin fields for composite containers; pass
+/// 0 / kAnySeed to accept any value.
+constexpr uint64_t kAnyValue = UINT64_MAX;
+
+struct TableExpectation {
+  uint64_t magic = 0;
+  uint64_t width = kAnyValue;
+  uint64_t depth = kAnyValue;
+  uint64_t seed = kAnyValue;
+};
+
+BlobCheckResult CheckCounterTable(const WordView& view,
+                                  const TableExpectation& expect,
+                                  uint64_t max_counters, const char* label) {
+  if (view.words() < 4) {
+    return BlobCheckResult::Fail(std::string(label) + ": blob too short");
+  }
+  if (view.At(0) != expect.magic) {
+    return BlobCheckResult::Fail(std::string(label) + ": bad magic");
+  }
+  const uint64_t width = view.At(1);
+  const uint64_t depth = view.At(2);
+  const uint64_t seed = view.At(3);
+  if (width < 1 || depth < 1 || !MulFits(width, depth)) {
+    return BlobCheckResult::Fail(std::string(label) + ": invalid geometry");
+  }
+  const uint64_t counters = width * depth;
+  if (counters > max_counters) {
+    return BlobCheckResult::Fail(std::string(label) +
+                                 ": geometry exceeds counter budget");
+  }
+  if (view.words() != 4 + counters) {
+    return BlobCheckResult::Fail(std::string(label) +
+                                 ": size does not match geometry");
+  }
+  if (expect.width != kAnyValue && width != expect.width) {
+    return BlobCheckResult::Fail(std::string(label) + ": width mismatch");
+  }
+  if (expect.depth != kAnyValue && depth != expect.depth) {
+    return BlobCheckResult::Fail(std::string(label) + ": depth mismatch");
+  }
+  if (expect.seed != kAnyValue && seed != expect.seed) {
+    return BlobCheckResult::Fail(std::string(label) + ": seed mismatch");
+  }
+  return BlobCheckResult::Ok(counters);
+}
+
+BlobCheckResult CheckBloom(const WordView& view, uint64_t max_counters) {
+  if (view.words() < 4) {
+    return BlobCheckResult::Fail("Bloom: blob too short");
+  }
+  if (view.At(0) != kBloomMagic) {
+    return BlobCheckResult::Fail("Bloom: bad magic");
+  }
+  const uint64_t num_bits = view.At(1);
+  const uint64_t num_hashes = view.At(2);
+  if (num_bits < 1 || num_bits > UINT64_MAX - 63) {
+    return BlobCheckResult::Fail("Bloom: invalid bit count");
+  }
+  if (num_hashes < 1 || num_hashes > 1024) {
+    return BlobCheckResult::Fail("Bloom: invalid hash count");
+  }
+  const uint64_t bit_words = (num_bits + 63) / 64;
+  if (bit_words > max_counters) {
+    return BlobCheckResult::Fail("Bloom: geometry exceeds counter budget");
+  }
+  if (view.words() != 4 + bit_words) {
+    return BlobCheckResult::Fail("Bloom: size does not match geometry");
+  }
+  return BlobCheckResult::Ok(bit_words);
+}
+
+/// Validates a DyadicCountMin blob. When `expect_seed` is not kAnyValue,
+/// each level's embedded CountMin seed must equal the derivation
+/// SplitMix64Once(expect_seed + 1000 * level) — the value Merge against a
+/// freshly constructed dyadic sketch would demand (StreamSummary restore
+/// takes exactly that path).
+BlobCheckResult CheckDyadic(const WordView& view, uint64_t max_counters,
+                            uint64_t expect_log_universe,
+                            uint64_t expect_width, uint64_t expect_depth,
+                            uint64_t expect_seed) {
+  if (view.words() < 5) {
+    return BlobCheckResult::Fail("Dyadic: blob too short");
+  }
+  if (view.At(0) != kDyadicMagic) {
+    return BlobCheckResult::Fail("Dyadic: bad magic");
+  }
+  const uint64_t log_universe = view.At(1);
+  const uint64_t width = view.At(3);
+  const uint64_t depth = view.At(4);
+  if (log_universe < 1 || log_universe > 40) {
+    return BlobCheckResult::Fail("Dyadic: invalid universe");
+  }
+  if (expect_log_universe != kAnyValue &&
+      log_universe != expect_log_universe) {
+    return BlobCheckResult::Fail("Dyadic: universe mismatch");
+  }
+  if (width < 1 || depth < 1 || !MulFits(width, depth)) {
+    return BlobCheckResult::Fail("Dyadic: invalid geometry");
+  }
+  if (expect_width != kAnyValue && width != expect_width) {
+    return BlobCheckResult::Fail("Dyadic: width mismatch");
+  }
+  if (expect_depth != kAnyValue && depth != expect_depth) {
+    return BlobCheckResult::Fail("Dyadic: depth mismatch");
+  }
+  const uint64_t per_level = width * depth;
+  if (per_level > UINT64_MAX - 4 ||
+      !MulFits(log_universe, per_level + 4)) {
+    return BlobCheckResult::Fail("Dyadic: level table overflows");
+  }
+  if (!MulFits(log_universe, per_level) ||
+      log_universe * per_level > max_counters) {
+    return BlobCheckResult::Fail("Dyadic: geometry exceeds counter budget");
+  }
+  const uint64_t level_words = 4 + per_level;
+  if (view.words() != 5 + log_universe * level_words) {
+    return BlobCheckResult::Fail("Dyadic: size does not match geometry");
+  }
+  for (uint64_t l = 0; l < log_universe; ++l) {
+    TableExpectation expect;
+    expect.magic = kCountMinMagic;
+    expect.width = width;
+    expect.depth = depth;
+    if (expect_seed != kAnyValue) {
+      expect.seed = SplitMix64Once(expect_seed + 1000 * (l + 1));
+    }
+    const BlobCheckResult level = CheckCounterTable(
+        view.Sub(5 + l * level_words, level_words), expect, max_counters,
+        "Dyadic level");
+    if (!level.ok) return level;
+  }
+  return BlobCheckResult::Ok(log_universe * per_level);
+}
+
+BlobCheckResult CheckSummary(const WordView& view, uint64_t max_counters) {
+  if (view.words() < 9) {
+    return BlobCheckResult::Fail("Summary: blob too short");
+  }
+  if (view.At(0) != kSummaryMagic) {
+    return BlobCheckResult::Fail("Summary: bad magic");
+  }
+  const uint64_t log_universe = view.At(1);
+  const uint64_t width = view.At(2);
+  const uint64_t depth = view.At(3);
+  const uint64_t verify_width = view.At(4);
+  const uint64_t seed = view.At(5);
+  if (log_universe < 1 || log_universe > 40) {
+    return BlobCheckResult::Fail("Summary: invalid universe");
+  }
+  if (width < 1 || depth < 1 || verify_width < 1) {
+    return BlobCheckResult::Fail("Summary: invalid geometry");
+  }
+  const uint64_t dyadic_words = view.At(6);
+  const uint64_t verifier_words = view.At(7);
+  const uint64_t ams_words = view.At(8);
+  const uint64_t max_words = view.words();
+  if (dyadic_words > max_words || verifier_words > max_words ||
+      ams_words > max_words) {
+    return BlobCheckResult::Fail("Summary: component length exceeds buffer");
+  }
+  if (view.words() != 9 + dyadic_words + verifier_words + ams_words) {
+    return BlobCheckResult::Fail("Summary: size does not match components");
+  }
+  // Restore path is StreamSummary(options) + Merge(component): each
+  // component blob must match the geometry AND derived seed that fresh
+  // construction from the Options would produce, or Merge aborts.
+  const BlobCheckResult dyadic =
+      CheckDyadic(view.Sub(9, dyadic_words), max_counters, log_universe,
+                  width, depth, seed);
+  if (!dyadic.ok) return dyadic;
+  TableExpectation verifier_expect;
+  verifier_expect.magic = kCountSketchMagic;
+  verifier_expect.width = verify_width;
+  verifier_expect.depth = depth | 1;
+  verifier_expect.seed = ~seed;
+  const BlobCheckResult verifier =
+      CheckCounterTable(view.Sub(9 + dyadic_words, verifier_words),
+                        verifier_expect, max_counters, "Summary verifier");
+  if (!verifier.ok) return verifier;
+  TableExpectation ams_expect;
+  ams_expect.magic = kAmsMagic;
+  ams_expect.width = width;
+  ams_expect.depth = depth | 1;
+  ams_expect.seed = seed + 0x5eedULL;
+  const BlobCheckResult ams = CheckCounterTable(
+      view.Sub(9 + dyadic_words + verifier_words, ams_words), ams_expect,
+      max_counters, "Summary ams");
+  if (!ams.ok) return ams;
+  const uint64_t total = dyadic.counters + verifier.counters + ams.counters;
+  if (total > max_counters) {
+    return BlobCheckResult::Fail("Summary: geometry exceeds counter budget");
+  }
+  return BlobCheckResult::Ok(total);
+}
+
+}  // namespace
+
+BlobCheckResult CheckSketchBlob(SketchType type,
+                                const std::vector<uint8_t>& bytes,
+                                uint64_t max_counters) {
+  if (bytes.empty() || bytes.size() % 8 != 0) {
+    return BlobCheckResult::Fail("blob length is not a whole word count");
+  }
+  const WordView view(bytes.data(), bytes.size() / 8);
+  switch (type) {
+    case SketchType::kCountMin:
+    case SketchType::kShardedCountMin: {
+      // A sharded snapshot is the collapsed CountMin state.
+      TableExpectation expect;
+      expect.magic = kCountMinMagic;
+      return CheckCounterTable(view, expect, max_counters, "CountMin");
+    }
+    case SketchType::kCountSketch: {
+      TableExpectation expect;
+      expect.magic = kCountSketchMagic;
+      return CheckCounterTable(view, expect, max_counters, "CountSketch");
+    }
+    case SketchType::kBloom:
+      return CheckBloom(view, max_counters);
+    case SketchType::kStreamSummary:
+      return CheckSummary(view, max_counters);
+  }
+  return BlobCheckResult::Fail("unknown sketch type");
+}
+
+}  // namespace sketch::server

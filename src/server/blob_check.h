@@ -1,0 +1,46 @@
+#ifndef SKETCH_SERVER_BLOB_CHECK_H_
+#define SKETCH_SERVER_BLOB_CHECK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+
+namespace sketch::server {
+
+/// Result of validating an untrusted serialized-sketch blob.
+struct BlobCheckResult {
+  bool ok = false;
+  std::string error;
+
+  /// Total counters (or bit-words for Bloom) the blob would allocate.
+  uint64_t counters = 0;
+
+  static BlobCheckResult Ok(uint64_t counters) {
+    return {true, "", counters};
+  }
+  static BlobCheckResult Fail(std::string message) {
+    return {false, std::move(message), 0};
+  }
+};
+
+/// Validates that `bytes` is a well-formed Serialize() buffer for `type`
+/// WITHOUT constructing anything, so a Restore request can be rejected
+/// with an error response instead of tripping a SKETCH_CHECK abort inside
+/// Deserialize. The daemon must call this on every untrusted blob before
+/// handing it to the sketch library.
+///
+/// The checks replicate every Deserialize/constructor/Merge precondition,
+/// including the seed-derivation consistency of composite blobs (a
+/// StreamSummary blob whose dyadic levels carry seeds that disagree with
+/// its Options would otherwise abort inside Merge). `max_counters` bounds
+/// the total allocation the blob may imply (the service passes
+/// kMaxSketchCounters).
+BlobCheckResult CheckSketchBlob(SketchType type,
+                                const std::vector<uint8_t>& bytes,
+                                uint64_t max_counters);
+
+}  // namespace sketch::server
+
+#endif  // SKETCH_SERVER_BLOB_CHECK_H_

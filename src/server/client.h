@@ -1,0 +1,69 @@
+#ifndef SKETCH_SERVER_CLIENT_H_
+#define SKETCH_SERVER_CLIENT_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+#include "server/transport.h"
+#include "stream/update.h"
+
+namespace sketch::server {
+
+/// Synchronous client for the sketch daemon: one request in flight at a
+/// time over any ByteStream (socket or loopback). Every call returns
+/// false on transport failure, protocol violation, or a server error
+/// response; last_error() explains the most recent failure.
+class SketchClient {
+ public:
+  explicit SketchClient(std::unique_ptr<ByteStream> stream)
+      : stream_(std::move(stream)) {}
+
+  bool Ping();
+  bool CreateSketch(const std::string& name, SketchType type,
+                    const std::array<uint64_t, 5>& params);
+  bool DropSketch(const std::string& name);
+  bool Ingest(const std::string& name, UpdateSpan updates,
+              uint64_t* accepted = nullptr);
+  bool PointQuery(const std::string& name, uint64_t item,
+                  PointValueResponse* out);
+  bool HeavyHitters(const std::string& name, double phi,
+                    std::vector<uint64_t>* out);
+  bool InnerProduct(const std::string& left, const std::string& right,
+                    int64_t* out);
+  bool Snapshot(const std::string& name, std::vector<uint8_t>* blob);
+  bool Restore(const std::string& name, SketchType type,
+               const std::vector<uint8_t>& blob);
+  bool ListSketches(std::string* json);
+  bool Statsz(std::string* json);
+  bool TraceDump(std::string* json);
+  bool Shutdown();
+
+  /// The server's error response from the last failed call, if any (code
+  /// is kNone when the failure was transport-level).
+  const ErrorResponse& last_error() const { return last_error_; }
+
+  void Close() { stream_->Close(); }
+
+ private:
+  /// Writes a request frame and blocks for the response frame. False on
+  /// transport or framing failure.
+  bool Transact(const std::vector<uint8_t>& request, Frame* response);
+
+  /// Transact + map a kError response into last_error_.
+  bool TransactChecked(const std::vector<uint8_t>& request, Frame* response);
+
+  /// For requests whose success response is a bare kOk.
+  bool TransactExpectOk(const std::vector<uint8_t>& request);
+
+  std::unique_ptr<ByteStream> stream_;
+  FrameDecoder decoder_;
+  ErrorResponse last_error_;
+};
+
+}  // namespace sketch::server
+
+#endif  // SKETCH_SERVER_CLIENT_H_

@@ -1,0 +1,56 @@
+#include "server/connection.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "server/protocol.h"
+#include "telemetry/telemetry.h"
+
+namespace sketch::server {
+
+ConnectionResult ServeConnection(ByteStream* stream, SketchService* service) {
+  ConnectionResult result;
+  FrameDecoder decoder;
+  // Reads are sized to a fraction of the max frame so a slow or
+  // fragmenting peer exercises the decoder's resumption path instead of
+  // stalling a giant buffer.
+  std::vector<uint8_t> chunk(64 * 1024);
+  while (true) {
+    Frame frame;
+    const DecodeStatus status = decoder.Next(&frame);
+    if (status == DecodeStatus::kBadFrame) {
+      // The stream cannot be resynchronized after a framing violation;
+      // tell the peer why (best effort) and drop the connection.
+      ErrorResponse error;
+      error.code = decoder.error_code();
+      error.message = decoder.error();
+      WriteAll(stream, EncodeError(error));
+      result.framing_error = true;
+      SKETCH_COUNTER_INC("server.connections_framing_error");
+      break;
+    }
+    if (status == DecodeStatus::kFrame) {
+      const std::vector<uint8_t> response = service->HandleFrame(frame);
+      ++result.frames_handled;
+      if (!WriteAll(stream, response)) {
+        // Peer disconnected mid-response: nothing left to serve.
+        result.transport_error = true;
+        break;
+      }
+      if (frame.opcode == Opcode::kShutdown) break;
+      continue;  // drain buffered frames before reading again
+    }
+    const std::ptrdiff_t n = stream->Read(chunk.data(), chunk.size());
+    if (n == 0) break;  // clean end-of-stream
+    if (n < 0) {
+      result.transport_error = true;
+      break;
+    }
+    decoder.Feed(chunk.data(), static_cast<std::size_t>(n));
+  }
+  stream->Close();
+  SKETCH_COUNTER_INC("server.connections_served");
+  return result;
+}
+
+}  // namespace sketch::server

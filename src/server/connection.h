@@ -1,0 +1,33 @@
+#ifndef SKETCH_SERVER_CONNECTION_H_
+#define SKETCH_SERVER_CONNECTION_H_
+
+#include "server/sketch_service.h"
+#include "server/transport.h"
+
+namespace sketch::server {
+
+/// Statistics from one served connection (tests assert on these to pin
+/// down exactly how a fault was handled).
+struct ConnectionResult {
+  uint64_t frames_handled = 0;
+  /// True if the stream ended with a framing violation (bad header /
+  /// oversized frame) rather than a clean end-of-stream.
+  bool framing_error = false;
+  /// True if the peer vanished (read or write error) mid-conversation.
+  bool transport_error = false;
+};
+
+/// Serves one connection to completion: reads bytes, extracts frames,
+/// dispatches each through the service, and writes the response. Returns
+/// when the peer closes, the stream fails, a framing violation occurs
+/// (after sending a best-effort error response), or the service has been
+/// asked to shut down.
+///
+/// Runs on a dedicated thread per connection — NOT on the service's
+/// ThreadPool: ingest fans out through ShardedSketch, which blocks on
+/// pool Wait(), and pool tasks must never Wait() on the pool they run on.
+ConnectionResult ServeConnection(ByteStream* stream, SketchService* service);
+
+}  // namespace sketch::server
+
+#endif  // SKETCH_SERVER_CONNECTION_H_

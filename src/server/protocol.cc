@@ -1,0 +1,531 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace sketch::server {
+
+namespace {
+
+uint16_t LoadU16(const uint8_t* p) {
+  return static_cast<uint16_t>(static_cast<uint16_t>(p[0]) |
+                               static_cast<uint16_t>(p[1]) << 8);
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadU32(p)) |
+         static_cast<uint64_t>(LoadU32(p + 4)) << 32;
+}
+
+/// Frames a payload-free request (ping, listing, shutdown, ...).
+std::vector<uint8_t> EncodeEmpty(Opcode opcode) {
+  return EncodeFrame(opcode, {});
+}
+
+/// Shared tail for all Decode* functions: the message must consume the
+/// payload exactly; trailing bytes mean a malformed or mismatched frame.
+bool FinishDecode(const PayloadReader& reader) { return reader.AtEnd(); }
+
+}  // namespace
+
+// --- PayloadWriter --------------------------------------------------------
+
+void PayloadWriter::PutU16(uint16_t value) {
+  bytes_.push_back(static_cast<uint8_t>(value));
+  bytes_.push_back(static_cast<uint8_t>(value >> 8));
+}
+
+void PayloadWriter::PutU32(uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    bytes_.push_back(static_cast<uint8_t>(value >> shift));
+  }
+}
+
+void PayloadWriter::PutU64(uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    bytes_.push_back(static_cast<uint8_t>(value >> shift));
+  }
+}
+
+void PayloadWriter::PutF64(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutU64(bits);
+}
+
+void PayloadWriter::PutString(const std::string& value) {
+  SKETCH_CHECK_MSG(value.size() <= kMaxNameBytes,
+                   "encoded string exceeds kMaxNameBytes");
+  PutU16(static_cast<uint16_t>(value.size()));
+  bytes_.insert(bytes_.end(), value.begin(), value.end());
+}
+
+void PayloadWriter::PutBytes(const std::vector<uint8_t>& value) {
+  SKETCH_CHECK_MSG(value.size() <= kMaxBlobBytes,
+                   "encoded blob exceeds kMaxBlobBytes");
+  PutU32(static_cast<uint32_t>(value.size()));
+  bytes_.insert(bytes_.end(), value.begin(), value.end());
+}
+
+// --- PayloadReader --------------------------------------------------------
+
+bool PayloadReader::TryReadU8(uint8_t* out) {
+  if (remaining() < 1) return false;
+  *out = data_[position_++];
+  return true;
+}
+
+bool PayloadReader::TryReadU16(uint16_t* out) {
+  if (remaining() < 2) return false;
+  *out = LoadU16(data_ + position_);
+  position_ += 2;
+  return true;
+}
+
+bool PayloadReader::TryReadU32(uint32_t* out) {
+  if (remaining() < 4) return false;
+  *out = LoadU32(data_ + position_);
+  position_ += 4;
+  return true;
+}
+
+bool PayloadReader::TryReadU64(uint64_t* out) {
+  if (remaining() < 8) return false;
+  *out = LoadU64(data_ + position_);
+  position_ += 8;
+  return true;
+}
+
+bool PayloadReader::TryReadI64(int64_t* out) {
+  uint64_t bits = 0;
+  if (!TryReadU64(&bits)) return false;
+  *out = static_cast<int64_t>(bits);
+  return true;
+}
+
+bool PayloadReader::TryReadF64(double* out) {
+  uint64_t bits = 0;
+  if (!TryReadU64(&bits)) return false;
+  std::memcpy(out, &bits, sizeof(bits));
+  return true;
+}
+
+bool PayloadReader::TryReadString(std::string* out) {
+  uint16_t length = 0;
+  if (!TryReadU16(&length)) return false;
+  // Validate against both the cap and the bytes actually present before
+  // touching the output string, so a hostile length cannot allocate.
+  if (length > kMaxNameBytes || length > remaining()) return false;
+  out->assign(reinterpret_cast<const char*>(data_ + position_), length);
+  position_ += length;
+  return true;
+}
+
+bool PayloadReader::TryReadBytes(std::vector<uint8_t>* out,
+                                 uint32_t max_bytes) {
+  uint32_t length = 0;
+  if (!TryReadU32(&length)) return false;
+  if (length > max_bytes || length > remaining()) return false;
+  out->assign(data_ + position_, data_ + position_ + length);
+  position_ += length;
+  return true;
+}
+
+// --- Framing --------------------------------------------------------------
+
+std::vector<uint8_t> EncodeFrame(Opcode opcode,
+                                 const std::vector<uint8_t>& payload) {
+  SKETCH_CHECK_MSG(payload.size() <= kMaxFramePayloadBytes,
+                   "frame payload exceeds kMaxFramePayloadBytes");
+  std::vector<uint8_t> frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  const auto length = static_cast<uint32_t>(payload.size());
+  for (int shift = 0; shift < 32; shift += 8) {
+    frame.push_back(static_cast<uint8_t>(length >> shift));
+  }
+  frame.push_back(static_cast<uint8_t>(opcode));
+  frame.push_back(kProtocolVersion);
+  frame.push_back(0);  // reserved
+  frame.push_back(0);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+void FrameDecoder::Feed(const uint8_t* data, std::size_t size) {
+  if (failed_) return;  // stream is already unrecoverable
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+DecodeStatus FrameDecoder::Next(Frame* out) {
+  if (failed_) return DecodeStatus::kBadFrame;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) {
+    // Compact once the consumed prefix dominates, so a long-lived
+    // connection does not grow its buffer without bound.
+    if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+      consumed_ = 0;
+    }
+    return DecodeStatus::kNeedMore;
+  }
+  const uint8_t* header = buffer_.data() + consumed_;
+  const uint32_t payload_length = LoadU32(header);
+  const uint8_t raw_opcode = header[4];
+  const uint8_t version = header[5];
+  const uint16_t reserved = LoadU16(header + 6);
+  // Header validation happens before the payload is required to be
+  // present: an oversized declared length is rejected here, while only
+  // kFrameHeaderBytes have been buffered, so the declared length never
+  // drives an allocation.
+  if (version != kProtocolVersion) {
+    failed_ = true;
+    error_code_ = ErrorCode::kBadFrameHeader;
+    error_ = "unsupported protocol version";
+    return DecodeStatus::kBadFrame;
+  }
+  if (reserved != 0) {
+    failed_ = true;
+    error_code_ = ErrorCode::kBadFrameHeader;
+    error_ = "reserved frame-header bits set";
+    return DecodeStatus::kBadFrame;
+  }
+  if (payload_length > kMaxFramePayloadBytes) {
+    failed_ = true;
+    error_code_ = ErrorCode::kFrameTooLarge;
+    error_ = "frame payload length exceeds kMaxFramePayloadBytes";
+    return DecodeStatus::kBadFrame;
+  }
+  if (available < kFrameHeaderBytes + payload_length) {
+    return DecodeStatus::kNeedMore;
+  }
+  out->opcode = static_cast<Opcode>(raw_opcode);
+  const uint8_t* payload = header + kFrameHeaderBytes;
+  out->payload.assign(payload, payload + payload_length);
+  consumed_ += kFrameHeaderBytes + payload_length;
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  }
+  return DecodeStatus::kFrame;
+}
+
+// --- Typed encode/decode --------------------------------------------------
+
+std::vector<uint8_t> EncodePing() { return EncodeEmpty(Opcode::kPing); }
+std::vector<uint8_t> EncodeShutdown() { return EncodeEmpty(Opcode::kShutdown); }
+std::vector<uint8_t> EncodeListSketches() {
+  return EncodeEmpty(Opcode::kListSketches);
+}
+std::vector<uint8_t> EncodeStatsz() { return EncodeEmpty(Opcode::kStatsz); }
+std::vector<uint8_t> EncodeTraceDump() {
+  return EncodeEmpty(Opcode::kTraceDump);
+}
+
+std::vector<uint8_t> EncodeCreateSketch(const CreateSketchRequest& request) {
+  PayloadWriter writer;
+  writer.PutString(request.name);
+  writer.PutU8(static_cast<uint8_t>(request.type));
+  for (uint64_t param : request.params) writer.PutU64(param);
+  return EncodeFrame(Opcode::kCreateSketch, writer.bytes());
+}
+
+bool DecodeCreateSketch(const Frame& frame, CreateSketchRequest* out) {
+  if (frame.opcode != Opcode::kCreateSketch) return false;
+  PayloadReader reader(frame.payload);
+  uint8_t raw_type = 0;
+  if (!reader.TryReadString(&out->name) || !reader.TryReadU8(&raw_type)) {
+    return false;
+  }
+  out->type = static_cast<SketchType>(raw_type);
+  for (uint64_t& param : out->params) {
+    if (!reader.TryReadU64(&param)) return false;
+  }
+  return FinishDecode(reader);
+}
+
+std::vector<uint8_t> EncodeIngestSpan(const std::string& name,
+                                      UpdateSpan updates) {
+  SKETCH_CHECK_MSG(updates.size() <= kMaxBatchUpdates,
+                   "ingest batch exceeds kMaxBatchUpdates");
+  PayloadWriter writer;
+  writer.PutString(name);
+  writer.PutU32(static_cast<uint32_t>(updates.size()));
+  for (const StreamUpdate& update : updates) {
+    writer.PutU64(update.item);
+    writer.PutI64(update.delta);
+  }
+  return EncodeFrame(Opcode::kIngest, writer.bytes());
+}
+
+std::vector<uint8_t> EncodeIngest(const IngestRequest& request) {
+  return EncodeIngestSpan(request.name, UpdateSpan(request.updates));
+}
+
+bool DecodeIngest(const Frame& frame, IngestRequest* out) {
+  if (frame.opcode != Opcode::kIngest) return false;
+  PayloadReader reader(frame.payload);
+  uint32_t count = 0;
+  if (!reader.TryReadString(&out->name) || !reader.TryReadU32(&count)) {
+    return false;
+  }
+  // Reject before allocating: the declared count must respect the batch
+  // cap AND fit in the bytes actually present (16 bytes per update).
+  if (count > kMaxBatchUpdates || reader.remaining() / 16 < count) {
+    return false;
+  }
+  out->updates.resize(count);
+  for (StreamUpdate& update : out->updates) {
+    if (!reader.TryReadU64(&update.item) || !reader.TryReadI64(&update.delta)) {
+      return false;
+    }
+  }
+  return FinishDecode(reader);
+}
+
+std::vector<uint8_t> EncodePointQuery(const PointQueryRequest& request) {
+  PayloadWriter writer;
+  writer.PutString(request.name);
+  writer.PutU64(request.item);
+  return EncodeFrame(Opcode::kPointQuery, writer.bytes());
+}
+
+bool DecodePointQuery(const Frame& frame, PointQueryRequest* out) {
+  if (frame.opcode != Opcode::kPointQuery) return false;
+  PayloadReader reader(frame.payload);
+  return reader.TryReadString(&out->name) && reader.TryReadU64(&out->item) &&
+         FinishDecode(reader);
+}
+
+std::vector<uint8_t> EncodeHeavyHitters(const HeavyHittersRequest& request) {
+  PayloadWriter writer;
+  writer.PutString(request.name);
+  writer.PutF64(request.phi);
+  return EncodeFrame(Opcode::kHeavyHitters, writer.bytes());
+}
+
+bool DecodeHeavyHitters(const Frame& frame, HeavyHittersRequest* out) {
+  if (frame.opcode != Opcode::kHeavyHitters) return false;
+  PayloadReader reader(frame.payload);
+  return reader.TryReadString(&out->name) && reader.TryReadF64(&out->phi) &&
+         FinishDecode(reader);
+}
+
+std::vector<uint8_t> EncodeInnerProduct(const InnerProductRequest& request) {
+  PayloadWriter writer;
+  writer.PutString(request.left);
+  writer.PutString(request.right);
+  return EncodeFrame(Opcode::kInnerProduct, writer.bytes());
+}
+
+bool DecodeInnerProduct(const Frame& frame, InnerProductRequest* out) {
+  if (frame.opcode != Opcode::kInnerProduct) return false;
+  PayloadReader reader(frame.payload);
+  return reader.TryReadString(&out->left) &&
+         reader.TryReadString(&out->right) && FinishDecode(reader);
+}
+
+namespace {
+std::vector<uint8_t> EncodeNamed(Opcode opcode, const NamedRequest& request) {
+  PayloadWriter writer;
+  writer.PutString(request.name);
+  return EncodeFrame(opcode, writer.bytes());
+}
+}  // namespace
+
+std::vector<uint8_t> EncodeDropSketch(const NamedRequest& request) {
+  return EncodeNamed(Opcode::kDropSketch, request);
+}
+
+std::vector<uint8_t> EncodeSnapshot(const NamedRequest& request) {
+  return EncodeNamed(Opcode::kSnapshot, request);
+}
+
+bool DecodeNamedRequest(const Frame& frame, NamedRequest* out) {
+  if (frame.opcode != Opcode::kDropSketch &&
+      frame.opcode != Opcode::kSnapshot) {
+    return false;
+  }
+  PayloadReader reader(frame.payload);
+  return reader.TryReadString(&out->name) && FinishDecode(reader);
+}
+
+std::vector<uint8_t> EncodeRestore(const RestoreRequest& request) {
+  PayloadWriter writer;
+  writer.PutString(request.name);
+  writer.PutU8(static_cast<uint8_t>(request.type));
+  writer.PutBytes(request.blob);
+  return EncodeFrame(Opcode::kRestore, writer.bytes());
+}
+
+bool DecodeRestore(const Frame& frame, RestoreRequest* out) {
+  if (frame.opcode != Opcode::kRestore) return false;
+  PayloadReader reader(frame.payload);
+  uint8_t raw_type = 0;
+  if (!reader.TryReadString(&out->name) || !reader.TryReadU8(&raw_type)) {
+    return false;
+  }
+  out->type = static_cast<SketchType>(raw_type);
+  return reader.TryReadBytes(&out->blob, kMaxBlobBytes) && FinishDecode(reader);
+}
+
+std::vector<uint8_t> EncodeOk() { return EncodeEmpty(Opcode::kOk); }
+std::vector<uint8_t> EncodePong() { return EncodeEmpty(Opcode::kPong); }
+
+std::vector<uint8_t> EncodeError(const ErrorResponse& response) {
+  PayloadWriter writer;
+  writer.PutU16(static_cast<uint16_t>(response.code));
+  // Error text is bounded like a name so a response always fits one frame.
+  std::string message = response.message;
+  if (message.size() > kMaxNameBytes) message.resize(kMaxNameBytes);
+  writer.PutString(message);
+  return EncodeFrame(Opcode::kError, writer.bytes());
+}
+
+bool DecodeError(const Frame& frame, ErrorResponse* out) {
+  if (frame.opcode != Opcode::kError) return false;
+  PayloadReader reader(frame.payload);
+  uint16_t raw_code = 0;
+  if (!reader.TryReadU16(&raw_code)) return false;
+  out->code = static_cast<ErrorCode>(raw_code);
+  return reader.TryReadString(&out->message) && FinishDecode(reader);
+}
+
+std::vector<uint8_t> EncodePointValue(const PointValueResponse& response) {
+  PayloadWriter writer;
+  writer.PutI64(response.estimate);
+  writer.PutF64(response.error_bound);
+  writer.PutU8(static_cast<uint8_t>(response.bound_kind));
+  return EncodeFrame(Opcode::kPointValue, writer.bytes());
+}
+
+bool DecodePointValue(const Frame& frame, PointValueResponse* out) {
+  if (frame.opcode != Opcode::kPointValue) return false;
+  PayloadReader reader(frame.payload);
+  uint8_t raw_kind = 0;
+  if (!reader.TryReadI64(&out->estimate) ||
+      !reader.TryReadF64(&out->error_bound) || !reader.TryReadU8(&raw_kind)) {
+    return false;
+  }
+  out->bound_kind = static_cast<BoundKind>(raw_kind);
+  return FinishDecode(reader);
+}
+
+std::vector<uint8_t> EncodeItems(const ItemsResponse& response) {
+  SKETCH_CHECK_MSG(response.items.size() <= kMaxHeavyHitterItems,
+                   "items response exceeds kMaxHeavyHitterItems");
+  PayloadWriter writer;
+  writer.PutU32(static_cast<uint32_t>(response.items.size()));
+  for (uint64_t item : response.items) writer.PutU64(item);
+  return EncodeFrame(Opcode::kItems, writer.bytes());
+}
+
+bool DecodeItems(const Frame& frame, ItemsResponse* out) {
+  if (frame.opcode != Opcode::kItems) return false;
+  PayloadReader reader(frame.payload);
+  uint32_t count = 0;
+  if (!reader.TryReadU32(&count)) return false;
+  if (count > kMaxHeavyHitterItems || reader.remaining() / 8 < count) {
+    return false;
+  }
+  out->items.resize(count);
+  for (uint64_t& item : out->items) {
+    if (!reader.TryReadU64(&item)) return false;
+  }
+  return FinishDecode(reader);
+}
+
+std::vector<uint8_t> EncodeBlob(const BlobResponse& response) {
+  PayloadWriter writer;
+  writer.PutBytes(response.bytes);
+  return EncodeFrame(Opcode::kBlob, writer.bytes());
+}
+
+bool DecodeBlob(const Frame& frame, BlobResponse* out) {
+  if (frame.opcode != Opcode::kBlob) return false;
+  PayloadReader reader(frame.payload);
+  return reader.TryReadBytes(&out->bytes, kMaxBlobBytes) &&
+         FinishDecode(reader);
+}
+
+std::vector<uint8_t> EncodeText(const TextResponse& response) {
+  // Text payloads (statsz JSON, trace JSON, listings) can exceed the name
+  // cap, so they ride as a length-prefixed blob.
+  PayloadWriter writer;
+  std::vector<uint8_t> bytes(response.text.begin(), response.text.end());
+  writer.PutBytes(bytes);
+  return EncodeFrame(Opcode::kText, writer.bytes());
+}
+
+bool DecodeText(const Frame& frame, TextResponse* out) {
+  if (frame.opcode != Opcode::kText) return false;
+  PayloadReader reader(frame.payload);
+  std::vector<uint8_t> bytes;
+  if (!reader.TryReadBytes(&bytes, kMaxBlobBytes)) return false;
+  out->text.assign(bytes.begin(), bytes.end());
+  return FinishDecode(reader);
+}
+
+std::vector<uint8_t> EncodeIngestAck(const IngestAckResponse& response) {
+  PayloadWriter writer;
+  writer.PutU64(response.accepted);
+  return EncodeFrame(Opcode::kIngestAck, writer.bytes());
+}
+
+bool DecodeIngestAck(const Frame& frame, IngestAckResponse* out) {
+  if (frame.opcode != Opcode::kIngestAck) return false;
+  PayloadReader reader(frame.payload);
+  return reader.TryReadU64(&out->accepted) && FinishDecode(reader);
+}
+
+bool IsKnownRequestOpcode(uint8_t raw) {
+  return raw >= static_cast<uint8_t>(Opcode::kPing) &&
+         raw <= static_cast<uint8_t>(Opcode::kShutdown);
+}
+
+const char* OpcodeName(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kPing: return "Ping";
+    case Opcode::kCreateSketch: return "CreateSketch";
+    case Opcode::kDropSketch: return "DropSketch";
+    case Opcode::kIngest: return "Ingest";
+    case Opcode::kPointQuery: return "PointQuery";
+    case Opcode::kHeavyHitters: return "HeavyHitters";
+    case Opcode::kInnerProduct: return "InnerProduct";
+    case Opcode::kSnapshot: return "Snapshot";
+    case Opcode::kRestore: return "Restore";
+    case Opcode::kListSketches: return "ListSketches";
+    case Opcode::kStatsz: return "Statsz";
+    case Opcode::kTraceDump: return "TraceDump";
+    case Opcode::kShutdown: return "Shutdown";
+    case Opcode::kOk: return "Ok";
+    case Opcode::kError: return "Error";
+    case Opcode::kPointValue: return "PointValue";
+    case Opcode::kItems: return "Items";
+    case Opcode::kBlob: return "Blob";
+    case Opcode::kText: return "Text";
+    case Opcode::kPong: return "Pong";
+    case Opcode::kIngestAck: return "IngestAck";
+  }
+  return "Unknown";
+}
+
+const char* SketchTypeName(SketchType type) {
+  switch (type) {
+    case SketchType::kCountMin: return "CountMin";
+    case SketchType::kCountSketch: return "CountSketch";
+    case SketchType::kBloom: return "Bloom";
+    case SketchType::kStreamSummary: return "StreamSummary";
+    case SketchType::kShardedCountMin: return "ShardedCountMin";
+  }
+  return "Unknown";
+}
+
+}  // namespace sketch::server

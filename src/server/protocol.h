@@ -1,0 +1,382 @@
+#ifndef SKETCH_SERVER_PROTOCOL_H_
+#define SKETCH_SERVER_PROTOCOL_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/update.h"
+
+/// \file
+/// Wire protocol for the sketch-as-a-service daemon ("sketchwire/1").
+///
+/// This layer is a pure codec: it converts between message structs and
+/// length-prefixed binary frames, and never touches a socket, a sketch, or
+/// a thread — so the whole protocol is unit-testable in-process, and the
+/// daemon, the in-process loopback transport, the client library, and the
+/// fuzz harness all share one decoder.
+///
+/// Frame layout (all integers little-endian):
+///
+///   offset 0  u32  payload length in bytes (excludes this 8-byte header)
+///   offset 4  u8   opcode
+///   offset 5  u8   protocol version (must be 1)
+///   offset 6  u16  reserved (must be 0)
+///   offset 8  payload bytes
+///
+/// Payload primitives: u8/u16/u32/u64/i64/f64 little-endian; strings are a
+/// u16 length followed by raw bytes (names are capped at kMaxNameBytes);
+/// byte blobs are a u32 length followed by raw bytes.
+///
+/// Untrusted-input discipline (the server-side mirror of SL003): every
+/// decode path validates a declared length against both its own cap and
+/// the bytes actually present *before* allocating, so a malformed frame
+/// can produce an error response but never an oversized allocation or a
+/// crash. Decoding returns false / DecodeStatus::kBadFrame instead of
+/// CHECK-failing; SKETCH_CHECK appears only on encode paths, where a
+/// violation is a programming error in this process, not hostile input.
+/// The full wire-format specification lives in DESIGN.md ("Server"); the
+/// golden-file test (tests/server/wire_golden_test.cc) pins the encoding
+/// so schema changes are deliberate.
+
+namespace sketch::server {
+
+/// Protocol version carried in every frame header.
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Bytes in the fixed frame header.
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// Hard cap on a frame payload. Chosen so the largest legal messages — a
+/// kMaxBatchUpdates ingest batch (16 bytes per update) and a snapshot of a
+/// maximum-geometry sketch (kMaxSketchCounters counters at 8 bytes) — fit
+/// with headroom, while a hostile length prefix can never drive a large
+/// allocation: the decoder rejects the frame before buffering the payload.
+inline constexpr uint32_t kMaxFramePayloadBytes = 8u << 20;  // 8 MiB
+
+/// Cap on sketch-name strings.
+inline constexpr uint32_t kMaxNameBytes = 256;
+
+/// Cap on updates per ingest frame (16 bytes each → 4 MiB of payload).
+inline constexpr uint32_t kMaxBatchUpdates = 1u << 18;
+
+/// Cap on snapshot/restore blobs inside a frame.
+inline constexpr uint32_t kMaxBlobBytes = kMaxFramePayloadBytes - 1024;
+
+/// Cap on total counters a served sketch may allocate (512Ki counters =
+/// 4 MiB), so CreateSketch geometry — and therefore every snapshot — stays
+/// within one frame and a hostile create cannot exhaust server memory.
+inline constexpr uint64_t kMaxSketchCounters = 1ull << 19;
+
+/// Cap on items returned from a heavy-hitters query.
+inline constexpr uint32_t kMaxHeavyHitterItems = 1u << 16;
+
+/// Request and response opcodes. Requests occupy 0x01-0x7f, responses
+/// 0x80-0xff, so a stray response frame can never be mistaken for a
+/// request.
+enum class Opcode : uint8_t {
+  // Requests.
+  kPing = 0x01,
+  kCreateSketch = 0x02,
+  kDropSketch = 0x03,
+  kIngest = 0x04,
+  kPointQuery = 0x05,
+  kHeavyHitters = 0x06,
+  kInnerProduct = 0x07,
+  kSnapshot = 0x08,
+  kRestore = 0x09,
+  kListSketches = 0x0a,
+  kStatsz = 0x0b,
+  kTraceDump = 0x0c,
+  kShutdown = 0x0d,
+  // Responses.
+  kOk = 0x80,
+  kError = 0x81,
+  kPointValue = 0x82,
+  kItems = 0x83,
+  kBlob = 0x84,
+  kText = 0x85,
+  kPong = 0x86,
+  kIngestAck = 0x87,
+};
+
+/// Sketch families a server registry can own.
+enum class SketchType : uint8_t {
+  kCountMin = 1,
+  kCountSketch = 2,
+  kBloom = 3,
+  kStreamSummary = 4,
+  kShardedCountMin = 5,
+};
+
+/// Error codes carried in kError responses.
+enum class ErrorCode : uint16_t {
+  kNone = 0,
+  kMalformedPayload = 1,
+  kUnknownOpcode = 2,
+  kNoSuchSketch = 3,
+  kSketchExists = 4,
+  kGeometryMismatch = 5,
+  kFrameTooLarge = 6,
+  kBadSketchType = 7,
+  kUnsupported = 8,
+  kBadBlob = 9,
+  kBadGeometry = 10,
+  kBadFrameHeader = 11,
+};
+
+/// Kind of error bound attached to a point-query response. Minton & Price
+/// 2012 motivate reporting the bound alongside the estimate: the same
+/// counters admit sharper guarantees than the worst case, and a client can
+/// only exploit that if the server tells it the scale of the noise.
+enum class BoundKind : uint8_t {
+  kNone = 0,
+  kL1 = 1,   ///< Count-Min style: eps * ||x||_1 with eps = e / width
+  kL2 = 2,   ///< Count-Sketch style: sqrt(3 * F2_hat / width)
+  kFpr = 3,  ///< Bloom: current false-positive probability
+};
+
+/// One decoded frame: opcode plus raw payload bytes.
+struct Frame {
+  Opcode opcode = Opcode::kPing;
+  std::vector<uint8_t> payload;
+};
+
+/// Appends primitives to a payload buffer. Encode-side only; sizes are
+/// checked with SKETCH_CHECK because exceeding a cap here is a bug in this
+/// process, not hostile input.
+class PayloadWriter {
+ public:
+  void PutU8(uint8_t value) { bytes_.push_back(value); }
+  void PutU16(uint16_t value);
+  void PutU32(uint32_t value);
+  void PutU64(uint64_t value);
+  void PutI64(int64_t value) { PutU64(static_cast<uint64_t>(value)); }
+  void PutF64(double value);
+  /// u16 length + raw bytes; CHECKs length <= kMaxNameBytes.
+  void PutString(const std::string& value);
+  /// u32 length + raw bytes; CHECKs length <= kMaxBlobBytes.
+  void PutBytes(const std::vector<uint8_t>& value);
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Bounds-checked cursor over a received payload. Every TryRead* returns
+/// false instead of reading past the end, and length-prefixed reads
+/// validate the declared length against the cap and the remaining bytes
+/// before allocating.
+class PayloadReader {
+ public:
+  PayloadReader(const uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit PayloadReader(const std::vector<uint8_t>& payload)
+      : PayloadReader(payload.data(), payload.size()) {}
+
+  bool TryReadU8(uint8_t* out);
+  bool TryReadU16(uint16_t* out);
+  bool TryReadU32(uint32_t* out);
+  bool TryReadU64(uint64_t* out);
+  bool TryReadI64(int64_t* out);
+  bool TryReadF64(double* out);
+  /// u16 length + bytes; rejects length > kMaxNameBytes before allocating.
+  bool TryReadString(std::string* out);
+  /// u32 length + bytes; rejects length > max_bytes before allocating.
+  bool TryReadBytes(std::vector<uint8_t>* out, uint32_t max_bytes);
+
+  std::size_t remaining() const { return size_ - position_; }
+  bool AtEnd() const { return position_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  std::size_t size_;
+  std::size_t position_ = 0;
+};
+
+/// Encodes a complete frame (header + payload). CHECKs the payload is
+/// within kMaxFramePayloadBytes — an oversized response is a server bug.
+std::vector<uint8_t> EncodeFrame(Opcode opcode,
+                                 const std::vector<uint8_t>& payload);
+
+/// Incremental frame decoder. Feed() whatever a transport read returned —
+/// any fragmentation, including one byte at a time — and Next() yields
+/// complete frames as they become available. A malformed header (bad
+/// version, nonzero reserved bits, oversized length) is fatal for the
+/// stream: Next() returns kBadFrame and the decoder stays failed, because
+/// after a framing error the byte stream can no longer be resynchronized.
+enum class DecodeStatus : uint8_t {
+  kFrame = 0,     ///< *out holds the next complete frame
+  kNeedMore = 1,  ///< no complete frame buffered yet
+  kBadFrame = 2,  ///< framing violation; connection must be dropped
+};
+
+class FrameDecoder {
+ public:
+  /// Appends raw transport bytes to the internal buffer.
+  void Feed(const uint8_t* data, std::size_t size);
+
+  /// Extracts the next complete frame, if any.
+  DecodeStatus Next(Frame* out);
+
+  /// Populated after Next() returns kBadFrame.
+  ErrorCode error_code() const { return error_code_; }
+  const std::string& error() const { return error_; }
+
+  /// Bytes currently buffered and not yet consumed by Next().
+  std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+  bool failed_ = false;
+  ErrorCode error_code_ = ErrorCode::kNone;
+  std::string error_;
+};
+
+// --- Request messages -----------------------------------------------------
+
+/// CreateSketch: five u64 parameters whose meaning depends on the type:
+///   kCountMin/kCountSketch: {width, depth, seed, 0, 0}
+///   kBloom:                 {num_bits, num_hashes, seed, 0, 0}
+///   kStreamSummary:         {log_universe, width, depth, verify_width, seed}
+///   kShardedCountMin:       {width, depth, seed, num_shards, 0}
+struct CreateSketchRequest {
+  std::string name;
+  SketchType type = SketchType::kCountMin;
+  std::array<uint64_t, 5> params{};
+};
+
+struct IngestRequest {
+  std::string name;
+  std::vector<StreamUpdate> updates;
+};
+
+struct PointQueryRequest {
+  std::string name;
+  uint64_t item = 0;
+};
+
+struct HeavyHittersRequest {
+  std::string name;
+  double phi = 0.0;
+};
+
+struct InnerProductRequest {
+  std::string left;
+  std::string right;
+};
+
+/// Shared by kDropSketch and kSnapshot (payload is just the name).
+struct NamedRequest {
+  std::string name;
+};
+
+struct RestoreRequest {
+  std::string name;
+  SketchType type = SketchType::kCountMin;
+  std::vector<uint8_t> blob;
+};
+
+// --- Response messages ----------------------------------------------------
+
+struct ErrorResponse {
+  ErrorCode code = ErrorCode::kNone;
+  std::string message;
+};
+
+struct PointValueResponse {
+  int64_t estimate = 0;
+  double error_bound = 0.0;
+  BoundKind bound_kind = BoundKind::kNone;
+};
+
+struct ItemsResponse {
+  std::vector<uint64_t> items;
+};
+
+struct BlobResponse {
+  std::vector<uint8_t> bytes;
+};
+
+struct TextResponse {
+  std::string text;
+};
+
+struct IngestAckResponse {
+  uint64_t accepted = 0;
+};
+
+// --- Typed encode/decode --------------------------------------------------
+//
+// Encode* returns complete frame bytes ready for a transport. Decode*
+// takes a frame (already extracted by FrameDecoder), checks the opcode,
+// and fills the struct; it returns false on any payload malformation,
+// including trailing bytes after the message.
+
+std::vector<uint8_t> EncodePing();
+std::vector<uint8_t> EncodeShutdown();
+std::vector<uint8_t> EncodeListSketches();
+std::vector<uint8_t> EncodeStatsz();
+std::vector<uint8_t> EncodeTraceDump();
+
+std::vector<uint8_t> EncodeCreateSketch(const CreateSketchRequest& request);
+bool DecodeCreateSketch(const Frame& frame, CreateSketchRequest* out);
+
+std::vector<uint8_t> EncodeIngest(const IngestRequest& request);
+/// Encodes directly from a span (avoids copying batches into a request).
+std::vector<uint8_t> EncodeIngestSpan(const std::string& name,
+                                      UpdateSpan updates);
+bool DecodeIngest(const Frame& frame, IngestRequest* out);
+
+std::vector<uint8_t> EncodePointQuery(const PointQueryRequest& request);
+bool DecodePointQuery(const Frame& frame, PointQueryRequest* out);
+
+std::vector<uint8_t> EncodeHeavyHitters(const HeavyHittersRequest& request);
+bool DecodeHeavyHitters(const Frame& frame, HeavyHittersRequest* out);
+
+std::vector<uint8_t> EncodeInnerProduct(const InnerProductRequest& request);
+bool DecodeInnerProduct(const Frame& frame, InnerProductRequest* out);
+
+std::vector<uint8_t> EncodeDropSketch(const NamedRequest& request);
+std::vector<uint8_t> EncodeSnapshot(const NamedRequest& request);
+bool DecodeNamedRequest(const Frame& frame, NamedRequest* out);
+
+std::vector<uint8_t> EncodeRestore(const RestoreRequest& request);
+bool DecodeRestore(const Frame& frame, RestoreRequest* out);
+
+std::vector<uint8_t> EncodeOk();
+std::vector<uint8_t> EncodePong();
+
+std::vector<uint8_t> EncodeError(const ErrorResponse& response);
+bool DecodeError(const Frame& frame, ErrorResponse* out);
+
+std::vector<uint8_t> EncodePointValue(const PointValueResponse& response);
+bool DecodePointValue(const Frame& frame, PointValueResponse* out);
+
+std::vector<uint8_t> EncodeItems(const ItemsResponse& response);
+bool DecodeItems(const Frame& frame, ItemsResponse* out);
+
+std::vector<uint8_t> EncodeBlob(const BlobResponse& response);
+bool DecodeBlob(const Frame& frame, BlobResponse* out);
+
+std::vector<uint8_t> EncodeText(const TextResponse& response);
+bool DecodeText(const Frame& frame, TextResponse* out);
+
+std::vector<uint8_t> EncodeIngestAck(const IngestAckResponse& response);
+bool DecodeIngestAck(const Frame& frame, IngestAckResponse* out);
+
+/// True for opcodes in the request range that this protocol version knows.
+bool IsKnownRequestOpcode(uint8_t raw);
+
+/// Human-readable opcode / type names (diagnostics, statsz).
+const char* OpcodeName(Opcode opcode);
+const char* SketchTypeName(SketchType type);
+
+}  // namespace sketch::server
+
+#endif  // SKETCH_SERVER_PROTOCOL_H_

@@ -1,0 +1,68 @@
+#include "server/server.h"
+
+#include <utility>
+
+namespace sketch::server {
+
+SketchServer::SketchServer(const Options& options)
+    : options_(options),
+      pool_(options.pool_threads),
+      service_(SketchService::Options{&pool_, options.default_shards}) {}
+
+SketchServer::~SketchServer() { Stop(); }
+
+bool SketchServer::Start() {
+  listener_ = options_.unix_path.empty()
+                  ? SocketListener::ListenTcp(options_.tcp_port)
+                  : SocketListener::ListenUnix(options_.unix_path);
+  if (listener_ == nullptr) return false;
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void SketchServer::AcceptLoop() {
+  while (true) {
+    std::unique_ptr<ByteStream> stream = listener_->Accept();
+    if (stream == nullptr) break;  // listener closed
+    if (service_.shutdown_requested()) {
+      stream->Close();
+      break;
+    }
+    // Dedicated thread per connection (see ServeConnection's contract):
+    // the connection blocks on ShardedSketch ingests that Wait() on the
+    // shared pool, so it must not itself be a pool task.
+    ByteStream* raw = stream.release();
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.emplace_back([this, raw] {
+      std::unique_ptr<ByteStream> owned(raw);
+      ServeConnection(owned.get(), &service_);
+      if (service_.shutdown_requested()) {
+        // Unblock the accept loop so the daemon can drain and exit.
+        listener_->Close();
+      }
+    });
+  }
+}
+
+void SketchServer::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (std::thread& t : connections_) {
+    if (t.joinable()) t.join();
+  }
+  connections_.clear();
+}
+
+void SketchServer::Stop() {
+  if (!started_) return;
+  if (listener_ != nullptr) listener_->Close();
+  Wait();
+  started_ = false;
+}
+
+uint16_t SketchServer::port() const {
+  return listener_ == nullptr ? 0 : listener_->port();
+}
+
+}  // namespace sketch::server

@@ -1,0 +1,71 @@
+#ifndef SKETCH_SERVER_SERVER_H_
+#define SKETCH_SERVER_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "server/connection.h"
+#include "server/sketch_service.h"
+#include "server/transport.h"
+
+namespace sketch::server {
+
+/// The long-lived daemon: a listener (TCP or Unix-domain), one thread per
+/// connection, and a shared SketchService. A kShutdown request from any
+/// client stops the accept loop and drains the connections.
+class SketchServer {
+ public:
+  struct Options {
+    /// TCP listen port on 127.0.0.1; 0 picks a free port (see port()).
+    /// Ignored when unix_path is set.
+    uint16_t tcp_port = 0;
+    /// When non-empty, listen on this Unix-domain socket path instead.
+    std::string unix_path;
+    /// Worker threads for the sharded-ingest fan-out pool.
+    std::size_t pool_threads = 4;
+    /// Shard replicas per kShardedCountMin sketch.
+    std::size_t default_shards = 4;
+  };
+
+  explicit SketchServer(const Options& options);
+  ~SketchServer();
+
+  SketchServer(const SketchServer&) = delete;
+  SketchServer& operator=(const SketchServer&) = delete;
+
+  /// Binds the listener and starts the accept loop. False if the address
+  /// cannot be bound.
+  bool Start();
+
+  /// Blocks until a shutdown request has been served and every
+  /// connection thread has drained.
+  void Wait();
+
+  /// Stops accepting, closes the listener, and joins all threads. Safe to
+  /// call more than once; also called by the destructor.
+  void Stop();
+
+  /// Bound TCP port (valid after Start when listening on TCP).
+  uint16_t port() const;
+
+  SketchService* service() { return &service_; }
+
+ private:
+  void AcceptLoop();
+
+  Options options_;
+  ThreadPool pool_;
+  SketchService service_;
+  std::unique_ptr<SocketListener> listener_;
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::thread> connections_;
+  bool started_ = false;
+};
+
+}  // namespace sketch::server
+
+#endif  // SKETCH_SERVER_SERVER_H_

@@ -1,0 +1,181 @@
+// Load-generator client for the sketch daemon: N writer threads stream
+// Zipf batches into one sharded sketch while M reader threads fire point
+// queries, then prints sustained updates/sec and query-latency
+// percentiles. The E24 experiment harness (bench/bench_server_e24.cc)
+// measures the same pipeline in-process over the loopback transport; this
+// binary drives a real daemon over TCP or a Unix socket.
+//
+// Usage:
+//   sketch_loadgen --port=N [--host=127.0.0.1] [--unix=PATH]
+//                  [--writers=2] [--readers=2] [--batches=200]
+//                  [--batch-size=8192] [--queries=2000] [--shutdown]
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "server/client.h"
+#include "stream/generators.h"
+
+namespace {
+
+using sketch::MakeZipfStream;
+using sketch::StreamUpdate;
+using sketch::UpdateSpan;
+using sketch::server::ConnectTcp;
+using sketch::server::ConnectUnix;
+using sketch::server::PointValueResponse;
+using sketch::server::SketchClient;
+using sketch::server::SketchType;
+
+struct Config {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string unix_path;
+  std::size_t writers = 2;
+  std::size_t readers = 2;
+  std::size_t batches = 200;       // per writer
+  std::size_t batch_size = 8192;
+  std::size_t queries = 2000;      // per reader
+  bool shutdown = false;
+};
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+std::unique_ptr<SketchClient> Connect(const Config& config) {
+  auto stream = config.unix_path.empty()
+                    ? ConnectTcp(config.host, config.port)
+                    : ConnectUnix(config.unix_path);
+  if (stream == nullptr) return nullptr;
+  return std::make_unique<SketchClient>(std::move(stream));
+}
+
+double Percentile(std::vector<double>* sorted_ns, double q) {
+  if (sorted_ns->empty()) return 0.0;
+  const auto index = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_ns->size() - 1));
+  return (*sorted_ns)[index];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "host", &value)) {
+      config.host = value;
+    } else if (ParseFlag(arg, "port", &value)) {
+      config.port = static_cast<uint16_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(arg, "unix", &value)) {
+      config.unix_path = value;
+    } else if (ParseFlag(arg, "writers", &value)) {
+      config.writers = static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "readers", &value)) {
+      config.readers = static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "batches", &value)) {
+      config.batches = static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "batch-size", &value)) {
+      config.batch_size = static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "queries", &value)) {
+      config.queries = static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (arg == "--shutdown") {
+      config.shutdown = true;
+    } else {
+      std::fprintf(stderr, "sketch_loadgen: unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (config.port == 0 && config.unix_path.empty()) {
+    std::fprintf(stderr, "sketch_loadgen: need --port or --unix\n");
+    return 2;
+  }
+
+  std::unique_ptr<SketchClient> admin = Connect(config);
+  if (admin == nullptr || !admin->Ping()) {
+    std::fprintf(stderr, "sketch_loadgen: cannot reach daemon\n");
+    return 1;
+  }
+  const std::string name = "loadgen";
+  admin->DropSketch(name);  // ignore "no such sketch" from a prior run
+  if (!admin->CreateSketch(name, SketchType::kShardedCountMin,
+                           {16384, 4, 42, 4, 0})) {
+    std::fprintf(stderr, "sketch_loadgen: create failed: %s\n",
+                 admin->last_error().message.c_str());
+    return 1;
+  }
+
+  std::atomic<uint64_t> total_updates{0};
+  std::atomic<bool> writers_done{false};
+  std::vector<std::vector<double>> latencies(config.readers);
+
+  sketch::Timer wall;
+  std::vector<std::thread> threads;
+  for (std::size_t w = 0; w < config.writers; ++w) {
+    threads.emplace_back([&, w] {
+      std::unique_ptr<SketchClient> client = Connect(config);
+      if (client == nullptr) return;
+      const std::vector<StreamUpdate> stream = MakeZipfStream(
+          /*universe=*/1 << 20, /*alpha=*/1.1,
+          /*length=*/config.batch_size * config.batches, /*seed=*/100 + w);
+      for (std::size_t b = 0; b < config.batches; ++b) {
+        const UpdateSpan batch(stream.data() + b * config.batch_size,
+                               config.batch_size);
+        uint64_t accepted = 0;
+        if (!client->Ingest(name, batch, &accepted)) return;
+        total_updates.fetch_add(accepted, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::size_t r = 0; r < config.readers; ++r) {
+    threads.emplace_back([&, r] {
+      std::unique_ptr<SketchClient> client = Connect(config);
+      if (client == nullptr) return;
+      latencies[r].reserve(config.queries);
+      for (std::size_t q = 0; q < config.queries; ++q) {
+        PointValueResponse value;
+        const uint64_t t0 = sketch::MonotonicNowNs();
+        if (!client->PointQuery(name, q * 2654435761u % (1 << 20), &value)) {
+          return;
+        }
+        latencies[r].push_back(
+            static_cast<double>(sketch::MonotonicNowNs() - t0));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  writers_done.store(true);
+  const double seconds = wall.ElapsedSeconds();
+
+  std::vector<double> all;
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  const double updates = static_cast<double>(total_updates.load());
+  std::printf("sketch_loadgen: %zu writers x %zu batches x %zu updates, "
+              "%zu readers x %zu queries\n",
+              config.writers, config.batches, config.batch_size,
+              config.readers, config.queries);
+  std::printf("  wall time         %.3f s\n", seconds);
+  std::printf("  sustained ingest  %.2f Mupdates/s\n",
+              updates / seconds / 1e6);
+  std::printf("  query p50         %.1f us\n",
+              Percentile(&all, 0.50) / 1e3);
+  std::printf("  query p99         %.1f us\n",
+              Percentile(&all, 0.99) / 1e3);
+
+  if (config.shutdown) admin->Shutdown();
+  return 0;
+}

@@ -1,0 +1,803 @@
+#include "server/sketch_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "parallel/sharded_sketch.h"
+#include "server/blob_check.h"
+#include "telemetry/metric_registry.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
+namespace sketch::server {
+
+namespace {
+
+constexpr double kEuler = 2.718281828459045;
+
+std::vector<uint8_t> MakeError(ErrorCode code, const std::string& message) {
+  ErrorResponse response;
+  response.code = code;
+  response.message = message;
+  return EncodeError(response);
+}
+
+std::vector<uint8_t> MalformedPayload(Opcode opcode) {
+  return MakeError(ErrorCode::kMalformedPayload,
+                   std::string("malformed payload for ") + OpcodeName(opcode));
+}
+
+/// Sum of |delta| over a batch: an upper bound on the L1 mass the batch
+/// adds, tracked so Count-Min point queries can report their eps*||x||_1
+/// error scale.
+int64_t BatchL1(UpdateSpan updates) {
+  int64_t l1 = 0;
+  for (const StreamUpdate& u : updates) {
+    l1 += u.delta < 0 ? -u.delta : u.delta;
+  }
+  return l1;
+}
+
+/// F2 estimate from a Count-Sketch's own counters: per row the sum of
+/// squared counters is an unbiased F2 estimator; the median over rows
+/// gives the usual high-probability bound. Used to scale the L2 error
+/// bound sqrt(3 * F2 / width) reported with point estimates.
+double EstimateF2FromCounters(const CountSketch& sketch) {
+  std::vector<double> rows;
+  rows.reserve(sketch.depth());
+  for (uint64_t j = 0; j < sketch.depth(); ++j) {
+    double sum = 0.0;
+    for (uint64_t b = 0; b < sketch.width(); ++b) {
+      const auto c = static_cast<double>(sketch.CounterAt(j, b));
+      sum += c * c;
+    }
+    rows.push_back(sum);
+  }
+  std::nth_element(rows.begin(), rows.begin() + rows.size() / 2, rows.end());
+  return rows[rows.size() / 2];
+}
+
+/// JSON string escaping for sketch names (arbitrary client bytes).
+std::string EscapeJson(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (const char c : raw) {
+    const auto byte = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (byte < 0x20) {
+      static const char* kHex = "0123456789abcdef";
+      out += "\\u00";
+      out.push_back(kHex[byte >> 4]);
+      out.push_back(kHex[byte & 0xf]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+using internal::SketchEntry;
+
+class CountMinEntry : public SketchEntry {
+ public:
+  explicit CountMinEntry(CountMinSketch sketch) : sketch_(std::move(sketch)) {
+    // A restored sketch's L1 mass is recovered from row 0: every update
+    // adds its delta to exactly one counter per row, so for a
+    // non-negative stream the row sum equals the stream mass.
+    for (uint64_t b = 0; b < sketch_.width(); ++b) {
+      const int64_t c = sketch_.CounterAt(0, b);
+      l1_mass_ += c < 0 ? -c : c;
+    }
+  }
+
+  SketchType type() const override { return SketchType::kCountMin; }
+
+  bool Ingest(UpdateSpan updates, ErrorResponse*) override {
+    sketch_.ApplyBatch(updates);
+    l1_mass_ += BatchL1(updates);
+    updates_applied_ += updates.size();
+    return true;
+  }
+
+  PointValueResponse PointQuery(uint64_t item) override {
+    PointValueResponse response;
+    response.estimate = sketch_.Estimate(item);
+    response.error_bound = kEuler / static_cast<double>(sketch_.width()) *
+                           static_cast<double>(l1_mass_);
+    response.bound_kind = BoundKind::kL1;
+    return response;
+  }
+
+  bool HeavyHitters(double, std::vector<uint64_t>*,
+                    ErrorResponse* error) override {
+    error->code = ErrorCode::kUnsupported;
+    error->message = "flat CountMin cannot enumerate items; use a "
+                     "StreamSummary sketch";
+    return false;
+  }
+
+  bool InnerProduct(SketchEntry& other, int64_t* result,
+                    ErrorResponse* error) override {
+    const CountMinSketch* rhs = other.AsCountMin();
+    if (rhs == nullptr) {
+      error->code = ErrorCode::kUnsupported;
+      error->message = "inner product requires two CountMin sketches";
+      return false;
+    }
+    if (rhs->width() != sketch_.width() || rhs->depth() != sketch_.depth() ||
+        rhs->seed() != sketch_.seed()) {
+      error->code = ErrorCode::kGeometryMismatch;
+      error->message = "inner product requires identical geometry and seed";
+      return false;
+    }
+    *result = sketch_.EstimateInnerProduct(*rhs);
+    return true;
+  }
+
+  std::vector<uint8_t> Snapshot() override { return sketch_.Serialize(); }
+  const CountMinSketch* AsCountMin() override { return &sketch_; }
+  uint64_t SizeInCounters() const override { return sketch_.SizeInCounters(); }
+  uint64_t MemoryFootprintBytes() const override {
+    return sketch_.MemoryFootprintBytes();
+  }
+
+ private:
+  CountMinSketch sketch_;
+  int64_t l1_mass_ = 0;
+};
+
+class CountSketchEntry : public SketchEntry {
+ public:
+  explicit CountSketchEntry(CountSketch sketch) : sketch_(std::move(sketch)) {}
+
+  SketchType type() const override { return SketchType::kCountSketch; }
+
+  bool Ingest(UpdateSpan updates, ErrorResponse*) override {
+    sketch_.ApplyBatch(updates);
+    updates_applied_ += updates.size();
+    return true;
+  }
+
+  PointValueResponse PointQuery(uint64_t item) override {
+    PointValueResponse response;
+    response.estimate = sketch_.Estimate(item);
+    response.error_bound =
+        std::sqrt(3.0 * EstimateF2FromCounters(sketch_) /
+                  static_cast<double>(sketch_.width()));
+    response.bound_kind = BoundKind::kL2;
+    return response;
+  }
+
+  bool HeavyHitters(double, std::vector<uint64_t>*,
+                    ErrorResponse* error) override {
+    error->code = ErrorCode::kUnsupported;
+    error->message = "flat CountSketch cannot enumerate items; use a "
+                     "StreamSummary sketch";
+    return false;
+  }
+
+  bool InnerProduct(SketchEntry& other, int64_t* result,
+                    ErrorResponse* error) override {
+    const CountSketch* rhs = other.AsCountSketch();
+    if (rhs == nullptr) {
+      error->code = ErrorCode::kUnsupported;
+      error->message = "inner product requires two CountSketch sketches";
+      return false;
+    }
+    if (rhs->width() != sketch_.width() || rhs->depth() != sketch_.depth() ||
+        rhs->seed() != sketch_.seed()) {
+      error->code = ErrorCode::kGeometryMismatch;
+      error->message = "inner product requires identical geometry and seed";
+      return false;
+    }
+    *result = sketch_.EstimateInnerProduct(*rhs);
+    return true;
+  }
+
+  std::vector<uint8_t> Snapshot() override { return sketch_.Serialize(); }
+  const CountSketch* AsCountSketch() override { return &sketch_; }
+  uint64_t SizeInCounters() const override { return sketch_.SizeInCounters(); }
+  uint64_t MemoryFootprintBytes() const override {
+    return sketch_.MemoryFootprintBytes();
+  }
+
+ private:
+  CountSketch sketch_;
+};
+
+class BloomEntry : public SketchEntry {
+ public:
+  explicit BloomEntry(BloomFilter filter) : filter_(std::move(filter)) {}
+
+  SketchType type() const override { return SketchType::kBloom; }
+
+  bool Ingest(UpdateSpan updates, ErrorResponse*) override {
+    // Set semantics: each update inserts its item; the delta is ignored
+    // (a Bloom filter has no deletion).
+    filter_.ApplyBatch(updates);
+    updates_applied_ += updates.size();
+    return true;
+  }
+
+  PointValueResponse PointQuery(uint64_t item) override {
+    PointValueResponse response;
+    response.estimate = filter_.MayContain(item) ? 1 : 0;
+    // The membership answer's error scale is the current false-positive
+    // probability: FillRatio^num_hashes.
+    response.error_bound =
+        std::pow(filter_.FillRatio(), filter_.num_hashes());
+    response.bound_kind = BoundKind::kFpr;
+    return response;
+  }
+
+  bool HeavyHitters(double, std::vector<uint64_t>*,
+                    ErrorResponse* error) override {
+    error->code = ErrorCode::kUnsupported;
+    error->message = "Bloom filters answer membership, not frequencies";
+    return false;
+  }
+
+  bool InnerProduct(SketchEntry&, int64_t*, ErrorResponse* error) override {
+    error->code = ErrorCode::kUnsupported;
+    error->message = "Bloom filters do not support inner products";
+    return false;
+  }
+
+  std::vector<uint8_t> Snapshot() override { return filter_.Serialize(); }
+  uint64_t SizeInCounters() const override {
+    return (filter_.num_bits() + 63) / 64;
+  }
+  uint64_t MemoryFootprintBytes() const override {
+    return filter_.MemoryFootprintBytes();
+  }
+
+ private:
+  BloomFilter filter_;
+};
+
+class SummaryEntry : public SketchEntry {
+ public:
+  explicit SummaryEntry(StreamSummary summary) : summary_(std::move(summary)) {}
+
+  SketchType type() const override { return SketchType::kStreamSummary; }
+
+  bool Ingest(UpdateSpan updates, ErrorResponse* error) override {
+    // The dyadic decomposition only covers [0, 2^log_universe); reject
+    // the whole batch up front (atomically) rather than tripping the
+    // debug assertion inside DyadicCountMin.
+    const uint64_t universe =
+        1ULL << static_cast<unsigned>(summary_.options().log_universe);
+    for (const StreamUpdate& u : updates) {
+      if (u.item >= universe) {
+        error->code = ErrorCode::kMalformedPayload;
+        error->message = "item outside the StreamSummary universe";
+        return false;
+      }
+    }
+    summary_.ApplyBatch(updates);
+    updates_applied_ += updates.size();
+    return true;
+  }
+
+  PointValueResponse PointQuery(uint64_t item) override {
+    PointValueResponse response;
+    const uint64_t universe =
+        1ULL << static_cast<unsigned>(summary_.options().log_universe);
+    if (item >= universe) {
+      // Out-of-universe items were never ingested: answer zero exactly.
+      response.estimate = 0;
+      response.error_bound = 0.0;
+      response.bound_kind = BoundKind::kNone;
+      return response;
+    }
+    response.estimate = summary_.EstimateCount(item);
+    response.error_bound =
+        std::sqrt(3.0 * summary_.EstimateF2() /
+                  static_cast<double>(summary_.options().verify_width));
+    response.bound_kind = BoundKind::kL2;
+    return response;
+  }
+
+  bool HeavyHitters(double phi, std::vector<uint64_t>* out,
+                    ErrorResponse*) override {
+    *out = summary_.HeavyHitters(phi);
+    if (out->size() > kMaxHeavyHitterItems) out->resize(kMaxHeavyHitterItems);
+    return true;
+  }
+
+  bool InnerProduct(SketchEntry&, int64_t*, ErrorResponse* error) override {
+    error->code = ErrorCode::kUnsupported;
+    error->message = "StreamSummary does not support inner products";
+    return false;
+  }
+
+  std::vector<uint8_t> Snapshot() override { return summary_.Serialize(); }
+  uint64_t SizeInCounters() const override {
+    return summary_.SizeInCounters();
+  }
+  uint64_t MemoryFootprintBytes() const override {
+    return summary_.MemoryFootprintBytes();
+  }
+
+ private:
+  StreamSummary summary_;
+};
+
+/// Sharded Count-Min: ingest fans out across `num_shards` replicas on the
+/// service pool; queries materialize the collapsed sketch lazily (cached
+/// until the next ingest dirties it). Restored state lives in `base_`,
+/// kept outside the replicas so a restore never multiplies counts.
+class ShardedCountMinEntry : public SketchEntry {
+ public:
+  ShardedCountMinEntry(const CountMinSketch& prototype, CountMinSketch base,
+                       std::size_t num_shards, ThreadPool* pool)
+      : sharded_(prototype, num_shards, pool),
+        base_(std::move(base)),
+        cache_(prototype) {
+    // Restored state arrives through base_; recover its L1 mass from
+    // row 0 exactly like CountMinEntry (zero for a fresh create).
+    for (uint64_t b = 0; b < base_.width(); ++b) {
+      const int64_t c = base_.CounterAt(0, b);
+      l1_mass_ += c < 0 ? -c : c;
+    }
+  }
+
+  SketchType type() const override { return SketchType::kShardedCountMin; }
+
+  bool Ingest(UpdateSpan updates, ErrorResponse*) override {
+    sharded_.Ingest(updates);
+    l1_mass_ += BatchL1(updates);
+    updates_applied_ += updates.size();
+    dirty_ = true;
+    return true;
+  }
+
+  PointValueResponse PointQuery(uint64_t item) override {
+    const CountMinSketch& view = Materialize();
+    PointValueResponse response;
+    response.estimate = view.Estimate(item);
+    response.error_bound = kEuler / static_cast<double>(view.width()) *
+                           static_cast<double>(l1_mass_);
+    response.bound_kind = BoundKind::kL1;
+    return response;
+  }
+
+  bool HeavyHitters(double, std::vector<uint64_t>*,
+                    ErrorResponse* error) override {
+    error->code = ErrorCode::kUnsupported;
+    error->message = "flat CountMin cannot enumerate items; use a "
+                     "StreamSummary sketch";
+    return false;
+  }
+
+  bool InnerProduct(SketchEntry& other, int64_t* result,
+                    ErrorResponse* error) override {
+    const CountMinSketch& lhs = Materialize();
+    const CountMinSketch* rhs = other.AsCountMin();
+    if (rhs == nullptr) {
+      error->code = ErrorCode::kUnsupported;
+      error->message = "inner product requires two CountMin sketches";
+      return false;
+    }
+    if (rhs->width() != lhs.width() || rhs->depth() != lhs.depth() ||
+        rhs->seed() != lhs.seed()) {
+      error->code = ErrorCode::kGeometryMismatch;
+      error->message = "inner product requires identical geometry and seed";
+      return false;
+    }
+    *result = lhs.EstimateInnerProduct(*rhs);
+    return true;
+  }
+
+  std::vector<uint8_t> Snapshot() override { return Materialize().Serialize(); }
+  const CountMinSketch* AsCountMin() override { return &Materialize(); }
+
+  uint64_t SizeInCounters() const override {
+    return base_.SizeInCounters() * (sharded_.num_shards() + 2);
+  }
+  uint64_t MemoryFootprintBytes() const override {
+    return sharded_.MemoryFootprintBytes() + base_.MemoryFootprintBytes() +
+           cache_.MemoryFootprintBytes();
+  }
+
+ private:
+  const CountMinSketch& Materialize() {
+    if (dirty_) {
+      cache_ = sharded_.Collapse();
+      cache_.Merge(base_);
+      dirty_ = false;
+    }
+    return cache_;
+  }
+
+  ShardedSketch<CountMinSketch> sharded_;
+  CountMinSketch base_;
+  CountMinSketch cache_;
+  int64_t l1_mass_ = 0;
+  bool dirty_ = true;
+};
+
+/// True iff width * depth is a valid, budgeted counter table.
+bool ValidTable(uint64_t width, uint64_t depth, uint64_t budget) {
+  return width >= 1 && depth >= 1 && width <= UINT64_MAX / depth &&
+         width * depth <= budget;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SketchService::HandleFrame(const Frame& frame) {
+  SKETCH_TRACE_SPAN("server.handle_frame");
+  SKETCH_COUNTER_INC("server.frames_handled");
+  switch (frame.opcode) {
+    case Opcode::kPing:
+      return frame.payload.empty() ? EncodePong()
+                                   : MalformedPayload(frame.opcode);
+    case Opcode::kCreateSketch:
+      return HandleCreate(frame);
+    case Opcode::kDropSketch:
+    case Opcode::kSnapshot: {
+      NamedRequest request;
+      if (!DecodeNamedRequest(frame, &request)) {
+        return MalformedPayload(frame.opcode);
+      }
+      return frame.opcode == Opcode::kDropSketch ? HandleDrop(request)
+                                                 : HandleSnapshot(request);
+    }
+    case Opcode::kIngest:
+      return HandleIngest(frame);
+    case Opcode::kPointQuery:
+      return HandlePointQuery(frame);
+    case Opcode::kHeavyHitters:
+      return HandleHeavyHitters(frame);
+    case Opcode::kInnerProduct:
+      return HandleInnerProduct(frame);
+    case Opcode::kRestore:
+      return HandleRestore(frame);
+    case Opcode::kListSketches:
+      return frame.payload.empty() ? HandleList()
+                                   : MalformedPayload(frame.opcode);
+    case Opcode::kStatsz:
+      return frame.payload.empty() ? HandleStatsz()
+                                   : MalformedPayload(frame.opcode);
+    case Opcode::kTraceDump:
+      return frame.payload.empty() ? HandleTraceDump()
+                                   : MalformedPayload(frame.opcode);
+    case Opcode::kShutdown: {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+      return EncodeOk();
+    }
+    default:
+      break;
+  }
+  return MakeError(ErrorCode::kUnknownOpcode,
+                   std::string("unknown or non-request opcode ") +
+                       OpcodeName(frame.opcode));
+}
+
+bool SketchService::shutdown_requested() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shutdown_;
+}
+
+std::size_t SketchService::sketch_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sketches_.size();
+}
+
+std::unique_ptr<internal::SketchEntry> SketchService::BuildEntry(
+    const CreateSketchRequest& request, ErrorResponse* error) {
+  const auto& p = request.params;
+  switch (request.type) {
+    case SketchType::kCountMin: {
+      if (!ValidTable(p[0], p[1], kMaxSketchCounters)) break;
+      return std::make_unique<CountMinEntry>(CountMinSketch(p[0], p[1], p[2]));
+    }
+    case SketchType::kCountSketch: {
+      if (!ValidTable(p[0], p[1], kMaxSketchCounters)) break;
+      return std::make_unique<CountSketchEntry>(CountSketch(p[0], p[1], p[2]));
+    }
+    case SketchType::kBloom: {
+      const uint64_t num_bits = p[0];
+      const uint64_t num_hashes = p[1];
+      if (num_bits < 1 || num_bits > kMaxSketchCounters * 64 ||
+          num_hashes < 1 || num_hashes > 1024) {
+        break;
+      }
+      return std::make_unique<BloomEntry>(
+          BloomFilter(num_bits, static_cast<int>(num_hashes), p[2]));
+    }
+    case SketchType::kStreamSummary: {
+      StreamSummary::Options options;
+      const uint64_t log_universe = p[0];
+      if (log_universe < 1 || log_universe > 40) break;
+      options.log_universe = static_cast<int>(log_universe);
+      options.width = p[1];
+      options.depth = p[2];
+      options.verify_width = p[3];
+      options.seed = p[4];
+      // Budget the whole composite: log_universe dyadic levels plus the
+      // verifier and AMS tables (both at depth | 1).
+      if (!ValidTable(options.width, options.depth, kMaxSketchCounters)) {
+        break;
+      }
+      const uint64_t dyadic = options.width * options.depth * log_universe;
+      if (options.width * options.depth > kMaxSketchCounters / log_universe ||
+          !ValidTable(options.verify_width, options.depth | 1,
+                      kMaxSketchCounters) ||
+          !ValidTable(options.width, options.depth | 1, kMaxSketchCounters)) {
+        break;
+      }
+      const uint64_t total = dyadic +
+                             options.verify_width * (options.depth | 1) +
+                             options.width * (options.depth | 1);
+      if (total > kMaxSketchCounters) break;
+      return std::make_unique<SummaryEntry>(StreamSummary(options));
+    }
+    case SketchType::kShardedCountMin: {
+      const uint64_t num_shards = p[3];
+      if (!ValidTable(p[0], p[1], kMaxSketchCounters) || num_shards < 1 ||
+          num_shards > 256) {
+        break;
+      }
+      const CountMinSketch prototype(p[0], p[1], p[2]);
+      return std::make_unique<ShardedCountMinEntry>(
+          prototype, prototype, static_cast<std::size_t>(num_shards),
+          options_.pool);
+    }
+  }
+  error->code = ErrorCode::kBadGeometry;
+  error->message = std::string("invalid parameters for sketch type ") +
+                   SketchTypeName(request.type);
+  return nullptr;
+}
+
+std::unique_ptr<internal::SketchEntry> SketchService::BuildEntryFromBlob(
+    SketchType type, const std::vector<uint8_t>& blob) {
+  switch (type) {
+    case SketchType::kCountMin:
+      return std::make_unique<CountMinEntry>(CountMinSketch::Deserialize(blob));
+    case SketchType::kCountSketch:
+      return std::make_unique<CountSketchEntry>(
+          CountSketch::Deserialize(blob));
+    case SketchType::kBloom:
+      return std::make_unique<BloomEntry>(BloomFilter::Deserialize(blob));
+    case SketchType::kStreamSummary:
+      return std::make_unique<SummaryEntry>(StreamSummary::Deserialize(blob));
+    case SketchType::kShardedCountMin: {
+      CountMinSketch base = CountMinSketch::Deserialize(blob);
+      const CountMinSketch prototype(base.width(), base.depth(), base.seed());
+      return std::make_unique<ShardedCountMinEntry>(
+          prototype, std::move(base), options_.default_shards, options_.pool);
+    }
+  }
+  return nullptr;
+}
+
+std::vector<uint8_t> SketchService::HandleCreate(const Frame& frame) {
+  CreateSketchRequest request;
+  if (!DecodeCreateSketch(frame, &request) || request.name.empty()) {
+    return MalformedPayload(frame.opcode);
+  }
+  switch (request.type) {
+    case SketchType::kCountMin:
+    case SketchType::kCountSketch:
+    case SketchType::kBloom:
+    case SketchType::kStreamSummary:
+    case SketchType::kShardedCountMin:
+      break;
+    default:
+      return MakeError(ErrorCode::kBadSketchType, "unknown sketch type");
+  }
+  ErrorResponse error;
+  std::unique_ptr<internal::SketchEntry> entry = BuildEntry(request, &error);
+  if (entry == nullptr) return EncodeError(error);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] =
+      sketches_.emplace(request.name, std::move(entry));
+  static_cast<void>(it);
+  if (!inserted) {
+    return MakeError(ErrorCode::kSketchExists,
+                     "a sketch with this name already exists");
+  }
+  SKETCH_COUNTER_INC("server.sketches_created");
+  return EncodeOk();
+}
+
+std::vector<uint8_t> SketchService::HandleDrop(const NamedRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sketches_.erase(request.name) == 0) {
+    return MakeError(ErrorCode::kNoSuchSketch,
+                     "no sketch named '" + request.name + "'");
+  }
+  return EncodeOk();
+}
+
+std::vector<uint8_t> SketchService::HandleIngest(const Frame& frame) {
+  SKETCH_TRACE_SPAN("server.ingest");
+  IngestRequest request;
+  if (!DecodeIngest(frame, &request)) return MalformedPayload(frame.opcode);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sketches_.find(request.name);
+  if (it == sketches_.end()) {
+    return MakeError(ErrorCode::kNoSuchSketch,
+                     "no sketch named '" + request.name + "'");
+  }
+  ErrorResponse error;
+  if (!it->second->Ingest(UpdateSpan(request.updates), &error)) {
+    return EncodeError(error);
+  }
+  SKETCH_COUNTER_ADD("server.updates_ingested", request.updates.size());
+  IngestAckResponse ack;
+  ack.accepted = request.updates.size();
+  return EncodeIngestAck(ack);
+}
+
+std::vector<uint8_t> SketchService::HandlePointQuery(const Frame& frame) {
+  SKETCH_TRACE_SPAN("server.point_query");
+  PointQueryRequest request;
+  if (!DecodePointQuery(frame, &request)) {
+    return MalformedPayload(frame.opcode);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sketches_.find(request.name);
+  if (it == sketches_.end()) {
+    return MakeError(ErrorCode::kNoSuchSketch,
+                     "no sketch named '" + request.name + "'");
+  }
+  SKETCH_COUNTER_INC("server.point_queries");
+  return EncodePointValue(it->second->PointQuery(request.item));
+}
+
+std::vector<uint8_t> SketchService::HandleHeavyHitters(const Frame& frame) {
+  SKETCH_TRACE_SPAN("server.heavy_hitters");
+  HeavyHittersRequest request;
+  if (!DecodeHeavyHitters(frame, &request)) {
+    return MalformedPayload(frame.opcode);
+  }
+  // StreamSummary::HeavyHitters CHECKs its threshold; validate here so a
+  // hostile phi is an error response, not an abort.
+  if (!(request.phi > 0.0) || !(request.phi < 1.0)) {
+    return MakeError(ErrorCode::kMalformedPayload,
+                     "phi must lie strictly between 0 and 1");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sketches_.find(request.name);
+  if (it == sketches_.end()) {
+    return MakeError(ErrorCode::kNoSuchSketch,
+                     "no sketch named '" + request.name + "'");
+  }
+  ItemsResponse items;
+  ErrorResponse error;
+  if (!it->second->HeavyHitters(request.phi, &items.items, &error)) {
+    return EncodeError(error);
+  }
+  return EncodeItems(items);
+}
+
+std::vector<uint8_t> SketchService::HandleInnerProduct(const Frame& frame) {
+  SKETCH_TRACE_SPAN("server.inner_product");
+  InnerProductRequest request;
+  if (!DecodeInnerProduct(frame, &request)) {
+    return MalformedPayload(frame.opcode);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto left = sketches_.find(request.left);
+  const auto right = sketches_.find(request.right);
+  if (left == sketches_.end() || right == sketches_.end()) {
+    return MakeError(ErrorCode::kNoSuchSketch,
+                     "both sketches must exist for an inner product");
+  }
+  int64_t result = 0;
+  ErrorResponse error;
+  if (!left->second->InnerProduct(*right->second, &result, &error)) {
+    return EncodeError(error);
+  }
+  PointValueResponse response;
+  response.estimate = result;
+  response.bound_kind = BoundKind::kNone;
+  return EncodePointValue(response);
+}
+
+std::vector<uint8_t> SketchService::HandleSnapshot(
+    const NamedRequest& request) {
+  SKETCH_TRACE_SPAN("server.snapshot");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sketches_.find(request.name);
+  if (it == sketches_.end()) {
+    return MakeError(ErrorCode::kNoSuchSketch,
+                     "no sketch named '" + request.name + "'");
+  }
+  BlobResponse blob;
+  blob.bytes = it->second->Snapshot();
+  SKETCH_COUNTER_INC("server.snapshots");
+  return EncodeBlob(blob);
+}
+
+std::vector<uint8_t> SketchService::HandleRestore(const Frame& frame) {
+  SKETCH_TRACE_SPAN("server.restore");
+  RestoreRequest request;
+  if (!DecodeRestore(frame, &request) || request.name.empty()) {
+    return MalformedPayload(frame.opcode);
+  }
+  // Full structural validation of the untrusted blob BEFORE the
+  // CHECK-validating Deserialize sees it: a malformed blob must produce
+  // an error response, never a daemon abort.
+  const BlobCheckResult check =
+      CheckSketchBlob(request.type, request.blob, kMaxSketchCounters);
+  if (!check.ok) {
+    return MakeError(ErrorCode::kBadBlob, check.error);
+  }
+  std::unique_ptr<internal::SketchEntry> entry =
+      BuildEntryFromBlob(request.type, request.blob);
+  if (entry == nullptr) {
+    return MakeError(ErrorCode::kBadSketchType, "unknown sketch type");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = sketches_.emplace(request.name, std::move(entry));
+  static_cast<void>(it);
+  if (!inserted) {
+    return MakeError(ErrorCode::kSketchExists,
+                     "a sketch with this name already exists");
+  }
+  SKETCH_COUNTER_INC("server.restores");
+  return EncodeOk();
+}
+
+std::vector<uint8_t> SketchService::HandleList() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const auto& [name, entry] : sketches_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << EscapeJson(name) << "\",\"type\":\""
+        << SketchTypeName(entry->type()) << "\",\"counters\":"
+        << entry->SizeInCounters() << ",\"updates\":"
+        << entry->updates_applied() << "}";
+  }
+  out << "]";
+  TextResponse response;
+  response.text = out.str();
+  return EncodeText(response);
+}
+
+std::vector<uint8_t> SketchService::HandleStatsz() {
+  // /statsz: registry summary plus the process-wide metric registry, one
+  // JSON object.
+  std::ostringstream out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out << "{\"sketches\":[";
+    bool first = true;
+    for (const auto& [name, entry] : sketches_) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"name\":\"" << EscapeJson(name) << "\",\"type\":\""
+          << SketchTypeName(entry->type()) << "\",\"counters\":"
+          << entry->SizeInCounters() << ",\"memory_bytes\":"
+          << entry->MemoryFootprintBytes() << ",\"updates\":"
+          << entry->updates_applied() << "}";
+    }
+    out << "],";
+  }
+  out << "\"metrics\":" << telemetry::MetricRegistry::Instance().DumpJson()
+      << "}";
+  TextResponse response;
+  response.text = out.str();
+  return EncodeText(response);
+}
+
+std::vector<uint8_t> SketchService::HandleTraceDump() {
+  TextResponse response;
+  response.text =
+      telemetry::TraceRecorder::Instance().ExportChromeTraceJson();
+  return EncodeText(response);
+}
+
+}  // namespace sketch::server

@@ -1,0 +1,135 @@
+#ifndef SKETCH_SERVER_SKETCH_SERVICE_H_
+#define SKETCH_SERVER_SKETCH_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "server/protocol.h"
+#include "sketch/bloom_filter.h"
+#include "sketch/count_min.h"
+#include "sketch/count_sketch.h"
+#include "sketch/stream_summary.h"
+#include "stream/update.h"
+
+/// \file
+/// The sketch-as-a-service registry: named sketches, batched ingest,
+/// point / heavy-hitter / inner-product queries, snapshot/restore, and
+/// introspection — everything the daemon does between a decoded request
+/// frame and an encoded response frame. Transport-free by design: the
+/// connection loop, the loopback tests, and the fuzz harness all drive
+/// the same HandleFrame entry point.
+
+namespace sketch::server {
+
+namespace internal {
+
+/// One named sketch in the registry. Subclasses adapt each sketch family
+/// to the uniform request surface; operations a family cannot support
+/// (heavy hitters on a flat Count-Min, inner product on a Bloom filter)
+/// return an error response instead of being absent from the vtable, so
+/// the protocol surface is total.
+class SketchEntry {
+ public:
+  virtual ~SketchEntry() = default;
+
+  virtual SketchType type() const = 0;
+
+  /// Applies a batch. Returns false (with *error filled) if the batch is
+  /// invalid for this family — e.g. items outside a StreamSummary's
+  /// universe, which would otherwise trip a debug assertion downstream.
+  virtual bool Ingest(UpdateSpan updates, ErrorResponse* error) = 0;
+
+  /// Point estimate plus the family's error bound (Minton & Price style:
+  /// the server reports the scale of the noise, not just the estimate).
+  virtual PointValueResponse PointQuery(uint64_t item) = 0;
+
+  virtual bool HeavyHitters(double phi, std::vector<uint64_t>* out,
+                            ErrorResponse* error) = 0;
+
+  virtual bool InnerProduct(SketchEntry& other, int64_t* result,
+                            ErrorResponse* error) = 0;
+
+  virtual std::vector<uint8_t> Snapshot() = 0;
+
+  /// Downcast hooks for inner products (a sharded entry materializes its
+  /// collapsed sketch).
+  virtual const CountMinSketch* AsCountMin() { return nullptr; }
+  virtual const CountSketch* AsCountSketch() { return nullptr; }
+
+  virtual uint64_t SizeInCounters() const = 0;
+  virtual uint64_t MemoryFootprintBytes() const = 0;
+
+  uint64_t updates_applied() const { return updates_applied_; }
+
+ protected:
+  uint64_t updates_applied_ = 0;
+};
+
+}  // namespace internal
+
+/// The registry + request dispatcher. Thread-safe: HandleFrame may be
+/// called concurrently from any number of connection threads; a single
+/// service mutex serializes access to the registry and the sketches
+/// (ShardedSketch requires externally serialized calls — parallelism
+/// lives *inside* an Ingest, across the shard replicas, not across
+/// requests).
+class SketchService {
+ public:
+  struct Options {
+    /// Shard replicas for kShardedCountMin sketches; also the pool the
+    /// ingest fan-out runs on. A null pool runs shards inline.
+    ThreadPool* pool = nullptr;
+    std::size_t default_shards = 4;
+  };
+
+  explicit SketchService(const Options& options) : options_(options) {}
+
+  /// Dispatches one decoded request frame and returns the encoded
+  /// response frame. Never aborts on malformed payloads: every validation
+  /// failure becomes a kError response.
+  std::vector<uint8_t> HandleFrame(const Frame& frame);
+
+  /// True once a kShutdown request has been handled.
+  bool shutdown_requested() const;
+
+  /// Registry size (tests / statsz).
+  std::size_t sketch_count() const;
+
+ private:
+  std::vector<uint8_t> HandleCreate(const Frame& frame);
+  std::vector<uint8_t> HandleDrop(const NamedRequest& request);
+  std::vector<uint8_t> HandleIngest(const Frame& frame);
+  std::vector<uint8_t> HandlePointQuery(const Frame& frame);
+  std::vector<uint8_t> HandleHeavyHitters(const Frame& frame);
+  std::vector<uint8_t> HandleInnerProduct(const Frame& frame);
+  std::vector<uint8_t> HandleSnapshot(const NamedRequest& request);
+  std::vector<uint8_t> HandleRestore(const Frame& frame);
+  std::vector<uint8_t> HandleList();
+  std::vector<uint8_t> HandleStatsz();
+  std::vector<uint8_t> HandleTraceDump();
+
+  /// Builds an entry from validated create parameters; nullptr + *error
+  /// on invalid geometry.
+  std::unique_ptr<internal::SketchEntry> BuildEntry(
+      const CreateSketchRequest& request, ErrorResponse* error);
+
+  /// Builds an entry from a validated snapshot blob. The blob must have
+  /// passed CheckSketchBlob already (this call runs the CHECK-validating
+  /// Deserialize).
+  std::unique_ptr<internal::SketchEntry> BuildEntryFromBlob(
+      SketchType type, const std::vector<uint8_t>& blob);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<internal::SketchEntry>> sketches_;
+  bool shutdown_ = false;
+};
+
+}  // namespace sketch::server
+
+#endif  // SKETCH_SERVER_SKETCH_SERVICE_H_

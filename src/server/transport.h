@@ -1,0 +1,197 @@
+#ifndef SKETCH_SERVER_TRANSPORT_H_
+#define SKETCH_SERVER_TRANSPORT_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file
+/// Byte-stream transports for the sketch daemon.
+///
+/// The server and client speak to an abstract ByteStream, so the same
+/// connection loop runs over a kernel socket (TCP or Unix-domain), an
+/// in-process loopback pipe (tests need no ports, no /tmp paths, and no
+/// syscall flakiness), or a fault-injecting wrapper that deliberately
+/// fragments, stalls, and severs the stream to exercise every partial-read
+/// and disconnect path in the framing layer.
+
+namespace sketch::server {
+
+/// Minimal blocking byte stream. Implementations are used by exactly one
+/// reader thread and one writer thread at a time.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  /// Reads up to `size` bytes into `data`. Blocks until at least one byte
+  /// is available. Returns the byte count, 0 on clean end-of-stream, or
+  /// -1 on error / torn connection.
+  virtual std::ptrdiff_t Read(uint8_t* data, std::size_t size) = 0;
+
+  /// Writes up to `size` bytes from `data`. Returns the count written
+  /// (possibly short) or -1 on error / torn connection.
+  virtual std::ptrdiff_t Write(const uint8_t* data, std::size_t size) = 0;
+
+  /// Closes both directions; unblocks any blocked Read on the peer.
+  virtual void Close() = 0;
+};
+
+/// Writes the entire buffer, looping over short writes. Returns false if
+/// the stream errors out first.
+bool WriteAll(ByteStream* stream, const uint8_t* data, std::size_t size);
+bool WriteAll(ByteStream* stream, const std::vector<uint8_t>& bytes);
+
+// --- In-process loopback --------------------------------------------------
+
+/// One direction of a loopback connection: an unbounded byte queue with a
+/// closed flag, guarded by a mutex.
+class LoopbackPipe {
+ public:
+  std::ptrdiff_t Read(uint8_t* data, std::size_t size);
+  std::ptrdiff_t Write(const uint8_t* data, std::size_t size);
+  void Close();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable readable_;
+  std::deque<uint8_t> bytes_;
+  bool closed_ = false;
+};
+
+/// One endpoint of a loopback pair: reads from one pipe, writes to the
+/// other.
+class LoopbackStream : public ByteStream {
+ public:
+  LoopbackStream(std::shared_ptr<LoopbackPipe> read_pipe,
+                 std::shared_ptr<LoopbackPipe> write_pipe)
+      : read_pipe_(std::move(read_pipe)), write_pipe_(std::move(write_pipe)) {}
+  ~LoopbackStream() override { Close(); }
+
+  std::ptrdiff_t Read(uint8_t* data, std::size_t size) override {
+    return read_pipe_->Read(data, size);
+  }
+  std::ptrdiff_t Write(const uint8_t* data, std::size_t size) override {
+    return write_pipe_->Write(data, size);
+  }
+  void Close() override {
+    read_pipe_->Close();
+    write_pipe_->Close();
+  }
+
+ private:
+  std::shared_ptr<LoopbackPipe> read_pipe_;
+  std::shared_ptr<LoopbackPipe> write_pipe_;
+};
+
+/// Creates a connected pair of in-process streams: bytes written to
+/// `first` are read from `second` and vice versa.
+std::pair<std::unique_ptr<ByteStream>, std::unique_ptr<ByteStream>>
+MakeLoopbackPair();
+
+// --- Fault injection ------------------------------------------------------
+
+/// Deterministic stream-level faults, applied by FaultyStream. The
+/// defaults inject nothing.
+struct FaultPlan {
+  /// Caps each Read's return to this many bytes (short reads force the
+  /// frame decoder through every resumption path). 0 = no cap.
+  std::size_t max_read_chunk = 0;
+
+  /// Caps each Write similarly, so WriteAll must loop. 0 = no cap.
+  std::size_t max_write_chunk = 0;
+
+  /// After this many bytes have been written in total, every further
+  /// Write fails with -1 — a mid-frame disconnect as seen by the sender.
+  /// 0 = never.
+  std::size_t fail_write_after_bytes = 0;
+
+  /// After this many bytes have been read in total, every further Read
+  /// reports -1 — the peer vanished mid-frame. 0 = never.
+  std::size_t fail_read_after_bytes = 0;
+
+  /// Sleep this long before every Read/Write — a slow client pacing the
+  /// stream one fragment at a time. 0 = no delay.
+  std::size_t delay_micros = 0;
+};
+
+/// Wraps another stream and applies a FaultPlan to every call.
+class FaultyStream : public ByteStream {
+ public:
+  FaultyStream(std::unique_ptr<ByteStream> inner, const FaultPlan& plan)
+      : inner_(std::move(inner)), plan_(plan) {}
+
+  std::ptrdiff_t Read(uint8_t* data, std::size_t size) override;
+  std::ptrdiff_t Write(const uint8_t* data, std::size_t size) override;
+  void Close() override { inner_->Close(); }
+
+ private:
+  std::unique_ptr<ByteStream> inner_;
+  FaultPlan plan_;
+  std::size_t total_read_ = 0;
+  std::size_t total_written_ = 0;
+};
+
+// --- Kernel sockets -------------------------------------------------------
+
+/// A connected TCP or Unix-domain socket.
+class SocketStream : public ByteStream {
+ public:
+  explicit SocketStream(int fd) : fd_(fd) {}
+  ~SocketStream() override { Close(); }
+
+  std::ptrdiff_t Read(uint8_t* data, std::size_t size) override;
+  std::ptrdiff_t Write(const uint8_t* data, std::size_t size) override;
+  void Close() override;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket: TCP on 127.0.0.1 or a Unix-domain path.
+class SocketListener {
+  /// Passkey: construction goes through the Listen* factories, but
+  /// make_unique still needs a public constructor.
+  struct Private {};
+
+ public:
+  SocketListener(Private, int fd, uint16_t port, std::string unix_path)
+      : fd_(fd), port_(port), unix_path_(std::move(unix_path)) {}
+  ~SocketListener();
+
+  /// Listens on 127.0.0.1:port (port 0 picks a free port; see port()).
+  /// Returns nullptr on failure.
+  static std::unique_ptr<SocketListener> ListenTcp(uint16_t port);
+
+  /// Listens on a Unix-domain socket path (unlinks a stale one first).
+  /// Returns nullptr on failure.
+  static std::unique_ptr<SocketListener> ListenUnix(const std::string& path);
+
+  /// Blocks for the next connection; nullptr once the listener is closed.
+  std::unique_ptr<ByteStream> Accept();
+
+  /// Unblocks Accept and closes the listening socket.
+  void Close();
+
+  /// Bound TCP port (after ListenTcp with port 0), or 0 for Unix sockets.
+  uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+  std::string unix_path_;
+};
+
+/// Connects to a daemon over TCP (host is an IPv4 literal such as
+/// "127.0.0.1") or a Unix-domain path. Returns nullptr on failure.
+std::unique_ptr<ByteStream> ConnectTcp(const std::string& host, uint16_t port);
+std::unique_ptr<ByteStream> ConnectUnix(const std::string& path);
+
+}  // namespace sketch::server
+
+#endif  // SKETCH_SERVER_TRANSPORT_H_

@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <cstddef>
 
+#include "common/byte_buffer.h"
 #include "common/check.h"
 #include "common/prng.h"
 #include "telemetry/telemetry.h"
 
 namespace sketch {
+
+namespace {
+constexpr uint64_t kDyadicMagic = 0x534b4459434d3031ULL;  // "SKDYCM01"
+}  // namespace
 
 DyadicCountMin::DyadicCountMin(int log_universe, uint64_t width,
                                uint64_t depth, uint64_t seed)
@@ -161,6 +166,66 @@ uint64_t DyadicCountMin::MemoryFootprintBytes() const {
                                        sizeof(CountMinSketch);
   for (const CountMinSketch& s : levels_) bytes += s.MemoryFootprintBytes();
   return bytes;
+}
+
+std::vector<uint8_t> DyadicCountMin::Serialize() const {
+  // Header: magic, log_universe, total, width, depth (all levels share
+  // geometry). Payload: log_universe full CountMin blobs, each of the
+  // fixed size (4 + width * depth) words, carrying its own derived seed.
+  const uint64_t width = levels_.front().width();
+  const uint64_t depth = levels_.front().depth();
+  std::vector<uint8_t> out;
+  out.reserve(40 + levels_.size() * (32 + width * depth * 8));
+  AppendU64(kDyadicMagic, &out);
+  AppendU64(static_cast<uint64_t>(log_universe_), &out);
+  AppendI64(total_, &out);
+  AppendU64(width, &out);
+  AppendU64(depth, &out);
+  for (const CountMinSketch& level : levels_) {
+    const std::vector<uint8_t> blob = level.Serialize();
+    out.insert(out.end(), blob.begin(), blob.end());
+  }
+  return out;
+}
+
+DyadicCountMin DyadicCountMin::Deserialize(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  SKETCH_CHECK_MSG(reader.ReadU64() == kDyadicMagic,
+                   "not a DyadicCountMin buffer");
+  const uint64_t log_universe = reader.ReadU64();
+  const int64_t total = reader.ReadI64();
+  const uint64_t width = reader.ReadU64();
+  const uint64_t depth = reader.ReadU64();
+  SKETCH_CHECK_MSG(log_universe >= 1 && log_universe <= 40,
+                   "invalid DyadicCountMin universe");
+  SKETCH_CHECK_MSG(width >= 1 && depth >= 1,
+                   "invalid DyadicCountMin geometry");
+  const uint64_t level_words =
+      4 + CheckedMulU64(width, depth, "DyadicCountMin geometry overflows");
+  CheckSerializedSize(
+      bytes, /*header_words=*/5,
+      CheckedMulU64(log_universe, level_words,
+                    "DyadicCountMin level table overflows"),
+      "DyadicCountMin buffer size does not match geometry");
+  DyadicCountMin sketch;
+  sketch.log_universe_ = static_cast<int>(log_universe);
+  sketch.total_ = total;
+  sketch.levels_.reserve(log_universe);
+  const uint64_t level_bytes = level_words * 8;
+  for (uint64_t l = 0; l < log_universe; ++l) {
+    const auto begin =
+        bytes.begin() + static_cast<std::ptrdiff_t>(40 + l * level_bytes);
+    const std::vector<uint8_t> blob(
+        begin, begin + static_cast<std::ptrdiff_t>(level_bytes));
+    sketch.levels_.push_back(CountMinSketch::Deserialize(blob));
+    // The per-level blob's own geometry fields determine only its size;
+    // pin them to the header so a crafted buffer cannot smuggle in levels
+    // whose (width, depth) factorization differs from the dyadic header.
+    SKETCH_CHECK_MSG(sketch.levels_.back().width() == width &&
+                         sketch.levels_.back().depth() == depth,
+                     "DyadicCountMin level geometry mismatch");
+  }
+  return sketch;
 }
 
 StatsSnapshot DyadicCountMin::Introspect() const {

@@ -65,6 +65,15 @@ class DyadicCountMin {
 
   int log_universe() const { return log_universe_; }
 
+  /// Serializes the level structure and every per-level Count-Min blob to
+  /// a portable little-endian byte buffer (all levels share geometry, so
+  /// the layout is fixed once the header is read).
+  std::vector<uint8_t> Serialize() const;
+
+  /// Reconstructs a dyadic sketch from Serialize() output; aborts on
+  /// malformed buffers.
+  static DyadicCountMin Deserialize(const std::vector<uint8_t>& bytes);
+
   /// Space in counters across all levels.
   uint64_t SizeInCounters() const;
 
@@ -79,7 +88,12 @@ class DyadicCountMin {
   std::string DebugString() const { return Introspect().DebugString(); }
 
  private:
-  int log_universe_;
+  // Deserialize() rebuilds the levels directly from their serialized
+  // blobs (each carries its own derived seed), so it starts from an empty
+  // shell instead of the seeding constructor.
+  DyadicCountMin() = default;
+
+  int log_universe_ = 0;
   int64_t total_ = 0;
   std::vector<CountMinSketch> levels_;  // levels_[l] sketches level l+1
 };

@@ -4,9 +4,14 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "common/byte_buffer.h"
 #include "common/check.h"
 
 namespace sketch {
+
+namespace {
+constexpr uint64_t kSummaryMagic = 0x534b53554d4d3031ULL;  // "SKSUMM01"
+}  // namespace
 
 StreamSummary::StreamSummary(const Options& options)
     : options_(options),
@@ -85,6 +90,77 @@ uint64_t StreamSummary::MemoryFootprintBytes() const {
          (dyadic_.MemoryFootprintBytes() - sizeof(DyadicCountMin)) +
          (verifier_.MemoryFootprintBytes() - sizeof(CountSketch)) +
          (ams_.MemoryFootprintBytes() - sizeof(AmsSketch));
+}
+
+std::vector<uint8_t> StreamSummary::Serialize() const {
+  // Header: magic + the five Options words + the three component blob
+  // lengths in words. Payload: the component blobs, each a self-contained
+  // Serialize() buffer (whole little-endian words, so word lengths are
+  // exact).
+  const std::vector<uint8_t> dyadic = dyadic_.Serialize();
+  const std::vector<uint8_t> verifier = verifier_.Serialize();
+  const std::vector<uint8_t> ams = ams_.Serialize();
+  std::vector<uint8_t> out;
+  out.reserve(72 + dyadic.size() + verifier.size() + ams.size());
+  AppendU64(kSummaryMagic, &out);
+  AppendU64(static_cast<uint64_t>(options_.log_universe), &out);
+  AppendU64(options_.width, &out);
+  AppendU64(options_.depth, &out);
+  AppendU64(options_.verify_width, &out);
+  AppendU64(options_.seed, &out);
+  AppendU64(dyadic.size() / 8, &out);
+  AppendU64(verifier.size() / 8, &out);
+  AppendU64(ams.size() / 8, &out);
+  out.insert(out.end(), dyadic.begin(), dyadic.end());
+  out.insert(out.end(), verifier.begin(), verifier.end());
+  out.insert(out.end(), ams.begin(), ams.end());
+  return out;
+}
+
+StreamSummary StreamSummary::Deserialize(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  SKETCH_CHECK_MSG(reader.ReadU64() == kSummaryMagic,
+                   "not a StreamSummary buffer");
+  Options options;
+  const uint64_t log_universe = reader.ReadU64();
+  SKETCH_CHECK_MSG(log_universe >= 1 && log_universe <= 40,
+                   "invalid StreamSummary universe");
+  options.log_universe = static_cast<int>(log_universe);
+  options.width = reader.ReadU64();
+  options.depth = reader.ReadU64();
+  options.verify_width = reader.ReadU64();
+  options.seed = reader.ReadU64();
+  SKETCH_CHECK_MSG(
+      options.width >= 1 && options.depth >= 1 && options.verify_width >= 1,
+      "invalid StreamSummary geometry");
+  const uint64_t max_words = bytes.size() / 8;
+  const uint64_t dyadic_words = reader.ReadU64();
+  const uint64_t verifier_words = reader.ReadU64();
+  const uint64_t ams_words = reader.ReadU64();
+  SKETCH_CHECK_MSG(dyadic_words <= max_words && verifier_words <= max_words &&
+                       ams_words <= max_words,
+                   "StreamSummary component length exceeds buffer");
+  CheckSerializedSize(bytes, /*header_words=*/9,
+                      dyadic_words + verifier_words + ams_words,
+                      "StreamSummary buffer size does not match components");
+  auto slice = [&bytes](uint64_t offset_words, uint64_t count_words) {
+    const auto begin =
+        bytes.begin() + static_cast<std::ptrdiff_t>(offset_words * 8);
+    return std::vector<uint8_t>(
+        begin, begin + static_cast<std::ptrdiff_t>(count_words * 8));
+  };
+  // Rebuild an empty summary from the Options, then merge in the component
+  // blobs: Merge() re-checks that each component's geometry and
+  // seed-derived hash functions agree with what the Options would
+  // construct, so inconsistent crafted buffers are rejected rather than
+  // silently yielding a summary whose parts disagree.
+  StreamSummary summary(options);
+  summary.dyadic_.Merge(DyadicCountMin::Deserialize(slice(9, dyadic_words)));
+  summary.verifier_.Merge(
+      CountSketch::Deserialize(slice(9 + dyadic_words, verifier_words)));
+  summary.ams_.Merge(AmsSketch::Deserialize(
+      slice(9 + dyadic_words + verifier_words, ams_words)));
+  return summary;
 }
 
 StatsSnapshot StreamSummary::Introspect() const {

@@ -72,6 +72,15 @@ class StreamSummary {
   /// Total memory footprint in counters.
   uint64_t SizeInCounters() const;
 
+  /// Serializes the Options plus every component sketch (dyadic Count-Min,
+  /// Count-Sketch verifier, AMS) to a portable little-endian byte buffer.
+  std::vector<uint8_t> Serialize() const;
+
+  /// Reconstructs a summary from Serialize() output; aborts on malformed
+  /// buffers (including component blobs whose geometry or derived seeds
+  /// disagree with the serialized Options).
+  static StreamSummary Deserialize(const std::vector<uint8_t>& bytes);
+
   /// Resident memory: the object plus each component sketch's footprint.
   uint64_t MemoryFootprintBytes() const;
 

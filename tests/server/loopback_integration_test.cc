@@ -1,0 +1,347 @@
+// End-to-end integration over the in-process loopback transport: a real
+// ServeConnection loop on a server thread, the real SketchClient on the
+// test thread, and a FaultyStream between them when the test wants the
+// wire to misbehave. Covers the full ingest -> query -> snapshot ->
+// restore round trip for every sketch type the daemon serves, plus
+// fault-injection scenarios: fragmented reads/writes, mid-frame
+// disconnects in both directions, slow clients, and garbage framing.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "gtest/gtest.h"
+#include "server/client.h"
+#include "server/connection.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/sketch_service.h"
+#include "server/transport.h"
+#include "stream/update.h"
+
+namespace sketch::server {
+namespace {
+
+/// One live connection: a service, a server thread running the real
+/// connection loop over loopback, and a client bound to the other end.
+class LoopbackConnection {
+ public:
+  explicit LoopbackConnection(SketchService* service,
+                              const FaultPlan* client_faults = nullptr) {
+    auto [client_end, server_end] = MakeLoopbackPair();
+    if (client_faults != nullptr) {
+      client_end = std::make_unique<FaultyStream>(std::move(client_end),
+                                                  *client_faults);
+    }
+    client_ = std::make_unique<SketchClient>(std::move(client_end));
+    server_thread_ = std::thread([this, service,
+                                  stream = std::move(server_end)]() mutable {
+      result_ = ServeConnection(stream.get(), service);
+    });
+  }
+
+  ~LoopbackConnection() {
+    client_->Close();
+    if (server_thread_.joinable()) server_thread_.join();
+  }
+
+  SketchClient& client() { return *client_; }
+
+  /// Closes the client end and joins the server loop, returning its
+  /// ConnectionResult. The connection is unusable afterwards.
+  ConnectionResult Finish() {
+    client_->Close();
+    if (server_thread_.joinable()) server_thread_.join();
+    return result_;
+  }
+
+ private:
+  std::unique_ptr<SketchClient> client_;
+  std::thread server_thread_;
+  ConnectionResult result_;
+};
+
+struct TypeCase {
+  const char* name;
+  SketchType type;
+  std::array<uint64_t, 5> params;
+};
+
+/// Creates a sketch, streams a workload, round-trips a point query, then
+/// snapshot -> restore under a new name and checks the restored copy
+/// answers identically.
+void RoundTrip(SketchClient& client, const TypeCase& c) {
+  SCOPED_TRACE(c.name);
+  ASSERT_TRUE(client.CreateSketch(c.name, c.type, c.params))
+      << client.last_error().message;
+
+  std::vector<StreamUpdate> updates;
+  for (uint64_t i = 0; i < 512; ++i) updates.push_back({i % 97, 2});
+  updates.push_back({7, 500});
+  uint64_t accepted = 0;
+  ASSERT_TRUE(client.Ingest(c.name, UpdateSpan(updates), &accepted))
+      << client.last_error().message;
+  EXPECT_EQ(accepted, updates.size());
+
+  PointValueResponse before;
+  ASSERT_TRUE(client.PointQuery(c.name, 7, &before));
+
+  std::vector<uint8_t> blob;
+  ASSERT_TRUE(client.Snapshot(c.name, &blob));
+  EXPECT_FALSE(blob.empty());
+
+  const std::string copy = std::string(c.name) + "-copy";
+  ASSERT_TRUE(client.Restore(copy, c.type, blob))
+      << client.last_error().message;
+  PointValueResponse after;
+  ASSERT_TRUE(client.PointQuery(copy, 7, &after));
+  EXPECT_EQ(after.estimate, before.estimate);
+  EXPECT_EQ(after.bound_kind, before.bound_kind);
+  EXPECT_DOUBLE_EQ(after.error_bound, before.error_bound);
+}
+
+const TypeCase kAllTypes[] = {
+    {"cm", SketchType::kCountMin, {2048, 4, 7, 0, 0}},
+    {"cs", SketchType::kCountSketch, {2048, 5, 11, 0, 0}},
+    {"bloom", SketchType::kBloom, {16384, 4, 3, 0, 0}},
+    {"summary", SketchType::kStreamSummary, {16, 256, 4, 2048, 13}},
+    {"sharded", SketchType::kShardedCountMin, {2048, 4, 7, 4, 0}},
+};
+
+TEST(LoopbackIntegrationTest, AllFiveTypesRoundTripOverTheWire) {
+  ThreadPool pool(4);
+  SketchService service({&pool, 4});
+  LoopbackConnection conn(&service);
+  ASSERT_TRUE(conn.client().Ping());
+  for (const TypeCase& c : kAllTypes) RoundTrip(conn.client(), c);
+  // Five originals + five restored copies.
+  EXPECT_EQ(service.sketch_count(), 10u);
+}
+
+TEST(LoopbackIntegrationTest, HeavyHittersOverTheWire) {
+  SketchService service({});
+  LoopbackConnection conn(&service);
+  ASSERT_TRUE(conn.client().CreateSketch(
+      "hh", SketchType::kStreamSummary, {16, 512, 4, 4096, 21}));
+  std::vector<StreamUpdate> updates;
+  for (uint64_t i = 0; i < 4000; ++i) updates.push_back({i % 1000, 1});
+  updates.push_back({33, 5000});
+  ASSERT_TRUE(conn.client().Ingest("hh", UpdateSpan(updates)));
+  std::vector<uint64_t> items;
+  ASSERT_TRUE(conn.client().HeavyHitters("hh", 0.3, &items));
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0], 33u);
+}
+
+TEST(LoopbackIntegrationTest, InnerProductAndIntrospectionOverTheWire) {
+  SketchService service({});
+  LoopbackConnection conn(&service);
+  ASSERT_TRUE(
+      conn.client().CreateSketch("a", SketchType::kCountMin, {1024, 4, 5, 0, 0}));
+  ASSERT_TRUE(
+      conn.client().CreateSketch("b", SketchType::kCountMin, {1024, 4, 5, 0, 0}));
+  ASSERT_TRUE(conn.client().Ingest(
+      "a", UpdateSpan(std::vector<StreamUpdate>{{1, 6}})));
+  ASSERT_TRUE(conn.client().Ingest(
+      "b", UpdateSpan(std::vector<StreamUpdate>{{1, 7}})));
+  int64_t product = 0;
+  ASSERT_TRUE(conn.client().InnerProduct("a", "b", &product));
+  EXPECT_EQ(product, 42);
+
+  std::string json;
+  ASSERT_TRUE(conn.client().ListSketches(&json));
+  EXPECT_NE(json.find("\"a\""), std::string::npos);
+  ASSERT_TRUE(conn.client().Statsz(&json));
+  EXPECT_NE(json.find("\"sketches\""), std::string::npos);
+  ASSERT_TRUE(conn.client().TraceDump(&json));
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+}
+
+TEST(LoopbackIntegrationTest, ServerErrorsSurfaceThroughTheClient) {
+  SketchService service({});
+  LoopbackConnection conn(&service);
+  PointValueResponse value;
+  EXPECT_FALSE(conn.client().PointQuery("ghost", 1, &value));
+  EXPECT_EQ(conn.client().last_error().code, ErrorCode::kNoSuchSketch);
+  // The connection survives an application-level error.
+  EXPECT_TRUE(conn.client().Ping());
+}
+
+TEST(LoopbackIntegrationTest, ShutdownFrameStopsTheConnectionLoop) {
+  SketchService service({});
+  LoopbackConnection conn(&service);
+  ASSERT_TRUE(conn.client().Ping());
+  EXPECT_TRUE(conn.client().Shutdown());
+  EXPECT_TRUE(service.shutdown_requested());
+  const ConnectionResult result = conn.Finish();
+  EXPECT_EQ(result.frames_handled, 2u);
+  EXPECT_FALSE(result.framing_error);
+  EXPECT_FALSE(result.transport_error);
+}
+
+// --- Fault injection ------------------------------------------------------
+
+TEST(LoopbackIntegrationTest, SurvivesSingleByteFragmentation) {
+  // Every read and write on the client side is capped to 1 byte, so each
+  // frame crosses the wire in ~dozens of fragments and the server-side
+  // decoder resumes from every possible split point.
+  SketchService service({});
+  FaultPlan plan;
+  plan.max_read_chunk = 1;
+  plan.max_write_chunk = 1;
+  LoopbackConnection conn(&service, &plan);
+  ASSERT_TRUE(conn.client().CreateSketch("frag", SketchType::kCountMin,
+                                         {256, 4, 9, 0, 0}));
+  ASSERT_TRUE(conn.client().Ingest(
+      "frag", UpdateSpan(std::vector<StreamUpdate>{{5, 10}, {6, 20}})));
+  PointValueResponse value;
+  ASSERT_TRUE(conn.client().PointQuery("frag", 6, &value));
+  EXPECT_GE(value.estimate, 20);
+}
+
+TEST(LoopbackIntegrationTest, SlowClientStillCompletes) {
+  SketchService service({});
+  FaultPlan plan;
+  plan.max_write_chunk = 7;
+  plan.delay_micros = 200;
+  LoopbackConnection conn(&service, &plan);
+  ASSERT_TRUE(conn.client().CreateSketch("slow", SketchType::kBloom,
+                                         {1024, 3, 1, 0, 0}));
+  ASSERT_TRUE(conn.client().Ingest(
+      "slow", UpdateSpan(std::vector<StreamUpdate>{{99, 1}})));
+  PointValueResponse value;
+  ASSERT_TRUE(conn.client().PointQuery("slow", 99, &value));
+  EXPECT_EQ(value.estimate, 1);
+}
+
+TEST(LoopbackIntegrationTest, MidFrameWriteFailureLeavesServiceUsable) {
+  // The client's stream dies partway through writing an ingest frame. The
+  // server sees a truncated stream, drops the connection, and the service
+  // keeps working for the next client.
+  SketchService service({});
+  {
+    LoopbackConnection healthy(&service);
+    ASSERT_TRUE(healthy.client().CreateSketch("durable", SketchType::kCountMin,
+                                              {512, 4, 3, 0, 0}));
+  }
+  {
+    FaultPlan plan;
+    plan.fail_write_after_bytes = 20;  // dies inside the second frame
+    LoopbackConnection doomed(&service, &plan);
+    ASSERT_TRUE(doomed.client().Ping());  // first frame: 8 bytes, fits
+    std::vector<StreamUpdate> batch;
+    for (uint64_t i = 0; i < 100; ++i) batch.push_back({i, 1});
+    EXPECT_FALSE(doomed.client().Ingest("durable", UpdateSpan(batch)));
+  }
+  // A fresh connection finds the registry intact and fully functional.
+  LoopbackConnection fresh(&service);
+  ASSERT_TRUE(fresh.client().Ingest(
+      "durable", UpdateSpan(std::vector<StreamUpdate>{{1, 4}})));
+  PointValueResponse value;
+  ASSERT_TRUE(fresh.client().PointQuery("durable", 1, &value));
+  EXPECT_GE(value.estimate, 4);
+}
+
+TEST(LoopbackIntegrationTest, MidFrameReadFailureIsATransportError) {
+  // The client stops being able to read mid-response: from the client's
+  // side the call fails; the server's write eventually fails or the close
+  // tears the stream, and the loop exits with a transport error rather
+  // than a crash.
+  SketchService service({});
+  FaultPlan plan;
+  plan.fail_read_after_bytes = 4;  // dies inside the first response header
+  LoopbackConnection conn(&service, &plan);
+  EXPECT_FALSE(conn.client().Ping());
+  const ConnectionResult result = conn.Finish();
+  EXPECT_EQ(result.frames_handled, 1u);  // the ping was still served
+  EXPECT_FALSE(result.framing_error);
+}
+
+TEST(LoopbackIntegrationTest, GarbageFramingGetsErrorResponseThenClose) {
+  SketchService service({});
+  auto [client_end, server_end] = MakeLoopbackPair();
+  ConnectionResult result;
+  std::thread server_thread([&service, stream = std::move(server_end),
+                             &result]() mutable {
+    result = ServeConnection(stream.get(), &service);
+  });
+
+  // A header claiming a 4 GiB payload: rejected from the header alone.
+  const uint8_t bad_header[8] = {0xff, 0xff, 0xff, 0xff, 0x01, 0x01, 0, 0};
+  ASSERT_TRUE(WriteAll(client_end.get(), bad_header, sizeof(bad_header)));
+
+  // The server sends a best-effort kError frame, then closes.
+  FrameDecoder decoder;
+  Frame frame;
+  uint8_t buffer[256];
+  DecodeStatus status = DecodeStatus::kNeedMore;
+  while (status == DecodeStatus::kNeedMore) {
+    const std::ptrdiff_t got = client_end->Read(buffer, sizeof(buffer));
+    ASSERT_GT(got, 0);
+    decoder.Feed(buffer, static_cast<std::size_t>(got));
+    status = decoder.Next(&frame);
+  }
+  ASSERT_EQ(status, DecodeStatus::kFrame);
+  ErrorResponse error;
+  ASSERT_TRUE(DecodeError(frame, &error));
+  EXPECT_EQ(error.code, ErrorCode::kFrameTooLarge);
+
+  server_thread.join();
+  EXPECT_TRUE(result.framing_error);
+  EXPECT_EQ(result.frames_handled, 0u);
+  client_end->Close();
+}
+
+// --- Kernel sockets -------------------------------------------------------
+
+TEST(LoopbackIntegrationTest, TcpServerEndToEnd) {
+  SketchServer::Options options;
+  options.tcp_port = 0;  // pick a free port
+  SketchServer server(options);
+  ASSERT_TRUE(server.Start());
+  ASSERT_NE(server.port(), 0);
+
+  auto stream = ConnectTcp("127.0.0.1", server.port());
+  ASSERT_NE(stream, nullptr);
+  SketchClient client(std::move(stream));
+  ASSERT_TRUE(client.Ping());
+  ASSERT_TRUE(client.CreateSketch("tcp", SketchType::kCountMin,
+                                  {1024, 4, 17, 0, 0}));
+  ASSERT_TRUE(client.Ingest(
+      "tcp", UpdateSpan(std::vector<StreamUpdate>{{8, 3}})));
+  PointValueResponse value;
+  ASSERT_TRUE(client.PointQuery("tcp", 8, &value));
+  EXPECT_GE(value.estimate, 3);
+  EXPECT_TRUE(client.Shutdown());
+  server.Wait();
+}
+
+TEST(LoopbackIntegrationTest, UnixSocketServerEndToEnd) {
+  const std::string path =
+      ::testing::TempDir() + "/sketch_serverd_test.sock";
+  SketchServer::Options options;
+  options.unix_path = path;
+  SketchServer server(options);
+  ASSERT_TRUE(server.Start());
+
+  auto stream = ConnectUnix(path);
+  ASSERT_NE(stream, nullptr);
+  SketchClient client(std::move(stream));
+  ASSERT_TRUE(client.Ping());
+  ASSERT_TRUE(client.CreateSketch("uds", SketchType::kBloom,
+                                  {4096, 4, 5, 0, 0}));
+  ASSERT_TRUE(client.Ingest(
+      "uds", UpdateSpan(std::vector<StreamUpdate>{{77, 1}})));
+  PointValueResponse value;
+  ASSERT_TRUE(client.PointQuery("uds", 77, &value));
+  EXPECT_EQ(value.estimate, 1);
+  EXPECT_TRUE(client.Shutdown());
+  server.Wait();
+}
+
+}  // namespace
+}  // namespace sketch::server

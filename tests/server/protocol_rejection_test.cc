@@ -1,0 +1,327 @@
+// Rejection and death tests for the server's untrusted-input surface:
+// hostile frame headers (length overflow, bad version, reserved bits),
+// malformed payloads (truncated messages, lying length prefixes, trailing
+// bytes), and service-level refusals (unknown opcode, missing sketch,
+// geometry mismatch, malformed blobs). Every one must produce a kBadFrame
+// or kError — never an abort and never an allocation driven by the
+// declared length.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "server/blob_check.h"
+#include "server/protocol.h"
+#include "server/sketch_service.h"
+#include "sketch/count_min.h"
+
+namespace sketch::server {
+namespace {
+
+std::vector<uint8_t> FrameHeader(uint32_t payload_length, uint8_t opcode,
+                                 uint8_t version, uint16_t reserved) {
+  std::vector<uint8_t> header;
+  for (int shift = 0; shift < 32; shift += 8) {
+    header.push_back(static_cast<uint8_t>(payload_length >> shift));
+  }
+  header.push_back(opcode);
+  header.push_back(version);
+  header.push_back(static_cast<uint8_t>(reserved));
+  header.push_back(static_cast<uint8_t>(reserved >> 8));
+  return header;
+}
+
+ErrorResponse HandleExpectingError(SketchService* service,
+                                   const std::vector<uint8_t>& frame_bytes) {
+  FrameDecoder decoder;
+  decoder.Feed(frame_bytes.data(), frame_bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kFrame);
+  Frame response_frame;
+  const std::vector<uint8_t> response = service->HandleFrame(frame);
+  FrameDecoder response_decoder;
+  response_decoder.Feed(response.data(), response.size());
+  EXPECT_EQ(response_decoder.Next(&response_frame), DecodeStatus::kFrame);
+  ErrorResponse error;
+  EXPECT_TRUE(DecodeError(response_frame, &error))
+      << "expected a kError response, got "
+      << OpcodeName(response_frame.opcode);
+  return error;
+}
+
+// --- Framing violations ---------------------------------------------------
+
+TEST(FramingRejectionTest, LengthOverflowIsRejectedBeforeBuffering) {
+  // Declared length u32::max: the decoder must fail from the header alone
+  // (only 8 bytes fed) — buffering or allocating the claimed 4 GiB first
+  // would be the vulnerability SL007 lints against.
+  const std::vector<uint8_t> header =
+      FrameHeader(std::numeric_limits<uint32_t>::max(),
+                  static_cast<uint8_t>(Opcode::kIngest), kProtocolVersion, 0);
+  FrameDecoder decoder;
+  decoder.Feed(header.data(), header.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kBadFrame);
+  EXPECT_EQ(decoder.error_code(), ErrorCode::kFrameTooLarge);
+}
+
+TEST(FramingRejectionTest, JustOverTheCapIsRejectedAtTheCapNot) {
+  FrameDecoder decoder;
+  const std::vector<uint8_t> over = FrameHeader(
+      kMaxFramePayloadBytes + 1, static_cast<uint8_t>(Opcode::kPing),
+      kProtocolVersion, 0);
+  decoder.Feed(over.data(), over.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kBadFrame);
+  // Exactly at the cap the header itself is fine (the payload just never
+  // arrives here).
+  FrameDecoder at_cap;
+  const std::vector<uint8_t> exact = FrameHeader(
+      kMaxFramePayloadBytes, static_cast<uint8_t>(Opcode::kPing),
+      kProtocolVersion, 0);
+  at_cap.Feed(exact.data(), exact.size());
+  EXPECT_EQ(at_cap.Next(&frame), DecodeStatus::kNeedMore);
+}
+
+TEST(FramingRejectionTest, WrongVersionKillsTheStream) {
+  const std::vector<uint8_t> header = FrameHeader(
+      0, static_cast<uint8_t>(Opcode::kPing), kProtocolVersion + 1, 0);
+  FrameDecoder decoder;
+  decoder.Feed(header.data(), header.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kBadFrame);
+  EXPECT_EQ(decoder.error_code(), ErrorCode::kBadFrameHeader);
+  // The failure is sticky: the stream cannot be resynchronized.
+  const std::vector<uint8_t> good = EncodePing();
+  decoder.Feed(good.data(), good.size());
+  EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kBadFrame);
+}
+
+TEST(FramingRejectionTest, ReservedBitsMustBeZero) {
+  const std::vector<uint8_t> header = FrameHeader(
+      0, static_cast<uint8_t>(Opcode::kPing), kProtocolVersion, 0x8000);
+  FrameDecoder decoder;
+  decoder.Feed(header.data(), header.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kBadFrame);
+  EXPECT_EQ(decoder.error_code(), ErrorCode::kBadFrameHeader);
+}
+
+// --- Payload malformations ------------------------------------------------
+
+TEST(PayloadRejectionTest, ZeroLengthFrameForPayloadOpcode) {
+  // A zero-length Ingest frame is structurally a valid frame but an
+  // invalid message: the decoder hands it over, the typed decode refuses.
+  SketchService service({});
+  const ErrorResponse error = HandleExpectingError(
+      &service, FrameHeader(0, static_cast<uint8_t>(Opcode::kIngest),
+                            kProtocolVersion, 0));
+  EXPECT_EQ(error.code, ErrorCode::kMalformedPayload);
+}
+
+TEST(PayloadRejectionTest, IngestCountLyingAboutAvailableBytes) {
+  // Declared update count of 1000 with bytes for none: DecodeIngest must
+  // reject from the length check, before sizing its output vector.
+  PayloadWriter writer;
+  writer.PutString("victim");
+  writer.PutU32(1000);
+  Frame frame;
+  frame.opcode = Opcode::kIngest;
+  frame.payload = writer.bytes();
+  IngestRequest request;
+  EXPECT_FALSE(DecodeIngest(frame, &request));
+  EXPECT_TRUE(request.updates.empty());
+}
+
+TEST(PayloadRejectionTest, IngestCountAboveBatchCap) {
+  PayloadWriter writer;
+  writer.PutString("victim");
+  writer.PutU32(kMaxBatchUpdates + 1);
+  Frame frame;
+  frame.opcode = Opcode::kIngest;
+  frame.payload = writer.bytes();
+  IngestRequest request;
+  EXPECT_FALSE(DecodeIngest(frame, &request));
+}
+
+TEST(PayloadRejectionTest, StringLengthPastEndOfPayload) {
+  PayloadWriter writer;
+  writer.PutU16(200);  // claims 200 name bytes; none follow
+  PayloadReader reader(writer.bytes());
+  std::string name;
+  EXPECT_FALSE(reader.TryReadString(&name));
+}
+
+TEST(PayloadRejectionTest, TrailingBytesRejected) {
+  PointQueryRequest request;
+  request.name = "x";
+  request.item = 1;
+  std::vector<uint8_t> bytes = EncodePointQuery(request);
+  bytes.push_back(0);  // smuggle one extra payload byte
+  bytes[0] = static_cast<uint8_t>(bytes[0] + 1);  // fix up declared length
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  ASSERT_EQ(decoder.Next(&frame), DecodeStatus::kFrame);
+  PointQueryRequest decoded;
+  EXPECT_FALSE(DecodePointQuery(frame, &decoded));
+}
+
+// --- Service-level refusals -----------------------------------------------
+
+TEST(ServiceRejectionTest, UnknownOpcode) {
+  SketchService service({});
+  const ErrorResponse error = HandleExpectingError(
+      &service, FrameHeader(0, 0x7f, kProtocolVersion, 0));
+  EXPECT_EQ(error.code, ErrorCode::kUnknownOpcode);
+}
+
+TEST(ServiceRejectionTest, ResponseOpcodeAsRequest) {
+  SketchService service({});
+  const ErrorResponse error = HandleExpectingError(
+      &service, FrameHeader(0, static_cast<uint8_t>(Opcode::kPong),
+                            kProtocolVersion, 0));
+  EXPECT_EQ(error.code, ErrorCode::kUnknownOpcode);
+}
+
+TEST(ServiceRejectionTest, QueryAgainstNonexistentSketch) {
+  SketchService service({});
+  PointQueryRequest request;
+  request.name = "ghost";
+  request.item = 1;
+  const ErrorResponse error =
+      HandleExpectingError(&service, EncodePointQuery(request));
+  EXPECT_EQ(error.code, ErrorCode::kNoSuchSketch);
+}
+
+TEST(ServiceRejectionTest, InnerProductGeometryMismatch) {
+  SketchService service({});
+  auto handle = [&service](const std::vector<uint8_t>& bytes) {
+    FrameDecoder decoder;
+    decoder.Feed(bytes.data(), bytes.size());
+    Frame frame;
+    EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kFrame);
+    return service.HandleFrame(frame);
+  };
+  CreateSketchRequest a;
+  a.name = "a";
+  a.type = SketchType::kCountMin;
+  a.params = {1024, 4, 1, 0, 0};
+  CreateSketchRequest b = a;
+  b.name = "b";
+  b.params = {2048, 4, 1, 0, 0};  // different width
+  handle(EncodeCreateSketch(a));
+  handle(EncodeCreateSketch(b));
+  InnerProductRequest request;
+  request.left = "a";
+  request.right = "b";
+  const ErrorResponse error =
+      HandleExpectingError(&service, EncodeInnerProduct(request));
+  EXPECT_EQ(error.code, ErrorCode::kGeometryMismatch);
+}
+
+TEST(ServiceRejectionTest, CreateWithBadGeometry) {
+  SketchService service({});
+  CreateSketchRequest request;
+  request.name = "huge";
+  request.type = SketchType::kCountMin;
+  request.params = {kMaxSketchCounters + 1, 1, 1, 0, 0};
+  const ErrorResponse error =
+      HandleExpectingError(&service, EncodeCreateSketch(request));
+  EXPECT_EQ(error.code, ErrorCode::kBadGeometry);
+  EXPECT_EQ(service.sketch_count(), 0u);
+}
+
+TEST(ServiceRejectionTest, CreateWithOverflowingGeometry) {
+  SketchService service({});
+  CreateSketchRequest request;
+  request.name = "overflow";
+  request.type = SketchType::kCountSketch;
+  request.params = {std::numeric_limits<uint64_t>::max(), 2, 1, 0, 0};
+  const ErrorResponse error =
+      HandleExpectingError(&service, EncodeCreateSketch(request));
+  EXPECT_EQ(error.code, ErrorCode::kBadGeometry);
+}
+
+TEST(ServiceRejectionTest, RestoreRejectsTruncatedBlob) {
+  SketchService service({});
+  CountMinSketch sketch(64, 3, 5);
+  std::vector<uint8_t> blob = sketch.Serialize();
+  blob.resize(blob.size() - 8);  // drop the last counter word
+  RestoreRequest request;
+  request.name = "truncated";
+  request.type = SketchType::kCountMin;
+  request.blob = blob;
+  const ErrorResponse error =
+      HandleExpectingError(&service, EncodeRestore(request));
+  EXPECT_EQ(error.code, ErrorCode::kBadBlob);
+  EXPECT_EQ(service.sketch_count(), 0u);
+}
+
+TEST(ServiceRejectionTest, RestoreRejectsTypeConfusedBlob) {
+  // A valid CountMin blob presented as a CountSketch must fail on the
+  // magic check, not construct a confused sketch.
+  SketchService service({});
+  CountMinSketch sketch(64, 3, 5);
+  RestoreRequest request;
+  request.name = "confused";
+  request.type = SketchType::kCountSketch;
+  request.blob = sketch.Serialize();
+  const ErrorResponse error =
+      HandleExpectingError(&service, EncodeRestore(request));
+  EXPECT_EQ(error.code, ErrorCode::kBadBlob);
+}
+
+TEST(ServiceRejectionTest, HeavyHittersPhiOutOfRange) {
+  SketchService service({});
+  HeavyHittersRequest request;
+  request.name = "any";
+  request.phi = 1.5;
+  const ErrorResponse error =
+      HandleExpectingError(&service, EncodeHeavyHitters(request));
+  EXPECT_EQ(error.code, ErrorCode::kMalformedPayload);
+}
+
+// --- Blob validation directly ---------------------------------------------
+
+TEST(BlobCheckTest, AcceptsEveryFamilyRoundTrip) {
+  EXPECT_TRUE(CheckSketchBlob(SketchType::kCountMin,
+                              CountMinSketch(32, 3, 9).Serialize(), 1 << 20)
+                  .ok);
+}
+
+TEST(BlobCheckTest, RejectsCounterBudgetOverrun) {
+  const BlobCheckResult result = CheckSketchBlob(
+      SketchType::kCountMin, CountMinSketch(1024, 4, 9).Serialize(),
+      /*max_counters=*/1024);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(BlobCheckTest, RejectsNonWordLength) {
+  EXPECT_FALSE(
+      CheckSketchBlob(SketchType::kCountMin, {1, 2, 3}, 1 << 20).ok);
+  EXPECT_FALSE(CheckSketchBlob(SketchType::kCountMin, {}, 1 << 20).ok);
+}
+
+// --- Encode-side contract (death) -----------------------------------------
+
+using ProtocolDeathTest = ::testing::Test;
+
+TEST(ProtocolDeathTest, OversizedNameAborts) {
+  // Encode-side violations are programming errors in this process, so
+  // they CHECK instead of returning a status.
+  PayloadWriter writer;
+  EXPECT_DEATH(writer.PutString(std::string(kMaxNameBytes + 1, 'x')),
+               "kMaxNameBytes");
+}
+
+TEST(ProtocolDeathTest, OversizedFrameAborts) {
+  const std::vector<uint8_t> payload(kMaxFramePayloadBytes + 1, 0);
+  EXPECT_DEATH(EncodeFrame(Opcode::kBlob, payload),
+               "kMaxFramePayloadBytes");
+}
+
+}  // namespace
+}  // namespace sketch::server

@@ -1,0 +1,188 @@
+// Concurrency stress: many client threads, each on its own loopback
+// connection, hammer one shared sketch with ingest batches while reader
+// threads fire point queries the whole time. Because every served sketch
+// is a linear function of the update stream and the service serializes
+// sketch access, the final state must be *bit-identical* to a sequential
+// replay of the same updates into a local sketch — Serialize() equality,
+// not just query-level agreement. Runs under TSan in CI, so it also
+// doubles as a data-race detector for the connection/service/transport
+// stack.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "gtest/gtest.h"
+#include "server/client.h"
+#include "server/connection.h"
+#include "server/protocol.h"
+#include "server/sketch_service.h"
+#include "server/transport.h"
+#include "sketch/count_min.h"
+#include "stream/update.h"
+
+namespace sketch::server {
+namespace {
+
+constexpr int kWriters = 4;
+constexpr int kReaders = 2;
+constexpr uint64_t kBatchesPerWriter = 20;
+constexpr uint64_t kBatchSize = 256;
+constexpr uint64_t kUniverse = 1 << 12;
+
+/// The deterministic batch written by `writer` at step `step`: disjoint
+/// (writer, step) pairs produce different updates, and the full multiset
+/// is reproducible for the sequential replay.
+std::vector<StreamUpdate> BatchFor(int writer, uint64_t step) {
+  std::vector<StreamUpdate> batch;
+  batch.reserve(kBatchSize);
+  for (uint64_t i = 0; i < kBatchSize; ++i) {
+    const uint64_t n =
+        static_cast<uint64_t>(writer) * 1000003 + step * 8191 + i;
+    batch.push_back({n % kUniverse, static_cast<int64_t>(n % 5) + 1});
+  }
+  return batch;
+}
+
+/// Serves one loopback connection on a dedicated thread; hands back the
+/// client end.
+class Connection {
+ public:
+  explicit Connection(SketchService* service) {
+    auto [client_end, server_end] = MakeLoopbackPair();
+    client_ = std::make_unique<SketchClient>(std::move(client_end));
+    thread_ = std::thread([service, stream = std::move(server_end)]() mutable {
+      ServeConnection(stream.get(), service);
+    });
+  }
+  ~Connection() {
+    client_->Close();
+    thread_.join();
+  }
+  SketchClient& client() { return *client_; }
+
+ private:
+  std::unique_ptr<SketchClient> client_;
+  std::thread thread_;
+};
+
+/// Runs the concurrent ingest+query workload against `name`, then returns
+/// the server's final snapshot of it.
+std::vector<uint8_t> RunWorkload(SketchService* service,
+                                 const std::string& name) {
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> queries{0};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([service, &name, w] {
+      Connection conn(service);
+      for (uint64_t step = 0; step < kBatchesPerWriter; ++step) {
+        const std::vector<StreamUpdate> batch = BatchFor(w, step);
+        uint64_t accepted = 0;
+        ASSERT_TRUE(conn.client().Ingest(name, UpdateSpan(batch), &accepted));
+        ASSERT_EQ(accepted, batch.size());
+      }
+    });
+  }
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([service, &name, &done, &queries] {
+      Connection conn(service);
+      uint64_t item = 0;
+      while (!done.load(std::memory_order_relaxed)) {
+        PointValueResponse value;
+        ASSERT_TRUE(conn.client().PointQuery(name, item % kUniverse, &value));
+        ASSERT_GE(value.estimate, 0);  // nonnegative stream
+        ++item;
+        queries.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (std::thread& t : writers) t.join();
+  done.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(queries.load(), 0u);
+
+  Connection conn(service);
+  std::vector<uint8_t> blob;
+  EXPECT_TRUE(conn.client().Snapshot(name, &blob));
+  return blob;
+}
+
+/// The same updates applied sequentially to a local sketch, in writer-major
+/// order. Order is irrelevant to the final counters (the sketch is
+/// linear), which is exactly why bit-identity is a fair assertion.
+std::vector<uint8_t> SequentialReplay(uint64_t width, uint64_t depth,
+                                      uint64_t seed) {
+  CountMinSketch local(width, depth, seed);
+  for (int w = 0; w < kWriters; ++w) {
+    for (uint64_t step = 0; step < kBatchesPerWriter; ++step) {
+      local.UpdateAll(BatchFor(w, step));
+    }
+  }
+  return local.Serialize();
+}
+
+TEST(ServerStressTest, ConcurrentIngestMatchesSequentialReplayCountMin) {
+  SketchService service({});
+  Connection admin(&service);
+  ASSERT_TRUE(admin.client().CreateSketch("stress", SketchType::kCountMin,
+                                          {1024, 4, 77, 0, 0}));
+  const std::vector<uint8_t> served = RunWorkload(&service, "stress");
+  EXPECT_EQ(served, SequentialReplay(1024, 4, 77));
+}
+
+TEST(ServerStressTest, ConcurrentIngestMatchesSequentialReplaySharded) {
+  ThreadPool pool(4);
+  SketchService service({&pool, 4});
+  Connection admin(&service);
+  ASSERT_TRUE(admin.client().CreateSketch(
+      "stress-sharded", SketchType::kShardedCountMin, {1024, 4, 77, 4, 0}));
+  const std::vector<uint8_t> served = RunWorkload(&service, "stress-sharded");
+  // A sharded sketch collapses to the same counters: merge-linearity
+  // makes the snapshot bit-identical to the unsharded sequential replay.
+  EXPECT_EQ(served, SequentialReplay(1024, 4, 77));
+}
+
+TEST(ServerStressTest, RegistryChurnWhileQuerying) {
+  // Create/drop churn on other names must never perturb the sketch under
+  // test or race the registry.
+  SketchService service({});
+  Connection admin(&service);
+  ASSERT_TRUE(admin.client().CreateSketch("anchor", SketchType::kCountMin,
+                                          {512, 4, 5, 0, 0}));
+  std::atomic<bool> done{false};
+  std::thread churn([&service, &done] {
+    Connection conn(&service);
+    int round = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      const std::string name = "churn-" + std::to_string(round % 8);
+      conn.client().CreateSketch(name, SketchType::kBloom, {512, 3, 1, 0, 0});
+      conn.client().DropSketch(name);
+      ++round;
+    }
+  });
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(admin.client().Ingest(
+        "anchor", UpdateSpan(std::vector<StreamUpdate>{{i % 64, 1}})));
+    PointValueResponse value;
+    ASSERT_TRUE(admin.client().PointQuery("anchor", i % 64, &value));
+    ASSERT_GE(value.estimate, 1);
+  }
+  done.store(true);
+  churn.join();
+  PointValueResponse value;
+  ASSERT_TRUE(admin.client().PointQuery("anchor", 0, &value));
+  EXPECT_GE(value.estimate, 8);  // 500 updates over 64 items
+}
+
+}  // namespace
+}  // namespace sketch::server

@@ -1,0 +1,263 @@
+// Service-level tests driven directly through HandleFrame (no transport):
+// create/ingest/query semantics per sketch family, error-bound reporting,
+// snapshot/restore equivalence, registry management, and the statsz /
+// trace introspection endpoints.
+
+#include "server/sketch_service.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "gtest/gtest.h"
+#include "server/protocol.h"
+#include "sketch/count_min.h"
+#include "stream/update.h"
+
+namespace sketch::server {
+namespace {
+
+/// Round-trips `request_bytes` through the service and returns the
+/// decoded response frame.
+Frame Handle(SketchService* service, const std::vector<uint8_t>& bytes) {
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kFrame);
+  const std::vector<uint8_t> response = service->HandleFrame(frame);
+  FrameDecoder response_decoder;
+  response_decoder.Feed(response.data(), response.size());
+  Frame response_frame;
+  EXPECT_EQ(response_decoder.Next(&response_frame), DecodeStatus::kFrame);
+  return response_frame;
+}
+
+void ExpectOk(SketchService* service, const std::vector<uint8_t>& bytes) {
+  const Frame response = Handle(service, bytes);
+  ErrorResponse error;
+  if (DecodeError(response, &error)) {
+    FAIL() << "server error: " << error.message;
+  }
+  EXPECT_EQ(response.opcode, Opcode::kOk);
+}
+
+void Create(SketchService* service, const std::string& name, SketchType type,
+            const std::array<uint64_t, 5>& params) {
+  CreateSketchRequest request;
+  request.name = name;
+  request.type = type;
+  request.params = params;
+  ExpectOk(service, EncodeCreateSketch(request));
+}
+
+uint64_t Ingest(SketchService* service, const std::string& name,
+                const std::vector<StreamUpdate>& updates) {
+  const Frame response =
+      Handle(service, EncodeIngestSpan(name, UpdateSpan(updates)));
+  IngestAckResponse ack;
+  EXPECT_TRUE(DecodeIngestAck(response, &ack));
+  return ack.accepted;
+}
+
+PointValueResponse Query(SketchService* service, const std::string& name,
+                         uint64_t item) {
+  PointQueryRequest request;
+  request.name = name;
+  request.item = item;
+  const Frame response = Handle(service, EncodePointQuery(request));
+  PointValueResponse value;
+  EXPECT_TRUE(DecodePointValue(response, &value));
+  return value;
+}
+
+std::vector<uint8_t> Snapshot(SketchService* service,
+                              const std::string& name) {
+  NamedRequest request;
+  request.name = name;
+  const Frame response = Handle(service, EncodeSnapshot(request));
+  BlobResponse blob;
+  EXPECT_TRUE(DecodeBlob(response, &blob));
+  return blob.bytes;
+}
+
+TEST(SketchServiceTest, CountMinIngestQueryAndBound) {
+  SketchService service({});
+  Create(&service, "cm", SketchType::kCountMin, {4096, 4, 7, 0, 0});
+  EXPECT_EQ(Ingest(&service, "cm", {{5, 100}, {9, 50}, {5, 20}}), 3u);
+  const PointValueResponse value = Query(&service, "cm", 5);
+  // Count-Min never underestimates.
+  EXPECT_GE(value.estimate, 120);
+  EXPECT_EQ(value.bound_kind, BoundKind::kL1);
+  // eps * ||x||_1 with eps = e / width and L1 = 170.
+  EXPECT_NEAR(value.error_bound, 2.718281828 / 4096.0 * 170.0, 1e-6);
+}
+
+TEST(SketchServiceTest, CountSketchReportsL2Bound) {
+  SketchService service({});
+  Create(&service, "cs", SketchType::kCountSketch, {2048, 5, 11, 0, 0});
+  std::vector<StreamUpdate> updates;
+  for (uint64_t i = 0; i < 100; ++i) updates.push_back({i, 10});
+  Ingest(&service, "cs", updates);
+  const PointValueResponse value = Query(&service, "cs", 3);
+  EXPECT_EQ(value.bound_kind, BoundKind::kL2);
+  // F2 = 100 * 10^2 = 10^4; bound = sqrt(3 * F2 / width) ~ 3.8. The
+  // counter-based F2 estimate is noisy, so allow a wide band.
+  EXPECT_GT(value.error_bound, 0.0);
+  EXPECT_LT(value.error_bound, 50.0);
+}
+
+TEST(SketchServiceTest, BloomMembershipAndFprBound) {
+  SketchService service({});
+  Create(&service, "bloom", SketchType::kBloom, {8192, 4, 3, 0, 0});
+  Ingest(&service, "bloom", {{42, 1}, {77, 1}});
+  EXPECT_EQ(Query(&service, "bloom", 42).estimate, 1);
+  EXPECT_EQ(Query(&service, "bloom", 77).estimate, 1);
+  const PointValueResponse absent = Query(&service, "bloom", 123456);
+  EXPECT_EQ(absent.estimate, 0);
+  EXPECT_EQ(absent.bound_kind, BoundKind::kFpr);
+  // 8 set bits out of 8192 at most: fpr bound is tiny but positive.
+  EXPECT_GT(absent.error_bound, 0.0);
+  EXPECT_LT(absent.error_bound, 1e-6);
+}
+
+TEST(SketchServiceTest, StreamSummaryHeavyHittersAndUniverseGuard) {
+  SketchService service({});
+  Create(&service, "sum", SketchType::kStreamSummary, {16, 512, 4, 4096, 13});
+  std::vector<StreamUpdate> updates;
+  for (uint64_t i = 0; i < 2000; ++i) updates.push_back({i % 500, 1});
+  updates.push_back({7, 3000});  // one heavy item
+  EXPECT_EQ(Ingest(&service, "sum", updates), updates.size());
+
+  HeavyHittersRequest hh;
+  hh.name = "sum";
+  hh.phi = 0.3;
+  ItemsResponse items;
+  ASSERT_TRUE(DecodeItems(Handle(&service, EncodeHeavyHitters(hh)), &items));
+  ASSERT_EQ(items.items.size(), 1u);
+  EXPECT_EQ(items.items[0], 7u);
+
+  // Batches with out-of-universe items are rejected atomically.
+  const Frame rejected = Handle(
+      &service, EncodeIngestSpan("sum", std::vector<StreamUpdate>{
+                                            {1ULL << 20, 1}}));
+  ErrorResponse error;
+  ASSERT_TRUE(DecodeError(rejected, &error));
+  EXPECT_EQ(error.code, ErrorCode::kMalformedPayload);
+  // Out-of-universe queries answer zero without touching the sketch.
+  EXPECT_EQ(Query(&service, "sum", 1ULL << 30).estimate, 0);
+}
+
+TEST(SketchServiceTest, ShardedCountMinMatchesPlainCountMin) {
+  ThreadPool pool(4);
+  SketchService service({&pool, 4});
+  Create(&service, "plain", SketchType::kCountMin, {1024, 4, 99, 0, 0});
+  Create(&service, "sharded", SketchType::kShardedCountMin,
+         {1024, 4, 99, 4, 0});
+  std::vector<StreamUpdate> updates;
+  for (uint64_t i = 0; i < 10000; ++i) updates.push_back({i % 300, 1});
+  Ingest(&service, "plain", updates);
+  Ingest(&service, "sharded", updates);
+  // Merge-linearity: the collapsed sharded sketch is counter-identical to
+  // the sequential one, so the snapshots are bit-identical.
+  EXPECT_EQ(Snapshot(&service, "plain"), Snapshot(&service, "sharded"));
+  EXPECT_EQ(Query(&service, "plain", 123).estimate,
+            Query(&service, "sharded", 123).estimate);
+}
+
+TEST(SketchServiceTest, SnapshotRestoreRoundTripPreservesQueries) {
+  SketchService service({});
+  Create(&service, "origin", SketchType::kCountMin, {2048, 4, 21, 0, 0});
+  Ingest(&service, "origin", {{11, 500}, {12, 250}});
+  const std::vector<uint8_t> blob = Snapshot(&service, "origin");
+
+  RestoreRequest restore;
+  restore.name = "copy";
+  restore.type = SketchType::kCountMin;
+  restore.blob = blob;
+  ExpectOk(&service, EncodeRestore(restore));
+  EXPECT_EQ(Query(&service, "copy", 11).estimate,
+            Query(&service, "origin", 11).estimate);
+  // The restored sketch recovered the L1 mass from its counters, so the
+  // bound matches too.
+  EXPECT_DOUBLE_EQ(Query(&service, "copy", 11).error_bound,
+                   Query(&service, "origin", 11).error_bound);
+  // And the copy keeps evolving independently.
+  Ingest(&service, "copy", {{11, 1}});
+  EXPECT_EQ(Query(&service, "copy", 11).estimate,
+            Query(&service, "origin", 11).estimate + 1);
+}
+
+TEST(SketchServiceTest, InnerProductBetweenIdenticalGeometry) {
+  SketchService service({});
+  Create(&service, "x", SketchType::kCountMin, {4096, 4, 5, 0, 0});
+  Create(&service, "y", SketchType::kCountMin, {4096, 4, 5, 0, 0});
+  Ingest(&service, "x", {{1, 3}, {2, 4}});
+  Ingest(&service, "y", {{1, 10}, {3, 7}});
+  InnerProductRequest request;
+  request.left = "x";
+  request.right = "y";
+  PointValueResponse value;
+  ASSERT_TRUE(
+      DecodePointValue(Handle(&service, EncodeInnerProduct(request)), &value));
+  // True <x, y> = 3 * 10 = 30; Count-Min overestimates only on
+  // collisions, which are negligible at this width.
+  EXPECT_EQ(value.estimate, 30);
+}
+
+TEST(SketchServiceTest, DropAndListManageRegistry) {
+  SketchService service({});
+  Create(&service, "keep", SketchType::kCountMin, {64, 2, 1, 0, 0});
+  Create(&service, "drop", SketchType::kBloom, {512, 3, 1, 0, 0});
+  EXPECT_EQ(service.sketch_count(), 2u);
+
+  TextResponse text;
+  ASSERT_TRUE(DecodeText(Handle(&service, EncodeListSketches()), &text));
+  EXPECT_NE(text.text.find("\"keep\""), std::string::npos);
+  EXPECT_NE(text.text.find("\"Bloom\""), std::string::npos);
+
+  NamedRequest request;
+  request.name = "drop";
+  ExpectOk(&service, EncodeDropSketch(request));
+  EXPECT_EQ(service.sketch_count(), 1u);
+  ASSERT_TRUE(DecodeText(Handle(&service, EncodeListSketches()), &text));
+  EXPECT_EQ(text.text.find("\"drop\""), std::string::npos);
+}
+
+TEST(SketchServiceTest, StatszAndTraceEndpointsReturnJson) {
+  SketchService service({});
+  Create(&service, "observed", SketchType::kCountMin, {128, 2, 1, 0, 0});
+  Ingest(&service, "observed", {{1, 1}});
+  TextResponse statsz;
+  ASSERT_TRUE(DecodeText(Handle(&service, EncodeStatsz()), &statsz));
+  EXPECT_EQ(statsz.text.front(), '{');
+  EXPECT_NE(statsz.text.find("\"sketches\""), std::string::npos);
+  EXPECT_NE(statsz.text.find("\"observed\""), std::string::npos);
+  EXPECT_NE(statsz.text.find("\"metrics\""), std::string::npos);
+
+  TextResponse trace;
+  ASSERT_TRUE(DecodeText(Handle(&service, EncodeTraceDump()), &trace));
+  // Chrome trace JSON: an object with a traceEvents array (possibly
+  // empty when telemetry is compiled out).
+  EXPECT_NE(trace.text.find("traceEvents"), std::string::npos);
+}
+
+TEST(SketchServiceTest, JsonEscapesHostileNames) {
+  SketchService service({});
+  Create(&service, "quote\"back\\slash", SketchType::kCountMin,
+         {64, 2, 1, 0, 0});
+  TextResponse text;
+  ASSERT_TRUE(DecodeText(Handle(&service, EncodeListSketches()), &text));
+  EXPECT_NE(text.text.find("quote\\\"back\\\\slash"), std::string::npos);
+}
+
+TEST(SketchServiceTest, PingAndShutdown) {
+  SketchService service({});
+  EXPECT_EQ(Handle(&service, EncodePing()).opcode, Opcode::kPong);
+  EXPECT_FALSE(service.shutdown_requested());
+  ExpectOk(&service, EncodeShutdown());
+  EXPECT_TRUE(service.shutdown_requested());
+}
+
+}  // namespace
+}  // namespace sketch::server

@@ -1,0 +1,181 @@
+// Golden-file pin of the sketchwire/1 frame encoding. Every message kind
+// the protocol can carry is encoded and compared byte-for-byte against
+// tests/server/testdata/wire_golden.txt. A failure here means the wire
+// format changed: either fix the regression, or — for a deliberate schema
+// change — bump kProtocolVersion and regenerate the golden file from the
+// "ACTUAL" lines this test prints on mismatch.
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "server/protocol.h"
+#include "stream/update.h"
+
+namespace sketch::server {
+namespace {
+
+std::string ToHex(const std::vector<uint8_t>& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string hex;
+  hex.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    hex.push_back(kDigits[b >> 4]);
+    hex.push_back(kDigits[b & 0xf]);
+  }
+  return hex;
+}
+
+std::map<std::string, std::string> LoadGolden() {
+  const std::string path =
+      std::string(SKETCH_TESTDATA_DIR) + "/wire_golden.txt";
+  std::ifstream file(path);
+  EXPECT_TRUE(file.is_open()) << "missing golden file: " << path;
+  std::map<std::string, std::string> golden;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      ADD_FAILURE() << "malformed golden line: " << line;
+      continue;
+    }
+    golden[line.substr(0, space)] = line.substr(space + 1);
+  }
+  return golden;
+}
+
+/// Every message kind, encoded with the fixed inputs the golden file was
+/// generated from.
+std::map<std::string, std::vector<uint8_t>> EncodeAll() {
+  std::map<std::string, std::vector<uint8_t>> frames;
+  frames["ping"] = EncodePing();
+  frames["list_sketches"] = EncodeListSketches();
+  frames["statsz"] = EncodeStatsz();
+  frames["trace_dump"] = EncodeTraceDump();
+  frames["shutdown"] = EncodeShutdown();
+
+  CreateSketchRequest create;
+  create.name = "events";
+  create.type = SketchType::kCountMin;
+  create.params = {1024, 4, 42, 0, 0};
+  frames["create_sketch"] = EncodeCreateSketch(create);
+
+  IngestRequest ingest;
+  ingest.name = "events";
+  ingest.updates = {{3, 5}, {0xdeadbeef, -2}};
+  frames["ingest"] = EncodeIngest(ingest);
+
+  PointQueryRequest query;
+  query.name = "events";
+  query.item = 12345;
+  frames["point_query"] = EncodePointQuery(query);
+
+  HeavyHittersRequest hh;
+  hh.name = "events";
+  hh.phi = 0.125;  // exactly representable: the f64 encoding is stable
+  frames["heavy_hitters"] = EncodeHeavyHitters(hh);
+
+  InnerProductRequest inner;
+  inner.left = "a";
+  inner.right = "b";
+  frames["inner_product"] = EncodeInnerProduct(inner);
+
+  NamedRequest named;
+  named.name = "events";
+  frames["drop_sketch"] = EncodeDropSketch(named);
+  frames["snapshot"] = EncodeSnapshot(named);
+
+  RestoreRequest restore;
+  restore.name = "copy";
+  restore.type = SketchType::kCountSketch;
+  restore.blob = {1, 2, 3, 4};
+  frames["restore"] = EncodeRestore(restore);
+
+  frames["ok"] = EncodeOk();
+  frames["pong"] = EncodePong();
+
+  ErrorResponse error;
+  error.code = ErrorCode::kNoSuchSketch;
+  error.message = "no such sketch";
+  frames["error"] = EncodeError(error);
+
+  PointValueResponse value;
+  value.estimate = -7;
+  value.error_bound = 0.5;
+  value.bound_kind = BoundKind::kL1;
+  frames["point_value"] = EncodePointValue(value);
+
+  ItemsResponse items;
+  items.items = {1, 2, 3};
+  frames["items"] = EncodeItems(items);
+
+  BlobResponse blob;
+  blob.bytes = {0xaa, 0xbb};
+  frames["blob"] = EncodeBlob(blob);
+
+  TextResponse text;
+  text.text = "hi";
+  frames["text"] = EncodeText(text);
+
+  IngestAckResponse ack;
+  ack.accepted = 2;
+  frames["ingest_ack"] = EncodeIngestAck(ack);
+  return frames;
+}
+
+TEST(WireGoldenTest, EveryMessageKindMatchesTheGoldenBytes) {
+  const std::map<std::string, std::string> golden = LoadGolden();
+  const std::map<std::string, std::vector<uint8_t>> frames = EncodeAll();
+
+  for (const auto& [name, bytes] : frames) {
+    const auto it = golden.find(name);
+    ASSERT_NE(it, golden.end()) << "no golden entry for '" << name << "'";
+    EXPECT_EQ(ToHex(bytes), it->second)
+        << "wire format drifted for '" << name << "'\nACTUAL " << name << " "
+        << ToHex(bytes);
+  }
+  // And the golden file names nothing this test forgot to cover.
+  for (const auto& [name, hex] : golden) {
+    EXPECT_TRUE(frames.count(name))
+        << "golden entry '" << name << "' has no encoder in this test";
+  }
+}
+
+TEST(WireGoldenTest, GoldenFramesDecodeAndReencodeBitIdentically) {
+  // Decode -> re-encode stability: the structs capture everything on the
+  // wire, so yesterday's bytes survive a round trip through today's code.
+  const std::map<std::string, std::string> golden = LoadGolden();
+  for (const auto& [name, hex] : golden) {
+    SCOPED_TRACE(name);
+    std::vector<uint8_t> bytes;
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+      bytes.push_back(static_cast<uint8_t>(
+          std::stoi(hex.substr(i, 2), nullptr, 16)));
+    }
+    FrameDecoder decoder;
+    decoder.Feed(bytes.data(), bytes.size());
+    Frame frame;
+    ASSERT_EQ(decoder.Next(&frame), DecodeStatus::kFrame);
+    EXPECT_EQ(EncodeFrame(frame.opcode, frame.payload), bytes);
+  }
+}
+
+TEST(WireGoldenTest, ProtocolConstantsArePinned) {
+  // The header layout and caps are part of the schema too.
+  EXPECT_EQ(kProtocolVersion, 1);
+  EXPECT_EQ(kFrameHeaderBytes, 8u);
+  EXPECT_EQ(kMaxFramePayloadBytes, 8u << 20);
+  EXPECT_EQ(kMaxNameBytes, 256u);
+  EXPECT_EQ(kMaxBatchUpdates, 1u << 18);
+  EXPECT_EQ(static_cast<uint8_t>(Opcode::kPing), 0x01);
+  EXPECT_EQ(static_cast<uint8_t>(Opcode::kShutdown), 0x0d);
+  EXPECT_EQ(static_cast<uint8_t>(Opcode::kOk), 0x80);
+  EXPECT_EQ(static_cast<uint8_t>(Opcode::kIngestAck), 0x87);
+}
+
+}  // namespace
+}  // namespace sketch::server

@@ -8,6 +8,7 @@ Writes one directory per harness under the output root:
   bloom_filter/    same for BloomFilter
   ams_sketch/      same for AmsSketch
   hashed_recovery/ structured (geometry, y-vector) decoder inputs
+  server_frame/    sketchwire/1 frames (valid requests + framing violations)
 
 The byte layouts mirror src/common/byte_buffer.h: little-endian u64 words,
 header (magic, geometry, geometry, seed) then payload words. Seeds include
@@ -118,6 +119,50 @@ def hashed_recovery_seeds(out):
     write(d, "empty", b"")
 
 
+def wire_frame(opcode, payload=b"", version=1, reserved=0, declared_len=None):
+    """sketchwire/1 frame: u32 payload length, u8 opcode, u8 version,
+    u16 reserved, then payload (see src/server/protocol.h)."""
+    if declared_len is None:
+        declared_len = len(payload)
+    return struct.pack("<IBBH", declared_len, opcode, version,
+                       reserved) + payload
+
+
+def wire_string(name):
+    raw = name.encode()
+    return struct.pack("<H", len(raw)) + raw
+
+
+def server_frame_seeds(out):
+    d = out / "server_frame"
+    # Well-formed requests: a create + ingest + query conversation, so the
+    # service dispatch path is covered from the first execution.
+    create = wire_string("f") + bytes([1]) + u64(64, 2, 7, 0, 0)
+    ingest = wire_string("f") + struct.pack("<I", 2) + u64(3) + i64(5) + \
+        u64(9) + i64(-1)
+    query = wire_string("f") + u64(3)
+    write(d, "conversation",
+          wire_frame(0x02, create) + wire_frame(0x04, ingest) +
+          wire_frame(0x05, query))
+    write(d, "ping", wire_frame(0x01))
+    write(d, "snapshot_missing", wire_frame(0x08, wire_string("ghost")))
+    write(d, "restore_tiny_blob",
+          wire_frame(0x09, wire_string("r") + bytes([1]) +
+                     struct.pack("<I", 4) + b"\x00\x01\x02\x03"))
+    # Framing violations the decoder must reject from the header alone.
+    write(d, "length_overflow", wire_frame(0x01, declared_len=2**32 - 1))
+    write(d, "wrong_version", wire_frame(0x01, version=9))
+    write(d, "reserved_bits", wire_frame(0x01, reserved=0xBEEF))
+    write(d, "unknown_opcode", wire_frame(0x7F))
+    # Payload malformations behind a valid header.
+    write(d, "truncated_payload", wire_frame(0x05, wire_string("f"))[:-3])
+    write(d, "ingest_count_lies",
+          wire_frame(0x04, wire_string("f") + struct.pack("<I", 1000)))
+    write(d, "string_past_end",
+          wire_frame(0x05, struct.pack("<H", 500) + b"ab"))
+    write(d, "empty", b"")
+
+
 def main():
     if len(sys.argv) != 2:
         print(__doc__, file=sys.stderr)
@@ -127,6 +172,7 @@ def main():
         counter_seeds(out, target, MAGICS[target])
     bloom_seeds(out)
     hashed_recovery_seeds(out)
+    server_frame_seeds(out)
     total = sum(1 for p in out.rglob("*") if p.is_file())
     print(f"make_fuzz_corpus: wrote {total} seed files under {out}")
     return 0

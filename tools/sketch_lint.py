@@ -22,6 +22,12 @@ rest on:
          is either a leak or a sign the design went sideways.
   SL006  (--compile-headers) every public header under src/ is
          self-contained: a TU containing only that #include must compile.
+  SL007  protocol decode paths under src/server (Decode*/TryRead*/Next
+         definitions) length-validate before allocating: any
+         resize/reserve/assign must be preceded, within the same function,
+         by a comparison against a kMax* cap, a remaining()-bytes check,
+         CheckSketchBlob, or a SKETCH_CHECK — so a hostile length prefix
+         can never drive an allocation.
 
 Usage:
   tools/sketch_lint.py --root . [--compile-headers] [--cxx g++] [--jobs N]
@@ -243,6 +249,39 @@ def check_naked_new_delete(clean):
     return violations
 
 
+# SL007: allocation calls inside a decode path, and the validation tokens
+# that must appear earlier in the same function body.
+SL007_ALLOC = re.compile(r"\.(?:resize|reserve|assign)\s*\(")
+SL007_GUARD = re.compile(
+    r"kMax\w+|\bremaining\s*\(|SKETCH_CHECK|CheckSketchBlob"
+)
+
+
+def check_server_decode_allocation(rel, clean):
+    """SL007: src/server decode paths must length-validate before any
+    allocation — a declared length from the wire may only reach
+    resize/reserve/assign after a cap or remaining-bytes comparison."""
+    if not str(rel).replace("\\", "/").startswith("src/server/"):
+        return []
+    violations = []
+    for start, body in _find_function_definitions(
+        clean, r"(?:Decode|TryRead|Next)\w*"
+    ):
+        body_offset = clean.find(body, start)
+        for alloc in SL007_ALLOC.finditer(body):
+            if not SL007_GUARD.search(body[: alloc.start()]):
+                violations.append(
+                    (
+                        line_of(clean, body_offset + alloc.start()),
+                        "SL007",
+                        "decode path allocates before length-validating "
+                        "against a cap (kMax*/remaining()/SKETCH_CHECK/"
+                        "CheckSketchBlob)",
+                    )
+                )
+    return violations
+
+
 def lint_file(root, path):
     rel = path.relative_to(root)
     text = path.read_text(encoding="utf-8", errors="replace")
@@ -258,6 +297,7 @@ def lint_file(root, path):
         violations += check_deserialize_guard(clean)
         violations += check_naked_new_delete(clean)
     violations += check_raw_randomness(rel, clean)
+    violations += check_server_decode_allocation(rel, clean)
     return [(rel, line, rule, msg) for line, rule, msg in violations]
 
 

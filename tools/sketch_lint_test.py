@@ -198,6 +198,67 @@ class Pool {
         violations = self.lint({"src/pool.h": source})
         self.assertEqual(violations, [])
 
+    def test_sl007_decode_allocation_without_validation(self):
+        source = """\
+namespace sketch::server {
+bool DecodeThing(const Frame& frame, Thing* out) {
+  uint32_t count = frame.payload[0];
+  out->items.resize(count);
+  return true;
+}
+}  // namespace sketch::server
+"""
+        violations = self.lint({"src/server/thing.cc": source})
+        self.assertEqual(rules_found(violations), {"SL007"})
+
+    def test_sl007_allocation_after_cap_check_passes(self):
+        source = """\
+namespace sketch::server {
+bool DecodeThing(const Frame& frame, Thing* out) {
+  uint32_t count = frame.payload[0];
+  if (count > kMaxBatchUpdates || reader.remaining() / 16 < count) {
+    return false;
+  }
+  out->items.resize(count);
+  return true;
+}
+bool TryReadChunk(std::vector<uint8_t>* out) {
+  uint32_t length = 0;
+  if (length > remaining()) return false;
+  out->assign(data_, data_ + length);
+  return true;
+}
+}  // namespace sketch::server
+"""
+        violations = self.lint({"src/server/thing.cc": source})
+        self.assertEqual(violations, [])
+
+    def test_sl007_only_applies_to_server_decode_paths(self):
+        # The same unvalidated resize outside src/server, or in a
+        # non-decode function, is out of SL007's scope.
+        decode_elsewhere = """\
+namespace sketch {
+bool DecodeThing(const Frame& frame, Thing* out) {
+  out->items.resize(frame.payload[0]);
+  return true;
+}
+}  // namespace sketch
+"""
+        helper_in_server = """\
+namespace sketch::server {
+void BuildRows(std::vector<double>* rows, uint64_t depth) {
+  rows->reserve(depth);
+}
+}  // namespace sketch::server
+"""
+        violations = self.lint(
+            {
+                "src/sketch/thing.cc": decode_elsewhere,
+                "src/server/helper.cc": helper_in_server,
+            }
+        )
+        self.assertEqual(violations, [])
+
     def test_violations_in_strings_and_comments_are_ignored(self):
         source = """\
 namespace sketch {
