@@ -174,4 +174,18 @@ BENCHMARK(BM_CountMinQuery);
 }  // namespace
 }  // namespace sketch
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // google-benchmark's own library_build_type context field describes how
+  // libbenchmark was compiled, not this binary; export the sketch build
+  // type explicitly so committed snapshots record what was measured.
+#ifdef NDEBUG
+  benchmark::AddCustomContext("sketch_build_type", "release");
+#else
+  benchmark::AddCustomContext("sketch_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -57,8 +57,18 @@ class BenchReporter {
       return false;
     }
     std::fprintf(fh, "{\n  \"schema\": \"sketch-bench-snapshot-v1\",\n");
-    std::fprintf(fh, "  \"host\": {\n    \"num_cpus\": %u\n  },\n",
-                 std::thread::hardware_concurrency());
+    // Same host block google-benchmark puts in its context: snapshots are
+    // only comparable across runs if the core count and build type match,
+    // so both are recorded next to the numbers they qualify.
+#ifdef NDEBUG
+    const char* build_type = "release";
+#else
+    const char* build_type = "debug";
+#endif
+    std::fprintf(fh,
+                 "  \"host\": {\n    \"library_build_type\": \"%s\",\n"
+                 "    \"num_cpus\": %u\n  },\n",
+                 build_type, std::thread::hardware_concurrency());
     std::fprintf(fh, "  \"benchmarks\": {\n");
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];

@@ -20,28 +20,32 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 ThreadPool::~ThreadPool() {
   Wait();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::SubmitLocked(std::function<void()> task) {
+  SKETCH_CHECK_MSG(!shutting_down_, "Submit() after destruction began");
+  queue_.push_back(std::move(task));
+  ++in_flight_;
+  SKETCH_COUNTER_INC("threadpool.tasks_submitted");
+  SKETCH_HISTOGRAM_RECORD("threadpool.queue_depth", queue_.size());
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    SKETCH_CHECK_MSG(!shutting_down_, "Submit() after destruction began");
-    queue_.push_back(std::move(task));
-    ++in_flight_;
-    SKETCH_COUNTER_INC("threadpool.tasks_submitted");
-    SKETCH_HISTOGRAM_RECORD("threadpool.queue_depth", queue_.size());
+    MutexLock lock(mu_);
+    SubmitLocked(std::move(task));
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) all_done_.Wait(mu_);
 }
 
 void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
@@ -53,14 +57,20 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
   const std::size_t remainder = n % blocks;
   // Blocks [0, blocks-1) go to the pool; the calling thread runs the last
   // block itself so a 1-thread pool never round-trips through the queue.
+  // All pool-bound blocks are enqueued under a single lock acquisition —
+  // one acquire + one NotifyAll instead of a lock/notify pair per block.
   std::size_t lo = begin;
-  for (std::size_t b = 0; b + 1 < blocks; ++b) {
-    const std::size_t hi = lo + chunk + (b < remainder ? 1 : 0);
-    Submit([&body, lo, hi] {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
-    });
-    lo = hi;
+  if (blocks > 1) {
+    MutexLock lock(mu_);
+    for (std::size_t b = 0; b + 1 < blocks; ++b) {
+      const std::size_t hi = lo + chunk + (b < remainder ? 1 : 0);
+      SubmitLocked([&body, lo, hi] {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      });
+      lo = hi;
+    }
   }
+  work_available_.NotifyAll();
   for (std::size_t i = lo; i < end; ++i) body(i);
   Wait();
 }
@@ -69,9 +79,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(
-          lock, [this] { return !queue_.empty() || shutting_down_; });
+      MutexLock lock(mu_);
+      while (queue_.empty() && !shutting_down_) work_available_.Wait(mu_);
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -87,9 +96,9 @@ void ThreadPool::WorkerLoop() {
 #endif
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

@@ -1,13 +1,13 @@
 #ifndef SKETCH_COMMON_THREAD_POOL_H_
 #define SKETCH_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace sketch {
 
@@ -24,7 +24,9 @@ namespace sketch {
 /// any thread, including concurrently. Tasks themselves may submit more
 /// tasks, but must not call `Wait`/`ParallelFor` (a worker waiting for
 /// its own task to retire would deadlock). Destruction waits for all
-/// pending work.
+/// pending work. Lock discipline is machine-checked: every guarded member
+/// is `SKETCH_GUARDED_BY(mu_)` and clang's `-Wthread-safety` build rejects
+/// any access outside the lock.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1; values above a small
@@ -39,30 +41,37 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Never blocks (unbounded queue).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) SKETCH_EXCLUDES(mu_);
 
   /// Blocks until every task submitted so far (including tasks spawned by
   /// tasks) has completed.
-  void Wait();
+  void Wait() SKETCH_EXCLUDES(mu_);
 
   /// Runs `body(i)` for every i in [begin, end), split into `num_threads`
   /// contiguous blocks, and waits for completion. The calling thread
   /// executes one block itself, so a pool of size 1 degenerates to a
-  /// plain loop with no cross-thread handoff.
+  /// plain loop with no cross-thread handoff. All pool-bound blocks are
+  /// enqueued under one lock acquisition.
   void ParallelFor(std::size_t begin, std::size_t end,
-                   const std::function<void(std::size_t)>& body);
+                   const std::function<void(std::size_t)>& body)
+      SKETCH_EXCLUDES(mu_);
 
   std::size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  /// Enqueues one task with `mu_` already held. Callers notify
+  /// `work_available_` after releasing the lock.
+  void SubmitLocked(std::function<void()> task) SKETCH_REQUIRES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;  // queued + currently executing
-  bool shutting_down_ = false;
+  void WorkerLoop() SKETCH_EXCLUDES(mu_);
+
+  Mutex mu_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ SKETCH_GUARDED_BY(mu_);
+  /// Queued + currently executing.
+  std::size_t in_flight_ SKETCH_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ SKETCH_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -43,7 +43,11 @@ namespace sketch {
 /// `Ingest` call, and calls into this class must be externally serialized
 /// (one ingestion driver thread). The parallelism is *inside* a call, not
 /// across calls — the same discipline a per-core sharded network pipeline
-/// uses.
+/// uses. Because safety comes from confinement rather than a lock, there
+/// is nothing here for the clang thread-safety analysis
+/// (`common/thread_annotations.h`) to annotate: the cross-thread
+/// handoff is the ThreadPool's annotated queue plus its Wait() barrier,
+/// which orders every worker's replica writes before Collapse reads them.
 template <typename S>
 class ShardedSketch {
  public:

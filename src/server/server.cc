@@ -33,7 +33,7 @@ void SketchServer::AcceptLoop() {
     // the connection blocks on ShardedSketch ingests that Wait() on the
     // shared pool, so it must not itself be a pool task.
     ByteStream* raw = stream.release();
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    MutexLock lock(connections_mutex_);
     connections_.emplace_back([this, raw] {
       std::unique_ptr<ByteStream> owned(raw);
       ServeConnection(owned.get(), &service_);
@@ -47,7 +47,7 @@ void SketchServer::AcceptLoop() {
 
 void SketchServer::Wait() {
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::lock_guard<std::mutex> lock(connections_mutex_);
+  MutexLock lock(connections_mutex_);
   for (std::thread& t : connections_) {
     if (t.joinable()) t.join();
   }

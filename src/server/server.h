@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "server/connection.h"
 #include "server/sketch_service.h"
@@ -42,11 +43,11 @@ class SketchServer {
 
   /// Blocks until a shutdown request has been served and every
   /// connection thread has drained.
-  void Wait();
+  void Wait() SKETCH_EXCLUDES(connections_mutex_);
 
   /// Stops accepting, closes the listener, and joins all threads. Safe to
   /// call more than once; also called by the destructor.
-  void Stop();
+  void Stop() SKETCH_EXCLUDES(connections_mutex_);
 
   /// Bound TCP port (valid after Start when listening on TCP).
   uint16_t port() const;
@@ -54,15 +55,21 @@ class SketchServer {
   SketchService* service() { return &service_; }
 
  private:
-  void AcceptLoop();
+  void AcceptLoop() SKETCH_EXCLUDES(connections_mutex_);
 
   Options options_;
   ThreadPool pool_;
   SketchService service_;
+  // Set in Start() before the accept thread is spawned and never
+  // reassigned, so connection threads may call listener_->Close() without
+  // a lock (SocketListener::Close is itself race-safe).
   std::unique_ptr<SocketListener> listener_;
   std::thread accept_thread_;
-  std::mutex connections_mutex_;
-  std::vector<std::thread> connections_;
+  sketch::Mutex connections_mutex_;
+  std::vector<std::thread> connections_
+      SKETCH_GUARDED_BY(connections_mutex_);
+  // Owner-thread only (Start/Stop/destructor share the owning thread by
+  // the class contract), so unguarded.
   bool started_ = false;
 };
 

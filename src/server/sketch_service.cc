@@ -29,6 +29,11 @@ std::vector<uint8_t> MalformedPayload(Opcode opcode) {
                    std::string("malformed payload for ") + OpcodeName(opcode));
 }
 
+std::vector<uint8_t> NoSuchSketch(const std::string& name) {
+  return MakeError(ErrorCode::kNoSuchSketch,
+                   "no sketch named '" + name + "'");
+}
+
 /// Sum of |delta| over a batch: an upper bound on the L1 mass the batch
 /// adds, tracked so Count-Min point queries can report their eps*||x||_1
 /// error scale.
@@ -467,7 +472,7 @@ std::vector<uint8_t> SketchService::HandleFrame(const Frame& frame) {
       return frame.payload.empty() ? HandleTraceDump()
                                    : MalformedPayload(frame.opcode);
     case Opcode::kShutdown: {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       shutdown_ = true;
       return EncodeOk();
     }
@@ -480,13 +485,24 @@ std::vector<uint8_t> SketchService::HandleFrame(const Frame& frame) {
 }
 
 bool SketchService::shutdown_requested() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return shutdown_;
 }
 
 std::size_t SketchService::sketch_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return sketches_.size();
+}
+
+internal::SketchEntry* SketchService::FindEntryLocked(
+    const std::string& name) {
+  const auto it = sketches_.find(name);
+  return it == sketches_.end() ? nullptr : it->second.get();
+}
+
+bool SketchService::InsertEntryLocked(
+    const std::string& name, std::unique_ptr<internal::SketchEntry> entry) {
+  return sketches_.emplace(name, std::move(entry)).second;
 }
 
 std::unique_ptr<internal::SketchEntry> SketchService::BuildEntry(
@@ -596,11 +612,8 @@ std::vector<uint8_t> SketchService::HandleCreate(const Frame& frame) {
   ErrorResponse error;
   std::unique_ptr<internal::SketchEntry> entry = BuildEntry(request, &error);
   if (entry == nullptr) return EncodeError(error);
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto [it, inserted] =
-      sketches_.emplace(request.name, std::move(entry));
-  static_cast<void>(it);
-  if (!inserted) {
+  MutexLock lock(mutex_);
+  if (!InsertEntryLocked(request.name, std::move(entry))) {
     return MakeError(ErrorCode::kSketchExists,
                      "a sketch with this name already exists");
   }
@@ -609,10 +622,9 @@ std::vector<uint8_t> SketchService::HandleCreate(const Frame& frame) {
 }
 
 std::vector<uint8_t> SketchService::HandleDrop(const NamedRequest& request) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (sketches_.erase(request.name) == 0) {
-    return MakeError(ErrorCode::kNoSuchSketch,
-                     "no sketch named '" + request.name + "'");
+    return NoSuchSketch(request.name);
   }
   return EncodeOk();
 }
@@ -621,14 +633,11 @@ std::vector<uint8_t> SketchService::HandleIngest(const Frame& frame) {
   SKETCH_TRACE_SPAN("server.ingest");
   IngestRequest request;
   if (!DecodeIngest(frame, &request)) return MalformedPayload(frame.opcode);
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = sketches_.find(request.name);
-  if (it == sketches_.end()) {
-    return MakeError(ErrorCode::kNoSuchSketch,
-                     "no sketch named '" + request.name + "'");
-  }
+  MutexLock lock(mutex_);
+  internal::SketchEntry* entry = FindEntryLocked(request.name);
+  if (entry == nullptr) return NoSuchSketch(request.name);
   ErrorResponse error;
-  if (!it->second->Ingest(UpdateSpan(request.updates), &error)) {
+  if (!entry->Ingest(UpdateSpan(request.updates), &error)) {
     return EncodeError(error);
   }
   SKETCH_COUNTER_ADD("server.updates_ingested", request.updates.size());
@@ -643,14 +652,11 @@ std::vector<uint8_t> SketchService::HandlePointQuery(const Frame& frame) {
   if (!DecodePointQuery(frame, &request)) {
     return MalformedPayload(frame.opcode);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = sketches_.find(request.name);
-  if (it == sketches_.end()) {
-    return MakeError(ErrorCode::kNoSuchSketch,
-                     "no sketch named '" + request.name + "'");
-  }
+  MutexLock lock(mutex_);
+  internal::SketchEntry* entry = FindEntryLocked(request.name);
+  if (entry == nullptr) return NoSuchSketch(request.name);
   SKETCH_COUNTER_INC("server.point_queries");
-  return EncodePointValue(it->second->PointQuery(request.item));
+  return EncodePointValue(entry->PointQuery(request.item));
 }
 
 std::vector<uint8_t> SketchService::HandleHeavyHitters(const Frame& frame) {
@@ -665,15 +671,12 @@ std::vector<uint8_t> SketchService::HandleHeavyHitters(const Frame& frame) {
     return MakeError(ErrorCode::kMalformedPayload,
                      "phi must lie strictly between 0 and 1");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = sketches_.find(request.name);
-  if (it == sketches_.end()) {
-    return MakeError(ErrorCode::kNoSuchSketch,
-                     "no sketch named '" + request.name + "'");
-  }
+  MutexLock lock(mutex_);
+  internal::SketchEntry* entry = FindEntryLocked(request.name);
+  if (entry == nullptr) return NoSuchSketch(request.name);
   ItemsResponse items;
   ErrorResponse error;
-  if (!it->second->HeavyHitters(request.phi, &items.items, &error)) {
+  if (!entry->HeavyHitters(request.phi, &items.items, &error)) {
     return EncodeError(error);
   }
   return EncodeItems(items);
@@ -685,16 +688,16 @@ std::vector<uint8_t> SketchService::HandleInnerProduct(const Frame& frame) {
   if (!DecodeInnerProduct(frame, &request)) {
     return MalformedPayload(frame.opcode);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto left = sketches_.find(request.left);
-  const auto right = sketches_.find(request.right);
-  if (left == sketches_.end() || right == sketches_.end()) {
+  MutexLock lock(mutex_);
+  internal::SketchEntry* left = FindEntryLocked(request.left);
+  internal::SketchEntry* right = FindEntryLocked(request.right);
+  if (left == nullptr || right == nullptr) {
     return MakeError(ErrorCode::kNoSuchSketch,
                      "both sketches must exist for an inner product");
   }
   int64_t result = 0;
   ErrorResponse error;
-  if (!left->second->InnerProduct(*right->second, &result, &error)) {
+  if (!left->InnerProduct(*right, &result, &error)) {
     return EncodeError(error);
   }
   PointValueResponse response;
@@ -706,14 +709,11 @@ std::vector<uint8_t> SketchService::HandleInnerProduct(const Frame& frame) {
 std::vector<uint8_t> SketchService::HandleSnapshot(
     const NamedRequest& request) {
   SKETCH_TRACE_SPAN("server.snapshot");
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = sketches_.find(request.name);
-  if (it == sketches_.end()) {
-    return MakeError(ErrorCode::kNoSuchSketch,
-                     "no sketch named '" + request.name + "'");
-  }
+  MutexLock lock(mutex_);
+  internal::SketchEntry* entry = FindEntryLocked(request.name);
+  if (entry == nullptr) return NoSuchSketch(request.name);
   BlobResponse blob;
-  blob.bytes = it->second->Snapshot();
+  blob.bytes = entry->Snapshot();
   SKETCH_COUNTER_INC("server.snapshots");
   return EncodeBlob(blob);
 }
@@ -737,10 +737,8 @@ std::vector<uint8_t> SketchService::HandleRestore(const Frame& frame) {
   if (entry == nullptr) {
     return MakeError(ErrorCode::kBadSketchType, "unknown sketch type");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto [it, inserted] = sketches_.emplace(request.name, std::move(entry));
-  static_cast<void>(it);
-  if (!inserted) {
+  MutexLock lock(mutex_);
+  if (!InsertEntryLocked(request.name, std::move(entry))) {
     return MakeError(ErrorCode::kSketchExists,
                      "a sketch with this name already exists");
   }
@@ -749,7 +747,7 @@ std::vector<uint8_t> SketchService::HandleRestore(const Frame& frame) {
 }
 
 std::vector<uint8_t> SketchService::HandleList() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::ostringstream out;
   out << "[";
   bool first = true;
@@ -772,7 +770,7 @@ std::vector<uint8_t> SketchService::HandleStatsz() {
   // JSON object.
   std::ostringstream out;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     out << "{\"sketches\":[";
     bool first = true;
     for (const auto& [name, entry] : sketches_) {

@@ -4,10 +4,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "server/protocol.h"
 #include "sketch/bloom_filter.h"
@@ -92,26 +92,45 @@ class SketchService {
   /// Dispatches one decoded request frame and returns the encoded
   /// response frame. Never aborts on malformed payloads: every validation
   /// failure becomes a kError response.
-  std::vector<uint8_t> HandleFrame(const Frame& frame);
+  std::vector<uint8_t> HandleFrame(const Frame& frame)
+      SKETCH_EXCLUDES(mutex_);
 
   /// True once a kShutdown request has been handled.
-  bool shutdown_requested() const;
+  bool shutdown_requested() const SKETCH_EXCLUDES(mutex_);
 
   /// Registry size (tests / statsz).
-  std::size_t sketch_count() const;
+  std::size_t sketch_count() const SKETCH_EXCLUDES(mutex_);
 
  private:
-  std::vector<uint8_t> HandleCreate(const Frame& frame);
-  std::vector<uint8_t> HandleDrop(const NamedRequest& request);
-  std::vector<uint8_t> HandleIngest(const Frame& frame);
-  std::vector<uint8_t> HandlePointQuery(const Frame& frame);
-  std::vector<uint8_t> HandleHeavyHitters(const Frame& frame);
-  std::vector<uint8_t> HandleInnerProduct(const Frame& frame);
-  std::vector<uint8_t> HandleSnapshot(const NamedRequest& request);
-  std::vector<uint8_t> HandleRestore(const Frame& frame);
-  std::vector<uint8_t> HandleList();
-  std::vector<uint8_t> HandleStatsz();
+  std::vector<uint8_t> HandleCreate(const Frame& frame)
+      SKETCH_EXCLUDES(mutex_);
+  std::vector<uint8_t> HandleDrop(const NamedRequest& request)
+      SKETCH_EXCLUDES(mutex_);
+  std::vector<uint8_t> HandleIngest(const Frame& frame)
+      SKETCH_EXCLUDES(mutex_);
+  std::vector<uint8_t> HandlePointQuery(const Frame& frame)
+      SKETCH_EXCLUDES(mutex_);
+  std::vector<uint8_t> HandleHeavyHitters(const Frame& frame)
+      SKETCH_EXCLUDES(mutex_);
+  std::vector<uint8_t> HandleInnerProduct(const Frame& frame)
+      SKETCH_EXCLUDES(mutex_);
+  std::vector<uint8_t> HandleSnapshot(const NamedRequest& request)
+      SKETCH_EXCLUDES(mutex_);
+  std::vector<uint8_t> HandleRestore(const Frame& frame)
+      SKETCH_EXCLUDES(mutex_);
+  std::vector<uint8_t> HandleList() SKETCH_EXCLUDES(mutex_);
+  std::vector<uint8_t> HandleStatsz() SKETCH_EXCLUDES(mutex_);
   std::vector<uint8_t> HandleTraceDump();
+
+  /// Registry lookup with the service mutex held; nullptr if absent.
+  internal::SketchEntry* FindEntryLocked(const std::string& name)
+      SKETCH_REQUIRES(mutex_);
+
+  /// Inserts `entry` under `name` with the service mutex held; false if
+  /// the name is already taken (entry is destroyed in that case).
+  bool InsertEntryLocked(const std::string& name,
+                         std::unique_ptr<internal::SketchEntry> entry)
+      SKETCH_REQUIRES(mutex_);
 
   /// Builds an entry from validated create parameters; nullptr + *error
   /// on invalid geometry.
@@ -125,9 +144,13 @@ class SketchService {
       SketchType type, const std::vector<uint8_t>& blob);
 
   Options options_;
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<internal::SketchEntry>> sketches_;
-  bool shutdown_ = false;
+  mutable Mutex mutex_;
+  // The one service lock: entries themselves are unsynchronized (see the
+  // class comment), so both the map and every entry it owns are only
+  // touched with mutex_ held.
+  std::map<std::string, std::unique_ptr<internal::SketchEntry>> sketches_
+      SKETCH_GUARDED_BY(mutex_);
+  bool shutdown_ SKETCH_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace sketch::server

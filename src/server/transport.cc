@@ -32,8 +32,8 @@ bool WriteAll(ByteStream* stream, const std::vector<uint8_t>& bytes) {
 
 std::ptrdiff_t LoopbackPipe::Read(uint8_t* data, std::size_t size) {
   if (size == 0) return 0;
-  std::unique_lock<std::mutex> lock(mutex_);
-  readable_.wait(lock, [this] { return !bytes_.empty() || closed_; });
+  MutexLock lock(mutex_);
+  while (bytes_.empty() && !closed_) readable_.Wait(mutex_);
   if (bytes_.empty()) return 0;  // closed and drained: clean EOF
   const std::size_t n = std::min(size, bytes_.size());
   std::copy_n(bytes_.begin(), n, data);
@@ -43,17 +43,17 @@ std::ptrdiff_t LoopbackPipe::Read(uint8_t* data, std::size_t size) {
 }
 
 std::ptrdiff_t LoopbackPipe::Write(const uint8_t* data, std::size_t size) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (closed_) return -1;
   bytes_.insert(bytes_.end(), data, data + size);
-  readable_.notify_all();
+  readable_.NotifyAll();
   return static_cast<std::ptrdiff_t>(size);
 }
 
 void LoopbackPipe::Close() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   closed_ = true;
-  readable_.notify_all();
+  readable_.NotifyAll();
 }
 
 std::pair<std::unique_ptr<ByteStream>, std::unique_ptr<ByteStream>>
@@ -107,8 +107,13 @@ std::ptrdiff_t FaultyStream::Write(const uint8_t* data, std::size_t size) {
 // --- SocketStream ---------------------------------------------------------
 
 std::ptrdiff_t SocketStream::Read(uint8_t* data, std::size_t size) {
+  // relaxed: the fd value is the entire communicated state (no memory is
+  // published through it); the recv/close interleaving is resolved by the
+  // kernel, and Close's shutdown() unblocks a recv already in flight.
+  const int fd = fd_.load(std::memory_order_relaxed);
+  if (fd < 0) return -1;
   while (true) {
-    const ssize_t n = ::recv(fd_, data, size, 0);
+    const ssize_t n = ::recv(fd, data, size, 0);
     if (n >= 0) return static_cast<std::ptrdiff_t>(n);
     if (errno == EINTR) continue;
     return -1;
@@ -116,10 +121,13 @@ std::ptrdiff_t SocketStream::Read(uint8_t* data, std::size_t size) {
 }
 
 std::ptrdiff_t SocketStream::Write(const uint8_t* data, std::size_t size) {
+  // relaxed: see Read.
+  const int fd = fd_.load(std::memory_order_relaxed);
+  if (fd < 0) return -1;
   while (true) {
     // MSG_NOSIGNAL: a peer that disconnected mid-frame must surface as a
     // -1 return, not a process-killing SIGPIPE.
-    const ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
     if (n >= 0) return static_cast<std::ptrdiff_t>(n);
     if (errno == EINTR) continue;
     return -1;
@@ -127,10 +135,13 @@ std::ptrdiff_t SocketStream::Write(const uint8_t* data, std::size_t size) {
 }
 
 void SocketStream::Close() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+  // acq_rel exchange: exactly one closer claims the descriptor (atomicity
+  // prevents double-close of a possibly-reused fd) and the winner's
+  // shutdown/close are ordered after any prior writes it made.
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 
@@ -183,8 +194,12 @@ std::unique_ptr<SocketListener> SocketListener::ListenUnix(
 }
 
 std::unique_ptr<ByteStream> SocketListener::Accept() {
+  // relaxed: see SocketStream::Read — the fd carries no published memory,
+  // and a Close racing with accept() surfaces as an error return.
+  const int fd = fd_.load(std::memory_order_relaxed);
+  if (fd < 0) return nullptr;
   while (true) {
-    const int client = ::accept(fd_, nullptr, nullptr);
+    const int client = ::accept(fd, nullptr, nullptr);
     if (client >= 0) return std::make_unique<SocketStream>(client);
     if (errno == EINTR) continue;
     return nullptr;  // listener closed or unrecoverable error
@@ -192,16 +207,15 @@ std::unique_ptr<ByteStream> SocketListener::Accept() {
 }
 
 void SocketListener::Close() {
-  if (fd_ >= 0) {
-    // shutdown() unblocks a concurrent Accept before the fd goes away.
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
-  }
-  if (!unix_path_.empty()) {
-    ::unlink(unix_path_.c_str());
-    unix_path_.clear();
-  }
+  // Close races with Accept and with itself (connection threads, Stop,
+  // and the destructor all call it); the exchange picks a single winner,
+  // which also makes the unlink below happen exactly once.
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd < 0) return;
+  // shutdown() unblocks a concurrent Accept before the fd goes away.
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+  if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
 }
 
 std::unique_ptr<ByteStream> ConnectTcp(const std::string& host,

@@ -1,15 +1,16 @@
 #ifndef SKETCH_SERVER_TRANSPORT_H_
 #define SKETCH_SERVER_TRANSPORT_H_
 
-#include <condition_variable>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 /// \file
 /// Byte-stream transports for the sketch daemon.
@@ -53,15 +54,17 @@ bool WriteAll(ByteStream* stream, const std::vector<uint8_t>& bytes);
 /// closed flag, guarded by a mutex.
 class LoopbackPipe {
  public:
-  std::ptrdiff_t Read(uint8_t* data, std::size_t size);
-  std::ptrdiff_t Write(const uint8_t* data, std::size_t size);
-  void Close();
+  std::ptrdiff_t Read(uint8_t* data, std::size_t size)
+      SKETCH_EXCLUDES(mutex_);
+  std::ptrdiff_t Write(const uint8_t* data, std::size_t size)
+      SKETCH_EXCLUDES(mutex_);
+  void Close() SKETCH_EXCLUDES(mutex_);
 
  private:
-  std::mutex mutex_;
-  std::condition_variable readable_;
-  std::deque<uint8_t> bytes_;
-  bool closed_ = false;
+  sketch::Mutex mutex_;
+  sketch::CondVar readable_;
+  std::deque<uint8_t> bytes_ SKETCH_GUARDED_BY(mutex_);
+  bool closed_ SKETCH_GUARDED_BY(mutex_) = false;
 };
 
 /// One endpoint of a loopback pair: reads from one pipe, writes to the
@@ -139,7 +142,12 @@ class FaultyStream : public ByteStream {
 
 // --- Kernel sockets -------------------------------------------------------
 
-/// A connected TCP or Unix-domain socket.
+/// A connected TCP or Unix-domain socket. `Close()` may race with a
+/// blocked `Read`/`Write` on another thread (the server's shutdown path
+/// closes connection streams out from under their reader threads), so the
+/// descriptor is atomic and Close claims it with an exchange: exactly one
+/// closer wins, and a loser (or a racing Read) sees -1 instead of
+/// double-closing a possibly-reused descriptor.
 class SocketStream : public ByteStream {
  public:
   explicit SocketStream(int fd) : fd_(fd) {}
@@ -150,7 +158,7 @@ class SocketStream : public ByteStream {
   void Close() override;
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
 };
 
 /// Listening socket: TCP on 127.0.0.1 or a Unix-domain path.
@@ -175,16 +183,22 @@ class SocketListener {
   /// Blocks for the next connection; nullptr once the listener is closed.
   std::unique_ptr<ByteStream> Accept();
 
-  /// Unblocks Accept and closes the listening socket.
+  /// Unblocks Accept and closes the listening socket. Safe to call from
+  /// any thread, concurrently with Accept and with itself (the daemon's
+  /// kShutdown path closes the listener from a connection thread while
+  /// the accept thread blocks in Accept).
   void Close();
 
   /// Bound TCP port (after ListenTcp with port 0), or 0 for Unix sockets.
   uint16_t port() const { return port_; }
 
  private:
-  int fd_ = -1;
-  uint16_t port_ = 0;
-  std::string unix_path_;
+  // Same atomic-exchange close protocol as SocketStream; port_ and
+  // unix_path_ are immutable after construction so Accept/Close need no
+  // lock around them.
+  std::atomic<int> fd_{-1};
+  const uint16_t port_ = 0;
+  const std::string unix_path_;
 };
 
 /// Connects to a daemon over TCP (host is an IPv4 literal such as

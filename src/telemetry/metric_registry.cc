@@ -23,6 +23,9 @@ uint64_t Histogram::Snapshot::ApproxQuantile(double q) const {
 Histogram::Snapshot Histogram::GetSnapshot() const {
   Snapshot snapshot;
   for (const Cell& cell : cells_) {
+    // relaxed: each field is a monotone sum read independently; the
+    // Snapshot contract allows count/sum/buckets to be mutually torn
+    // while writers race, and quiescence (join or lock) makes it exact.
     snapshot.count += cell.count.load(std::memory_order_relaxed);
     snapshot.sum += cell.sum.load(std::memory_order_relaxed);
     for (std::size_t b = 0; b < kBuckets; ++b) {
@@ -34,6 +37,8 @@ Histogram::Snapshot Histogram::GetSnapshot() const {
 
 void Histogram::Reset() {
   for (Cell& cell : cells_) {
+    // relaxed: reset-vs-writer ordering is the caller's responsibility
+    // (ResetForTest holds the registry lock; tests quiesce writers).
     cell.count.store(0, std::memory_order_relaxed);
     cell.sum.store(0, std::memory_order_relaxed);
     for (std::size_t b = 0; b < kBuckets; ++b) {
@@ -48,7 +53,7 @@ MetricRegistry& MetricRegistry::Instance() {
 }
 
 Counter& MetricRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = counter_index_.find(name);
   if (it != counter_index_.end()) return *it->second;
   Counter& counter = counters_.emplace_back(std::string(name));
@@ -57,7 +62,7 @@ Counter& MetricRegistry::GetCounter(std::string_view name) {
 }
 
 Histogram& MetricRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = histogram_index_.find(name);
   if (it != histogram_index_.end()) return *it->second;
   Histogram& histogram = histograms_.emplace_back(std::string(name));
@@ -67,7 +72,7 @@ Histogram& MetricRegistry::GetHistogram(std::string_view name) {
 
 std::vector<std::pair<std::string, uint64_t>> MetricRegistry::CounterValues()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, uint64_t>> out;
   out.reserve(counter_index_.size());
   for (const auto& [name, counter] : counter_index_) {
@@ -78,7 +83,7 @@ std::vector<std::pair<std::string, uint64_t>> MetricRegistry::CounterValues()
 
 std::vector<std::pair<std::string, Histogram::Snapshot>>
 MetricRegistry::HistogramSnapshots() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, Histogram::Snapshot>> out;
   out.reserve(histogram_index_.size());
   for (const auto& [name, histogram] : histogram_index_) {
@@ -152,7 +157,7 @@ std::string MetricRegistry::DumpJson() const {
 }
 
 void MetricRegistry::ResetForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (Counter& counter : counters_) counter.Reset();
   for (Histogram& histogram : histograms_) histogram.Reset();
 }

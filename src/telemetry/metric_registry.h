@@ -8,11 +8,12 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 /// \file
 /// Global metric registry: named monotonic counters and log-scale
@@ -51,6 +52,8 @@ inline std::atomic<std::size_t> next_stripe{0};
 /// Inline — metric writes sit in kernel hot loops (one per hashed block),
 /// so this must compile down to a TLS load, not a cross-TU call.
 inline std::size_t ThreadStripeIndex() {
+  // relaxed: only uniqueness of the ticket matters (fetch_add is atomic at
+  // any ordering); the stripe choice orders nothing else.
   thread_local const std::size_t stripe =
       internal::next_stripe.fetch_add(1, std::memory_order_relaxed) &
       (kMetricStripes - 1);
@@ -69,6 +72,8 @@ class Counter {
   Counter& operator=(const Counter&) = delete;
 
   void Add(uint64_t delta) {
+    // relaxed: each stripe is a monotone sum; no other memory is published
+    // under this counter, so the add needs atomicity only.
     cells_[ThreadStripeIndex()].value.fetch_add(delta,
                                                 std::memory_order_relaxed);
   }
@@ -77,6 +82,9 @@ class Counter {
   uint64_t Value() const {
     uint64_t total = 0;
     for (const Cell& cell : cells_) {
+      // relaxed: each load sees some monotone prefix of that stripe's
+      // adds, so the sum is a valid lower bound while writers race and
+      // exact once they quiesce (join/lock provides the happens-before).
       total += cell.value.load(std::memory_order_relaxed);
     }
     return total;
@@ -87,6 +95,9 @@ class Counter {
   /// Zeroes every stripe (tests; not linearizable against racing writers).
   void Reset() {
     for (Cell& cell : cells_) {
+      // relaxed: callers (ResetForTest under the registry lock, or
+      // single-threaded test setup) already order the reset against
+      // writers externally.
       cell.value.store(0, std::memory_order_relaxed);
     }
   }
@@ -125,6 +136,10 @@ class Histogram {
 
   void Record(uint64_t value) {
     Cell& cell = cells_[ThreadStripeIndex()];
+    // relaxed: bucket/count/sum are three independent monotone sums; a
+    // racing snapshot may see them mutually torn (count ahead of sum) and
+    // the Snapshot contract says so — no ordering between them is load-
+    // bearing.
     cell.buckets[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
     cell.count.fetch_add(1, std::memory_order_relaxed);
     cell.sum.fetch_add(value, std::memory_order_relaxed);
@@ -174,13 +189,14 @@ class MetricRegistry {
 
   /// Returns the counter / histogram named `name`, creating it on first
   /// use. Takes the registry mutex — cache the reference on hot paths.
-  Counter& GetCounter(std::string_view name);
-  Histogram& GetHistogram(std::string_view name);
+  Counter& GetCounter(std::string_view name) SKETCH_EXCLUDES(mu_);
+  Histogram& GetHistogram(std::string_view name) SKETCH_EXCLUDES(mu_);
 
   /// Name-sorted snapshots of every registered metric.
-  std::vector<std::pair<std::string, uint64_t>> CounterValues() const;
+  std::vector<std::pair<std::string, uint64_t>> CounterValues() const
+      SKETCH_EXCLUDES(mu_);
   std::vector<std::pair<std::string, Histogram::Snapshot>> HistogramSnapshots()
-      const;
+      const SKETCH_EXCLUDES(mu_);
 
   /// Human-readable dump: one line per counter, a compact distribution
   /// line per histogram.
@@ -192,19 +208,25 @@ class MetricRegistry {
   std::string DumpJson() const;
 
   /// Zeroes every registered metric (tests). Registrations are kept so
-  /// cached references stay valid.
-  void ResetForTest();
+  /// cached references stay valid. The registry lock orders the reset
+  /// against concurrent registration; quiescing racing *writers* is the
+  /// test's job (the stripe stores themselves are relaxed).
+  void ResetForTest() SKETCH_EXCLUDES(mu_);
 
  private:
   MetricRegistry() = default;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // deques: growth never moves existing elements, so handed-out
-  // references stay valid without per-metric allocations.
-  std::deque<Counter> counters_;
-  std::deque<Histogram> histograms_;
-  std::map<std::string, Counter*, std::less<>> counter_index_;
-  std::map<std::string, Histogram*, std::less<>> histogram_index_;
+  // references stay valid without per-metric allocations. The mutex
+  // guards registration (container growth + index); the metrics' own
+  // striped cells are written lock-free through handed-out references.
+  std::deque<Counter> counters_ SKETCH_GUARDED_BY(mu_);
+  std::deque<Histogram> histograms_ SKETCH_GUARDED_BY(mu_);
+  std::map<std::string, Counter*, std::less<>> counter_index_
+      SKETCH_GUARDED_BY(mu_);
+  std::map<std::string, Histogram*, std::less<>> histogram_index_
+      SKETCH_GUARDED_BY(mu_);
 };
 
 }  // namespace sketch::telemetry

@@ -6,7 +6,7 @@
 namespace sketch::telemetry {
 
 void TraceRecorder::Ring::Push(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   event.tid = tid_;
   if (events_.size() < capacity_) {
     events_.push_back(event);
@@ -18,18 +18,18 @@ void TraceRecorder::Ring::Push(TraceEvent event) {
 }
 
 void TraceRecorder::Ring::AppendTo(std::vector<TraceEvent>* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out->insert(out->end(), events_.begin(), events_.end());
 }
 
 void TraceRecorder::Ring::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.clear();
   next_ = 0;
 }
 
 uint64_t TraceRecorder::Ring::total_pushed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_pushed_;
 }
 
@@ -40,10 +40,12 @@ TraceRecorder& TraceRecorder::Instance() {
 
 TraceRecorder::Ring& TraceRecorder::ThreadRing() {
   thread_local std::shared_ptr<Ring> ring = [this] {
+    // relaxed: capacity is a point-in-time config read and the tid ticket
+    // only needs uniqueness; neither orders any other memory.
     auto created = std::make_shared<Ring>(
         ring_capacity_.load(std::memory_order_relaxed),
         next_tid_.fetch_add(1, std::memory_order_relaxed));
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     rings_.push_back(created);
     return created;
   }();
@@ -74,7 +76,7 @@ void TraceRecorder::RecordCounter(const char* name, double value) {
 std::vector<TraceEvent> TraceRecorder::CollectEvents() const {
   std::vector<TraceEvent> events;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const std::shared_ptr<Ring>& ring : rings_) {
       ring->AppendTo(&events);
     }
@@ -127,18 +129,21 @@ bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const std::shared_ptr<Ring>& ring : rings_) {
     ring->Clear();
   }
 }
 
 void TraceRecorder::SetRingCapacity(std::size_t capacity) {
+  // relaxed: rings created before a racing thread observes the new value
+  // keep the old capacity — acceptable by the "existing rings keep
+  // theirs" contract.
   ring_capacity_.store(capacity, std::memory_order_relaxed);
 }
 
 uint64_t TraceRecorder::TotalRecorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const std::shared_ptr<Ring>& ring : rings_) {
     total += ring->total_pushed();

@@ -5,10 +5,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 
 /// \file
@@ -55,9 +55,14 @@ class TraceRecorder {
   /// Runtime switch (default on). When disabled, Record* calls return
   /// after one relaxed load and ScopedSpan skips its clock reads.
   void SetEnabled(bool enabled) {
+    // relaxed: advisory flag — a thread seeing the old value records or
+    // skips one span from the toggle window; no state rides on the flag.
     enabled_.store(enabled, std::memory_order_relaxed);
   }
-  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  bool enabled() const {
+    // relaxed: see SetEnabled — stale reads are benign by contract.
+    return enabled_.load(std::memory_order_relaxed);
+  }
 
   /// Records a completed span. `name` must have static storage duration.
   void RecordSpan(const char* name, uint64_t start_ns, uint64_t duration_ns);
@@ -67,7 +72,7 @@ class TraceRecorder {
   void RecordCounter(const char* name, double value);
 
   /// All buffered events across threads, ordered by start time.
-  std::vector<TraceEvent> CollectEvents() const;
+  std::vector<TraceEvent> CollectEvents() const SKETCH_EXCLUDES(mu_);
 
   /// Chrome trace-event JSON of the buffered events. Timestamps are
   /// rebased to the earliest event so traces start near t=0.
@@ -77,18 +82,20 @@ class TraceRecorder {
   bool WriteChromeTrace(const std::string& path) const;
 
   /// Drops all buffered events (rings stay registered).
-  void Clear();
+  void Clear() SKETCH_EXCLUDES(mu_);
 
   /// Capacity for rings created after this call (existing rings keep
   /// theirs). Tests use small capacities to exercise wraparound.
   void SetRingCapacity(std::size_t capacity);
   std::size_t ring_capacity() const {
+    // relaxed: read once per ring creation; nothing else is published
+    // through the capacity value.
     return ring_capacity_.load(std::memory_order_relaxed);
   }
 
   /// Total events ever recorded into currently-registered rings,
   /// including events already overwritten by wraparound.
-  uint64_t TotalRecorded() const;
+  uint64_t TotalRecorded() const SKETCH_EXCLUDES(mu_);
 
  private:
   /// Fixed-capacity event ring. Pushes come from the owning thread only;
@@ -97,33 +104,35 @@ class TraceRecorder {
   /// span brackets).
   class Ring {
    public:
-    Ring(std::size_t capacity, uint32_t tid) : tid_(tid) {
+    Ring(std::size_t capacity, uint32_t tid)
+        : capacity_(capacity), tid_(tid) {
       events_.reserve(capacity);
-      capacity_ = capacity;
     }
 
-    void Push(TraceEvent event);
-    void AppendTo(std::vector<TraceEvent>* out) const;
-    void Clear();
-    uint64_t total_pushed() const;
+    void Push(TraceEvent event) SKETCH_EXCLUDES(mu_);
+    void AppendTo(std::vector<TraceEvent>* out) const SKETCH_EXCLUDES(mu_);
+    void Clear() SKETCH_EXCLUDES(mu_);
+    uint64_t total_pushed() const SKETCH_EXCLUDES(mu_);
 
    private:
-    mutable std::mutex mu_;
-    std::size_t capacity_;
-    std::size_t next_ = 0;        // overwrite position once full
-    uint64_t total_pushed_ = 0;   // lifetime count, monotone
-    std::vector<TraceEvent> events_;
-    uint32_t tid_;
+    mutable Mutex mu_;
+    const std::size_t capacity_;  // immutable after construction
+    std::size_t next_ SKETCH_GUARDED_BY(mu_) = 0;  // overwrite pos once full
+    uint64_t total_pushed_ SKETCH_GUARDED_BY(mu_) = 0;  // lifetime, monotone
+    std::vector<TraceEvent> events_ SKETCH_GUARDED_BY(mu_);
+    const uint32_t tid_;  // immutable after construction
   };
 
   TraceRecorder() = default;
 
-  Ring& ThreadRing();
+  Ring& ThreadRing() SKETCH_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;  // guards rings_ registration/iteration
-  std::vector<std::shared_ptr<Ring>> rings_;
+  mutable Mutex mu_;  // guards rings_ registration/iteration
+  std::vector<std::shared_ptr<Ring>> rings_ SKETCH_GUARDED_BY(mu_);
   std::atomic<bool> enabled_{true};
   std::atomic<std::size_t> ring_capacity_{kDefaultRingCapacity};
+  // relaxed everywhere: tid tickets only need uniqueness, capacity is a
+  // point-in-time configuration value — neither publishes other memory.
   std::atomic<uint32_t> next_tid_{1};
 };
 

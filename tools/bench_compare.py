@@ -72,12 +72,18 @@ def normalize(report):
             "real_time_ns": entry.get("real_time"),
         }
     context = report.get("context", {})
+    # Prefer the harness-exported sketch_build_type: google-benchmark's
+    # library_build_type describes how libbenchmark itself was compiled
+    # (the distro package is often a debug build), which is not the build
+    # being measured.
+    build_type = context.get("sketch_build_type",
+                             context.get("library_build_type"))
     return {
         "schema": "sketch-bench-snapshot-v1",
         "host": {
             "num_cpus": context.get("num_cpus"),
             "mhz_per_cpu": context.get("mhz_per_cpu"),
-            "library_build_type": context.get("library_build_type"),
+            "library_build_type": build_type,
         },
         "benchmarks": benchmarks,
     }

@@ -28,6 +28,33 @@ rest on:
          by a comparison against a kMax* cap, a remaining()-bytes check,
          CheckSketchBlob, or a SKETCH_CHECK — so a hostile length prefix
          can never drive an allocation.
+  SL008  lock discipline is annotation-visible under src/: no raw
+         std::mutex / std::condition_variable members (use the annotated
+         sketch::Mutex / sketch::CondVar wrappers from
+         common/thread_annotations.h, where clang's -Wthread-safety can
+         see them), and every declared Mutex must be referenced by at
+         least one SKETCH_GUARDED_BY / SKETCH_REQUIRES / SKETCH_ACQUIRE /
+         SKETCH_RELEASE / SKETCH_EXCLUDES annotation in the same file — an
+         unannotated mutex guards nothing the analyzer can check. The
+         semantic half (every guarded access actually holds the lock) is
+         enforced by the clang -Wthread-safety CI build; this rule keeps
+         the annotations present so that build has something to verify,
+         including under gcc where the macros compile away.
+  SL009  every std::atomic operation under src/ spells its memory order:
+         no bare .load()/.store()/.fetch_*()/.exchange() defaults and no
+         operator forms (x++, x += n, x = v) on declared atomics — the
+         default is seq_cst, and an implicit order hides whether the
+         ordering is load-bearing. Each relaxed site must be a deliberate,
+         commented decision (see src/telemetry), not an accident.
+  SL010  no manual .lock()/.unlock()/.try_lock() (or .Lock()/.Unlock()/
+         .TryLock()) calls under src/ — locking is RAII-only via
+         sketch::MutexLock, so no early return or exception can leak a
+         held lock. The wrapper internals in common/thread_annotations.h
+         are the single allowed exception.
+
+SL008 and SL010 allowlist src/common/thread_annotations.h (the wrappers
+must touch the raw primitives once). SL009 exempts nothing under src/:
+the telemetry stripes already spell memory_order_relaxed at every site.
 
 Usage:
   tools/sketch_lint.py --root . [--compile-headers] [--cxx g++] [--jobs N]
@@ -282,6 +309,202 @@ def check_server_decode_allocation(rel, clean):
     return violations
 
 
+# Files allowed to touch raw synchronization primitives (SL008/SL010):
+# the annotated wrapper types themselves.
+THREAD_WRAPPER_ALLOWLIST = ("src/common/thread_annotations.h",)
+
+# SL008: raw synchronization-primitive declarations (the `\s+\w+` tail
+# rejects template-argument uses such as std::lock_guard<std::mutex>).
+SL008_RAW_PRIMITIVE = re.compile(
+    r"\bstd\s*::\s*(mutex|condition_variable(?:_any)?)\s+\w+"
+)
+# A wrapped-mutex member/variable declaration: `Mutex mu_;` with optional
+# mutable/namespace qualification. `\bMutex\s` cannot match MutexLock.
+SL008_MUTEX_DECL = re.compile(
+    r"\b(?:mutable\s+)?(?:sketch\s*::\s*)?Mutex\s+(\w+)\s*;"
+)
+SL008_ANNOTATION_MACROS = (
+    "GUARDED_BY",
+    "PT_GUARDED_BY",
+    "REQUIRES",
+    "ACQUIRE",
+    "RELEASE",
+    "TRY_ACQUIRE",
+    "EXCLUDES",
+    "RETURN_CAPABILITY",
+)
+
+
+def check_thread_annotations(rel, clean):
+    """SL008: no raw std::mutex/std::condition_variable under src/, and
+    every declared (wrapped) Mutex is referenced by at least one
+    SKETCH_* thread-safety annotation in the same file."""
+    rel_str = str(rel).replace("\\", "/")
+    if not rel_str.startswith("src/") or rel_str in THREAD_WRAPPER_ALLOWLIST:
+        return []
+    violations = []
+    for match in SL008_RAW_PRIMITIVE.finditer(clean):
+        violations.append(
+            (
+                line_of(clean, match.start()),
+                "SL008",
+                f"raw std::{match.group(1)}; use the annotated "
+                "sketch::Mutex/CondVar wrappers from "
+                "common/thread_annotations.h",
+            )
+        )
+    for match in SL008_MUTEX_DECL.finditer(clean):
+        name = match.group(1)
+        referenced = any(
+            re.search(
+                rf"SKETCH_{macro}\s*\(\s*{re.escape(name)}\s*[,)]", clean
+            )
+            for macro in SL008_ANNOTATION_MACROS
+        )
+        if not referenced:
+            violations.append(
+                (
+                    line_of(clean, match.start()),
+                    "SL008",
+                    f"Mutex {name} has no SKETCH_GUARDED_BY/"
+                    "SKETCH_REQUIRES/... annotation referencing it; an "
+                    "unannotated mutex guards nothing the analyzer can "
+                    "check",
+                )
+            )
+    return violations
+
+
+# SL009: atomic member-function calls that take an optional memory-order
+# argument.
+SL009_ATOMIC_CALL = re.compile(
+    r"\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
+    r"fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*\("
+)
+# Declarations establishing that a name is a std::atomic (directly or as
+# an array of atomics); used for the operator-form half of SL009.
+SL009_ATOMIC_DECL = re.compile(
+    r"\bstd\s*::\s*atomic\s*<[^<>;]*(?:<[^<>]*>[^<>;]*)?>\s+(\w+)"
+)
+SL009_ATOMIC_ARRAY_DECL = re.compile(
+    r"\bstd\s*::\s*array\s*<\s*std\s*::\s*atomic\s*<[^<>]*>\s*,[^>]*>"
+    r"\s+(\w+)"
+)
+
+
+def _balanced_args(clean, open_paren):
+    """Returns the argument text of the call whose '(' is at open_paren."""
+    depth = 0
+    for i in range(open_paren, len(clean)):
+        if clean[i] == "(":
+            depth += 1
+        elif clean[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return clean[open_paren + 1 : i]
+    return clean[open_paren + 1 :]
+
+
+def _atomic_names(root, path, clean):
+    """Atomic variable names declared in this file plus its same-stem
+    header (members used in a .cc are declared in the .h)."""
+    names = set()
+    for source in (clean,):
+        for pattern in (SL009_ATOMIC_DECL, SL009_ATOMIC_ARRAY_DECL):
+            names.update(m.group(1) for m in pattern.finditer(source))
+    if path.suffix != ".h":
+        header = path.with_suffix(".h")
+        if header.is_file():
+            header_clean = strip_comments_and_strings(
+                header.read_text(encoding="utf-8", errors="replace")
+            )
+            for pattern in (SL009_ATOMIC_DECL, SL009_ATOMIC_ARRAY_DECL):
+                names.update(
+                    m.group(1) for m in pattern.finditer(header_clean)
+                )
+    return names
+
+
+def check_atomic_memory_orders(root, rel, path, clean):
+    """SL009: every atomic op under src/ spells its memory order."""
+    rel_str = str(rel).replace("\\", "/")
+    if not rel_str.startswith("src/"):
+        return []
+    violations = []
+    for match in SL009_ATOMIC_CALL.finditer(clean):
+        args = _balanced_args(clean, match.end() - 1)
+        if "memory_order" not in args:
+            violations.append(
+                (
+                    line_of(clean, match.start()),
+                    "SL009",
+                    f".{match.group(1)}() without an explicit "
+                    "std::memory_order argument (the implicit default is "
+                    "seq_cst; spell the ordering and justify relaxed ones)",
+                )
+            )
+    names = _atomic_names(root, path, clean)
+    for name in names:
+        escaped = re.escape(name)
+        operator_forms = (
+            rf"\b{escaped}(?:\s*\[[^\]]*\])?\s*(?:\+\+|--|[-+|&^]=)",
+            rf"(?:\+\+|--)\s*{escaped}\b",
+            rf"\b{escaped}(?:\s*\[[^\]]*\])?\s*=(?![=])",
+        )
+        for form in operator_forms:
+            for match in re.finditer(form, clean):
+                # Look at the token immediately before the name. A type
+                # token (identifier char, '>', '&', '*') means this is a
+                # declaration with an initializer, not an operation; a
+                # member access ('.', '->') means the receiver is some
+                # other object that merely shares the field name — a
+                # regex cannot see its type, so we stay silent (the
+                # repo's atomics are only ever touched unqualified from
+                # inside their own class).
+                i = match.start()
+                while i > 0 and clean[i - 1] in " \t":
+                    i -= 1
+                prev = clean[i - 1] if i > 0 else ""
+                if prev.isalnum() or prev in "_>&*.-":
+                    continue
+                violations.append(
+                    (
+                        line_of(clean, match.start()),
+                        "SL009",
+                        f"operator form on std::atomic '{name}' uses the "
+                        "implicit seq_cst default; call "
+                        "fetch_add/store/load with an explicit "
+                        "std::memory_order",
+                    )
+                )
+    return violations
+
+
+# SL010: manual lock-management calls (empty argument list, so RAII
+# constructors like `MutexLock lock(mu_)` cannot match).
+SL010_MANUAL_LOCK = re.compile(
+    r"(?:\.|->)\s*(lock|unlock|try_lock|Lock|Unlock|TryLock)\s*\(\s*\)"
+)
+
+
+def check_raii_locking(rel, clean):
+    """SL010: no manual lock()/unlock() calls under src/ — RAII only."""
+    rel_str = str(rel).replace("\\", "/")
+    if not rel_str.startswith("src/") or rel_str in THREAD_WRAPPER_ALLOWLIST:
+        return []
+    violations = []
+    for match in SL010_MANUAL_LOCK.finditer(clean):
+        violations.append(
+            (
+                line_of(clean, match.start()),
+                "SL010",
+                f"manual .{match.group(1)}() call; hold locks via RAII "
+                "(sketch::MutexLock) so no path can leak a held lock",
+            )
+        )
+    return violations
+
+
 def lint_file(root, path):
     rel = path.relative_to(root)
     text = path.read_text(encoding="utf-8", errors="replace")
@@ -298,6 +521,9 @@ def lint_file(root, path):
         violations += check_naked_new_delete(clean)
     violations += check_raw_randomness(rel, clean)
     violations += check_server_decode_allocation(rel, clean)
+    violations += check_thread_annotations(rel, clean)
+    violations += check_atomic_memory_orders(root, rel, path, clean)
+    violations += check_raii_locking(rel, clean)
     return [(rel, line, rule, msg) for line, rule, msg in violations]
 
 

@@ -259,6 +259,270 @@ void BuildRows(std::vector<double>* rows, uint64_t depth) {
         )
         self.assertEqual(violations, [])
 
+    def test_sl008_raw_mutex_member(self):
+        source = """\
+#ifndef SKETCH_POOL_H_
+#define SKETCH_POOL_H_
+#include <mutex>
+namespace sketch {
+class Pool {
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+}  // namespace sketch
+#endif  // SKETCH_POOL_H_
+"""
+        violations = self.lint({"src/pool.h": source})
+        self.assertEqual(rules_found(violations), {"SL008"})
+        self.assertEqual(
+            len([v for v in violations if v[2] == "SL008"]), 2
+        )
+
+    def test_sl008_lock_guard_template_argument_is_not_a_member(self):
+        source = """\
+namespace sketch {
+void F() { std::lock_guard<std::mutex> lock(GlobalMu()); }
+}  // namespace sketch
+"""
+        violations = self.lint({"src/user.cc": source})
+        self.assertNotIn("SL008", rules_found(violations))
+
+    def test_sl008_unannotated_wrapped_mutex(self):
+        source = """\
+#ifndef SKETCH_POOL_H_
+#define SKETCH_POOL_H_
+namespace sketch {
+class Pool {
+ private:
+  Mutex mu_;
+  int jobs_ = 0;
+};
+}  // namespace sketch
+#endif  // SKETCH_POOL_H_
+"""
+        violations = self.lint({"src/pool.h": source})
+        self.assertEqual(rules_found(violations), {"SL008"})
+
+    def test_sl008_annotated_wrapped_mutex_passes(self):
+        source = """\
+#ifndef SKETCH_POOL_H_
+#define SKETCH_POOL_H_
+namespace sketch {
+class Pool {
+ public:
+  void Add() SKETCH_EXCLUDES(mu_);
+ private:
+  mutable Mutex mu_;
+  int jobs_ SKETCH_GUARDED_BY(mu_) = 0;
+};
+}  // namespace sketch
+#endif  // SKETCH_POOL_H_
+"""
+        violations = self.lint({"src/pool.h": source})
+        self.assertEqual(violations, [])
+
+    def test_sl008_only_applies_under_src(self):
+        source = """\
+#include <mutex>
+namespace sketch {
+class Helper { std::mutex mu_; };
+}  // namespace sketch
+"""
+        violations = self.lint({"tests/helper_test.cc": source})
+        self.assertNotIn("SL008", rules_found(violations))
+
+    def test_sl009_bare_atomic_calls(self):
+        source = """\
+namespace sketch {
+struct S { std::atomic<int> n{0}; };
+int F(S& s) {
+  s.n.fetch_add(1);
+  s.n.store(2);
+  return s.n.load();
+}
+}  // namespace sketch
+"""
+        violations = self.lint({"src/counter.cc": source})
+        self.assertEqual(rules_found(violations), {"SL009"})
+        self.assertEqual(
+            len([v for v in violations if v[2] == "SL009"]), 3
+        )
+
+    def test_sl009_explicit_order_passes_even_multiline(self):
+        source = """\
+namespace sketch {
+struct S { std::atomic<int> n{0}; };
+int F(S& s) {
+  s.n.fetch_add(1,
+                std::memory_order_relaxed);
+  return s.n.load(std::memory_order_acquire);
+}
+}  // namespace sketch
+"""
+        violations = self.lint({"src/counter.cc": source})
+        self.assertEqual(violations, [])
+
+    def test_sl009_operator_forms_on_declared_atomics(self):
+        source = """\
+namespace sketch {
+class C {
+  void Bump() {
+    hits_++;
+    total_ += 2;
+    mode_ = 3;
+  }
+  std::atomic<int> hits_{0};
+  std::atomic<int> total_{0};
+  std::atomic<int> mode_{0};
+};
+}  // namespace sketch
+"""
+        violations = self.lint({"src/counter.h": "#ifndef SKETCH_COUNTER_H_\n#define SKETCH_COUNTER_H_\n" + source + "#endif  // SKETCH_COUNTER_H_\n"})
+        self.assertEqual(rules_found(violations), {"SL009"})
+        self.assertEqual(
+            len([v for v in violations if v[2] == "SL009"]), 3
+        )
+
+    def test_sl009_sees_atomics_declared_in_paired_header(self):
+        header = """\
+#ifndef SKETCH_COUNTER_H_
+#define SKETCH_COUNTER_H_
+namespace sketch {
+class C {
+ public:
+  void Bump();
+ private:
+  std::atomic<int> hits_{0};
+};
+}  // namespace sketch
+#endif  // SKETCH_COUNTER_H_
+"""
+        source = """\
+namespace sketch {
+void C::Bump() { hits_++; }
+}  // namespace sketch
+"""
+        violations = self.lint(
+            {"src/counter.h": header, "src/counter.cc": source}
+        )
+        self.assertEqual(rules_found(violations), {"SL009"})
+
+    def test_sl009_declaration_initializer_is_not_an_operation(self):
+        source = """\
+namespace sketch {
+std::atomic<int> counter = 0;
+struct Snapshot { int counter = 0; };
+void F(Snapshot& s) { s.counter = 1; }
+}  // namespace sketch
+"""
+        violations = self.lint({"src/counter.cc": source})
+        self.assertNotIn("SL009", rules_found(violations))
+
+    def test_sl009_only_applies_under_src(self):
+        source = """\
+namespace sketch {
+std::atomic<int> n{0};
+int F() { return n.load(); }
+}  // namespace sketch
+"""
+        violations = self.lint({"tests/counter_test.cc": source})
+        self.assertNotIn("SL009", rules_found(violations))
+
+    def test_sl010_manual_lock_unlock(self):
+        source = """\
+namespace sketch {
+void F(Mutex& mu) {
+  mu.Lock();
+  mu.Unlock();
+}
+void G(std::mutex& mu) {
+  mu.lock();
+  mu.unlock();
+}
+}  // namespace sketch
+"""
+        violations = self.lint({"src/locking.cc": source})
+        self.assertEqual(rules_found(violations), {"SL010"})
+        self.assertEqual(
+            len([v for v in violations if v[2] == "SL010"]), 4
+        )
+
+    def test_sl010_raii_constructor_is_not_a_lock_call(self):
+        source = """\
+namespace sketch {
+void F(Mutex& mu) { MutexLock lock(mu); }
+}  // namespace sketch
+"""
+        violations = self.lint({"src/locking.cc": source})
+        self.assertEqual(violations, [])
+
+    def test_sl008_sl010_allow_the_wrapper_header(self):
+        wrapper = """\
+#ifndef SKETCH_COMMON_THREAD_ANNOTATIONS_H_
+#define SKETCH_COMMON_THREAD_ANNOTATIONS_H_
+#include <mutex>
+namespace sketch {
+class Mutex {
+ public:
+  void Lock() { mu_.lock(); }
+  void Unlock() { mu_.unlock(); }
+ private:
+  std::mutex mu_;
+};
+}  // namespace sketch
+#endif  // SKETCH_COMMON_THREAD_ANNOTATIONS_H_
+"""
+        violations = self.lint(
+            {"src/common/thread_annotations.h": wrapper}
+        )
+        self.assertEqual(violations, [])
+
+    def test_thread_annotation_macros_compile_away_under_gcc(self):
+        # The real wrapper header must be a no-op for non-clang
+        # compilers: an annotated fixture has to compile under g++ with
+        # the macros expanding to nothing.
+        import shutil
+
+        cxx = shutil.which("g++") or shutil.which("c++")
+        if cxx is None:
+            self.skipTest("no C++ compiler available")
+        repo_root = Path(__file__).resolve().parent.parent
+        annotations = (
+            repo_root / "src" / "common" / "thread_annotations.h"
+        ).read_text()
+        fixture = """\
+#ifndef SKETCH_FIXTURE_H_
+#define SKETCH_FIXTURE_H_
+#include "common/thread_annotations.h"
+namespace sketch {
+class Fixture {
+ public:
+  void Add(int n) SKETCH_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    total_ += n;
+  }
+ private:
+  mutable Mutex mu_;
+  int total_ SKETCH_GUARDED_BY(mu_) = 0;
+};
+}  // namespace sketch
+#endif  // SKETCH_FIXTURE_H_
+"""
+        with tempfile.TemporaryDirectory() as tmp:
+            write_tree(
+                tmp,
+                {
+                    "src/common/thread_annotations.h": annotations,
+                    "src/fixture.h": fixture,
+                },
+            )
+            root = Path(tmp)
+            failures = sketch_lint.compile_header(
+                root, cxx, root / "src" / "fixture.h"
+            )
+            self.assertEqual(failures, [], failures)
+
     def test_violations_in_strings_and_comments_are_ignored(self):
         source = """\
 namespace sketch {
