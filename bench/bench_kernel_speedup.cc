@@ -1,21 +1,33 @@
-// E22: scalar-vs-kernel single-thread update speedup — how much of the
+// E22/E25: scalar-vs-kernel single-thread update speedup — how much of the
 // per-update cost was call overhead (heap-walked hash coefficients, the
 // hardware divide in bucket reduction, per-item traversal) rather than the
 // "few multiplies and adds per row" the survey's §1 accounting promises.
+// E25 extends the table with the dispatched SIMD tier (the kernel column
+// rides the AVX2 lanes when the host has them) and power-of-two width rows
+// where the bucket reduction is a mask instead of a FastDiv64 multiply.
 //
 // For each sketch, ingests the same Zipf(1.1) stream twice into two
 // identically-seeded instances: once through the scalar per-item path
 // (Update/Insert in a loop) and once through the kernelized bulk path
-// (ApplyBatch -> src/kernels block hashing + FastDiv64). Reports throughput
-// for both, the speedup, and a bit-exactness verdict (Serialize() of the
-// two instances must be byte-identical — the kernel layer's contract).
+// (ApplyBatch -> src/kernels block hashing + SIMD dispatch). Reports
+// throughput for both, the speedup, and a bit-exactness verdict
+// (Serialize() of the two instances must be byte-identical — the kernel
+// layer's contract, which also pins AVX2 == scalar arithmetic).
+//
+// With --out PATH, also writes a sketch-bench-snapshot-v1 JSON via
+// BenchReporter so tools/bench_compare.py can gate the kernel rows
+// (bench/baselines/BENCH_kernel_speedup_E25.json).
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/bench_reporter.h"
 #include "common/timer.h"
+#include "kernels/simd_dispatch.h"
 #include "sketch/ams_sketch.h"
 #include "sketch/bloom_filter.h"
 #include "sketch/count_min.h"
@@ -49,9 +61,27 @@ double BestMups(const S& empty, IngestFn ingest, uint64_t n, S* out) {
   return best;
 }
 
+/// Prints the table row and records both measurements in the snapshot
+/// (keys `<key>/scalar` and `<key>/kernel`; perf-smoke gates the kernel
+/// rows, where the SIMD tier shows up).
+void Report(bench::BenchReporter* reporter, const char* name,
+            const char* key, double scalar_mups, double kernel_mups,
+            bool exact) {
+  bench::Row("%-20s %14.1f %14.1f %9.2fx %8s", name, scalar_mups,
+             kernel_mups, kernel_mups / scalar_mups, exact ? "yes" : "NO");
+  const std::string label =
+      std::string(exact ? "exact=yes" : "exact=NO") + " tier=" +
+      simd::SimdTierName(simd::ActiveSimdTier());
+  reporter->Add(std::string(key) + "/scalar", scalar_mups * 1e6,
+                1e3 / scalar_mups, label);
+  reporter->Add(std::string(key) + "/kernel", kernel_mups * 1e6,
+                1e3 / kernel_mups, label);
+}
+
 template <typename S>
-void RunCase(const char* name, const S& empty,
-             const std::vector<StreamUpdate>& stream) {
+void RunCase(const char* name, const char* key, const S& empty,
+             const std::vector<StreamUpdate>& stream,
+             bench::BenchReporter* reporter) {
   S scalar_out(empty);
   S kernel_out(empty);
   const double scalar_mups = BestMups(
@@ -64,15 +94,15 @@ void RunCase(const char* name, const S& empty,
       empty, [&stream](S* s) { s->ApplyBatch(stream); }, stream.size(),
       &kernel_out);
   const bool exact = scalar_out.Serialize() == kernel_out.Serialize();
-  bench::Row("%-18s %14.1f %14.1f %9.2fx %8s", name, scalar_mups,
-             kernel_mups, kernel_mups / scalar_mups,
-             exact ? "yes" : "NO");
+  Report(reporter, name, key, scalar_mups, kernel_mups, exact);
 }
 
 // BloomFilter's scalar path is Insert(key), not Update(update); same shape
 // otherwise.
-void RunBloomCase(const char* name, const BloomFilter& empty,
-                  const std::vector<StreamUpdate>& stream) {
+void RunBloomCase(const char* name, const char* key,
+                  const BloomFilter& empty,
+                  const std::vector<StreamUpdate>& stream,
+                  bench::BenchReporter* reporter) {
   BloomFilter scalar_out(empty);
   BloomFilter kernel_out(empty);
   const double scalar_mups = BestMups(
@@ -85,16 +115,16 @@ void RunBloomCase(const char* name, const BloomFilter& empty,
       empty, [&stream](BloomFilter* f) { f->ApplyBatch(stream); },
       stream.size(), &kernel_out);
   const bool exact = scalar_out.Serialize() == kernel_out.Serialize();
-  bench::Row("%-18s %14.1f %14.1f %9.2fx %8s", name, scalar_mups,
-             kernel_mups, kernel_mups / scalar_mups,
-             exact ? "yes" : "NO");
+  Report(reporter, name, key, scalar_mups, kernel_mups, exact);
 }
 
 // DyadicCountMin has no Serialize(); compare point estimates over a probe
 // set instead (the levels are CountMin sketches whose exactness the other
 // cases already pin byte-for-byte).
-void RunDyadicCase(const char* name, const DyadicCountMin& empty,
-                   const std::vector<StreamUpdate>& stream) {
+void RunDyadicCase(const char* name, const char* key,
+                   const DyadicCountMin& empty,
+                   const std::vector<StreamUpdate>& stream,
+                   bench::BenchReporter* reporter) {
   DyadicCountMin scalar_out(empty);
   DyadicCountMin kernel_out(empty);
   const double scalar_mups = BestMups(
@@ -114,33 +144,62 @@ void RunDyadicCase(const char* name, const DyadicCountMin& empty,
       break;
     }
   }
-  bench::Row("%-18s %14.1f %14.1f %9.2fx %8s", name, scalar_mups,
-             kernel_mups, kernel_mups / scalar_mups,
-             exact ? "yes" : "NO");
+  Report(reporter, name, key, scalar_mups, kernel_mups, exact);
 }
 
-void Run() {
+void Run(const std::string& out_path) {
   bench::PrintHeader(
-      "E22 — Scalar vs. kernelized update path (bench_kernel_speedup)",
-      "Batched block hashing + division-free bucket reduction raise "
-      "single-thread update throughput with bit-identical sketches",
+      "E22/E25 — Scalar vs. kernelized update path (bench_kernel_speedup)",
+      "Batched block hashing + SIMD dispatch + division-free bucket "
+      "reduction raise single-thread update throughput with bit-identical "
+      "sketches",
       "Zipf(1.1) stream, 2M updates over a 1M universe, one thread");
-  bench::Row("%-18s %14s %14s %10s %8s", "sketch", "scalar Mup/s",
+  std::printf("SIMD tier: %s (avx2 compiled: %s; set SKETCH_FORCE_SCALAR=1 "
+              "to pin scalar)\n",
+              simd::SimdTierName(simd::ActiveSimdTier()),
+              simd::Avx2KernelsCompiled() ? "yes" : "no");
+  bench::Row("%-20s %14s %14s %10s %8s", "sketch", "scalar Mup/s",
              "kernel Mup/s", "speedup", "exact");
+  bench::BenchReporter reporter;
   const std::vector<StreamUpdate> stream =
       MakeZipfStream(kUniverse, 1.1, kLength, kSeed);
-  RunCase("CountMin d=5", CountMinSketch(1 << 12, 5, kSeed), stream);
-  RunCase("CountSketch d=5", CountSketch(1 << 12, 5, kSeed), stream);
-  RunCase("AMS d=5", AmsSketch(1 << 10, 5, kSeed), stream);
-  RunBloomCase("Bloom k=7", BloomFilter(1 << 18, 7, kSeed), stream);
-  RunDyadicCase("Dyadic L=20 d=3",
-                DyadicCountMin(20, 1 << 10, 3, kSeed), stream);
+  RunCase("CountMin d=5", "kernel_speedup/CountMin_d5",
+          CountMinSketch(1 << 12, 5, kSeed), stream, &reporter);
+  RunCase("CountMin d=5 pow2", "kernel_speedup/CountMin_d5_pow2",
+          CountMinSketch(1 << 12, 5, kSeed, WidthMode::kPow2), stream,
+          &reporter);
+  RunCase("CountSketch d=5", "kernel_speedup/CountSketch_d5",
+          CountSketch(1 << 12, 5, kSeed), stream, &reporter);
+  RunCase("CountSketch d=5 pow2", "kernel_speedup/CountSketch_d5_pow2",
+          CountSketch(1 << 12, 5, kSeed, WidthMode::kPow2), stream,
+          &reporter);
+  RunCase("AMS d=5", "kernel_speedup/AMS_d5", AmsSketch(1 << 10, 5, kSeed),
+          stream, &reporter);
+  RunBloomCase("Bloom k=7", "kernel_speedup/Bloom_k7",
+               BloomFilter(1 << 18, 7, kSeed), stream, &reporter);
+  RunBloomCase("Bloom k=7 pow2", "kernel_speedup/Bloom_k7_pow2",
+               BloomFilter(1 << 18, 7, kSeed, WidthMode::kPow2), stream,
+               &reporter);
+  RunDyadicCase("Dyadic L=20 d=3", "kernel_speedup/Dyadic_L20_d3",
+                DyadicCountMin(20, 1 << 10, 3, kSeed), stream, &reporter);
+  if (!out_path.empty()) reporter.WriteSnapshot(out_path);
 }
 
 }  // namespace
 }  // namespace sketch
 
-int main() {
-  sketch::Run();
+int main(int argc, char** argv) {
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--out snapshot.json]\n", argv[0]);
+      return 1;
+    }
+  }
+  sketch::Run(out_path);
   return 0;
 }

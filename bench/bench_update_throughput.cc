@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "kernels/simd_dispatch.h"
 #include "sketch/ams_sketch.h"
 #include "sketch/bloom_filter.h"
 #include "sketch/count_min.h"
@@ -74,6 +75,36 @@ void BM_CountSketchApplyBatch(benchmark::State& state) {
   state.SetLabel("depth=" + std::to_string(state.range(0)));
 }
 BENCHMARK(BM_CountSketchApplyBatch)->Arg(1)->Arg(3)->Arg(5)->Arg(8);
+
+// Power-of-two width variants: same geometry (1 << 12 is already a power
+// of two, so the table sizes match the division rows exactly) but the
+// bucket reduction is a mask instead of a FastDiv64 multiply-shift. The
+// delta against the rows above isolates the cost of the division step.
+void BM_CountMinApplyBatchPow2(benchmark::State& state) {
+  CountMinSketch sketch(1 << 12, static_cast<uint64_t>(state.range(0)), 1,
+                        WidthMode::kPow2);
+  const auto& stream = SharedStream();
+  for (auto _ : state) {
+    sketch.ApplyBatch(stream);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+  state.SetLabel("depth=" + std::to_string(state.range(0)) + " pow2");
+}
+BENCHMARK(BM_CountMinApplyBatchPow2)->Arg(1)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_CountSketchApplyBatchPow2(benchmark::State& state) {
+  CountSketch sketch(1 << 12, static_cast<uint64_t>(state.range(0)), 1,
+                     WidthMode::kPow2);
+  const auto& stream = SharedStream();
+  for (auto _ : state) {
+    sketch.ApplyBatch(stream);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+  state.SetLabel("depth=" + std::to_string(state.range(0)) + " pow2");
+}
+BENCHMARK(BM_CountSketchApplyBatchPow2)->Arg(1)->Arg(3)->Arg(5)->Arg(8);
 
 void BM_BloomApplyBatch(benchmark::State& state) {
   BloomFilter filter(1 << 18, static_cast<int>(state.range(0)), 1);
@@ -183,6 +214,12 @@ int main(int argc, char** argv) {
 #else
   benchmark::AddCustomContext("sketch_build_type", "debug");
 #endif
+  // Record which kernel tier the dispatcher picked (avx2/scalar) so a
+  // snapshot taken on one host is never silently compared against numbers
+  // from a different code path (tools/bench_compare.py warns on mismatch).
+  benchmark::AddCustomContext(
+      "sketch_simd_tier",
+      sketch::simd::SimdTierName(sketch::simd::ActiveSimdTier()));
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

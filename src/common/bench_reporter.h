@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "kernels/simd_dispatch.h"
+
 namespace sketch::bench {
 
 /// Unified result sink for the hand-rolled experiment harnesses
@@ -58,8 +60,9 @@ class BenchReporter {
     }
     std::fprintf(fh, "{\n  \"schema\": \"sketch-bench-snapshot-v1\",\n");
     // Same host block google-benchmark puts in its context: snapshots are
-    // only comparable across runs if the core count and build type match,
-    // so both are recorded next to the numbers they qualify.
+    // only comparable across runs if the core count, build type, and
+    // dispatched kernel tier match, so all three are recorded next to the
+    // numbers they qualify.
 #ifdef NDEBUG
     const char* build_type = "release";
 #else
@@ -67,8 +70,9 @@ class BenchReporter {
 #endif
     std::fprintf(fh,
                  "  \"host\": {\n    \"library_build_type\": \"%s\",\n"
-                 "    \"num_cpus\": %u\n  },\n",
-                 build_type, std::thread::hardware_concurrency());
+                 "    \"num_cpus\": %u,\n    \"simd_tier\": \"%s\"\n  },\n",
+                 build_type, std::thread::hardware_concurrency(),
+                 simd::SimdTierName(simd::ActiveSimdTier()));
     std::fprintf(fh, "  \"benchmarks\": {\n");
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];

@@ -150,6 +150,14 @@ class BlockHasher {
   void BucketBlock(const uint64_t* keys, std::size_t n, const FastDiv64& w,
                    uint64_t* out) const;
 
+  /// out[i] = Hash(keys[i]) & mask for i < n, where mask = width - 1 for a
+  /// power-of-two width. Bit-identical to BucketBlock with the same width
+  /// (for pow2 divisors `FastDiv64::Mod` and the mask agree exactly), but
+  /// the reduction fuses into the SIMD lanes — this is the
+  /// `WidthMode::kPow2` hot path.
+  void BucketBlockPow2(const uint64_t* keys, std::size_t n, uint64_t mask,
+                       uint64_t* out) const;
+
   /// out[i] = ±1 sign of keys[i] for i < n.
   void SignBlock(const uint64_t* keys, std::size_t n, int64_t* out) const;
 

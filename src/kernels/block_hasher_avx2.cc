@@ -1,0 +1,265 @@
+// AVX2 lane kernels for the k=2 / k=4 Horner chains.
+//
+// This is the ONLY translation unit in the repository compiled with
+// -mavx2 (lint rule SL011 enforces that intrinsics never appear anywhere
+// else). Its entry points are reached exclusively through
+// simd::ActiveSimdTier() dispatch in block_hasher.cc, so a binary built
+// from this file still runs on CPUs without AVX2. When the toolchain
+// cannot generate AVX2 at all (non-x86 targets), the same entry points
+// are defined as forwards to the scalar block loops, keeping the link
+// portable.
+//
+// Bit-exactness contract: every kernel here produces the *canonical*
+// mod-(2^61-1) residue for every intermediate, exactly like the scalar
+// helpers in block_hasher.h / kwise_hash.h. Both sides reduce to the
+// unique representative in [0, p), so equal mathematical values are equal
+// bit patterns; the property tests compare the two paths over
+// fold-boundary keys and all lane-remainder block lengths.
+//
+// Nothing from the shared inline-heavy headers is odr-used in the AVX2
+// branch of this TU: an inline function instantiated here would be
+// compiled with AVX2 codegen, and the linker is free to pick that copy
+// for the whole program — which would crash pre-AVX2 hosts in code that
+// never asked for SIMD. Tails are therefore handled by padding the final
+// partial vector rather than by calling the scalar helpers.
+
+#include "kernels/simd_dispatch.h"
+
+#if defined(__AVX2__) && defined(__x86_64__)
+#define SKETCH_HAVE_AVX2_KERNELS 1
+#include <immintrin.h>
+#else
+#define SKETCH_HAVE_AVX2_KERNELS 0
+#include "kernels/block_hasher.h"
+#endif
+
+namespace sketch::simd {
+
+bool Avx2KernelsCompiled() { return SKETCH_HAVE_AVX2_KERNELS != 0; }
+
+#if SKETCH_HAVE_AVX2_KERNELS
+
+namespace {
+
+constexpr long long kPrimeLL = static_cast<long long>((1ULL << 61) - 1);
+
+inline __m256i Splat(uint64_t v) {
+  return _mm256_set1_epi64x(static_cast<long long>(v));
+}
+
+/// One conditional subtraction of p, for r <= 2p - 1. All operands are
+/// < 2^62, so the signed 64-bit lane compare is order-correct.
+inline __m256i CondSubP(__m256i r) {
+  const __m256i ge = _mm256_cmpgt_epi64(r, _mm256_set1_epi64x(kPrimeLL - 1));
+  return _mm256_sub_epi64(r, _mm256_and_si256(ge, _mm256_set1_epi64x(kPrimeLL)));
+}
+
+/// Lane-wise ReduceModMersenne61: x = hi*2^61 + lo, hi < 8, 2^61 ≡ 1.
+/// Canonical result in [0, p), bit-identical to the scalar fold.
+inline __m256i ReduceMod61(__m256i x) {
+  const __m256i p = _mm256_set1_epi64x(kPrimeLL);
+  return CondSubP(
+      _mm256_add_epi64(_mm256_srli_epi64(x, 61), _mm256_and_si256(x, p)));
+}
+
+/// Lane-wise MulModMersenne61 for a, b < 2^61 via 32-bit partial products
+/// (AVX2 has no 64x64 -> 128 multiply):
+///
+///   a*b = lolo + (lohi + hilo)*2^32 + hihi*2^64
+///
+/// with each partial folded mod p = 2^61 - 1 before summation:
+///   lolo           -> (lolo & p) + (lolo >> 61)          [2^61 ≡ 1]
+///   mid = lohi+hilo: mid*2^32 = (mid >> 29)*2^61 + (mid & (2^29-1))*2^32
+///                  -> (mid >> 29) + ((mid & (2^29-1)) << 32)
+///   hihi*2^64      -> hihi << 3                          [2^64 ≡ 8]
+///
+/// Bounds: a, b < 2^61 give a_hi, b_hi < 2^29, so mid < 2^62 (no lane
+/// overflow) and the folded sum is < 3*2^61 + 2^34 < 2^63. One final
+/// hi/lo fold leaves at most p + 3, and one conditional subtraction
+/// yields the canonical residue — matching the scalar MulModMersenne61,
+/// which is also canonical, bit for bit.
+inline __m256i MulMod61(__m256i a, __m256i b) {
+  const __m256i p = _mm256_set1_epi64x(kPrimeLL);
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i lolo = _mm256_mul_epu32(a, b);
+  const __m256i lohi = _mm256_mul_epu32(a, b_hi);
+  const __m256i hilo = _mm256_mul_epu32(a_hi, b);
+  const __m256i hihi = _mm256_mul_epu32(a_hi, b_hi);
+  const __m256i mid = _mm256_add_epi64(lohi, hilo);
+  const __m256i mask29 = _mm256_set1_epi64x((1LL << 29) - 1);
+  __m256i sum =
+      _mm256_add_epi64(_mm256_and_si256(lolo, p), _mm256_srli_epi64(lolo, 61));
+  sum = _mm256_add_epi64(sum, _mm256_srli_epi64(mid, 29));
+  sum = _mm256_add_epi64(
+      sum, _mm256_slli_epi64(_mm256_and_si256(mid, mask29), 32));
+  sum = _mm256_add_epi64(sum, _mm256_slli_epi64(hihi, 3));
+  return CondSubP(
+      _mm256_add_epi64(_mm256_srli_epi64(sum, 61), _mm256_and_si256(sum, p)));
+}
+
+/// acc, c canonical < p: Mul(acc, xr) + c < 2p, one conditional subtract —
+/// the same add-then-correct step as the scalar Horner chains.
+inline __m256i HornerStep(__m256i acc, __m256i xr, __m256i c) {
+  return CondSubP(_mm256_add_epi64(MulMod61(acc, xr), c));
+}
+
+inline __m256i HashK2V(__m256i c0, __m256i c1, __m256i keys) {
+  return HornerStep(c1, ReduceMod61(keys), c0);
+}
+
+inline __m256i HashK4V(__m256i c0, __m256i c1, __m256i c2, __m256i c3,
+                       __m256i keys) {
+  const __m256i xr = ReduceMod61(keys);
+  __m256i acc = HornerStep(c3, xr, c2);
+  acc = HornerStep(acc, xr, c1);
+  return HornerStep(acc, xr, c0);
+}
+
+/// sign = 2*(h & 1) - 1, i.e. +1 for odd hashes, -1 for even — identical
+/// to the scalar `(h & 1) ? +1 : -1`.
+inline __m256i SignV(__m256i h) {
+  const __m256i one = _mm256_set1_epi64x(1);
+  return _mm256_sub_epi64(_mm256_slli_epi64(_mm256_and_si256(h, one), 1),
+                          one);
+}
+
+/// Runs `kernel` (4 keys in, 4 results out) over the block. The final
+/// partial vector is padded with zero keys and the surplus lanes are
+/// dropped, so no scalar helper from the shared headers is instantiated
+/// in this TU and `out[n...]` is never written.
+template <typename Out, typename Kernel>
+inline void ForEachVector(const uint64_t* keys, std::size_t n, Out* out,
+                          Kernel&& kernel) {
+  static_assert(sizeof(Out) == sizeof(uint64_t));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i k =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), kernel(k));
+  }
+  if (i < n) {
+    alignas(32) uint64_t kbuf[4] = {0, 0, 0, 0};
+    alignas(32) Out rbuf[4];
+    for (std::size_t j = i; j < n; ++j) kbuf[j - i] = keys[j];
+    _mm256_store_si256(
+        reinterpret_cast<__m256i*>(rbuf),
+        kernel(_mm256_load_si256(reinterpret_cast<const __m256i*>(kbuf))));
+    for (std::size_t j = i; j < n; ++j) out[j] = rbuf[j - i];
+  }
+}
+
+}  // namespace
+
+void HashBlockK2Avx2(uint64_t c0, uint64_t c1, const uint64_t* keys,
+                     std::size_t n, uint64_t* out) {
+  const __m256i c0v = Splat(c0);
+  const __m256i c1v = Splat(c1);
+  ForEachVector(keys, n, out,
+                [&](__m256i k) { return HashK2V(c0v, c1v, k); });
+}
+
+void HashBlockK4Avx2(uint64_t c0, uint64_t c1, uint64_t c2, uint64_t c3,
+                     const uint64_t* keys, std::size_t n, uint64_t* out) {
+  const __m256i c0v = Splat(c0);
+  const __m256i c1v = Splat(c1);
+  const __m256i c2v = Splat(c2);
+  const __m256i c3v = Splat(c3);
+  ForEachVector(keys, n, out, [&](__m256i k) {
+    return HashK4V(c0v, c1v, c2v, c3v, k);
+  });
+}
+
+void BucketBlockPow2K2Avx2(uint64_t c0, uint64_t c1, const uint64_t* keys,
+                           std::size_t n, uint64_t mask, uint64_t* out) {
+  const __m256i c0v = Splat(c0);
+  const __m256i c1v = Splat(c1);
+  const __m256i maskv = Splat(mask);
+  ForEachVector(keys, n, out, [&](__m256i k) {
+    return _mm256_and_si256(HashK2V(c0v, c1v, k), maskv);
+  });
+}
+
+void BucketBlockPow2K4Avx2(uint64_t c0, uint64_t c1, uint64_t c2,
+                           uint64_t c3, const uint64_t* keys, std::size_t n,
+                           uint64_t mask, uint64_t* out) {
+  const __m256i c0v = Splat(c0);
+  const __m256i c1v = Splat(c1);
+  const __m256i c2v = Splat(c2);
+  const __m256i c3v = Splat(c3);
+  const __m256i maskv = Splat(mask);
+  ForEachVector(keys, n, out, [&](__m256i k) {
+    return _mm256_and_si256(HashK4V(c0v, c1v, c2v, c3v, k), maskv);
+  });
+}
+
+void SignBlockK2Avx2(uint64_t c0, uint64_t c1, const uint64_t* keys,
+                     std::size_t n, int64_t* out) {
+  const __m256i c0v = Splat(c0);
+  const __m256i c1v = Splat(c1);
+  ForEachVector(keys, n, out,
+                [&](__m256i k) { return SignV(HashK2V(c0v, c1v, k)); });
+}
+
+void SignBlockK4Avx2(uint64_t c0, uint64_t c1, uint64_t c2, uint64_t c3,
+                     const uint64_t* keys, std::size_t n, int64_t* out) {
+  const __m256i c0v = Splat(c0);
+  const __m256i c1v = Splat(c1);
+  const __m256i c2v = Splat(c2);
+  const __m256i c3v = Splat(c3);
+  ForEachVector(keys, n, out, [&](__m256i k) {
+    return SignV(HashK4V(c0v, c1v, c2v, c3v, k));
+  });
+}
+
+#else  // !SKETCH_HAVE_AVX2_KERNELS
+
+// Portable fallbacks: the toolchain cannot generate AVX2 for this target,
+// so the dispatch tier never selects kAvx2 (Avx2KernelsCompiled() is
+// false) — these forwards only exist to keep the link whole.
+
+void HashBlockK2Avx2(uint64_t c0, uint64_t c1, const uint64_t* keys,
+                     std::size_t n, uint64_t* out) {
+  kernels_internal::EvalK2Block(
+      c0, c1, keys, n, [out](std::size_t i, uint64_t h) { out[i] = h; });
+}
+
+void HashBlockK4Avx2(uint64_t c0, uint64_t c1, uint64_t c2, uint64_t c3,
+                     const uint64_t* keys, std::size_t n, uint64_t* out) {
+  kernels_internal::EvalK4Block(
+      c0, c1, c2, c3, keys, n,
+      [out](std::size_t i, uint64_t h) { out[i] = h; });
+}
+
+void BucketBlockPow2K2Avx2(uint64_t c0, uint64_t c1, const uint64_t* keys,
+                           std::size_t n, uint64_t mask, uint64_t* out) {
+  kernels_internal::EvalK2Block(
+      c0, c1, keys, n,
+      [out, mask](std::size_t i, uint64_t h) { out[i] = h & mask; });
+}
+
+void BucketBlockPow2K4Avx2(uint64_t c0, uint64_t c1, uint64_t c2,
+                           uint64_t c3, const uint64_t* keys, std::size_t n,
+                           uint64_t mask, uint64_t* out) {
+  kernels_internal::EvalK4Block(
+      c0, c1, c2, c3, keys, n,
+      [out, mask](std::size_t i, uint64_t h) { out[i] = h & mask; });
+}
+
+void SignBlockK2Avx2(uint64_t c0, uint64_t c1, const uint64_t* keys,
+                     std::size_t n, int64_t* out) {
+  kernels_internal::EvalK2Block(
+      c0, c1, keys, n,
+      [out](std::size_t i, uint64_t h) { out[i] = (h & 1) ? +1 : -1; });
+}
+
+void SignBlockK4Avx2(uint64_t c0, uint64_t c1, uint64_t c2, uint64_t c3,
+                     const uint64_t* keys, std::size_t n, int64_t* out) {
+  kernels_internal::EvalK4Block(
+      c0, c1, c2, c3, keys, n,
+      [out](std::size_t i, uint64_t h) { out[i] = (h & 1) ? +1 : -1; });
+}
+
+#endif  // SKETCH_HAVE_AVX2_KERNELS
+
+}  // namespace sketch::simd

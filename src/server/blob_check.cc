@@ -13,6 +13,12 @@ namespace {
 constexpr uint64_t kCountMinMagic = 0x534b434d494e3031ULL;     // "SKCMIN01"
 constexpr uint64_t kCountSketchMagic = 0x534b43534b543031ULL;  // "SKCSKT01"
 constexpr uint64_t kBloomMagic = 0x534b424c4f4f4d31ULL;        // "SKBLOOM1"
+// v2 layouts append a width-mode word to the header (only ever written
+// for pow2-mode sketches; see src/sketch/width_mode.h).
+constexpr uint64_t kCountMinMagicV2 = 0x534b434d494e3032ULL;     // "SKCMIN02"
+constexpr uint64_t kCountSketchMagicV2 = 0x534b43534b543032ULL;  // "SKCSKT02"
+constexpr uint64_t kBloomMagicV2 = 0x534b424c4f4f4d32ULL;        // "SKBLOOM2"
+constexpr uint64_t kPow2ModeWord = 1;  // sketch::WidthMode::kPow2
 constexpr uint64_t kAmsMagic = 0x534b414d53303031ULL;          // "SKAMS001"
 constexpr uint64_t kDyadicMagic = 0x534b4459434d3031ULL;       // "SKDYCM01"
 constexpr uint64_t kSummaryMagic = 0x534b53554d4d3031ULL;      // "SKSUMM01"
@@ -52,6 +58,8 @@ constexpr uint64_t kAnyValue = UINT64_MAX;
 
 struct TableExpectation {
   uint64_t magic = 0;
+  uint64_t magic_v2 = 0;  // 0 = v2 layout not accepted here (embedded
+                          // tables inside composites are division-mode)
   uint64_t width = kAnyValue;
   uint64_t depth = kAnyValue;
   uint64_t seed = kAnyValue;
@@ -63,7 +71,9 @@ BlobCheckResult CheckCounterTable(const WordView& view,
   if (view.words() < 4) {
     return BlobCheckResult::Fail(std::string(label) + ": blob too short");
   }
-  if (view.At(0) != expect.magic) {
+  const uint64_t magic = view.At(0);
+  const bool v2 = expect.magic_v2 != 0 && magic == expect.magic_v2;
+  if (magic != expect.magic && !v2) {
     return BlobCheckResult::Fail(std::string(label) + ": bad magic");
   }
   const uint64_t width = view.At(1);
@@ -72,12 +82,27 @@ BlobCheckResult CheckCounterTable(const WordView& view,
   if (width < 1 || depth < 1 || !MulFits(width, depth)) {
     return BlobCheckResult::Fail(std::string(label) + ": invalid geometry");
   }
+  uint64_t header_words = 4;
+  if (v2) {
+    if (view.words() < 5) {
+      return BlobCheckResult::Fail(std::string(label) + ": blob too short");
+    }
+    if (view.At(4) != kPow2ModeWord) {
+      return BlobCheckResult::Fail(std::string(label) +
+                                   ": invalid width mode");
+    }
+    if ((width & (width - 1)) != 0) {
+      return BlobCheckResult::Fail(std::string(label) +
+                                   ": pow2 width is not a power of two");
+    }
+    header_words = 5;
+  }
   const uint64_t counters = width * depth;
   if (counters > max_counters) {
     return BlobCheckResult::Fail(std::string(label) +
                                  ": geometry exceeds counter budget");
   }
-  if (view.words() != 4 + counters) {
+  if (view.words() != header_words + counters) {
     return BlobCheckResult::Fail(std::string(label) +
                                  ": size does not match geometry");
   }
@@ -97,7 +122,9 @@ BlobCheckResult CheckBloom(const WordView& view, uint64_t max_counters) {
   if (view.words() < 4) {
     return BlobCheckResult::Fail("Bloom: blob too short");
   }
-  if (view.At(0) != kBloomMagic) {
+  const uint64_t magic = view.At(0);
+  const bool v2 = magic == kBloomMagicV2;
+  if (magic != kBloomMagic && !v2) {
     return BlobCheckResult::Fail("Bloom: bad magic");
   }
   const uint64_t num_bits = view.At(1);
@@ -108,11 +135,25 @@ BlobCheckResult CheckBloom(const WordView& view, uint64_t max_counters) {
   if (num_hashes < 1 || num_hashes > 1024) {
     return BlobCheckResult::Fail("Bloom: invalid hash count");
   }
+  uint64_t header_words = 4;
+  if (v2) {
+    if (view.words() < 5) {
+      return BlobCheckResult::Fail("Bloom: blob too short");
+    }
+    if (view.At(4) != kPow2ModeWord) {
+      return BlobCheckResult::Fail("Bloom: invalid width mode");
+    }
+    if ((num_bits & (num_bits - 1)) != 0) {
+      return BlobCheckResult::Fail(
+          "Bloom: pow2 bit count is not a power of two");
+    }
+    header_words = 5;
+  }
   const uint64_t bit_words = (num_bits + 63) / 64;
   if (bit_words > max_counters) {
     return BlobCheckResult::Fail("Bloom: geometry exceeds counter budget");
   }
-  if (view.words() != 4 + bit_words) {
+  if (view.words() != header_words + bit_words) {
     return BlobCheckResult::Fail("Bloom: size does not match geometry");
   }
   return BlobCheckResult::Ok(bit_words);
@@ -257,11 +298,13 @@ BlobCheckResult CheckSketchBlob(SketchType type,
       // A sharded snapshot is the collapsed CountMin state.
       TableExpectation expect;
       expect.magic = kCountMinMagic;
+      expect.magic_v2 = kCountMinMagicV2;
       return CheckCounterTable(view, expect, max_counters, "CountMin");
     }
     case SketchType::kCountSketch: {
       TableExpectation expect;
       expect.magic = kCountSketchMagic;
+      expect.magic_v2 = kCountSketchMagicV2;
       return CheckCounterTable(view, expect, max_counters, "CountSketch");
     }
     case SketchType::kBloom:

@@ -241,10 +241,17 @@ class FrameDecoder {
 // --- Request messages -----------------------------------------------------
 
 /// CreateSketch: five u64 parameters whose meaning depends on the type:
-///   kCountMin/kCountSketch: {width, depth, seed, 0, 0}
-///   kBloom:                 {num_bits, num_hashes, seed, 0, 0}
+///   kCountMin/kCountSketch: {width, depth, seed, width_mode, 0}
+///   kBloom:                 {num_bits, num_hashes, seed, width_mode, 0}
 ///   kStreamSummary:         {log_universe, width, depth, verify_width, seed}
-///   kShardedCountMin:       {width, depth, seed, num_shards, 0}
+///   kShardedCountMin:       {width, depth, seed, num_shards, width_mode}
+///
+/// `width_mode` is a sketch::WidthMode value: 0 (division, the default —
+/// the slot was previously reserved-zero, so old clients are unchanged)
+/// or 1 (pow2: width/num_bits rounds up to the next power of two and the
+/// bucket reduction is a mask). Responses that report geometry or error
+/// bounds always reflect the *rounded* width. Any other value is
+/// kBadGeometry.
 struct CreateSketchRequest {
   std::string name;
   SketchType type = SketchType::kCountMin;

@@ -1,6 +1,7 @@
 #include "server/sketch_service.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <sstream>
 #include <utility>
@@ -134,7 +135,8 @@ class CountMinEntry : public SketchEntry {
       return false;
     }
     if (rhs->width() != sketch_.width() || rhs->depth() != sketch_.depth() ||
-        rhs->seed() != sketch_.seed()) {
+        rhs->seed() != sketch_.seed() ||
+        rhs->width_mode() != sketch_.width_mode()) {
       error->code = ErrorCode::kGeometryMismatch;
       error->message = "inner product requires identical geometry and seed";
       return false;
@@ -194,7 +196,8 @@ class CountSketchEntry : public SketchEntry {
       return false;
     }
     if (rhs->width() != sketch_.width() || rhs->depth() != sketch_.depth() ||
-        rhs->seed() != sketch_.seed()) {
+        rhs->seed() != sketch_.seed() ||
+        rhs->width_mode() != sketch_.width_mode()) {
       error->code = ErrorCode::kGeometryMismatch;
       error->message = "inner product requires identical geometry and seed";
       return false;
@@ -389,7 +392,8 @@ class ShardedCountMinEntry : public SketchEntry {
       return false;
     }
     if (rhs->width() != lhs.width() || rhs->depth() != lhs.depth() ||
-        rhs->seed() != lhs.seed()) {
+        rhs->seed() != lhs.seed() ||
+        rhs->width_mode() != lhs.width_mode()) {
       error->code = ErrorCode::kGeometryMismatch;
       error->message = "inner product requires identical geometry and seed";
       return false;
@@ -430,6 +434,24 @@ class ShardedCountMinEntry : public SketchEntry {
 bool ValidTable(uint64_t width, uint64_t depth, uint64_t budget) {
   return width >= 1 && depth >= 1 && width <= UINT64_MAX / depth &&
          width * depth <= budget;
+}
+
+/// Parses a width-mode request word (0 = division, 1 = pow2; anything else
+/// is bad geometry). On success, *width is replaced by the width the
+/// sketch will actually have — rounded up for pow2 — so the table-budget
+/// checks below always see the real allocation, and the later
+/// `std::bit_ceil` inside the sketch constructor can never trip its own
+/// range CHECK on hostile input (the budget is far below 2^63).
+bool ParseWidthMode(uint64_t mode_word, uint64_t* width, WidthMode* mode) {
+  if (mode_word == static_cast<uint64_t>(WidthMode::kDivision)) {
+    *mode = WidthMode::kDivision;
+    return true;
+  }
+  if (mode_word != static_cast<uint64_t>(WidthMode::kPow2)) return false;
+  if (*width < 1 || *width > (1ULL << 62)) return false;
+  *mode = WidthMode::kPow2;
+  *width = std::bit_ceil(*width);
+  return true;
 }
 
 }  // namespace
@@ -510,22 +532,36 @@ std::unique_ptr<internal::SketchEntry> SketchService::BuildEntry(
   const auto& p = request.params;
   switch (request.type) {
     case SketchType::kCountMin: {
-      if (!ValidTable(p[0], p[1], kMaxSketchCounters)) break;
-      return std::make_unique<CountMinEntry>(CountMinSketch(p[0], p[1], p[2]));
+      uint64_t width = p[0];
+      WidthMode mode = WidthMode::kDivision;
+      if (!ParseWidthMode(p[3], &width, &mode) ||
+          !ValidTable(width, p[1], kMaxSketchCounters)) {
+        break;
+      }
+      return std::make_unique<CountMinEntry>(
+          CountMinSketch(p[0], p[1], p[2], mode));
     }
     case SketchType::kCountSketch: {
-      if (!ValidTable(p[0], p[1], kMaxSketchCounters)) break;
-      return std::make_unique<CountSketchEntry>(CountSketch(p[0], p[1], p[2]));
+      uint64_t width = p[0];
+      WidthMode mode = WidthMode::kDivision;
+      if (!ParseWidthMode(p[3], &width, &mode) ||
+          !ValidTable(width, p[1], kMaxSketchCounters)) {
+        break;
+      }
+      return std::make_unique<CountSketchEntry>(
+          CountSketch(p[0], p[1], p[2], mode));
     }
     case SketchType::kBloom: {
-      const uint64_t num_bits = p[0];
+      uint64_t num_bits = p[0];
       const uint64_t num_hashes = p[1];
-      if (num_bits < 1 || num_bits > kMaxSketchCounters * 64 ||
-          num_hashes < 1 || num_hashes > 1024) {
+      WidthMode mode = WidthMode::kDivision;
+      if (!ParseWidthMode(p[3], &num_bits, &mode) || num_bits < 1 ||
+          num_bits > kMaxSketchCounters * 64 || num_hashes < 1 ||
+          num_hashes > 1024) {
         break;
       }
       return std::make_unique<BloomEntry>(
-          BloomFilter(num_bits, static_cast<int>(num_hashes), p[2]));
+          BloomFilter(p[0], static_cast<int>(num_hashes), p[2], mode));
     }
     case SketchType::kStreamSummary: {
       StreamSummary::Options options;
@@ -556,11 +592,14 @@ std::unique_ptr<internal::SketchEntry> SketchService::BuildEntry(
     }
     case SketchType::kShardedCountMin: {
       const uint64_t num_shards = p[3];
-      if (!ValidTable(p[0], p[1], kMaxSketchCounters) || num_shards < 1 ||
+      uint64_t width = p[0];
+      WidthMode mode = WidthMode::kDivision;
+      if (!ParseWidthMode(p[4], &width, &mode) ||
+          !ValidTable(width, p[1], kMaxSketchCounters) || num_shards < 1 ||
           num_shards > 256) {
         break;
       }
-      const CountMinSketch prototype(p[0], p[1], p[2]);
+      const CountMinSketch prototype(p[0], p[1], p[2], mode);
       return std::make_unique<ShardedCountMinEntry>(
           prototype, prototype, static_cast<std::size_t>(num_shards),
           options_.pool);
@@ -586,7 +625,11 @@ std::unique_ptr<internal::SketchEntry> SketchService::BuildEntryFromBlob(
       return std::make_unique<SummaryEntry>(StreamSummary::Deserialize(blob));
     case SketchType::kShardedCountMin: {
       CountMinSketch base = CountMinSketch::Deserialize(blob);
-      const CountMinSketch prototype(base.width(), base.depth(), base.seed());
+      // base.width() is already rounded when the blob is pow2, so the
+      // prototype's own rounding is the identity — shards and the restored
+      // base stay merge-compatible.
+      const CountMinSketch prototype(base.width(), base.depth(), base.seed(),
+                                     base.width_mode());
       return std::make_unique<ShardedCountMinEntry>(
           prototype, std::move(base), options_.default_shards, options_.pool);
     }

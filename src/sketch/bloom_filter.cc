@@ -13,17 +13,25 @@ namespace sketch {
 
 namespace {
 constexpr uint64_t kBloomMagic = 0x534b424c4f4f4d31ULL;  // "SKBLOOM1"
+// v2 adds a width-mode word to the header; only written for non-default
+// modes so division-mode buffers stay byte-identical to v1.
+constexpr uint64_t kBloomMagicV2 = 0x534b424c4f4f4d32ULL;  // "SKBLOOM2"
 }  // namespace
 
-BloomFilter::BloomFilter(uint64_t num_bits, int num_hashes, uint64_t seed)
-    : num_bits_(num_bits), seed_(seed), bits_div_(num_bits) {
+BloomFilter::BloomFilter(uint64_t num_bits, int num_hashes, uint64_t seed,
+                         WidthMode mode)
+    : num_bits_(ApplyWidthMode(mode, num_bits)),
+      seed_(seed),
+      width_mode_(mode),
+      bit_mask_(WidthModeMask(mode, num_bits_)),
+      bits_div_(num_bits_) {
   SKETCH_CHECK(num_bits >= 1);
   SKETCH_CHECK(num_hashes >= 1);
   probes_.reserve(static_cast<std::size_t>(num_hashes));
   for (int i = 0; i < num_hashes; ++i) {
     probes_.emplace_back(KWiseHash(2, SplitMix64Once(seed + 7919 * i)));
   }
-  bits_.assign((num_bits + 63) / 64, 0);
+  bits_.assign((num_bits_ + 63) / 64, 0);
 }
 
 BloomFilter BloomFilter::FromFalsePositiveRate(uint64_t expected_keys,
@@ -66,6 +74,7 @@ void BloomFilter::ApplyBatch(UpdateSpan updates) {
   ops_.AddBatch(updates.size());
   constexpr std::size_t kBlock = 256;
   uint64_t keys[kBlock];
+  uint64_t positions[kBlock];
   const std::size_t total = updates.size();
   uint64_t* bits = bits_.data();
   const FastDiv64 div = bits_div_;  // local copy: the bit stores below
@@ -76,19 +85,27 @@ void BloomFilter::ApplyBatch(UpdateSpan updates) {
     const StreamUpdate* block = updates.data() + start;
     for (std::size_t i = 0; i < n; ++i) keys[i] = block[i].item;
     for (const BlockHasher& h : probes_) {
-      // The bit store is a single cheap op, so it is fused into the hash
-      // loop rather than staged through an intermediate position array.
-      h.ForEachHash(keys, n, [bits, div](std::size_t, uint64_t hash) {
-        const uint64_t bit = div.Mod(hash);
+      // Bit positions are staged through a scratch block (rather than
+      // fusing the store into the hash loop) so the probe hash goes
+      // through the dispatched SIMD bucket kernels like the counting
+      // sketches' rows do; the stores stay a separate cheap sweep.
+      if (width_mode_ == WidthMode::kPow2) {
+        h.BucketBlockPow2(keys, n, bit_mask_, positions);
+      } else {
+        h.BucketBlock(keys, n, div, positions);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const uint64_t bit = positions[i];
         bits[bit >> 6] |= (1ULL << (bit & 63));
-      });
+      }
     }
   }
 }
 
 void BloomFilter::Merge(const BloomFilter& other) {
   SKETCH_CHECK_MSG(num_bits_ == other.num_bits_ && seed_ == other.seed_ &&
-                       probes_.size() == other.probes_.size(),
+                       probes_.size() == other.probes_.size() &&
+                       width_mode_ == other.width_mode_,
                    "merge requires identical geometry and seed");
   SKETCH_COUNTER_INC("sketch.bloom.merges");
   ops_.AddMerge(other.ops_);
@@ -123,6 +140,7 @@ StatsSnapshot BloomFilter::Introspect() const {
   snapshot.AddField("num_bits", static_cast<double>(num_bits_));
   snapshot.AddField("num_hashes", static_cast<double>(probes_.size()));
   snapshot.AddField("seed", static_cast<double>(seed_));
+  snapshot.AddField("width_mode", static_cast<double>(width_mode_));
   // Bits are 0/1, so the magnitude histogram degenerates to two buckets:
   // [0] = clear bits, [1] = set bits.
   uint64_t set = 0;
@@ -148,18 +166,29 @@ StatsSnapshot BloomFilter::Introspect() const {
 
 std::vector<uint8_t> BloomFilter::Serialize() const {
   std::vector<uint8_t> out;
-  out.reserve(40 + bits_.size() * 8);
-  AppendU64(kBloomMagic, &out);
-  AppendU64(num_bits_, &out);
-  AppendU64(static_cast<uint64_t>(probes_.size()), &out);
-  AppendU64(seed_, &out);
+  out.reserve(48 + bits_.size() * 8);
+  // Division-mode buffers keep the v1 layout byte for byte; pow2 filters
+  // write the v2 magic and append the mode word to the header.
+  if (width_mode_ == WidthMode::kDivision) {
+    AppendU64(kBloomMagic, &out);
+    AppendU64(num_bits_, &out);
+    AppendU64(static_cast<uint64_t>(probes_.size()), &out);
+    AppendU64(seed_, &out);
+  } else {
+    AppendU64(kBloomMagicV2, &out);
+    AppendU64(num_bits_, &out);
+    AppendU64(static_cast<uint64_t>(probes_.size()), &out);
+    AppendU64(seed_, &out);
+    AppendU64(static_cast<uint64_t>(width_mode_), &out);
+  }
   for (uint64_t word : bits_) AppendU64(word, &out);
   return out;
 }
 
 BloomFilter BloomFilter::Deserialize(const std::vector<uint8_t>& bytes) {
   ByteReader reader(bytes);
-  SKETCH_CHECK_MSG(reader.ReadU64() == kBloomMagic,
+  const uint64_t magic = reader.ReadU64();
+  SKETCH_CHECK_MSG(magic == kBloomMagic || magic == kBloomMagicV2,
                    "not a BloomFilter buffer");
   const uint64_t num_bits = reader.ReadU64();
   const uint64_t num_hashes_word = reader.ReadU64();
@@ -168,9 +197,21 @@ BloomFilter BloomFilter::Deserialize(const std::vector<uint8_t>& bytes) {
                    "invalid BloomFilter bit count");
   SKETCH_CHECK_MSG(num_hashes_word >= 1 && num_hashes_word <= 1024,
                    "invalid BloomFilter hash count");
-  CheckSerializedSize(bytes, /*header_words=*/4, (num_bits + 63) / 64,
+  WidthMode mode = WidthMode::kDivision;
+  uint64_t header_words = 4;
+  if (magic == kBloomMagicV2) {
+    const uint64_t mode_word = reader.ReadU64();
+    SKETCH_CHECK_MSG(mode_word == static_cast<uint64_t>(WidthMode::kPow2),
+                     "invalid BloomFilter width mode");
+    SKETCH_CHECK_MSG((num_bits & (num_bits - 1)) == 0,
+                     "pow2 BloomFilter bit count is not a power of two");
+    mode = WidthMode::kPow2;
+    header_words = 5;
+  }
+  CheckSerializedSize(bytes, header_words, (num_bits + 63) / 64,
                       "BloomFilter buffer size does not match geometry");
-  BloomFilter filter(num_bits, static_cast<int>(num_hashes_word), seed);
+  BloomFilter filter(num_bits, static_cast<int>(num_hashes_word), seed,
+                     mode);
   for (uint64_t& word : filter.bits_) word = reader.ReadU64();
   SKETCH_CHECK_MSG(reader.AtEnd(), "trailing bytes in BloomFilter buffer");
   return filter;

@@ -7,6 +7,7 @@
 #include "hash/kwise_hash.h"
 #include "kernels/block_hasher.h"
 #include "kernels/fast_div.h"
+#include "sketch/width_mode.h"
 #include "stream/update.h"
 #include "telemetry/stats.h"
 
@@ -21,7 +22,11 @@ namespace sketch {
 /// (1 - e^{-kn/m})^k, minimized at k = (m/n) ln 2 hash functions.
 class BloomFilter {
  public:
-  BloomFilter(uint64_t num_bits, int num_hashes, uint64_t seed);
+  /// In `WidthMode::kPow2` the requested bit count is rounded up to the
+  /// next power of two (num_bits() reports the rounded value; the FPR
+  /// formulas already use it) and the probe reduction becomes a mask.
+  BloomFilter(uint64_t num_bits, int num_hashes, uint64_t seed,
+              WidthMode mode = WidthMode::kDivision);
 
   /// Sizes for an expected `expected_keys` insertions at the target
   /// false-positive rate, with the optimal hash count.
@@ -49,9 +54,11 @@ class BloomFilter {
   /// insertions.
   double TheoreticalFpr(uint64_t inserted_keys) const;
 
+  /// Actual bit-array size (already rounded in kPow2 mode).
   uint64_t num_bits() const { return num_bits_; }
   int num_hashes() const { return static_cast<int>(probes_.size()); }
   uint64_t seed() const { return seed_; }
+  WidthMode width_mode() const { return width_mode_; }
 
   /// Fraction of bits currently set (diagnostic).
   double FillRatio() const;
@@ -77,7 +84,10 @@ class BloomFilter {
  private:
   uint64_t num_bits_;
   uint64_t seed_;
-  FastDiv64 bits_div_;               // divide-free `% num_bits_`
+  WidthMode width_mode_;
+  uint64_t bit_mask_;                // num_bits_ - 1 in kPow2 mode, else 0
+  FastDiv64 bits_div_;               // divide-free `% num_bits_`; equals
+                                     // the mask for pow2 bit counts
   std::vector<BlockHasher> probes_;  // one 2-wise hash per probe
   std::vector<uint64_t> bits_;       // packed, 64 bits per word
   SketchOpCounters ops_;  // lifetime insert/merge counts (stub when off)

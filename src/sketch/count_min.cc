@@ -13,13 +13,22 @@ namespace sketch {
 
 namespace {
 constexpr uint64_t kCountMinMagic = 0x534b434d494e3031ULL;  // "SKCMIN01"
+// v2 adds a width-mode word to the header; only written for non-default
+// modes so division-mode buffers stay byte-identical to v1.
+constexpr uint64_t kCountMinMagicV2 = 0x534b434d494e3032ULL;  // "SKCMIN02"
 }  // namespace
 
-CountMinSketch::CountMinSketch(uint64_t width, uint64_t depth, uint64_t seed)
-    : width_(width), depth_(depth), seed_(seed), width_div_(width) {
+CountMinSketch::CountMinSketch(uint64_t width, uint64_t depth, uint64_t seed,
+                               WidthMode mode)
+    : width_(ApplyWidthMode(mode, width)),
+      depth_(depth),
+      seed_(seed),
+      width_mode_(mode),
+      bucket_mask_(WidthModeMask(mode, width_)),
+      width_div_(width_) {
   SKETCH_CHECK(width >= 1);
   SKETCH_CHECK(depth >= 1);
-  SKETCH_CHECK_MSG(width <= UINT64_MAX / depth,
+  SKETCH_CHECK_MSG(width_ <= UINT64_MAX / depth,
                    "counter table width * depth overflows");
   rows_.reserve(depth);
   for (uint64_t j = 0; j < depth; ++j) {
@@ -28,7 +37,7 @@ CountMinSketch::CountMinSketch(uint64_t width, uint64_t depth, uint64_t seed)
     rows_.emplace_back(KWiseHash(/*independence=*/2,
                                  SplitMix64Once(seed * 2 + j)));
   }
-  counters_.assign(width * depth, 0);
+  counters_.assign(width_ * depth, 0);
   bucket_scratch_.assign(depth, 0);
 }
 
@@ -76,7 +85,11 @@ void CountMinSketch::ApplyBatch(UpdateSpan updates) {
     const StreamUpdate* block = updates.data() + start;
     for (std::size_t i = 0; i < n; ++i) keys[i] = block[i].item;
     for (uint64_t j = 0; j < depth_; ++j) {
-      rows_[j].BucketBlock(keys, n, div, buckets);
+      if (width_mode_ == WidthMode::kPow2) {
+        rows_[j].BucketBlockPow2(keys, n, bucket_mask_, buckets);
+      } else {
+        rows_[j].BucketBlock(keys, n, div, buckets);
+      }
       int64_t* row = counters_.data() + j * width_;
       for (std::size_t i = 0; i < n; ++i) {
         if (i + kPrefetchAhead < n) {
@@ -119,7 +132,8 @@ int64_t CountMinSketch::Estimate(uint64_t item) const {
 int64_t CountMinSketch::EstimateInnerProduct(
     const CountMinSketch& other) const {
   SKETCH_CHECK_MSG(width_ == other.width_ && depth_ == other.depth_ &&
-                       seed_ == other.seed_,
+                       seed_ == other.seed_ &&
+                       width_mode_ == other.width_mode_,
                    "inner product requires identical geometry and seed");
   int64_t best = 0;
   for (uint64_t j = 0; j < depth_; ++j) {
@@ -135,7 +149,8 @@ int64_t CountMinSketch::EstimateInnerProduct(
 
 void CountMinSketch::Merge(const CountMinSketch& other) {
   SKETCH_CHECK_MSG(width_ == other.width_ && depth_ == other.depth_ &&
-                       seed_ == other.seed_,
+                       seed_ == other.seed_ &&
+                       width_mode_ == other.width_mode_,
                    "merge requires identical geometry and seed");
   SKETCH_COUNTER_INC("sketch.count_min.merges");
   ops_.AddMerge(other.ops_);
@@ -161,6 +176,7 @@ StatsSnapshot CountMinSketch::Introspect() const {
   snapshot.AddField("width", static_cast<double>(width_));
   snapshot.AddField("depth", static_cast<double>(depth_));
   snapshot.AddField("seed", static_cast<double>(seed_));
+  snapshot.AddField("width_mode", static_cast<double>(width_mode_));
   snapshot.occupancy_log2 =
       telemetry::MagnitudeHistogram(counters_.data(), counters_.size());
   const double occupied = telemetry::OccupiedFraction(
@@ -185,11 +201,22 @@ StatsSnapshot CountMinSketch::Introspect() const {
 
 std::vector<uint8_t> CountMinSketch::Serialize() const {
   std::vector<uint8_t> out;
-  out.reserve(40 + counters_.size() * 8);
-  AppendU64(kCountMinMagic, &out);
-  AppendU64(width_, &out);
-  AppendU64(depth_, &out);
-  AppendU64(seed_, &out);
+  out.reserve(48 + counters_.size() * 8);
+  // Division-mode buffers keep the v1 layout byte for byte (committed
+  // goldens and cross-version restores depend on it); pow2 sketches write
+  // the v2 magic and append the mode word to the header.
+  if (width_mode_ == WidthMode::kDivision) {
+    AppendU64(kCountMinMagic, &out);
+    AppendU64(width_, &out);
+    AppendU64(depth_, &out);
+    AppendU64(seed_, &out);
+  } else {
+    AppendU64(kCountMinMagicV2, &out);
+    AppendU64(width_, &out);
+    AppendU64(depth_, &out);
+    AppendU64(seed_, &out);
+    AppendU64(static_cast<uint64_t>(width_mode_), &out);
+  }
   for (int64_t c : counters_) AppendI64(c, &out);
   return out;
 }
@@ -197,18 +224,32 @@ std::vector<uint8_t> CountMinSketch::Serialize() const {
 CountMinSketch CountMinSketch::Deserialize(
     const std::vector<uint8_t>& bytes) {
   ByteReader reader(bytes);
-  SKETCH_CHECK_MSG(reader.ReadU64() == kCountMinMagic,
+  const uint64_t magic = reader.ReadU64();
+  SKETCH_CHECK_MSG(magic == kCountMinMagic || magic == kCountMinMagicV2,
                    "not a CountMinSketch buffer");
   const uint64_t width = reader.ReadU64();
   const uint64_t depth = reader.ReadU64();
   const uint64_t seed = reader.ReadU64();
   SKETCH_CHECK_MSG(width >= 1 && depth >= 1,
                    "invalid CountMinSketch geometry");
+  WidthMode mode = WidthMode::kDivision;
+  uint64_t header_words = 4;
+  if (magic == kCountMinMagicV2) {
+    const uint64_t mode_word = reader.ReadU64();
+    // v2 is only written for non-default modes; a division-mode v2 buffer
+    // is malformed, not merely redundant.
+    SKETCH_CHECK_MSG(mode_word == static_cast<uint64_t>(WidthMode::kPow2),
+                     "invalid CountMinSketch width mode");
+    SKETCH_CHECK_MSG((width & (width - 1)) == 0,
+                     "pow2 CountMinSketch width is not a power of two");
+    mode = WidthMode::kPow2;
+    header_words = 5;
+  }
   CheckSerializedSize(
-      bytes, /*header_words=*/4,
+      bytes, header_words,
       CheckedMulU64(width, depth, "CountMinSketch geometry overflows"),
       "CountMinSketch buffer size does not match geometry");
-  CountMinSketch sketch(width, depth, seed);
+  CountMinSketch sketch(width, depth, seed, mode);
   for (int64_t& c : sketch.counters_) c = reader.ReadI64();
   SKETCH_CHECK_MSG(reader.AtEnd(), "trailing bytes in CountMinSketch buffer");
   return sketch;

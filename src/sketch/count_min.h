@@ -7,6 +7,7 @@
 #include "hash/kwise_hash.h"
 #include "kernels/block_hasher.h"
 #include "kernels/fast_div.h"
+#include "sketch/width_mode.h"
 #include "stream/update.h"
 #include "telemetry/stats.h"
 
@@ -28,8 +29,12 @@ namespace sketch {
 class CountMinSketch {
  public:
   /// Constructs with explicit geometry. Hash functions for the rows are
-  /// derived deterministically from `seed`.
-  CountMinSketch(uint64_t width, uint64_t depth, uint64_t seed);
+  /// derived deterministically from `seed`. In `WidthMode::kPow2` the
+  /// requested width is rounded up to the next power of two (width()
+  /// reports the rounded value; error bounds must be computed from it) and
+  /// the hot-loop bucket reduction becomes a mask — see width_mode.h.
+  CountMinSketch(uint64_t width, uint64_t depth, uint64_t seed,
+                 WidthMode mode = WidthMode::kDivision);
 
   /// Sizes the sketch from the (eps, delta) guarantee above.
   static CountMinSketch FromErrorBounds(double eps, double delta,
@@ -68,9 +73,11 @@ class CountMinSketch {
   /// geometry and seed.
   int64_t EstimateInnerProduct(const CountMinSketch& other) const;
 
+  /// Actual table width (already rounded in kPow2 mode).
   uint64_t width() const { return width_; }
   uint64_t depth() const { return depth_; }
   uint64_t seed() const { return seed_; }
+  WidthMode width_mode() const { return width_mode_; }
 
   /// Total number of counters (the sketch's space cost).
   uint64_t SizeInCounters() const { return width_ * depth_; }
@@ -112,7 +119,11 @@ class CountMinSketch {
   uint64_t width_;
   uint64_t depth_;
   uint64_t seed_;
-  FastDiv64 width_div_;             // divide-free `% width_`
+  WidthMode width_mode_;
+  uint64_t bucket_mask_;            // width_ - 1 in kPow2 mode, else 0
+  FastDiv64 width_div_;             // divide-free `% width_`; for pow2
+                                    // widths it equals the mask reduction,
+                                    // so single-item paths are mode-free
   std::vector<BlockHasher> rows_;   // one 2-wise hash per row, batched form
   std::vector<int64_t> counters_;   // row-major depth x width
   std::vector<uint64_t> bucket_scratch_;  // per-row buckets of one item

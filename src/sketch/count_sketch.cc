@@ -13,13 +13,22 @@ namespace sketch {
 
 namespace {
 constexpr uint64_t kCountSketchMagic = 0x534b43534b543031ULL;  // "SKCSKT01"
+// v2 adds a width-mode word to the header; only written for non-default
+// modes so division-mode buffers stay byte-identical to v1.
+constexpr uint64_t kCountSketchMagicV2 = 0x534b43534b543032ULL;  // "SKCSKT02"
 }  // namespace
 
-CountSketch::CountSketch(uint64_t width, uint64_t depth, uint64_t seed)
-    : width_(width), depth_(depth), seed_(seed), width_div_(width) {
+CountSketch::CountSketch(uint64_t width, uint64_t depth, uint64_t seed,
+                         WidthMode mode)
+    : width_(ApplyWidthMode(mode, width)),
+      depth_(depth),
+      seed_(seed),
+      width_mode_(mode),
+      bucket_mask_(WidthModeMask(mode, width_)),
+      width_div_(width_) {
   SKETCH_CHECK(width >= 1);
   SKETCH_CHECK(depth >= 1);
-  SKETCH_CHECK_MSG(width <= UINT64_MAX / depth,
+  SKETCH_CHECK_MSG(width_ <= UINT64_MAX / depth,
                    "counter table width * depth overflows");
   bucket_rows_.reserve(depth);
   sign_rows_.reserve(depth);
@@ -28,7 +37,7 @@ CountSketch::CountSketch(uint64_t width, uint64_t depth, uint64_t seed)
     sign_rows_.emplace_back(
         KWiseHash(2, SplitMix64Once(~seed * 2 + j + 0x9e37ULL)));
   }
-  counters_.assign(width * depth, 0);
+  counters_.assign(width_ * depth, 0);
 }
 
 CountSketch CountSketch::FromErrorBounds(double eps, double delta,
@@ -77,7 +86,11 @@ void CountSketch::ApplyBatch(UpdateSpan updates) {
     const StreamUpdate* block = updates.data() + start;
     for (std::size_t i = 0; i < n; ++i) keys[i] = block[i].item;
     for (uint64_t j = 0; j < depth_; ++j) {
-      bucket_rows_[j].BucketBlock(keys, n, div, buckets);
+      if (width_mode_ == WidthMode::kPow2) {
+        bucket_rows_[j].BucketBlockPow2(keys, n, bucket_mask_, buckets);
+      } else {
+        bucket_rows_[j].BucketBlock(keys, n, div, buckets);
+      }
       sign_rows_[j].SignBlock(keys, n, signs);
       int64_t* row = counters_.data() + j * width_;
       for (std::size_t i = 0; i < n; ++i) {
@@ -112,7 +125,8 @@ int64_t CountSketch::Estimate(uint64_t item) const {
 
 int64_t CountSketch::EstimateInnerProduct(const CountSketch& other) const {
   SKETCH_CHECK_MSG(width_ == other.width_ && depth_ == other.depth_ &&
-                       seed_ == other.seed_,
+                       seed_ == other.seed_ &&
+                       width_mode_ == other.width_mode_,
                    "inner product requires identical geometry and seed");
   std::vector<int64_t> row_products(depth_);
   for (uint64_t j = 0; j < depth_; ++j) {
@@ -129,7 +143,8 @@ int64_t CountSketch::EstimateInnerProduct(const CountSketch& other) const {
 
 void CountSketch::Merge(const CountSketch& other) {
   SKETCH_CHECK_MSG(width_ == other.width_ && depth_ == other.depth_ &&
-                       seed_ == other.seed_,
+                       seed_ == other.seed_ &&
+                       width_mode_ == other.width_mode_,
                    "merge requires identical geometry and seed");
   SKETCH_COUNTER_INC("sketch.count_sketch.merges");
   ops_.AddMerge(other.ops_);
@@ -155,6 +170,7 @@ StatsSnapshot CountSketch::Introspect() const {
   snapshot.AddField("width", static_cast<double>(width_));
   snapshot.AddField("depth", static_cast<double>(depth_));
   snapshot.AddField("seed", static_cast<double>(seed_));
+  snapshot.AddField("width_mode", static_cast<double>(width_mode_));
   snapshot.occupancy_log2 =
       telemetry::MagnitudeHistogram(counters_.data(), counters_.size());
   // Signed updates can cancel a bucket back to zero, so occupancy is a
@@ -179,28 +195,50 @@ StatsSnapshot CountSketch::Introspect() const {
 
 std::vector<uint8_t> CountSketch::Serialize() const {
   std::vector<uint8_t> out;
-  out.reserve(40 + counters_.size() * 8);
-  AppendU64(kCountSketchMagic, &out);
-  AppendU64(width_, &out);
-  AppendU64(depth_, &out);
-  AppendU64(seed_, &out);
+  out.reserve(48 + counters_.size() * 8);
+  // Division-mode buffers keep the v1 layout byte for byte; pow2 sketches
+  // write the v2 magic and append the mode word to the header.
+  if (width_mode_ == WidthMode::kDivision) {
+    AppendU64(kCountSketchMagic, &out);
+    AppendU64(width_, &out);
+    AppendU64(depth_, &out);
+    AppendU64(seed_, &out);
+  } else {
+    AppendU64(kCountSketchMagicV2, &out);
+    AppendU64(width_, &out);
+    AppendU64(depth_, &out);
+    AppendU64(seed_, &out);
+    AppendU64(static_cast<uint64_t>(width_mode_), &out);
+  }
   for (int64_t c : counters_) AppendI64(c, &out);
   return out;
 }
 
 CountSketch CountSketch::Deserialize(const std::vector<uint8_t>& bytes) {
   ByteReader reader(bytes);
-  SKETCH_CHECK_MSG(reader.ReadU64() == kCountSketchMagic,
+  const uint64_t magic = reader.ReadU64();
+  SKETCH_CHECK_MSG(magic == kCountSketchMagic || magic == kCountSketchMagicV2,
                    "not a CountSketch buffer");
   const uint64_t width = reader.ReadU64();
   const uint64_t depth = reader.ReadU64();
   const uint64_t seed = reader.ReadU64();
   SKETCH_CHECK_MSG(width >= 1 && depth >= 1, "invalid CountSketch geometry");
+  WidthMode mode = WidthMode::kDivision;
+  uint64_t header_words = 4;
+  if (magic == kCountSketchMagicV2) {
+    const uint64_t mode_word = reader.ReadU64();
+    SKETCH_CHECK_MSG(mode_word == static_cast<uint64_t>(WidthMode::kPow2),
+                     "invalid CountSketch width mode");
+    SKETCH_CHECK_MSG((width & (width - 1)) == 0,
+                     "pow2 CountSketch width is not a power of two");
+    mode = WidthMode::kPow2;
+    header_words = 5;
+  }
   CheckSerializedSize(
-      bytes, /*header_words=*/4,
+      bytes, header_words,
       CheckedMulU64(width, depth, "CountSketch geometry overflows"),
       "CountSketch buffer size does not match geometry");
-  CountSketch sketch(width, depth, seed);
+  CountSketch sketch(width, depth, seed, mode);
   for (int64_t& c : sketch.counters_) c = reader.ReadI64();
   SKETCH_CHECK_MSG(reader.AtEnd(), "trailing bytes in CountSketch buffer");
   return sketch;

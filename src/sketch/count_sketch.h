@@ -7,6 +7,7 @@
 #include "hash/kwise_hash.h"
 #include "kernels/block_hasher.h"
 #include "kernels/fast_div.h"
+#include "sketch/width_mode.h"
 #include "stream/update.h"
 #include "telemetry/stats.h"
 
@@ -25,7 +26,11 @@ namespace sketch {
 /// than Count-Min's L1 bound on skewed data.
 class CountSketch {
  public:
-  CountSketch(uint64_t width, uint64_t depth, uint64_t seed);
+  /// In `WidthMode::kPow2` the requested width is rounded up to the next
+  /// power of two (width() reports the rounded value; the L2 bound must be
+  /// computed from it) and the hot-loop bucket reduction becomes a mask.
+  CountSketch(uint64_t width, uint64_t depth, uint64_t seed,
+              WidthMode mode = WidthMode::kDivision);
 
   /// Sizes from the (eps, delta) L2 guarantee: width = ceil(3/eps^2),
   /// depth = ceil(ln(1/delta)) rounded up to odd (median-friendly).
@@ -58,9 +63,11 @@ class CountSketch {
   /// Requires identical geometry and seed.
   int64_t EstimateInnerProduct(const CountSketch& other) const;
 
+  /// Actual table width (already rounded in kPow2 mode).
   uint64_t width() const { return width_; }
   uint64_t depth() const { return depth_; }
   uint64_t seed() const { return seed_; }
+  WidthMode width_mode() const { return width_mode_; }
   uint64_t SizeInCounters() const { return width_ * depth_; }
 
   /// Bucket / sign of an item in a row; exposed for the measurement-matrix
@@ -98,7 +105,10 @@ class CountSketch {
   uint64_t width_;
   uint64_t depth_;
   uint64_t seed_;
-  FastDiv64 width_div_;                  // divide-free `% width_`
+  WidthMode width_mode_;
+  uint64_t bucket_mask_;                  // width_ - 1 in kPow2 mode, else 0
+  FastDiv64 width_div_;                  // divide-free `% width_`; equals
+                                         // the mask for pow2 widths
   std::vector<BlockHasher> bucket_rows_;  // one 2-wise bucket hash per row
   std::vector<BlockHasher> sign_rows_;    // one 2-wise sign hash per row
   std::vector<int64_t> counters_;

@@ -1,0 +1,66 @@
+#ifndef SKETCH_SKETCH_WIDTH_MODE_H_
+#define SKETCH_SKETCH_WIDTH_MODE_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "common/check.h"
+
+/// \file
+/// Bucket-geometry policy for the hashed-counter sketches.
+///
+/// Every sketch row maps a 61-bit hash onto [0, width). The default
+/// (`kDivision`) honors the requested width exactly and reduces with
+/// `FastDiv64::Mod`. The opt-in `kPow2` mode rounds the width up to the
+/// next power of two at construction and reduces with a bit mask — the
+/// layout both exemplar Count-Min codebases use — which lets the SIMD tier
+/// fuse the bucket reduction into the hash lanes instead of staging hashes
+/// through a scratch block.
+///
+/// Accuracy caveat: rounding the width changes the error bound. A sketch
+/// asked for width w in kPow2 mode actually has bit_ceil(w) >= w buckets,
+/// so its epsilon is e / bit_ceil(w) — never worse than requested, but any
+/// bound *reported* for the sketch (e.g. by the server) must be computed
+/// from the rounded width the sketch really has, not the requested one.
+///
+/// The two modes agree bit-for-bit at equal width: for a power-of-two w,
+/// `FastDiv64::Mod(h)` and `h & (w - 1)` are the same function, which is
+/// why the single-item paths (Estimate, Insert, UpdateConservative) need
+/// no mode branch and why the property tests can compare the modes on
+/// identical streams.
+
+namespace sketch {
+
+/// How a sketch row reduces hashes onto [0, width).
+enum class WidthMode : uint64_t {
+  kDivision = 0,  ///< exact requested width, FastDiv64 reduction (default)
+  kPow2 = 1,      ///< width rounded up to a power of two, mask reduction
+};
+
+inline const char* WidthModeName(WidthMode mode) {
+  return mode == WidthMode::kPow2 ? "pow2" : "division";
+}
+
+/// The width a sketch constructed with (`mode`, requested `width`) really
+/// gets. Identity for kDivision; bit_ceil for kPow2. The requested width
+/// must leave bit_ceil defined (<= 2^63); sketch constructors check their
+/// own table-size limits on the *rounded* result.
+inline uint64_t ApplyWidthMode(WidthMode mode, uint64_t width) {
+  if (mode == WidthMode::kDivision) return width;
+  SKETCH_CHECK_MSG(width >= 1 && width <= (1ULL << 63),
+                   "pow2 width mode: requested width not representable");
+  return std::bit_ceil(width);
+}
+
+/// Mask for the hot-loop bucket reduction: width - 1 in kPow2 mode (where
+/// `width` is already rounded), unused (0) in division mode.
+inline uint64_t WidthModeMask(WidthMode mode, uint64_t rounded_width) {
+  if (mode != WidthMode::kPow2) return 0;
+  SKETCH_CHECK_MSG(std::has_single_bit(rounded_width),
+                   "pow2 width mode: width must be a power of two");
+  return rounded_width - 1;
+}
+
+}  // namespace sketch
+
+#endif  // SKETCH_SKETCH_WIDTH_MODE_H_

@@ -84,9 +84,33 @@ def normalize(report):
             "num_cpus": context.get("num_cpus"),
             "mhz_per_cpu": context.get("mhz_per_cpu"),
             "library_build_type": build_type,
+            # Dispatched kernel tier ("avx2"/"scalar"), exported by the
+            # harness; None for snapshots predating the SIMD tier.
+            "simd_tier": context.get("sketch_simd_tier"),
         },
         "benchmarks": benchmarks,
     }
+
+
+def warn_host_mismatch(baseline, current):
+    """Prints non-fatal warnings when two snapshots measured different
+    configurations. A scalar-tier baseline compared against an avx2 run
+    (or a debug baseline against a release run) produces ratios that say
+    nothing about the change being gated, but failing the gate for it
+    would make cross-host comparisons impossible — so: loud, not fatal.
+    """
+    base_host = baseline.get("host", {}) or {}
+    cur_host = current.get("host", {}) or {}
+    for key, label in (("simd_tier", "SIMD tier"),
+                       ("library_build_type", "build type")):
+        base_val = base_host.get(key)
+        cur_val = cur_host.get(key)
+        if base_val is None or cur_val is None:
+            continue  # older snapshot without the field: nothing to check
+        if base_val != cur_val:
+            print("bench_compare: WARNING: {} mismatch: baseline={} "
+                  "current={} — ratios compare different code paths".format(
+                      label, base_val, cur_val))
 
 
 def cmd_run(args):
@@ -114,8 +138,11 @@ def load_snapshot(path):
 
 
 def cmd_compare(args):
-    baseline = load_snapshot(args.baseline)["benchmarks"]
-    current = load_snapshot(args.current)["benchmarks"]
+    baseline_snapshot = load_snapshot(args.baseline)
+    current_snapshot = load_snapshot(args.current)
+    warn_host_mismatch(baseline_snapshot, current_snapshot)
+    baseline = baseline_snapshot["benchmarks"]
+    current = current_snapshot["benchmarks"]
     failures = []
     rows = []
     for name in sorted(baseline):

@@ -51,6 +51,16 @@ rest on:
          sketch::MutexLock, so no early return or exception can leak a
          held lock. The wrapper internals in common/thread_annotations.h
          are the single allowed exception.
+  SL011  SIMD intrinsics (<immintrin.h>, _mm*/__m* tokens) are quarantined
+         in non-header translation units under src/kernels/: only those
+         TUs are compiled with -mavx2, so an intrinsic anywhere else either
+         fails to compile or — worse — silently compiles because some
+         header leaked a vector type. Inside a kernels TU the include must
+         sit under an #if probing __AVX2__ with an #else scalar fallback,
+         and the TU must include kernels/simd_dispatch.h — the dispatch
+         seam that keeps the vector path unreachable on CPUs without the
+         ISA. Headers may never contain intrinsics (SL006 compiles every
+         header without -mavx2).
 
 SL008 and SL010 allowlist src/common/thread_annotations.h (the wrappers
 must touch the raw primitives once). SL009 exempts nothing under src/:
@@ -505,6 +515,82 @@ def check_raii_locking(rel, clean):
     return violations
 
 
+# SL011: intrinsic headers and vector tokens. The include survives comment
+# stripping (angle brackets are not string literals); the quoted
+# simd_dispatch include does NOT, so that check runs on the raw text.
+SL011_INTRIN_INCLUDE = re.compile(r"#\s*include\s*<\s*\w*intrin\.h\s*>")
+SL011_INTRIN_TOKEN = re.compile(
+    r"\b_mm(?:256|512)?_\w+\s*\(|\b__m(?:64|128|256|512)[di]?\b"
+)
+SL011_AVX2_GUARD = re.compile(r"#\s*(?:if|ifdef|elif)[^\n]*__AVX2__")
+
+
+def check_simd_quarantine(rel, text, clean):
+    """SL011: intrinsics only in src/kernels/ non-header TUs, and every
+    intrinsics TU keeps the dispatch-guarded scalar-fallback shape."""
+    rel_str = str(rel).replace("\\", "/")
+    include_match = SL011_INTRIN_INCLUDE.search(clean)
+    token_match = SL011_INTRIN_TOKEN.search(clean)
+    first = min(
+        (m for m in (include_match, token_match) if m is not None),
+        key=lambda m: m.start(),
+        default=None,
+    )
+    if first is None:
+        return []
+    in_kernels = rel_str.startswith("src/kernels/")
+    is_header = rel_str.endswith(HEADER_SUFFIXES)
+    if not in_kernels or is_header:
+        where = (
+            "a header (headers compile without -mavx2; see SL006)"
+            if in_kernels
+            else "outside src/kernels/"
+        )
+        return [
+            (
+                line_of(clean, first.start()),
+                "SL011",
+                f"SIMD intrinsics in {where}; vector code lives in "
+                "src/kernels/ translation units behind the simd_dispatch "
+                "layer",
+            )
+        ]
+    violations = []
+    if include_match is not None:
+        guard = SL011_AVX2_GUARD.search(clean)
+        if guard is None or guard.start() > include_match.start():
+            violations.append(
+                (
+                    line_of(clean, include_match.start()),
+                    "SL011",
+                    "<*intrin.h> include is not guarded by an #if probing "
+                    "__AVX2__; the TU must fall back to scalar code when "
+                    "the toolchain cannot target the ISA",
+                )
+            )
+        elif "#else" not in clean:
+            violations.append(
+                (
+                    line_of(clean, include_match.start()),
+                    "SL011",
+                    "intrinsics TU has no #else scalar fallback branch; "
+                    "non-AVX2 builds would lose the entry points and fail "
+                    "to link",
+                )
+            )
+    if "simd_dispatch.h" not in text:
+        violations.append(
+            (
+                line_of(clean, first.start()),
+                "SL011",
+                "intrinsics TU does not include kernels/simd_dispatch.h; "
+                "vector entry points must be reachable only through the "
+                "runtime dispatch seam",
+            )
+        )
+    return violations
+
+
 def lint_file(root, path):
     rel = path.relative_to(root)
     text = path.read_text(encoding="utf-8", errors="replace")
@@ -524,6 +610,7 @@ def lint_file(root, path):
     violations += check_thread_annotations(rel, clean)
     violations += check_atomic_memory_orders(root, rel, path, clean)
     violations += check_raii_locking(rel, clean)
+    violations += check_simd_quarantine(rel, text, clean)
     return [(rel, line, rule, msg) for line, rule, msg in violations]
 
 

@@ -523,6 +523,89 @@ class Fixture {
             )
             self.assertEqual(failures, [], failures)
 
+    CLEAN_AVX2_TU = """\
+#include "kernels/simd_dispatch.h"
+
+#if defined(__AVX2__) && defined(__x86_64__)
+#include <immintrin.h>
+#else
+#include "kernels/block_hasher.h"
+#endif
+
+namespace sketch {
+#if defined(__AVX2__) && defined(__x86_64__)
+void HashLanes(__m256i* out) { *out = _mm256_setzero_si256(); }
+#endif
+}  // namespace sketch
+"""
+
+    def test_sl011_clean_intrinsics_tu_passes(self):
+        violations = self.lint(
+            {"src/kernels/widget_avx2.cc": self.CLEAN_AVX2_TU}
+        )
+        self.assertEqual(violations, [])
+
+    def test_sl011_intrinsics_outside_kernels(self):
+        source = """\
+#include <immintrin.h>
+namespace sketch {
+void Fast(__m256i* out) { *out = _mm256_setzero_si256(); }
+}  // namespace sketch
+"""
+        for rel in ("src/sketch/fast.cc", "bench/bench_fast.cc",
+                    "tests/fast_test.cc"):
+            violations = self.lint({rel: source})
+            self.assertEqual(rules_found(violations), {"SL011"}, rel)
+
+    def test_sl011_intrinsics_in_kernels_header(self):
+        header = """\
+#ifndef SKETCH_KERNELS_LANES_H_
+#define SKETCH_KERNELS_LANES_H_
+namespace sketch {
+inline void HashLanes(__m256i* out);
+}  // namespace sketch
+#endif  // SKETCH_KERNELS_LANES_H_
+"""
+        violations = self.lint({"src/kernels/lanes.h": header})
+        self.assertEqual(rules_found(violations), {"SL011"})
+
+    def test_sl011_unguarded_include(self):
+        bad = self.CLEAN_AVX2_TU.replace(
+            "#if defined(__AVX2__) && defined(__x86_64__)\n"
+            "#include <immintrin.h>\n"
+            "#else\n"
+            '#include "kernels/block_hasher.h"\n'
+            "#endif\n",
+            "#include <immintrin.h>\n",
+            1,
+        )
+        violations = self.lint({"src/kernels/widget_avx2.cc": bad})
+        self.assertEqual(rules_found(violations), {"SL011"})
+
+    def test_sl011_missing_scalar_fallback(self):
+        bad = self.CLEAN_AVX2_TU.replace(
+            "#else\n#include \"kernels/block_hasher.h\"\n", "", 1
+        )
+        violations = self.lint({"src/kernels/widget_avx2.cc": bad})
+        self.assertEqual(rules_found(violations), {"SL011"})
+
+    def test_sl011_missing_dispatch_include(self):
+        bad = self.CLEAN_AVX2_TU.replace(
+            '#include "kernels/simd_dispatch.h"\n\n', "", 1
+        )
+        violations = self.lint({"src/kernels/widget_avx2.cc": bad})
+        self.assertEqual(rules_found(violations), {"SL011"})
+
+    def test_sl011_intrinsic_names_in_comments_are_ignored(self):
+        source = """\
+namespace sketch {
+// The AVX2 tier uses _mm256_mul_epu32(a, b) partial products; see
+// src/kernels/block_hasher_avx2.cc for the __m256i lane layout.
+}  // namespace sketch
+"""
+        violations = self.lint({"src/sketch/notes.cc": source})
+        self.assertEqual(violations, [])
+
     def test_violations_in_strings_and_comments_are_ignored(self):
         source = """\
 namespace sketch {
