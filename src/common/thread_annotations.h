@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <mutex>
+#include <shared_mutex>
 
 /// \file
 /// Clang Thread Safety Analysis annotations plus annotated lock types.
@@ -64,13 +65,29 @@
 #define SKETCH_REQUIRES(...) \
   SKETCH_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
 
+/// Declares that a function may only be called with the capabilities held
+/// at least in shared (reader) mode; exclusive satisfies it too.
+#define SKETCH_REQUIRES_SHARED(...)          \
+  SKETCH_THREAD_ANNOTATION_ATTRIBUTE__(      \
+      requires_shared_capability(__VA_ARGS__))
+
 /// Declares that a function acquires the capabilities (held on return).
 #define SKETCH_ACQUIRE(...) \
   SKETCH_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
 
+/// Declares that a function acquires the capabilities in shared mode.
+#define SKETCH_ACQUIRE_SHARED(...)           \
+  SKETCH_THREAD_ANNOTATION_ATTRIBUTE__(      \
+      acquire_shared_capability(__VA_ARGS__))
+
 /// Declares that a function releases the capabilities (held on entry).
 #define SKETCH_RELEASE(...) \
   SKETCH_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Declares that a function releases capabilities held in shared mode.
+#define SKETCH_RELEASE_SHARED(...)           \
+  SKETCH_THREAD_ANNOTATION_ATTRIBUTE__(      \
+      release_shared_capability(__VA_ARGS__))
 
 /// Declares a try-lock: acquires the capabilities iff the return value
 /// equals the first argument.
@@ -126,6 +143,64 @@ class SKETCH_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex& mu_;
+};
+
+/// `std::shared_mutex` wrapped as an analyzer-visible capability: one
+/// writer or many readers. Used for the server's per-entry sketch locks,
+/// where point/heavy-hitter/inner-product/statsz queries only read and
+/// must not serialize behind each other. Like Mutex, the raw methods are
+/// public only for the RAII wrappers below (SL010 rejects direct calls).
+///
+/// Lock-order note for multi-lock call sites (the server's inner-product
+/// path takes two entry locks): acquire in increasing object-address
+/// order. Reader/writer locks make even shared/shared acquisition
+/// deadlock-prone under a writer-priority implementation — a queued
+/// writer on B blocks a reader of B that already holds A shared while the
+/// writer's thread holds B... — so ordering is required for *all* modes.
+class SKETCH_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() SKETCH_ACQUIRE() { mu_.lock(); }
+  void Unlock() SKETCH_RELEASE() { mu_.unlock(); }
+  void LockShared() SKETCH_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() SKETCH_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII scope holding a SharedMutex exclusively (writer side).
+class SKETCH_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) SKETCH_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() SKETCH_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII scope holding a SharedMutex in shared mode (reader side).
+class SKETCH_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) SKETCH_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() SKETCH_RELEASE() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
 };
 
 /// Condition variable paired with sketch::Mutex. Deliberately offers no

@@ -106,6 +106,26 @@ bool SketchClient::PointQuery(const std::string& name, uint64_t item,
   return true;
 }
 
+bool SketchClient::PointQueryBatch(const std::string& name,
+                                   const std::vector<uint64_t>& items,
+                                   std::vector<PointValueResponse>* out) {
+  PointQueryBatchRequest request;
+  request.name = name;
+  request.items = items;
+  Frame response;
+  if (!TransactChecked(EncodePointQueryBatch(request), &response)) {
+    return false;
+  }
+  ValueBatchResponse values;
+  if (!DecodeValueBatch(response, &values) ||
+      values.values.size() != items.size()) {
+    last_error_ = TransportError("undecodable value-batch response");
+    return false;
+  }
+  *out = std::move(values.values);
+  return true;
+}
+
 bool SketchClient::HeavyHitters(const std::string& name, double phi,
                                 std::vector<uint64_t>* out) {
   HeavyHittersRequest request;

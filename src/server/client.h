@@ -30,6 +30,11 @@ class SketchClient {
               uint64_t* accepted = nullptr);
   bool PointQuery(const std::string& name, uint64_t item,
                   PointValueResponse* out);
+  /// Batched point query: one round trip for up to kMaxBatchQueryItems
+  /// keys; *out holds one value per key in request order.
+  bool PointQueryBatch(const std::string& name,
+                       const std::vector<uint64_t>& items,
+                       std::vector<PointValueResponse>* out);
   bool HeavyHitters(const std::string& name, double phi,
                     std::vector<uint64_t>* out);
   bool InnerProduct(const std::string& left, const std::string& right,

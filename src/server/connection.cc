@@ -8,17 +8,59 @@
 
 namespace sketch::server {
 
-ConnectionResult ServeConnection(ByteStream* stream, SketchService* service) {
+ConnectionResult ServeConnection(ByteStream* stream, SketchService* service,
+                                 const ServeOptions& options) {
   ConnectionResult result;
   FrameDecoder decoder;
   // Reads are sized to a fraction of the max frame so a slow or
   // fragmenting peer exercises the decoder's resumption path instead of
   // stalling a giant buffer.
   std::vector<uint8_t> chunk(64 * 1024);
-  while (true) {
-    Frame frame;
-    const DecodeStatus status = decoder.Next(&frame);
-    if (status == DecodeStatus::kBadFrame) {
+  bool serving = true;
+  while (serving) {
+    // Drain every frame already buffered and dispatch them as one run:
+    // HandleFrames applies consecutive same-sketch ingest frames under a
+    // single registry lookup + entry lock (the pipelined-ingest batching
+    // of E26). Frames pipelined after a kShutdown are dropped.
+    std::vector<Frame> frames;
+    bool shutdown_seen = false;
+    bool bad_frame = false;
+    while (!shutdown_seen) {
+      Frame frame;
+      const DecodeStatus status = decoder.Next(&frame);
+      if (status == DecodeStatus::kNeedMore) break;
+      if (status == DecodeStatus::kBadFrame) {
+        bad_frame = true;
+        break;
+      }
+      shutdown_seen = frame.opcode == Opcode::kShutdown;
+      frames.push_back(std::move(frame));
+    }
+    if (!frames.empty()) {
+      std::vector<std::vector<uint8_t>> responses;
+      if (options.batched_dispatch) {
+        service->HandleFrames(frames, &responses);
+      } else {
+        // PR5-oracle dispatch: one HandleFrame per frame, no ingest-run
+        // coalescing. Responses are still collected here so the write
+        // loop below is shared.
+        responses.reserve(frames.size());
+        for (const Frame& frame : frames) {
+          responses.push_back(service->HandleFrame(frame));
+        }
+      }
+      result.frames_handled += frames.size();
+      for (const std::vector<uint8_t>& response : responses) {
+        if (!WriteAll(stream, response)) {
+          // Peer disconnected mid-response: nothing left to serve.
+          result.transport_error = true;
+          serving = false;
+          break;
+        }
+      }
+      if (!serving) break;
+    }
+    if (bad_frame) {
       // The stream cannot be resynchronized after a framing violation;
       // tell the peer why (best effort) and drop the connection.
       ErrorResponse error;
@@ -29,17 +71,7 @@ ConnectionResult ServeConnection(ByteStream* stream, SketchService* service) {
       SKETCH_COUNTER_INC("server.connections_framing_error");
       break;
     }
-    if (status == DecodeStatus::kFrame) {
-      const std::vector<uint8_t> response = service->HandleFrame(frame);
-      ++result.frames_handled;
-      if (!WriteAll(stream, response)) {
-        // Peer disconnected mid-response: nothing left to serve.
-        result.transport_error = true;
-        break;
-      }
-      if (frame.opcode == Opcode::kShutdown) break;
-      continue;  // drain buffered frames before reading again
-    }
+    if (shutdown_seen) break;
     const std::ptrdiff_t n = stream->Read(chunk.data(), chunk.size());
     if (n == 0) break;  // clean end-of-stream
     if (n < 0) {

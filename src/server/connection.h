@@ -17,6 +17,16 @@ struct ConnectionResult {
   bool transport_error = false;
 };
 
+struct ServeOptions {
+  /// When true (default), every frame buffered on the stream is drained
+  /// and dispatched as one HandleFrames run (consecutive same-sketch
+  /// ingests share a lookup + lock) and the responses are written back
+  /// to back. When false, each frame is dispatched and its response
+  /// written individually — the PR5 front door, kept as the benchmark
+  /// oracle the E26 batching is judged against.
+  bool batched_dispatch = true;
+};
+
 /// Serves one connection to completion: reads bytes, extracts frames,
 /// dispatches each through the service, and writes the response. Returns
 /// when the peer closes, the stream fails, a framing violation occurs
@@ -26,7 +36,8 @@ struct ConnectionResult {
 /// Runs on a dedicated thread per connection — NOT on the service's
 /// ThreadPool: ingest fans out through ShardedSketch, which blocks on
 /// pool Wait(), and pool tasks must never Wait() on the pool they run on.
-ConnectionResult ServeConnection(ByteStream* stream, SketchService* service);
+ConnectionResult ServeConnection(ByteStream* stream, SketchService* service,
+                                 const ServeOptions& options = {});
 
 }  // namespace sketch::server
 

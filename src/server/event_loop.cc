@@ -1,0 +1,339 @@
+#include "server/event_loop.h"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "telemetry/telemetry.h"
+
+namespace sketch::server {
+
+namespace {
+
+/// Per-event read granularity; sized like the blocking path's chunk so
+/// both exercise the decoder's resumption behavior identically.
+constexpr std::size_t kReadChunkBytes = 64 * 1024;
+
+bool SetNonBlocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int wanted = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, wanted) == 0;
+}
+
+/// Blocking best-effort send of a buffer tail (shutdown/stop paths, after
+/// the descriptor has been switched back to blocking mode).
+void SendRemainder(int fd, const std::vector<uint8_t>& bytes,
+                   std::size_t consumed) {
+  while (consumed < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + consumed,
+                             bytes.size() - consumed, MSG_NOSIGNAL);
+    if (n > 0) {
+      consumed += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+}
+
+}  // namespace
+
+EventLoopPool::EventLoopPool(SketchService* service, const Options& options)
+    : service_(service), options_(options) {
+  if (options_.num_threads < 1) options_.num_threads = 1;
+}
+
+EventLoopPool::~EventLoopPool() { Stop(); }
+
+bool EventLoopPool::Start() {
+  loops_.reserve(options_.num_threads);
+  for (std::size_t i = 0; i < options_.num_threads; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    loop->wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (loop->epoll_fd < 0 || loop->wake_fd < 0) {
+      if (loop->epoll_fd >= 0) ::close(loop->epoll_fd);
+      if (loop->wake_fd >= 0) ::close(loop->wake_fd);
+      loops_.clear();
+      return false;
+    }
+    epoll_event wake_event{};
+    wake_event.events = EPOLLIN;
+    wake_event.data.fd = loop->wake_fd;
+    if (::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->wake_fd,
+                    &wake_event) != 0) {
+      ::close(loop->epoll_fd);
+      ::close(loop->wake_fd);
+      loops_.clear();
+      return false;
+    }
+    loops_.push_back(std::move(loop));
+  }
+  for (const std::unique_ptr<Loop>& loop : loops_) {
+    loop->thread = std::thread([this, raw = loop.get()] { Run(raw); });
+  }
+  started_ = true;
+  return true;
+}
+
+void EventLoopPool::Adopt(int fd) {
+  if (fd < 0) return;
+  if (loops_.empty()) {
+    ::close(fd);
+    return;
+  }
+  const std::size_t index =
+      next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
+  Loop* loop = loops_[index].get();
+  {
+    MutexLock lock(loop->mailbox_mutex);
+    loop->pending.push_back(fd);
+  }
+  const uint64_t one = 1;
+  (void)!::write(loop->wake_fd, &one, sizeof(one));
+}
+
+void EventLoopPool::Stop() {
+  if (!started_) return;
+  started_ = false;
+  for (const std::unique_ptr<Loop>& loop : loops_) {
+    {
+      MutexLock lock(loop->mailbox_mutex);
+      loop->stopping = true;
+    }
+    const uint64_t one = 1;
+    (void)!::write(loop->wake_fd, &one, sizeof(one));
+  }
+  for (const std::unique_ptr<Loop>& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+    ::close(loop->epoll_fd);
+    ::close(loop->wake_fd);
+  }
+  loops_.clear();
+}
+
+void EventLoopPool::AdoptPending(Loop* loop) {
+  std::vector<int> adopted;
+  {
+    MutexLock lock(loop->mailbox_mutex);
+    adopted.swap(loop->pending);
+  }
+  for (const int fd : adopted) {
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.fd = fd;
+    if (!SetNonBlocking(fd, true) ||
+        ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, fd, &event) != 0) {
+      ::close(fd);
+      continue;
+    }
+    loop->conns.emplace(fd, std::make_unique<Conn>(fd));
+    connections_live_.fetch_add(1, std::memory_order_acq_rel);
+    SKETCH_COUNTER_INC("server.epoll.connections_adopted");
+  }
+}
+
+void EventLoopPool::Run(Loop* loop) {
+  epoll_event events[64];
+  bool stopping = false;
+  while (!stopping) {
+    const int n = ::epoll_wait(loop->epoll_fd, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll set torn down under us: nothing left to serve
+    }
+    SKETCH_COUNTER_INC("server.epoll.wakeups");
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == loop->wake_fd) {
+        uint64_t drained = 0;
+        (void)!::read(loop->wake_fd, &drained, sizeof(drained));
+        AdoptPending(loop);
+        MutexLock lock(loop->mailbox_mutex);
+        stopping = loop->stopping;
+        continue;
+      }
+      const auto it = loop->conns.find(fd);
+      if (it == loop->conns.end()) continue;  // closed earlier this batch
+      Conn* conn = it->second.get();
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConn(loop, fd);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) {
+        if (!ServeReadable(conn)) {
+          const bool shutdown_flushed =
+              conn->shutdown_pending && conn->consumed >= conn->outbound.size();
+          CloseConn(loop, fd);
+          if (shutdown_flushed) NotifyShutdown();
+          continue;
+        }
+        UpdateInterest(loop, conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        if (!FlushOutbound(conn)) {
+          CloseConn(loop, fd);
+          continue;
+        }
+        const bool drained = conn->consumed >= conn->outbound.size();
+        conn->want_write = !drained;
+        if (drained && conn->shutdown_pending) {
+          CloseConn(loop, fd);
+          NotifyShutdown();
+          continue;
+        }
+        UpdateInterest(loop, conn);
+      }
+    }
+  }
+  // Deterministic teardown: whatever responses are still queued (most
+  // importantly kShutdown acks racing with Stop) are delivered with
+  // blocking writes before the descriptors close.
+  for (const auto& [fd, conn] : loop->conns) {
+    if (conn->consumed < conn->outbound.size() && SetNonBlocking(fd, false)) {
+      SendRemainder(fd, conn->outbound, conn->consumed);
+    }
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+    connections_live_.fetch_sub(1, std::memory_order_acq_rel);
+    SKETCH_COUNTER_INC("server.epoll.connections_closed");
+  }
+  loop->conns.clear();
+}
+
+bool EventLoopPool::ServeReadable(Conn* conn) {
+  uint8_t chunk[kReadChunkBytes];
+  bool peer_closed = false;
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn->decoder.Feed(chunk, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof(chunk)) break;
+      continue;
+    }
+    if (n == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    return false;  // torn connection
+  }
+
+  // Drain every complete frame buffered by the reads; the whole run goes
+  // through HandleFrames so consecutive same-sketch ingest frames share
+  // one lookup + one exclusive lock. Frames pipelined after a kShutdown
+  // are dropped, mirroring the blocking path.
+  std::vector<Frame> frames;
+  bool bad_frame = false;
+  while (!conn->shutdown_pending) {
+    Frame frame;
+    const DecodeStatus status = conn->decoder.Next(&frame);
+    if (status == DecodeStatus::kNeedMore) break;
+    if (status == DecodeStatus::kBadFrame) {
+      bad_frame = true;
+      break;
+    }
+    if (frame.opcode == Opcode::kShutdown) conn->shutdown_pending = true;
+    frames.push_back(std::move(frame));
+  }
+
+  if (!frames.empty()) {
+    std::vector<std::vector<uint8_t>> responses;
+    service_->HandleFrames(frames, &responses);
+    for (const std::vector<uint8_t>& response : responses) {
+      conn->outbound.insert(conn->outbound.end(), response.begin(),
+                            response.end());
+    }
+  }
+  if (bad_frame) {
+    // Best-effort diagnostic, then drop: the stream cannot be
+    // resynchronized after a framing violation.
+    ErrorResponse error;
+    error.code = conn->decoder.error_code();
+    error.message = conn->decoder.error();
+    const std::vector<uint8_t> encoded = EncodeError(error);
+    conn->outbound.insert(conn->outbound.end(), encoded.begin(),
+                          encoded.end());
+    SKETCH_COUNTER_INC("server.connections_framing_error");
+    FlushOutbound(conn);
+    return false;
+  }
+
+  if (!FlushOutbound(conn)) return false;
+  const std::size_t backlog = conn->outbound.size() - conn->consumed;
+  if (backlog == 0) {
+    // Reclaim the coalescing buffer once the kernel has taken it all.
+    conn->outbound.clear();
+    conn->consumed = 0;
+    conn->want_write = false;
+    if (conn->shutdown_pending || peer_closed) return false;
+    return true;
+  }
+  if (backlog > options_.max_outbound_bytes) {
+    // Backpressure: the client is pipelining faster than it reads.
+    // Evicting it bounds response memory at max_outbound_bytes per
+    // connection instead of letting one slow reader pin the daemon.
+    SKETCH_COUNTER_INC("server.epoll.slow_clients_evicted");
+    return false;
+  }
+  if (peer_closed) return false;  // cannot deliver the rest anyway
+  conn->want_write = true;
+  return true;
+}
+
+bool EventLoopPool::FlushOutbound(Conn* conn) {
+  while (conn->consumed < conn->outbound.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->outbound.data() + conn->consumed,
+               conn->outbound.size() - conn->consumed, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->consumed += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;
+  }
+  if (conn->consumed == conn->outbound.size()) {
+    conn->outbound.clear();
+    conn->consumed = 0;
+  }
+  return true;
+}
+
+void EventLoopPool::UpdateInterest(Loop* loop, Conn* conn) {
+  if (conn->want_write == conn->epollout_armed) return;  // already installed
+  epoll_event event{};
+  event.events = EPOLLIN | (conn->want_write ? EPOLLOUT : 0u);
+  event.data.fd = conn->fd;
+  if (::epoll_ctl(loop->epoll_fd, EPOLL_CTL_MOD, conn->fd, &event) == 0) {
+    conn->epollout_armed = conn->want_write;
+  }
+}
+
+void EventLoopPool::CloseConn(Loop* loop, int fd) {
+  const auto it = loop->conns.find(fd);
+  if (it == loop->conns.end()) return;
+  ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+  loop->conns.erase(it);
+  connections_live_.fetch_sub(1, std::memory_order_acq_rel);
+  SKETCH_COUNTER_INC("server.epoll.connections_closed");
+  SKETCH_COUNTER_INC("server.connections_served");
+}
+
+void EventLoopPool::NotifyShutdown() {
+  if (shutdown_notified_.exchange(true, std::memory_order_acq_rel)) return;
+  if (shutdown_callback_) shutdown_callback_();
+}
+
+}  // namespace sketch::server

@@ -304,6 +304,33 @@ bool DecodePointQuery(const Frame& frame, PointQueryRequest* out) {
          FinishDecode(reader);
 }
 
+std::vector<uint8_t> EncodePointQueryBatch(
+    const PointQueryBatchRequest& request) {
+  SKETCH_CHECK_MSG(request.items.size() <= kMaxBatchQueryItems,
+                   "point-query batch exceeds kMaxBatchQueryItems");
+  PayloadWriter writer;
+  writer.PutString(request.name);
+  writer.PutU32(static_cast<uint32_t>(request.items.size()));
+  for (uint64_t item : request.items) writer.PutU64(item);
+  return EncodeFrame(Opcode::kPointQueryBatch, writer.bytes());
+}
+
+bool DecodePointQueryBatch(const Frame& frame, PointQueryBatchRequest* out) {
+  if (frame.opcode != Opcode::kPointQueryBatch) return false;
+  PayloadReader reader(frame.payload);
+  if (!reader.TryReadString(&out->name)) return false;
+  uint32_t count = 0;
+  if (!reader.TryReadU32(&count)) return false;
+  if (count > kMaxBatchQueryItems || reader.remaining() / 8 < count) {
+    return false;
+  }
+  out->items.resize(count);
+  for (uint64_t& item : out->items) {
+    if (!reader.TryReadU64(&item)) return false;
+  }
+  return FinishDecode(reader);
+}
+
 std::vector<uint8_t> EncodeHeavyHitters(const HeavyHittersRequest& request) {
   PayloadWriter writer;
   writer.PutString(request.name);
@@ -418,6 +445,41 @@ bool DecodePointValue(const Frame& frame, PointValueResponse* out) {
   return FinishDecode(reader);
 }
 
+std::vector<uint8_t> EncodeValueBatch(const ValueBatchResponse& response) {
+  SKETCH_CHECK_MSG(response.values.size() <= kMaxBatchQueryItems,
+                   "value batch exceeds kMaxBatchQueryItems");
+  PayloadWriter writer;
+  writer.PutU32(static_cast<uint32_t>(response.values.size()));
+  for (const PointValueResponse& value : response.values) {
+    writer.PutI64(value.estimate);
+    writer.PutF64(value.error_bound);
+    writer.PutU8(static_cast<uint8_t>(value.bound_kind));
+  }
+  return EncodeFrame(Opcode::kValueBatch, writer.bytes());
+}
+
+bool DecodeValueBatch(const Frame& frame, ValueBatchResponse* out) {
+  if (frame.opcode != Opcode::kValueBatch) return false;
+  PayloadReader reader(frame.payload);
+  uint32_t count = 0;
+  if (!reader.TryReadU32(&count)) return false;
+  // 17 bytes per entry: i64 estimate + f64 bound + u8 kind.
+  if (count > kMaxBatchQueryItems || reader.remaining() / 17 < count) {
+    return false;
+  }
+  out->values.resize(count);
+  for (PointValueResponse& value : out->values) {
+    uint8_t raw_kind = 0;
+    if (!reader.TryReadI64(&value.estimate) ||
+        !reader.TryReadF64(&value.error_bound) ||
+        !reader.TryReadU8(&raw_kind)) {
+      return false;
+    }
+    value.bound_kind = static_cast<BoundKind>(raw_kind);
+  }
+  return FinishDecode(reader);
+}
+
 std::vector<uint8_t> EncodeItems(const ItemsResponse& response) {
   SKETCH_CHECK_MSG(response.items.size() <= kMaxHeavyHitterItems,
                    "items response exceeds kMaxHeavyHitterItems");
@@ -487,7 +549,7 @@ bool DecodeIngestAck(const Frame& frame, IngestAckResponse* out) {
 
 bool IsKnownRequestOpcode(uint8_t raw) {
   return raw >= static_cast<uint8_t>(Opcode::kPing) &&
-         raw <= static_cast<uint8_t>(Opcode::kShutdown);
+         raw <= static_cast<uint8_t>(Opcode::kPointQueryBatch);
 }
 
 const char* OpcodeName(Opcode opcode) {
@@ -505,6 +567,7 @@ const char* OpcodeName(Opcode opcode) {
     case Opcode::kStatsz: return "Statsz";
     case Opcode::kTraceDump: return "TraceDump";
     case Opcode::kShutdown: return "Shutdown";
+    case Opcode::kPointQueryBatch: return "PointQueryBatch";
     case Opcode::kOk: return "Ok";
     case Opcode::kError: return "Error";
     case Opcode::kPointValue: return "PointValue";
@@ -513,6 +576,7 @@ const char* OpcodeName(Opcode opcode) {
     case Opcode::kText: return "Text";
     case Opcode::kPong: return "Pong";
     case Opcode::kIngestAck: return "IngestAck";
+    case Opcode::kValueBatch: return "ValueBatch";
   }
   return "Unknown";
 }

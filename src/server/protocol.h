@@ -73,6 +73,11 @@ inline constexpr uint64_t kMaxSketchCounters = 1ull << 19;
 /// Cap on items returned from a heavy-hitters query.
 inline constexpr uint32_t kMaxHeavyHitterItems = 1u << 16;
 
+/// Cap on keys per batched point query (8 bytes each on request; 17 bytes
+/// of estimate+bound+kind each on response — both far inside the frame
+/// cap).
+inline constexpr uint32_t kMaxBatchQueryItems = 1u << 16;
+
 /// Request and response opcodes. Requests occupy 0x01-0x7f, responses
 /// 0x80-0xff, so a stray response frame can never be mistaken for a
 /// request.
@@ -91,6 +96,7 @@ enum class Opcode : uint8_t {
   kStatsz = 0x0b,
   kTraceDump = 0x0c,
   kShutdown = 0x0d,
+  kPointQueryBatch = 0x0e,
   // Responses.
   kOk = 0x80,
   kError = 0x81,
@@ -100,6 +106,7 @@ enum class Opcode : uint8_t {
   kText = 0x85,
   kPong = 0x86,
   kIngestAck = 0x87,
+  kValueBatch = 0x88,
 };
 
 /// Sketch families a server registry can own.
@@ -268,6 +275,14 @@ struct PointQueryRequest {
   uint64_t item = 0;
 };
 
+/// Multi-key point query: one registry lookup and one (shared) entry lock
+/// amortized over every key, and the estimates come from the batched
+/// EstimateBatch kernel instead of per-item hashing.
+struct PointQueryBatchRequest {
+  std::string name;
+  std::vector<uint64_t> items;
+};
+
 struct HeavyHittersRequest {
   std::string name;
   double phi = 0.0;
@@ -318,6 +333,11 @@ struct IngestAckResponse {
   uint64_t accepted = 0;
 };
 
+/// One PointValueResponse per requested key, in request order.
+struct ValueBatchResponse {
+  std::vector<PointValueResponse> values;
+};
+
 // --- Typed encode/decode --------------------------------------------------
 //
 // Encode* returns complete frame bytes ready for a transport. Decode*
@@ -342,6 +362,10 @@ bool DecodeIngest(const Frame& frame, IngestRequest* out);
 
 std::vector<uint8_t> EncodePointQuery(const PointQueryRequest& request);
 bool DecodePointQuery(const Frame& frame, PointQueryRequest* out);
+
+std::vector<uint8_t> EncodePointQueryBatch(
+    const PointQueryBatchRequest& request);
+bool DecodePointQueryBatch(const Frame& frame, PointQueryBatchRequest* out);
 
 std::vector<uint8_t> EncodeHeavyHitters(const HeavyHittersRequest& request);
 bool DecodeHeavyHitters(const Frame& frame, HeavyHittersRequest* out);
@@ -376,6 +400,9 @@ bool DecodeText(const Frame& frame, TextResponse* out);
 
 std::vector<uint8_t> EncodeIngestAck(const IngestAckResponse& response);
 bool DecodeIngestAck(const Frame& frame, IngestAckResponse* out);
+
+std::vector<uint8_t> EncodeValueBatch(const ValueBatchResponse& response);
+bool DecodeValueBatch(const Frame& frame, ValueBatchResponse* out);
 
 /// True for opcodes in the request range that this protocol version knows.
 bool IsKnownRequestOpcode(uint8_t raw);

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <functional>
 #include <sstream>
 #include <utility>
 
+#include "common/timer.h"
 #include "parallel/sharded_sketch.h"
 #include "server/blob_check.h"
 #include "telemetry/metric_registry.h"
@@ -118,6 +120,23 @@ class CountMinEntry : public SketchEntry {
     return response;
   }
 
+  void PointQueryBatch(const std::vector<uint64_t>& items,
+                       std::vector<PointValueResponse>* out) override {
+    // Batched read path: buckets come from the EstimateBatch kernel
+    // (SIMD-tier), and the L1 bound is shared by every key in the batch.
+    std::vector<int64_t> estimates(items.size());
+    sketch_.EstimateBatch(items.data(), items.size(), estimates.data());
+    PointValueResponse value;
+    value.error_bound = kEuler / static_cast<double>(sketch_.width()) *
+                        static_cast<double>(l1_mass_);
+    value.bound_kind = BoundKind::kL1;
+    out->reserve(items.size());
+    for (int64_t estimate : estimates) {
+      value.estimate = estimate;
+      out->push_back(value);
+    }
+  }
+
   bool HeavyHitters(double, std::vector<uint64_t>*,
                     ErrorResponse* error) override {
     error->code = ErrorCode::kUnsupported;
@@ -177,6 +196,25 @@ class CountSketchEntry : public SketchEntry {
                   static_cast<double>(sketch_.width()));
     response.bound_kind = BoundKind::kL2;
     return response;
+  }
+
+  void PointQueryBatch(const std::vector<uint64_t>& items,
+                       std::vector<PointValueResponse>* out) override {
+    // The F2 scan (a full pass over the counter table) dominates a single
+    // point query; batching amortizes it over the whole key list on top of
+    // the SIMD bucket/sign computation in EstimateBatch.
+    std::vector<int64_t> estimates(items.size());
+    sketch_.EstimateBatch(items.data(), items.size(), estimates.data());
+    PointValueResponse value;
+    value.error_bound =
+        std::sqrt(3.0 * EstimateF2FromCounters(sketch_) /
+                  static_cast<double>(sketch_.width()));
+    value.bound_kind = BoundKind::kL2;
+    out->reserve(items.size());
+    for (int64_t estimate : estimates) {
+      value.estimate = estimate;
+      out->push_back(value);
+    }
   }
 
   bool HeavyHitters(double, std::vector<uint64_t>*,
@@ -339,6 +377,12 @@ class SummaryEntry : public SketchEntry {
 /// service pool; queries materialize the collapsed sketch lazily (cached
 /// until the next ingest dirties it). Restored state lives in `base_`,
 /// kept outside the replicas so a restore never multiplies counts.
+///
+/// Concurrency: queries run under the owning handle's *shared* lock, so
+/// the lazy materialization is serialized by an internal cache_mutex_.
+/// Ingest (exclusive lock) marks the cache dirty; the first query after
+/// an ingest rebuilds it and concurrent queries wait on cache_mutex_
+/// rather than each collapsing the shards.
 class ShardedCountMinEntry : public SketchEntry {
  public:
   ShardedCountMinEntry(const CountMinSketch& prototype, CountMinSketch base,
@@ -360,6 +404,7 @@ class ShardedCountMinEntry : public SketchEntry {
     sharded_.Ingest(updates);
     l1_mass_ += BatchL1(updates);
     updates_applied_ += updates.size();
+    MutexLock lock(cache_mutex_);
     dirty_ = true;
     return true;
   }
@@ -372,6 +417,22 @@ class ShardedCountMinEntry : public SketchEntry {
                            static_cast<double>(l1_mass_);
     response.bound_kind = BoundKind::kL1;
     return response;
+  }
+
+  void PointQueryBatch(const std::vector<uint64_t>& items,
+                       std::vector<PointValueResponse>* out) override {
+    const CountMinSketch& view = Materialize();
+    std::vector<int64_t> estimates(items.size());
+    view.EstimateBatch(items.data(), items.size(), estimates.data());
+    PointValueResponse value;
+    value.error_bound = kEuler / static_cast<double>(view.width()) *
+                        static_cast<double>(l1_mass_);
+    value.bound_kind = BoundKind::kL1;
+    out->reserve(items.size());
+    for (int64_t estimate : estimates) {
+      value.estimate = estimate;
+      out->push_back(value);
+    }
   }
 
   bool HeavyHitters(double, std::vector<uint64_t>*,
@@ -415,6 +476,7 @@ class ShardedCountMinEntry : public SketchEntry {
 
  private:
   const CountMinSketch& Materialize() {
+    MutexLock lock(cache_mutex_);
     if (dirty_) {
       cache_ = sharded_.Collapse();
       cache_.Merge(base_);
@@ -425,9 +487,17 @@ class ShardedCountMinEntry : public SketchEntry {
 
   ShardedSketch<CountMinSketch> sharded_;
   CountMinSketch base_;
+  mutable Mutex cache_mutex_;
+  // cache_ is written only inside cache_mutex_ (Materialize). It is
+  // deliberately *not* annotated GUARDED_BY: Materialize returns it by
+  // reference to callers that keep reading it after the mutex drops,
+  // which is safe because dirty_ can only become true again under the
+  // owning handle's exclusive lock — i.e. after every shared-lock reader
+  // has left. Annotating it would trip -Wthread-safety-reference on that
+  // (correct) return.
   CountMinSketch cache_;
   int64_t l1_mass_ = 0;
-  bool dirty_ = true;
+  bool dirty_ SKETCH_GUARDED_BY(cache_mutex_) = true;
 };
 
 /// True iff width * depth is a valid, budgeted counter table.
@@ -454,11 +524,93 @@ bool ParseWidthMode(uint64_t mode_word, uint64_t* width, WidthMode* mode) {
   return true;
 }
 
+/// Inner-product body shared by the single-lock (self-join) and
+/// address-ordered two-lock paths of HandleInnerProduct.
+std::vector<uint8_t> InnerProductBetween(SketchEntry& left,
+                                         SketchEntry& right) {
+  int64_t result = 0;
+  ErrorResponse error;
+  if (!left.InnerProduct(right, &result, &error)) {
+    return EncodeError(error);
+  }
+  PointValueResponse response;
+  response.estimate = result;
+  response.bound_kind = BoundKind::kNone;
+  return EncodePointValue(response);
+}
+
+#if SKETCH_TELEMETRY_ENABLED
+/// Per-opcode request-latency histograms (log2 buckets). The histogram
+/// macros demand static-lifetime literal names, hence the switch: one
+/// literal per opcode, resolved to a cached registry reference on first
+/// use.
+void RecordOpcodeLatencyNs(Opcode opcode, uint64_t ns) {
+  switch (opcode) {
+    case Opcode::kPing:
+      SKETCH_HISTOGRAM_RECORD("server.latency_ns.Ping", ns);
+      break;
+    case Opcode::kCreateSketch:
+      SKETCH_HISTOGRAM_RECORD("server.latency_ns.CreateSketch", ns);
+      break;
+    case Opcode::kDropSketch:
+      SKETCH_HISTOGRAM_RECORD("server.latency_ns.DropSketch", ns);
+      break;
+    case Opcode::kIngest:
+      SKETCH_HISTOGRAM_RECORD("server.latency_ns.Ingest", ns);
+      break;
+    case Opcode::kPointQuery:
+      SKETCH_HISTOGRAM_RECORD("server.latency_ns.PointQuery", ns);
+      break;
+    case Opcode::kHeavyHitters:
+      SKETCH_HISTOGRAM_RECORD("server.latency_ns.HeavyHitters", ns);
+      break;
+    case Opcode::kInnerProduct:
+      SKETCH_HISTOGRAM_RECORD("server.latency_ns.InnerProduct", ns);
+      break;
+    case Opcode::kSnapshot:
+      SKETCH_HISTOGRAM_RECORD("server.latency_ns.Snapshot", ns);
+      break;
+    case Opcode::kRestore:
+      SKETCH_HISTOGRAM_RECORD("server.latency_ns.Restore", ns);
+      break;
+    case Opcode::kListSketches:
+      SKETCH_HISTOGRAM_RECORD("server.latency_ns.ListSketches", ns);
+      break;
+    case Opcode::kStatsz:
+      SKETCH_HISTOGRAM_RECORD("server.latency_ns.Statsz", ns);
+      break;
+    case Opcode::kTraceDump:
+      SKETCH_HISTOGRAM_RECORD("server.latency_ns.TraceDump", ns);
+      break;
+    case Opcode::kShutdown:
+      SKETCH_HISTOGRAM_RECORD("server.latency_ns.Shutdown", ns);
+      break;
+    case Opcode::kPointQueryBatch:
+      SKETCH_HISTOGRAM_RECORD("server.latency_ns.PointQueryBatch", ns);
+      break;
+    default:
+      SKETCH_HISTOGRAM_RECORD("server.latency_ns.Unknown", ns);
+      break;
+  }
+}
+#endif  // SKETCH_TELEMETRY_ENABLED
+
 }  // namespace
 
 std::vector<uint8_t> SketchService::HandleFrame(const Frame& frame) {
   SKETCH_TRACE_SPAN("server.handle_frame");
   SKETCH_COUNTER_INC("server.frames_handled");
+#if SKETCH_TELEMETRY_ENABLED
+  const uint64_t start_ns = MonotonicNowNs();
+  std::vector<uint8_t> response = DispatchFrame(frame);
+  RecordOpcodeLatencyNs(frame.opcode, MonotonicNowNs() - start_ns);
+  return response;
+#else
+  return DispatchFrame(frame);
+#endif
+}
+
+std::vector<uint8_t> SketchService::DispatchFrame(const Frame& frame) {
   switch (frame.opcode) {
     case Opcode::kPing:
       return frame.payload.empty() ? EncodePong()
@@ -478,6 +630,8 @@ std::vector<uint8_t> SketchService::HandleFrame(const Frame& frame) {
       return HandleIngest(frame);
     case Opcode::kPointQuery:
       return HandlePointQuery(frame);
+    case Opcode::kPointQueryBatch:
+      return HandlePointQueryBatch(frame);
     case Opcode::kHeavyHitters:
       return HandleHeavyHitters(frame);
     case Opcode::kInnerProduct:
@@ -493,11 +647,9 @@ std::vector<uint8_t> SketchService::HandleFrame(const Frame& frame) {
     case Opcode::kTraceDump:
       return frame.payload.empty() ? HandleTraceDump()
                                    : MalformedPayload(frame.opcode);
-    case Opcode::kShutdown: {
-      MutexLock lock(mutex_);
-      shutdown_ = true;
+    case Opcode::kShutdown:
+      shutdown_.store(true, std::memory_order_release);
       return EncodeOk();
-    }
     default:
       break;
   }
@@ -506,25 +658,132 @@ std::vector<uint8_t> SketchService::HandleFrame(const Frame& frame) {
                        OpcodeName(frame.opcode));
 }
 
-bool SketchService::shutdown_requested() const {
-  MutexLock lock(mutex_);
-  return shutdown_;
+void SketchService::HandleFrames(const std::vector<Frame>& frames,
+                                 std::vector<std::vector<uint8_t>>* responses) {
+  responses->reserve(responses->size() + frames.size());
+  std::size_t i = 0;
+  while (i < frames.size()) {
+    if (frames[i].opcode != Opcode::kIngest) {
+      responses->push_back(HandleFrame(frames[i]));
+      ++i;
+      continue;
+    }
+    // Collect the longest run of consecutive, well-formed ingest frames
+    // addressing the same sketch; the run shares one registry lookup and
+    // one exclusive entry lock.
+    std::vector<IngestRequest> run;
+    while (i < frames.size() && frames[i].opcode == Opcode::kIngest) {
+      IngestRequest request;
+      if (!DecodeIngest(frames[i], &request)) {
+        if (run.empty()) {
+          responses->push_back(MalformedPayload(frames[i].opcode));
+          ++i;
+        }
+        break;
+      }
+      if (!run.empty() && request.name != run.front().name) break;
+      run.push_back(std::move(request));
+      ++i;
+    }
+    if (!run.empty()) ApplyIngestRun(run, responses);
+  }
+}
+
+void SketchService::ApplyIngestRun(
+    const std::vector<IngestRequest>& run,
+    std::vector<std::vector<uint8_t>>* responses) {
+  SKETCH_TRACE_SPAN("server.ingest_run");
+  SKETCH_COUNTER_ADD("server.frames_handled", run.size());
+  const std::shared_ptr<internal::EntryHandle> handle =
+      FindHandle(run.front().name);
+  if (handle == nullptr) {
+    for (std::size_t i = 0; i < run.size(); ++i) {
+      responses->push_back(NoSuchSketch(run.front().name));
+    }
+    return;
+  }
+  WriterMutexLock lock(handle->mutex);
+  for (const IngestRequest& request : run) {
+#if SKETCH_TELEMETRY_ENABLED
+    const uint64_t start_ns = MonotonicNowNs();
+#endif
+    ErrorResponse error;
+    if (!handle->entry->Ingest(UpdateSpan(request.updates), &error)) {
+      responses->push_back(EncodeError(error));
+    } else {
+      SKETCH_COUNTER_ADD("server.updates_ingested", request.updates.size());
+      IngestAckResponse ack;
+      ack.accepted = request.updates.size();
+      responses->push_back(EncodeIngestAck(ack));
+    }
+#if SKETCH_TELEMETRY_ENABLED
+    RecordOpcodeLatencyNs(Opcode::kIngest, MonotonicNowNs() - start_ns);
+#endif
+  }
 }
 
 std::size_t SketchService::sketch_count() const {
-  MutexLock lock(mutex_);
-  return sketches_.size();
+  std::size_t total = 0;
+  for (const RegistryStripe& stripe : stripes_) {
+    MutexLock lock(stripe.mutex);
+    total += stripe.entries.size();
+  }
+  return total;
 }
 
-internal::SketchEntry* SketchService::FindEntryLocked(
+void SketchService::RegisterGauge(const std::string& name,
+                                  std::function<uint64_t()> gauge) {
+  MutexLock lock(gauges_mutex_);
+  gauges_.emplace_back(name, std::move(gauge));
+}
+
+const SketchService::RegistryStripe& SketchService::StripeFor(
+    const std::string& name) const {
+  return stripes_[std::hash<std::string>{}(name) % kRegistryStripes];
+}
+
+SketchService::RegistryStripe& SketchService::StripeFor(
     const std::string& name) {
-  const auto it = sketches_.find(name);
-  return it == sketches_.end() ? nullptr : it->second.get();
+  return stripes_[std::hash<std::string>{}(name) % kRegistryStripes];
 }
 
-bool SketchService::InsertEntryLocked(
-    const std::string& name, std::unique_ptr<internal::SketchEntry> entry) {
-  return sketches_.emplace(name, std::move(entry)).second;
+std::shared_ptr<internal::EntryHandle> SketchService::FindHandle(
+    const std::string& name) const {
+  const RegistryStripe& stripe = StripeFor(name);
+  MutexLock lock(stripe.mutex);
+  const auto it = stripe.entries.find(name);
+  return it == stripe.entries.end() ? nullptr : it->second;
+}
+
+template <typename Fn>
+std::vector<uint8_t> SketchService::WithEntryShared(const std::string& name,
+                                                    Fn&& fn) {
+  const std::shared_ptr<internal::EntryHandle> handle = FindHandle(name);
+  if (handle == nullptr) return NoSuchSketch(name);
+  if (options_.exclusive_queries) {
+    WriterMutexLock lock(handle->mutex);
+    return fn(*handle->entry);
+  }
+  ReaderMutexLock lock(handle->mutex);
+  return fn(*handle->entry);
+}
+
+template <typename Fn>
+std::vector<uint8_t> SketchService::WithEntryExclusive(const std::string& name,
+                                                       Fn&& fn) {
+  const std::shared_ptr<internal::EntryHandle> handle = FindHandle(name);
+  if (handle == nullptr) return NoSuchSketch(name);
+  WriterMutexLock lock(handle->mutex);
+  return fn(*handle->entry);
+}
+
+bool SketchService::InsertEntry(const std::string& name,
+                                std::unique_ptr<internal::SketchEntry> entry) {
+  RegistryStripe& stripe = StripeFor(name);
+  MutexLock lock(stripe.mutex);
+  return stripe.entries
+      .emplace(name, std::make_shared<internal::EntryHandle>(std::move(entry)))
+      .second;
 }
 
 std::unique_ptr<internal::SketchEntry> SketchService::BuildEntry(
@@ -655,8 +914,7 @@ std::vector<uint8_t> SketchService::HandleCreate(const Frame& frame) {
   ErrorResponse error;
   std::unique_ptr<internal::SketchEntry> entry = BuildEntry(request, &error);
   if (entry == nullptr) return EncodeError(error);
-  MutexLock lock(mutex_);
-  if (!InsertEntryLocked(request.name, std::move(entry))) {
+  if (!InsertEntry(request.name, std::move(entry))) {
     return MakeError(ErrorCode::kSketchExists,
                      "a sketch with this name already exists");
   }
@@ -665,8 +923,9 @@ std::vector<uint8_t> SketchService::HandleCreate(const Frame& frame) {
 }
 
 std::vector<uint8_t> SketchService::HandleDrop(const NamedRequest& request) {
-  MutexLock lock(mutex_);
-  if (sketches_.erase(request.name) == 0) {
+  RegistryStripe& stripe = StripeFor(request.name);
+  MutexLock lock(stripe.mutex);
+  if (stripe.entries.erase(request.name) == 0) {
     return NoSuchSketch(request.name);
   }
   return EncodeOk();
@@ -676,17 +935,16 @@ std::vector<uint8_t> SketchService::HandleIngest(const Frame& frame) {
   SKETCH_TRACE_SPAN("server.ingest");
   IngestRequest request;
   if (!DecodeIngest(frame, &request)) return MalformedPayload(frame.opcode);
-  MutexLock lock(mutex_);
-  internal::SketchEntry* entry = FindEntryLocked(request.name);
-  if (entry == nullptr) return NoSuchSketch(request.name);
-  ErrorResponse error;
-  if (!entry->Ingest(UpdateSpan(request.updates), &error)) {
-    return EncodeError(error);
-  }
-  SKETCH_COUNTER_ADD("server.updates_ingested", request.updates.size());
-  IngestAckResponse ack;
-  ack.accepted = request.updates.size();
-  return EncodeIngestAck(ack);
+  return WithEntryExclusive(request.name, [&](internal::SketchEntry& entry) {
+    ErrorResponse error;
+    if (!entry.Ingest(UpdateSpan(request.updates), &error)) {
+      return EncodeError(error);
+    }
+    SKETCH_COUNTER_ADD("server.updates_ingested", request.updates.size());
+    IngestAckResponse ack;
+    ack.accepted = request.updates.size();
+    return EncodeIngestAck(ack);
+  });
 }
 
 std::vector<uint8_t> SketchService::HandlePointQuery(const Frame& frame) {
@@ -695,11 +953,25 @@ std::vector<uint8_t> SketchService::HandlePointQuery(const Frame& frame) {
   if (!DecodePointQuery(frame, &request)) {
     return MalformedPayload(frame.opcode);
   }
-  MutexLock lock(mutex_);
-  internal::SketchEntry* entry = FindEntryLocked(request.name);
-  if (entry == nullptr) return NoSuchSketch(request.name);
-  SKETCH_COUNTER_INC("server.point_queries");
-  return EncodePointValue(entry->PointQuery(request.item));
+  return WithEntryShared(request.name, [&](internal::SketchEntry& entry) {
+    SKETCH_COUNTER_INC("server.point_queries");
+    return EncodePointValue(entry.PointQuery(request.item));
+  });
+}
+
+std::vector<uint8_t> SketchService::HandlePointQueryBatch(const Frame& frame) {
+  SKETCH_TRACE_SPAN("server.point_query_batch");
+  PointQueryBatchRequest request;
+  if (!DecodePointQueryBatch(frame, &request)) {
+    return MalformedPayload(frame.opcode);
+  }
+  return WithEntryShared(request.name, [&](internal::SketchEntry& entry) {
+    SKETCH_COUNTER_INC("server.point_query_batches");
+    SKETCH_COUNTER_ADD("server.point_queries", request.items.size());
+    ValueBatchResponse batch;
+    entry.PointQueryBatch(request.items, &batch.values);
+    return EncodeValueBatch(batch);
+  });
 }
 
 std::vector<uint8_t> SketchService::HandleHeavyHitters(const Frame& frame) {
@@ -714,15 +986,14 @@ std::vector<uint8_t> SketchService::HandleHeavyHitters(const Frame& frame) {
     return MakeError(ErrorCode::kMalformedPayload,
                      "phi must lie strictly between 0 and 1");
   }
-  MutexLock lock(mutex_);
-  internal::SketchEntry* entry = FindEntryLocked(request.name);
-  if (entry == nullptr) return NoSuchSketch(request.name);
-  ItemsResponse items;
-  ErrorResponse error;
-  if (!entry->HeavyHitters(request.phi, &items.items, &error)) {
-    return EncodeError(error);
-  }
-  return EncodeItems(items);
+  return WithEntryShared(request.name, [&](internal::SketchEntry& entry) {
+    ItemsResponse items;
+    ErrorResponse error;
+    if (!entry.HeavyHitters(request.phi, &items.items, &error)) {
+      return EncodeError(error);
+    }
+    return EncodeItems(items);
+  });
 }
 
 std::vector<uint8_t> SketchService::HandleInnerProduct(const Frame& frame) {
@@ -731,34 +1002,56 @@ std::vector<uint8_t> SketchService::HandleInnerProduct(const Frame& frame) {
   if (!DecodeInnerProduct(frame, &request)) {
     return MalformedPayload(frame.opcode);
   }
-  MutexLock lock(mutex_);
-  internal::SketchEntry* left = FindEntryLocked(request.left);
-  internal::SketchEntry* right = FindEntryLocked(request.right);
+  const std::shared_ptr<internal::EntryHandle> left =
+      FindHandle(request.left);
+  const std::shared_ptr<internal::EntryHandle> right =
+      FindHandle(request.right);
   if (left == nullptr || right == nullptr) {
     return MakeError(ErrorCode::kNoSuchSketch,
                      "both sketches must exist for an inner product");
   }
-  int64_t result = 0;
-  ErrorResponse error;
-  if (!left->InnerProduct(*right, &result, &error)) {
-    return EncodeError(error);
+  if (left == right) {
+    // Self inner product: one entry, one lock.
+    if (options_.exclusive_queries) {
+      WriterMutexLock lock(left->mutex);
+      return InnerProductBetween(*left->entry, *left->entry);
+    }
+    ReaderMutexLock lock(left->mutex);
+    return InnerProductBetween(*left->entry, *left->entry);
   }
-  PointValueResponse response;
-  response.estimate = result;
-  response.bound_kind = BoundKind::kNone;
-  return EncodePointValue(response);
+  // Two distinct entries: acquire both locks in increasing handle address
+  // order (the documented lock order for multi-entry operations — shared
+  // acquisitions included, since writer-priority rwlocks can deadlock on
+  // crossed shared/shared acquisition too).
+  const bool left_first =
+      std::less<internal::EntryHandle*>()(left.get(), right.get());
+  internal::EntryHandle& lo = left_first ? *left : *right;
+  internal::EntryHandle& hi = left_first ? *right : *left;
+  if (options_.exclusive_queries) {
+    WriterMutexLock lo_lock(lo.mutex);
+    WriterMutexLock hi_lock(hi.mutex);
+    internal::SketchEntry& lo_entry = *lo.entry;
+    internal::SketchEntry& hi_entry = *hi.entry;
+    return InnerProductBetween(left_first ? lo_entry : hi_entry,
+                               left_first ? hi_entry : lo_entry);
+  }
+  ReaderMutexLock lo_lock(lo.mutex);
+  ReaderMutexLock hi_lock(hi.mutex);
+  internal::SketchEntry& lo_entry = *lo.entry;
+  internal::SketchEntry& hi_entry = *hi.entry;
+  return InnerProductBetween(left_first ? lo_entry : hi_entry,
+                             left_first ? hi_entry : lo_entry);
 }
 
 std::vector<uint8_t> SketchService::HandleSnapshot(
     const NamedRequest& request) {
   SKETCH_TRACE_SPAN("server.snapshot");
-  MutexLock lock(mutex_);
-  internal::SketchEntry* entry = FindEntryLocked(request.name);
-  if (entry == nullptr) return NoSuchSketch(request.name);
-  BlobResponse blob;
-  blob.bytes = entry->Snapshot();
-  SKETCH_COUNTER_INC("server.snapshots");
-  return EncodeBlob(blob);
+  return WithEntryShared(request.name, [&](internal::SketchEntry& entry) {
+    BlobResponse blob;
+    blob.bytes = entry.Snapshot();
+    SKETCH_COUNTER_INC("server.snapshots");
+    return EncodeBlob(blob);
+  });
 }
 
 std::vector<uint8_t> SketchService::HandleRestore(const Frame& frame) {
@@ -780,8 +1073,7 @@ std::vector<uint8_t> SketchService::HandleRestore(const Frame& frame) {
   if (entry == nullptr) {
     return MakeError(ErrorCode::kBadSketchType, "unknown sketch type");
   }
-  MutexLock lock(mutex_);
-  if (!InsertEntryLocked(request.name, std::move(entry))) {
+  if (!InsertEntry(request.name, std::move(entry))) {
     return MakeError(ErrorCode::kSketchExists,
                      "a sketch with this name already exists");
   }
@@ -789,18 +1081,42 @@ std::vector<uint8_t> SketchService::HandleRestore(const Frame& frame) {
   return EncodeOk();
 }
 
+namespace {
+
+/// Snapshot of the registry in name order (a std::map per stripe keeps
+/// each stripe sorted; merging into one map restores the global order the
+/// pre-striping server reported). Only one stripe mutex is held at a
+/// time, and no entry lock is held while gathering.
+using HandleMap =
+    std::map<std::string, std::shared_ptr<internal::EntryHandle>>;
+
+}  // namespace
+
 std::vector<uint8_t> SketchService::HandleList() {
-  MutexLock lock(mutex_);
+  HandleMap handles;
+  for (const RegistryStripe& stripe : stripes_) {
+    MutexLock lock(stripe.mutex);
+    handles.insert(stripe.entries.begin(), stripe.entries.end());
+  }
   std::ostringstream out;
   out << "[";
   bool first = true;
-  for (const auto& [name, entry] : sketches_) {
+  for (const auto& [name, handle] : handles) {
     if (!first) out << ",";
     first = false;
-    out << "{\"name\":\"" << EscapeJson(name) << "\",\"type\":\""
-        << SketchTypeName(entry->type()) << "\",\"counters\":"
-        << entry->SizeInCounters() << ",\"updates\":"
-        << entry->updates_applied() << "}";
+    const auto describe = [&out, &name](internal::SketchEntry& entry) {
+      out << "{\"name\":\"" << EscapeJson(name) << "\",\"type\":\""
+          << SketchTypeName(entry.type()) << "\",\"counters\":"
+          << entry.SizeInCounters() << ",\"updates\":"
+          << entry.updates_applied() << "}";
+    };
+    if (options_.exclusive_queries) {
+      WriterMutexLock lock(handle->mutex);
+      describe(*handle->entry);
+    } else {
+      ReaderMutexLock lock(handle->mutex);
+      describe(*handle->entry);
+    }
   }
   out << "]";
   TextResponse response;
@@ -809,26 +1125,46 @@ std::vector<uint8_t> SketchService::HandleList() {
 }
 
 std::vector<uint8_t> SketchService::HandleStatsz() {
-  // /statsz: registry summary plus the process-wide metric registry, one
-  // JSON object.
-  std::ostringstream out;
-  {
-    MutexLock lock(mutex_);
-    out << "{\"sketches\":[";
-    bool first = true;
-    for (const auto& [name, entry] : sketches_) {
-      if (!first) out << ",";
-      first = false;
-      out << "{\"name\":\"" << EscapeJson(name) << "\",\"type\":\""
-          << SketchTypeName(entry->type()) << "\",\"counters\":"
-          << entry->SizeInCounters() << ",\"memory_bytes\":"
-          << entry->MemoryFootprintBytes() << ",\"updates\":"
-          << entry->updates_applied() << "}";
-    }
-    out << "],";
+  // /statsz: registry summary, registered pull-gauges, and the
+  // process-wide metric registry, one JSON object.
+  HandleMap handles;
+  for (const RegistryStripe& stripe : stripes_) {
+    MutexLock lock(stripe.mutex);
+    handles.insert(stripe.entries.begin(), stripe.entries.end());
   }
-  out << "\"metrics\":" << telemetry::MetricRegistry::Instance().DumpJson()
-      << "}";
+  std::ostringstream out;
+  out << "{\"sketches\":[";
+  bool first = true;
+  for (const auto& [name, handle] : handles) {
+    if (!first) out << ",";
+    first = false;
+    const auto describe = [&out, &name](internal::SketchEntry& entry) {
+      out << "{\"name\":\"" << EscapeJson(name) << "\",\"type\":\""
+          << SketchTypeName(entry.type()) << "\",\"counters\":"
+          << entry.SizeInCounters() << ",\"memory_bytes\":"
+          << entry.MemoryFootprintBytes() << ",\"updates\":"
+          << entry.updates_applied() << "}";
+    };
+    if (options_.exclusive_queries) {
+      WriterMutexLock lock(handle->mutex);
+      describe(*handle->entry);
+    } else {
+      ReaderMutexLock lock(handle->mutex);
+      describe(*handle->entry);
+    }
+  }
+  out << "],\"gauges\":{";
+  {
+    MutexLock lock(gauges_mutex_);
+    bool first_gauge = true;
+    for (const auto& [gauge_name, gauge_fn] : gauges_) {
+      if (!first_gauge) out << ",";
+      first_gauge = false;
+      out << "\"" << EscapeJson(gauge_name) << "\":" << gauge_fn();
+    }
+  }
+  out << "},\"metrics\":"
+      << telemetry::MetricRegistry::Instance().DumpJson() << "}";
   TextResponse response;
   response.text = out.str();
   return EncodeText(response);

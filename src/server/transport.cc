@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -194,15 +195,27 @@ std::unique_ptr<SocketListener> SocketListener::ListenUnix(
 }
 
 std::unique_ptr<ByteStream> SocketListener::Accept() {
+  const int client = AcceptRaw();
+  return client < 0 ? nullptr : std::make_unique<SocketStream>(client);
+}
+
+int SocketListener::AcceptRaw() {
   // relaxed: see SocketStream::Read — the fd carries no published memory,
   // and a Close racing with accept() surfaces as an error return.
   const int fd = fd_.load(std::memory_order_relaxed);
-  if (fd < 0) return nullptr;
+  if (fd < 0) return -1;
   while (true) {
     const int client = ::accept(fd, nullptr, nullptr);
-    if (client >= 0) return std::make_unique<SocketStream>(client);
+    if (client >= 0) {
+      // Request/response framing over loopback: Nagle buys nothing and
+      // can stall small pipelined responses behind delayed ACKs. A
+      // failure (e.g. Unix-domain listener) is harmless.
+      const int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return client;
+    }
     if (errno == EINTR) continue;
-    return nullptr;  // listener closed or unrecoverable error
+    return -1;  // listener closed or unrecoverable error
   }
 }
 
@@ -231,6 +244,8 @@ std::unique_ptr<ByteStream> ConnectTcp(const std::string& host,
     ::close(fd);
     return nullptr;
   }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return std::make_unique<SocketStream>(fd);
 }
 

@@ -183,6 +183,12 @@ class SocketListener {
   /// Blocks for the next connection; nullptr once the listener is closed.
   std::unique_ptr<ByteStream> Accept();
 
+  /// Accept() without the ByteStream wrapper: blocks for the next
+  /// connection and returns its raw descriptor (the caller owns it), or
+  /// -1 once the listener is closed. Used by the epoll event loop, which
+  /// manages descriptors directly.
+  int AcceptRaw();
+
   /// Unblocks Accept and closes the listening socket. Safe to call from
   /// any thread, concurrently with Accept and with itself (the daemon's
   /// kShutdown path closes the listener from a connection thread while

@@ -129,6 +129,41 @@ int64_t CountMinSketch::Estimate(uint64_t item) const {
   return best;
 }
 
+void CountMinSketch::EstimateBatch(const uint64_t* items, std::size_t n,
+                                   int64_t* out) const {
+  // Query-side mirror of ApplyBatch: per block of keys, each row batch-
+  // computes its buckets (same BlockHasher kernels, so the same SIMD
+  // dispatch applies) and folds its counters into the running min. The
+  // min over rows is order-free, so out[i] == Estimate(items[i]) exactly.
+  SKETCH_TRACE_SPAN("count_min.estimate_batch");
+  SKETCH_COUNTER_ADD("sketch.count_min.batched_estimates", n);
+  constexpr std::size_t kBlock = 256;
+  uint64_t buckets[kBlock];
+  const FastDiv64 div = width_div_;
+  for (std::size_t start = 0; start < n; start += kBlock) {
+    const std::size_t block_n = std::min(kBlock, n - start);
+    const uint64_t* keys = items + start;
+    int64_t* block_out = out + start;
+    for (uint64_t j = 0; j < depth_; ++j) {
+      if (width_mode_ == WidthMode::kPow2) {
+        rows_[j].BucketBlockPow2(keys, block_n, bucket_mask_, buckets);
+      } else {
+        rows_[j].BucketBlock(keys, block_n, div, buckets);
+      }
+      const int64_t* row = counters_.data() + j * width_;
+      if (j == 0) {
+        for (std::size_t i = 0; i < block_n; ++i) {
+          block_out[i] = row[buckets[i]];
+        }
+      } else {
+        for (std::size_t i = 0; i < block_n; ++i) {
+          block_out[i] = std::min(block_out[i], row[buckets[i]]);
+        }
+      }
+    }
+  }
+}
+
 int64_t CountMinSketch::EstimateInnerProduct(
     const CountMinSketch& other) const {
   SKETCH_CHECK_MSG(width_ == other.width_ && depth_ == other.depth_ &&

@@ -61,6 +61,13 @@ class CountMinSketch {
   /// underestimates in the strict turnstile model.
   int64_t Estimate(uint64_t item) const;
 
+  /// Batched point query: fills out[i] = Estimate(items[i]) for all `n`
+  /// items, bit-identically, but computes each row's buckets with the
+  /// same BlockHasher batch kernels ApplyBatch uses, so the query side of
+  /// the read path rides the SIMD tier too.
+  void EstimateBatch(const uint64_t* items, std::size_t n,
+                     int64_t* out) const;
+
   /// Merges another sketch built with the same geometry and seed
   /// (counter-wise sum); valid because the sketch is linear.
   void Merge(const CountMinSketch& other);

@@ -108,19 +108,71 @@ int64_t CountSketch::EstimateRow(uint64_t row, uint64_t item) const {
   return sign_rows_[row].SignOne(item) * counters_[row * width_ + b];
 }
 
+namespace {
+
+/// Median of `row_estimates` (destructively): the middle order statistic,
+/// or for even counts the average of the two middle order statistics.
+/// Order statistics depend only on the multiset, so callers may fill the
+/// vector in any row order and still get a deterministic result.
+int64_t MedianOfRows(std::vector<int64_t>& row_estimates) {
+  const auto mid = row_estimates.begin() +
+                   static_cast<std::ptrdiff_t>(row_estimates.size() / 2);
+  std::nth_element(row_estimates.begin(), mid, row_estimates.end());
+  if (row_estimates.size() % 2 == 1) return *mid;
+  // Even depth: average the two middle order statistics.
+  const int64_t upper = *mid;
+  const int64_t lower = *std::max_element(row_estimates.begin(), mid);
+  return (lower + upper) / 2;
+}
+
+}  // namespace
+
 int64_t CountSketch::Estimate(uint64_t item) const {
   std::vector<int64_t> row_estimates(depth_);
   for (uint64_t j = 0; j < depth_; ++j) {
     row_estimates[j] = EstimateRow(j, item);
   }
-  const auto mid = row_estimates.begin() + depth_ / 2;
-  std::nth_element(row_estimates.begin(), mid, row_estimates.end());
-  if (depth_ % 2 == 1) return *mid;
-  // Even depth: average the two middle order statistics.
-  const int64_t upper = *mid;
-  const int64_t lower =
-      *std::max_element(row_estimates.begin(), mid);
-  return (lower + upper) / 2;
+  return MedianOfRows(row_estimates);
+}
+
+void CountSketch::EstimateBatch(const uint64_t* items, std::size_t n,
+                                int64_t* out) const {
+  // Query-side mirror of ApplyBatch: per block of keys, each row batch-
+  // computes buckets and signs, depositing its signed counter into a
+  // row-major scratch pane; the per-item median is then taken over the
+  // pane's column. Identical row estimates feed the identical median, so
+  // out[i] == Estimate(items[i]) exactly.
+  SKETCH_TRACE_SPAN("count_sketch.estimate_batch");
+  SKETCH_COUNTER_ADD("sketch.count_sketch.batched_estimates", n);
+  constexpr std::size_t kBlock = 256;
+  uint64_t buckets[kBlock];
+  int64_t signs[kBlock];
+  const FastDiv64 div = width_div_;
+  std::vector<int64_t> pane(depth_ * kBlock);
+  std::vector<int64_t> row_estimates(depth_);
+  for (std::size_t start = 0; start < n; start += kBlock) {
+    const std::size_t block_n = std::min(kBlock, n - start);
+    const uint64_t* keys = items + start;
+    for (uint64_t j = 0; j < depth_; ++j) {
+      if (width_mode_ == WidthMode::kPow2) {
+        bucket_rows_[j].BucketBlockPow2(keys, block_n, bucket_mask_, buckets);
+      } else {
+        bucket_rows_[j].BucketBlock(keys, block_n, div, buckets);
+      }
+      sign_rows_[j].SignBlock(keys, block_n, signs);
+      const int64_t* row = counters_.data() + j * width_;
+      int64_t* pane_row = pane.data() + j * kBlock;
+      for (std::size_t i = 0; i < block_n; ++i) {
+        pane_row[i] = signs[i] * row[buckets[i]];
+      }
+    }
+    for (std::size_t i = 0; i < block_n; ++i) {
+      for (uint64_t j = 0; j < depth_; ++j) {
+        row_estimates[j] = pane[j * kBlock + i];
+      }
+      out[start + i] = MedianOfRows(row_estimates);
+    }
+  }
 }
 
 int64_t CountSketch::EstimateInnerProduct(const CountSketch& other) const {

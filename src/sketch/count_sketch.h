@@ -50,6 +50,12 @@ class CountSketch {
   /// per row; the median gives the high-probability bound.
   int64_t Estimate(uint64_t item) const;
 
+  /// Batched point query: fills out[i] = Estimate(items[i]) for all `n`
+  /// items, bit-identically, with buckets and signs computed through the
+  /// same BlockHasher batch kernels ApplyBatch uses (SIMD-dispatched).
+  void EstimateBatch(const uint64_t* items, std::size_t n,
+                     int64_t* out) const;
+
   /// Estimate from a single row (used by tests for unbiasedness and by the
   /// sparse-recovery layer).
   int64_t EstimateRow(uint64_t row, uint64_t item) const;

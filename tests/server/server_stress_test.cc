@@ -93,13 +93,29 @@ std::vector<uint8_t> RunWorkload(SketchService* service,
 
   std::vector<std::thread> readers;
   for (int r = 0; r < kReaders; ++r) {
-    readers.emplace_back([service, &name, &done, &queries] {
+    readers.emplace_back([service, &name, &done, &queries, r] {
       Connection conn(service);
       uint64_t item = 0;
       while (!done.load(std::memory_order_relaxed)) {
-        PointValueResponse value;
-        ASSERT_TRUE(conn.client().PointQuery(name, item % kUniverse, &value));
-        ASSERT_GE(value.estimate, 0);  // nonnegative stream
+        if (r % 2 == 0) {
+          PointValueResponse value;
+          ASSERT_TRUE(
+              conn.client().PointQuery(name, item % kUniverse, &value));
+          ASSERT_GE(value.estimate, 0);  // nonnegative stream
+        } else {
+          // Batched read path: shares the same (shared) entry lock and
+          // must be race-free against concurrent exclusive ingests.
+          std::vector<uint64_t> keys;
+          for (uint64_t k = 0; k < 8; ++k) {
+            keys.push_back((item + k) % kUniverse);
+          }
+          std::vector<PointValueResponse> values;
+          ASSERT_TRUE(conn.client().PointQueryBatch(name, keys, &values));
+          ASSERT_EQ(values.size(), keys.size());
+          for (const PointValueResponse& value : values) {
+            ASSERT_GE(value.estimate, 0);
+          }
+        }
         ++item;
         queries.fetch_add(1, std::memory_order_relaxed);
       }
@@ -150,6 +166,40 @@ TEST(ServerStressTest, ConcurrentIngestMatchesSequentialReplaySharded) {
   // A sharded sketch collapses to the same counters: merge-linearity
   // makes the snapshot bit-identical to the unsharded sequential replay.
   EXPECT_EQ(served, SequentialReplay(1024, 4, 77));
+}
+
+TEST(ServerStressTest, SharedLocksMatchExclusiveOracleBitIdentically) {
+  // The E26 read path takes shared entry locks; the exclusive_queries
+  // oracle restores PR5's one-at-a-time behavior. Both run the same
+  // concurrent mixed query/ingest workload (point, batched, statsz
+  // readers against concurrent writers) and both snapshots must be
+  // bit-identical to each other and to the sequential replay — shared
+  // locking must change scheduling only, never observable sketch state.
+  // Under TSan this is also the data-race certificate for the
+  // reader-writer locking itself.
+  std::vector<uint8_t> snapshots[2];
+  for (int mode = 0; mode < 2; ++mode) {
+    SketchService::Options options;
+    options.exclusive_queries = (mode == 1);
+    SketchService service(options);
+    Connection admin(&service);
+    ASSERT_TRUE(admin.client().CreateSketch("oracle", SketchType::kCountMin,
+                                            {1024, 4, 77, 0, 0}));
+    std::atomic<bool> done{false};
+    std::thread statsz_reader([&service, &done] {
+      Connection conn(&service);
+      while (!done.load(std::memory_order_relaxed)) {
+        std::string json;
+        ASSERT_TRUE(conn.client().Statsz(&json));
+        ASSERT_NE(json.find("\"oracle\""), std::string::npos);
+      }
+    });
+    snapshots[mode] = RunWorkload(&service, "oracle");
+    done.store(true);
+    statsz_reader.join();
+  }
+  EXPECT_EQ(snapshots[0], snapshots[1]);
+  EXPECT_EQ(snapshots[0], SequentialReplay(1024, 4, 77));
 }
 
 TEST(ServerStressTest, RegistryChurnWhileQuerying) {

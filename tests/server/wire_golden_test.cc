@@ -74,6 +74,11 @@ std::map<std::string, std::vector<uint8_t>> EncodeAll() {
   query.item = 12345;
   frames["point_query"] = EncodePointQuery(query);
 
+  PointQueryBatchRequest batch_query;
+  batch_query.name = "events";
+  batch_query.items = {1, 0xdeadbeef};
+  frames["point_query_batch"] = EncodePointQueryBatch(batch_query);
+
   HeavyHittersRequest hh;
   hh.name = "events";
   hh.phi = 0.125;  // exactly representable: the f64 encoding is stable
@@ -124,6 +129,10 @@ std::map<std::string, std::vector<uint8_t>> EncodeAll() {
   IngestAckResponse ack;
   ack.accepted = 2;
   frames["ingest_ack"] = EncodeIngestAck(ack);
+
+  ValueBatchResponse value_batch;
+  value_batch.values = {{-7, 0.5, BoundKind::kL1}, {9, 0.25, BoundKind::kL2}};
+  frames["value_batch"] = EncodeValueBatch(value_batch);
   return frames;
 }
 

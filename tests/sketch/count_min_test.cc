@@ -133,6 +133,35 @@ TEST(CountMinTest, DepthOneIsASingleHashedArray) {
   EXPECT_GE(cm.Estimate(1), 5);
 }
 
+TEST(CountMinTest, EstimateBatchMatchesScalarEstimates) {
+  // The batched query kernel must be bit-identical to per-item
+  // Estimate() in both width modes (division reduction and pow2 mask):
+  // the server's kPointQueryBatch path rides it.
+  for (const WidthMode mode : {WidthMode::kDivision, WidthMode::kPow2}) {
+    SCOPED_TRACE(static_cast<int>(mode));
+    CountMinSketch cm(1000, 4, 21, mode);
+    const auto updates = MakeZipfStream(1 << 14, 1.2, 20000, 5);
+    cm.UpdateAll(updates);
+    std::vector<uint64_t> items;
+    for (uint64_t i = 0; i < 513; ++i) items.push_back(i * 31);  // odd count
+    std::vector<int64_t> batch(items.size());
+    cm.EstimateBatch(items.data(), items.size(), batch.data());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      ASSERT_EQ(batch[i], cm.Estimate(items[i])) << "item " << items[i];
+    }
+  }
+}
+
+TEST(CountMinTest, EstimateBatchHandlesEmptyAndSingle) {
+  CountMinSketch cm(256, 4, 9);
+  cm.Update({5, 3});
+  cm.EstimateBatch(nullptr, 0, nullptr);  // must be a no-op, not a crash
+  const uint64_t item = 5;
+  int64_t out = -1;
+  cm.EstimateBatch(&item, 1, &out);
+  EXPECT_EQ(out, 3);
+}
+
 TEST(CountMinTest, SizeInCounters) {
   EXPECT_EQ(CountMinSketch(100, 7, 1).SizeInCounters(), 700u);
 }

@@ -107,6 +107,26 @@ TEST(CountSketchTest, SignAndBucketConsistentWithCounters) {
   }
 }
 
+TEST(CountSketchTest, EstimateBatchMatchesScalarEstimates) {
+  // Median-of-rows per item, computed by the batched kernel, must agree
+  // bit-for-bit with Estimate() in both width modes — including negative
+  // frequencies, where the signed row estimates exercise the sign hash.
+  for (const WidthMode mode : {WidthMode::kDivision, WidthMode::kPow2}) {
+    SCOPED_TRACE(static_cast<int>(mode));
+    CountSketch cs(1000, 5, 17, mode);
+    const auto updates = MakeZipfStream(1 << 14, 1.2, 20000, 7);
+    cs.UpdateAll(updates);
+    for (uint64_t i = 0; i < 500; ++i) cs.Update({i * 3, -2});
+    std::vector<uint64_t> items;
+    for (uint64_t i = 0; i < 257; ++i) items.push_back(i * 29);
+    std::vector<int64_t> batch(items.size());
+    cs.EstimateBatch(items.data(), items.size(), batch.data());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      ASSERT_EQ(batch[i], cs.Estimate(items[i])) << "item " << items[i];
+    }
+  }
+}
+
 TEST(CountSketchTest, MedianBeatsWorstRow) {
   // With depth 5, the median estimate should track the truth better than
   // the worst row on a heavy-collision configuration.

@@ -31,6 +31,7 @@ Stdlib only; no third-party dependencies.
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 
@@ -92,15 +93,25 @@ def normalize(report):
     }
 
 
-def warn_host_mismatch(baseline, current):
-    """Prints non-fatal warnings when two snapshots measured different
-    configurations. A scalar-tier baseline compared against an avx2 run
-    (or a debug baseline against a release run) produces ratios that say
-    nothing about the change being gated, but failing the gate for it
-    would make cross-host comparisons impossible — so: loud, not fatal.
+def check_host_mismatch(baseline, current, policy):
+    """Reports snapshots that measured different configurations.
+
+    A scalar-tier baseline compared against an avx2 run (or a debug
+    baseline against a release run) produces ratios that say nothing
+    about the change being gated. Under policy "warn" that's loud but
+    non-fatal (a developer diffing across machines knows what they're
+    doing); under "fail" any mismatch fails the gate — in CI a mismatch
+    means the gate silently stopped measuring what the baseline measured,
+    which must not pass. Policy "auto" resolves to "fail" when the CI
+    environment variable is set, "warn" otherwise.
+
+    Returns the list of mismatch descriptions.
     """
+    if policy == "auto":
+        policy = "fail" if os.environ.get("CI") else "warn"
     base_host = baseline.get("host", {}) or {}
     cur_host = current.get("host", {}) or {}
+    mismatches = []
     for key, label in (("simd_tier", "SIMD tier"),
                        ("library_build_type", "build type")):
         base_val = base_host.get(key)
@@ -108,9 +119,14 @@ def warn_host_mismatch(baseline, current):
         if base_val is None or cur_val is None:
             continue  # older snapshot without the field: nothing to check
         if base_val != cur_val:
-            print("bench_compare: WARNING: {} mismatch: baseline={} "
-                  "current={} — ratios compare different code paths".format(
-                      label, base_val, cur_val))
+            mismatches.append(
+                "{} mismatch: baseline={} current={}".format(
+                    label, base_val, cur_val))
+    severity = "ERROR" if policy == "fail" else "WARNING"
+    for mismatch in mismatches:
+        print("bench_compare: {}: {} — ratios compare different "
+              "code paths".format(severity, mismatch))
+    return mismatches if policy == "fail" else []
 
 
 def cmd_run(args):
@@ -140,7 +156,8 @@ def load_snapshot(path):
 def cmd_compare(args):
     baseline_snapshot = load_snapshot(args.baseline)
     current_snapshot = load_snapshot(args.current)
-    warn_host_mismatch(baseline_snapshot, current_snapshot)
+    host_failures = check_host_mismatch(baseline_snapshot, current_snapshot,
+                                        args.host_mismatch)
     baseline = baseline_snapshot["benchmarks"]
     current = current_snapshot["benchmarks"]
     failures = []
@@ -177,6 +194,11 @@ def cmd_compare(args):
         for failure in failures:
             print("  " + failure)
         return 1
+    if host_failures:
+        print("\nbench_compare: host mismatch is fatal under "
+              "--host-mismatch=fail (or auto in CI): the gate is not "
+              "measuring what the baseline measured")
+        return 1
     print("\nbench_compare: no regressions beyond {:.0f}% threshold".format(
         100 * args.threshold))
     return 0
@@ -211,6 +233,11 @@ def main():
                             help="snapshot from this build")
     cmp_parser.add_argument("--threshold", type=float, default=0.10,
                             help="allowed fractional drop (default 0.10)")
+    cmp_parser.add_argument(
+        "--host-mismatch", choices=("auto", "warn", "fail"), default="auto",
+        help="policy when baseline and current snapshots disagree on SIMD "
+             "tier or build type: fail the gate, warn only, or auto "
+             "(fail iff the CI environment variable is set; default)")
     cmp_parser.set_defaults(func=cmd_compare)
 
     args = parser.parse_args()

@@ -326,12 +326,13 @@ THREAD_WRAPPER_ALLOWLIST = ("src/common/thread_annotations.h",)
 # SL008: raw synchronization-primitive declarations (the `\s+\w+` tail
 # rejects template-argument uses such as std::lock_guard<std::mutex>).
 SL008_RAW_PRIMITIVE = re.compile(
-    r"\bstd\s*::\s*(mutex|condition_variable(?:_any)?)\s+\w+"
+    r"\bstd\s*::\s*((?:shared_)?mutex|condition_variable(?:_any)?)\s+\w+"
 )
-# A wrapped-mutex member/variable declaration: `Mutex mu_;` with optional
-# mutable/namespace qualification. `\bMutex\s` cannot match MutexLock.
+# A wrapped-mutex member/variable declaration: `Mutex mu_;` (or
+# `SharedMutex mu_;`) with optional mutable/namespace qualification.
+# `\bMutex\s` cannot match MutexLock.
 SL008_MUTEX_DECL = re.compile(
-    r"\b(?:mutable\s+)?(?:sketch\s*::\s*)?Mutex\s+(\w+)\s*;"
+    r"\b(?:mutable\s+)?(?:sketch\s*::\s*)?(?:Shared)?Mutex\s+(\w+)\s*;"
 )
 SL008_ANNOTATION_MACROS = (
     "GUARDED_BY",
@@ -493,7 +494,8 @@ def check_atomic_memory_orders(root, rel, path, clean):
 # SL010: manual lock-management calls (empty argument list, so RAII
 # constructors like `MutexLock lock(mu_)` cannot match).
 SL010_MANUAL_LOCK = re.compile(
-    r"(?:\.|->)\s*(lock|unlock|try_lock|Lock|Unlock|TryLock)\s*\(\s*\)"
+    r"(?:\.|->)\s*(lock|unlock|try_lock|lock_shared|unlock_shared|"
+    r"Lock|Unlock|TryLock|LockShared|UnlockShared)\s*\(\s*\)"
 )
 
 
