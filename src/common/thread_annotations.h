@@ -1,6 +1,7 @@
 #ifndef SKETCH_COMMON_THREAD_ANNOTATIONS_H_
 #define SKETCH_COMMON_THREAD_ANNOTATIONS_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -225,6 +226,19 @@ class CondVar {
     std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
     cv_.wait(native);
     native.release();
+  }
+
+  /// Like Wait, but returns after `timeout` even without a notify
+  /// (periodic background work: sleep-until-poked-or-due). Returns false
+  /// on timeout. Spurious wakeups happen; always call in a predicate
+  /// loop.
+  bool WaitFor(Mutex& mu, std::chrono::nanoseconds timeout)
+      SKETCH_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const bool notified =
+        cv_.wait_for(native, timeout) == std::cv_status::no_timeout;
+    native.release();
+    return notified;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -13,7 +13,21 @@ ErrorResponse TransportError(const std::string& message) {
 
 bool SketchClient::Transact(const std::vector<uint8_t>& request,
                             Frame* response) {
-  if (!WriteAll(stream_.get(), request)) {
+  last_trace_id_ = 0;
+  bool sent = false;
+  if (trace_every_ != 0 && transact_count_++ % trace_every_ == 0) {
+    // Sampled request: stamp a nonzero trace id onto a copy of the frame
+    // (the encoded request may be reused by the caller).
+    uint64_t id = trace_rng_.Next();
+    while (id == 0) id = trace_rng_.Next();
+    std::vector<uint8_t> stamped = request;
+    StampTraceId(&stamped, id);
+    last_trace_id_ = id;
+    sent = WriteAll(stream_.get(), stamped);
+  } else {
+    sent = WriteAll(stream_.get(), request);
+  }
+  if (!sent) {
     last_error_ = TransportError("write failed (connection lost?)");
     return false;
   }

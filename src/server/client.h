@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/prng.h"
 #include "server/protocol.h"
 #include "server/transport.h"
 #include "stream/update.h"
@@ -51,6 +52,19 @@ class SketchClient {
   /// is kNone when the failure was transport-level).
   const ErrorResponse& last_error() const { return last_error_; }
 
+  /// Stamps every `every`-th request frame with a wire trace id (see
+  /// StampTraceId): 1 traces everything, 0 (the default) nothing. Ids are
+  /// drawn deterministically from `seed`, so a scripted run produces the
+  /// same ids every time and a test can look its span up by value.
+  void SetTraceSampling(uint64_t every, uint64_t seed = 1) {
+    trace_every_ = every;
+    trace_rng_ = SplitMix64(seed);
+    transact_count_ = 0;
+  }
+
+  /// Trace id stamped on the most recent request (0 if it was unsampled).
+  uint64_t last_trace_id() const { return last_trace_id_; }
+
   void Close() { stream_->Close(); }
 
  private:
@@ -67,6 +81,10 @@ class SketchClient {
   std::unique_ptr<ByteStream> stream_;
   FrameDecoder decoder_;
   ErrorResponse last_error_;
+  uint64_t trace_every_ = 0;
+  SplitMix64 trace_rng_{0};
+  uint64_t transact_count_ = 0;
+  uint64_t last_trace_id_ = 0;
 };
 
 }  // namespace sketch::server

@@ -231,6 +231,10 @@ bool EventLoopPool::ServeReadable(Conn* conn) {
   // through HandleFrames so consecutive same-sketch ingest frames share
   // one lookup + one exclusive lock. Frames pipelined after a kShutdown
   // are dropped, mirroring the blocking path.
+#if SKETCH_TELEMETRY_ENABLED
+  const uint64_t rx_start_ns = MonotonicNowNs();
+#endif
+  uint64_t run_trace_id = 0;  // first traced frame tags the rx/tx spans
   std::vector<Frame> frames;
   bool bad_frame = false;
   while (!conn->shutdown_pending) {
@@ -242,8 +246,16 @@ bool EventLoopPool::ServeReadable(Conn* conn) {
       break;
     }
     if (frame.opcode == Opcode::kShutdown) conn->shutdown_pending = true;
+    if (run_trace_id == 0) run_trace_id = frame.trace_id;
     frames.push_back(std::move(frame));
   }
+#if SKETCH_TELEMETRY_ENABLED
+  if (run_trace_id != 0) {
+    telemetry::TraceRecorder::Instance().RecordSpan(
+        "server.rx_decode", rx_start_ns, MonotonicNowNs() - rx_start_ns,
+        run_trace_id);
+  }
+#endif
 
   if (!frames.empty()) {
     std::vector<std::vector<uint8_t>> responses;
@@ -267,7 +279,13 @@ bool EventLoopPool::ServeReadable(Conn* conn) {
     return false;
   }
 
-  if (!FlushOutbound(conn)) return false;
+  {
+    // Tag the inline flush with the run's trace id so a sampled request's
+    // timeline reaches the socket write. (Residual EPOLLOUT flushes are
+    // untagged; the inline path is the common case.)
+    SKETCH_TRACE_SPAN_ID("server.tx_write", run_trace_id);
+    if (!FlushOutbound(conn)) return false;
+  }
   const std::size_t backlog = conn->outbound.size() - conn->consumed;
   if (backlog == 0) {
     // Reclaim the coalescing buffer once the kernel has taken it all.

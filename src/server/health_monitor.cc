@@ -1,0 +1,215 @@
+#include "server/health_monitor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "telemetry/telemetry.h"
+
+namespace sketch::server {
+
+namespace {
+
+constexpr double kEuler = 2.718281828459045;
+
+/// Worst-case scalars over a snapshot tree: composites (sharded,
+/// stream-summary, dyadic) report per-component fields on their children,
+/// and the health of the whole is its worst component.
+struct TreeStats {
+  double max_occupancy = 0.0;
+  double max_collision = 0.0;
+  uint64_t nonzero_cells = 0;
+  uint64_t saturated_cells = 0;
+};
+
+void Accumulate(const StatsSnapshot& snapshot, TreeStats* stats) {
+  stats->max_occupancy = std::max(
+      stats->max_occupancy,
+      std::max(snapshot.FieldOr("occupied_fraction", 0.0),
+               snapshot.FieldOr("fill_ratio", 0.0)));  // Bloom spelling
+  stats->max_collision =
+      std::max(stats->max_collision,
+               snapshot.FieldOr("estimated_collision_rate", 0.0));
+  // Saturation: nonzero cells whose magnitude is within 2 doublings of
+  // the int64 limit. One more heavy batch can overflow them, after which
+  // every estimate that touches the cell is garbage.
+  for (std::size_t b = 1; b < snapshot.occupancy_log2.size(); ++b) {
+    stats->nonzero_cells += snapshot.occupancy_log2[b];
+    if (b >= 62) stats->saturated_cells += snapshot.occupancy_log2[b];
+  }
+  for (const StatsSnapshot& child : snapshot.children) {
+    Accumulate(child, stats);
+  }
+}
+
+void AppendReason(std::string* reasons, const char* reason) {
+  if (!reasons->empty()) *reasons += ",";
+  *reasons += reason;
+}
+
+}  // namespace
+
+SketchHealth HealthMonitor::Evaluate(const std::string& name,
+                                     const StatsSnapshot& snapshot,
+                                     const Options& options) {
+  TreeStats stats;
+  Accumulate(snapshot, &stats);
+
+  SketchHealth health;
+  health.name = name;
+  health.type = snapshot.type;
+  health.occupancy = stats.max_occupancy;
+  health.collision_rate = stats.max_collision;
+  health.saturation =
+      stats.nonzero_cells == 0
+          ? 0.0
+          : static_cast<double>(stats.saturated_cells) /
+                static_cast<double>(stats.nonzero_cells);
+  // See the file comment in health_monitor.h for the model behind this
+  // ratio; an empty sketch has no drift by definition.
+  health.eps_drift = stats.max_occupancy <= 0.0
+                         ? 0.0
+                         : stats.max_collision / (kEuler * stats.max_occupancy);
+
+  if (health.occupancy > options.max_occupancy) {
+    AppendReason(&health.reasons, "occupancy");
+  }
+  if (health.collision_rate > options.max_collision_rate) {
+    AppendReason(&health.reasons, "collision_rate");
+  }
+  if (health.saturation > options.max_saturation) {
+    AppendReason(&health.reasons, "saturation");
+  }
+  if (health.eps_drift > options.max_eps_drift) {
+    AppendReason(&health.reasons, "eps_drift");
+  }
+  health.degraded = !health.reasons.empty();
+  return health;
+}
+
+void HealthMonitor::RunOnce() {
+  std::vector<SketchHealth> results;
+  service_->ForEachSketch(
+      [&results, this](const std::string& name,
+                       const internal::SketchEntry& entry) {
+        results.push_back(Evaluate(name, entry.Introspect(), options_));
+      });
+  bool any_degraded = false;
+  for (const SketchHealth& health : results) {
+    if (health.degraded) any_degraded = true;
+  }
+  SKETCH_COUNTER_INC("server.health.passes");
+  {
+    MutexLock lock(mu_);
+    latest_ = std::move(results);
+  }
+  // relaxed: see degraded() — an independent advisory flag.
+  degraded_.store(any_degraded, std::memory_order_relaxed);
+}
+
+void HealthMonitor::Start() {
+  {
+    MutexLock lock(mu_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { ThreadBody(); });
+}
+
+void HealthMonitor::Stop() {
+  {
+    MutexLock lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  wakeup_.NotifyAll();
+  if (thread_.joinable()) thread_.join();
+  MutexLock lock(mu_);
+  running_ = false;
+}
+
+void HealthMonitor::ThreadBody() {
+  const auto period = std::chrono::milliseconds(options_.period_ms);
+  for (;;) {
+    RunOnce();
+    MutexLock lock(mu_);
+    if (stop_requested_) return;
+    // Single timed wait, not a deadline loop: waking early on a spurious
+    // signal only means one extra (cheap) pass.
+    if (!stop_requested_) wakeup_.WaitFor(mu_, period);
+    if (stop_requested_) return;
+  }
+}
+
+std::vector<SketchHealth> HealthMonitor::Snapshot() const {
+  MutexLock lock(mu_);
+  return latest_;
+}
+
+std::vector<telemetry::PromGauge> HealthMonitor::Gauges() const {
+  const std::vector<SketchHealth> latest = Snapshot();
+  std::vector<telemetry::PromGauge> gauges;
+  gauges.reserve(latest.size() * 5 + 1);
+  const auto add = [&gauges](const char* metric, const SketchHealth& health,
+                             double value) {
+    telemetry::PromGauge gauge;
+    gauge.name = metric;
+    gauge.labels.push_back({"sketch", health.name});
+    gauge.value = value;
+    gauges.push_back(std::move(gauge));
+  };
+  // Grouped metric-major so each family's samples are contiguous, as the
+  // exposition format requires.
+  for (const SketchHealth& h : latest) {
+    add("sketch_health_occupancy", h, h.occupancy);
+  }
+  for (const SketchHealth& h : latest) {
+    add("sketch_health_collision_rate", h, h.collision_rate);
+  }
+  for (const SketchHealth& h : latest) {
+    add("sketch_health_saturation", h, h.saturation);
+  }
+  for (const SketchHealth& h : latest) {
+    add("sketch_health_eps_drift", h, h.eps_drift);
+  }
+  for (const SketchHealth& h : latest) {
+    add("sketch_health_degraded", h, h.degraded ? 1.0 : 0.0);
+  }
+  telemetry::PromGauge overall;
+  overall.name = "server_health_degraded";
+  overall.value = degraded() ? 1.0 : 0.0;
+  gauges.push_back(std::move(overall));
+  return gauges;
+}
+
+std::string HealthMonitor::HealthzJson() const {
+  const std::vector<SketchHealth> latest = Snapshot();
+  std::string out = "{\"status\":\"";
+  out += degraded() ? "degraded" : "ok";
+  out += "\",\"sketches\":[";
+  bool first = true;
+  for (const SketchHealth& health : latest) {
+    if (!health.degraded) continue;
+    if (!first) out += ",";
+    first = false;
+    // Health names come from the registry (validated request strings);
+    // escape quotes/backslashes, drop control bytes.
+    std::string escaped;
+    for (char c : health.name) {
+      if (c == '"' || c == '\\') {
+        escaped += '\\';
+        escaped += c;
+      } else if (static_cast<unsigned char>(c) >= 0x20) {
+        escaped += c;
+      }
+    }
+    out += "{\"name\":\"" + escaped + "\",\"reasons\":\"" + health.reasons +
+           "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace sketch::server

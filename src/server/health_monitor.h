@@ -1,0 +1,125 @@
+#ifndef SKETCH_SERVER_HEALTH_MONITOR_H_
+#define SKETCH_SERVER_HEALTH_MONITOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "server/sketch_service.h"
+#include "telemetry/prometheus.h"
+
+/// \file
+/// Background sketch-accuracy monitor. The paper's error bounds are
+/// conditional — Count-Min's eps*||x||_1 assumes counters far from
+/// saturation and collision behavior near the design point — so a serving
+/// registry needs a live signal for when those assumptions stop holding.
+/// The monitor periodically walks the registry via
+/// `SketchService::ForEachSketch` (one shared entry lock at a time; see
+/// the lock-order note there and in DESIGN.md), runs `Introspect()`, and
+/// distills each snapshot into four scalars:
+///
+///   - occupancy: max occupied_fraction over the snapshot tree — buckets
+///     in use; past ~0.95 every key collides and estimates only inflate.
+///   - collision_rate: max estimated_collision_rate over the tree (the
+///     Minton-Price quantity).
+///   - saturation: fraction of nonzero cells within 2 bits of the int64
+///     limit (bit width >= 62) — imminent counter overflow.
+///   - eps_drift: collision_rate / (e * occupancy). Under the Count-Min
+///     design model a row's collision rate tracks its occupancy with
+///     slope < e, so this ratio sits well below 1 at the design point and
+///     crosses 1 exactly when collisions outrun what the configured
+///     eps = e/width accounts for.
+///
+/// Any scalar over its threshold marks the sketch degraded; any degraded
+/// sketch flips the process /healthz to degraded. Results are published
+/// as Prometheus gauges (sketch name as label) and as JSON for /healthz.
+
+namespace sketch::server {
+
+/// One sketch's distilled health.
+struct SketchHealth {
+  std::string name;
+  std::string type;
+  double occupancy = 0.0;
+  double collision_rate = 0.0;
+  double saturation = 0.0;
+  double eps_drift = 0.0;
+  bool degraded = false;
+  /// Comma-separated names of the thresholds exceeded (empty if healthy).
+  std::string reasons;
+};
+
+class HealthMonitor {
+ public:
+  struct Options {
+    /// Sampling period. The walk is shared-lock-only and touches each
+    /// entry once, so 1 Hz is far from intrusive even on big registries.
+    uint64_t period_ms = 1000;
+    double max_occupancy = 0.95;
+    double max_collision_rate = 0.75;
+    double max_saturation = 0.01;
+    double max_eps_drift = 1.0;
+  };
+
+  /// The service must outlive the monitor.
+  HealthMonitor(SketchService* service, const Options& options)
+      : service_(service), options_(options) {}
+  ~HealthMonitor() { Stop(); }
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// Starts the background sampler thread (idempotent).
+  void Start();
+
+  /// Stops and joins the sampler (idempotent; safe without Start).
+  void Stop();
+
+  /// One synchronous sampling pass (the thread body calls this; tests
+  /// call it directly to avoid timing dependence).
+  void RunOnce();
+
+  /// True once any sketch exceeded a threshold on the latest pass.
+  bool degraded() const {
+    // relaxed: a point-in-time flag for /healthz; no other state is
+    // published through it.
+    return degraded_.load(std::memory_order_relaxed);
+  }
+
+  /// Latest per-sketch health, name-sorted (registry walk order).
+  std::vector<SketchHealth> Snapshot() const SKETCH_EXCLUDES(mu_);
+
+  /// Per-sketch gauges for /metrics: sketch_health_{occupancy,
+  /// collision_rate, saturation, eps_drift, degraded}{sketch="name"}.
+  std::vector<telemetry::PromGauge> Gauges() const;
+
+  /// /healthz body: {"status":"ok"|"degraded","sketches":[...]} listing
+  /// only degraded sketches with their reasons.
+  std::string HealthzJson() const;
+
+  /// Distills one introspection snapshot (exposed for unit tests).
+  static SketchHealth Evaluate(const std::string& name,
+                               const StatsSnapshot& snapshot,
+                               const Options& options);
+
+ private:
+  void ThreadBody();
+
+  SketchService* const service_;
+  const Options options_;
+
+  mutable Mutex mu_;
+  std::vector<SketchHealth> latest_ SKETCH_GUARDED_BY(mu_);
+  bool running_ SKETCH_GUARDED_BY(mu_) = false;
+  bool stop_requested_ SKETCH_GUARDED_BY(mu_) = false;
+  CondVar wakeup_;
+  std::thread thread_;
+  std::atomic<bool> degraded_{false};
+};
+
+}  // namespace sketch::server
+
+#endif  // SKETCH_SERVER_HEALTH_MONITOR_H_

@@ -1,0 +1,122 @@
+#include "server/http_exposition.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "telemetry/telemetry.h"
+
+namespace sketch::server {
+
+namespace {
+
+/// Largest request head we will buffer. Real scrapers send well under
+/// 1 KiB; anything bigger is a confused or hostile client.
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+std::string MakeResponse(int status, const char* reason,
+                         const char* content_type, const std::string& body) {
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "HTTP/1.0 %d %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n"
+                "\r\n",
+                status, reason, content_type, body.size());
+  return std::string(head) + body;
+}
+
+std::string NotFound() {
+  return MakeResponse(404, "Not Found", "text/plain",
+                      "not found; try /metrics /statsz /tracez /healthz\n");
+}
+
+}  // namespace
+
+std::string HttpExposition::HandleRequest(const std::string& method,
+                                          const std::string& path) const {
+  if (method != "GET") {
+    return MakeResponse(405, "Method Not Allowed", "text/plain",
+                        "GET only\n");
+  }
+  // Ignore any query string: /metrics?foo=bar scrapes like /metrics.
+  const std::string bare = path.substr(0, path.find('?'));
+  if (bare == "/metrics" && handlers_.metrics) {
+    return MakeResponse(200, "OK", "text/plain; version=0.0.4",
+                        handlers_.metrics());
+  }
+  if (bare == "/statsz" && handlers_.statsz) {
+    return MakeResponse(200, "OK", "application/json", handlers_.statsz());
+  }
+  if (bare == "/tracez" && handlers_.tracez) {
+    return MakeResponse(200, "OK", "application/json", handlers_.tracez());
+  }
+  if (bare == "/healthz" && handlers_.healthz) {
+    const bool healthy = handlers_.healthy ? handlers_.healthy() : true;
+    return healthy ? MakeResponse(200, "OK", "application/json",
+                                  handlers_.healthz())
+                   : MakeResponse(503, "Service Unavailable",
+                                  "application/json", handlers_.healthz());
+  }
+  return NotFound();
+}
+
+void HttpExposition::ServeConnection(ByteStream* stream) const {
+  // Read until the end of the request head. HTTP/1.0 GETs have no body,
+  // so "\r\n\r\n" is the whole request.
+  std::string request;
+  uint8_t chunk[1024];
+  while (request.find("\r\n\r\n") == std::string::npos) {
+    if (request.size() > kMaxRequestBytes) return;
+    const std::ptrdiff_t n = stream->Read(chunk, sizeof(chunk));
+    if (n <= 0) return;
+    request.append(reinterpret_cast<const char*>(chunk),
+                   static_cast<std::size_t>(n));
+  }
+
+  // Request line: METHOD SP PATH SP VERSION.
+  const std::size_t line_end = request.find("\r\n");
+  const std::string line = request.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    const std::string bad =
+        MakeResponse(400, "Bad Request", "text/plain", "bad request line\n");
+    WriteAll(stream, reinterpret_cast<const uint8_t*>(bad.data()), bad.size());
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  const std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  const std::string response = HandleRequest(method, path);
+  WriteAll(stream, reinterpret_cast<const uint8_t*>(response.data()),
+           response.size());
+  SKETCH_COUNTER_INC("server.http.requests");
+}
+
+bool HttpExposition::Start(uint16_t port) {
+  if (listener_) return true;
+  listener_ = SocketListener::ListenTcp(port);
+  if (!listener_) return false;
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void HttpExposition::Stop() {
+  if (!listener_) return;
+  listener_->Close();
+  if (thread_.joinable()) thread_.join();
+  listener_.reset();
+}
+
+void HttpExposition::AcceptLoop() {
+  for (;;) {
+    std::unique_ptr<ByteStream> stream = listener_->Accept();
+    if (!stream) return;  // listener closed — shutdown
+    ServeConnection(stream.get());
+    stream->Close();
+  }
+}
+
+}  // namespace sketch::server

@@ -152,10 +152,36 @@ std::vector<uint8_t> EncodeFrame(Opcode opcode,
   }
   frame.push_back(static_cast<uint8_t>(opcode));
   frame.push_back(kProtocolVersion);
-  frame.push_back(0);  // reserved
+  frame.push_back(0);  // flags (must-be-zero bits; see StampTraceId)
   frame.push_back(0);
   frame.insert(frame.end(), payload.begin(), payload.end());
   return frame;
+}
+
+void StampTraceId(std::vector<uint8_t>* frame, uint64_t trace_id) {
+  SKETCH_CHECK_MSG(trace_id != 0, "trace id 0 is the untraced sentinel");
+  SKETCH_CHECK_MSG(frame->size() >= kFrameHeaderBytes,
+                   "StampTraceId on a truncated frame");
+  const uint32_t payload_length = LoadU32(frame->data());
+  SKETCH_CHECK_MSG(frame->size() == kFrameHeaderBytes + payload_length,
+                   "StampTraceId on a malformed or multi-frame buffer");
+  const uint16_t flags = LoadU16(frame->data() + 6);
+  SKETCH_CHECK_MSG((flags & kFrameFlagTraceId) == 0,
+                   "frame already carries a trace id");
+  const uint32_t new_length =
+      payload_length + static_cast<uint32_t>(kTraceIdBytes);
+  SKETCH_CHECK_MSG(new_length <= kMaxFramePayloadBytes,
+                   "trace id would push frame over kMaxFramePayloadBytes");
+  for (int shift = 0; shift < 32; shift += 8) {
+    (*frame)[static_cast<std::size_t>(shift / 8)] =
+        static_cast<uint8_t>(new_length >> shift);
+  }
+  const uint16_t new_flags = flags | kFrameFlagTraceId;
+  (*frame)[6] = static_cast<uint8_t>(new_flags);
+  (*frame)[7] = static_cast<uint8_t>(new_flags >> 8);
+  for (int shift = 0; shift < 64; shift += 8) {
+    frame->push_back(static_cast<uint8_t>(trace_id >> shift));
+  }
 }
 
 void FrameDecoder::Feed(const uint8_t* data, std::size_t size) {
@@ -180,7 +206,7 @@ DecodeStatus FrameDecoder::Next(Frame* out) {
   const uint32_t payload_length = LoadU32(header);
   const uint8_t raw_opcode = header[4];
   const uint8_t version = header[5];
-  const uint16_t reserved = LoadU16(header + 6);
+  const uint16_t flags = LoadU16(header + 6);
   // Header validation happens before the payload is required to be
   // present: an oversized declared length is rejected here, while only
   // kFrameHeaderBytes have been buffered, so the declared length never
@@ -191,10 +217,17 @@ DecodeStatus FrameDecoder::Next(Frame* out) {
     error_ = "unsupported protocol version";
     return DecodeStatus::kBadFrame;
   }
-  if (reserved != 0) {
+  if ((flags & ~kKnownFrameFlags) != 0) {
     failed_ = true;
     error_code_ = ErrorCode::kBadFrameHeader;
     error_ = "reserved frame-header bits set";
+    return DecodeStatus::kBadFrame;
+  }
+  const bool traced = (flags & kFrameFlagTraceId) != 0;
+  if (traced && payload_length < kTraceIdBytes) {
+    failed_ = true;
+    error_code_ = ErrorCode::kBadFrameHeader;
+    error_ = "trace-id flag set but payload shorter than the id";
     return DecodeStatus::kBadFrame;
   }
   if (payload_length > kMaxFramePayloadBytes) {
@@ -208,7 +241,12 @@ DecodeStatus FrameDecoder::Next(Frame* out) {
   }
   out->opcode = static_cast<Opcode>(raw_opcode);
   const uint8_t* payload = header + kFrameHeaderBytes;
-  out->payload.assign(payload, payload + payload_length);
+  // The trailing trace id is framing, not message: strip it here so the
+  // typed decoders (which reject trailing bytes) never see it.
+  const std::size_t message_length =
+      traced ? payload_length - kTraceIdBytes : payload_length;
+  out->payload.assign(payload, payload + message_length);
+  out->trace_id = traced ? LoadU64(payload + message_length) : 0;
   consumed_ += kFrameHeaderBytes + payload_length;
   if (consumed_ == buffer_.size()) {
     buffer_.clear();
@@ -271,6 +309,7 @@ std::vector<uint8_t> EncodeIngest(const IngestRequest& request) {
 
 bool DecodeIngest(const Frame& frame, IngestRequest* out) {
   if (frame.opcode != Opcode::kIngest) return false;
+  out->trace_id = frame.trace_id;  // framing metadata, not payload
   PayloadReader reader(frame.payload);
   uint32_t count = 0;
   if (!reader.TryReadString(&out->name) || !reader.TryReadU32(&count)) {

@@ -23,8 +23,16 @@
 ///   offset 0  u32  payload length in bytes (excludes this 8-byte header)
 ///   offset 4  u8   opcode
 ///   offset 5  u8   protocol version (must be 1)
-///   offset 6  u16  reserved (must be 0)
+///   offset 6  u16  flags (unknown bits must be 0; was "reserved" pre-PR 10)
 ///   offset 8  payload bytes
+///
+/// Flags: bit 0 (kFrameFlagTraceId) marks a frame whose payload carries a
+/// trailing 8-byte little-endian trace/request id; the u32 payload length
+/// *includes* those 8 bytes on the wire, and the decoder strips them into
+/// Frame::trace_id before typed decoding, so message codecs never see the
+/// id. Frames with any other flag bit set are rejected exactly as the old
+/// reserved-must-be-zero rule rejected them, which keeps old servers'
+/// behavior a strict subset of new ones.
 ///
 /// Payload primitives: u8/u16/u32/u64/i64/f64 little-endian; strings are a
 /// u16 length followed by raw bytes (names are capped at kMaxNameBytes);
@@ -48,6 +56,16 @@ inline constexpr uint8_t kProtocolVersion = 1;
 
 /// Bytes in the fixed frame header.
 inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// Header flag: payload ends with an 8-byte little-endian trace id.
+inline constexpr uint16_t kFrameFlagTraceId = 0x0001;
+
+/// Every flag bit this protocol version understands; all others must be
+/// zero on the wire.
+inline constexpr uint16_t kKnownFrameFlags = kFrameFlagTraceId;
+
+/// Bytes the trace id appends to a flagged frame's payload.
+inline constexpr std::size_t kTraceIdBytes = 8;
 
 /// Hard cap on a frame payload. Chosen so the largest legal messages — a
 /// kMaxBatchUpdates ingest batch (16 bytes per update) and a snapshot of a
@@ -145,10 +163,13 @@ enum class BoundKind : uint8_t {
   kFpr = 3,  ///< Bloom: current false-positive probability
 };
 
-/// One decoded frame: opcode plus raw payload bytes.
+/// One decoded frame: opcode plus raw payload bytes. `trace_id` is the
+/// stripped wire trace id (0 = frame was not flagged; stamped ids are
+/// never 0 by construction, see StampTraceId).
 struct Frame {
   Opcode opcode = Opcode::kPing;
   std::vector<uint8_t> payload;
+  uint64_t trace_id = 0;
 };
 
 /// Appends primitives to a payload buffer. Encode-side only; sizes are
@@ -210,6 +231,14 @@ class PayloadReader {
 std::vector<uint8_t> EncodeFrame(Opcode opcode,
                                  const std::vector<uint8_t>& payload);
 
+/// Stamps an already-encoded request frame with a trace id: appends the
+/// 8-byte little-endian id, bumps the header's payload length, and sets
+/// kFrameFlagTraceId. Works on any Encode* output, so samplers decorate
+/// frames post hoc without every codec growing a trace parameter. CHECKs
+/// `trace_id != 0` (0 is the "untraced" sentinel) and that the frame is
+/// well-formed and stays within kMaxFramePayloadBytes.
+void StampTraceId(std::vector<uint8_t>* frame, uint64_t trace_id);
+
 /// Incremental frame decoder. Feed() whatever a transport read returned —
 /// any fragmentation, including one byte at a time — and Next() yields
 /// complete frames as they become available. A malformed header (bad
@@ -268,6 +297,10 @@ struct CreateSketchRequest {
 struct IngestRequest {
   std::string name;
   std::vector<StreamUpdate> updates;
+  /// Wire trace id of the carrying frame (not part of the ingest payload
+  /// itself; the server copies it from Frame::trace_id so coalesced-run
+  /// spans can tag which requests fed a batch). 0 = untraced.
+  uint64_t trace_id = 0;
 };
 
 struct PointQueryRequest {

@@ -6,6 +6,9 @@
 #include <cstring>
 #include <utility>
 
+#include "telemetry/prometheus.h"
+#include "telemetry/trace.h"
+
 namespace sketch::server {
 
 namespace {
@@ -24,7 +27,8 @@ SketchServer::SketchServer(const Options& options)
     : options_(options),
       pool_(options.pool_threads),
       service_(SketchService::Options{&pool_, options.default_shards,
-                                      options.pr5_oracle}) {}
+                                      options.pr5_oracle,
+                                      options.slow_query_log_size}) {}
 
 SketchServer::~SketchServer() { Stop(); }
 
@@ -51,6 +55,43 @@ bool SketchServer::Start() {
                                                              event_pool_.get()] {
         return pool->connections_live();
       });
+    }
+  }
+  if (options_.enable_http) {
+    HealthMonitor::Options health_options;
+    health_options.period_ms =
+        options_.health_period_ms == 0 ? 1000 : options_.health_period_ms;
+    health_monitor_ =
+        std::make_unique<HealthMonitor>(&service_, health_options);
+    if (options_.health_period_ms != 0) health_monitor_->Start();
+
+    HttpExposition::Handlers handlers;
+    handlers.metrics = [this] {
+      return telemetry::DumpPrometheus(health_monitor_->Gauges());
+    };
+    handlers.statsz = [this] { return service_.StatszJson(); };
+    handlers.tracez = [this] {
+      // Chrome-trace JSON plus the slow-query ring: splice an extra
+      // top-level key before the export's closing brace so the result
+      // still loads in Perfetto (unknown keys are ignored there).
+      std::string trace =
+          telemetry::TraceRecorder::Instance().ExportChromeTraceJson();
+      if (!trace.empty() && trace.back() == '}') trace.pop_back();
+      trace += ",\"slowQueries\":";
+      trace += service_.slow_query_log().ToJson();
+      trace += "}";
+      return trace;
+    };
+    handlers.healthz = [this] { return health_monitor_->HealthzJson(); };
+    handlers.healthy = [this] { return !health_monitor_->degraded(); };
+    http_ = std::make_unique<HttpExposition>(std::move(handlers));
+    if (!http_->Start(options_.http_port)) {
+      health_monitor_->Stop();
+      health_monitor_.reset();
+      http_.reset();
+      listener_->Close();
+      listener_.reset();
+      return false;
     }
   }
   started_ = true;
@@ -114,6 +155,8 @@ void SketchServer::Wait() {
 
 void SketchServer::Stop() {
   if (!started_) return;
+  if (http_ != nullptr) http_->Stop();
+  if (health_monitor_ != nullptr) health_monitor_->Stop();
   if (listener_ != nullptr) listener_->Close();
   {
     // Force-close blocking-transport connections still mid-conversation:
@@ -131,6 +174,10 @@ void SketchServer::Stop() {
 
 uint16_t SketchServer::port() const {
   return listener_ == nullptr ? 0 : listener_->port();
+}
+
+uint16_t SketchServer::http_port() const {
+  return http_ == nullptr ? 0 : http_->port();
 }
 
 }  // namespace sketch::server

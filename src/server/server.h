@@ -10,6 +10,8 @@
 #include "common/thread_pool.h"
 #include "server/connection.h"
 #include "server/event_loop.h"
+#include "server/health_monitor.h"
+#include "server/http_exposition.h"
 #include "server/sketch_service.h"
 #include "server/transport.h"
 
@@ -49,6 +51,20 @@ class SketchServer {
     /// Overrides use_event_loop. The E26 speedup claim is measured
     /// against a server in this mode.
     bool pr5_oracle = false;
+    /// Serve the HTTP observability endpoints (/metrics /statsz /tracez
+    /// /healthz) on a second, local-only port. Off by default: the
+    /// sketchwire port stays the only listener unless asked.
+    bool enable_http = false;
+    /// HTTP listen port on 127.0.0.1 when enable_http is set; 0 picks a
+    /// free port (see http_port()).
+    uint16_t http_port = 0;
+    /// Sketch health sampling period; 0 disables the background sampler
+    /// (the monitor still answers /healthz from its last — empty — pass).
+    /// Only meaningful with enable_http.
+    uint64_t health_period_ms = 1000;
+    /// Slowest requests retained per opcode in the service's slow-query
+    /// log; 0 disables it.
+    std::size_t slow_query_log_size = 8;
   };
 
   explicit SketchServer(const Options& options);
@@ -72,7 +88,13 @@ class SketchServer {
   /// Bound TCP port (valid after Start when listening on TCP).
   uint16_t port() const;
 
+  /// Bound HTTP exposition port (valid after Start with enable_http).
+  uint16_t http_port() const;
+
   SketchService* service() { return &service_; }
+
+  /// Non-null after Start when enable_http is set.
+  HealthMonitor* health_monitor() { return health_monitor_.get(); }
 
   /// True if this server is serving through the epoll event loop (false
   /// when configured off or overridden by SKETCH_FORCE_BLOCKING=1).
@@ -92,6 +114,11 @@ class SketchServer {
   // before the accept thread exists and torn down in Wait() after it has
   // joined, so the accept loop reads it without a lock.
   std::unique_ptr<EventLoopPool> event_pool_;
+  // Observability plane (non-null iff enable_http): both created in
+  // Start() before any request is served and stopped in Stop(). The
+  // monitor must stop before the service's registry is torn down.
+  std::unique_ptr<HealthMonitor> health_monitor_;
+  std::unique_ptr<HttpExposition> http_;
   std::thread accept_thread_;
   sketch::Mutex connections_mutex_;
   std::vector<std::thread> connections_

@@ -22,6 +22,14 @@
 //                  [--batch-size=8192] [--queries=2000]
 //                  [--connections=0] [--read-fraction=0.5] [--ops=1000]
 //                  [--rate=0] [--query-batch=1] [--shutdown]
+//                  [--trace-every=1024] [--out=PATH]
+//
+// --trace-every=N stamps every Nth request per connection with a wire
+// trace id (0 disables), so a daemon run with telemetry compiled in can
+// export sampled request timelines from /tracez. --out writes a
+// sketch-bench-snapshot-v1 JSON of the run's throughput and latency
+// percentiles, comparable with committed baselines via
+// tools/bench_compare.py.
 
 #include <algorithm>
 #include <atomic>
@@ -33,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/bench_reporter.h"
 #include "common/prng.h"
 #include "common/timer.h"
 #include "server/client.h"
@@ -65,6 +74,8 @@ struct Config {
   std::size_t ops = 1000;          // operations per connection
   double rate = 0.0;               // open-loop total ops/sec; 0 = closed
   std::size_t query_batch = 1;     // keys per point query (batched >1)
+  uint64_t trace_every = 1024;     // wire-trace sampling; 0 = off
+  std::string out_path;            // snapshot JSON; empty = none
   bool shutdown = false;
 };
 
@@ -76,12 +87,17 @@ bool ParseFlag(const std::string& arg, const std::string& name,
   return true;
 }
 
-std::unique_ptr<SketchClient> Connect(const Config& config) {
+std::unique_ptr<SketchClient> Connect(const Config& config,
+                                      uint64_t trace_seed = 0) {
   auto stream = config.unix_path.empty()
                     ? ConnectTcp(config.host, config.port)
                     : ConnectUnix(config.unix_path);
   if (stream == nullptr) return nullptr;
-  return std::make_unique<SketchClient>(std::move(stream));
+  auto client = std::make_unique<SketchClient>(std::move(stream));
+  if (config.trace_every != 0 && trace_seed != 0) {
+    client->SetTraceSampling(config.trace_every, trace_seed);
+  }
+  return client;
 }
 
 double Percentile(std::vector<double>* sorted_ns, double q) {
@@ -97,6 +113,20 @@ void PrintLatencies(std::vector<double>* all_ns) {
               Percentile(all_ns, 0.50) / 1e3);
   std::printf("  query p99         %.1f us\n",
               Percentile(all_ns, 0.99) / 1e3);
+}
+
+/// Records throughput + latency percentiles in the snapshot schema.
+/// `sorted_ns` must already be sorted (PrintLatencies does that).
+void ReportRun(const Config& config, double updates_per_sec,
+               double queries_per_sec, std::vector<double>* sorted_ns) {
+  if (config.out_path.empty()) return;
+  sketch::bench::BenchReporter reporter;
+  reporter.Add("loadgen.ingest", updates_per_sec, 0.0, "updates/s");
+  reporter.Add("loadgen.query_p50", queries_per_sec,
+               Percentile(sorted_ns, 0.50), "point-query p50");
+  reporter.Add("loadgen.query_p99", queries_per_sec,
+               Percentile(sorted_ns, 0.99), "point-query p99");
+  reporter.WriteSnapshot(config.out_path);
 }
 
 /// Mixed open/closed-loop mode: every connection interleaves queries and
@@ -120,7 +150,7 @@ int RunMixed(const Config& config, const std::string& name,
   threads.reserve(config.connections);
   for (std::size_t c = 0; c < config.connections; ++c) {
     threads.emplace_back([&, c] {
-      std::unique_ptr<SketchClient> client = Connect(config);
+      std::unique_ptr<SketchClient> client = Connect(config, 0xace1 + c);
       if (client == nullptr) {
         failures.fetch_add(1, std::memory_order_relaxed);
         return;
@@ -205,6 +235,7 @@ int RunMixed(const Config& config, const std::string& name,
   std::printf("  sustained queries %.2f Kqueries/s\n",
               queries / seconds / 1e3);
   PrintLatencies(&all);
+  ReportRun(config, updates / seconds, queries / seconds, &all);
   const uint64_t failed = failures.load(std::memory_order_relaxed);
   if (failed > 0) {
     std::fprintf(stderr, "sketch_loadgen: %llu connection(s) failed\n",
@@ -248,6 +279,10 @@ int main(int argc, char** argv) {
       config.rate = std::atof(value.c_str());
     } else if (ParseFlag(arg, "query-batch", &value)) {
       config.query_batch = static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "trace-every", &value)) {
+      config.trace_every = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "out", &value)) {
+      config.out_path = value;
     } else if (arg == "--shutdown") {
       config.shutdown = true;
     } else {
@@ -291,7 +326,7 @@ int main(int argc, char** argv) {
   std::vector<std::thread> threads;
   for (std::size_t w = 0; w < config.writers; ++w) {
     threads.emplace_back([&, w] {
-      std::unique_ptr<SketchClient> client = Connect(config);
+      std::unique_ptr<SketchClient> client = Connect(config, 0xbee1 + w);
       if (client == nullptr) return;
       const std::vector<StreamUpdate> stream = MakeZipfStream(
           /*universe=*/1 << 20, /*alpha=*/1.1,
@@ -308,7 +343,7 @@ int main(int argc, char** argv) {
   }
   for (std::size_t r = 0; r < config.readers; ++r) {
     threads.emplace_back([&, r] {
-      std::unique_ptr<SketchClient> client = Connect(config);
+      std::unique_ptr<SketchClient> client = Connect(config, 0xcee1 + r);
       if (client == nullptr) return;
       latencies[r].reserve(config.queries);
       for (std::size_t q = 0; q < config.queries; ++q) {
@@ -339,6 +374,8 @@ int main(int argc, char** argv) {
   std::printf("  sustained ingest  %.2f Mupdates/s\n",
               updates / seconds / 1e6);
   PrintLatencies(&all);
+  ReportRun(config, updates / seconds,
+            static_cast<double>(all.size()) / seconds, &all);
 
   if (config.shutdown) admin->Shutdown();
   return 0;

@@ -3,9 +3,13 @@
 //
 // Usage:
 //   sketch_serverd [--port=N] [--unix=PATH] [--pool-threads=N] [--shards=N]
+//                  [--http-port=N] [--health-period-ms=N] [--slow-log=N]
 //
 // With --port=0 (the default) a free port is picked and printed, so
-// scripts can parse "listening on 127.0.0.1:PORT".
+// scripts can parse "listening on 127.0.0.1:PORT". --http-port enables
+// the observability endpoints (/metrics /statsz /tracez /healthz) on a
+// second 127.0.0.1 listener and prints "metrics on 127.0.0.1:PORT" the
+// same way (0 picks a free port too).
 
 #include <cstdio>
 #include <cstdlib>
@@ -40,10 +44,20 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(arg, "shards", &value)) {
       options.default_shards =
           static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "http-port", &value)) {
+      options.enable_http = true;
+      options.http_port = static_cast<uint16_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(arg, "health-period-ms", &value)) {
+      options.health_period_ms =
+          static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "slow-log", &value)) {
+      options.slow_query_log_size =
+          static_cast<std::size_t>(std::atoll(value.c_str()));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port=N] [--unix=PATH] [--pool-threads=N] "
-                   "[--shards=N]\n",
+                   "[--shards=N] [--http-port=N] [--health-period-ms=N] "
+                   "[--slow-log=N]\n",
                    argv[0]);
       return 2;
     }
@@ -58,6 +72,10 @@ int main(int argc, char** argv) {
   } else {
     std::printf("sketch_serverd: listening on %s\n",
                 options.unix_path.c_str());
+  }
+  if (options.enable_http) {
+    std::printf("sketch_serverd: metrics on 127.0.0.1:%u\n",
+                server.http_port());
   }
   std::fflush(stdout);
   server.Wait();

@@ -170,6 +170,7 @@ class CountMinEntry : public SketchEntry {
   uint64_t MemoryFootprintBytes() const override {
     return sketch_.MemoryFootprintBytes();
   }
+  StatsSnapshot Introspect() const override { return sketch_.Introspect(); }
 
  private:
   CountMinSketch sketch_;
@@ -250,6 +251,7 @@ class CountSketchEntry : public SketchEntry {
   uint64_t MemoryFootprintBytes() const override {
     return sketch_.MemoryFootprintBytes();
   }
+  StatsSnapshot Introspect() const override { return sketch_.Introspect(); }
 
  private:
   CountSketch sketch_;
@@ -300,6 +302,7 @@ class BloomEntry : public SketchEntry {
   uint64_t MemoryFootprintBytes() const override {
     return filter_.MemoryFootprintBytes();
   }
+  StatsSnapshot Introspect() const override { return filter_.Introspect(); }
 
  private:
   BloomFilter filter_;
@@ -368,6 +371,7 @@ class SummaryEntry : public SketchEntry {
   uint64_t MemoryFootprintBytes() const override {
     return summary_.MemoryFootprintBytes();
   }
+  StatsSnapshot Introspect() const override { return summary_.Introspect(); }
 
  private:
   StreamSummary summary_;
@@ -473,6 +477,14 @@ class ShardedCountMinEntry : public SketchEntry {
     return sharded_.MemoryFootprintBytes() + base_.MemoryFootprintBytes() +
            cache_.MemoryFootprintBytes();
   }
+  StatsSnapshot Introspect() const override {
+    // Introspect the live shards plus the restored base, never the
+    // materialization cache (mutating it here would violate the
+    // shared-lock contract, and it is derived state anyway).
+    StatsSnapshot snapshot = sharded_.Introspect();
+    snapshot.children.push_back(base_.Introspect());
+    return snapshot;
+  }
 
  private:
   const CountMinSketch& Materialize() {
@@ -539,6 +551,113 @@ std::vector<uint8_t> InnerProductBetween(SketchEntry& left,
   return EncodePointValue(response);
 }
 
+/// Best-effort sketch name of a request frame for the slow-query log:
+/// every sketch-addressing request opcode leads with the name string, so
+/// one bounds-checked read recovers it without re-running the typed
+/// decoder. Empty for nameless requests (ping, statsz, ...) and malformed
+/// payloads.
+std::string PeekSketchName(const Frame& frame) {
+  switch (frame.opcode) {
+    case Opcode::kCreateSketch:
+    case Opcode::kDropSketch:
+    case Opcode::kIngest:
+    case Opcode::kPointQuery:
+    case Opcode::kPointQueryBatch:
+    case Opcode::kHeavyHitters:
+    case Opcode::kInnerProduct:  // left operand
+    case Opcode::kSnapshot:
+    case Opcode::kRestore:
+      break;
+    default:
+      return std::string();
+  }
+  PayloadReader reader(frame.payload);
+  std::string name;
+  if (!reader.TryReadString(&name)) return std::string();
+  return name;
+}
+
+#if SKETCH_TELEMETRY_ENABLED
+/// Trace id of the request currently being dispatched on this thread
+/// (0 = untraced). Plumbed thread-locally so the lock/kernel spans deep
+/// inside WithEntry* need no signature changes across every handler.
+thread_local uint64_t tls_trace_id = 0;
+
+/// Sets tls_trace_id for the scope of one request dispatch.
+class ScopedRequestTraceId {
+ public:
+  explicit ScopedRequestTraceId(uint64_t id) { tls_trace_id = id; }
+  ~ScopedRequestTraceId() { tls_trace_id = 0; }
+  ScopedRequestTraceId(const ScopedRequestTraceId&) = delete;
+  ScopedRequestTraceId& operator=(const ScopedRequestTraceId&) = delete;
+};
+
+/// Times an entry-lock acquisition for traced requests: construct before
+/// the lock, call Locked() immediately after. Untraced requests pay one
+/// thread-local load and no clock reads.
+class TracedLockTimer {
+ public:
+  TracedLockTimer()
+      : id_(tls_trace_id), start_ns_(id_ != 0 ? MonotonicNowNs() : 0) {}
+  explicit TracedLockTimer(uint64_t id)
+      : id_(id), start_ns_(id != 0 ? MonotonicNowNs() : 0) {}
+
+  void Locked() const {
+    if (id_ != 0) {
+      telemetry::TraceRecorder::Instance().RecordSpan(
+          "server.entry_lock", start_ns_, MonotonicNowNs() - start_ns_, id_);
+    }
+  }
+
+ private:
+  const uint64_t id_;
+  const uint64_t start_ns_;
+};
+
+/// Runs a handler body, bracketing it with a server.kernel span when the
+/// current request is traced.
+template <typename Fn, typename Entry>
+std::vector<uint8_t> RunKernel(Fn&& fn, Entry& entry) {
+  const uint64_t id = tls_trace_id;
+  if (id == 0) return fn(entry);
+  SKETCH_TRACE_SPAN_ID("server.kernel", id);
+  return fn(entry);
+}
+
+/// Ingest bracketed with a server.kernel span when the request is traced
+/// (the coalesced-run path, where the id rides on the request, not tls).
+bool TracedIngest(internal::SketchEntry& entry, const IngestRequest& request,
+                  ErrorResponse* error) {
+  if (request.trace_id != 0) {
+    SKETCH_TRACE_SPAN_ID("server.kernel", request.trace_id);
+    return entry.Ingest(UpdateSpan(request.updates), error);
+  }
+  return entry.Ingest(UpdateSpan(request.updates), error);
+}
+#else   // !SKETCH_TELEMETRY_ENABLED
+class ScopedRequestTraceId {
+ public:
+  explicit ScopedRequestTraceId(uint64_t) {}
+};
+
+class TracedLockTimer {
+ public:
+  TracedLockTimer() = default;
+  explicit TracedLockTimer(uint64_t) {}
+  void Locked() const {}
+};
+
+template <typename Fn, typename Entry>
+std::vector<uint8_t> RunKernel(Fn&& fn, Entry& entry) {
+  return fn(entry);
+}
+
+bool TracedIngest(internal::SketchEntry& entry, const IngestRequest& request,
+                  ErrorResponse* error) {
+  return entry.Ingest(UpdateSpan(request.updates), error);
+}
+#endif  // SKETCH_TELEMETRY_ENABLED
+
 #if SKETCH_TELEMETRY_ENABLED
 /// Per-opcode request-latency histograms (log2 buckets). The histogram
 /// macros demand static-lifetime literal names, hence the switch: one
@@ -598,16 +717,30 @@ void RecordOpcodeLatencyNs(Opcode opcode, uint64_t ns) {
 }  // namespace
 
 std::vector<uint8_t> SketchService::HandleFrame(const Frame& frame) {
-  SKETCH_TRACE_SPAN("server.handle_frame");
+  // The dispatch span of a traced request's life (decode and write live
+  // in the transport layers); tagged with the wire trace id when present.
+  SKETCH_TRACE_SPAN_ID("server.handle_frame", frame.trace_id);
   SKETCH_COUNTER_INC("server.frames_handled");
+  const ScopedRequestTraceId scoped_id(frame.trace_id);
 #if SKETCH_TELEMETRY_ENABLED
+  const bool timed = true;
+#else
+  // The slow-query log is the only latency consumer in telemetry-off
+  // builds; skip both clock reads entirely when it is disabled.
+  const bool timed = slow_log_.enabled();
+#endif
+  if (!timed) return DispatchFrame(frame);
   const uint64_t start_ns = MonotonicNowNs();
   std::vector<uint8_t> response = DispatchFrame(frame);
-  RecordOpcodeLatencyNs(frame.opcode, MonotonicNowNs() - start_ns);
-  return response;
-#else
-  return DispatchFrame(frame);
+  const uint64_t latency_ns = MonotonicNowNs() - start_ns;
+#if SKETCH_TELEMETRY_ENABLED
+  RecordOpcodeLatencyNs(frame.opcode, latency_ns);
 #endif
+  if (slow_log_.enabled() && slow_log_.WouldRecord(frame.opcode, latency_ns)) {
+    slow_log_.Record(frame.opcode, latency_ns, PeekSketchName(frame),
+                     frame.payload.size(), frame.trace_id);
+  }
+  return response;
 }
 
 std::vector<uint8_t> SketchService::DispatchFrame(const Frame& frame) {
@@ -692,7 +825,16 @@ void SketchService::HandleFrames(const std::vector<Frame>& frames,
 void SketchService::ApplyIngestRun(
     const std::vector<IngestRequest>& run,
     std::vector<std::vector<uint8_t>>* responses) {
-  SKETCH_TRACE_SPAN("server.ingest_run");
+  // The run span carries the first traced request's id so a sampled
+  // ingest's Perfetto view shows the coalesced batch it rode in.
+  uint64_t run_trace_id = 0;
+  for (const IngestRequest& request : run) {
+    if (request.trace_id != 0) {
+      run_trace_id = request.trace_id;
+      break;
+    }
+  }
+  SKETCH_TRACE_SPAN_ID("server.ingest_run", run_trace_id);
   SKETCH_COUNTER_ADD("server.frames_handled", run.size());
   const std::shared_ptr<internal::EntryHandle> handle =
       FindHandle(run.front().name);
@@ -702,13 +844,20 @@ void SketchService::ApplyIngestRun(
     }
     return;
   }
+  const TracedLockTimer timer(run_trace_id);
   WriterMutexLock lock(handle->mutex);
+  timer.Locked();
+  const bool slow_log_on = slow_log_.enabled();
   for (const IngestRequest& request : run) {
 #if SKETCH_TELEMETRY_ENABLED
-    const uint64_t start_ns = MonotonicNowNs();
+    const bool timed = true;
+#else
+    const bool timed = slow_log_on;
 #endif
+    const uint64_t start_ns = timed ? MonotonicNowNs() : 0;
     ErrorResponse error;
-    if (!handle->entry->Ingest(UpdateSpan(request.updates), &error)) {
+    const bool ok = TracedIngest(*handle->entry, request, &error);
+    if (!ok) {
       responses->push_back(EncodeError(error));
     } else {
       SKETCH_COUNTER_ADD("server.updates_ingested", request.updates.size());
@@ -716,9 +865,21 @@ void SketchService::ApplyIngestRun(
       ack.accepted = request.updates.size();
       responses->push_back(EncodeIngestAck(ack));
     }
+    if (timed) {
+      const uint64_t latency_ns = MonotonicNowNs() - start_ns;
 #if SKETCH_TELEMETRY_ENABLED
-    RecordOpcodeLatencyNs(Opcode::kIngest, MonotonicNowNs() - start_ns);
+      RecordOpcodeLatencyNs(Opcode::kIngest, latency_ns);
 #endif
+      if (slow_log_on &&
+          slow_log_.WouldRecord(Opcode::kIngest, latency_ns)) {
+        // Reconstruct the wire payload size the coalescing path no longer
+        // has: u16 name length + name + u32 count + 16 bytes per update.
+        const std::size_t payload_bytes =
+            2 + request.name.size() + 4 + 16 * request.updates.size();
+        slow_log_.Record(Opcode::kIngest, latency_ns, request.name,
+                         payload_bytes, request.trace_id);
+      }
+    }
   }
 }
 
@@ -761,11 +922,15 @@ std::vector<uint8_t> SketchService::WithEntryShared(const std::string& name,
   const std::shared_ptr<internal::EntryHandle> handle = FindHandle(name);
   if (handle == nullptr) return NoSuchSketch(name);
   if (options_.exclusive_queries) {
+    const TracedLockTimer timer;
     WriterMutexLock lock(handle->mutex);
-    return fn(*handle->entry);
+    timer.Locked();
+    return RunKernel(fn, *handle->entry);
   }
+  const TracedLockTimer timer;
   ReaderMutexLock lock(handle->mutex);
-  return fn(*handle->entry);
+  timer.Locked();
+  return RunKernel(fn, *handle->entry);
 }
 
 template <typename Fn>
@@ -773,8 +938,10 @@ std::vector<uint8_t> SketchService::WithEntryExclusive(const std::string& name,
                                                        Fn&& fn) {
   const std::shared_ptr<internal::EntryHandle> handle = FindHandle(name);
   if (handle == nullptr) return NoSuchSketch(name);
+  const TracedLockTimer timer;
   WriterMutexLock lock(handle->mutex);
-  return fn(*handle->entry);
+  timer.Locked();
+  return RunKernel(fn, *handle->entry);
 }
 
 bool SketchService::InsertEntry(const std::string& name,
@@ -1125,8 +1292,14 @@ std::vector<uint8_t> SketchService::HandleList() {
 }
 
 std::vector<uint8_t> SketchService::HandleStatsz() {
-  // /statsz: registry summary, registered pull-gauges, and the
-  // process-wide metric registry, one JSON object.
+  TextResponse response;
+  response.text = StatszJson();
+  return EncodeText(response);
+}
+
+std::string SketchService::StatszJson() {
+  // /statsz: registry summary, registered pull-gauges, the slow-query
+  // log, and the process-wide metric registry, one JSON object.
   HandleMap handles;
   for (const RegistryStripe& stripe : stripes_) {
     MutexLock lock(stripe.mutex);
@@ -1163,11 +1336,27 @@ std::vector<uint8_t> SketchService::HandleStatsz() {
       out << "\"" << EscapeJson(gauge_name) << "\":" << gauge_fn();
     }
   }
-  out << "},\"metrics\":"
+  out << "},\"slow_queries\":" << slow_log_.ToJson() << ",\"metrics\":"
       << telemetry::MetricRegistry::Instance().DumpJson() << "}";
-  TextResponse response;
-  response.text = out.str();
-  return EncodeText(response);
+  return out.str();
+}
+
+void SketchService::ForEachSketch(
+    const std::function<void(const std::string&,
+                             const internal::SketchEntry&)>& fn) const {
+  // Gather handles stripe by stripe (stripe mutex only), then visit each
+  // entry under its own shared lock — never a stripe mutex and an entry
+  // lock together, and only one entry lock at a time, so this walk can
+  // never participate in a lock cycle with request handling.
+  HandleMap handles;
+  for (const RegistryStripe& stripe : stripes_) {
+    MutexLock lock(stripe.mutex);
+    handles.insert(stripe.entries.begin(), stripe.entries.end());
+  }
+  for (const auto& [name, handle] : handles) {
+    ReaderMutexLock lock(handle->mutex);
+    fn(name, *handle->entry);
+  }
 }
 
 std::vector<uint8_t> SketchService::HandleTraceDump() {

@@ -14,11 +14,13 @@
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "server/protocol.h"
+#include "server/slow_query_log.h"
 #include "sketch/bloom_filter.h"
 #include "sketch/count_min.h"
 #include "sketch/count_sketch.h"
 #include "sketch/stream_summary.h"
 #include "stream/update.h"
+#include "telemetry/stats.h"
 
 /// \file
 /// The sketch-as-a-service registry: named sketches, batched ingest,
@@ -94,6 +96,12 @@ class SketchEntry {
   virtual uint64_t SizeInCounters() const = 0;
   virtual uint64_t MemoryFootprintBytes() const = 0;
 
+  /// Structured self-description of the wrapped sketch (occupancy,
+  /// collision estimates, geometry — see telemetry/stats.h). Called under
+  /// a shared lock by statsz and the health monitor, so implementations
+  /// must not mutate entry state.
+  virtual StatsSnapshot Introspect() const = 0;
+
   uint64_t updates_applied() const { return updates_applied_; }
 
  protected:
@@ -132,9 +140,14 @@ class SketchService {
     /// exclusively, restoring the PR5 one-writer-at-a-time behavior so
     /// shared-lock runs can be diffed against it.
     bool exclusive_queries = false;
+    /// Slowest requests retained per opcode in the slow-query log
+    /// (surfaced in /statsz and /tracez); 0 disables the log and its
+    /// per-request clock reads in telemetry-off builds.
+    std::size_t slow_query_log_size = 8;
   };
 
-  explicit SketchService(const Options& options) : options_(options) {}
+  explicit SketchService(const Options& options)
+      : options_(options), slow_log_(options.slow_query_log_size) {}
 
   /// Dispatches one decoded request frame and returns the encoded
   /// response frame. Never aborts on malformed payloads: every validation
@@ -162,6 +175,22 @@ class SketchService {
   /// thread-safe and outlive the service.
   void RegisterGauge(const std::string& name,
                      std::function<uint64_t()> gauge);
+
+  /// The statsz JSON body (what kStatsz returns); also served over HTTP
+  /// by http_exposition. Includes the slow-query log under
+  /// "slow_queries".
+  std::string StatszJson();
+
+  /// Calls `fn(name, entry)` for every registered sketch, one entry
+  /// shared lock at a time (never a stripe mutex and an entry lock
+  /// together — the documented health-monitor lock order). `fn` must not
+  /// mutate the entry.
+  void ForEachSketch(
+      const std::function<void(const std::string&,
+                               const internal::SketchEntry&)>& fn) const;
+
+  /// The slow-query log (exposition surfaces; tests).
+  const SlowQueryLog& slow_query_log() const { return slow_log_; }
 
   /// Registry stripes (shard-by-name-hash granularity of create/drop).
   static constexpr std::size_t kRegistryStripes = 16;
@@ -229,6 +258,7 @@ class SketchService {
       SketchType type, const std::vector<uint8_t>& blob);
 
   Options options_;
+  SlowQueryLog slow_log_;
   // Registry stripes: create/drop/lookup for a name only contend within
   // its hash stripe. Entry state is guarded by each EntryHandle's own
   // SharedMutex, never by a stripe mutex.

@@ -1,0 +1,103 @@
+#ifndef SKETCH_SERVER_SLOW_QUERY_LOG_H_
+#define SKETCH_SERVER_SLOW_QUERY_LOG_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "server/protocol.h"
+
+/// \file
+/// Fixed-size log of the slowest requests, kept per opcode so a storm of
+/// slow ingests cannot evict the one interesting slow query. Surfaced in
+/// `/statsz` and `/tracez` (see http_exposition.{h,cc}).
+///
+/// Write-path cost is the concern: every request offers its latency, and
+/// almost all of them are fast. Each opcode slot therefore keeps an
+/// atomic "floor" — the smallest latency currently retained once the slot
+/// is full — and the hot path rejects sub-floor offers with one relaxed
+/// load, no lock. Only a would-be-retained offer takes the slot mutex to
+/// update the min-heap.
+
+namespace sketch::server {
+
+class SlowQueryLog {
+ public:
+  /// One retained slow request.
+  struct Entry {
+    Opcode opcode = Opcode::kPing;
+    uint64_t latency_ns = 0;
+    std::string sketch_name;     ///< empty when the request names none
+    uint64_t payload_bytes = 0;  ///< request payload size on the wire
+    uint64_t trace_id = 0;       ///< wire trace id (0 = untraced request)
+    uint64_t timestamp_ns = 0;   ///< MonotonicNowNs() at record time
+  };
+
+  /// `capacity_per_opcode` == 0 disables the log (Record becomes a
+  /// single branch).
+  explicit SlowQueryLog(std::size_t capacity_per_opcode)
+      : capacity_(capacity_per_opcode) {}
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  bool enabled() const { return capacity_ > 0; }
+  std::size_t capacity_per_opcode() const { return capacity_; }
+
+  /// The hot-path fast-reject, exposed so callers can skip assembling the
+  /// entry fields (peeking the sketch name copies bytes) for requests
+  /// that would not be retained anyway. Advisory: Record re-checks under
+  /// the slot lock.
+  bool WouldRecord(Opcode opcode, uint64_t latency_ns) const {
+    if (capacity_ == 0) return false;
+    // relaxed: advisory floor, see Record's fast-reject comment.
+    return latency_ns >
+           slots_[SlotOf(opcode)].floor.load(std::memory_order_relaxed);
+  }
+
+  /// Offers one finished request. Thread-safe; cheap for fast requests
+  /// (one relaxed load once the opcode's slot is full).
+  void Record(Opcode opcode, uint64_t latency_ns, std::string_view sketch_name,
+              std::size_t payload_bytes, uint64_t trace_id);
+
+  /// Every retained entry across opcodes, sorted by latency descending.
+  std::vector<Entry> SnapshotSorted() const;
+
+  /// The retained entries as a JSON array (schema documented in
+  /// docs/observability.md): [{"opcode":"Ingest","latency_ns":..,
+  /// "sketch":"..","payload_bytes":..,"trace_id":"<hex>",
+  /// "age_ns":..}, ...] where age_ns is now - timestamp_ns.
+  std::string ToJson() const;
+
+ private:
+  /// Request opcodes are 0x01..0x7f; slots are indexed by the raw opcode
+  /// so no mapping table is needed. 0x20 comfortably covers the current
+  /// 0x01..0x0e range plus growth; out-of-range opcodes share slot 0.
+  static constexpr std::size_t kOpcodeSlots = 0x20;
+
+  static std::size_t SlotOf(Opcode opcode) {
+    const auto raw = static_cast<std::size_t>(opcode);
+    return raw < kOpcodeSlots ? raw : 0;
+  }
+
+  struct Slot {
+    mutable Mutex mu;
+    /// Min-heap on latency_ns (heap top = cheapest retained entry, the
+    /// one a faster new offer cannot beat).
+    std::vector<Entry> heap SKETCH_GUARDED_BY(mu);
+    /// Latency of the heap top once the slot is full, else 0. Advisory
+    /// fast-reject only; the mutex-holding path re-checks.
+    std::atomic<uint64_t> floor{0};
+  };
+
+  const std::size_t capacity_;
+  Slot slots_[kOpcodeSlots];
+};
+
+}  // namespace sketch::server
+
+#endif  // SKETCH_SERVER_SLOW_QUERY_LOG_H_

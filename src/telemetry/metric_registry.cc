@@ -7,17 +7,34 @@
 
 namespace sketch::telemetry {
 
-uint64_t Histogram::Snapshot::ApproxQuantile(double q) const {
-  if (count == 0) return 0;
+double Histogram::Snapshot::InterpolatedQuantile(double q) const {
+  if (count == 0) return 0.0;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
   const double target = q * static_cast<double>(count);
   uint64_t seen = 0;
   for (std::size_t b = 0; b < kBuckets; ++b) {
-    seen += buckets[b];
-    if (static_cast<double>(seen) >= target) return BucketLowerBound(b);
+    if (buckets[b] == 0) continue;
+    const uint64_t next = seen + buckets[b];
+    if (static_cast<double>(next) >= target) {
+      // Bucket 0 holds exactly the value zero, so there is nothing to
+      // interpolate across.
+      if (b == 0) return 0.0;
+      const double lower = static_cast<double>(BucketLowerBound(b));
+      const double upper = lower * 2.0;  // exclusive bound of bucket b
+      double frac = (target - static_cast<double>(seen)) /
+                    static_cast<double>(buckets[b]);
+      if (frac < 0.0) frac = 0.0;
+      if (frac > 1.0) frac = 1.0;
+      return lower + frac * (upper - lower);
+    }
+    seen = next;
   }
-  return BucketLowerBound(kBuckets - 1);
+  return static_cast<double>(BucketLowerBound(kBuckets - 1));
+}
+
+uint64_t Histogram::Snapshot::ApproxQuantile(double q) const {
+  return static_cast<uint64_t>(InterpolatedQuantile(q));
 }
 
 Histogram::Snapshot Histogram::GetSnapshot() const {
@@ -141,6 +158,9 @@ std::string MetricRegistry::DumpJson() const {
     first = false;
     AppendFormat(&out, "\"%s\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64,
                  name.c_str(), snapshot.count, snapshot.sum);
+    AppendFormat(&out, ",\"p50\":%.17g,\"p99\":%.17g",
+                 snapshot.InterpolatedQuantile(0.5),
+                 snapshot.InterpolatedQuantile(0.99));
     out += ",\"buckets\":[";
     // Trailing zero buckets are trimmed so the common (small-value) case
     // stays compact; consumers treat missing buckets as zero.

@@ -156,7 +156,16 @@ class Histogram {
       return count == 0 ? 0.0
                         : static_cast<double>(sum) / static_cast<double>(count);
     }
-    /// Lower bound of the bucket containing the q-quantile (q in [0, 1]).
+    /// q-quantile estimate (q in [0, 1]) with within-bucket linear
+    /// interpolation: the target rank is located in its log2 bucket, then
+    /// placed proportionally between the bucket's bounds under the usual
+    /// values-uniform-within-bucket model (the same rule Prometheus'
+    /// histogram_quantile applies). Exact when samples fill a bucket
+    /// evenly; never off by more than one bucket width otherwise —
+    /// unlike the old behavior of snapping to the bucket lower bound,
+    /// which biased every quantile low by up to 2x.
+    double InterpolatedQuantile(double q) const;
+    /// InterpolatedQuantile truncated to an integer (text dumps).
     uint64_t ApproxQuantile(double q) const;
   };
 
@@ -204,7 +213,8 @@ class MetricRegistry {
 
   /// Machine-readable dump:
   /// {"counters": {name: value}, "histograms": {name: {"count": c,
-  ///  "sum": s, "buckets": [..]}}} with name-sorted keys.
+  ///  "sum": s, "p50": q, "p99": q, "buckets": [..]}}} with name-sorted
+  /// keys; quantiles are interpolated (see InterpolatedQuantile).
   std::string DumpJson() const;
 
   /// Zeroes every registered metric (tests). Registrations are kept so

@@ -1,0 +1,163 @@
+#include "telemetry/prometheus.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+namespace sketch::telemetry {
+
+namespace {
+
+bool ValidNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/// Doubles formatted for exposition: exact integers print without a
+/// fractional part (keeps counter-like gauges and bucket bounds clean),
+/// everything else round-trips through %.17g.
+void AppendDouble(std::string* out, double value) {
+  char buffer[64];
+  int written;
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 1e15) {
+    written = std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+  } else {
+    written = std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  }
+  if (written > 0) out->append(buffer, static_cast<std::size_t>(written));
+}
+
+void AppendLabels(std::string* out, const std::vector<PromLabel>& labels) {
+  if (labels.empty()) return;
+  *out += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) *out += ',';
+    *out += labels[i].key;
+    *out += "=\"";
+    *out += EscapeLabelValue(labels[i].value);
+    *out += '"';
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name.front() >= '0' && name.front() <= '9') {
+    out += '_';
+  }
+  for (char c : name) {
+    out += ValidNameChar(c) ? c : '_';
+  }
+  return out;
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string FormatPrometheusText(
+    const std::vector<std::pair<std::string, uint64_t>>& counters,
+    const std::vector<std::pair<std::string, Histogram::Snapshot>>& histograms,
+    const std::vector<PromGauge>& gauges) {
+  std::string out;
+  char buffer[128];
+  auto append_fmt = [&out, &buffer](auto... args) {
+    const int written = std::snprintf(buffer, sizeof(buffer), args...);
+    if (written > 0) out.append(buffer, static_cast<std::size_t>(written));
+  };
+
+  for (const auto& [raw_name, value] : counters) {
+    const std::string name = SanitizeMetricName(raw_name) + "_total";
+    append_fmt("# TYPE %s counter\n", name.c_str());
+    append_fmt("%s %" PRIu64 "\n", name.c_str(), value);
+  }
+
+  for (const auto& [raw_name, snapshot] : histograms) {
+    const std::string name = SanitizeMetricName(raw_name);
+    append_fmt("# TYPE %s histogram\n", name.c_str());
+    // Cumulative buckets. Trailing empty buckets are elided (the +Inf
+    // line already carries the total), but every bucket up to the last
+    // occupied one is emitted so scrapes see a stable-shape histogram.
+    std::size_t last = Histogram::kBuckets;
+    while (last > 0 && snapshot.buckets[last - 1] == 0) --last;
+    uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < last; ++b) {
+      cumulative += snapshot.buckets[b];
+      if (b == 0) {
+        append_fmt("%s_bucket{le=\"0\"} %" PRIu64 "\n", name.c_str(),
+                   cumulative);
+      } else if (b >= 64) {
+        // Bit-width-64 values have no representable 2^64 - 1 + 1; the
+        // +Inf bucket below covers them.
+        continue;
+      } else {
+        append_fmt("%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n", name.c_str(),
+                   (uint64_t{1} << b) - 1, cumulative);
+      }
+    }
+    append_fmt("%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", name.c_str(),
+               snapshot.count);
+    append_fmt("%s_sum %" PRIu64 "\n", name.c_str(), snapshot.sum);
+    append_fmt("%s_count %" PRIu64 "\n", name.c_str(), snapshot.count);
+    // Interpolated quantiles as a sibling summary family — the same p50 /
+    // p99 DumpJson reports, so dashboards need not re-derive them from
+    // the coarse log2 buckets.
+    append_fmt("# TYPE %s_summary summary\n", name.c_str());
+    append_fmt("%s_summary{quantile=\"0.5\"} ", name.c_str());
+    AppendDouble(&out, snapshot.InterpolatedQuantile(0.5));
+    out += '\n';
+    append_fmt("%s_summary{quantile=\"0.99\"} ", name.c_str());
+    AppendDouble(&out, snapshot.InterpolatedQuantile(0.99));
+    out += '\n';
+  }
+
+  // Group gauge samples by (sanitized) family name: one TYPE line per
+  // family, samples contiguous, caller's relative order preserved.
+  std::set<std::string> emitted;
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    const std::string name = SanitizeMetricName(gauges[i].name);
+    if (!emitted.insert(name).second) continue;
+    append_fmt("# TYPE %s gauge\n", name.c_str());
+    for (std::size_t j = i; j < gauges.size(); ++j) {
+      if (SanitizeMetricName(gauges[j].name) != name) continue;
+      out += name;
+      AppendLabels(&out, gauges[j].labels);
+      out += ' ';
+      AppendDouble(&out, gauges[j].value);
+      out += '\n';
+    }
+  }
+
+  return out;
+}
+
+std::string DumpPrometheus(const std::vector<PromGauge>& gauges) {
+  const MetricRegistry& registry = MetricRegistry::Instance();
+  return FormatPrometheusText(registry.CounterValues(),
+                              registry.HistogramSnapshots(), gauges);
+}
+
+}  // namespace sketch::telemetry
+

@@ -1,0 +1,74 @@
+#ifndef SKETCH_TELEMETRY_PROMETHEUS_H_
+#define SKETCH_TELEMETRY_PROMETHEUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metric_registry.h"
+
+/// \file
+/// Prometheus text exposition (version 0.0.4) formatting for the metric
+/// registry. The formatter itself is pure — it takes explicit counter /
+/// histogram / gauge collections — so tests can pin exact golden output
+/// without fighting live, nondeterministic metrics; `DumpPrometheus`
+/// binds it to `MetricRegistry::Instance()` for the HTTP `/metrics`
+/// endpoint.
+///
+/// Mapping rules:
+///  - metric names are sanitized (`.` and any other character outside
+///    `[a-zA-Z0-9_:]` become `_`); counters additionally get the
+///    conventional `_total` suffix.
+///  - log2 histograms become cumulative-bucket histogram families: bucket
+///    b covers values of bit width b, so its inclusive upper bound is
+///    `2^b - 1`; a final `+Inf` bucket repeats the total count, followed
+///    by `_sum` and `_count` lines.
+///  - each histogram additionally gets a `<name>_summary` summary family
+///    with interpolated p50/p99 (`Snapshot::InterpolatedQuantile`), the
+///    same quantiles `DumpJson` reports.
+///  - gauges carry optional labels; label values are escaped per the
+///    exposition format (backslash, double quote, newline).
+
+namespace sketch::telemetry {
+
+/// One label on a gauge sample. Keys must already be valid Prometheus
+/// label names; values may be arbitrary bytes (they get escaped).
+struct PromLabel {
+  std::string key;
+  std::string value;
+};
+
+/// A gauge sample for exposition (e.g. per-sketch health values, where
+/// the sketch name rides in a label).
+struct PromGauge {
+  std::string name;
+  std::vector<PromLabel> labels;
+  double value = 0.0;
+};
+
+/// Replaces every character outside `[a-zA-Z0-9_:]` with `_`; prefixes
+/// `_` if the result would start with a digit.
+std::string SanitizeMetricName(std::string_view name);
+
+/// Escapes `\`, `"`, and newline for use inside a quoted label value.
+std::string EscapeLabelValue(std::string_view value);
+
+/// Pure formatter over explicit inputs (see file comment for the mapping
+/// rules). Counters and histograms are emitted in the order given;
+/// gauges are grouped by name (samples of one family stay contiguous, as
+/// the format requires) preserving the caller's relative order.
+std::string FormatPrometheusText(
+    const std::vector<std::pair<std::string, uint64_t>>& counters,
+    const std::vector<std::pair<std::string, Histogram::Snapshot>>& histograms,
+    const std::vector<PromGauge>& gauges);
+
+/// FormatPrometheusText over the live `MetricRegistry::Instance()`
+/// (name-sorted, as the registry accessors return them) plus
+/// caller-supplied gauges.
+std::string DumpPrometheus(const std::vector<PromGauge>& gauges = {});
+
+}  // namespace sketch::telemetry
+
+#endif  // SKETCH_TELEMETRY_PROMETHEUS_H_

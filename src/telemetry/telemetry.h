@@ -59,6 +59,13 @@
   const ::sketch::telemetry::ScopedSpan SKETCH_TELEMETRY_CONCAT( \
       sketch_telemetry_span_, __LINE__)(name)
 
+/// Opens a scoped trace span tagged with a request trace id (0 = untagged;
+/// the id is exported as args.trace_id so Perfetto can collect one
+/// request's spans across threads).
+#define SKETCH_TRACE_SPAN_ID(name, id)                      \
+  const ::sketch::telemetry::ScopedSpan SKETCH_TELEMETRY_CONCAT( \
+      sketch_telemetry_span_, __LINE__)(name, static_cast<uint64_t>(id))
+
 /// Records a counter sample into the trace (a time series in Perfetto —
 /// e.g. the residual norm after each recovery step).
 #define SKETCH_TRACE_COUNTER(name, value)                     \
@@ -79,6 +86,10 @@
     (void)sizeof(value);                     \
   } while (0)
 #define SKETCH_TRACE_SPAN(name) static_cast<void>(0)
+#define SKETCH_TRACE_SPAN_ID(name, id) \
+  do {                                 \
+    (void)sizeof(id);                  \
+  } while (0)
 #define SKETCH_TRACE_COUNTER(name, value) \
   do {                                    \
     (void)sizeof(value);                  \

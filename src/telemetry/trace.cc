@@ -1,6 +1,7 @@
 #include "telemetry/trace.h"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 
 namespace sketch::telemetry {
@@ -53,12 +54,13 @@ TraceRecorder::Ring& TraceRecorder::ThreadRing() {
 }
 
 void TraceRecorder::RecordSpan(const char* name, uint64_t start_ns,
-                               uint64_t duration_ns) {
+                               uint64_t duration_ns, uint64_t correlation_id) {
   if (!enabled()) return;
   TraceEvent event;
   event.name = name;
   event.start_ns = start_ns;
   event.duration_ns = duration_ns;
+  event.correlation_id = correlation_id;
   event.phase = 'X';
   ThreadRing().Push(event);
 }
@@ -99,7 +101,17 @@ std::string TraceRecorder::ExportChromeTraceJson() const {
     const double ts_us =
         static_cast<double>(event.start_ns - epoch_ns) / 1e3;
     int written = 0;
-    if (event.phase == 'X') {
+    if (event.phase == 'X' && event.correlation_id != 0) {
+      // Trace-id hex as a string arg: Perfetto's query UI matches it with
+      // args.trace_id GLOB, and a string survives JSON number precision.
+      const double dur_us = static_cast<double>(event.duration_ns) / 1e3;
+      written = std::snprintf(
+          buffer, sizeof(buffer),
+          "{\"name\":\"%s\",\"cat\":\"sketch\",\"ph\":\"X\",\"ts\":%.3f,"
+          "\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
+          "\"args\":{\"trace_id\":\"%016" PRIx64 "\"}}",
+          event.name, ts_us, dur_us, event.tid, event.correlation_id);
+    } else if (event.phase == 'X') {
       const double dur_us = static_cast<double>(event.duration_ns) / 1e3;
       written = std::snprintf(
           buffer, sizeof(buffer),

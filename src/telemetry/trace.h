@@ -36,6 +36,11 @@ struct TraceEvent {
   uint64_t start_ns = 0;       ///< steady-clock timestamp
   uint64_t duration_ns = 0;    ///< spans only
   double value = 0.0;          ///< counter samples only
+  /// Request/trace correlation id (0 = none). Spans recorded on behalf of
+  /// a wire-traced request carry its 8-byte id, exported as
+  /// args.trace_id so one Perfetto query collects a request's full life
+  /// across threads.
+  uint64_t correlation_id = 0;
   uint32_t tid = 0;            ///< recorder-assigned thread id
   char phase = 'X';
 };
@@ -65,7 +70,10 @@ class TraceRecorder {
   }
 
   /// Records a completed span. `name` must have static storage duration.
-  void RecordSpan(const char* name, uint64_t start_ns, uint64_t duration_ns);
+  /// A nonzero `correlation_id` tags the span with a request trace id
+  /// (exported as args.trace_id).
+  void RecordSpan(const char* name, uint64_t start_ns, uint64_t duration_ns,
+                  uint64_t correlation_id = 0);
 
   /// Records a counter sample (a time series in the trace viewer — e.g.
   /// residual norm per recovery step).
@@ -140,17 +148,21 @@ class TraceRecorder {
 /// must have static storage duration.
 class ScopedSpan {
  public:
-  explicit ScopedSpan(const char* name) {
+  explicit ScopedSpan(const char* name) : ScopedSpan(name, 0) {}
+
+  /// Span tagged with a request trace id (0 = untagged).
+  ScopedSpan(const char* name, uint64_t correlation_id) {
     if (TraceRecorder::Instance().enabled()) {
       name_ = name;
+      correlation_id_ = correlation_id;
       start_ns_ = MonotonicNowNs();
     }
   }
 
   ~ScopedSpan() {
     if (name_ != nullptr) {
-      TraceRecorder::Instance().RecordSpan(name_, start_ns_,
-                                           MonotonicNowNs() - start_ns_);
+      TraceRecorder::Instance().RecordSpan(
+          name_, start_ns_, MonotonicNowNs() - start_ns_, correlation_id_);
     }
   }
 
@@ -160,6 +172,7 @@ class ScopedSpan {
  private:
   const char* name_ = nullptr;  // nullptr = recorder disabled at entry
   uint64_t start_ns_ = 0;
+  uint64_t correlation_id_ = 0;
 };
 
 }  // namespace sketch::telemetry

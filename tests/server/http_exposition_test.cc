@@ -1,0 +1,123 @@
+// HTTP exposition listener: the request handler's routing/status/content
+// types (unit, no sockets), then a real TCP round trip against the
+// background accept loop.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "server/http_exposition.h"
+#include "server/transport.h"
+
+namespace sketch::server {
+namespace {
+
+HttpExposition::Handlers TestHandlers(bool healthy = true) {
+  HttpExposition::Handlers handlers;
+  handlers.metrics = [] { return std::string("metric_total 1\n"); };
+  handlers.statsz = [] { return std::string("{\"sketches\":[]}"); };
+  handlers.tracez = [] { return std::string("{\"traceEvents\":[]}"); };
+  handlers.healthz = [healthy] {
+    return healthy ? std::string("{\"status\":\"ok\"}")
+                   : std::string("{\"status\":\"degraded\"}");
+  };
+  handlers.healthy = [healthy] { return healthy; };
+  return handlers;
+}
+
+TEST(HttpExpositionHandlerTest, RoutesEndpointsWithContentTypes) {
+  HttpExposition http(TestHandlers());
+  const std::string metrics = http.HandleRequest("GET", "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("metric_total 1\n"), std::string::npos);
+  EXPECT_NE(metrics.find("Connection: close"), std::string::npos);
+
+  const std::string statsz = http.HandleRequest("GET", "/statsz");
+  EXPECT_NE(statsz.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(statsz.find("Content-Type: application/json"), std::string::npos);
+  EXPECT_NE(statsz.find("{\"sketches\":[]}"), std::string::npos);
+
+  const std::string tracez = http.HandleRequest("GET", "/tracez");
+  EXPECT_NE(tracez.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(tracez.find("{\"traceEvents\":[]}"), std::string::npos);
+}
+
+TEST(HttpExpositionHandlerTest, HealthzStatusTracksHealthyCallback) {
+  HttpExposition ok(TestHandlers(true));
+  EXPECT_NE(ok.HandleRequest("GET", "/healthz").find("HTTP/1.0 200 OK"),
+            std::string::npos);
+
+  HttpExposition degraded(TestHandlers(false));
+  const std::string response = degraded.HandleRequest("GET", "/healthz");
+  EXPECT_NE(response.find("HTTP/1.0 503"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"status\":\"degraded\""), std::string::npos);
+}
+
+TEST(HttpExpositionHandlerTest, RejectsUnknownPathsAndMethods) {
+  HttpExposition http(TestHandlers());
+  const std::string not_found = http.HandleRequest("GET", "/nope");
+  EXPECT_NE(not_found.find("HTTP/1.0 404"), std::string::npos) << not_found;
+  // The 404 body lists the endpoints that do exist.
+  EXPECT_NE(not_found.find("/metrics"), std::string::npos);
+
+  const std::string post = http.HandleRequest("POST", "/metrics");
+  EXPECT_NE(post.find("HTTP/1.0 405"), std::string::npos) << post;
+}
+
+TEST(HttpExpositionHandlerTest, StripsQueryString) {
+  HttpExposition http(TestHandlers());
+  const std::string response =
+      http.HandleRequest("GET", "/metrics?format=prometheus");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("metric_total 1\n"), std::string::npos);
+}
+
+TEST(HttpExpositionHandlerTest, ResponsesCarryExactContentLength) {
+  HttpExposition http(TestHandlers());
+  const std::string response = http.HandleRequest("GET", "/statsz");
+  const std::string body = "{\"sketches\":[]}";
+  const std::string expected =
+      "Content-Length: " + std::to_string(body.size());
+  EXPECT_NE(response.find(expected), std::string::npos) << response;
+  // Body starts right after the blank line and matches the declared length.
+  const std::size_t split = response.find("\r\n\r\n");
+  ASSERT_NE(split, std::string::npos);
+  EXPECT_EQ(response.substr(split + 4), body);
+}
+
+TEST(HttpExpositionSocketTest, ServesOverRealTcp) {
+  HttpExposition http(TestHandlers());
+  ASSERT_TRUE(http.Start(0));  // 0 = pick any free port
+  ASSERT_NE(http.port(), 0);
+
+  // One request per connection, HTTP/1.0 style.
+  for (int i = 0; i < 2; ++i) {
+    std::unique_ptr<ByteStream> stream = ConnectTcp("127.0.0.1", http.port());
+    ASSERT_NE(stream, nullptr);
+    const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+    ASSERT_TRUE(WriteAll(stream.get(),
+                         reinterpret_cast<const uint8_t*>(request.data()),
+                         request.size()));
+    std::string response;
+    uint8_t buffer[1024];
+    for (;;) {
+      const std::ptrdiff_t n = stream->Read(buffer, sizeof(buffer));
+      if (n <= 0) break;
+      response.append(reinterpret_cast<const char*>(buffer),
+                      static_cast<std::size_t>(n));
+    }
+    EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos) << response;
+    EXPECT_NE(response.find("metric_total 1\n"), std::string::npos);
+  }
+
+  http.Stop();
+  http.Stop();  // idempotent
+}
+
+}  // namespace
+}  // namespace sketch::server

@@ -1,0 +1,121 @@
+// Slow-query log: per-opcode retention of the slowest requests, the
+// atomic-floor fast-reject on the hot path, and the JSON surface the
+// /statsz and /tracez endpoints splice in.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/slow_query_log.h"
+
+namespace sketch::server {
+namespace {
+
+TEST(SlowQueryLogTest, DisabledLogRejectsEverything) {
+  SlowQueryLog log(0);
+  EXPECT_FALSE(log.enabled());
+  EXPECT_FALSE(log.WouldRecord(Opcode::kIngest, UINT64_MAX));
+  log.Record(Opcode::kIngest, 1000, "s", 64, 0);
+  EXPECT_TRUE(log.SnapshotSorted().empty());
+  EXPECT_EQ(log.ToJson(), "[]");
+}
+
+TEST(SlowQueryLogTest, RetainsSlowestPerOpcode) {
+  SlowQueryLog log(2);
+  log.Record(Opcode::kPointQuery, 10, "a", 8, 0);
+  log.Record(Opcode::kPointQuery, 30, "b", 8, 0);
+  log.Record(Opcode::kPointQuery, 20, "c", 8, 0);
+  // Capacity 2: the 10ns entry must have been evicted by the 20ns one.
+  const std::vector<SlowQueryLog::Entry> entries = log.SnapshotSorted();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].latency_ns, 30u);
+  EXPECT_EQ(entries[0].sketch_name, "b");
+  EXPECT_EQ(entries[1].latency_ns, 20u);
+  EXPECT_EQ(entries[1].sketch_name, "c");
+}
+
+TEST(SlowQueryLogTest, OpcodesDoNotEvictEachOther) {
+  // A storm of slow ingests must not evict the one slow point query —
+  // the reason the log is per-opcode at all.
+  SlowQueryLog log(1);
+  log.Record(Opcode::kPointQuery, 5, "q", 8, 0);
+  for (uint64_t i = 0; i < 100; ++i) {
+    log.Record(Opcode::kIngest, 1000 + i, "ing", 64, 0);
+  }
+  const std::vector<SlowQueryLog::Entry> entries = log.SnapshotSorted();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].opcode, Opcode::kIngest);
+  EXPECT_EQ(entries[0].latency_ns, 1099u);
+  EXPECT_EQ(entries[1].opcode, Opcode::kPointQuery);
+  EXPECT_EQ(entries[1].latency_ns, 5u);
+}
+
+TEST(SlowQueryLogTest, FloorFastRejectTracksHeapMinimum) {
+  SlowQueryLog log(2);
+  // Not yet full: everything would be recorded (floor is 0, and any
+  // latency > 0 beats it).
+  EXPECT_TRUE(log.WouldRecord(Opcode::kIngest, 1));
+  log.Record(Opcode::kIngest, 100, "", 0, 0);
+  log.Record(Opcode::kIngest, 200, "", 0, 0);
+  // Full with retained latencies {100, 200}: the floor is 100.
+  EXPECT_FALSE(log.WouldRecord(Opcode::kIngest, 50));
+  EXPECT_FALSE(log.WouldRecord(Opcode::kIngest, 100));  // ties lose
+  EXPECT_TRUE(log.WouldRecord(Opcode::kIngest, 101));
+  // Displacing the 100 raises the floor to 150.
+  log.Record(Opcode::kIngest, 150, "", 0, 0);
+  EXPECT_FALSE(log.WouldRecord(Opcode::kIngest, 150));
+  EXPECT_TRUE(log.WouldRecord(Opcode::kIngest, 151));
+  // The other opcode's floor is untouched.
+  EXPECT_TRUE(log.WouldRecord(Opcode::kPointQuery, 1));
+}
+
+TEST(SlowQueryLogTest, ToJsonCarriesTraceIdAndEscapes) {
+  SlowQueryLog log(4);
+  log.Record(Opcode::kPointQuery, 777, "evil\"name\\x", 24,
+             0x00ace1de00c0ffeeULL);
+  const std::string json = log.ToJson();
+  EXPECT_NE(json.find("\"opcode\":\"PointQuery\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"latency_ns\":777"), std::string::npos) << json;
+  // Trace ids are 16 hex digits, zero-padded, so log lines join against
+  // Perfetto's args.trace_id without normalization.
+  EXPECT_NE(json.find("\"trace_id\":\"00ace1de00c0ffee\""), std::string::npos)
+      << json;
+  // Hostile sketch names must come out as valid JSON string contents.
+  EXPECT_NE(json.find("evil\\\"name\\\\x"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"payload_bytes\":24"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"age_ns\":"), std::string::npos) << json;
+}
+
+TEST(SlowQueryLogTest, UntracedEntriesReportZeroTraceId) {
+  SlowQueryLog log(1);
+  log.Record(Opcode::kIngest, 10, "s", 8, 0);
+  EXPECT_NE(log.ToJson().find("\"trace_id\":\"0000000000000000\""),
+            std::string::npos);
+}
+
+// Concurrent offers must never lose the single slowest request: the
+// fast-reject is advisory, but the locked path re-checks.
+TEST(SlowQueryLogTest, ConcurrentOffersKeepGlobalMaximum) {
+  SlowQueryLog log(4);
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        log.Record(Opcode::kIngest, t * kPerThread + i, "s", 8, 0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::vector<SlowQueryLog::Entry> entries = log.SnapshotSorted();
+  ASSERT_EQ(entries.size(), 4u);
+  // The global maximum latency offered was kThreads * kPerThread - 1.
+  EXPECT_EQ(entries[0].latency_ns, kThreads * kPerThread - 1);
+}
+
+}  // namespace
+}  // namespace sketch::server

@@ -1,0 +1,80 @@
+// /statsz schema contract: every key path dashboards rely on, pinned in
+// a checked-in schema file (tests/server/testdata/statsz_schema.txt).
+// The values are live and nondeterministic, so the contract is the set
+// of keys, not a byte-for-byte golden.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+#include "server/sketch_service.h"
+
+namespace sketch::server {
+namespace {
+
+Frame DecodeOne(const std::vector<uint8_t>& wire) {
+  FrameDecoder decoder;
+  decoder.Feed(wire.data(), wire.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kFrame);
+  return frame;
+}
+
+std::vector<std::string> LoadSchema() {
+  const std::string path =
+      std::string(SKETCH_TESTDATA_DIR) + "/statsz_schema.txt";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing schema file " << path;
+  std::vector<std::string> required;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    required.push_back(line);
+  }
+  return required;
+}
+
+TEST(StatszSchemaTest, PopulatedServiceEmitsEveryRequiredKey) {
+  SketchService service{SketchService::Options{}};
+
+  // Populate every section the schema requires: a sketch, a gauge, and
+  // (via the handled frames themselves) slow-query entries.
+  CreateSketchRequest create;
+  create.name = "schema-sketch";
+  create.type = SketchType::kCountMin;
+  create.params = {1024, 4, 42, 0, 0};
+  service.HandleFrame(DecodeOne(EncodeCreateSketch(create)));
+
+  IngestRequest ingest;
+  ingest.name = "schema-sketch";
+  for (uint64_t i = 0; i < 32; ++i) ingest.updates.push_back({i, 1});
+  std::vector<uint8_t> ingest_wire = EncodeIngest(ingest);
+  StampTraceId(&ingest_wire, 0xabc);  // a traced entry for the slow log
+  service.HandleFrame(DecodeOne(ingest_wire));
+
+  service.RegisterGauge("test.gauge", [] { return uint64_t{7}; });
+
+  const std::string json = service.StatszJson();
+  const std::vector<std::string> required = LoadSchema();
+  ASSERT_FALSE(required.empty());
+  for (const std::string& fragment : required) {
+    EXPECT_NE(json.find(fragment), std::string::npos)
+        << "missing required /statsz fragment: " << fragment << "\nin: "
+        << json;
+  }
+}
+
+TEST(StatszSchemaTest, EmptyServiceStillHasTopLevelSections) {
+  SketchService service{SketchService::Options{}};
+  const std::string json = service.StatszJson();
+  EXPECT_NE(json.find("\"sketches\":[]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"gauges\":{}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"slow_queries\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"metrics\":"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace sketch::server

@@ -1,0 +1,148 @@
+// Wire trace-id propagation: the kFrameFlagTraceId framing bit, the
+// post-hoc StampTraceId decorator, and the decoder's stripping of the
+// trailing id before typed decoding. The flag is framing, not message —
+// a stamped frame must decode to byte-identical message payload.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+#include "server/sketch_service.h"
+
+namespace sketch::server {
+namespace {
+
+Frame DecodeOne(const std::vector<uint8_t>& wire) {
+  FrameDecoder decoder;
+  decoder.Feed(wire.data(), wire.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kFrame);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  return frame;
+}
+
+TEST(TraceFlagTest, StampedFrameRoundTripsThroughDecoder) {
+  PointQueryRequest request;
+  request.name = "s";
+  request.item = 7;
+  const std::vector<uint8_t> plain = EncodePointQuery(request);
+  std::vector<uint8_t> stamped = plain;
+  StampTraceId(&stamped, 0x0123456789abcdefULL);
+
+  // On the wire: 8 extra payload bytes and the flag bit.
+  EXPECT_EQ(stamped.size(), plain.size() + kTraceIdBytes);
+
+  const Frame plain_frame = DecodeOne(plain);
+  const Frame traced_frame = DecodeOne(stamped);
+  EXPECT_EQ(plain_frame.trace_id, 0u);
+  EXPECT_EQ(traced_frame.trace_id, 0x0123456789abcdefULL);
+  // The id is framing metadata: the message payload the codecs see is
+  // byte-identical to the unstamped encoding.
+  EXPECT_EQ(traced_frame.opcode, plain_frame.opcode);
+  EXPECT_EQ(traced_frame.payload, plain_frame.payload);
+}
+
+TEST(TraceFlagTest, StampWorksOnEmptyPayloadFrames) {
+  std::vector<uint8_t> ping = EncodePing();
+  StampTraceId(&ping, 42);
+  const Frame frame = DecodeOne(ping);
+  EXPECT_EQ(frame.opcode, Opcode::kPing);
+  EXPECT_EQ(frame.trace_id, 42u);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(TraceFlagTest, FlaggedFrameShorterThanIdIsBadFrame) {
+  // Hand-built header: payload length 4 < kTraceIdBytes with the trace
+  // flag set — the frame cannot contain the id it claims to carry.
+  std::vector<uint8_t> wire = {0x04, 0x00, 0x00, 0x00,   // payload_len = 4
+                               0x01,                      // opcode = Ping
+                               0x01,                      // version
+                               0x01, 0x00,                // flags = trace id
+                               0xaa, 0xbb, 0xcc, 0xdd};   // 4 payload bytes
+  FrameDecoder decoder;
+  decoder.Feed(wire.data(), wire.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kBadFrame);
+  EXPECT_EQ(decoder.error_code(), ErrorCode::kBadFrameHeader);
+  EXPECT_NE(decoder.error().find("trace-id flag set"), std::string::npos)
+      << decoder.error();
+}
+
+TEST(TraceFlagTest, UnknownFlagBitsStayFatal) {
+  // Bit 1 is not a known flag; a decoder that silently accepted it could
+  // never be given a new meaning for it later.
+  std::vector<uint8_t> ping = EncodePing();
+  ping[6] = 0x02;
+  FrameDecoder decoder;
+  decoder.Feed(ping.data(), ping.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kBadFrame);
+  EXPECT_NE(decoder.error().find("reserved frame-header bits"),
+            std::string::npos)
+      << decoder.error();
+}
+
+TEST(TraceFlagTest, IngestDecodeCarriesFrameTraceId) {
+  IngestRequest request;
+  request.name = "s";
+  request.updates.push_back({1, 2});
+  std::vector<uint8_t> wire = EncodeIngest(request);
+  StampTraceId(&wire, 0xfeedULL);
+  const Frame frame = DecodeOne(wire);
+  IngestRequest decoded;
+  ASSERT_TRUE(DecodeIngest(frame, &decoded));
+  EXPECT_EQ(decoded.trace_id, 0xfeedULL);
+  EXPECT_EQ(decoded.name, "s");
+  ASSERT_EQ(decoded.updates.size(), 1u);
+}
+
+TEST(TraceFlagTest, ServiceAnswersStampedFramesNormally) {
+  // The service must be trace-oblivious at the protocol level: a stamped
+  // request gets the same response as an unstamped one.
+  SketchService service{SketchService::Options{}};
+  CreateSketchRequest create;
+  create.name = "s";
+  create.type = SketchType::kCountMin;
+  create.params = {1024, 4, 42, 0, 0};
+  std::vector<uint8_t> create_wire = EncodeCreateSketch(create);
+  StampTraceId(&create_wire, 9);
+  const std::vector<uint8_t> create_response =
+      service.HandleFrame(DecodeOne(create_wire));
+  EXPECT_EQ(static_cast<Opcode>(create_response[4]), Opcode::kOk);
+
+  PointQueryRequest query;
+  query.name = "s";
+  query.item = 1;
+  const std::vector<uint8_t> plain_response =
+      service.HandleFrame(DecodeOne(EncodePointQuery(query)));
+  std::vector<uint8_t> traced_wire = EncodePointQuery(query);
+  StampTraceId(&traced_wire, 10);
+  const std::vector<uint8_t> traced_response =
+      service.HandleFrame(DecodeOne(traced_wire));
+  EXPECT_EQ(traced_response, plain_response);
+}
+
+TEST(TraceFlagTest, StampSurvivesFragmentedDelivery) {
+  PointQueryRequest request;
+  request.name = "fragmented";
+  request.item = 77;
+  std::vector<uint8_t> wire = EncodePointQuery(request);
+  StampTraceId(&wire, 0xc0ffeeULL);
+  FrameDecoder decoder;
+  Frame frame;
+  // One byte at a time: the id must still be stripped off the tail.
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    decoder.Feed(&wire[i], 1);
+    EXPECT_EQ(decoder.Next(&frame), DecodeStatus::kNeedMore);
+  }
+  decoder.Feed(&wire[wire.size() - 1], 1);
+  ASSERT_EQ(decoder.Next(&frame), DecodeStatus::kFrame);
+  EXPECT_EQ(frame.trace_id, 0xc0ffeeULL);
+  EXPECT_EQ(frame.payload, DecodeOne(EncodePointQuery(request)).payload);
+}
+
+}  // namespace
+}  // namespace sketch::server

@@ -65,9 +65,43 @@ TEST_F(MetricRegistryTest, HistogramSnapshotAggregates) {
   EXPECT_EQ(snapshot.buckets[3], 1u);
   EXPECT_EQ(snapshot.buckets[9], 1u);
   EXPECT_DOUBLE_EQ(snapshot.Mean(), 66.0);
-  // The 0-quantile lands in the zero bucket; the max in bucket 9.
+  // The 0-quantile lands in the zero bucket; the 1.0-quantile
+  // interpolates to the exclusive upper bound of the max's bucket
+  // (256 * 2 = 512) — the tightest value the log2 buckets can certify as
+  // an upper bound for the maximum.
   EXPECT_EQ(snapshot.ApproxQuantile(0.0), 0u);
-  EXPECT_EQ(snapshot.ApproxQuantile(1.0), 256u);
+  EXPECT_EQ(snapshot.ApproxQuantile(1.0), 512u);
+}
+
+// Within-bucket linear interpolation must recover exact percentiles when
+// samples fill a bucket uniformly — the case Prometheus's
+// histogram_quantile is exact for — instead of snapping to the bucket
+// lower bound (the old behavior, biased low by up to 2x).
+TEST_F(MetricRegistryTest, InterpolatedQuantileMatchesExactOnUniformFill) {
+  Histogram& h = MetricRegistry::Instance().GetHistogram("test.interp");
+  // 256 samples spread uniformly across bucket 9 ([256, 512)).
+  for (uint64_t v = 256; v < 512; ++v) h.Record(v);
+  const Histogram::Snapshot snapshot = h.GetSnapshot();
+  ASSERT_EQ(snapshot.count, 256u);
+  // Exact percentile of {256..511}: p-th value is 256 + p * 256. The
+  // interpolated estimate must land within one sample of exact, not one
+  // bucket (the bucket is 256 wide).
+  EXPECT_NEAR(snapshot.InterpolatedQuantile(0.50), 384.0, 1.0);
+  EXPECT_NEAR(snapshot.InterpolatedQuantile(0.25), 320.0, 1.0);
+  EXPECT_NEAR(snapshot.InterpolatedQuantile(0.99), 509.4, 1.0);
+  // Degenerate cases: empty histogram and the all-zero bucket.
+  Histogram& empty = MetricRegistry::Instance().GetHistogram("test.interp0");
+  EXPECT_DOUBLE_EQ(empty.GetSnapshot().InterpolatedQuantile(0.5), 0.0);
+  empty.Record(0);
+  EXPECT_DOUBLE_EQ(empty.GetSnapshot().InterpolatedQuantile(0.99), 0.0);
+}
+
+TEST_F(MetricRegistryTest, DumpJsonIncludesInterpolatedQuantiles) {
+  Histogram& h = MetricRegistry::Instance().GetHistogram("test.jsonq");
+  for (uint64_t v = 256; v < 512; ++v) h.Record(v);
+  const std::string json = MetricRegistry::Instance().DumpJson();
+  EXPECT_NE(json.find("\"p50\":384"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
 }
 
 TEST_F(MetricRegistryTest, DumpsContainRegisteredMetrics) {

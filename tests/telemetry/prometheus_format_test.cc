@@ -1,0 +1,137 @@
+// Prometheus text exposition: the formatter is pure over explicit
+// inputs, so its exact output is pinned against a checked-in golden file
+// — including hostile sketch names (quotes, newlines, braces,
+// backslashes) riding in label values, where an escaping bug would
+// corrupt every sample that follows on a real scrape.
+//
+// Regenerate the golden (after an INTENTIONAL format change) by running
+// this binary with SKETCH_UPDATE_GOLDEN=1 and committing the diff:
+//   SKETCH_UPDATE_GOLDEN=1 ./prometheus_format_test
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/prometheus.h"
+
+namespace sketch::telemetry {
+namespace {
+
+bool UpdateGolden() {
+  const char* env = std::getenv("SKETCH_UPDATE_GOLDEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::string GoldenPath() {
+  return std::string(SKETCH_TESTDATA_DIR) + "/prometheus_golden.txt";
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(PrometheusFormatTest, SanitizesMetricNames) {
+  EXPECT_EQ(SanitizeMetricName("server.latency_ns.PointQuery"),
+            "server_latency_ns_PointQuery");
+  EXPECT_EQ(SanitizeMetricName("a:b_c9"), "a:b_c9");
+  EXPECT_EQ(SanitizeMetricName("9lives"), "_9lives");
+  EXPECT_EQ(SanitizeMetricName("sp ace{x}"), "sp_ace_x_");
+}
+
+TEST(PrometheusFormatTest, EscapesLabelValues) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("a\nb"), "a\\nb");
+  // Braces are legal inside a quoted label value — no escaping, but they
+  // must round-trip untouched.
+  EXPECT_EQ(EscapeLabelValue("curly{}name"), "curly{}name");
+}
+
+TEST(PrometheusFormatTest, MatchesGoldenFile) {
+  std::vector<std::pair<std::string, uint64_t>> counters = {
+      {"server.frames_handled", 42},
+      {"9starts.with.digit", 7},
+  };
+
+  Histogram::Snapshot latency;
+  latency.count = 10;
+  latency.sum = 1234;
+  latency.buckets[0] = 2;  // exact zeros
+  latency.buckets[1] = 3;  // value 1
+  latency.buckets[9] = 5;  // [256, 511]
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms = {
+      {"server.latency_ns.PointQuery", latency},
+  };
+
+  // Hostile sketch names in label values: every escape class, plus
+  // braces (legal but easy to mangle), interleaved across two families
+  // to exercise the grouped-by-family emission order.
+  std::vector<PromGauge> gauges = {
+      {"sketch_health_occupancy", {{"sketch", "evil\"quote"}}, 0.5},
+      {"sketch_health_degraded", {{"sketch", "evil\"quote"}}, 0.0},
+      {"sketch_health_occupancy", {{"sketch", "multi\nline"}}, 0.25},
+      {"sketch_health_occupancy", {{"sketch", "curly{}name"}}, 1.0},
+      {"sketch_health_occupancy", {{"sketch", "back\\slash"}}, 0.125},
+      {"server_health_degraded", {}, 1.0},
+  };
+
+  const std::string text =
+      FormatPrometheusText(counters, histograms, gauges);
+
+  if (UpdateGolden()) {
+    std::ofstream out(GoldenPath(), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out << text;
+    GTEST_SKIP() << "golden regenerated at " << GoldenPath();
+  }
+
+  const std::string golden = ReadFileOrEmpty(GoldenPath());
+  ASSERT_FALSE(golden.empty())
+      << "missing golden " << GoldenPath()
+      << " — run with SKETCH_UPDATE_GOLDEN=1 to create it";
+  EXPECT_EQ(text, golden)
+      << "exposition format drifted; if intentional, regenerate with "
+         "SKETCH_UPDATE_GOLDEN=1 and commit the diff";
+}
+
+// Structural invariants that hold for any input: cumulative buckets are
+// monotone, +Inf equals _count, and the summary quantiles are ordered.
+TEST(PrometheusFormatTest, CumulativeBucketsAreMonotone) {
+  Histogram::Snapshot s;
+  s.count = 100;
+  s.sum = 5000;
+  s.buckets[0] = 10;
+  s.buckets[3] = 40;
+  s.buckets[7] = 50;
+  const std::string text = FormatPrometheusText({}, {{"h", s}}, {});
+  uint64_t prev = 0;
+  std::istringstream lines(text);
+  std::string line;
+  uint64_t inf_value = 0;
+  uint64_t count_value = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("h_bucket", 0) == 0) {
+      const uint64_t v =
+          std::stoull(line.substr(line.find_last_of(' ') + 1));
+      EXPECT_GE(v, prev) << line;
+      prev = v;
+      if (line.find("+Inf") != std::string::npos) inf_value = v;
+    } else if (line.rfind("h_count", 0) == 0) {
+      count_value = std::stoull(line.substr(line.find_last_of(' ') + 1));
+    }
+  }
+  EXPECT_EQ(inf_value, 100u);
+  EXPECT_EQ(count_value, 100u);
+}
+
+}  // namespace
+}  // namespace sketch::telemetry

@@ -1,0 +1,377 @@
+#!/usr/bin/env python3
+"""Validator for the Prometheus text exposition format (version 0.0.4).
+
+CI curls the daemon's /metrics endpoint and pipes the body through this
+script, so a formatting regression (bad escaping, broken family
+grouping, non-monotone histogram buckets) fails the build instead of
+silently corrupting the first real scrape.
+
+Checks:
+  - every line is a comment, blank, or a well-formed sample
+    (name{labels} value), with metric and label names matching the spec
+    grammar and label values using only the legal escapes (\\\\, \\",
+    \\n);
+  - `# TYPE` lines name a valid type and precede every sample of their
+    family;
+  - samples of one family are contiguous (the format forbids
+    interleaving);
+  - counter sample names end in `_total`;
+  - histogram families have cumulative, monotone `_bucket` series with a
+    `+Inf` bucket equal to `_count`, plus `_sum` and `_count` samples;
+  - values parse as floats (including +Inf/-Inf/NaN).
+
+Usage:
+  tools/check_prom_format.py FILE        # or '-' for stdin
+  tools/check_prom_format.py --self-test
+
+Exits 0 when the input is valid, 1 with one `line N: message` per error
+otherwise.
+"""
+
+import argparse
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPE_LINE = re.compile(r"^#\s+TYPE\s+(\S+)\s+(\S+)\s*$")
+HELP_LINE = re.compile(r"^#\s+HELP\s+(\S+)\s(.*)$")
+VALID_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+SUMMARY_SUFFIXES = ("_sum", "_count")
+
+
+def base_family(name, declared_types):
+    """Maps a sample name to its declared family: histogram samples
+    `x_bucket`/`x_sum`/`x_count` belong to family `x`, etc."""
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if declared_types.get(base) in ("histogram", "summary"):
+                return base
+    return name
+
+
+def parse_labels(text, line_no, errors):
+    """Parses the inside of a `{...}` label block. Returns a dict or None
+    on error."""
+    labels = {}
+    i = 0
+    n = len(text)
+    while i < n:
+        eq = text.find("=", i)
+        if eq == -1:
+            errors.append((line_no, f"malformed label block near '{text[i:]}'"))
+            return None
+        name = text[i:eq]
+        if not LABEL_NAME.match(name):
+            errors.append((line_no, f"bad label name '{name}'"))
+            return None
+        if eq + 1 >= n or text[eq + 1] != '"':
+            errors.append((line_no, f"label '{name}' value is not quoted"))
+            return None
+        j = eq + 2
+        value = []
+        while j < n:
+            c = text[j]
+            if c == "\\":
+                if j + 1 >= n or text[j + 1] not in ('\\', '"', "n"):
+                    errors.append(
+                        (line_no,
+                         f"illegal escape '\\{text[j + 1:j + 2]}' in label "
+                         f"'{name}' (only \\\\ \\\" \\n are legal)")
+                    )
+                    return None
+                value.append(text[j + 1])
+                j += 2
+            elif c == '"':
+                break
+            else:
+                value.append(c)
+                j += 1
+        else:
+            errors.append((line_no, f"unterminated value for label '{name}'"))
+            return None
+        labels[name] = "".join(value)
+        i = j + 1
+        if i < n:
+            if text[i] != ",":
+                errors.append(
+                    (line_no, f"expected ',' between labels, got '{text[i]}'")
+                )
+                return None
+            i += 1
+    return labels
+
+
+def parse_value(text, line_no, errors):
+    token = text.strip().split()
+    if not token:
+        errors.append((line_no, "sample has no value"))
+        return None
+    # An optional timestamp may follow the value; both must be numeric.
+    for part in token[1:]:
+        try:
+            float(part)
+        except ValueError:
+            errors.append((line_no, f"bad timestamp '{part}'"))
+            return None
+    try:
+        return float(token[0].replace("+Inf", "inf").replace("-Inf", "-inf"))
+    except ValueError:
+        errors.append((line_no, f"bad sample value '{token[0]}'"))
+        return None
+
+
+def check_text(text):
+    """Validates one exposition body. Returns a list of (line, message)."""
+    errors = []
+    declared_types = {}  # family -> type
+    family_order = []  # families in first-sample order
+    closed_families = set()  # families whose sample block has ended
+    current_family = None
+    # histogram family -> list of (le, value), plus _sum/_count presence
+    histograms = {}
+
+    lines = text.splitlines()
+    for line_no, line in enumerate(lines, start=1):
+        if line == "":
+            continue
+        if line.startswith("#"):
+            type_match = TYPE_LINE.match(line)
+            if type_match:
+                family, family_type = type_match.groups()
+                if not METRIC_NAME.match(family):
+                    errors.append((line_no, f"bad metric name '{family}'"))
+                    continue
+                if family_type not in VALID_TYPES:
+                    errors.append(
+                        (line_no,
+                         f"bad TYPE '{family_type}' for '{family}' "
+                         f"(expected one of {', '.join(VALID_TYPES)})")
+                    )
+                    continue
+                if family in declared_types:
+                    errors.append((line_no, f"duplicate TYPE for '{family}'"))
+                    continue
+                declared_types[family] = family_type
+                if family_type == "histogram":
+                    histograms[family] = {"buckets": [], "sum": False,
+                                          "count": None}
+            # HELP and free comments are legal and otherwise ignored.
+            continue
+
+        # Sample line: name[{labels}] value [timestamp].
+        brace = line.find("{")
+        if brace != -1:
+            close = line.rfind("}")
+            if close == -1 or close < brace:
+                errors.append((line_no, "unterminated label block"))
+                continue
+            name = line[:brace]
+            labels = parse_labels(line[brace + 1:close], line_no, errors)
+            if labels is None:
+                continue
+            rest = line[close + 1:]
+        else:
+            parts = line.split(None, 1)
+            name = parts[0]
+            labels = {}
+            rest = parts[1] if len(parts) > 1 else ""
+        if not METRIC_NAME.match(name):
+            errors.append((line_no, f"bad metric name '{name}'"))
+            continue
+        value = parse_value(rest, line_no, errors)
+        if value is None:
+            continue
+
+        family = base_family(name, declared_types)
+        if family not in declared_types:
+            errors.append(
+                (line_no, f"sample '{name}' has no preceding # TYPE line")
+            )
+            continue
+        if family != current_family:
+            if family in closed_families:
+                errors.append(
+                    (line_no,
+                     f"family '{family}' samples are not contiguous "
+                     "(interleaved with another family)")
+                )
+                continue
+            if current_family is not None:
+                closed_families.add(current_family)
+            current_family = family
+            family_order.append(family)
+
+        family_type = declared_types[family]
+        if family_type == "counter" and not name.endswith("_total"):
+            errors.append(
+                (line_no,
+                 f"counter sample '{name}' does not end in _total")
+            )
+        if family_type == "histogram":
+            record = histograms[family]
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(
+                        (line_no, f"bucket sample '{name}' has no le label")
+                    )
+                    continue
+                le = labels["le"]
+                bound = float("inf") if le == "+Inf" else None
+                if bound is None:
+                    try:
+                        bound = float(le)
+                    except ValueError:
+                        errors.append((line_no, f"bad le value '{le}'"))
+                        continue
+                record["buckets"].append((line_no, bound, value))
+            elif name.endswith("_sum"):
+                record["sum"] = True
+            elif name.endswith("_count"):
+                record["count"] = value
+
+    # Post-pass: histogram shape.
+    for family, record in histograms.items():
+        buckets = record["buckets"]
+        if not buckets:
+            errors.append((0, f"histogram '{family}' has no _bucket samples"))
+            continue
+        prev_bound = None
+        prev_value = None
+        for line_no, bound, value in buckets:
+            if prev_bound is not None and bound <= prev_bound:
+                errors.append(
+                    (line_no,
+                     f"histogram '{family}' le bounds are not increasing")
+                )
+            if prev_value is not None and value < prev_value:
+                errors.append(
+                    (line_no,
+                     f"histogram '{family}' bucket counts are not "
+                     "cumulative/monotone")
+                )
+            prev_bound, prev_value = bound, value
+        if buckets[-1][1] != float("inf"):
+            errors.append((0, f"histogram '{family}' has no +Inf bucket"))
+        if not record["sum"]:
+            errors.append((0, f"histogram '{family}' has no _sum sample"))
+        if record["count"] is None:
+            errors.append((0, f"histogram '{family}' has no _count sample"))
+        elif buckets[-1][1] == float("inf") and \
+                buckets[-1][2] != record["count"]:
+            errors.append(
+                (0,
+                 f"histogram '{family}' +Inf bucket ({buckets[-1][2]:g}) != "
+                 f"_count ({record['count']:g})")
+            )
+    return errors
+
+
+GOOD_EXPOSITION = """\
+# TYPE requests_total counter
+requests_total 42
+# TYPE sketch_health_occupancy gauge
+sketch_health_occupancy{sketch="evil\\"quote"} 0.5
+sketch_health_occupancy{sketch="multi\\nline"} 0.25
+sketch_health_occupancy{sketch="curly{}name"} 1
+# TYPE latency_ns histogram
+latency_ns_bucket{le="0"} 2
+latency_ns_bucket{le="255"} 5
+latency_ns_bucket{le="+Inf"} 10
+latency_ns_sum 1234
+latency_ns_count 10
+# TYPE latency_ns_summary summary
+latency_ns_summary{quantile="0.5"} 2
+latency_ns_summary{quantile="0.99"} 506.88
+"""
+
+BAD_CASES = (
+    ("no TYPE line", "orphan_metric 1\n", "no preceding # TYPE"),
+    ("bad metric name",
+     "# TYPE 9bad counter\n9bad_total 1\n", "bad metric name"),
+    ("bad type",
+     "# TYPE m flavor\nm 1\n", "bad TYPE"),
+    ("counter without _total",
+     "# TYPE hits counter\nhits 3\n", "_total"),
+    ("bad value",
+     "# TYPE m gauge\nm pizza\n", "bad sample value"),
+    ("illegal escape",
+     '# TYPE m gauge\nm{l="a\\tb"} 1\n', "illegal escape"),
+    ("unterminated label value",
+     '# TYPE m gauge\nm{l="a} 1\n', "unterminated value"),
+    ("interleaved families",
+     "# TYPE a gauge\n# TYPE b gauge\na 1\nb 2\na 3\n",
+     "not contiguous"),
+    ("non-monotone buckets",
+     "# TYPE h histogram\n"
+     'h_bucket{le="1"} 5\nh_bucket{le="2"} 3\nh_bucket{le="+Inf"} 5\n'
+     "h_sum 9\nh_count 5\n",
+     "not cumulative"),
+    ("missing +Inf bucket",
+     '# TYPE h histogram\nh_bucket{le="1"} 5\nh_sum 9\nh_count 5\n',
+     "+Inf"),
+    ("+Inf != count",
+     "# TYPE h histogram\n"
+     'h_bucket{le="+Inf"} 4\nh_sum 9\nh_count 5\n',
+     "!= _count"),
+    ("duplicate TYPE",
+     "# TYPE m gauge\n# TYPE m gauge\nm 1\n", "duplicate TYPE"),
+)
+
+
+def self_test():
+    failures = []
+    good_errors = check_text(GOOD_EXPOSITION)
+    if good_errors:
+        failures.append(f"good exposition rejected: {good_errors}")
+    for label, text, expected in BAD_CASES:
+        errors = check_text(text)
+        if not errors:
+            failures.append(f"bad case '{label}' was accepted")
+        elif not any(expected in message for _, message in errors):
+            failures.append(
+                f"bad case '{label}' produced {errors}, expected a message "
+                f"containing '{expected}'"
+            )
+    for failure in failures:
+        print(f"self-test: {failure}", file=sys.stderr)
+    print(f"check_prom_format self-test: "
+          f"{len(BAD_CASES) + 1 - len(failures)}/{len(BAD_CASES) + 1} ok")
+    return 1 if failures else 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("input", nargs="?", default="-",
+                        help="exposition file, or '-' for stdin")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded good/bad cases and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    if args.input == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.input, encoding="utf-8") as handle:
+            text = handle.read()
+    errors = check_text(text)
+    for line_no, message in sorted(errors):
+        where = f"line {line_no}" if line_no else "input"
+        print(f"{where}: {message}", file=sys.stderr)
+    if errors:
+        print(f"check_prom_format: {len(errors)} error(s)", file=sys.stderr)
+        return 1
+    samples = sum(
+        1 for line in text.splitlines() if line and not line.startswith("#")
+    )
+    print(f"check_prom_format: ok ({samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

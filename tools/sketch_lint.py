@@ -61,6 +61,13 @@ rest on:
          seam that keeps the vector path unreachable on CPUs without the
          ISA. Headers may never contain intrinsics (SL006 compiles every
          header without -mavx2).
+  SL012  every telemetry metric-name literal under src/ (the string
+         argument of SKETCH_COUNTER_INC / SKETCH_COUNTER_ADD /
+         SKETCH_HISTOGRAM_RECORD / GetCounter / GetHistogram) must appear,
+         backtick-quoted, in docs/metrics_inventory.md. Metric names are a
+         scrape-interface contract: dashboards and alerts key on them, so
+         an undocumented name is an API change nobody reviewed, and the
+         inventory is where renames get caught.
 
 SL008 and SL010 allowlist src/common/thread_annotations.h (the wrappers
 must touch the raw primitives once). SL009 exempts nothing under src/:
@@ -593,7 +600,53 @@ def check_simd_quarantine(rel, text, clean):
     return violations
 
 
-def lint_file(root, path):
+METRICS_INVENTORY = "docs/metrics_inventory.md"
+
+# SL012: a metric-registration call up to and including its opening quote.
+# Matched against the comment-stripped text (so commented-out calls don't
+# count), then the name itself is read from the raw text at the same
+# offset — strip_comments_and_strings blanks string interiors but
+# preserves offsets exactly.
+SL012_METRIC_CALL = re.compile(
+    r"\b(?:SKETCH_COUNTER_(?:INC|ADD)|SKETCH_HISTOGRAM_RECORD|"
+    r"GetCounter|GetHistogram)\s*\(\s*\""
+)
+SL012_METRIC_NAME = re.compile(r'((?:[^"\\\n]|\\.)*)"')
+
+
+def load_metrics_inventory(root):
+    path = root / METRICS_INVENTORY
+    if not path.is_file():
+        return None
+    return path.read_text(encoding="utf-8", errors="replace")
+
+
+def check_metric_inventory(rel, text, clean, inventory):
+    """SL012: src/ metric-name literals must be rows in the inventory."""
+    rel_str = str(rel).replace("\\", "/")
+    if not rel_str.startswith("src/"):
+        return []
+    violations = []
+    for call in SL012_METRIC_CALL.finditer(clean):
+        name_match = SL012_METRIC_NAME.match(text, call.end())
+        if name_match is None:
+            continue
+        name = name_match.group(1)
+        if inventory is None or f"`{name}`" not in inventory:
+            violations.append(
+                (
+                    line_of(clean, call.start()),
+                    "SL012",
+                    f'metric name "{name}" is not documented in '
+                    f"{METRICS_INVENTORY}; metric names are a "
+                    "scrape-interface contract — add a backtick-quoted "
+                    "row for it (or fix the name)",
+                )
+            )
+    return violations
+
+
+def lint_file(root, path, inventory=None):
     rel = path.relative_to(root)
     text = path.read_text(encoding="utf-8", errors="replace")
     clean = strip_comments_and_strings(text)
@@ -613,6 +666,7 @@ def lint_file(root, path):
     violations += check_atomic_memory_orders(root, rel, path, clean)
     violations += check_raii_locking(rel, clean)
     violations += check_simd_quarantine(rel, text, clean)
+    violations += check_metric_inventory(rel, text, clean, inventory)
     return [(rel, line, rule, msg) for line, rule, msg in violations]
 
 
@@ -667,9 +721,10 @@ def collect_files(root):
 
 def run(root, compile_headers=False, cxx="g++", jobs=4):
     root = Path(root).resolve()
+    inventory = load_metrics_inventory(root)
     violations = []
     for path in collect_files(root):
-        violations += lint_file(root, path)
+        violations += lint_file(root, path, inventory)
     if compile_headers:
         headers = [
             p

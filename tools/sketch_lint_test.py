@@ -606,6 +606,77 @@ namespace sketch {
         violations = self.lint({"src/sketch/notes.cc": source})
         self.assertEqual(violations, [])
 
+    SL012_SOURCE = """\
+namespace sketch {
+void Touch() {
+  SKETCH_COUNTER_INC("server.widget.requests");
+  SKETCH_HISTOGRAM_RECORD("server.widget.latency_ns", 42);
+}
+}  // namespace sketch
+"""
+
+    SL012_INVENTORY = """\
+# Metrics inventory
+| `server.widget.requests` | widget requests |
+| `server.widget.latency_ns` | widget latency |
+"""
+
+    def test_sl012_documented_metrics_pass(self):
+        violations = self.lint(
+            {
+                "src/server/widget.cc": self.SL012_SOURCE,
+                "docs/metrics_inventory.md": self.SL012_INVENTORY,
+            }
+        )
+        self.assertEqual(violations, [])
+
+    def test_sl012_undocumented_metric_fails(self):
+        inventory = self.SL012_INVENTORY.replace(
+            "| `server.widget.latency_ns` | widget latency |\n", ""
+        )
+        violations = self.lint(
+            {
+                "src/server/widget.cc": self.SL012_SOURCE,
+                "docs/metrics_inventory.md": inventory,
+            }
+        )
+        self.assertEqual(rules_found(violations), {"SL012"})
+        self.assertEqual(len(violations), 1)
+        self.assertIn("server.widget.latency_ns", violations[0][3])
+
+    def test_sl012_missing_inventory_flags_every_metric(self):
+        violations = self.lint({"src/server/widget.cc": self.SL012_SOURCE})
+        self.assertEqual(rules_found(violations), {"SL012"})
+        self.assertEqual(len(violations), 2)
+
+    def test_sl012_ignores_non_src_and_comments(self):
+        commented = """\
+namespace sketch {
+// SKETCH_COUNTER_INC("server.ghost.metric") used to live here.
+void Touch() {}
+}  // namespace sketch
+"""
+        violations = self.lint(
+            {
+                # Metric literals in tests/bench don't need inventory rows.
+                "tests/widget_test.cc": self.SL012_SOURCE,
+                "bench/bench_widget.cc": self.SL012_SOURCE,
+                "src/server/notes.cc": commented,
+            }
+        )
+        self.assertEqual(violations, [])
+
+    def test_sl012_variable_names_are_ignored(self):
+        source = """\
+namespace sketch {
+void Touch(const std::string& name) {
+  MetricRegistry::Instance().GetCounter(name).Increment();
+}
+}  // namespace sketch
+"""
+        violations = self.lint({"src/server/dynamic.cc": source})
+        self.assertEqual(violations, [])
+
     def test_violations_in_strings_and_comments_are_ignored(self):
         source = """\
 namespace sketch {
